@@ -1,0 +1,94 @@
+// Aging ablation (extension; paper reference [13] and the intro's "silicon
+// aging effects"): two experiments the paper's ecosystem implies but does
+// not plot.
+//
+//  1. Directed aging-based response tuning: post-fab burn-in that widens
+//     marginal race margins and cuts the intra-chip flip rate — run across
+//     a population of dice.
+//  2. Enrollment staleness: uniform field aging drifts the chip away from
+//     its delay table H; attestation holds for years and is restored by
+//     re-enrollment.
+#include <cstdio>
+
+#include "alupuf/aging_tuner.hpp"
+#include "alupuf/pipeline.hpp"
+#include "ecc/reed_muller.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace pufatt;
+
+int main() {
+  std::printf("=== Aging: response tuning and enrollment staleness ===\n\n");
+
+  // --- Experiment 1: directed tuning across a die population ------------
+  std::printf("1) aging-based response tuning (burn-in before enrollment)\n\n");
+  support::Table tune_table({"die", "stress actions", "flip rate before",
+                             "flip rate after", "improvement"});
+  support::OnlineStats improvement;
+  for (int die = 0; die < 6; ++die) {
+    alupuf::AluPufConfig config;
+    config.width = 32;
+    alupuf::AluPuf puf(config, 7000 + die);
+    support::Xoshiro256pp rng(100 + die);
+    const auto report = alupuf::tune_by_aging(puf, {}, rng);
+    const double gain = 1.0 - report.flip_rate_after / report.flip_rate_before;
+    improvement.add(gain);
+    tune_table.add_row({std::to_string(die),
+                        std::to_string(report.stress_actions),
+                        support::Table::num(report.flip_rate_before, 4),
+                        support::Table::num(report.flip_rate_after, 4),
+                        support::Table::num(gain * 100.0, 1) + "%"});
+  }
+  std::printf("%s\n", tune_table.render().c_str());
+  std::printf("mean flip-rate reduction: %.1f%% (reference [13] reports "
+              "large reliability gains from directed aging)\n\n",
+              improvement.mean() * 100.0);
+
+  // --- Experiment 2: enrollment staleness over field aging -----------------
+  std::printf("2) field aging vs the enrollment-time delay table H\n\n");
+  const ecc::ReedMuller1 code(5);
+  alupuf::AluPufConfig config;
+  config.width = 32;
+  alupuf::AluPuf puf(config, 4242);
+  const alupuf::AluPufEmulator fresh_model(32, puf.export_model());
+  support::Xoshiro256pp rng(55);
+  const auto env = variation::Environment::nominal();
+
+  support::Table age_table({"field age", "HD vs fresh H (bits/32)",
+                            "HD vs refreshed H"});
+  double elapsed_hours = 0.0;
+  for (const double years : {0.0, 1.0, 3.0, 10.0, 30.0}) {
+    const double target_hours = years * 365.0 * 24.0;
+    // Aging accumulates sublinearly; apply only the increment.
+    if (target_hours > elapsed_hours) {
+      // Power-law accumulation is not additive; approximate the increment
+      // by re-deriving the total shift at the new age on a fresh twin die
+      // is overkill — instead stress for the incremental hours (slightly
+      // conservative, documented).
+      puf.age_uniformly(0.5, target_hours - elapsed_hours, {});
+      elapsed_hours = target_hours;
+    }
+    const alupuf::AluPufEmulator refreshed(32, puf.export_model());
+    support::OnlineStats stale_hd, fresh_hd;
+    for (int t = 0; t < 200; ++t) {
+      const auto c = support::BitVector::random(64, rng);
+      const auto response = puf.eval(c, env, rng);
+      stale_hd.add(static_cast<double>(
+          fresh_model.eval(c).hamming_distance(response)));
+      fresh_hd.add(static_cast<double>(
+          refreshed.eval(c).hamming_distance(response)));
+    }
+    age_table.add_row({support::Table::num(years, 0) + " years",
+                       support::Table::num(stale_hd.mean(), 2),
+                       support::Table::num(fresh_hd.mean(), 2)});
+  }
+  std::printf("%s\n", age_table.render().c_str());
+  std::printf(
+      "reading: drift against the enrollment-time model grows with field\n"
+      "age (per-gate NBTI coefficients differ), while re-extracting H\n"
+      "returns the error rate to the noise floor — devices with decade\n"
+      "lifetimes need scheduled re-enrollment or the soft-decision margin\n"
+      "absorbs the drift until then.\n");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// False-negative-rate study (paper Section 4.1, in text): "considering the
+// error correction mechanism used, our PUF exhibits only a false negative
+// rate of 1.53e-07".
+//
+// The paper's number corresponds to a binomial tail with correction radius
+// t = 16 at its measured bit-error rate; a binary [32,6,16] code guarantees
+// only t = 7 (see DESIGN.md section 6).  This bench reports:
+//   1. our measured verifier-vs-device bit error rate,
+//   2. analytic binomial FNR for t = 7 and the paper's t = 16 reading,
+//   3. Monte-Carlo reconstruction failure of the real pipeline with
+//      hard-decision and soft-decision (race-margin) decoding.
+#include <cmath>
+#include <cstdio>
+
+#include "alupuf/pipeline.hpp"
+#include "ecc/helper_data.hpp"
+#include "ecc/reed_muller.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace pufatt;
+
+namespace {
+
+double log_choose(int n, int k) {
+  return std::lgamma(n + 1.0) - std::lgamma(k + 1.0) - std::lgamma(n - k + 1.0);
+}
+
+/// P[Binomial(n, p) > t].
+double binomial_tail(int n, double p, int t) {
+  double tail = 0.0;
+  for (int k = t + 1; k <= n; ++k) {
+    tail += std::exp(log_choose(n, k) + k * std::log(p) +
+                     (n - k) * std::log1p(-p));
+  }
+  return tail;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== False negative rate of the error-corrected PUF ===\n\n");
+
+  const ecc::ReedMuller1 code(5);
+  const ecc::SyndromeHelper helper(code);
+  alupuf::AluPufConfig config;
+  config.width = 32;
+  const alupuf::AluPuf puf(config, 777);
+  const alupuf::AluPufEmulator emu(32, puf.export_model());
+  support::Xoshiro256pp rng(0xF42);
+
+  // 1. measured single-sided BER: emulated reference vs physical response.
+  const std::size_t trials = 30'000;
+  std::uint64_t bit_errors = 0;
+  std::uint64_t hard_fail = 0, soft_fail = 0;
+  const auto env = variation::Environment::nominal();
+  for (std::size_t t = 0; t < trials; ++t) {
+    const auto challenge = support::BitVector::random(64, rng);
+    const auto measured = puf.eval(challenge, env, rng);
+    const auto reference = emu.eval(challenge);
+    bit_errors += measured.hamming_distance(reference);
+
+    const auto h = helper.generate(measured);
+    const auto hard = helper.reproduce(reference, h);
+    if (!hard || *hard != measured) ++hard_fail;
+    const auto soft = helper.reproduce_soft(emu.eval_soft(challenge), h);
+    if (!soft || *soft != measured) ++soft_fail;
+  }
+  const double ber =
+      static_cast<double>(bit_errors) / (32.0 * static_cast<double>(trials));
+  std::printf("measured verifier-vs-device BER: %.4f (paper intra-chip "
+              "11.3%% is the two-sided rate)\n\n",
+              ber);
+
+  support::Table table({"model", "bit-error rate", "radius", "FNR / response"});
+  table.add_row({"paper's implied reading", "0.113", "t=16",
+                 support::Table::num(binomial_tail(32, 0.113, 16) * 1e7, 3) +
+                     "e-07"});
+  table.add_row({"paper reported", "-", "-", "1.53e-07"});
+  table.add_row({"analytic, guaranteed t=7 @ paper BER", "0.113", "t=7",
+                 support::Table::num(binomial_tail(32, 0.113, 7), 6)});
+  table.add_row({"analytic, guaranteed t=7 @ our BER",
+                 support::Table::num(ber, 4), "t=7",
+                 support::Table::num(binomial_tail(32, ber, 7), 6)});
+  table.add_row({"Monte-Carlo, hard ML decoding", support::Table::num(ber, 4),
+                 "ML",
+                 support::Table::num(
+                     static_cast<double>(hard_fail) / trials, 6)});
+  table.add_row({"Monte-Carlo, soft (race-margin) decoding",
+                 support::Table::num(ber, 4), "soft ML",
+                 soft_fail == 0
+                     ? "< " + support::Table::num(1.0 / trials, 6)
+                     : support::Table::num(
+                           static_cast<double>(soft_fail) / trials, 6)});
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "reading: the paper's 1.53e-07 needs an effective radius ~16, which\n"
+      "RM(1,5) only approaches with soft-decision decoding.  Our verifier\n"
+      "uses the emulated race margins as reliabilities, driving the\n"
+      "measured reconstruction failure rate to %s (hard ML alone: %.2e).\n",
+      soft_fail == 0 ? "below measurement resolution" : "the value above",
+      static_cast<double>(hard_fail) / trials);
+  return 0;
+}

@@ -1,0 +1,187 @@
+// Engineering micro-benchmarks (google-benchmark): throughput of every
+// performance-relevant primitive.  Not a paper table — evidence that the
+// simulation substrate sustains the million-challenge experiment sizes the
+// paper's methodology requires.
+#include <benchmark/benchmark.h>
+
+#include "cpu/assembler.hpp"
+#include "swat/program.hpp"
+
+#include "alupuf/pipeline.hpp"
+#include "core/enrollment.hpp"
+#include "core/protocol.hpp"
+#include "ecc/bch.hpp"
+#include "ecc/helper_data.hpp"
+#include "ecc/reed_muller.hpp"
+#include "mlattack/logreg.hpp"
+#include "swat/checksum.hpp"
+
+using namespace pufatt;
+
+namespace {
+
+const ecc::ReedMuller1& rm5() {
+  static const ecc::ReedMuller1 code(5);
+  return code;
+}
+
+alupuf::AluPufConfig puf32() {
+  alupuf::AluPufConfig config;
+  config.width = 32;
+  return config;
+}
+
+void BM_AluPufRawEval(benchmark::State& state) {
+  const alupuf::AluPuf puf(puf32(), 1);
+  support::Xoshiro256pp rng(2);
+  const auto env = variation::Environment::nominal();
+  const auto challenge = support::BitVector::random(64, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(puf.eval(challenge, env, rng));
+  }
+}
+BENCHMARK(BM_AluPufRawEval);
+
+void BM_PufDeviceQuery(benchmark::State& state) {
+  const alupuf::PufDevice device(puf32(), 1, rm5());
+  support::Xoshiro256pp rng(3);
+  const auto env = variation::Environment::nominal();
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(device.query(++x, env, rng));
+  }
+}
+BENCHMARK(BM_PufDeviceQuery);
+
+void BM_PufEmulate(benchmark::State& state) {
+  const alupuf::PufDevice device(puf32(), 1, rm5());
+  const alupuf::PufEmulator emulator(32, device.export_model(), rm5());
+  support::Xoshiro256pp rng(4);
+  const auto out = device.query(42, variation::Environment::nominal(), rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(emulator.emulate(42, out.helpers));
+  }
+}
+BENCHMARK(BM_PufEmulate);
+
+void BM_RmSoftDecode(benchmark::State& state) {
+  support::Xoshiro256pp rng(5);
+  std::vector<double> llr(32);
+  for (auto& v : llr) v = rng.gaussian();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rm5().decode_soft_to_codeword(llr));
+  }
+}
+BENCHMARK(BM_RmSoftDecode);
+
+void BM_BchDecode(benchmark::State& state) {
+  const ecc::BchCode code(8, 10);  // [255, 179] t=10
+  support::Xoshiro256pp rng(6);
+  auto word = code.encode(support::BitVector::random(code.k(), rng));
+  for (int i = 0; i < 10; ++i) word.flip(rng.uniform_u64(code.n()));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(code.decode_to_codeword(word));
+  }
+}
+BENCHMARK(BM_BchDecode);
+
+void BM_SyndromeHelperReproduce(benchmark::State& state) {
+  const ecc::SyndromeHelper helper(rm5());
+  support::Xoshiro256pp rng(7);
+  const auto y = support::BitVector::random(32, rng);
+  const auto h = helper.generate(y);
+  auto ref = y;
+  ref.flip(3);
+  ref.flip(17);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(helper.reproduce(ref, h));
+  }
+}
+BENCHMARK(BM_SyndromeHelperReproduce);
+
+void BM_SwatChecksumNative(benchmark::State& state) {
+  swat::SwatParams params;
+  params.rounds = 2048;
+  params.attest_words = 4096;
+  std::vector<std::uint32_t> image(params.attest_words, 0xABCD1234u);
+  const auto puf = [](const std::array<std::uint64_t, 8>&) {
+    return std::optional<std::uint32_t>{0x5555AAAAu};
+  };
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(swat::compute_checksum(image, 99, params, puf));
+  }
+  state.SetItemsProcessed(state.iterations() * params.rounds);
+}
+BENCHMARK(BM_SwatChecksumNative);
+
+void BM_Pr32SimulatedCycles(benchmark::State& state) {
+  // Host-side throughput of the cycle-accurate PR32 interpreter.
+  const auto params = swat::SwatParams{.rounds = 1024, .attest_words = 2048};
+  const auto layout = swat::SwatLayout::standard(params);
+  const auto program =
+      cpu::assemble(swat::generate_swat_source(params, layout));
+  struct Stub final : cpu::PufPort {
+    void start() override {}
+    void feed(std::uint64_t, double) override {}
+    std::uint32_t finish(std::vector<std::uint32_t>& h) override {
+      h.assign(8, 0);
+      return 0;
+    }
+  } stub;
+  std::uint64_t cycles = 0;
+  for (auto _ : state) {
+    cpu::Machine machine(8192);
+    machine.load(program.words);
+    machine.set_mem(layout.seed_addr, 1);
+    machine.attach_puf(&stub);
+    const auto result = machine.run(100'000'000);
+    cycles += result.cycles;
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(cycles));
+}
+BENCHMARK(BM_Pr32SimulatedCycles);
+
+void BM_FullAttestationRoundTrip(benchmark::State& state) {
+  auto profile = core::DeviceProfile::standard();
+  profile.swat.rounds = 512;
+  profile.swat.attest_words = 1024;
+  profile.layout = swat::SwatLayout::standard(profile.swat);
+  const alupuf::PufDevice device(profile.puf_config, 8, rm5());
+  const auto record = core::enroll(
+      device, profile,
+      core::make_enrolled_image(profile, std::vector<std::uint32_t>(500, 3)));
+  const core::Verifier verifier(record, rm5());
+  core::CpuProver prover(device, record, core::CpuProver::Variant::kHonest, 9);
+  support::Xoshiro256pp rng(10);
+  for (auto _ : state) {
+    const auto request = verifier.make_request(rng);
+    const auto outcome = prover.respond(request);
+    benchmark::DoNotOptimize(
+        verifier.verify(request, outcome.response, 0.0));
+  }
+}
+BENCHMARK(BM_FullAttestationRoundTrip);
+
+void BM_LogRegTrain(benchmark::State& state) {
+  support::Xoshiro256pp rng(11);
+  std::vector<mlattack::Example> data;
+  for (int i = 0; i < 1000; ++i) {
+    mlattack::Example ex;
+    for (int f = 0; f < 65; ++f) ex.features.push_back(rng.gaussian());
+    ex.label = rng.bernoulli(0.5);
+    data.push_back(std::move(ex));
+  }
+  mlattack::LogRegParams params;
+  params.epochs = 5;
+  for (auto _ : state) {
+    mlattack::LogisticRegression model(65);
+    model.train(data, params, rng);
+    benchmark::DoNotOptimize(model);
+  }
+}
+BENCHMARK(BM_LogRegTrain);
+
+}  // namespace
+
+BENCHMARK_MAIN();

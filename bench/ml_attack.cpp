@@ -1,0 +1,80 @@
+// Machine-learning modeling attack study (paper Section 2 "Response
+// Obfuscation" and Section 4.1 "Side-channel Attack Resiliency"):
+// logistic regression (Ruehrmair-style) against
+//   1. the plain Arbiter PUF (the textbook break),
+//   2. raw ALU PUF response bits (partially learnable),
+//   3. the obfuscated pipeline output (should collapse to ~50%).
+#include <cstdio>
+
+#include "ecc/reed_muller.hpp"
+#include "mlattack/attack.hpp"
+#include "support/table.hpp"
+
+using namespace pufatt;
+
+int main() {
+  std::printf("=== Modeling attack: logistic regression on CRPs ===\n\n");
+  support::Xoshiro256pp rng(0x31337);
+
+  support::Table table(
+      {"target", "training CRPs", "train acc", "test acc", "verdict"});
+
+  // --- Arbiter PUF: accuracy vs training size -----------------------------
+  const alupuf::ArbiterPuf arbiter({.stages = 64, .noise_sigma = 0.05}, 5);
+  mlattack::AttackConfig config;
+  config.test_crps = 1500;
+  for (const std::size_t crps : {250u, 1000u, 4000u, 16000u}) {
+    const auto r = mlattack::attack_arbiter(arbiter, crps, rng, config);
+    table.add_row({"Arbiter PUF", std::to_string(crps),
+                   support::Table::num(r.train_accuracy, 3),
+                   support::Table::num(r.test_accuracy, 3),
+                   r.test_accuracy > 0.9 ? "BROKEN" : "resists"});
+  }
+
+  // --- k-XOR arbiter: the mechanism behind the obfuscation network ---------
+  for (const std::size_t k : {1u, 2u, 4u, 8u}) {
+    const alupuf::XorArbiterPuf xpuf(k, {.stages = 64, .noise_sigma = 0.05}, 9);
+    const auto r = mlattack::attack_xor_arbiter(xpuf, 8000, rng, config);
+    table.add_row({"XOR-Arbiter k=" + std::to_string(k), "8000",
+                   support::Table::num(r.train_accuracy, 3),
+                   support::Table::num(r.test_accuracy, 3),
+                   r.test_accuracy > 0.9    ? "BROKEN"
+                   : r.test_accuracy > 0.58 ? "leaks partially"
+                                            : "resists"});
+  }
+
+  // --- raw ALU PUF bits ------------------------------------------------------
+  alupuf::AluPufConfig puf_config;
+  puf_config.width = 32;
+  const alupuf::AluPuf alu(puf_config, 6);
+  for (const std::size_t bit : {4u, 16u, 28u}) {
+    const auto r = mlattack::attack_alu_raw_bit(alu, bit, 6000, rng, config);
+    table.add_row({"ALU PUF raw bit " + std::to_string(bit), "6000",
+                   support::Table::num(r.train_accuracy, 3),
+                   support::Table::num(r.test_accuracy, 3),
+                   r.test_accuracy > 0.75   ? "LEAKS"
+                   : r.test_accuracy > 0.55 ? "leaks partially"
+                                            : "resists"});
+  }
+
+  // --- obfuscated output -------------------------------------------------------
+  const ecc::ReedMuller1 code(5);
+  const alupuf::PufDevice device(puf_config, 7, code);
+  mlattack::AttackConfig obf_config;
+  obf_config.test_crps = 600;
+  for (const std::size_t bit : {3u, 17u}) {
+    const auto r =
+        mlattack::attack_obfuscated_bit(device, bit, 2000, rng, obf_config);
+    table.add_row({"obfuscated z bit " + std::to_string(bit), "2000",
+                   support::Table::num(r.train_accuracy, 3),
+                   support::Table::num(r.test_accuracy, 3),
+                   r.test_accuracy < 0.58 ? "resists (paper claim)"
+                                          : "UNEXPECTED LEAK"});
+  }
+
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "paper claim reproduced when: arbiter test acc -> ~1.0 with CRPs,\n"
+      "raw ALU bits exceed chance, and obfuscated bits stay near 0.5.\n");
+  return 0;
+}

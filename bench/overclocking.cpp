@@ -1,0 +1,108 @@
+// Overclocking study (paper Section 4.2, "Overclocking Attack Resiliency"):
+// sweep the prover clock and measure
+//   1. PUF response corruption (setup-time violations on the carry chain),
+//   2. the verifier's reliability-weighted reconstruction distance,
+//   3. full-protocol outcomes for the honest program and the redirection
+//      malware at each clock.
+// The paper's condition: T_ALU + T_set < T_cycle; the base clock is chosen
+// with minimal headroom so any useful overclock corrupts responses.
+#include <cstdio>
+
+#include "core/enrollment.hpp"
+#include "core/protocol.hpp"
+#include "core/puf_adapter.hpp"
+#include "ecc/helper_data.hpp"
+#include "ecc/reed_muller.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+using namespace pufatt;
+using namespace pufatt::core;
+
+int main() {
+  std::printf("=== Overclocking: PUF corruption and protocol outcomes ===\n\n");
+
+  const ecc::ReedMuller1 code(5);
+  auto profile = DeviceProfile::standard();
+  profile.swat.rounds = 1024;
+  profile.swat.attest_words = 2048;
+  profile.layout = swat::SwatLayout::standard(profile.swat);
+
+  support::Xoshiro256pp rng(0x0C10C);
+  const alupuf::PufDevice device(profile.puf_config, 314159, code);
+  const alupuf::PufEmulator emulator(32, device.export_model(), code);
+  const ecc::SyndromeHelper helper(code);
+  const auto record =
+      enroll(device, profile,
+             make_enrolled_image(profile, std::vector<std::uint32_t>(1500, 7)));
+  const Verifier verifier(record, code);
+  const Channel channel;
+
+  const double t_alu =
+      device.raw_puf().max_settle_ps(variation::Environment::nominal());
+  const double base_mhz = record.profile.base_clock_mhz;  // set per die
+  std::printf("T_ALU (worst-case carry chain settle): %.0f ps\n", t_alu);
+  std::printf("enrolled base clock %.0f MHz -> cycle %.0f ps, capture "
+              "deadline %.0f ps\n\n",
+              base_mhz, 1e6 / base_mhz, 1e6 / base_mhz - 20.0);
+
+  support::Table table({"clock multiple", "MHz", "deadline (ps)",
+                        "weighted dist / call (ps)", "honest program",
+                        "redirect malware"});
+
+  const auto env = variation::Environment::nominal();
+  for (const double mult : {1.0, 1.05, 1.1, 1.15, 1.2, 1.3, 1.5, 2.0, 2.5}) {
+    const double mhz = base_mhz * mult;
+    const alupuf::ClockConstraint clock{1e6 / mhz, 20.0};
+
+    // Reliability-weighted reconstruction distance per PUF call at this
+    // clock (the verifier's response-authenticity statistic).
+    support::OnlineStats weighted;
+    for (int call = 0; call < 25; ++call) {
+      std::array<alupuf::Challenge, 8> challenges;
+      for (auto& c : challenges) {
+        const auto a = static_cast<std::uint32_t>(rng.next());
+        c = challenge_from_u64((static_cast<std::uint64_t>(a) << 32) |
+                               static_cast<std::uint32_t>(~a));
+      }
+      const auto out = device.query_raw(challenges, env, rng, &clock);
+      double w = 0.0;
+      for (int r = 0; r < 8; ++r) {
+        const auto llr = emulator.raw_emulator().eval_soft(challenges[r]);
+        const auto rec = helper.reproduce_soft(llr, out.helpers[r]);
+        if (!rec) continue;
+        for (std::size_t i = 0; i < llr.size(); ++i) {
+          if (rec->get(i) != (llr[i] < 0.0)) w += std::abs(llr[i]);
+        }
+      }
+      weighted.add(w);
+    }
+
+    auto attempt = [&](CpuProver::Variant variant, std::uint64_t seed) {
+      CpuProver prover(device, record, variant, seed, mhz);
+      const auto request = verifier.make_request(rng);
+      const auto outcome = prover.respond(request);
+      const double elapsed =
+          outcome.compute_us +
+          channel.round_trip_us(8, outcome.response.wire_bytes());
+      return to_string(verifier.verify(request, outcome.response, elapsed).status);
+    };
+
+    table.add_row({support::Table::num(mult, 2), support::Table::num(mhz, 0),
+                   support::Table::num(1e6 / mhz - 20.0, 0),
+                   support::Table::num(weighted.mean(), 1),
+                   attempt(CpuProver::Variant::kHonest, 900 + mult * 10),
+                   attempt(CpuProver::Variant::kRedirectMalware,
+                           950 + mult * 10)});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf(
+      "reading: the enrolled clock leaves ~6%% headroom over T_ALU+T_set.\n"
+      "The redirection overhead (~16%%) exceeds the verifier's 5%% time\n"
+      "slack, so hiding it needs >= ~1.11x overclock — which already\n"
+      "violates the capture deadline and corrupts PUF responses.  The\n"
+      "verifier's weighted-distance budget (60 ps/call, ANDed over all 32\n"
+      "PUF calls) then rejects the transcript: the paper's \"wrong\n"
+      "responses from the ALU PUF\" failure mode.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Table 1 reproduction: FPGA resource utilization of the 16-bit ALU PUF
+// prototype, estimated by technology-mapping our gate netlists onto 6-LUTs.
+#include <cstdio>
+
+#include "fpga/resources.hpp"
+#include "support/table.hpp"
+
+using namespace pufatt;
+
+int main() {
+  std::printf("=== Table 1: FPGA implementation (16-bit ALU PUF) ===\n\n");
+
+  const auto rows = fpga::table1_rows();
+  support::Table table({"Component", "LUTs", "Regs", "XORs", "BRAM", "FIFO",
+                        "| paper LUTs", "Regs", "XORs", "BRAM", "FIFO"});
+  for (const auto& row : rows) {
+    table.add_row({row.ours.component, std::to_string(row.ours.luts),
+                   std::to_string(row.ours.registers),
+                   std::to_string(row.ours.xors), std::to_string(row.ours.bram),
+                   std::to_string(row.ours.fifo),
+                   "| " + std::to_string(row.paper.luts),
+                   std::to_string(row.paper.registers),
+                   std::to_string(row.paper.xors),
+                   std::to_string(row.paper.bram),
+                   std::to_string(row.paper.fifo)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  const auto& alu = rows[0].ours;
+  const auto& pdl = rows[4].ours;
+  const auto& sirc = rows[5].ours;
+  std::printf("shape checks:\n");
+  std::printf("  PUF core is tiny vs support logic: %s (%zu vs %zu+%zu LUTs)\n",
+              pdl.luts + sirc.luts > 10 * alu.luts ? "YES" : "NO", alu.luts,
+              pdl.luts, sirc.luts);
+  std::printf("  obfuscation XOR count matches paper exactly: %s (%zu)\n",
+              rows[3].ours.xors == 224 ? "YES" : "NO", rows[3].ours.xors);
+  std::printf("\nreuse scenario: one full 16-bit multi-op ALU maps to %zu "
+              "LUTs;\ntwo already exist in the datapath, so reusing them "
+              "leaves only the\narbiters, sync and capture registers as "
+              "true PUF overhead.\n",
+              fpga::full_alu_luts(16));
+  std::printf(
+      "\nnote: our syndrome generator is the direct combinational XOR\n"
+      "forest for RM(1,5); the paper's 1976-LUT/3-BRAM figure reflects a\n"
+      "generic serialized decoder core (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Distributed mutual attestation (Yang et al., SRDS 2007 — one of the
+// paper's cited SWAT instantiations): no base station required; nodes in a
+// k-connected ring audit their neighbours with the full PUFatt protocol
+// and convict by quorum.
+#include <cstdio>
+
+#include "core/distributed.hpp"
+#include "support/table.hpp"
+
+using namespace pufatt;
+using namespace pufatt::core;
+
+namespace {
+
+const char* health_name(NodeHealth health) {
+  switch (health) {
+    case NodeHealth::kHealthy: return "healthy";
+    case NodeHealth::kNaiveMalware: return "naive malware";
+    case NodeHealth::kHidingMalware: return "hiding malware";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Distributed mutual attestation (no base station)\n"
+              "================================================\n\n");
+
+  DistributedParams params;
+  params.num_nodes = 10;
+  params.degree = 2;   // each node audits 4 neighbours
+  params.quorum = 3;   // convicted when 3+ neighbours reject
+
+  DistributedNetwork net(params,
+                         {{3, NodeHealth::kNaiveMalware},
+                          {7, NodeHealth::kHidingMalware}},
+                         20260705);
+  support::Xoshiro256pp rng(99);
+
+  std::printf("topology: %zu-node ring, degree %zu, quorum %zu\n\n",
+              params.num_nodes, params.degree, params.quorum);
+
+  const auto verdicts = net.run_round(rng);
+  support::Table table({"node", "ground truth", "rejections", "audits",
+                        "verdict"});
+  std::size_t convicted = 0;
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    const auto& v = verdicts[i];
+    if (v.convicted) ++convicted;
+    table.add_row({"node " + std::to_string(i), health_name(v.truth),
+                   std::to_string(v.rejections), std::to_string(v.audits),
+                   v.convicted ? "CONVICTED" : "trusted"});
+  }
+  std::printf("%s\n", table.render().c_str());
+  std::printf("convicted %zu of %zu nodes (expected 2)\n", convicted,
+              verdicts.size());
+  std::printf(
+      "\nbecause every pairwise audit is PUF-bound, a convicted node cannot\n"
+      "shift the blame: its neighbours' verdicts rest on its own silicon.\n");
+  return convicted == 2 ? 0 : 1;
+}

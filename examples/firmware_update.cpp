@@ -1,0 +1,90 @@
+// SCUBA-style secure firmware update (Seshadri et al., WiSe 2006 — the
+// checksum the paper's SWAT adapts was built for exactly this): the base
+// station only ships a firmware update to a node that just proved its
+// software state, and re-attests after installation against the *new*
+// enrolled image.
+#include <cstdio>
+#include <vector>
+
+#include "core/enrollment.hpp"
+#include "core/protocol.hpp"
+#include "ecc/reed_muller.hpp"
+
+using namespace pufatt;
+
+namespace {
+
+double elapsed_with_radio(const core::Channel& radio,
+                          const core::CpuProver::Outcome& outcome) {
+  return outcome.compute_us +
+         radio.round_trip_us(8, outcome.response.wire_bytes());
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Secure firmware update gated on attestation\n"
+              "===========================================\n\n");
+
+  const ecc::ReedMuller1 code(5);
+  auto profile = core::DeviceProfile::standard();
+  profile.swat.rounds = 1024;
+  profile.swat.attest_words = 2048;
+  profile.layout = swat::SwatLayout::standard(profile.swat);
+
+  support::Xoshiro256pp rng(7);
+  const core::Channel radio;
+  const alupuf::PufDevice device(profile.puf_config, 0xF1D0, code);
+
+  // Version 1 firmware, enrolled at the factory.
+  std::vector<std::uint32_t> firmware_v1(1400, 0x00010000u);
+  auto record_v1 = core::enroll(
+      device, profile, core::make_enrolled_image(profile, firmware_v1));
+  core::Verifier verifier_v1(record_v1, code);
+
+  // --- Step 1: attest the node before shipping the update -----------------
+  core::CpuProver prover_v1(device, record_v1,
+                            core::CpuProver::Variant::kHonest, 1);
+  const auto request1 = verifier_v1.make_request(rng);
+  const auto outcome1 = prover_v1.respond(request1);
+  const auto result1 = verifier_v1.verify(request1, outcome1.response,
+                                          elapsed_with_radio(radio, outcome1));
+  std::printf("pre-update attestation: %s\n", core::to_string(result1.status));
+  if (!result1.accepted()) {
+    std::printf("node unhealthy; refusing to ship firmware\n");
+    return 1;
+  }
+
+  // --- Step 2: install version 2 and re-enroll the expected image ----------
+  std::printf("shipping firmware v2 (%zu words)...\n", std::size_t{1400});
+  std::vector<std::uint32_t> firmware_v2(1400, 0x00020000u);
+  for (std::size_t i = 0; i < firmware_v2.size(); i += 3) {
+    firmware_v2[i] ^= static_cast<std::uint32_t>(i);
+  }
+  // The verifier updates its reference image; the delay table H and the
+  // honest cycle count are unchanged (same die, same SWAT program).
+  auto record_v2 = record_v1;
+  record_v2.enrolled_image = core::make_enrolled_image(profile, firmware_v2);
+  core::Verifier verifier_v2(record_v2, code);
+
+  // --- Step 3: post-install attestation against the NEW image --------------
+  core::CpuProver prover_v2(device, record_v2,
+                            core::CpuProver::Variant::kHonest, 2);
+  const auto request2 = verifier_v2.make_request(rng);
+  const auto outcome2 = prover_v2.respond(request2);
+  const auto result2 = verifier_v2.verify(request2, outcome2.response,
+                                          elapsed_with_radio(radio, outcome2));
+  std::printf("post-update attestation (v2 image): %s\n",
+              core::to_string(result2.status));
+
+  // --- Step 4: a node that silently kept v1 fails against the v2 image -----
+  core::CpuProver stale(device, record_v1, core::CpuProver::Variant::kHonest, 3);
+  const auto request3 = verifier_v2.make_request(rng);
+  const auto outcome3 = stale.respond(request3);
+  const auto result3 = verifier_v2.verify(request3, outcome3.response,
+                                          elapsed_with_radio(radio, outcome3));
+  std::printf("node that skipped the update: %s\n",
+              core::to_string(result3.status));
+
+  return result2.accepted() && !result3.accepted() ? 0 : 1;
+}

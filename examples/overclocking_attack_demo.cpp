@@ -1,0 +1,70 @@
+// Overclocking-attack walkthrough (paper Section 4.2): an adversary hides
+// malware with memory redirection, then cranks the clock to squeeze the
+// extra cycles back inside the verifier's time bound — and runs into the
+// PUF's setup-time wall.
+#include <cstdio>
+
+#include "core/enrollment.hpp"
+#include "core/protocol.hpp"
+#include "ecc/reed_muller.hpp"
+#include "support/table.hpp"
+
+using namespace pufatt;
+
+int main() {
+  std::printf("The overclocking attack, step by step\n"
+              "=====================================\n\n");
+
+  const ecc::ReedMuller1 code(5);
+  auto profile = core::DeviceProfile::standard();
+  profile.swat.rounds = 1024;
+  profile.swat.attest_words = 2048;
+  profile.layout = swat::SwatLayout::standard(profile.swat);
+
+  support::Xoshiro256pp rng(11);
+  const alupuf::PufDevice device(profile.puf_config, 0x0C10C7, code);
+  const auto record = core::enroll(
+      device, profile,
+      core::make_enrolled_image(profile, std::vector<std::uint32_t>(1200, 5)));
+  const core::Verifier verifier(record, code);
+  const core::Channel radio;
+
+  const double base = record.profile.base_clock_mhz;
+  const double t_alu =
+      device.raw_puf().max_settle_ps(variation::Environment::nominal());
+  std::printf("enrolled base clock: %.0f MHz (cycle %.0f ps)\n", base,
+              1e6 / base);
+  std::printf("worst-case ALU settle time T_ALU: %.0f ps + 20 ps setup\n",
+              t_alu);
+  std::printf("-> headroom before PUF corruption: %.1f%%\n\n",
+              (1e6 / base - 20.0) / t_alu * 100.0 - 100.0);
+
+  std::printf("the redirection malware needs ~16%% extra cycles per round;\n"
+              "the verifier tolerates 3%%.  The adversary sweeps the clock:\n\n");
+
+  support::Table table({"prover clock", "compute time", "verdict"});
+  for (const double mult : {1.00, 1.08, 1.16, 1.25, 1.60}) {
+    core::CpuProver attacker(device, record,
+                             core::CpuProver::Variant::kRedirectMalware,
+                             static_cast<std::uint64_t>(mult * 100),
+                             base * mult);
+    const auto request = verifier.make_request(rng);
+    const auto outcome = attacker.respond(request);
+    const double elapsed =
+        outcome.compute_us +
+        radio.round_trip_us(8, outcome.response.wire_bytes());
+    const auto result = verifier.verify(request, outcome.response, elapsed);
+    table.add_row({support::Table::num(mult, 2) + "x base",
+                   support::Table::num(outcome.compute_us, 1) + " us",
+                   core::to_string(result.status)});
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  std::printf(
+      "at low clocks the extra redirection work blows the time bound; at\n"
+      "clocks high enough to hide it, the carry-chain races no longer\n"
+      "settle before the capture edge and the PUF returns garbage — the\n"
+      "verifier sees reconstruction distances far outside the honest noise\n"
+      "envelope.  There is no clock at which both checks pass.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Quickstart: manufacture a PUFatt device, enroll it, run one remote
+// attestation and inspect the result.
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+
+#include "core/enrollment.hpp"
+#include "core/protocol.hpp"
+#include "ecc/reed_muller.hpp"
+
+using namespace pufatt;
+
+int main() {
+  std::printf("PUFatt quickstart\n=================\n\n");
+
+  // 1. The helper-data code: RM(1,5) = [32,6,16] (the paper's
+  //    "BCH[32,6,16]").  It must outlive every device/verifier using it.
+  const ecc::ReedMuller1 code(5);
+
+  // 2. Device model: 32-bit ALU PUF, SWAT parameters, memory layout.
+  const auto profile = core::DeviceProfile::standard();
+
+  // 3. Manufacture one die.  The chip seed stands in for the fab lottery:
+  //    every seed yields a physically distinct, unclonable device.
+  const alupuf::PufDevice device(profile.puf_config, /*chip_seed=*/0xC0FFEE,
+                                 code);
+
+  // 4. Enrollment (trusted manufacturer): extract the gate-level delay
+  //    table H, fix the shipped software image, measure the honest cycle
+  //    count and set the per-die base clock just above T_ALU + T_set.
+  std::vector<std::uint32_t> firmware(2000, 0xF1A5'0001u);
+  const auto record = core::enroll(
+      device, profile, core::make_enrolled_image(profile, firmware));
+  std::printf("enrolled: %zu-word attested image, %llu honest cycles, "
+              "base clock %.0f MHz\n",
+              record.enrolled_image.size(),
+              static_cast<unsigned long long>(record.honest_cycles),
+              record.profile.base_clock_mhz);
+
+  // 5. The verifier holds the enrollment record (and nothing secret ever
+  //    leaves the device at runtime).
+  const core::Verifier verifier(record, code);
+
+  // 6. One attestation round trip over a 250 kbit/s sensor-node channel.
+  support::Xoshiro256pp rng(42);
+  core::CpuProver prover(device, record, core::CpuProver::Variant::kHonest,
+                         /*rng_seed=*/1);
+  const core::Channel channel;
+
+  const auto request = verifier.make_request(rng);
+  std::printf("\nverifier -> prover: nonce %016llx\n",
+              static_cast<unsigned long long>(request.nonce));
+
+  const auto outcome = prover.respond(request);
+  std::printf("prover: SWAT ran %llu cycles (%.1f us), %zu helper words\n",
+              static_cast<unsigned long long>(outcome.cycles),
+              outcome.compute_us, outcome.response.helper_words.size());
+
+  const double elapsed =
+      outcome.compute_us +
+      channel.round_trip_us(8, outcome.response.wire_bytes());
+  const auto result = verifier.verify(request, outcome.response, elapsed);
+  std::printf("verifier: %s (elapsed %.0f us, deadline %.0f us)\n",
+              core::to_string(result.status), result.elapsed_us,
+              result.deadline_us);
+
+  // 7. Sanity: a different die answering the same request is rejected.
+  const alupuf::PufDevice impostor(profile.puf_config, 0xBADD1E, code);
+  core::CpuProver impostor_prover(impostor, record,
+                                  core::CpuProver::Variant::kHonest, 2);
+  const auto forged = impostor_prover.respond(request);
+  const auto forged_result = verifier.verify(
+      request, forged.response,
+      forged.compute_us + channel.round_trip_us(8, forged.response.wire_bytes()));
+  std::printf("impostor die: %s\n", core::to_string(forged_result.status));
+
+  return result.accepted() && !forged_result.accepted() ? 0 : 1;
+}

@@ -1,0 +1,87 @@
+#include "alupuf/aging_tuner.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace pufatt::alupuf {
+
+namespace {
+
+/// Mean signed margin per bit over a probe set (noise-free deltas).
+std::vector<double> mean_margins(const AluPuf& puf, std::size_t probes,
+                                 support::Xoshiro256pp& rng) {
+  std::vector<double> mean(puf.response_bits(), 0.0);
+  const auto env = variation::Environment::nominal();
+  for (std::size_t p = 0; p < probes; ++p) {
+    const auto challenge =
+        support::BitVector::random(puf.challenge_bits(), rng);
+    const auto deltas = puf.race_deltas(challenge, env);
+    for (std::size_t i = 0; i < deltas.size(); ++i) mean[i] += deltas[i];
+  }
+  for (auto& m : mean) m /= static_cast<double>(probes);
+  return mean;
+}
+
+double mean_abs_margin(const AluPuf& puf, std::size_t probes,
+                       support::Xoshiro256pp& rng) {
+  double total = 0.0;
+  const auto env = variation::Environment::nominal();
+  for (std::size_t p = 0; p < probes; ++p) {
+    const auto challenge =
+        support::BitVector::random(puf.challenge_bits(), rng);
+    for (const auto d : puf.race_deltas(challenge, env)) {
+      total += std::abs(d);
+    }
+  }
+  return total / (static_cast<double>(probes) *
+                  static_cast<double>(puf.response_bits()));
+}
+
+double flip_rate(const AluPuf& puf, std::size_t probes,
+                 support::Xoshiro256pp& rng) {
+  std::size_t flips = 0;
+  const auto env = variation::Environment::nominal();
+  for (std::size_t p = 0; p < probes; ++p) {
+    const auto challenge =
+        support::BitVector::random(puf.challenge_bits(), rng);
+    flips += puf.eval(challenge, env, rng)
+                 .hamming_distance(puf.eval(challenge, env, rng));
+  }
+  return static_cast<double>(flips) /
+         (static_cast<double>(probes) *
+          static_cast<double>(puf.response_bits()));
+}
+
+}  // namespace
+
+AgingTuneReport tune_by_aging(AluPuf& puf, const AgingTuneParams& params,
+                              support::Xoshiro256pp& rng) {
+  AgingTuneReport report;
+  report.mean_abs_margin_before =
+      mean_abs_margin(puf, params.probe_challenges, rng);
+  report.flip_rate_before = flip_rate(puf, params.probe_challenges, rng);
+
+  for (std::size_t round = 0; round < params.rounds; ++round) {
+    const auto margins = mean_margins(puf, params.probe_challenges, rng);
+    bool any = false;
+    for (std::size_t bit = 0; bit < margins.size(); ++bit) {
+      if (std::abs(margins[bit]) >= params.margin_threshold_ps) continue;
+      // Widen the margin in its current direction: delta = t1 - t0, so a
+      // positive margin grows by slowing ALU1's stage, a negative one by
+      // slowing ALU0's.  (A zero margin gets pushed positive: stress ALU1.)
+      const bool stress_alu1 = margins[bit] >= 0.0;
+      puf.apply_stage_stress(bit, stress_alu1, params.stress_duty,
+                             params.stress_hours, params.aging);
+      ++report.stress_actions;
+      any = true;
+    }
+    if (!any) break;
+  }
+
+  report.mean_abs_margin_after =
+      mean_abs_margin(puf, params.probe_challenges, rng);
+  report.flip_rate_after = flip_rate(puf, params.probe_challenges, rng);
+  return report;
+}
+
+}  // namespace pufatt::alupuf

@@ -1,0 +1,47 @@
+// Aging-based response tuning (Kong & Koushanfar, IEEE TETC 2013 — the
+// paper's reference [13], by the same first author).
+//
+// Marginal response bits — those whose two raced paths settle within the
+// arbiter's metastability window for many challenges — dominate the
+// intra-chip Hamming distance.  Directed NBTI stress slows the currently
+// *slower* path further, widening the margin in its existing direction and
+// freezing the bit's value without changing it.  Tuning happens once,
+// post-fabrication, before enrollment (the delay table H is extracted
+// afterwards, so the verifier sees the tuned chip).
+#pragma once
+
+#include <cstddef>
+
+#include "alupuf/alu_puf.hpp"
+#include "variation/aging.hpp"
+
+namespace pufatt::alupuf {
+
+struct AgingTuneParams {
+  /// Bits whose mean |margin| over the probe set is below this get tuned.
+  double margin_threshold_ps = 5.0;
+  /// Stress applied per tuning action (continuous burn-in).
+  double stress_hours = 1000.0;
+  double stress_duty = 1.0;
+  /// Challenges probed per measurement pass.
+  std::size_t probe_challenges = 200;
+  /// Measure -> stress rounds (stressing a stage shifts downstream bits,
+  /// so tuning iterates).
+  std::size_t rounds = 4;
+  variation::AgingParams aging;
+};
+
+struct AgingTuneReport {
+  std::size_t stress_actions = 0;      ///< stage stresses applied
+  double mean_abs_margin_before = 0.0; ///< ps, averaged over bits/challenges
+  double mean_abs_margin_after = 0.0;
+  double flip_rate_before = 0.0;       ///< per-bit repeat-eval flip rate
+  double flip_rate_after = 0.0;
+};
+
+/// Runs the measure-and-stress loop on a physical PUF.  Deterministic given
+/// the RNG state.  Returns the before/after stability summary.
+AgingTuneReport tune_by_aging(AluPuf& puf, const AgingTuneParams& params,
+                              support::Xoshiro256pp& rng);
+
+}  // namespace pufatt::alupuf

@@ -1,0 +1,172 @@
+#include "alupuf/alu_puf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pufatt::alupuf {
+
+namespace {
+
+bool same_env(const variation::Environment& a, const variation::Environment& b) {
+  return a.vdd_scale == b.vdd_scale && a.temperature_c == b.temperature_c;
+}
+
+}  // namespace
+
+AluPuf::AluPuf(const AluPufConfig& config, std::uint64_t chip_seed)
+    : config_(config),
+      circuit_(netlist::build_alu_puf_circuit(config.width, config.layout)),
+      chip_(circuit_.net, config.tech, config.quadtree, chip_seed),
+      sim_(circuit_.net),
+      arbiter_(config.arbiter) {}
+
+std::vector<bool> AluPuf::to_input_vector(const Challenge& challenge) const {
+  if (challenge.size() != challenge_bits()) {
+    throw std::invalid_argument("AluPuf: challenge must be 2*width bits");
+  }
+  std::vector<bool> in(challenge.size());
+  for (std::size_t i = 0; i < challenge.size(); ++i) in[i] = challenge.get(i);
+  return in;
+}
+
+const timingsim::DelaySet& AluPuf::nominal_for(
+    const variation::Environment& env) const {
+  if (!has_cache_ || !same_env(env, cached_env_)) {
+    chip_.nominal_delays(env, cached_nominal_);
+    cached_env_ = env;
+    has_cache_ = true;
+  }
+  return cached_nominal_;
+}
+
+RawResponse AluPuf::eval(const Challenge& challenge,
+                         const variation::Environment& env,
+                         support::Xoshiro256pp& rng,
+                         const ClockConstraint* clock) const {
+  const auto in = to_input_vector(challenge);
+  const auto& nominal = nominal_for(env);
+  chip_.sample_delays(nominal, config_.noise, rng, scratch_delays_);
+  sim_.run(in, scratch_delays_, scratch_states_);
+
+  RawResponse response(config_.width);
+  const double deadline =
+      clock != nullptr ? clock->cycle_ps - clock->setup_ps : 0.0;
+  for (std::size_t i = 0; i < config_.width; ++i) {
+    const double t0 = scratch_states_[circuit_.race0[i]].time_ps;
+    const double t1 = scratch_states_[circuit_.race1[i]].time_ps;
+    if (clock != nullptr && std::min(t0, t1) > deadline) {
+      // Neither transition reached the arbiter before the capture edge:
+      // the register samples a signal mid-flight and resolves metastably —
+      // an unbiased coin, wrong half the time regardless of the expected
+      // bit.  This is the setup-violation failure mode that defeats
+      // overclocking attacks (paper Section 4.2).
+      response.set(i, rng.bernoulli(0.5));
+      continue;
+    }
+    response.set(i, arbiter_.sample(t1 - t0, rng));
+  }
+  return response;
+}
+
+std::vector<double> AluPuf::race_deltas(const Challenge& challenge,
+                                        const variation::Environment& env) const {
+  const auto in = to_input_vector(challenge);
+  sim_.run(in, nominal_for(env), scratch_states_);
+  std::vector<double> deltas(config_.width);
+  for (std::size_t i = 0; i < config_.width; ++i) {
+    deltas[i] = scratch_states_[circuit_.race1[i]].time_ps -
+                scratch_states_[circuit_.race0[i]].time_ps;
+  }
+  return deltas;
+}
+
+double AluPuf::max_settle_ps(const variation::Environment& env) const {
+  // All-propagate challenge: a = all ones, b = 1 -> full-length carry chain.
+  Challenge challenge(challenge_bits());
+  for (std::size_t i = 0; i < config_.width; ++i) challenge.set(i, true);
+  challenge.set(config_.width, true);
+  const auto in = to_input_vector(challenge);
+  sim_.run(in, nominal_for(env), scratch_states_);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < config_.width; ++i) {
+    worst = std::max({worst, scratch_states_[circuit_.race0[i]].time_ps,
+                      scratch_states_[circuit_.race1[i]].time_ps});
+  }
+  return worst;
+}
+
+void AluPuf::age_uniformly(double duty, double hours,
+                           const variation::AgingParams& params) {
+  chip_.age_uniformly(duty, hours, params);
+  has_cache_ = false;  // delays changed
+}
+
+void AluPuf::apply_stage_stress(std::size_t bit, bool alu1, double duty,
+                                double hours,
+                                const variation::AgingParams& params) {
+  if (bit >= config_.width) {
+    throw std::invalid_argument("apply_stage_stress: bit out of range");
+  }
+  const auto& stage =
+      alu1 ? circuit_.stage_gates1[bit] : circuit_.stage_gates0[bit];
+  for (const auto gate : stage) {
+    chip_.apply_stress(gate, duty, hours, params);
+  }
+  has_cache_ = false;
+}
+
+AluPufEmulator::AluPufEmulator(std::size_t width, variation::DelayTable model,
+                               netlist::AluPufLayout layout)
+    : width_(width),
+      circuit_(netlist::build_alu_puf_circuit(width, layout)),
+      model_(std::move(model)),
+      sim_(circuit_.net) {
+  if (model_.intrinsic_ps.size() != circuit_.net.num_gates()) {
+    throw std::invalid_argument(
+        "AluPufEmulator: delay table does not match the PUF circuit "
+        "(wrong width or layout?)");
+  }
+}
+
+void AluPufEmulator::run_challenge(const Challenge& challenge,
+                                   const variation::Environment& env) const {
+  if (challenge.size() != 2 * width_) {
+    throw std::invalid_argument("AluPufEmulator: challenge must be 2*width bits");
+  }
+  if (!has_cache_ || cached_env_.vdd_scale != env.vdd_scale ||
+      cached_env_.temperature_c != env.temperature_c) {
+    cached_delays_ = variation::delays_from_table(model_, env);
+    cached_env_ = env;
+    has_cache_ = true;
+  }
+  std::vector<bool> in(challenge.size());
+  for (std::size_t i = 0; i < challenge.size(); ++i) in[i] = challenge.get(i);
+  sim_.run(in, cached_delays_, scratch_states_);
+}
+
+RawResponse AluPufEmulator::eval(const Challenge& challenge,
+                                 const variation::Environment& env) const {
+  run_challenge(challenge, env);
+  RawResponse response(width_);
+  for (std::size_t i = 0; i < width_; ++i) {
+    const double delta = scratch_states_[circuit_.race1[i]].time_ps -
+                         scratch_states_[circuit_.race0[i]].time_ps;
+    response.set(i, timingsim::Arbiter::decide(delta));
+  }
+  return response;
+}
+
+std::vector<double> AluPufEmulator::eval_soft(
+    const Challenge& challenge, const variation::Environment& env) const {
+  run_challenge(challenge, env);
+  std::vector<double> llr(width_);
+  for (std::size_t i = 0; i < width_; ++i) {
+    const double delta = scratch_states_[circuit_.race1[i]].time_ps -
+                         scratch_states_[circuit_.race0[i]].time_ps;
+    // Bit is 1 when delta > 0, and the LLR convention is positive = bit 0.
+    llr[i] = -delta;
+  }
+  return llr;
+}
+
+}  // namespace pufatt::alupuf

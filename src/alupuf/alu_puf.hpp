@@ -1,0 +1,153 @@
+// The ALU PUF (paper Section 2): two structurally identical ripple-carry
+// adder ALUs race the same challenge; per-bit arbiters decide which ALU's
+// sum bit settled first.
+//
+// AluPuf is the physical device: process variation, per-evaluation jitter,
+// arbiter metastability and (optionally) clock-induced setup violations —
+// the mechanism behind the paper's overclocking-attack resilience.
+// AluPufEmulator is the verifier's PUF.Emulate(): the same race computed
+// deterministically from the enrollment delay table H.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/builder.hpp"
+#include "support/bitvec.hpp"
+#include "support/rng.hpp"
+#include "timingsim/arbiter.hpp"
+#include "timingsim/timing_sim.hpp"
+#include "variation/chip.hpp"
+
+namespace pufatt::alupuf {
+
+/// A PUF challenge: the two add operands, `2*width` bits (a then b), as in
+/// the paper ("the add instruction reads the PUF challenge (operands) from
+/// the registers inside the CPU").
+using Challenge = support::BitVector;
+
+/// A raw (pre-correction, pre-obfuscation) PUF response: `width` bits, one
+/// per raced sum bit.
+using RawResponse = support::BitVector;
+
+struct AluPufConfig {
+  std::size_t width = 32;  ///< adder width = response bits
+  variation::TechnologyParams tech;
+  variation::QuadTreeConfig quadtree;
+  /// Noise and arbiter constants below are calibrated so the simulated
+  /// 32-bit PUF reproduces the paper's reported statistics (intra-chip HD
+  /// ~11.3%, metastability-dominated — see EXPERIMENTS.md).
+  variation::NoiseParams noise{.delay_jitter_ratio = 0.004};
+  timingsim::ArbiterParams arbiter{.meta_tau_ps = 0.85};
+  netlist::AluPufLayout layout;
+};
+
+/// Clock timing constraint for the response capture registers.  When the
+/// race has not produced a decision by (cycle - setup), the register
+/// latches garbage — the paper's T_ALU + T_set < T_cycle condition.
+struct ClockConstraint {
+  double cycle_ps = 0.0;   ///< clock period
+  double setup_ps = 20.0;  ///< register setup time
+};
+
+class AluPuf {
+ public:
+  /// Builds the dual-ALU circuit and manufactures one chip from
+  /// `chip_seed` (every seed is a distinct die).
+  AluPuf(const AluPufConfig& config, std::uint64_t chip_seed);
+
+  std::size_t response_bits() const { return config_.width; }
+  std::size_t challenge_bits() const { return 2 * config_.width; }
+
+  /// One physical evaluation: evaluation noise plus arbiter metastability.
+  /// If `clock` is non-null and a bit's race is undecided by the capture
+  /// deadline, that bit latches 0 (setup violation -> wrong response).
+  RawResponse eval(const Challenge& challenge,
+                   const variation::Environment& env,
+                   support::Xoshiro256pp& rng,
+                   const ClockConstraint* clock = nullptr) const;
+
+  /// Arrival-time difference (t_alu1 - t_alu0) per response bit, noise
+  /// free, at `env`.  Exposed for analysis and calibration.
+  std::vector<double> race_deltas(const Challenge& challenge,
+                                  const variation::Environment& env) const;
+
+  /// Worst-case settling time of any raced output at `env` (the T_ALU of
+  /// the paper's overclocking condition), measured over the all-propagate
+  /// challenge that maximizes the carry chain.
+  double max_settle_ps(const variation::Environment& env) const;
+
+  /// Manufacturer enrollment: exports the gate-level delay table H.
+  variation::DelayTable export_model() const { return chip_.export_delay_table(); }
+
+  /// Ambient aging of the whole die (NBTI drift in the field).
+  void age_uniformly(double duty, double hours,
+                     const variation::AgingParams& params);
+
+  /// Directed stress of one full-adder stage of one ALU (the mechanism of
+  /// aging-based response tuning, paper reference [13]): holding that
+  /// stage's inputs under stress raises its gates' Vth, slowing it and
+  /// widening the race margin of its (and downstream) bits.
+  void apply_stage_stress(std::size_t bit, bool alu1, double duty,
+                          double hours, const variation::AgingParams& params);
+
+  const AluPufConfig& config() const { return config_; }
+  const variation::ChipInstance& chip() const { return chip_; }
+  const netlist::AluPufCircuit& circuit() const { return circuit_; }
+
+ private:
+  AluPufConfig config_;
+  netlist::AluPufCircuit circuit_;
+  variation::ChipInstance chip_;
+  timingsim::TimingSimulator sim_;
+  timingsim::Arbiter arbiter_;
+  // Per-env delay cache: most experiments evaluate millions of challenges
+  // at a fixed operating point.
+  mutable variation::Environment cached_env_;
+  mutable bool has_cache_ = false;
+  mutable timingsim::DelaySet cached_nominal_;
+  mutable timingsim::DelaySet scratch_delays_;
+  mutable std::vector<timingsim::SignalState> scratch_states_;
+
+  const timingsim::DelaySet& nominal_for(const variation::Environment& env) const;
+  std::vector<bool> to_input_vector(const Challenge& challenge) const;
+};
+
+/// Verifier-side deterministic emulation from the enrollment model H.
+class AluPufEmulator {
+ public:
+  AluPufEmulator(std::size_t width, variation::DelayTable model,
+                 netlist::AluPufLayout layout = {});
+
+  std::size_t response_bits() const { return width_; }
+
+  /// Noise-free expected response at `env` (default: nominal conditions —
+  /// what the verifier assumes the prover runs at).
+  RawResponse eval(const Challenge& challenge,
+                   const variation::Environment& env =
+                       variation::Environment::nominal()) const;
+
+  /// Soft expected response: per-bit log-likelihood values where a positive
+  /// entry means "bit is 0" and the magnitude is the race margin in ps.
+  /// Bits the physical arbiter resolves near-randomly (tiny margin) come
+  /// out near zero, which is exactly the reliability information the
+  /// soft-decision helper-data reconstruction consumes.
+  std::vector<double> eval_soft(const Challenge& challenge,
+                                const variation::Environment& env =
+                                    variation::Environment::nominal()) const;
+
+ private:
+  void run_challenge(const Challenge& challenge,
+                     const variation::Environment& env) const;
+
+  std::size_t width_;
+  netlist::AluPufCircuit circuit_;
+  variation::DelayTable model_;
+  timingsim::TimingSimulator sim_;
+  mutable variation::Environment cached_env_;
+  mutable bool has_cache_ = false;
+  mutable timingsim::DelaySet cached_delays_;
+  mutable std::vector<timingsim::SignalState> scratch_states_;
+};
+
+}  // namespace pufatt::alupuf

@@ -1,0 +1,146 @@
+#include "alupuf/arbiter_puf.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pufatt::alupuf {
+
+using support::BitVector;
+
+ArbiterPuf::ArbiterPuf(const ArbiterPufParams& params, std::uint64_t chip_seed)
+    : params_(params), weights_(params.stages + 1) {
+  if (params.stages == 0) {
+    throw std::invalid_argument("ArbiterPuf: need at least one stage");
+  }
+  support::Xoshiro256pp rng(chip_seed);
+  for (auto& w : weights_) w = rng.gaussian(0.0, params.stage_sigma);
+}
+
+std::vector<double> ArbiterPuf::features(const BitVector& challenge) {
+  // phi[i] = prod_{j=i}^{n-1} (1 - 2 c_j); phi[n] = 1 (bias).
+  std::vector<double> phi(challenge.size() + 1);
+  double prod = 1.0;
+  phi[challenge.size()] = 1.0;
+  for (std::size_t i = challenge.size(); i-- > 0;) {
+    prod *= challenge.get(i) ? -1.0 : 1.0;
+    phi[i] = prod;
+  }
+  return phi;
+}
+
+double ArbiterPuf::delta(const BitVector& challenge) const {
+  if (challenge.size() != params_.stages) {
+    throw std::invalid_argument("ArbiterPuf: wrong challenge length");
+  }
+  const auto phi = features(challenge);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < weights_.size(); ++i) acc += weights_[i] * phi[i];
+  return acc;
+}
+
+bool ArbiterPuf::eval_ideal(const BitVector& challenge) const {
+  return delta(challenge) > 0.0;
+}
+
+bool ArbiterPuf::eval(const BitVector& challenge,
+                      support::Xoshiro256pp& rng) const {
+  return delta(challenge) + rng.gaussian(0.0, params_.noise_sigma) > 0.0;
+}
+
+FeedForwardArbiterPuf::FeedForwardArbiterPuf(const FeedForwardParams& params,
+                                             std::uint64_t chip_seed)
+    : params_(params),
+      straight_top_(params.stages),
+      straight_bot_(params.stages),
+      crossed_top_(params.stages),
+      crossed_bot_(params.stages) {
+  if (params.stages == 0) {
+    throw std::invalid_argument("FeedForwardArbiterPuf: need >= 1 stage");
+  }
+  for (const auto& loop : params.loops) {
+    if (loop.from >= loop.to || loop.to >= params.stages) {
+      throw std::invalid_argument("FeedForwardArbiterPuf: bad loop indices");
+    }
+  }
+  std::sort(params_.loops.begin(), params_.loops.end(),
+            [](const auto& a, const auto& b) { return a.from < b.from; });
+  support::Xoshiro256pp rng(chip_seed);
+  for (std::size_t i = 0; i < params.stages; ++i) {
+    straight_top_[i] = rng.gaussian(10.0, params.stage_sigma);
+    straight_bot_[i] = rng.gaussian(10.0, params.stage_sigma);
+    crossed_top_[i] = rng.gaussian(10.0, params.stage_sigma);
+    crossed_bot_[i] = rng.gaussian(10.0, params.stage_sigma);
+  }
+}
+
+bool FeedForwardArbiterPuf::eval_impl(const BitVector& challenge,
+                                      support::Xoshiro256pp* rng) const {
+  if (challenge.size() != params_.stages) {
+    throw std::invalid_argument("FeedForwardArbiterPuf: wrong challenge length");
+  }
+  // Track arrival times of the two racing edges through the switch chain.
+  double top = 0.0;
+  double bot = 0.0;
+  // Effective select bits (feed-forward loops may override).
+  std::vector<bool> select(params_.stages);
+  for (std::size_t i = 0; i < params_.stages; ++i) select[i] = challenge.get(i);
+
+  std::size_t next_loop = 0;
+  const auto& loops = params_.loops;  // sorted by `from` in the constructor
+  for (std::size_t i = 0; i < params_.stages; ++i) {
+    if (select[i]) {
+      const double new_top = bot + crossed_top_[i];
+      const double new_bot = top + crossed_bot_[i];
+      top = new_top;
+      bot = new_bot;
+    } else {
+      top += straight_top_[i];
+      bot += straight_bot_[i];
+    }
+    while (next_loop < loops.size() && loops[next_loop].from == i) {
+      // Intermediate arbiter samples the race so far and drives a later
+      // stage's select input.
+      double gap = bot - top;
+      if (rng != nullptr) gap += rng->gaussian(0.0, params_.noise_sigma);
+      select[loops[next_loop].to] = gap > 0.0;
+      ++next_loop;
+    }
+  }
+  double gap = bot - top;
+  if (rng != nullptr) gap += rng->gaussian(0.0, params_.noise_sigma);
+  return gap > 0.0;
+}
+
+bool FeedForwardArbiterPuf::eval_ideal(const BitVector& challenge) const {
+  return eval_impl(challenge, nullptr);
+}
+
+bool FeedForwardArbiterPuf::eval(const BitVector& challenge,
+                                 support::Xoshiro256pp& rng) const {
+  return eval_impl(challenge, &rng);
+}
+
+XorArbiterPuf::XorArbiterPuf(std::size_t k, const ArbiterPufParams& params,
+                             std::uint64_t chip_seed) {
+  if (k == 0) throw std::invalid_argument("XorArbiterPuf: k must be >= 1");
+  chains_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    chains_.emplace_back(params,
+                         support::SplitMix64::mix(chip_seed + 0x9E37 * i));
+  }
+}
+
+bool XorArbiterPuf::eval_ideal(const support::BitVector& challenge) const {
+  bool out = false;
+  for (const auto& chain : chains_) out = out != chain.eval_ideal(challenge);
+  return out;
+}
+
+bool XorArbiterPuf::eval(const support::BitVector& challenge,
+                         support::Xoshiro256pp& rng) const {
+  bool out = false;
+  for (const auto& chain : chains_) out = out != chain.eval(challenge, rng);
+  return out;
+}
+
+}  // namespace pufatt::alupuf

@@ -1,0 +1,120 @@
+// Baseline delay PUFs used for the paper's comparisons:
+//   * the classic Arbiter PUF (Gassend et al., CCS 2002 — paper ref [7]),
+//     which the ALU PUF's construction mirrors;
+//   * the Feed-Forward Arbiter PUF (Maes & Verbauwhede — paper ref [17]),
+//     the design the paper benchmarks its HD numbers against
+//     (38 % inter-chip, 9.8 % intra-chip).
+//
+// Both use the standard additive linear delay model: each stage contributes
+// a challenge-dependent delay difference, and the response is the sign of
+// the accumulated difference plus measurement noise.  The linear model is
+// also what makes the plain Arbiter PUF learnable by logistic regression
+// (Ruehrmair et al., CCS 2010 — paper ref [27]), which the ML-attack bench
+// demonstrates.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/bitvec.hpp"
+#include "support/rng.hpp"
+
+namespace pufatt::alupuf {
+
+struct ArbiterPufParams {
+  std::size_t stages = 64;
+  double stage_sigma = 1.0;   ///< per-stage delay-difference spread
+  double noise_sigma = 0.05;  ///< per-evaluation additive noise (in stage units)
+};
+
+class ArbiterPuf {
+ public:
+  ArbiterPuf(const ArbiterPufParams& params, std::uint64_t chip_seed);
+
+  std::size_t challenge_bits() const { return params_.stages; }
+
+  /// Accumulated delay difference for a challenge (noise free).
+  double delta(const support::BitVector& challenge) const;
+
+  /// Noise-free response (sign of delta).
+  bool eval_ideal(const support::BitVector& challenge) const;
+
+  /// Noisy physical response.
+  bool eval(const support::BitVector& challenge,
+            support::Xoshiro256pp& rng) const;
+
+  /// The parity feature map that linearizes the arbiter PUF: phi[i] =
+  /// prod_{j>=i} (-1)^{c_j}, plus a constant term.  delta() is an exact
+  /// linear function of these features — the handle for modeling attacks.
+  static std::vector<double> features(const support::BitVector& challenge);
+
+  const ArbiterPufParams& params() const { return params_; }
+
+ private:
+  ArbiterPufParams params_;
+  /// Stage weights in the parity-feature domain (stages + 1 values).
+  std::vector<double> weights_;
+};
+
+struct FeedForwardParams {
+  std::size_t stages = 64;
+  double stage_sigma = 1.0;
+  double noise_sigma = 0.05;
+  /// Feed-forward loops: the race outcome at stage `from` overrides the
+  /// challenge bit at stage `to` (from < to).
+  struct Loop {
+    std::size_t from = 0;
+    std::size_t to = 0;
+  };
+  std::vector<Loop> loops{{15, 47}, {31, 63}};
+};
+
+class FeedForwardArbiterPuf {
+ public:
+  FeedForwardArbiterPuf(const FeedForwardParams& params,
+                        std::uint64_t chip_seed);
+
+  std::size_t challenge_bits() const { return params_.stages; }
+
+  bool eval_ideal(const support::BitVector& challenge) const;
+  bool eval(const support::BitVector& challenge,
+            support::Xoshiro256pp& rng) const;
+
+  const FeedForwardParams& params() const { return params_; }
+
+ private:
+  /// Evaluates with optional per-evaluation noise injected into every
+  /// intermediate arbiter decision as well as the final one.
+  bool eval_impl(const support::BitVector& challenge,
+                 support::Xoshiro256pp* rng) const;
+
+  FeedForwardParams params_;
+  /// Per-stage (top, bottom) segment delays for the two path polarities:
+  /// stage i contributes delay_straight_[i] when c_i = 0 (paths go
+  /// straight) or delay_crossed_[i] when c_i = 1 (paths cross).
+  std::vector<double> straight_top_, straight_bot_;
+  std::vector<double> crossed_top_, crossed_bot_;
+};
+
+/// XOR Arbiter PUF (Suh & Devadas, DAC 2007 — the paper's reference [34],
+/// whose XOR trick the ALU PUF's obfuscation network adopts): k independent
+/// arbiter chains evaluate the same challenge and their outputs XOR into
+/// one response bit.  Modeling difficulty grows steeply with k, while
+/// noise also compounds — the classic reliability/security trade-off.
+class XorArbiterPuf {
+ public:
+  XorArbiterPuf(std::size_t k, const ArbiterPufParams& params,
+                std::uint64_t chip_seed);
+
+  std::size_t k() const { return chains_.size(); }
+  std::size_t challenge_bits() const { return chains_.front().challenge_bits(); }
+
+  bool eval_ideal(const support::BitVector& challenge) const;
+  bool eval(const support::BitVector& challenge,
+            support::Xoshiro256pp& rng) const;
+
+ private:
+  std::vector<ArbiterPuf> chains_;
+};
+
+}  // namespace pufatt::alupuf

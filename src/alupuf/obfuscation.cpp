@@ -1,0 +1,81 @@
+#include "alupuf/obfuscation.hpp"
+
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pufatt::alupuf {
+
+using support::BitVector;
+
+ObfuscationNetwork::ObfuscationNetwork(std::size_t response_bits,
+                                       Pairing pairing)
+    : two_n_(response_bits), pairing_(pairing) {
+  if (response_bits == 0 || response_bits % 2 != 0) {
+    throw std::invalid_argument(
+        "ObfuscationNetwork: response width must be even (2n)");
+  }
+  const std::size_t n = two_n_ / 2;
+  pairs_.reserve(n);
+  if (pairing_ == Pairing::kPaper) {
+    for (std::size_t i = 0; i < n; ++i) pairs_.emplace_back(i, i + n);
+  } else {
+    // Fixed pseudorandom matching (same on device and verifier): a
+    // Fisher-Yates shuffle from a compile-time constant seed.
+    std::vector<std::size_t> perm(two_n_);
+    std::iota(perm.begin(), perm.end(), 0);
+    support::Xoshiro256pp rng(0x0BF5'CA7E0ULL + two_n_);
+    for (std::size_t i = perm.size(); i > 1; --i) {
+      std::swap(perm[i - 1], perm[rng.uniform_u64(i)]);
+    }
+    for (std::size_t k = 0; k < n; ++k) {
+      pairs_.emplace_back(perm[2 * k], perm[2 * k + 1]);
+    }
+  }
+}
+
+BitVector ObfuscationNetwork::fold(const BitVector& response) const {
+  if (response.size() != two_n_) {
+    throw std::invalid_argument("ObfuscationNetwork::fold: wrong width");
+  }
+  BitVector folded(two_n_ / 2);
+  for (std::size_t k = 0; k < pairs_.size(); ++k) {
+    folded.set(k,
+               response.get(pairs_[k].first) != response.get(pairs_[k].second));
+  }
+  return folded;
+}
+
+namespace {
+
+/// Left-rotation of a BitVector (word width arbitrary).
+BitVector rotl_bits(const BitVector& v, std::size_t k) {
+  BitVector out(v.size());
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    out.set((i + k) % v.size(), v.get(i));
+  }
+  return out;
+}
+
+}  // namespace
+
+BitVector ObfuscationNetwork::obfuscate(
+    const std::array<BitVector, kResponsesPerOutput>& responses) const {
+  BitVector z(two_n_);
+  for (std::size_t j = 0; j < 4; ++j) {
+    // b_j = fold(y_{2j}) || fold(y_{2j+1}), low half first.
+    BitVector b = fold(responses[2 * j]).concat(fold(responses[2 * j + 1]));
+    if (pairing_ == Pairing::kHardened) {
+      // Rotate each word by a distinct amount before the phase-2 XOR so
+      // identical per-response error patterns cannot cancel pairwise (the
+      // second half of the degeneracy fix; see the Pairing doc comment).
+      b = rotl_bits(b, 5 * j);
+    }
+    z ^= b;
+  }
+  return z;
+}
+
+}  // namespace pufatt::alupuf

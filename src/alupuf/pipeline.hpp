@@ -1,0 +1,153 @@
+// The complete PUF() pipeline of the attestation protocol:
+//
+//   64-bit protocol challenge x
+//     -> ChallengeExpander -> 8 raw adder challenges
+//     -> AluPuf (physical race, noisy)           -> 8 raw responses y'_r
+//     -> SyndromeHelper (per response)           -> 8 helper words h_r
+//     -> ObfuscationNetwork                      -> output z
+//
+// PufDevice is the prover side; PufEmulator is the verifier side, which
+// reconstructs each exact y'_r from its emulated reference and h_r, then
+// applies the identical obfuscation.  PUF() in the paper's protocol figure
+// corresponds to PufDevice::query / PufEmulator::emulate.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "alupuf/alu_puf.hpp"
+#include "alupuf/obfuscation.hpp"
+#include "ecc/helper_data.hpp"
+#include "ecc/linear_code.hpp"
+
+namespace pufatt::alupuf {
+
+/// Deterministically expands a 64-bit protocol challenge into the 8 raw
+/// adder challenges one obfuscated output consumes.  Both protocol sides
+/// run this expansion, so only 64 bits travel in the protocol.
+class ChallengeExpander {
+ public:
+  static std::vector<Challenge> expand(std::uint64_t x, std::size_t width);
+};
+
+/// Result of one PUF() query on the prover.
+struct PufOutput {
+  support::BitVector z;  ///< obfuscated response (width bits)
+  /// Helper data per raw response; rides along with the attestation
+  /// response so the verifier can reconstruct the prover's noisy readings.
+  std::vector<support::BitVector> helpers;
+};
+
+/// Prover-side PUF(): physical ALU PUF + syndrome generator + obfuscation.
+class PufDevice {
+ public:
+  /// `code.n()` must equal `config.width` (e.g. RM(1,5) for width 32).
+  /// `code` must outlive the device.
+  PufDevice(const AluPufConfig& config, std::uint64_t chip_seed,
+            const ecc::BinaryCode& code);
+
+  /// One PUF() call: 8 physical evaluations at `env`.
+  PufOutput query(std::uint64_t challenge, const variation::Environment& env,
+                  support::Xoshiro256pp& rng,
+                  const ClockConstraint* clock = nullptr) const;
+
+  /// Same, but with the 8 raw adder challenges supplied directly — the path
+  /// the CPU's PUF port uses (each PUF-mode `add` carries one challenge in
+  /// its register operands).
+  PufOutput query_raw(
+      const std::array<Challenge, ObfuscationNetwork::kResponsesPerOutput>&
+          challenges,
+      const variation::Environment& env, support::Xoshiro256pp& rng,
+      const ClockConstraint* clock = nullptr) const;
+
+  /// Manufacturer enrollment: the delay table H handed to the verifier.
+  variation::DelayTable export_model() const { return puf_.export_model(); }
+
+  std::size_t output_bits() const { return obfuscation_.output_bits(); }
+  std::size_t helper_bits() const { return helper_.helper_bits(); }
+  const AluPuf& raw_puf() const { return puf_; }
+
+ private:
+  AluPuf puf_;
+  ecc::SyndromeHelper helper_;
+  ObfuscationNetwork obfuscation_;
+};
+
+/// Verifier-side PUF.Emulate(): delay-table emulation + helper-data
+/// reconstruction + obfuscation.
+///
+/// Besides recomputing z, the emulator enforces a *reconstruction distance
+/// budget*: the total Hamming distance between the reconstructed responses
+/// and the emulated references over one PUF() call must stay within the
+/// honest noise envelope.  This is the paper's "the attack will be detected
+/// by ... wrong responses from the ALU PUF": a reverse fuzzy extractor
+/// faithfully reconstructs whatever the prover measured, so corrupted
+/// (overclocked) or foreign (impostor) responses must be rejected by
+/// distance, not by decoding failure.
+class PufEmulator {
+ public:
+  PufEmulator(std::size_t width, variation::DelayTable model,
+              const ecc::BinaryCode& code,
+              netlist::AluPufLayout layout = {});
+
+  /// Maximum summed HD(reconstructed, reference) per PUF() call (8
+  /// responses).  Default 48 sits well above the honest mean (~22 for the
+  /// calibrated 32-bit PUF, max ~33 observed) while impostor transcripts
+  /// (~64) land beyond it.
+  void set_max_call_distance(std::size_t bits) { max_call_distance_ = bits; }
+  std::size_t max_call_distance() const { return max_call_distance_; }
+
+  /// Maximum *reliability-weighted* disagreement per PUF() call: the sum of
+  /// the emulated race margins (ps) over all bits where the reconstruction
+  /// disagrees with the reference.  An honest prover only disagrees on
+  /// low-margin (metastable) bits, so this sum stays tiny; corrupted or
+  /// foreign responses — and ML-decoding errors that snap onto a nearby
+  /// codeword — disagree on high-margin bits and blow the budget.  This is
+  /// a per-bit likelihood-ratio test and the protocol's main response
+  /// authenticity check (see DESIGN.md).  Default 60 ps = roughly honest
+  /// mean + 6 sigma for the calibrated model.
+  void set_max_weighted_distance(double ps) { max_weighted_distance_ps_ = ps; }
+  double max_weighted_distance() const { return max_weighted_distance_ps_; }
+
+  /// Recomputes z for a challenge given the prover's helper data; nullopt
+  /// when reconstruction fails (reference and measurement too far apart —
+  /// an honest-prover false negative or a forged transcript).
+  std::optional<support::BitVector> emulate(
+      std::uint64_t challenge,
+      const std::vector<support::BitVector>& helpers,
+      const variation::Environment& env =
+          variation::Environment::nominal()) const;
+
+  /// Raw-challenge variant matching PufDevice::query_raw.
+  std::optional<support::BitVector> emulate_raw(
+      const std::array<Challenge, ObfuscationNetwork::kResponsesPerOutput>&
+          challenges,
+      const std::vector<support::BitVector>& helpers,
+      const variation::Environment& env =
+          variation::Environment::nominal()) const;
+
+  /// Distance statistics of the most recent emulate/emulate_raw call —
+  /// verifiers aggregate these across a whole attestation transcript (the
+  /// summed statistic separates marginal overclocking far better than any
+  /// per-call threshold).
+  struct CallStats {
+    std::size_t distance = 0;
+    double weighted_ps = 0.0;
+  };
+  CallStats last_call_stats() const { return last_call_stats_; }
+
+  std::size_t output_bits() const { return obfuscation_.output_bits(); }
+  std::size_t helper_bits() const { return helper_.helper_bits(); }
+  const AluPufEmulator& raw_emulator() const { return emulator_; }
+
+ private:
+  AluPufEmulator emulator_;
+  ecc::SyndromeHelper helper_;
+  ObfuscationNetwork obfuscation_;
+  std::size_t max_call_distance_ = 48;
+  double max_weighted_distance_ps_ = 60.0;
+  mutable CallStats last_call_stats_{};
+};
+
+}  // namespace pufatt::alupuf

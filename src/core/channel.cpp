@@ -1,0 +1,23 @@
+#include "core/channel.hpp"
+
+#include <stdexcept>
+
+namespace pufatt::core {
+
+Channel::Channel(const ChannelParams& params) : params_(params) {
+  if (params.bandwidth_bps <= 0.0 || params.latency_us < 0.0) {
+    throw std::invalid_argument("Channel: bad parameters");
+  }
+}
+
+double Channel::transfer_us(std::size_t payload_bytes) const {
+  return params_.latency_us +
+         static_cast<double>(payload_bytes) * 8.0 / params_.bandwidth_bps * 1e6;
+}
+
+double Channel::round_trip_us(std::size_t request_bytes,
+                              std::size_t response_bytes) const {
+  return transfer_us(request_bytes) + transfer_us(response_bytes);
+}
+
+}  // namespace pufatt::core

@@ -1,0 +1,36 @@
+// Simulated communication channel between prover and verifier.
+//
+// The bandwidth model carries the weight of the paper's proxy-attack
+// argument: "the bandwidth of the communication interfaces of P is far
+// lower than the bandwidth of the interface between the CPU and the PUF",
+// so shipping every PUF output to a remote accomplice blows the time
+// bound.
+#pragma once
+
+#include <cstddef>
+
+namespace pufatt::core {
+
+struct ChannelParams {
+  double bandwidth_bps = 250'000.0;  ///< 250 kbit/s: typical sensor-node radio
+  double latency_us = 2'000.0;       ///< one-way latency
+};
+
+class Channel {
+ public:
+  explicit Channel(const ChannelParams& params = {});
+
+  /// One-way transfer time for a payload, microseconds.
+  double transfer_us(std::size_t payload_bytes) const;
+
+  /// Round-trip time for a request/response pair, microseconds.
+  double round_trip_us(std::size_t request_bytes,
+                       std::size_t response_bytes) const;
+
+  const ChannelParams& params() const { return params_; }
+
+ private:
+  ChannelParams params_;
+};
+
+}  // namespace pufatt::core

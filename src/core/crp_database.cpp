@@ -1,0 +1,63 @@
+#include "core/crp_database.hpp"
+
+namespace pufatt::core {
+
+CrpDatabase CrpDatabase::collect(const alupuf::AluPuf& device,
+                                 std::size_t count,
+                                 support::Xoshiro256pp& rng,
+                                 std::size_t challenges_per_entry) {
+  CrpDatabase db;
+  db.entries_.reserve(count);
+  const auto env = variation::Environment::nominal();
+  for (std::size_t i = 0; i < count; ++i) {
+    Entry entry;
+    for (std::size_t c = 0; c < challenges_per_entry; ++c) {
+      entry.challenges.push_back(
+          support::BitVector::random(device.challenge_bits(), rng));
+      entry.references.push_back(device.eval(entry.challenges.back(), env, rng));
+    }
+    db.entries_.push_back(std::move(entry));
+  }
+  return db;
+}
+
+CrpDatabase::AuthResult CrpDatabase::authenticate(
+    const alupuf::AluPuf& device, support::Xoshiro256pp& rng,
+    double threshold_fraction, const variation::Environment& env) {
+  AuthResult result;
+  for (auto& entry : entries_) {
+    if (entry.used) continue;
+    entry.used = true;  // single-use: consumed even on failure (anti-replay)
+    for (std::size_t c = 0; c < entry.challenges.size(); ++c) {
+      const auto response = device.eval(entry.challenges[c], env, rng);
+      result.distance += response.hamming_distance(entry.references[c]);
+      result.compared_bits += response.size();
+    }
+    result.accepted =
+        static_cast<double>(result.distance) <=
+        threshold_fraction * static_cast<double>(result.compared_bits);
+    return result;
+  }
+  result.exhausted = true;
+  return result;
+}
+
+std::size_t CrpDatabase::remaining() const {
+  std::size_t n = 0;
+  for (const auto& entry : entries_) {
+    if (!entry.used) ++n;
+  }
+  return n;
+}
+
+std::size_t CrpDatabase::storage_bytes() const {
+  if (entries_.empty()) return 0;
+  std::size_t bits = 0;
+  for (std::size_t c = 0; c < entries_.front().challenges.size(); ++c) {
+    bits += entries_.front().challenges[c].size() +
+            entries_.front().references[c].size();
+  }
+  return entries_.size() * ((bits + 7) / 8);
+}
+
+}  // namespace pufatt::core

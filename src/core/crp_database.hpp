@@ -1,0 +1,62 @@
+// Challenge/response-pair database verification (the paper's first PUF
+// verification option, Section 2).
+//
+// A trusted party records raw CRPs before deployment; later, a verifier
+// authenticates the device by replaying stored challenges and comparing
+// responses within a noise threshold.  Entries are single-use to prevent
+// replay.  The paper notes the drawbacks this module makes concrete:
+// storage grows linearly and the number of authentications is bounded —
+// which is why PUFatt itself uses the emulation model H instead.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alupuf/alu_puf.hpp"
+#include "support/rng.hpp"
+
+namespace pufatt::core {
+
+class CrpDatabase {
+ public:
+  /// Records `count` database entries from the genuine device at
+  /// enrollment time; each entry holds `challenges_per_entry` CRPs so one
+  /// authentication decision aggregates enough response bits to separate
+  /// the intra-chip noise (~11%) from the inter-chip distance (~36%)
+  /// reliably.  The stored references are single measurements.
+  static CrpDatabase collect(const alupuf::AluPuf& device, std::size_t count,
+                             support::Xoshiro256pp& rng,
+                             std::size_t challenges_per_entry = 8);
+
+  struct AuthResult {
+    bool accepted = false;
+    bool exhausted = false;    ///< no unused entries left
+    std::size_t distance = 0;  ///< summed HD over the entry's challenges
+    std::size_t compared_bits = 0;
+  };
+
+  /// Authenticates a device claiming to be the enrolled one: replays the
+  /// next unused entry's challenges and accepts iff the summed HD stays
+  /// under `threshold_fraction` of the compared bits (default 22%, between
+  /// between the intra-chip ~11% and inter-chip ~36% rates).
+  AuthResult authenticate(const alupuf::AluPuf& device,
+                          support::Xoshiro256pp& rng,
+                          double threshold_fraction = 0.22,
+                          const variation::Environment& env =
+                              variation::Environment::nominal());
+
+  std::size_t size() const { return entries_.size(); }
+  std::size_t remaining() const;
+  /// Storage footprint in bytes (the scalability drawback, quantified).
+  std::size_t storage_bytes() const;
+
+ private:
+  struct Entry {
+    std::vector<alupuf::Challenge> challenges;
+    std::vector<alupuf::RawResponse> references;
+    bool used = false;
+  };
+  std::vector<Entry> entries_;
+};
+
+}  // namespace pufatt::core

@@ -1,0 +1,125 @@
+#include "core/distributed.hpp"
+
+#include <stdexcept>
+
+#include "ecc/reed_muller.hpp"
+
+namespace pufatt::core {
+
+namespace {
+
+const ecc::ReedMuller1& shared_code() {
+  static const ecc::ReedMuller1 code(5);
+  return code;
+}
+
+}  // namespace
+
+DeviceProfile DistributedParams::small_profile() {
+  auto profile = DeviceProfile::standard();
+  profile.swat.rounds = 512;
+  profile.swat.puf_interval = 64;
+  profile.swat.attest_words = 1024;
+  profile.layout = swat::SwatLayout::standard(profile.swat);
+  return profile;
+}
+
+DistributedNetwork::DistributedNetwork(
+    const DistributedParams& params,
+    const std::vector<std::pair<std::size_t, NodeHealth>>& compromised,
+    std::uint64_t seed)
+    : params_(params), code_(&shared_code()) {
+  if (params.num_nodes < 3) {
+    throw std::invalid_argument("DistributedNetwork: need >= 3 nodes");
+  }
+  if (params.degree == 0 || 2 * params.degree >= params.num_nodes) {
+    throw std::invalid_argument("DistributedNetwork: bad ring degree");
+  }
+  if (params.quorum == 0 || params.quorum > 2 * params.degree) {
+    throw std::invalid_argument("DistributedNetwork: bad quorum");
+  }
+
+  // Shared firmware for the whole deployment.
+  support::Xoshiro256pp rng(seed);
+  std::vector<std::uint32_t> firmware(600);
+  for (auto& w : firmware) w = static_cast<std::uint32_t>(rng.next());
+  const auto image = make_enrolled_image(params.profile, firmware);
+
+  nodes_.resize(params.num_nodes);
+  for (std::size_t i = 0; i < params.num_nodes; ++i) {
+    Node& node = nodes_[i];
+    node.device = std::make_unique<alupuf::PufDevice>(
+        params.profile.puf_config, seed + 1000 + i, *code_);
+    node.record = enroll(*node.device, params.profile, image);
+    node.verifier_of_me =
+        std::make_unique<Verifier>(node.record, *code_, params.radio);
+  }
+  for (const auto& [index, health] : compromised) {
+    if (index >= nodes_.size()) {
+      throw std::invalid_argument("DistributedNetwork: bad compromised index");
+    }
+    nodes_[index].health = health;
+  }
+
+  // Provers reflect the ground truth.
+  for (std::size_t i = 0; i < params.num_nodes; ++i) {
+    Node& node = nodes_[i];
+    auto record = node.record;
+    auto variant = CpuProver::Variant::kHonest;
+    switch (node.health) {
+      case NodeHealth::kHealthy:
+        break;
+      case NodeHealth::kNaiveMalware:
+        for (std::size_t w = 700; w < 800 && w < record.enrolled_image.size();
+             ++w) {
+          record.enrolled_image[w] ^= 0xBAD0BAD0u;
+        }
+        break;
+      case NodeHealth::kHidingMalware:
+        variant = CpuProver::Variant::kRedirectMalware;
+        break;
+    }
+    node.prover = std::make_unique<CpuProver>(*node.device, record, variant,
+                                              seed + 5000 + i);
+  }
+
+  // k-connected ring adjacency.
+  adjacency_.resize(params.num_nodes);
+  for (std::size_t i = 0; i < params.num_nodes; ++i) {
+    for (std::size_t d = 1; d <= params.degree; ++d) {
+      adjacency_[i].push_back((i + d) % params.num_nodes);
+      adjacency_[i].push_back((i + params.num_nodes - d) % params.num_nodes);
+    }
+  }
+}
+
+std::vector<NodeVerdict> DistributedNetwork::run_round(
+    support::Xoshiro256pp& rng) {
+  std::vector<NodeVerdict> verdicts(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    verdicts[i].truth = nodes_[i].health;
+  }
+  const Channel radio(params_.radio);
+
+  for (std::size_t auditor = 0; auditor < nodes_.size(); ++auditor) {
+    for (const auto target : adjacency_[auditor]) {
+      // The auditor holds the target's enrollment record and runs the full
+      // PUFatt protocol against it over the radio.
+      const Verifier& verifier = *nodes_[target].verifier_of_me;
+      const auto request = verifier.make_request(rng);
+      const auto outcome = nodes_[target].prover->respond(request);
+      const double elapsed =
+          outcome.compute_us +
+          radio.round_trip_us(8, outcome.response.wire_bytes());
+      const auto result = verifier.verify(request, outcome.response, elapsed);
+      ++verdicts[target].audits;
+      if (!result.accepted()) ++verdicts[target].rejections;
+    }
+  }
+  for (auto& verdict : verdicts) {
+    verdict.convicted = verdict.rejections >= params_.quorum;
+  }
+  return verdicts;
+}
+
+}  // namespace pufatt::core

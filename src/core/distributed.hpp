@@ -1,0 +1,85 @@
+// Distributed software-based attestation (Yang et al., SRDS 2007 — the
+// paper's reference [37], one of its cited SWAT() instantiations).
+//
+// In a sensor network the powerful verifier is not always reachable, so
+// nodes attest *each other*: every node carries the enrollment records of
+// its neighbours (distributed at deployment), challenges them periodically
+// over the radio, and a node is convicted when a quorum of its neighbours
+// reject it.  Because each pairwise attestation is the full PUFatt
+// protocol, a compromised node can neither fake its own responses nor
+// (thanks to PUF binding) proxy them to an accomplice.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/enrollment.hpp"
+#include "core/protocol.hpp"
+
+namespace pufatt::core {
+
+/// Role a node plays in the experiment (ground truth).
+enum class NodeHealth {
+  kHealthy,
+  kNaiveMalware,     ///< tampered image, no hiding
+  kHidingMalware,    ///< memory-redirection attack
+};
+
+struct DistributedParams {
+  std::size_t num_nodes = 8;
+  /// Each node links to the next `degree` nodes in a ring (so every node
+  /// has 2*degree neighbours) — the standard k-connected ring topology.
+  std::size_t degree = 2;
+  /// Neighbours that must reject before a node is convicted.
+  std::size_t quorum = 2;
+  ChannelParams radio{.bandwidth_bps = 250'000.0, .latency_us = 3'000.0};
+  DeviceProfile profile = small_profile();
+
+  static DeviceProfile small_profile();
+};
+
+/// Per-node verdict after an audit round.
+struct NodeVerdict {
+  NodeHealth truth = NodeHealth::kHealthy;
+  std::size_t rejections = 0;  ///< neighbours that rejected this node
+  std::size_t audits = 0;      ///< neighbours that audited this node
+  bool convicted = false;
+};
+
+/// A simulated network of PUFatt nodes performing mutual attestation.
+class DistributedNetwork {
+ public:
+  /// Builds the fleet: distinct dice, shared firmware, per-pair verifier
+  /// state.  `compromised` assigns ground-truth roles by node index
+  /// (missing indices are healthy).
+  DistributedNetwork(const DistributedParams& params,
+                     const std::vector<std::pair<std::size_t, NodeHealth>>&
+                         compromised,
+                     std::uint64_t seed);
+
+  /// One audit round: every node challenges all of its neighbours.
+  /// Returns the verdicts (conviction = rejections >= quorum).
+  std::vector<NodeVerdict> run_round(support::Xoshiro256pp& rng);
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const std::vector<std::size_t>& neighbours(std::size_t node) const {
+    return adjacency_.at(node);
+  }
+
+ private:
+  struct Node {
+    std::unique_ptr<alupuf::PufDevice> device;
+    EnrollmentRecord record;           ///< this node's own enrollment
+    std::unique_ptr<CpuProver> prover; ///< how it actually answers
+    std::unique_ptr<Verifier> verifier_of_me;  ///< what neighbours hold
+    NodeHealth health = NodeHealth::kHealthy;
+  };
+
+  DistributedParams params_;
+  const ecc::BinaryCode* code_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<std::size_t>> adjacency_;
+};
+
+}  // namespace pufatt::core

@@ -1,0 +1,102 @@
+#include "core/puf_adapter.hpp"
+
+#include <stdexcept>
+
+namespace pufatt::core {
+
+using support::BitVector;
+
+alupuf::Challenge challenge_from_u64(std::uint64_t challenge) {
+  return BitVector(64, challenge);
+}
+
+std::uint32_t helper_to_word(const BitVector& helper) {
+  if (helper.size() > 32) {
+    throw std::invalid_argument("helper_to_word: helper exceeds 32 bits");
+  }
+  return static_cast<std::uint32_t>(helper.to_u64());
+}
+
+BitVector helper_from_word(std::uint32_t word, std::size_t helper_bits) {
+  return BitVector(helper_bits, word);
+}
+
+DevicePufPort::DevicePufPort(const alupuf::PufDevice& device,
+                             variation::Environment env,
+                             support::Xoshiro256pp& rng)
+    : device_(&device), env_(env), rng_(&rng) {
+  if (device.raw_puf().response_bits() != 32) {
+    throw std::invalid_argument(
+        "DevicePufPort: protocol requires a 32-bit PUF (64-bit challenges)");
+  }
+  for (auto& c : challenges_) c = BitVector(64);
+}
+
+void DevicePufPort::start() {
+  fed_ = 0;
+  cycle_ps_ = 0.0;
+}
+
+void DevicePufPort::feed(std::uint64_t challenge, double cycle_ps) {
+  if (fed_ < challenges_.size()) {
+    challenges_[fed_] = challenge_from_u64(challenge);
+  }
+  ++fed_;
+  cycle_ps_ = cycle_ps;
+}
+
+std::uint32_t DevicePufPort::finish(std::vector<std::uint32_t>& helper_words) {
+  if (fed_ != challenges_.size()) {
+    throw cpu::MachineError(
+        "PUF block: pend after " + std::to_string(fed_) +
+        " PUF-mode adds (hardware expects exactly 8)");
+  }
+  const alupuf::ClockConstraint clock{cycle_ps_, setup_ps_};
+  const auto out = device_->query_raw(challenges_, env_, *rng_, &clock);
+  helper_words.clear();
+  for (const auto& h : out.helpers) helper_words.push_back(helper_to_word(h));
+  return static_cast<std::uint32_t>(out.z.to_u64());
+}
+
+swat::PufQuery device_query(const alupuf::PufDevice& device,
+                            const variation::Environment& env,
+                            support::Xoshiro256pp& rng,
+                            std::vector<std::uint32_t>& transcript) {
+  return [&device, env, &rng, &transcript](
+             const std::array<std::uint64_t, 8>& challenges)
+             -> std::optional<std::uint32_t> {
+    std::array<alupuf::Challenge, 8> raw;
+    for (std::size_t r = 0; r < 8; ++r) raw[r] = challenge_from_u64(challenges[r]);
+    const auto out = device.query_raw(raw, env, rng);
+    for (const auto& h : out.helpers) transcript.push_back(helper_to_word(h));
+    return static_cast<std::uint32_t>(out.z.to_u64());
+  };
+}
+
+swat::PufQuery emulator_query(const alupuf::PufEmulator& emulator,
+                              const std::vector<std::uint32_t>& transcript,
+                              std::size_t& cursor,
+                              double* total_weighted_ps) {
+  return [&emulator, &transcript, &cursor, total_weighted_ps](
+             const std::array<std::uint64_t, 8>& challenges)
+             -> std::optional<std::uint32_t> {
+    if (cursor + 8 > transcript.size()) return std::nullopt;
+    const std::size_t helper_bits = emulator.helper_bits();
+    std::vector<support::BitVector> helpers;
+    helpers.reserve(8);
+    for (std::size_t h = 0; h < 8; ++h) {
+      helpers.push_back(helper_from_word(transcript[cursor + h], helper_bits));
+    }
+    cursor += 8;
+    std::array<alupuf::Challenge, 8> raw;
+    for (std::size_t r = 0; r < 8; ++r) raw[r] = challenge_from_u64(challenges[r]);
+    const auto z = emulator.emulate_raw(raw, helpers);
+    if (total_weighted_ps != nullptr) {
+      *total_weighted_ps += emulator.last_call_stats().weighted_ps;
+    }
+    if (!z) return std::nullopt;
+    return static_cast<std::uint32_t>(z->to_u64());
+  };
+}
+
+}  // namespace pufatt::core

@@ -1,0 +1,209 @@
+#include "core/serialize.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+namespace pufatt::core {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x50554154;  // "PUAT"
+constexpr std::uint32_t kVersion = 1;
+constexpr std::size_t kMaxVectorLen = 1u << 24;  // sanity bound on inputs
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  unsigned char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  out.write(reinterpret_cast<const char*>(bytes), 4);
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  write_u32(out, static_cast<std::uint32_t>(v));
+  write_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void write_f64(std::ostream& out, double v) {
+  static_assert(sizeof(double) == 8);
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  write_u64(out, bits);
+}
+
+void write_f64_vector(std::ostream& out, const std::vector<double>& v) {
+  write_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const auto x : v) write_f64(out, x);
+}
+
+void write_u32_vector(std::ostream& out, const std::vector<std::uint32_t>& v) {
+  write_u32(out, static_cast<std::uint32_t>(v.size()));
+  for (const auto x : v) write_u32(out, x);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  unsigned char bytes[4];
+  in.read(reinterpret_cast<char*>(bytes), 4);
+  if (!in) throw SerializationError("unexpected end of input");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(bytes[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t read_u64(std::istream& in) {
+  const std::uint64_t lo = read_u32(in);
+  const std::uint64_t hi = read_u32(in);
+  return lo | (hi << 32);
+}
+
+double read_f64(std::istream& in) {
+  const std::uint64_t bits = read_u64(in);
+  double v;
+  std::memcpy(&v, &bits, 8);
+  return v;
+}
+
+std::vector<double> read_f64_vector(std::istream& in) {
+  const std::uint32_t n = read_u32(in);
+  if (n > kMaxVectorLen) throw SerializationError("vector too large");
+  std::vector<double> v(n);
+  for (auto& x : v) x = read_f64(in);
+  return v;
+}
+
+std::vector<std::uint32_t> read_u32_vector(std::istream& in) {
+  const std::uint32_t n = read_u32(in);
+  if (n > kMaxVectorLen) throw SerializationError("vector too large");
+  std::vector<std::uint32_t> v(n);
+  for (auto& x : v) x = read_u32(in);
+  return v;
+}
+
+void write_tech(std::ostream& out, const variation::TechnologyParams& t) {
+  for (const double v :
+       {t.vdd_nominal_v, t.vth_nominal_v, t.vth_sigma_ratio, t.alpha,
+        t.temp_nominal_c, t.vth_temp_coeff, t.vth_temp_coeff_sigma,
+        t.mobility_exp, t.wire_fraction_mean, t.wire_fraction_sigma,
+        t.wire_temp_coeff, t.rise_fall_asym_sigma, t.design_asym_sigma}) {
+    write_f64(out, v);
+  }
+}
+
+variation::TechnologyParams read_tech(std::istream& in) {
+  variation::TechnologyParams t;
+  t.vdd_nominal_v = read_f64(in);
+  t.vth_nominal_v = read_f64(in);
+  t.vth_sigma_ratio = read_f64(in);
+  t.alpha = read_f64(in);
+  t.temp_nominal_c = read_f64(in);
+  t.vth_temp_coeff = read_f64(in);
+  t.vth_temp_coeff_sigma = read_f64(in);
+  t.mobility_exp = read_f64(in);
+  t.wire_fraction_mean = read_f64(in);
+  t.wire_fraction_sigma = read_f64(in);
+  t.wire_temp_coeff = read_f64(in);
+  t.rise_fall_asym_sigma = read_f64(in);
+  t.design_asym_sigma = read_f64(in);
+  return t;
+}
+
+}  // namespace
+
+void save_record(std::ostream& out, const EnrollmentRecord& record) {
+  write_u32(out, kMagic);
+  write_u32(out, kVersion);
+
+  // Profile.
+  const auto& p = record.profile;
+  write_u32(out, static_cast<std::uint32_t>(p.puf_config.width));
+  write_tech(out, p.puf_config.tech);
+  write_f64(out, p.puf_config.noise.delay_jitter_ratio);
+  write_f64(out, p.puf_config.arbiter.meta_tau_ps);
+  write_u32(out, p.swat.rounds);
+  write_u32(out, p.swat.puf_interval);
+  write_u32(out, p.swat.attest_words);
+  write_u32(out, p.layout.seed_addr);
+  write_u32(out, p.layout.result_addr);
+  write_u32(out, p.layout.helper_ptr_addr);
+  write_u32(out, p.layout.helper_addr);
+  write_f64(out, p.base_clock_mhz);
+  write_f64(out, p.clock_margin);
+  write_f64(out, p.register_setup_ps);
+
+  // Model H.
+  write_tech(out, record.model.tech);
+  write_f64_vector(out, record.model.intrinsic_ps);
+  write_f64_vector(out, record.model.wire_ps);
+  write_f64_vector(out, record.model.vth_v);
+  write_f64_vector(out, record.model.vth_tempco);
+  write_f64_vector(out, record.model.rise_factor);
+  write_f64_vector(out, record.model.fall_factor);
+
+  // Image + timing.
+  write_u32_vector(out, record.enrolled_image);
+  write_u64(out, record.honest_cycles);
+}
+
+EnrollmentRecord load_record(std::istream& in) {
+  if (read_u32(in) != kMagic) {
+    throw SerializationError("bad magic (not an enrollment record)");
+  }
+  if (read_u32(in) != kVersion) {
+    throw SerializationError("unsupported enrollment record version");
+  }
+  EnrollmentRecord record;
+  auto& p = record.profile;
+  p.puf_config.width = read_u32(in);
+  p.puf_config.tech = read_tech(in);
+  p.puf_config.noise.delay_jitter_ratio = read_f64(in);
+  p.puf_config.arbiter.meta_tau_ps = read_f64(in);
+  p.swat.rounds = read_u32(in);
+  p.swat.puf_interval = read_u32(in);
+  p.swat.attest_words = read_u32(in);
+  p.layout.seed_addr = read_u32(in);
+  p.layout.result_addr = read_u32(in);
+  p.layout.helper_ptr_addr = read_u32(in);
+  p.layout.helper_addr = read_u32(in);
+  p.base_clock_mhz = read_f64(in);
+  p.clock_margin = read_f64(in);
+  p.register_setup_ps = read_f64(in);
+
+  record.model.tech = read_tech(in);
+  record.model.intrinsic_ps = read_f64_vector(in);
+  record.model.wire_ps = read_f64_vector(in);
+  record.model.vth_v = read_f64_vector(in);
+  record.model.vth_tempco = read_f64_vector(in);
+  record.model.rise_factor = read_f64_vector(in);
+  record.model.fall_factor = read_f64_vector(in);
+
+  const std::size_t gates = record.model.intrinsic_ps.size();
+  if (record.model.wire_ps.size() != gates ||
+      record.model.vth_v.size() != gates ||
+      record.model.vth_tempco.size() != gates ||
+      record.model.rise_factor.size() != gates ||
+      record.model.fall_factor.size() != gates) {
+    throw SerializationError("delay table arrays have inconsistent sizes");
+  }
+
+  record.enrolled_image = read_u32_vector(in);
+  record.honest_cycles = read_u64(in);
+  if (record.enrolled_image.size() != record.profile.swat.attest_words) {
+    throw SerializationError("image size does not match the attested region");
+  }
+  return record;
+}
+
+void save_record_file(const std::string& path, const EnrollmentRecord& record) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw SerializationError("cannot open file for writing: " + path);
+  save_record(out, record);
+  if (!out) throw SerializationError("write failed: " + path);
+}
+
+EnrollmentRecord load_record_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw SerializationError("cannot open file: " + path);
+  return load_record(in);
+}
+
+}  // namespace pufatt::core

@@ -1,0 +1,36 @@
+// Binary serialization of enrollment state.
+//
+// A real deployment stores one EnrollmentRecord per device in the
+// verifier's database: the delay table H (the only secret in the system),
+// the expected memory image and the timing profile.  The format is a
+// little-endian tagged container with an explicit version, so databases
+// survive library upgrades; readers validate sizes and magic before
+// trusting any field.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "core/enrollment.hpp"
+
+namespace pufatt::core {
+
+/// Raised on malformed or incompatible input.
+class SerializationError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Writes a record to a binary stream.
+void save_record(std::ostream& out, const EnrollmentRecord& record);
+
+/// Reads a record; throws SerializationError on bad magic/version/shape.
+EnrollmentRecord load_record(std::istream& in);
+
+/// File-path convenience wrappers.
+void save_record_file(const std::string& path, const EnrollmentRecord& record);
+EnrollmentRecord load_record_file(const std::string& path);
+
+}  // namespace pufatt::core

@@ -1,0 +1,302 @@
+#include "cpu/assembler.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <optional>
+#include <sstream>
+
+#include "cpu/isa.hpp"
+
+namespace pufatt::cpu {
+
+namespace {
+
+struct Line {
+  std::size_t number = 0;
+  std::optional<std::string> label;
+  std::string mnemonic;
+  std::vector<std::string> operands;
+};
+
+std::string strip(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+bool valid_label(const std::string& s) {
+  if (s.empty() || (!std::isalpha(static_cast<unsigned char>(s[0])) &&
+                    s[0] != '_' && s[0] != '.')) {
+    return false;
+  }
+  return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+    return std::isalnum(c) || c == '_' || c == '.';
+  });
+}
+
+std::optional<Line> parse_line(std::size_t number, std::string text) {
+  // Strip comments.
+  for (const char marker : {';', '#'}) {
+    const auto pos = text.find(marker);
+    if (pos != std::string::npos) text = text.substr(0, pos);
+  }
+  text = strip(text);
+  if (text.empty()) return std::nullopt;
+
+  Line line;
+  line.number = number;
+
+  const auto colon = text.find(':');
+  if (colon != std::string::npos) {
+    const std::string label = strip(text.substr(0, colon));
+    if (!valid_label(label)) {
+      throw AssemblyError(number, "bad label '" + label + "'");
+    }
+    line.label = label;
+    text = strip(text.substr(colon + 1));
+    if (text.empty()) return line;
+  }
+
+  const auto space = text.find_first_of(" \t");
+  line.mnemonic = lower(space == std::string::npos ? text : text.substr(0, space));
+  if (space != std::string::npos) {
+    std::string rest = text.substr(space + 1);
+    std::string token;
+    std::istringstream stream(rest);
+    while (std::getline(stream, token, ',')) {
+      token = strip(token);
+      if (token.empty()) {
+        throw AssemblyError(number, "empty operand");
+      }
+      line.operands.push_back(token);
+    }
+  }
+  return line;
+}
+
+std::uint8_t parse_register(const Line& line, const std::string& token) {
+  const std::string t = lower(token);
+  if (t.size() < 2 || t[0] != 'r') {
+    throw AssemblyError(line.number, "expected register, got '" + token + "'");
+  }
+  int value = 0;
+  for (std::size_t i = 1; i < t.size(); ++i) {
+    if (!std::isdigit(static_cast<unsigned char>(t[i]))) {
+      throw AssemblyError(line.number, "bad register '" + token + "'");
+    }
+    value = value * 10 + (t[i] - '0');
+  }
+  if (value > 15) {
+    throw AssemblyError(line.number, "register out of range '" + token + "'");
+  }
+  return static_cast<std::uint8_t>(value);
+}
+
+std::int64_t parse_number(const Line& line, const std::string& token) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t value = std::stoll(token, &used, 0);
+    if (used != token.size()) {
+      throw AssemblyError(line.number, "bad number '" + token + "'");
+    }
+    return value;
+  } catch (const AssemblyError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw AssemblyError(line.number, "bad number '" + token + "'");
+  }
+}
+
+/// Resolves a branch/jump target: either a label (pc-relative offset) or a
+/// literal numeric offset.
+std::int32_t resolve_target(const Line& line, const std::string& token,
+                            const std::map<std::string, std::uint32_t>& labels,
+                            std::uint32_t pc) {
+  if (!token.empty() &&
+      (std::isdigit(static_cast<unsigned char>(token[0])) || token[0] == '-' ||
+       token[0] == '+')) {
+    return static_cast<std::int32_t>(parse_number(line, token));
+  }
+  const auto it = labels.find(token);
+  if (it == labels.end()) {
+    throw AssemblyError(line.number, "unknown label '" + token + "'");
+  }
+  return static_cast<std::int32_t>(it->second) - static_cast<std::int32_t>(pc);
+}
+
+/// "imm(rs1)" memory operand.
+std::pair<std::int32_t, std::uint8_t> parse_mem_operand(
+    const Line& line, const std::string& token) {
+  const auto open = token.find('(');
+  const auto close = token.find(')');
+  if (open == std::string::npos || close == std::string::npos ||
+      close < open || close != token.size() - 1) {
+    throw AssemblyError(line.number, "expected imm(rN), got '" + token + "'");
+  }
+  const std::string imm_part = strip(token.substr(0, open));
+  const std::string reg_part = strip(token.substr(open + 1, close - open - 1));
+  const std::int64_t imm = imm_part.empty() ? 0 : parse_number(line, imm_part);
+  return {static_cast<std::int32_t>(imm), parse_register(line, reg_part)};
+}
+
+const std::map<std::string, Opcode>& mnemonic_table() {
+  static const std::map<std::string, Opcode> table = [] {
+    std::map<std::string, Opcode> t;
+    for (int raw = 0; raw < 256; ++raw) {
+      try {
+        const Instruction probe = decode(static_cast<std::uint32_t>(raw) << 24);
+        t[mnemonic(probe.op)] = probe.op;
+      } catch (const std::invalid_argument&) {
+        // not an opcode
+      }
+    }
+    return t;
+  }();
+  return table;
+}
+
+void expect_operands(const Line& line, std::size_t count) {
+  if (line.operands.size() != count) {
+    throw AssemblyError(line.number,
+                        line.mnemonic + " expects " + std::to_string(count) +
+                            " operand(s), got " +
+                            std::to_string(line.operands.size()));
+  }
+}
+
+std::uint32_t encode_line(const Line& line,
+                          const std::map<std::string, std::uint32_t>& labels,
+                          std::uint32_t pc) {
+  const auto& table = mnemonic_table();
+  const auto it = table.find(line.mnemonic);
+  if (it == table.end()) {
+    throw AssemblyError(line.number, "unknown mnemonic '" + line.mnemonic + "'");
+  }
+  const Opcode op = it->second;
+  Instruction inst;
+  inst.op = op;
+  try {
+    switch (op) {
+      case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd:
+      case Opcode::kOr: case Opcode::kXor: case Opcode::kSll:
+      case Opcode::kSrl: case Opcode::kSra: case Opcode::kMul:
+      case Opcode::kSlt: case Opcode::kSltu:
+        expect_operands(line, 3);
+        inst.rd = parse_register(line, line.operands[0]);
+        inst.rs1 = parse_register(line, line.operands[1]);
+        inst.rs2 = parse_register(line, line.operands[2]);
+        break;
+      case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+      case Opcode::kXori: case Opcode::kSlli: case Opcode::kSrli:
+      case Opcode::kSrai: case Opcode::kSlti:
+        expect_operands(line, 3);
+        inst.rd = parse_register(line, line.operands[0]);
+        inst.rs1 = parse_register(line, line.operands[1]);
+        inst.imm = static_cast<std::int32_t>(parse_number(line, line.operands[2]));
+        break;
+      case Opcode::kJalr:
+        expect_operands(line, 3);
+        inst.rd = parse_register(line, line.operands[0]);
+        inst.rs1 = parse_register(line, line.operands[1]);
+        inst.imm = static_cast<std::int32_t>(parse_number(line, line.operands[2]));
+        break;
+      case Opcode::kLui:
+        expect_operands(line, 2);
+        inst.rd = parse_register(line, line.operands[0]);
+        inst.imm = static_cast<std::int32_t>(parse_number(line, line.operands[1]));
+        break;
+      case Opcode::kLw: {
+        expect_operands(line, 2);
+        inst.rd = parse_register(line, line.operands[0]);
+        const auto [imm, rs1] = parse_mem_operand(line, line.operands[1]);
+        inst.imm = imm;
+        inst.rs1 = rs1;
+        break;
+      }
+      case Opcode::kSw: {
+        expect_operands(line, 2);
+        inst.rs2 = parse_register(line, line.operands[0]);
+        const auto [imm, rs1] = parse_mem_operand(line, line.operands[1]);
+        inst.imm = imm;
+        inst.rs1 = rs1;
+        break;
+      }
+      case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+      case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+        expect_operands(line, 3);
+        inst.rs1 = parse_register(line, line.operands[0]);
+        inst.rs2 = parse_register(line, line.operands[1]);
+        inst.imm = resolve_target(line, line.operands[2], labels, pc);
+        break;
+      case Opcode::kJal:
+        expect_operands(line, 2);
+        inst.rd = parse_register(line, line.operands[0]);
+        inst.imm = resolve_target(line, line.operands[1], labels, pc);
+        break;
+      case Opcode::kHalt:
+      case Opcode::kPstart:
+        expect_operands(line, 0);
+        break;
+      case Opcode::kPend: case Opcode::kHread:
+      case Opcode::kRdcyc: case Opcode::kRdcych:
+        expect_operands(line, 1);
+        inst.rd = parse_register(line, line.operands[0]);
+        break;
+    }
+    return encode(inst);
+  } catch (const std::invalid_argument& e) {
+    throw AssemblyError(line.number, e.what());
+  }
+}
+
+}  // namespace
+
+AssemblyResult assemble(const std::string& source) {
+  std::vector<Line> lines;
+  {
+    std::istringstream stream(source);
+    std::string text;
+    std::size_t number = 0;
+    while (std::getline(stream, text)) {
+      ++number;
+      if (auto line = parse_line(number, text)) lines.push_back(*line);
+    }
+  }
+
+  // Pass 1: assign addresses to labels.
+  AssemblyResult result;
+  std::uint32_t pc = 0;
+  for (const auto& line : lines) {
+    if (line.label) {
+      if (result.labels.count(*line.label) != 0) {
+        throw AssemblyError(line.number, "duplicate label '" + *line.label + "'");
+      }
+      result.labels[*line.label] = pc;
+    }
+    if (!line.mnemonic.empty()) ++pc;
+  }
+
+  // Pass 2: encode.
+  pc = 0;
+  for (const auto& line : lines) {
+    if (line.mnemonic.empty()) continue;
+    if (line.mnemonic == ".word") {
+      expect_operands(line, 1);
+      result.words.push_back(static_cast<std::uint32_t>(
+          parse_number(line, line.operands[0]) & 0xFFFFFFFF));
+    } else {
+      result.words.push_back(encode_line(line, result.labels, pc));
+    }
+    ++pc;
+  }
+  return result;
+}
+
+}  // namespace pufatt::cpu

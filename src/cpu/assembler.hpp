@@ -1,0 +1,50 @@
+// Two-pass assembler for PR32.
+//
+// Syntax (one instruction or directive per line, ';' or '#' comments):
+//   label:   add   r1, r2, r3
+//            addi  r1, r1, -5
+//            lui   r4, 0x1234
+//            lw    r2, 8(r3)
+//            sw    r2, 0(r3)
+//            beq   r1, r0, done      ; label or numeric word offset
+//            jal   r15, subroutine
+//            jalr  r0, r15, 0
+//            pstart
+//            pend  r5
+//            hread r6
+//            rdcyc r7
+//            halt
+//            .word 0xdeadbeef        ; raw data word
+//
+// Branch/jal label operands resolve to pc-relative word offsets.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pufatt::cpu {
+
+/// Error with the offending line number and text.
+class AssemblyError : public std::runtime_error {
+ public:
+  AssemblyError(std::size_t line, const std::string& message)
+      : std::runtime_error("line " + std::to_string(line) + ": " + message),
+        line_(line) {}
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_;
+};
+
+struct AssemblyResult {
+  std::vector<std::uint32_t> words;             ///< program image
+  std::map<std::string, std::uint32_t> labels;  ///< label -> word address
+};
+
+/// Assembles a program; throws AssemblyError on any syntax problem.
+AssemblyResult assemble(const std::string& source);
+
+}  // namespace pufatt::cpu

@@ -1,0 +1,76 @@
+#include "cpu/disassembler.hpp"
+
+#include <sstream>
+
+#include "cpu/isa.hpp"
+
+namespace pufatt::cpu {
+
+namespace {
+
+std::string reg(unsigned r) { return "r" + std::to_string(r); }
+
+}  // namespace
+
+std::string disassemble(std::uint32_t word) {
+  Instruction inst;
+  try {
+    inst = decode(word);
+  } catch (const std::invalid_argument&) {
+    std::ostringstream out;
+    out << ".word 0x" << std::hex << word;
+    return out.str();
+  }
+  std::ostringstream out;
+  out << mnemonic(inst.op);
+  switch (inst.op) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd:
+    case Opcode::kOr: case Opcode::kXor: case Opcode::kSll:
+    case Opcode::kSrl: case Opcode::kSra: case Opcode::kMul:
+    case Opcode::kSlt: case Opcode::kSltu:
+      out << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", "
+          << reg(inst.rs2);
+      break;
+    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+    case Opcode::kXori: case Opcode::kSlli: case Opcode::kSrli:
+    case Opcode::kSrai: case Opcode::kSlti: case Opcode::kJalr:
+      out << " " << reg(inst.rd) << ", " << reg(inst.rs1) << ", " << inst.imm;
+      break;
+    case Opcode::kLui:
+      out << " " << reg(inst.rd) << ", " << inst.imm;
+      break;
+    case Opcode::kLw:
+      out << " " << reg(inst.rd) << ", " << inst.imm << "(" << reg(inst.rs1)
+          << ")";
+      break;
+    case Opcode::kSw:
+      out << " " << reg(inst.rs2) << ", " << inst.imm << "(" << reg(inst.rs1)
+          << ")";
+      break;
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt:
+    case Opcode::kBge: case Opcode::kBltu: case Opcode::kBgeu:
+      out << " " << reg(inst.rs1) << ", " << reg(inst.rs2) << ", " << inst.imm;
+      break;
+    case Opcode::kJal:
+      out << " " << reg(inst.rd) << ", " << inst.imm;
+      break;
+    case Opcode::kHalt:
+    case Opcode::kPstart:
+      break;
+    case Opcode::kPend: case Opcode::kHread:
+    case Opcode::kRdcyc: case Opcode::kRdcych:
+      out << " " << reg(inst.rd);
+      break;
+  }
+  return out.str();
+}
+
+std::string disassemble_program(const std::vector<std::uint32_t>& words) {
+  std::ostringstream out;
+  for (std::size_t addr = 0; addr < words.size(); ++addr) {
+    out << "  " << disassemble(words[addr]) << "    ; " << addr << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pufatt::cpu

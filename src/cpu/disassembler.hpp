@@ -1,0 +1,21 @@
+// PR32 disassembler: turns program words back into assembler-compatible
+// text.  Round-trips with cpu::assemble (tests enforce it), which makes
+// attested memory images auditable — a verifier operator can inspect
+// exactly the program the checksum covers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pufatt::cpu {
+
+/// Disassembles one instruction word.  Branch/jump offsets are rendered as
+/// numeric word offsets (re-assemblable).  Words that do not decode are
+/// rendered as `.word 0x...`.
+std::string disassemble(std::uint32_t word);
+
+/// Disassembles a program, one line per word, with `addr:` comments.
+std::string disassemble_program(const std::vector<std::uint32_t>& words);
+
+}  // namespace pufatt::cpu

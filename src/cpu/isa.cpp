@@ -1,0 +1,248 @@
+#include "cpu/isa.hpp"
+
+#include <stdexcept>
+
+namespace pufatt::cpu {
+
+namespace {
+
+enum class Format { kR, kI, kMem, kB, kJ, kNone, kRdOnly };
+
+Format format_of(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kSll:
+    case Opcode::kSrl:
+    case Opcode::kSra:
+    case Opcode::kMul:
+    case Opcode::kSlt:
+    case Opcode::kSltu:
+      return Format::kR;
+    case Opcode::kAddi:
+    case Opcode::kAndi:
+    case Opcode::kOri:
+    case Opcode::kXori:
+    case Opcode::kSlli:
+    case Opcode::kSrli:
+    case Opcode::kSrai:
+    case Opcode::kSlti:
+    case Opcode::kLui:
+    case Opcode::kJalr:
+      return Format::kI;
+    case Opcode::kLw:
+    case Opcode::kSw:
+      return Format::kMem;
+    case Opcode::kBeq:
+    case Opcode::kBne:
+    case Opcode::kBlt:
+    case Opcode::kBge:
+    case Opcode::kBltu:
+    case Opcode::kBgeu:
+      return Format::kB;
+    case Opcode::kJal:
+      return Format::kJ;
+    case Opcode::kHalt:
+    case Opcode::kPstart:
+      return Format::kNone;
+    case Opcode::kPend:
+    case Opcode::kHread:
+    case Opcode::kRdcyc:
+    case Opcode::kRdcych:
+      return Format::kRdOnly;
+  }
+  throw std::invalid_argument("format_of: unknown opcode");
+}
+
+bool valid_opcode(std::uint8_t raw) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kAdd: case Opcode::kSub: case Opcode::kAnd: case Opcode::kOr:
+    case Opcode::kXor: case Opcode::kSll: case Opcode::kSrl: case Opcode::kSra:
+    case Opcode::kMul: case Opcode::kSlt: case Opcode::kSltu:
+    case Opcode::kAddi: case Opcode::kAndi: case Opcode::kOri:
+    case Opcode::kXori: case Opcode::kSlli: case Opcode::kSrli:
+    case Opcode::kSrai: case Opcode::kSlti: case Opcode::kLui:
+    case Opcode::kLw: case Opcode::kSw:
+    case Opcode::kBeq: case Opcode::kBne: case Opcode::kBlt: case Opcode::kBge:
+    case Opcode::kBltu: case Opcode::kBgeu: case Opcode::kJal:
+    case Opcode::kJalr: case Opcode::kHalt:
+    case Opcode::kPstart: case Opcode::kPend: case Opcode::kHread:
+    case Opcode::kRdcyc: case Opcode::kRdcych:
+      return true;
+  }
+  return false;
+}
+
+void check_reg(std::uint8_t r) {
+  if (r > 15) throw std::invalid_argument("register out of range");
+}
+
+}  // namespace
+
+std::uint32_t encode(const Instruction& inst) {
+  check_reg(inst.rd);
+  check_reg(inst.rs1);
+  check_reg(inst.rs2);
+  const auto op = static_cast<std::uint32_t>(inst.op) << 24;
+  switch (format_of(inst.op)) {
+    case Format::kR:
+      return op | (inst.rd << 20) | (inst.rs1 << 16) | (inst.rs2 << 12);
+    case Format::kI:
+    case Format::kMem: {
+      if (inst.imm < -32768 || inst.imm > 65535) {
+        throw std::invalid_argument("imm16 out of range");
+      }
+      const auto imm = static_cast<std::uint32_t>(inst.imm) & 0xFFFFu;
+      if (inst.op == Opcode::kSw) {
+        // sw stores rs2; rd field carries rs2 for encoding symmetry.
+        return op | (inst.rs2 << 20) | (inst.rs1 << 16) | imm;
+      }
+      return op | (inst.rd << 20) | (inst.rs1 << 16) | imm;
+    }
+    case Format::kB: {
+      if (inst.imm < -2048 || inst.imm > 2047) {
+        throw std::invalid_argument("branch offset out of range");
+      }
+      return op | (inst.rs1 << 20) | (inst.rs2 << 16) |
+             (static_cast<std::uint32_t>(inst.imm) & 0xFFFu);
+    }
+    case Format::kJ: {
+      if (inst.imm < -(1 << 19) || inst.imm >= (1 << 19)) {
+        throw std::invalid_argument("jump offset out of range");
+      }
+      return op | (inst.rd << 20) |
+             (static_cast<std::uint32_t>(inst.imm) & 0xFFFFFu);
+    }
+    case Format::kNone:
+      return op;
+    case Format::kRdOnly:
+      return op | (inst.rd << 20);
+  }
+  throw std::invalid_argument("encode: unknown format");
+}
+
+Instruction decode(std::uint32_t word) {
+  const auto raw_op = static_cast<std::uint8_t>(word >> 24);
+  if (!valid_opcode(raw_op)) {
+    throw std::invalid_argument("decode: unknown opcode " +
+                                std::to_string(raw_op));
+  }
+  Instruction inst;
+  inst.op = static_cast<Opcode>(raw_op);
+  switch (format_of(inst.op)) {
+    case Format::kR:
+      inst.rd = (word >> 20) & 0xF;
+      inst.rs1 = (word >> 16) & 0xF;
+      inst.rs2 = (word >> 12) & 0xF;
+      break;
+    case Format::kI:
+    case Format::kMem: {
+      inst.rs1 = (word >> 16) & 0xF;
+      // Logical immediates and lui are zero-extended (MIPS convention);
+      // arithmetic/memory immediates are sign-extended.
+      const bool zero_extend =
+          inst.op == Opcode::kAndi || inst.op == Opcode::kOri ||
+          inst.op == Opcode::kXori || inst.op == Opcode::kLui;
+      const auto imm =
+          zero_extend ? static_cast<std::int32_t>(word & 0xFFFF)
+                      : static_cast<std::int32_t>(
+                            static_cast<std::int16_t>(word & 0xFFFF));
+      inst.imm = imm;
+      if (inst.op == Opcode::kSw) {
+        inst.rs2 = (word >> 20) & 0xF;
+      } else {
+        inst.rd = (word >> 20) & 0xF;
+      }
+      break;
+    }
+    case Format::kB: {
+      inst.rs1 = (word >> 20) & 0xF;
+      inst.rs2 = (word >> 16) & 0xF;
+      std::int32_t imm = static_cast<std::int32_t>(word & 0xFFF);
+      if (imm & 0x800) imm -= 0x1000;  // sign-extend 12 bits
+      inst.imm = imm;
+      break;
+    }
+    case Format::kJ: {
+      inst.rd = (word >> 20) & 0xF;
+      std::int32_t imm = static_cast<std::int32_t>(word & 0xFFFFF);
+      if (imm & 0x80000) imm -= 0x100000;  // sign-extend 20 bits
+      inst.imm = imm;
+      break;
+    }
+    case Format::kNone:
+      break;
+    case Format::kRdOnly:
+      inst.rd = (word >> 20) & 0xF;
+      break;
+  }
+  return inst;
+}
+
+std::string mnemonic(Opcode op) {
+  switch (op) {
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kSll: return "sll";
+    case Opcode::kSrl: return "srl";
+    case Opcode::kSra: return "sra";
+    case Opcode::kMul: return "mul";
+    case Opcode::kSlt: return "slt";
+    case Opcode::kSltu: return "sltu";
+    case Opcode::kAddi: return "addi";
+    case Opcode::kAndi: return "andi";
+    case Opcode::kOri: return "ori";
+    case Opcode::kXori: return "xori";
+    case Opcode::kSlli: return "slli";
+    case Opcode::kSrli: return "srli";
+    case Opcode::kSrai: return "srai";
+    case Opcode::kSlti: return "slti";
+    case Opcode::kLui: return "lui";
+    case Opcode::kLw: return "lw";
+    case Opcode::kSw: return "sw";
+    case Opcode::kBeq: return "beq";
+    case Opcode::kBne: return "bne";
+    case Opcode::kBlt: return "blt";
+    case Opcode::kBge: return "bge";
+    case Opcode::kBltu: return "bltu";
+    case Opcode::kBgeu: return "bgeu";
+    case Opcode::kJal: return "jal";
+    case Opcode::kJalr: return "jalr";
+    case Opcode::kHalt: return "halt";
+    case Opcode::kPstart: return "pstart";
+    case Opcode::kPend: return "pend";
+    case Opcode::kHread: return "hread";
+    case Opcode::kRdcyc: return "rdcyc";
+    case Opcode::kRdcych: return "rdcych";
+  }
+  return "?";
+}
+
+unsigned cycle_cost(Opcode op) {
+  switch (op) {
+    case Opcode::kMul:
+      return 3;
+    case Opcode::kLw:
+    case Opcode::kSw:
+      return 2;  // memory access stage is the critical path [paper ref 25]
+    case Opcode::kJal:
+    case Opcode::kJalr:
+      return 2;
+    case Opcode::kPend:
+      return 40;  // serialized syndrome + obfuscation readout
+    case Opcode::kAdd:
+      // Same 1-cycle cost in both modes: the PUF race happens inside the
+      // existing ALU stage — the paper's "no performance impact" claim.
+      return 1;
+    default:
+      return 1;
+  }
+}
+
+}  // namespace pufatt::cpu

@@ -1,0 +1,95 @@
+// PR32: a minimal 32-bit RISC ISA for the simulated prover device, extended
+// with the paper's PUF instructions (Section 2, "Architectural Support"):
+//
+//   pstart          switch the ALUs into PUF mode
+//   add (PUF mode)  race the operands through both ALUs, latch the raw
+//                   response into internal registers (not architecturally
+//                   visible — the paper's requirement that raw responses
+//                   cannot be read by software)
+//   pend rd         run syndrome generation + obfuscation over the latched
+//                   responses, write z to rd, queue helper words, and
+//                   return to normal mode
+//   hread rd        pop one helper word from the helper-data queue
+//
+// 16 general registers (r0 hardwired to zero), word-addressed memory,
+// fixed 32-bit encodings (program words live in attested memory, so the
+// encoding is part of the system, not just a simulator detail).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace pufatt::cpu {
+
+enum class Opcode : std::uint8_t {
+  // R-type: op rd, rs1, rs2
+  kAdd = 0x01,
+  kSub = 0x02,
+  kAnd = 0x03,
+  kOr = 0x04,
+  kXor = 0x05,
+  kSll = 0x06,
+  kSrl = 0x07,
+  kSra = 0x08,
+  kMul = 0x09,
+  kSlt = 0x0A,
+  kSltu = 0x0B,
+  // I-type: op rd, rs1, imm16
+  kAddi = 0x10,
+  kAndi = 0x11,
+  kOri = 0x12,
+  kXori = 0x13,
+  kSlli = 0x14,
+  kSrli = 0x15,
+  kSrai = 0x16,
+  kSlti = 0x17,
+  kLui = 0x18,  // rd = imm16 << 16
+  // Memory: lw rd, imm16(rs1) / sw rs2, imm16(rs1)
+  kLw = 0x20,
+  kSw = 0x21,
+  // Control: branches are B-type (op rs1, rs2, imm12 word offset)
+  kBeq = 0x30,
+  kBne = 0x31,
+  kBlt = 0x32,
+  kBge = 0x33,
+  kBltu = 0x34,
+  kBgeu = 0x35,
+  kJal = 0x36,   // J-type: op rd, imm20 (word offset)
+  kJalr = 0x37,  // I-type: rd = pc+1; pc = (rs1 + imm)
+  kHalt = 0x3F,
+  // PUF extension
+  kPstart = 0x40,
+  kPend = 0x41,   // rd
+  kHread = 0x42,  // rd
+  // CSR
+  kRdcyc = 0x50,   // rd = low 32 bits of cycle counter
+  kRdcych = 0x51,  // rd = high 32 bits
+};
+
+/// Decoded instruction fields (not all meaningful for every opcode).
+struct Instruction {
+  Opcode op = Opcode::kHalt;
+  std::uint8_t rd = 0;
+  std::uint8_t rs1 = 0;
+  std::uint8_t rs2 = 0;
+  std::int32_t imm = 0;
+};
+
+/// Encodes an instruction to its 32-bit memory representation.
+/// Throws std::invalid_argument for out-of-range fields.
+std::uint32_t encode(const Instruction& inst);
+
+/// Decodes a 32-bit word; throws std::invalid_argument on unknown opcodes.
+Instruction decode(std::uint32_t word);
+
+/// Mnemonic of an opcode (for disassembly and error messages).
+std::string mnemonic(Opcode op);
+
+/// Cycle cost of an instruction class on the in-order PR32 core.
+/// Branch costs exclude the taken penalty (see kTakenBranchPenalty).
+unsigned cycle_cost(Opcode op);
+
+/// Extra cycles when a branch/jump is taken (pipeline refill).
+inline constexpr unsigned kTakenBranchPenalty = 1;
+
+}  // namespace pufatt::cpu

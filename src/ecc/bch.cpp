@@ -1,0 +1,252 @@
+#include "ecc/bch.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace pufatt::ecc {
+
+using support::BitVector;
+
+Gf2Matrix parity_from_generator(const Gf2Matrix& generator) {
+  // Rows of H = basis of the null space of G (as row space): H must satisfy
+  // G * H^T = 0, i.e. every H row is orthogonal to every G row.  null_space
+  // of the matrix whose rows are G's rows gives vectors x with G x = 0.
+  return Gf2Matrix(generator.null_space());
+}
+
+namespace {
+
+/// Multiplies two GF(2) polynomials (bit i = coeff of x^i).
+BitVector poly_mul(const BitVector& a, const BitVector& b) {
+  BitVector out(a.size() + b.size() - 1);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!a.get(i)) continue;
+    for (std::size_t j = 0; j < b.size(); ++j) {
+      if (b.get(j)) out.flip(i + j);
+    }
+  }
+  return out;
+}
+
+std::size_t poly_degree(const BitVector& p) {
+  for (std::size_t i = p.size(); i > 0; --i) {
+    if (p.get(i - 1)) return i - 1;
+  }
+  return 0;
+}
+
+/// Minimal polynomial over GF(2) of alpha^s in GF(2^m): product of
+/// (x - alpha^e) over the cyclotomic coset of s.
+BitVector minimal_polynomial(const GF2m& field, std::uint32_t s) {
+  // Collect the coset {s, 2s, 4s, ...} mod (2^m - 1).
+  std::vector<std::uint32_t> coset;
+  std::uint32_t e = s % field.order();
+  do {
+    coset.push_back(e);
+    e = static_cast<std::uint32_t>((2ull * e) % field.order());
+  } while (e != s % field.order());
+
+  // Multiply (x + alpha^e) factors over GF(2^m).
+  std::vector<GF2m::Element> poly{1};  // constant polynomial 1
+  for (const auto exp : coset) {
+    const GF2m::Element root = field.alpha_pow(exp);
+    std::vector<GF2m::Element> next(poly.size() + 1, 0);
+    for (std::size_t i = 0; i < poly.size(); ++i) {
+      next[i + 1] = field.add(next[i + 1], poly[i]);        // x * poly
+      next[i] = field.add(next[i], field.mul(root, poly[i]));  // root * poly
+    }
+    poly = std::move(next);
+  }
+  BitVector out(poly.size());
+  for (std::size_t i = 0; i < poly.size(); ++i) {
+    if (poly[i] > 1) {
+      throw std::logic_error("minimal_polynomial: non-binary coefficient");
+    }
+    out.set(i, poly[i] == 1);
+  }
+  return out;
+}
+
+}  // namespace
+
+BchCode::BchCode(unsigned m, std::size_t t, std::size_t shorten)
+    : field_(m), t_(t), shorten_(shorten), full_n_((1u << m) - 1u), full_k_(0) {
+  if (t == 0) throw std::invalid_argument("BchCode: t must be >= 1");
+
+  // g(x) = lcm of minimal polynomials of alpha^1..alpha^{2t}: multiply the
+  // minimal polynomial of each new cyclotomic coset representative.
+  std::set<std::uint32_t> covered;
+  BitVector gen(1);
+  gen.set(0, true);  // polynomial "1"
+  for (std::uint32_t s = 1; s <= 2 * t; ++s) {
+    if (covered.count(s % field_.order()) != 0) continue;
+    // Mark the whole coset.
+    std::uint32_t e = s % field_.order();
+    do {
+      covered.insert(e);
+      e = static_cast<std::uint32_t>((2ull * e) % field_.order());
+    } while (e != s % field_.order());
+    gen = poly_mul(gen, minimal_polynomial(field_, s));
+  }
+  const std::size_t deg = poly_degree(gen);
+  gen_poly_ = BitVector(deg + 1);
+  for (std::size_t i = 0; i <= deg; ++i) gen_poly_.set(i, gen.get(i));
+
+  if (deg >= full_n_) throw std::invalid_argument("BchCode: t too large");
+  full_k_ = full_n_ - deg;
+  if (shorten_ >= full_k_) {
+    throw std::invalid_argument("BchCode: shortening exceeds dimension");
+  }
+
+  // Generator matrix of the shortened code (systematic positions retained):
+  // row i encodes the message with only bit i set.
+  Gf2Matrix gen_matrix(k(), n());
+  for (std::size_t i = 0; i < k(); ++i) {
+    BitVector msg(k());
+    msg.set(i, true);
+    const BitVector cw = encode(msg);
+    for (std::size_t c = 0; c < n(); ++c) gen_matrix.set(i, c, cw.get(c));
+  }
+  parity_check_ = parity_from_generator(gen_matrix);
+}
+
+BitVector BchCode::encode(const BitVector& message) const {
+  if (message.size() != k()) {
+    throw std::invalid_argument("BchCode::encode: wrong message length");
+  }
+  const std::size_t redundancy = full_n_ - full_k_;
+  // Systematic encoding: c(x) = m(x) * x^{n-k} + (m(x) * x^{n-k} mod g(x)).
+  // Work at full length; the shortened (high) message bits are zero.
+  BitVector work(full_n_);
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    work.set(redundancy + i, message.get(i));
+  }
+  // Polynomial mod: subtract shifted g(x) from the top down.
+  BitVector rem = work;
+  const std::size_t gen_deg = poly_degree(gen_poly_);
+  for (std::size_t i = full_n_; i-- > gen_deg;) {
+    if (!rem.get(i)) continue;
+    for (std::size_t j = 0; j <= gen_deg; ++j) {
+      if (gen_poly_.get(j)) rem.flip(i - gen_deg + j);
+    }
+  }
+  BitVector cw(n());
+  for (std::size_t i = 0; i < redundancy; ++i) cw.set(i, rem.get(i));
+  for (std::size_t i = 0; i < message.size(); ++i) {
+    cw.set(redundancy + i, message.get(i));
+  }
+  return cw;
+}
+
+BitVector BchCode::unshorten(const BitVector& word) const {
+  BitVector full(full_n_);
+  for (std::size_t i = 0; i < word.size(); ++i) full.set(i, word.get(i));
+  return full;
+}
+
+std::optional<BitVector> BchCode::decode_to_codeword(
+    const BitVector& word) const {
+  if (word.size() != n()) {
+    throw std::invalid_argument("BchCode::decode: wrong word length");
+  }
+  const BitVector full = unshorten(word);
+
+  // Syndromes S_j = r(alpha^j), j = 1..2t.
+  std::vector<GF2m::Element> syn(2 * t_ + 1, 0);
+  bool all_zero = true;
+  for (std::size_t j = 1; j <= 2 * t_; ++j) {
+    GF2m::Element s = 0;
+    for (std::size_t i = 0; i < full_n_; ++i) {
+      if (full.get(i)) {
+        s = field_.add(
+            s, field_.alpha_pow(static_cast<std::int64_t>(j) *
+                                static_cast<std::int64_t>(i)));
+      }
+    }
+    syn[j] = s;
+    if (s != 0) all_zero = false;
+  }
+  if (all_zero) return word;
+
+  // Berlekamp-Massey: find the error-locator polynomial sigma(x).
+  std::vector<GF2m::Element> sigma{1};
+  std::vector<GF2m::Element> prev_sigma{1};
+  GF2m::Element prev_discrepancy = 1;
+  std::size_t l = 0;      // current LFSR length
+  std::size_t shift = 1;  // x-power gap since last length change
+  for (std::size_t r = 1; r <= 2 * t_; ++r) {
+    GF2m::Element discrepancy = syn[r];
+    for (std::size_t i = 1; i <= l && i < sigma.size(); ++i) {
+      if (r >= i + 1 && r - i >= 1) {
+        discrepancy =
+            field_.add(discrepancy, field_.mul(sigma[i], syn[r - i]));
+      }
+    }
+    if (discrepancy == 0) {
+      ++shift;
+      continue;
+    }
+    // sigma_new = sigma - (d / d_prev) * x^shift * prev_sigma
+    const GF2m::Element scale = field_.div(discrepancy, prev_discrepancy);
+    std::vector<GF2m::Element> next = sigma;
+    if (next.size() < prev_sigma.size() + shift) {
+      next.resize(prev_sigma.size() + shift, 0);
+    }
+    for (std::size_t i = 0; i < prev_sigma.size(); ++i) {
+      next[i + shift] =
+          field_.add(next[i + shift], field_.mul(scale, prev_sigma[i]));
+    }
+    if (2 * l <= r - 1) {
+      prev_sigma = sigma;
+      prev_discrepancy = discrepancy;
+      l = r - l;
+      shift = 1;
+    } else {
+      ++shift;
+    }
+    sigma = std::move(next);
+  }
+
+  // Trim trailing zero coefficients.
+  while (sigma.size() > 1 && sigma.back() == 0) sigma.pop_back();
+  const std::size_t num_errors = sigma.size() - 1;
+  if (num_errors > t_) return std::nullopt;
+
+  // Chien search: roots alpha^{-i} of sigma(x) mark error positions i.
+  BitVector corrected = full;
+  std::size_t found = 0;
+  for (std::size_t i = 0; i < full_n_; ++i) {
+    GF2m::Element acc = 0;
+    for (std::size_t d = 0; d < sigma.size(); ++d) {
+      if (sigma[d] == 0) continue;
+      acc = field_.add(
+          acc, field_.mul(sigma[d],
+                          field_.alpha_pow(-static_cast<std::int64_t>(d) *
+                                           static_cast<std::int64_t>(i))));
+    }
+    if (acc == 0) {
+      if (i >= n()) return std::nullopt;  // error in a shortened (known-0) bit
+      corrected.flip(i);
+      ++found;
+    }
+  }
+  if (found != num_errors) return std::nullopt;
+
+  BitVector out(n());
+  for (std::size_t i = 0; i < n(); ++i) out.set(i, corrected.get(i));
+  // Consistency check: the corrected word must be a codeword.
+  if (parity_check_.mul_vector(out).popcount() != 0) return std::nullopt;
+  return out;
+}
+
+std::optional<BitVector> BchCode::decode(const BitVector& word) const {
+  const auto cw = decode_to_codeword(word);
+  if (!cw) return std::nullopt;
+  const std::size_t redundancy = full_n_ - full_k_;
+  BitVector msg(k());
+  for (std::size_t i = 0; i < k(); ++i) msg.set(i, cw->get(redundancy + i));
+  return msg;
+}
+
+}  // namespace pufatt::ecc

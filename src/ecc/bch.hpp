@@ -1,0 +1,58 @@
+// Binary primitive BCH codes with optional shortening.
+//
+// Construction: generator polynomial g(x) = lcm of the minimal polynomials
+// of alpha^1 .. alpha^{2t} over GF(2^m); encoding is systematic (message in
+// the high-order coefficients); decoding is syndrome computation +
+// Berlekamp-Massey + Chien search.
+//
+// The paper names "BCH[32,6,16]" for its helper-data code; that parameter
+// set is actually the Reed-Muller code RM(1,5) (see reed_muller.hpp and
+// DESIGN.md section 6).  The BCH family here is the general ECC substrate
+// and provides nearby true-BCH instantiations (e.g. BCH[31,6,t=7]) used in
+// the false-negative-rate study.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "ecc/gf2m.hpp"
+#include "ecc/linear_code.hpp"
+
+namespace pufatt::ecc {
+
+class BchCode final : public BinaryCode {
+ public:
+  /// Primitive BCH code of length 2^m - 1 with design correction capacity
+  /// `t`, shortened by `shorten` bits (message and codeword both shrink).
+  /// Throws std::invalid_argument if the resulting dimension is <= 0.
+  BchCode(unsigned m, std::size_t t, std::size_t shorten = 0);
+
+  std::size_t n() const override { return full_n_ - shorten_; }
+  std::size_t k() const override { return full_k_ - shorten_; }
+  std::size_t guaranteed_correction() const override { return t_; }
+  std::size_t min_distance() const override { return 2 * t_ + 1; }
+
+  support::BitVector encode(const support::BitVector& message) const override;
+  std::optional<support::BitVector> decode_to_codeword(
+      const support::BitVector& word) const override;
+  std::optional<support::BitVector> decode(
+      const support::BitVector& word) const override;
+  const Gf2Matrix& parity_check() const override { return parity_check_; }
+
+  /// Generator polynomial coefficients, bit i = coefficient of x^i.
+  const support::BitVector& generator_poly() const { return gen_poly_; }
+
+ private:
+  /// Extends a shortened word with zero bits to full length n.
+  support::BitVector unshorten(const support::BitVector& word) const;
+
+  GF2m field_;
+  std::size_t t_;
+  std::size_t shorten_;
+  std::size_t full_n_;
+  std::size_t full_k_;
+  support::BitVector gen_poly_;
+  Gf2Matrix parity_check_;
+};
+
+}  // namespace pufatt::ecc

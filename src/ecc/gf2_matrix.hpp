@@ -1,0 +1,52 @@
+// Dense linear algebra over GF(2): matrix-vector products, row reduction,
+// null spaces and linear solves.  Used to derive parity-check matrices
+// (e.g. for RM(1,5)), to compute syndromes, and to invert the syndrome map
+// in the helper-data scheme.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "support/bitvec.hpp"
+
+namespace pufatt::ecc {
+
+/// A rows x cols matrix over GF(2), stored as one BitVector per row.
+class Gf2Matrix {
+ public:
+  Gf2Matrix() = default;
+  Gf2Matrix(std::size_t rows, std::size_t cols);
+
+  /// Builds from explicit rows (all must share a length).
+  explicit Gf2Matrix(std::vector<support::BitVector> rows);
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t cols() const { return cols_; }
+
+  bool get(std::size_t r, std::size_t c) const { return rows_[r].get(c); }
+  void set(std::size_t r, std::size_t c, bool v) { rows_[r].set(c, v); }
+  const support::BitVector& row(std::size_t r) const { return rows_.at(r); }
+  const std::vector<support::BitVector>& row_vectors() const { return rows_; }
+
+  /// y = M * x (x has cols() bits; result has rows() bits; each output bit
+  /// is the GF(2) inner product of a row with x).
+  support::BitVector mul_vector(const support::BitVector& x) const;
+
+  /// Rank via Gaussian elimination (does not modify *this).
+  std::size_t rank() const;
+
+  /// Basis of the null space {x : M x = 0}, one BitVector per basis vector.
+  std::vector<support::BitVector> null_space() const;
+
+  /// One particular solution of M x = b, or nullopt if inconsistent.
+  std::optional<support::BitVector> solve(const support::BitVector& b) const;
+
+  /// Matrix transpose.
+  Gf2Matrix transposed() const;
+
+ private:
+  std::size_t cols_ = 0;
+  std::vector<support::BitVector> rows_;
+};
+
+}  // namespace pufatt::ecc

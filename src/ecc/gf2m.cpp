@@ -1,0 +1,84 @@
+#include "ecc/gf2m.hpp"
+
+#include <stdexcept>
+
+namespace pufatt::ecc {
+
+namespace {
+// Primitive polynomials over GF(2), one per degree (bit i = coeff of x^i).
+std::uint32_t primitive_poly_for(unsigned m) {
+  switch (m) {
+    case 2: return 0b111;            // x^2+x+1
+    case 3: return 0b1011;           // x^3+x+1
+    case 4: return 0b10011;          // x^4+x+1
+    case 5: return 0b100101;         // x^5+x^2+1
+    case 6: return 0b1000011;        // x^6+x+1
+    case 7: return 0b10001001;       // x^7+x^3+1
+    case 8: return 0b100011101;      // x^8+x^4+x^3+x^2+1
+    case 9: return 0b1000010001;     // x^9+x^4+1
+    case 10: return 0b10000001001;   // x^10+x^3+1
+    case 11: return 0b100000000101;  // x^11+x^2+1
+    case 12: return 0b1000001010011; // x^12+x^6+x^4+x+1
+    default:
+      throw std::invalid_argument("GF2m: m must be in [2,12]");
+  }
+}
+}  // namespace
+
+GF2m::GF2m(unsigned m)
+    : m_(m),
+      order_((1u << m) - 1u),
+      prim_poly_(primitive_poly_for(m)),
+      exp_(2 * order_, 0),
+      log_(1u << m, 0) {
+  Element x = 1;
+  for (std::uint32_t i = 0; i < order_; ++i) {
+    exp_[i] = x;
+    log_[x] = i;
+    x <<= 1;
+    if (x & (1u << m_)) x ^= prim_poly_;
+  }
+  for (std::uint32_t i = 0; i < order_; ++i) exp_[order_ + i] = exp_[i];
+}
+
+GF2m::Element GF2m::alpha_pow(std::int64_t e) const {
+  const auto ord = static_cast<std::int64_t>(order_);
+  std::int64_t r = e % ord;
+  if (r < 0) r += ord;
+  return exp_[static_cast<std::size_t>(r)];
+}
+
+std::uint32_t GF2m::log(Element a) const {
+  if (a == 0) throw std::domain_error("GF2m::log(0)");
+  return log_[a];
+}
+
+GF2m::Element GF2m::mul(Element a, Element b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+GF2m::Element GF2m::inv(Element a) const {
+  if (a == 0) throw std::domain_error("GF2m::inv(0)");
+  return exp_[order_ - log_[a]];
+}
+
+GF2m::Element GF2m::div(Element a, Element b) const {
+  if (b == 0) throw std::domain_error("GF2m::div by 0");
+  if (a == 0) return 0;
+  return exp_[log_[a] + order_ - log_[b]];
+}
+
+GF2m::Element GF2m::pow(Element a, std::int64_t e) const {
+  if (a == 0) {
+    if (e == 0) return 1;
+    if (e < 0) throw std::domain_error("GF2m::pow(0, negative)");
+    return 0;
+  }
+  const auto ord = static_cast<std::int64_t>(order_);
+  std::int64_t r = (static_cast<std::int64_t>(log_[a]) * (e % ord)) % ord;
+  if (r < 0) r += ord;
+  return exp_[static_cast<std::size_t>(r)];
+}
+
+}  // namespace pufatt::ecc

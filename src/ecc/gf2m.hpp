@@ -1,0 +1,44 @@
+// Finite field GF(2^m) arithmetic via log/antilog tables.
+// Substrate for the BCH codec (generator-polynomial construction,
+// syndrome evaluation, Berlekamp-Massey, Chien search).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace pufatt::ecc {
+
+/// GF(2^m) for 2 <= m <= 12, built over a fixed primitive polynomial per m.
+/// Elements are represented as unsigned integers < 2^m (polynomial basis).
+class GF2m {
+ public:
+  using Element = std::uint32_t;
+
+  explicit GF2m(unsigned m);
+
+  unsigned m() const { return m_; }
+  /// Field size minus one = multiplicative order = 2^m - 1.
+  std::uint32_t order() const { return order_; }
+  /// The primitive polynomial used (bit i = coefficient of x^i).
+  std::uint32_t primitive_poly() const { return prim_poly_; }
+
+  /// alpha^e (e taken mod order).
+  Element alpha_pow(std::int64_t e) const;
+  /// Discrete log base alpha; throws std::domain_error for 0.
+  std::uint32_t log(Element a) const;
+
+  Element add(Element a, Element b) const { return a ^ b; }
+  Element mul(Element a, Element b) const;
+  Element inv(Element a) const;
+  Element div(Element a, Element b) const;
+  Element pow(Element a, std::int64_t e) const;
+
+ private:
+  unsigned m_;
+  std::uint32_t order_;
+  std::uint32_t prim_poly_;
+  std::vector<Element> exp_;       // exp_[i] = alpha^i, doubled for wraparound
+  std::vector<std::uint32_t> log_; // log_[a] for a in [1, 2^m)
+};
+
+}  // namespace pufatt::ecc

@@ -1,0 +1,61 @@
+// Syndrome-construction helper data ("reverse fuzzy extractor",
+// Herrewege et al., FC 2012 — the paper's reference [8]).
+//
+// Prover side (cheap, pure hardware): h = H * y', the syndrome of the noisy
+// PUF response.  Verifier side: knowing a reference response y_ref with
+// HD(y_ref, y') <= t, reconstruct the *exact* y' the prover used:
+//     y0   := any word with syndrome h          (precomputed pseudo-inverse)
+//     c    := decode_to_codeword(y_ref XOR y0)  (= y' XOR y0 when close)
+//     y'   = c XOR y0
+// Both parties then run the obfuscation network on the identical y' — the
+// paper's requirement that "obfuscation must be performed after error
+// correction to maintain verifiability".
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ecc/linear_code.hpp"
+#include "support/bitvec.hpp"
+
+namespace pufatt::ecc {
+
+class SyndromeHelper {
+ public:
+  /// `code` must outlive this object.
+  explicit SyndromeHelper(const BinaryCode& code);
+
+  /// Helper data for a measured response (n bits in, n-k bits out).
+  support::BitVector generate(const support::BitVector& response) const;
+
+  /// Reconstructs the prover's response from the verifier's reference and
+  /// the received helper data; nullopt if the decoder gives up (reference
+  /// too far from the prover's measurement).
+  std::optional<support::BitVector> reproduce(
+      const support::BitVector& reference,
+      const support::BitVector& helper) const;
+
+  /// Soft-decision reconstruction: `reference_llr[i]` > 0 means reference
+  /// bit i is 0, with magnitude = reliability.  The PUF emulator supplies
+  /// the race margin of each bit as its reliability, which lets the decoder
+  /// discount exactly the metastability-prone bits and reconstruct well
+  /// beyond the hard-decision radius.
+  std::optional<support::BitVector> reproduce_soft(
+      const std::vector<double>& reference_llr,
+      const support::BitVector& helper) const;
+
+  std::size_t response_bits() const { return code_->n(); }
+  std::size_t helper_bits() const { return code_->n() - code_->k(); }
+
+  /// Bits of min-entropy surrendered by publishing the helper data (the
+  /// syndrome reveals n-k linear combinations of the response).
+  std::size_t leaked_bits() const { return helper_bits(); }
+
+ private:
+  const BinaryCode* code_;
+  /// preimage_[j] = a fixed word whose syndrome is the j-th unit vector;
+  /// any word with syndrome h is the XOR of preimages of h's set bits.
+  std::vector<support::BitVector> preimage_;
+};
+
+}  // namespace pufatt::ecc

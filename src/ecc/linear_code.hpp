@@ -1,0 +1,65 @@
+// Abstract binary linear block code interface.
+//
+// The helper-data scheme (helper_data.hpp) and the syndrome-generator
+// hardware model (netlist/builder.hpp) are code-agnostic: they only need
+// encode/decode and a parity-check matrix.  Concrete codes: BchCode
+// (bch.hpp) and ReedMuller1 (reed_muller.hpp).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "ecc/gf2_matrix.hpp"
+#include "support/bitvec.hpp"
+
+namespace pufatt::ecc {
+
+class BinaryCode {
+ public:
+  virtual ~BinaryCode() = default;
+
+  /// Codeword length in bits.
+  virtual std::size_t n() const = 0;
+  /// Message length in bits.
+  virtual std::size_t k() const = 0;
+  /// Number of errors the decoder is guaranteed to correct.
+  virtual std::size_t guaranteed_correction() const = 0;
+  /// Minimum distance of the code.
+  virtual std::size_t min_distance() const = 0;
+
+  /// Encodes a k-bit message into an n-bit codeword.
+  virtual support::BitVector encode(const support::BitVector& message) const = 0;
+
+  /// Decodes a noisy n-bit word to the nearest codeword; nullopt when the
+  /// decoder cannot produce one (bounded-distance decoders only).
+  virtual std::optional<support::BitVector> decode_to_codeword(
+      const support::BitVector& word) const = 0;
+
+  /// Decodes a noisy n-bit word to the k-bit message.
+  virtual std::optional<support::BitVector> decode(
+      const support::BitVector& word) const = 0;
+
+  /// Soft-decision decoding: `llr[i]` > 0 means bit i is more likely 0,
+  /// with |llr[i]| the confidence.  The default implementation thresholds
+  /// to hard bits and calls decode_to_codeword(); codes with efficient
+  /// soft decoders (Reed-Muller via weighted Hadamard transform) override.
+  /// Used by the verifier-side helper-data reconstruction, where the PUF
+  /// emulation provides each bit's race margin as its reliability.
+  virtual std::optional<support::BitVector> decode_soft_to_codeword(
+      const std::vector<double>& llr) const;
+
+  /// (n-k) x n parity-check matrix; its null space is exactly the code.
+  virtual const Gf2Matrix& parity_check() const = 0;
+
+  /// Syndrome of an n-bit word: H * w, an (n-k)-bit vector, zero iff w is
+  /// a codeword.  This is the helper data of the PUF post-processing.
+  support::BitVector syndrome(const support::BitVector& word) const {
+    return parity_check().mul_vector(word);
+  }
+};
+
+/// Derives a full-rank parity-check matrix from a generator matrix by
+/// computing the dual basis (null space of G).
+Gf2Matrix parity_from_generator(const Gf2Matrix& generator);
+
+}  // namespace pufatt::ecc

@@ -1,0 +1,113 @@
+#include "fpga/board.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "timingsim/arbiter.hpp"
+
+namespace pufatt::fpga {
+
+FpgaBoard::FpgaBoard(const FpgaBoardParams& params, std::uint64_t board_seed)
+    : params_(params), puf_(params.puf, board_seed) {
+  support::Xoshiro256pp rng(support::SplitMix64::mix(board_seed ^ 0xF96A));
+  const std::size_t bits = puf_.response_bits();
+  routing_skew_ps_.reserve(bits);
+  pdl0_.reserve(bits);
+  pdl1_.reserve(bits);
+  for (std::size_t i = 0; i < bits; ++i) {
+    routing_skew_ps_.push_back(
+        rng.gaussian(0.0, params.routing_skew_sigma_ps));
+    pdl0_.emplace_back(params.pdl, rng);
+    pdl1_.emplace_back(params.pdl, rng);
+    // Start mid-range so calibration can move in both directions.
+    pdl0_.back().set_code(params.pdl.stages / 2);
+    pdl1_.back().set_code(params.pdl.stages / 2);
+  }
+}
+
+double FpgaBoard::static_delta_ps(std::size_t bit,
+                                  const std::vector<double>& puf_deltas) const {
+  // delta = (t1 + pdl1) - (t0 + pdl0) + routing skew.
+  return puf_deltas[bit] + routing_skew_ps_[bit] + pdl1_[bit].delay_ps() -
+         pdl0_[bit].delay_ps();
+}
+
+alupuf::RawResponse FpgaBoard::eval(const alupuf::Challenge& challenge,
+                                    support::Xoshiro256pp& rng) const {
+  const auto deltas =
+      puf_.race_deltas(challenge, variation::Environment::nominal());
+  alupuf::RawResponse response(puf_.response_bits());
+  const timingsim::Arbiter arbiter(puf_.config().arbiter);
+  for (std::size_t i = 0; i < response.size(); ++i) {
+    const double delta = static_delta_ps(i, deltas) +
+                         rng.gaussian(0.0, params_.board_noise_ps);
+    response.set(i, arbiter.sample(delta, rng));
+  }
+  return response;
+}
+
+double FpgaBoard::measure_bias(std::size_t bit, std::size_t samples,
+                               support::Xoshiro256pp& rng) const {
+  if (bit >= puf_.response_bits()) {
+    throw std::out_of_range("FpgaBoard::measure_bias: bad bit");
+  }
+  std::size_t ones = 0;
+  for (std::size_t s = 0; s < samples; ++s) {
+    const auto challenge =
+        support::BitVector::random(puf_.challenge_bits(), rng);
+    if (eval(challenge, rng).get(bit)) ++ones;
+  }
+  return static_cast<double>(ones) / static_cast<double>(samples);
+}
+
+double FpgaBoard::calibrate(std::size_t samples_per_step,
+                            support::Xoshiro256pp& rng) {
+  // Bias is monotone in (code1 - code0); bisect that difference per bit.
+  const auto stages = static_cast<std::int64_t>(params_.pdl.stages);
+  double worst = 0.0;
+  for (std::size_t bit = 0; bit < puf_.response_bits(); ++bit) {
+    std::int64_t lo = -stages;
+    std::int64_t hi = stages;
+    auto apply = [&](std::int64_t diff) {
+      // Split the difference between the two lines around mid-range.
+      const std::int64_t mid = stages / 2;
+      const std::int64_t c1 = std::clamp(mid + diff / 2, std::int64_t{0}, stages);
+      const std::int64_t c0 =
+          std::clamp(mid - (diff - diff / 2), std::int64_t{0}, stages);
+      pdl1_[bit].set_code(static_cast<std::size_t>(c1));
+      pdl0_[bit].set_code(static_cast<std::size_t>(c0));
+    };
+    while (hi - lo > 1) {
+      const std::int64_t mid = lo + (hi - lo) / 2;
+      apply(mid);
+      const double bias = measure_bias(bit, samples_per_step, rng);
+      // bias rises monotonically with diff (delta = t1 - t0 grows with
+      // code1 - code0); bisect toward the 50% crossing.
+      if (bias > 0.5) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+    apply(lo);
+    const double bias_lo = std::abs(
+        measure_bias(bit, samples_per_step, rng) - 0.5);
+    apply(hi);
+    const double bias_hi = std::abs(
+        measure_bias(bit, samples_per_step, rng) - 0.5);
+    if (bias_lo < bias_hi) apply(lo);
+    worst = std::max(worst, std::min(bias_lo, bias_hi));
+  }
+  calibrated_ = true;
+  return worst;
+}
+
+double FpgaBoard::residual_skew_ps(std::size_t bit) const {
+  if (bit >= puf_.response_bits()) {
+    throw std::out_of_range("FpgaBoard::residual_skew_ps: bad bit");
+  }
+  return routing_skew_ps_[bit] + pdl1_[bit].delay_ps() - pdl0_[bit].delay_ps();
+}
+
+}  // namespace pufatt::fpga

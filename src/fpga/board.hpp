@@ -1,0 +1,84 @@
+// FPGA prototype model of the ALU PUF (paper Section 4.1,
+// "Implementation"): a 16-bit PUF on a Virtex-5-class fabric where
+// automated routing adds per-bit skew that dwarfs process variation, and
+// per-signal programmable delay lines compensate after a calibration pass
+// ("we calibrate the delay of the two symmetric delay paths so that on
+// average the occurrence of 0 and 1 at each arbiter is about the same").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "alupuf/alu_puf.hpp"
+#include "fpga/pdl.hpp"
+
+namespace pufatt::fpga {
+
+/// Default PUF configuration for an FPGA fabric: 16 bits (the paper's
+/// prototype width) and a much larger *shared* design asymmetry — on an
+/// FPGA the challenge-dependent delay structure comes mostly from the
+/// routed LUT paths, which are identical on every board of the same
+/// bitstream.  Only the small process-variation part differs per board,
+/// which is why the paper measures just 18.8% inter-board HD (far below
+/// the ASIC simulation's 35.9%).
+inline alupuf::AluPufConfig fpga_puf_config() {
+  alupuf::AluPufConfig config;
+  config.width = 16;
+  config.tech.design_asym_sigma = 0.30;
+  config.tech.vth_sigma_ratio = 0.045;
+  return config;
+}
+
+struct FpgaBoardParams {
+  alupuf::AluPufConfig puf = fpga_puf_config();
+  PdlParams pdl;
+  /// Per-bit routing skew between the two raced paths (sigma, ps): an
+  /// order of magnitude above the process-variation signal.
+  double routing_skew_sigma_ps = 60.0;
+  /// Additive per-evaluation timing noise on the board (ps): worse than
+  /// the ASIC model ("a little higher than in our simulation due to
+  /// environmental fluctuations").
+  double board_noise_ps = 2.0;
+};
+
+/// One physical FPGA board carrying one ALU PUF instance.
+class FpgaBoard {
+ public:
+  FpgaBoard(const FpgaBoardParams& params, std::uint64_t board_seed);
+
+  std::size_t response_bits() const { return puf_.response_bits(); }
+  std::size_t challenge_bits() const { return puf_.challenge_bits(); }
+
+  /// One evaluation including routing skew, PDL compensation, board noise
+  /// and arbiter metastability.
+  alupuf::RawResponse eval(const alupuf::Challenge& challenge,
+                           support::Xoshiro256pp& rng) const;
+
+  /// Fraction of 1s bit `bit` produces over `samples` random challenges.
+  double measure_bias(std::size_t bit, std::size_t samples,
+                      support::Xoshiro256pp& rng) const;
+
+  /// Tunes every bit's PDL codes by bisection until the measured bias is
+  /// near 50% (the paper's tuning procedure).  Returns the worst residual
+  /// |bias - 0.5| across bits.
+  double calibrate(std::size_t samples_per_step, support::Xoshiro256pp& rng);
+
+  /// Residual (post-PDL) static skew of a bit, ps — for analysis.
+  double residual_skew_ps(std::size_t bit) const;
+
+  bool calibrated() const { return calibrated_; }
+  const alupuf::AluPuf& puf() const { return puf_; }
+
+ private:
+  /// Effective race delta for bit `bit` (before noise/arbiter).
+  double static_delta_ps(std::size_t bit, const std::vector<double>& puf_deltas) const;
+
+  FpgaBoardParams params_;
+  alupuf::AluPuf puf_;
+  std::vector<double> routing_skew_ps_;  ///< per bit, added to t1 - t0
+  std::vector<Pdl> pdl0_;                ///< delay added to the ALU0 path
+  std::vector<Pdl> pdl1_;                ///< delay added to the ALU1 path
+  bool calibrated_ = false;
+};
+
+}  // namespace pufatt::fpga

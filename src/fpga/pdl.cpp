@@ -1,0 +1,35 @@
+#include "fpga/pdl.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pufatt::fpga {
+
+Pdl::Pdl(const PdlParams& params, support::Xoshiro256pp& rng) {
+  if (params.stages == 0) throw std::invalid_argument("Pdl: zero stages");
+  steps_ps_.resize(params.stages);
+  for (auto& step : steps_ps_) {
+    step = std::max(0.1, rng.gaussian(params.step_ps, params.step_sigma_ps));
+  }
+}
+
+void Pdl::set_code(std::size_t code) {
+  if (code > steps_ps_.size()) {
+    throw std::out_of_range("Pdl::set_code: code exceeds stage count");
+  }
+  code_ = code;
+}
+
+double Pdl::delay_ps() const {
+  double total = 0.0;
+  for (std::size_t i = 0; i < code_; ++i) total += steps_ps_[i];
+  return total;
+}
+
+double Pdl::max_delay_ps() const {
+  double total = 0.0;
+  for (const auto step : steps_ps_) total += step;
+  return total;
+}
+
+}  // namespace pufatt::fpga

@@ -1,0 +1,50 @@
+// Programmable delay lines (PDLs) for FPGA delay tuning (Majzoobi,
+// Koushanfar, Devadas — WIFS 2010; the paper's reference [20]).
+//
+// On an FPGA the two "symmetric" ALU paths are not symmetric: automated
+// routing introduces per-bit skews far larger than the process variation
+// the PUF wants to measure.  Each raced output therefore passes through a
+// 64-stage PDL whose per-stage delay increments are configurable; a
+// calibration loop tunes the codes until each arbiter sits near 50/50 —
+// exactly the procedure the paper describes for its Virtex-5 prototype.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pufatt::fpga {
+
+struct PdlParams {
+  std::size_t stages = 64;
+  /// Extra delay per enabled stage, picoseconds (LUT route detour).
+  double step_ps = 2.5;
+  /// Per-stage manufacturing spread of the step.
+  double step_sigma_ps = 0.3;
+};
+
+/// One programmable delay line instance (per raced signal).
+class Pdl {
+ public:
+  /// Samples per-stage step delays for this physical instance.
+  Pdl(const PdlParams& params, support::Xoshiro256pp& rng);
+
+  std::size_t stages() const { return steps_ps_.size(); }
+
+  /// Number of currently enabled stages (the "code").
+  std::size_t code() const { return code_; }
+  void set_code(std::size_t code);
+
+  /// Total extra delay at the current code.
+  double delay_ps() const;
+
+  /// Maximum tunable delay (all stages enabled).
+  double max_delay_ps() const;
+
+ private:
+  std::vector<double> steps_ps_;
+  std::size_t code_ = 0;
+};
+
+}  // namespace pufatt::fpga

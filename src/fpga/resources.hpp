@@ -1,0 +1,33 @@
+// Reproduction of the paper's Table 1: FPGA resource utilization of the
+// 16-bit ALU PUF prototype and its supporting logic.
+//
+// The first four rows are estimated by technology-mapping our actual gate
+// netlists onto Virtex-5-style 6-LUTs (netlist/techmap.hpp); sequential
+// resources come from explicit register breakdowns documented per
+// component.  The PDL row is parameterized by the Majzoobi-style stage
+// structure; the SIRC row models the third-party host-communication IP
+// (Eguro, FCCM 2010) from its buffer/FIFO architecture.
+#pragma once
+
+#include <vector>
+
+#include "netlist/techmap.hpp"
+
+namespace pufatt::fpga {
+
+struct Table1Row {
+  netlist::ResourceEstimate ours;
+  netlist::ResourceEstimate paper;  ///< the values Table 1 reports
+};
+
+/// Computes all six rows (ALU PUF, synchronization logic, syndrome
+/// generator, obfuscation logic, PDL logic, SIRC logic) for the 16-bit
+/// prototype configuration.
+std::vector<Table1Row> table1_rows();
+
+/// LUT count of one complete multi-op ALU of the given width — the block
+/// the paper assumes already exists ("one does not re-use an existing
+/// ALU" is the Table-1 scenario; reuse makes the PUF nearly free).
+std::size_t full_alu_luts(std::size_t width);
+
+}  // namespace pufatt::fpga

@@ -1,0 +1,59 @@
+#include "mlattack/attack.hpp"
+
+namespace pufatt::mlattack {
+
+namespace {
+
+AttackResult run_attack(std::vector<Example> train, std::vector<Example> test,
+                        const AttackConfig& config,
+                        support::Xoshiro256pp& rng) {
+  AttackResult result;
+  result.training_crps = train.size();
+  if (train.empty()) return result;
+  LogisticRegression model(train.front().features.size());
+  model.train(train, config.logreg, rng);
+  result.train_accuracy = model.accuracy(train);
+  result.test_accuracy = model.accuracy(test);
+  return result;
+}
+
+}  // namespace
+
+AttackResult attack_arbiter(const alupuf::ArbiterPuf& puf,
+                            std::size_t training_crps,
+                            support::Xoshiro256pp& rng,
+                            const AttackConfig& config) {
+  auto train = collect_arbiter(puf, training_crps, rng);
+  auto test = collect_arbiter(puf, config.test_crps, rng);
+  return run_attack(std::move(train), std::move(test), config, rng);
+}
+
+AttackResult attack_xor_arbiter(const alupuf::XorArbiterPuf& puf,
+                                std::size_t training_crps,
+                                support::Xoshiro256pp& rng,
+                                const AttackConfig& config) {
+  auto train = collect_xor_arbiter(puf, training_crps, rng);
+  auto test = collect_xor_arbiter(puf, config.test_crps, rng);
+  return run_attack(std::move(train), std::move(test), config, rng);
+}
+
+AttackResult attack_alu_raw_bit(const alupuf::AluPuf& puf, std::size_t bit,
+                                std::size_t training_crps,
+                                support::Xoshiro256pp& rng,
+                                const AttackConfig& config) {
+  auto train = collect_alu_raw(puf, bit, training_crps, rng);
+  auto test = collect_alu_raw(puf, bit, config.test_crps, rng);
+  return run_attack(std::move(train), std::move(test), config, rng);
+}
+
+AttackResult attack_obfuscated_bit(const alupuf::PufDevice& device,
+                                   std::size_t bit,
+                                   std::size_t training_crps,
+                                   support::Xoshiro256pp& rng,
+                                   const AttackConfig& config) {
+  auto train = collect_obfuscated(device, bit, training_crps, rng);
+  auto test = collect_obfuscated(device, bit, config.test_crps, rng);
+  return run_attack(std::move(train), std::move(test), config, rng);
+}
+
+}  // namespace pufatt::mlattack

@@ -1,0 +1,55 @@
+// Modeling-attack orchestration: train on N CRPs, report train/test
+// accuracy.  Reproduces the paper's side-channel/ML discussion: the plain
+// Arbiter PUF collapses to the attacker, the raw ALU PUF leaks partially,
+// the obfuscated output resists (test accuracy ~ 50%).
+#pragma once
+
+#include <cstddef>
+
+#include "alupuf/alu_puf.hpp"
+#include "alupuf/arbiter_puf.hpp"
+#include "alupuf/pipeline.hpp"
+#include "mlattack/dataset.hpp"
+#include "mlattack/logreg.hpp"
+
+namespace pufatt::mlattack {
+
+struct AttackResult {
+  std::size_t training_crps = 0;
+  double train_accuracy = 0.0;
+  double test_accuracy = 0.0;
+};
+
+struct AttackConfig {
+  std::size_t test_crps = 2000;
+  LogRegParams logreg;
+};
+
+/// LR attack on the classic Arbiter PUF (the textbook break).
+AttackResult attack_arbiter(const alupuf::ArbiterPuf& puf,
+                            std::size_t training_crps,
+                            support::Xoshiro256pp& rng,
+                            const AttackConfig& config = {});
+
+/// LR attack on a k-XOR arbiter PUF: accuracy collapses toward 50% as k
+/// grows (linear models cannot express the XOR of k halfspaces) — the
+/// same mechanism the ALU PUF's obfuscation network relies on.
+AttackResult attack_xor_arbiter(const alupuf::XorArbiterPuf& puf,
+                                std::size_t training_crps,
+                                support::Xoshiro256pp& rng,
+                                const AttackConfig& config = {});
+
+/// LR attack on one raw ALU PUF response bit.
+AttackResult attack_alu_raw_bit(const alupuf::AluPuf& puf, std::size_t bit,
+                                std::size_t training_crps,
+                                support::Xoshiro256pp& rng,
+                                const AttackConfig& config = {});
+
+/// LR attack on one obfuscated output bit of the full pipeline.
+AttackResult attack_obfuscated_bit(const alupuf::PufDevice& device,
+                                   std::size_t bit,
+                                   std::size_t training_crps,
+                                   support::Xoshiro256pp& rng,
+                                   const AttackConfig& config = {});
+
+}  // namespace pufatt::mlattack

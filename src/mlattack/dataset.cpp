@@ -1,0 +1,89 @@
+#include "mlattack/dataset.hpp"
+
+namespace pufatt::mlattack {
+
+using support::BitVector;
+
+std::vector<double> arbiter_features(const BitVector& challenge) {
+  return alupuf::ArbiterPuf::features(challenge);
+}
+
+std::vector<double> alu_features(const BitVector& challenge) {
+  const std::size_t width = challenge.size() / 2;
+  std::vector<double> features;
+  features.reserve(challenge.size() + width + 1);
+  for (std::size_t i = 0; i < challenge.size(); ++i) {
+    features.push_back(challenge.get(i) ? 1.0 : -1.0);
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    const bool propagate = challenge.get(i) != challenge.get(width + i);
+    features.push_back(propagate ? 1.0 : -1.0);
+  }
+  features.push_back(1.0);
+  return features;
+}
+
+std::vector<double> word_features(std::uint64_t x) {
+  std::vector<double> features;
+  features.reserve(65);
+  for (unsigned i = 0; i < 64; ++i) {
+    features.push_back(((x >> i) & 1ULL) != 0 ? 1.0 : -1.0);
+  }
+  features.push_back(1.0);
+  return features;
+}
+
+std::vector<Example> collect_arbiter(const alupuf::ArbiterPuf& puf,
+                                     std::size_t count,
+                                     support::Xoshiro256pp& rng) {
+  std::vector<Example> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto challenge = BitVector::random(puf.challenge_bits(), rng);
+    out.push_back(Example{arbiter_features(challenge), puf.eval(challenge, rng)});
+  }
+  return out;
+}
+
+std::vector<Example> collect_xor_arbiter(const alupuf::XorArbiterPuf& puf,
+                                         std::size_t count,
+                                         support::Xoshiro256pp& rng) {
+  std::vector<Example> out;
+  out.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto challenge = BitVector::random(puf.challenge_bits(), rng);
+    out.push_back(
+        Example{arbiter_features(challenge), puf.eval(challenge, rng)});
+  }
+  return out;
+}
+
+std::vector<Example> collect_alu_raw(const alupuf::AluPuf& puf,
+                                     std::size_t bit, std::size_t count,
+                                     support::Xoshiro256pp& rng) {
+  std::vector<Example> out;
+  out.reserve(count);
+  const auto env = variation::Environment::nominal();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto challenge = BitVector::random(puf.challenge_bits(), rng);
+    const auto response = puf.eval(challenge, env, rng);
+    out.push_back(Example{alu_features(challenge), response.get(bit)});
+  }
+  return out;
+}
+
+std::vector<Example> collect_obfuscated(const alupuf::PufDevice& device,
+                                        std::size_t bit, std::size_t count,
+                                        support::Xoshiro256pp& rng) {
+  std::vector<Example> out;
+  out.reserve(count);
+  const auto env = variation::Environment::nominal();
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::uint64_t x = rng.next();
+    const auto result = device.query(x, env, rng);
+    out.push_back(Example{word_features(x), result.z.get(bit)});
+  }
+  return out;
+}
+
+}  // namespace pufatt::mlattack

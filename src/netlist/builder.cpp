@@ -1,0 +1,279 @@
+#include "netlist/builder.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace pufatt::netlist {
+
+FullAdderPorts build_full_adder(Netlist& net, GateId a, GateId b, GateId cin,
+                                Placement place) {
+  // sum = a ^ b ^ cin; cout = (a & b) | ((a ^ b) & cin).
+  // Built from 2-input gates so the carry chain has realistic per-stage
+  // depth (the delay the PUF races lives in this chain).
+  const GateId axb = net.add_gate(GateKind::kXor, {a, b}, place);
+  const GateId sum = net.add_gate(GateKind::kXor, {axb, cin}, place);
+  const GateId g = net.add_gate(GateKind::kAnd, {a, b}, place);
+  const GateId p = net.add_gate(GateKind::kAnd, {axb, cin}, place);
+  const GateId cout = net.add_gate(GateKind::kOr, {g, p}, place);
+  return FullAdderPorts{sum, cout};
+}
+
+AdderPorts build_ripple_carry_adder(Netlist& net,
+                                    const std::vector<GateId>& a,
+                                    const std::vector<GateId>& b,
+                                    GateId carry_in, Placement origin) {
+  if (a.size() != b.size() || a.empty()) {
+    throw std::invalid_argument("ripple_carry_adder: operand size mismatch");
+  }
+  AdderPorts ports;
+  GateId carry = carry_in;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const Placement place{origin.x + static_cast<double>(i), origin.y};
+    const GateId first = static_cast<GateId>(net.num_gates());
+    const auto fa = build_full_adder(net, a[i], b[i], carry, place);
+    std::vector<GateId> stage;
+    for (GateId g = first; g < net.num_gates(); ++g) stage.push_back(g);
+    ports.stage_gates.push_back(std::move(stage));
+    ports.sum.push_back(fa.sum);
+    carry = fa.carry_out;
+  }
+  ports.carry_out = carry;
+  return ports;
+}
+
+AluPufCircuit build_alu_puf_circuit(std::size_t width,
+                                    const AluPufLayout& layout) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("alu_puf_circuit: width must be in [1,64]");
+  }
+  AluPufCircuit circuit;
+  circuit.width = width;
+  Netlist& net = circuit.net;
+
+  // Shared challenge inputs (operand a then operand b), placed between the
+  // two ALUs so wire asymmetry is minimal by construction.
+  std::vector<GateId> a_bits, b_bits;
+  for (std::size_t i = 0; i < width; ++i) {
+    a_bits.push_back(net.add_input(
+        "a" + std::to_string(i),
+        Placement{layout.origin_x + static_cast<double>(i),
+                  layout.origin_y + layout.alu_separation / 2.0}));
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    b_bits.push_back(net.add_input(
+        "b" + std::to_string(i),
+        Placement{layout.origin_x + static_cast<double>(i),
+                  layout.origin_y + layout.alu_separation / 2.0}));
+  }
+  circuit.challenge_inputs = a_bits;
+  circuit.challenge_inputs.insert(circuit.challenge_inputs.end(),
+                                  b_bits.begin(), b_bits.end());
+
+  const GateId zero = net.add_gate(GateKind::kConst0, {},
+                                   Placement{layout.origin_x, layout.origin_y});
+
+  // ALU 0 at y = origin, ALU 1 at y = origin + separation: structurally
+  // identical, physically adjacent (the paper's close-proximity argument).
+  const auto alu0 = build_ripple_carry_adder(
+      net, a_bits, b_bits, zero,
+      Placement{layout.origin_x, layout.origin_y});
+  const auto alu1 = build_ripple_carry_adder(
+      net, a_bits, b_bits, zero,
+      Placement{layout.origin_x, layout.origin_y + layout.alu_separation});
+
+  circuit.race0 = alu0.sum;
+  circuit.race0.push_back(alu0.carry_out);
+  circuit.race1 = alu1.sum;
+  circuit.race1.push_back(alu1.carry_out);
+  circuit.stage_gates0 = alu0.stage_gates;
+  circuit.stage_gates1 = alu1.stage_gates;
+
+  for (std::size_t i = 0; i < circuit.race0.size(); ++i) {
+    net.add_output("o" + std::to_string(i), circuit.race0[i]);
+    net.add_output("o'" + std::to_string(i), circuit.race1[i]);
+  }
+  return circuit;
+}
+
+Netlist build_obfuscation_circuit(std::size_t half_width_n) {
+  const std::size_t n = half_width_n;
+  const std::size_t two_n = 2 * n;
+  Netlist net;
+  // 8 raw responses y_0..y_7 of 2n bits each.
+  std::vector<std::vector<GateId>> y(8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t i = 0; i < two_n; ++i) {
+      y[r].push_back(net.add_input(
+          "y" + std::to_string(r) + "_" + std::to_string(i),
+          Placement{static_cast<double>(i), static_cast<double>(r)}));
+    }
+  }
+  // Phase 1: fold each 2n-bit response to n bits: a_r[i] = y_r[i] ^ y_r[i+n].
+  std::vector<std::vector<GateId>> folded(8);
+  for (std::size_t r = 0; r < 8; ++r) {
+    for (std::size_t i = 0; i < n; ++i) {
+      folded[r].push_back(
+          net.add_gate(GateKind::kXor, {y[r][i], y[r][i + n]},
+                       Placement{static_cast<double>(i),
+                                 static_cast<double>(r) + 0.5}));
+    }
+  }
+  // Concatenate pairs into four 2n-bit words b_0..b_3, then z = XOR of all
+  // four (3 XOR levels per output bit = 3*2n gates).
+  std::vector<std::vector<GateId>> b(4);
+  for (std::size_t j = 0; j < 4; ++j) {
+    b[j] = folded[2 * j];
+    b[j].insert(b[j].end(), folded[2 * j + 1].begin(), folded[2 * j + 1].end());
+  }
+  for (std::size_t i = 0; i < two_n; ++i) {
+    const GateId x01 = net.add_gate(GateKind::kXor, {b[0][i], b[1][i]},
+                                    Placement{static_cast<double>(i), 9.0});
+    const GateId x23 = net.add_gate(GateKind::kXor, {b[2][i], b[3][i]},
+                                    Placement{static_cast<double>(i), 9.5});
+    const GateId z = net.add_gate(GateKind::kXor, {x01, x23},
+                                  Placement{static_cast<double>(i), 10.0});
+    net.add_output("z" + std::to_string(i), z);
+  }
+  return net;
+}
+
+Netlist build_syndrome_circuit(
+    const std::vector<support::BitVector>& parity_rows) {
+  if (parity_rows.empty()) {
+    throw std::invalid_argument("syndrome_circuit: empty parity matrix");
+  }
+  const std::size_t n = parity_rows.front().size();
+  Netlist net;
+  std::vector<GateId> y;
+  for (std::size_t i = 0; i < n; ++i) {
+    y.push_back(net.add_input("y" + std::to_string(i),
+                              Placement{static_cast<double>(i), 0.0}));
+  }
+  for (std::size_t j = 0; j < parity_rows.size(); ++j) {
+    const auto& row = parity_rows[j];
+    if (row.size() != n) {
+      throw std::invalid_argument("syndrome_circuit: ragged parity matrix");
+    }
+    std::vector<GateId> terms;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (row.get(i)) terms.push_back(y[i]);
+    }
+    GateId out;
+    const Placement place{static_cast<double>(j), 2.0};
+    if (terms.empty()) {
+      out = net.add_gate(GateKind::kConst0, {}, place);
+    } else if (terms.size() == 1) {
+      out = net.add_gate(GateKind::kBuf, {terms[0]}, place);
+    } else {
+      // Balanced XOR tree of 2-input gates.
+      std::vector<GateId> level = terms;
+      while (level.size() > 1) {
+        std::vector<GateId> next;
+        for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+          next.push_back(
+              net.add_gate(GateKind::kXor, {level[i], level[i + 1]}, place));
+        }
+        if (level.size() % 2 != 0) next.push_back(level.back());
+        level = std::move(next);
+      }
+      out = level[0];
+    }
+    net.add_output("h" + std::to_string(j), out);
+  }
+  return net;
+}
+
+AluPorts build_full_alu(Netlist& net, std::size_t width, Placement origin) {
+  if (width == 0 || width > 64) {
+    throw std::invalid_argument("build_full_alu: width must be in [1,64]");
+  }
+  AluPorts ports;
+  for (std::size_t i = 0; i < width; ++i) {
+    ports.a_in.push_back(net.add_input(
+        "alu_a" + std::to_string(i),
+        Placement{origin.x + static_cast<double>(i), origin.y}));
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    ports.b_in.push_back(net.add_input(
+        "alu_b" + std::to_string(i),
+        Placement{origin.x + static_cast<double>(i), origin.y}));
+  }
+  for (int i = 0; i < 3; ++i) {
+    ports.opcode.push_back(net.add_input("alu_op" + std::to_string(i),
+                                         Placement{origin.x, origin.y}));
+  }
+  const GateId op0 = ports.opcode[0];
+  const GateId op1 = ports.opcode[1];
+  const GateId op2 = ports.opcode[2];
+
+  // Subtraction shares the adder: b XOR sub, carry-in = sub.
+  // sub is active for opcode 001 (op0=1, op1=0, op2=0); the adder is used
+  // for opcodes 00x.
+  const GateId not_op1 = net.add_gate(GateKind::kNot, {op1}, origin);
+  const GateId not_op2 = net.add_gate(GateKind::kNot, {op2}, origin);
+  const GateId is_addsub_hi =
+      net.add_gate(GateKind::kAnd, {not_op1, not_op2}, origin);
+  const GateId sub = net.add_gate(GateKind::kAnd, {op0, is_addsub_hi}, origin);
+
+  std::vector<GateId> b_eff;
+  for (std::size_t i = 0; i < width; ++i) {
+    b_eff.push_back(net.add_gate(
+        GateKind::kXor, {ports.b_in[i], sub},
+        Placement{origin.x + static_cast<double>(i), origin.y + 0.5}));
+  }
+  const auto adder = build_ripple_carry_adder(
+      net, ports.a_in, b_eff, sub,
+      Placement{origin.x, origin.y + 1.0});
+  ports.adder_sum = adder.sum;
+  ports.carry_out = adder.carry_out;
+
+  // Bitwise units + per-bit result mux tree selected by the opcode.
+  for (std::size_t i = 0; i < width; ++i) {
+    const Placement place{origin.x + static_cast<double>(i), origin.y + 2.0};
+    const GateId and_g =
+        net.add_gate(GateKind::kAnd, {ports.a_in[i], ports.b_in[i]}, place);
+    const GateId or_g =
+        net.add_gate(GateKind::kOr, {ports.a_in[i], ports.b_in[i]}, place);
+    const GateId xor_g =
+        net.add_gate(GateKind::kXor, {ports.a_in[i], ports.b_in[i]}, place);
+    const GateId nor_g =
+        net.add_gate(GateKind::kNor, {ports.a_in[i], ports.b_in[i]}, place);
+    // Level 1 (select by op0): {addsub, addsub} {and, or} {xor, nor} {a, b}.
+    const GateId m0 =
+        net.add_gate(GateKind::kMux, {op0, adder.sum[i], adder.sum[i]}, place);
+    const GateId m1 = net.add_gate(GateKind::kMux, {op0, and_g, or_g}, place);
+    const GateId m2 = net.add_gate(GateKind::kMux, {op0, xor_g, nor_g}, place);
+    const GateId m3 = net.add_gate(
+        GateKind::kMux, {op0, ports.a_in[i], ports.b_in[i]}, place);
+    // Level 2 (op1), level 3 (op2).
+    const GateId m01 = net.add_gate(GateKind::kMux, {op1, m0, m1}, place);
+    const GateId m23 = net.add_gate(GateKind::kMux, {op1, m2, m3}, place);
+    const GateId result = net.add_gate(GateKind::kMux, {op2, m01, m23}, place);
+    ports.result.push_back(result);
+    net.add_output("alu_r" + std::to_string(i), result);
+  }
+  return ports;
+}
+
+Netlist build_pdl_bank(std::size_t lines, std::size_t stages) {
+  Netlist net;
+  for (std::size_t l = 0; l < lines; ++l) {
+    const GateId in = net.add_input("d" + std::to_string(l),
+                                    Placement{0.0, static_cast<double>(l)});
+    GateId sig = in;
+    for (std::size_t s = 0; s < stages; ++s) {
+      const Placement place{static_cast<double>(s) + 1.0,
+                            static_cast<double>(l)};
+      // Each PDL stage is a MUX whose select is a static configuration bit
+      // (tied off here; the FPGA model overrides per-stage delays).  Both
+      // data inputs carry the same logical signal; only the physical path
+      // (and hence delay) differs.
+      const GateId sel = net.add_gate(GateKind::kConst0, {}, place);
+      sig = net.add_gate(GateKind::kMux, {sel, sig, sig}, place);
+    }
+    net.add_output("q" + std::to_string(l), sig);
+  }
+  return net;
+}
+
+}  // namespace pufatt::netlist

@@ -1,0 +1,115 @@
+// Netlist builders for every circuit the paper's system contains:
+// full adders, ripple-carry adders, the dual-ALU PUF core, the XOR
+// obfuscation network, syndrome-generator XOR trees and programmable delay
+// lines (PDLs) for the FPGA model.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "support/bitvec.hpp"
+
+namespace pufatt::netlist {
+
+/// Result of instantiating one ripple-carry adder.
+struct AdderPorts {
+  std::vector<GateId> sum;  ///< sum bits, LSB first (size = width)
+  GateId carry_out = 0;     ///< final carry
+  /// Gates of each full-adder stage (5 per stage).  Needed by the
+  /// directed-aging tuner, which stresses one specific stage of one ALU.
+  std::vector<std::vector<GateId>> stage_gates;
+};
+
+/// Builds a single full adder on existing nets.  Gates are placed at
+/// `place`.  Returns {sum, carry_out}.
+struct FullAdderPorts {
+  GateId sum = 0;
+  GateId carry_out = 0;
+};
+FullAdderPorts build_full_adder(Netlist& net, GateId a, GateId b, GateId cin,
+                                Placement place);
+
+/// Builds a `width`-bit ripple-carry adder over existing operand nets
+/// (a and b must each have `width` entries, LSB first).  `origin` is the
+/// placement of bit 0; successive bits advance +1 in x (carry chains are
+/// physically linear, which matters for spatial variation).
+AdderPorts build_ripple_carry_adder(Netlist& net,
+                                    const std::vector<GateId>& a,
+                                    const std::vector<GateId>& b,
+                                    GateId carry_in, Placement origin);
+
+/// The ALU PUF circuit of the paper (Figure 1, generalized to any width):
+/// two structurally identical ripple-carry adders fed by the *same*
+/// challenge inputs; the race between corresponding sum bits drives the
+/// arbiters (modeled in src/timingsim, not as gates).
+struct AluPufCircuit {
+  Netlist net;
+  std::size_t width = 0;
+  /// 2*width shared challenge inputs: a[0..w-1] then b[0..w-1].
+  std::vector<GateId> challenge_inputs;
+  /// Sum-bit nets of ALU0 / ALU1 (width entries each) plus carry-out:
+  /// response bit i races sum0[i] against sum1[i]; bit `width` races the
+  /// carry-outs, giving width+1 racable bits (we use the first
+  /// `response_bits` of them).
+  std::vector<GateId> race0;
+  std::vector<GateId> race1;
+  /// Full-adder stage gates per ALU (width entries of 5 gates each), for
+  /// the directed-aging response tuner.
+  std::vector<std::vector<GateId>> stage_gates0;
+  std::vector<std::vector<GateId>> stage_gates1;
+};
+
+struct AluPufLayout {
+  /// Grid distance between the two ALUs.  The paper places them in close
+  /// proximity so coarse-grained (systematic) variation is common-mode.
+  double alu_separation = 2.0;
+  /// Die origin of the PUF block.
+  double origin_x = 0.0;
+  double origin_y = 0.0;
+};
+
+/// Builds the dual-adder PUF circuit.  The challenge is the concatenation
+/// of the two add operands, as in the paper ("the add instruction reads the
+/// PUF challenge (operands) from the registers").
+AluPufCircuit build_alu_puf_circuit(std::size_t width,
+                                    const AluPufLayout& layout = {});
+
+/// The two-phase XOR obfuscation network as a gate netlist (used for
+/// resource estimation; the functional model lives in src/alupuf).
+/// Inputs: 8 raw responses of `2n` bits each.  Phase 1 folds each response
+/// i to n bits (y[i] XOR y[i+n]); phase 2 XORs the four concatenated 2n-bit
+/// words.  For 2n=32 this yields exactly the 224 XOR gates of Table 1.
+Netlist build_obfuscation_circuit(std::size_t half_width_n);
+
+/// Syndrome generator as combinational XOR trees from a parity-check
+/// matrix: output j = XOR of response bits where H(j, i) = 1.
+/// `parity_rows` holds one BitVector of length n per syndrome bit.
+Netlist build_syndrome_circuit(
+    const std::vector<support::BitVector>& parity_rows);
+
+/// A complete multi-operation ALU (the component the paper *reuses*:
+/// "modern processors contain redundancies in their ALU structure,
+/// resulting in low hardware overhead").  Operations, selected by a 3-bit
+/// opcode: 000 ADD, 001 SUB, 010 AND, 011 OR, 100 XOR, 101 NOR,
+/// 110 pass-A, 111 pass-B.  The adder core is the same ripple-carry
+/// structure the PUF races.
+struct AluPorts {
+  std::vector<GateId> a_in;
+  std::vector<GateId> b_in;
+  std::vector<GateId> opcode;  ///< 3 bits
+  std::vector<GateId> result;  ///< width bits
+  GateId carry_out = 0;        ///< adder/subtractor carry
+  /// Sum nets of the internal adder (the PUF's raced signals when the ALU
+  /// doubles as a PUF).
+  std::vector<GateId> adder_sum;
+};
+AluPorts build_full_alu(Netlist& net, std::size_t width, Placement origin);
+
+/// A programmable delay line bank: `lines` independent signals each passing
+/// through `stages` cascaded MUX stages (select inputs are static
+/// configuration, modeled as constants).  Used by the FPGA model for delay
+/// tuning (Majzoobi et al., WIFS 2010) and by the Table-1 estimator.
+Netlist build_pdl_bank(std::size_t lines, std::size_t stages);
+
+}  // namespace pufatt::netlist

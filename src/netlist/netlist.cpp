@@ -1,0 +1,162 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+namespace pufatt::netlist {
+
+const char* to_string(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput: return "INPUT";
+    case GateKind::kConst0: return "CONST0";
+    case GateKind::kConst1: return "CONST1";
+    case GateKind::kBuf: return "BUF";
+    case GateKind::kNot: return "NOT";
+    case GateKind::kAnd: return "AND";
+    case GateKind::kOr: return "OR";
+    case GateKind::kNand: return "NAND";
+    case GateKind::kNor: return "NOR";
+    case GateKind::kXor: return "XOR";
+    case GateKind::kXnor: return "XNOR";
+    case GateKind::kMux: return "MUX";
+  }
+  return "?";
+}
+
+int required_fanins(GateKind kind) {
+  switch (kind) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+    case GateKind::kConst1:
+      return 0;
+    case GateKind::kBuf:
+    case GateKind::kNot:
+      return 1;
+    case GateKind::kMux:
+      return 3;
+    case GateKind::kAnd:
+    case GateKind::kOr:
+    case GateKind::kNand:
+    case GateKind::kNor:
+    case GateKind::kXor:
+    case GateKind::kXnor:
+      return -1;  // any >= 2
+  }
+  return 0;
+}
+
+GateId Netlist::add_input(const std::string& name, Placement place) {
+  const auto id = static_cast<GateId>(gates_.size());
+  gates_.push_back(Gate{GateKind::kInput, {}, place});
+  inputs_.push_back(id);
+  input_names_.push_back(name);
+  return id;
+}
+
+GateId Netlist::add_gate(GateKind kind, std::vector<GateId> fanins,
+                         Placement place) {
+  if (kind == GateKind::kInput) {
+    throw std::invalid_argument("use add_input for primary inputs");
+  }
+  const int need = required_fanins(kind);
+  if (need >= 0 && fanins.size() != static_cast<std::size_t>(need)) {
+    throw std::invalid_argument(std::string("wrong fanin count for ") +
+                                to_string(kind));
+  }
+  if (need < 0 && fanins.size() < 2) {
+    throw std::invalid_argument(std::string("need >= 2 fanins for ") +
+                                to_string(kind));
+  }
+  const auto id = static_cast<GateId>(gates_.size());
+  for (const auto f : fanins) {
+    if (f >= id) {
+      throw std::invalid_argument("fanin must precede gate (topological order)");
+    }
+  }
+  gates_.push_back(Gate{kind, std::move(fanins), place});
+  return id;
+}
+
+void Netlist::add_output(const std::string& name, GateId gate) {
+  if (gate >= gates_.size()) {
+    throw std::invalid_argument("output refers to unknown gate");
+  }
+  outputs_.push_back(OutputPort{name, gate});
+}
+
+const std::string& Netlist::input_name(std::size_t i) const {
+  return input_names_.at(i);
+}
+
+std::vector<bool> Netlist::evaluate(
+    const std::vector<bool>& input_values) const {
+  if (input_values.size() != inputs_.size()) {
+    throw std::invalid_argument("evaluate: wrong number of input values");
+  }
+  std::vector<bool> value(gates_.size(), false);
+  std::size_t next_input = 0;
+  for (std::size_t id = 0; id < gates_.size(); ++id) {
+    const Gate& g = gates_[id];
+    switch (g.kind) {
+      case GateKind::kInput:
+        value[id] = input_values[next_input++];
+        break;
+      case GateKind::kConst0:
+        value[id] = false;
+        break;
+      case GateKind::kConst1:
+        value[id] = true;
+        break;
+      case GateKind::kBuf:
+        value[id] = value[g.fanins[0]];
+        break;
+      case GateKind::kNot:
+        value[id] = !value[g.fanins[0]];
+        break;
+      case GateKind::kMux:
+        value[id] = value[g.fanins[0]] ? value[g.fanins[2]]
+                                       : value[g.fanins[1]];
+        break;
+      case GateKind::kAnd:
+      case GateKind::kNand: {
+        bool v = true;
+        for (const auto f : g.fanins) v = v && value[f];
+        value[id] = (g.kind == GateKind::kNand) ? !v : v;
+        break;
+      }
+      case GateKind::kOr:
+      case GateKind::kNor: {
+        bool v = false;
+        for (const auto f : g.fanins) v = v || value[f];
+        value[id] = (g.kind == GateKind::kNor) ? !v : v;
+        break;
+      }
+      case GateKind::kXor:
+      case GateKind::kXnor: {
+        bool v = false;
+        for (const auto f : g.fanins) v = v != value[f];
+        value[id] = (g.kind == GateKind::kXnor) ? !v : v;
+        break;
+      }
+    }
+  }
+  return value;
+}
+
+std::map<GateKind, std::size_t> Netlist::kind_histogram() const {
+  std::map<GateKind, std::size_t> hist;
+  for (const auto& g : gates_) ++hist[g.kind];
+  return hist;
+}
+
+std::size_t Netlist::logic_gate_count() const {
+  std::size_t n = 0;
+  for (const auto& g : gates_) {
+    if (g.kind != GateKind::kInput && g.kind != GateKind::kConst0 &&
+        g.kind != GateKind::kConst1) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+}  // namespace pufatt::netlist

@@ -1,0 +1,111 @@
+// Gate-level netlist intermediate representation.
+//
+// This is the substrate for every hardware model in the repository: the ALU
+// PUF's raced adders, the syndrome generator, the obfuscation network and the
+// FPGA programmable delay lines are all Netlist instances.  The timing
+// simulator (src/timingsim) and the variation model (src/variation) consume
+// this IR; the technology mapper (techmap.hpp) estimates FPGA resources from
+// it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace pufatt::netlist {
+
+using GateId = std::uint32_t;
+
+/// Combinational gate kinds.  `kInput` is a primary input; `kConst0/1` are
+/// tie-offs; `kMux` selects fanin[1] (sel=0) or fanin[2] (sel=1) with
+/// fanin[0] as the select.
+enum class GateKind : std::uint8_t {
+  kInput,
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,
+  kOr,
+  kNand,
+  kNor,
+  kXor,
+  kXnor,
+  kMux,
+};
+
+/// Printable name of a gate kind.
+const char* to_string(GateKind kind);
+
+/// Number of fanins a kind requires; 0 means "any >= 2" (And/Or/...).
+int required_fanins(GateKind kind);
+
+/// Physical placement of a gate on the die, in arbitrary grid units.
+/// The quad-tree variation model correlates gates by position, so builders
+/// must assign meaningful coordinates (two adjacent ALUs share coarse
+/// quadrants and therefore see correlated systematic variation — the effect
+/// the paper relies on for robustness).
+struct Placement {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// One gate: kind, fanin gate ids and placement.
+struct Gate {
+  GateKind kind = GateKind::kInput;
+  std::vector<GateId> fanins;
+  Placement place;
+};
+
+/// A named primary output.
+struct OutputPort {
+  std::string name;
+  GateId gate = 0;
+};
+
+/// A combinational netlist.  Gates are stored in topological order by
+/// construction: every fanin id must be smaller than the gate's own id
+/// (enforced in add_gate), so a single forward pass evaluates the circuit.
+class Netlist {
+ public:
+  /// Adds a primary input and returns its id.
+  GateId add_input(const std::string& name, Placement place = {});
+
+  /// Adds a gate; throws std::invalid_argument if the fanin count does not
+  /// match the kind or any fanin id is >= the new gate's id.
+  GateId add_gate(GateKind kind, std::vector<GateId> fanins,
+                  Placement place = {});
+
+  /// Registers a primary output.
+  void add_output(const std::string& name, GateId gate);
+
+  std::size_t num_gates() const { return gates_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  const Gate& gate(GateId id) const { return gates_.at(id); }
+  const std::vector<Gate>& gates() const { return gates_; }
+  const std::vector<GateId>& inputs() const { return inputs_; }
+  const std::vector<OutputPort>& outputs() const { return outputs_; }
+
+  /// Name of input i (in input-creation order).
+  const std::string& input_name(std::size_t i) const;
+
+  /// Pure functional evaluation: values[i] for input i (in input order).
+  /// Returns the value of every gate.  Used by tests as the golden model
+  /// against the timing simulator.
+  std::vector<bool> evaluate(const std::vector<bool>& input_values) const;
+
+  /// Gate count per kind (Input/Const excluded), for reporting.
+  std::map<GateKind, std::size_t> kind_histogram() const;
+
+  /// Count of gates excluding inputs and constants.
+  std::size_t logic_gate_count() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<GateId> inputs_;
+  std::vector<std::string> input_names_;
+  std::vector<OutputPort> outputs_;
+};
+
+}  // namespace pufatt::netlist

@@ -1,0 +1,99 @@
+#include "netlist/techmap.hpp"
+
+#include <set>
+#include <vector>
+
+namespace pufatt::netlist {
+
+namespace {
+
+bool is_logic(GateKind kind) {
+  return kind != GateKind::kInput && kind != GateKind::kConst0 &&
+         kind != GateKind::kConst1;
+}
+
+}  // namespace
+
+std::size_t estimate_luts(const Netlist& net, const TechmapOptions& options) {
+  const auto& gates = net.gates();
+  // Fanout counts (outputs count as extra fanout so output drivers are
+  // never absorbed into a consumer).
+  std::vector<std::size_t> fanout(gates.size(), 0);
+  for (const auto& g : gates) {
+    for (const auto f : g.fanins) ++fanout[f];
+  }
+  for (const auto& out : net.outputs()) ++fanout[out.gate];
+
+  // absorbed[i] == true: gate i was merged into its unique consumer's LUT.
+  std::vector<bool> absorbed(gates.size(), false);
+  // support[i]: set of primary-input/const/unabsorbed-gate ids feeding the
+  // LUT rooted at i.
+  std::vector<std::set<GateId>> support(gates.size());
+
+  std::size_t luts = 0;
+  for (std::size_t id = 0; id < gates.size(); ++id) {
+    const Gate& g = gates[id];
+    if (!is_logic(g.kind)) continue;
+
+    std::set<GateId>& sup = support[id];
+    for (const auto f : g.fanins) {
+      const Gate& fg = gates[f];
+      const bool mergeable =
+          is_logic(fg.kind) && fanout[f] == 1 &&
+          !(options.keep_mux_stages && fg.kind == GateKind::kMux);
+      if (mergeable && !support[f].empty()) {
+        // Tentatively merge the fanin cone.
+        std::set<GateId> merged = sup;
+        merged.insert(support[f].begin(), support[f].end());
+        if (merged.size() <= options.lut_inputs) {
+          sup = std::move(merged);
+          absorbed[f] = true;
+          continue;
+        }
+      }
+      sup.insert(f);
+    }
+    // Buf/Not over a single net always fit; larger supports that exceed k
+    // inputs would need tree decomposition — approximate with a ceil.
+    if (sup.size() > options.lut_inputs) {
+      // Decompose into a tree of k-LUTs: each extra LUT covers k-1 new
+      // inputs after the first k.
+      const std::size_t k = options.lut_inputs;
+      const std::size_t extra = sup.size() - k;
+      luts += 1 + (extra + (k - 2)) / (k - 1);
+      continue;
+    }
+  }
+
+  for (std::size_t id = 0; id < gates.size(); ++id) {
+    if (is_logic(gates[id].kind) && !absorbed[id] &&
+        support[id].size() <= options.lut_inputs) {
+      ++luts;
+    }
+  }
+  return luts;
+}
+
+std::size_t count_xor_gates(const Netlist& net) {
+  std::size_t n = 0;
+  for (const auto& g : net.gates()) {
+    if (g.kind == GateKind::kXor || g.kind == GateKind::kXnor) ++n;
+  }
+  return n;
+}
+
+ResourceEstimate estimate_component(const std::string& name,
+                                    const Netlist& net,
+                                    const SequentialResources& seq,
+                                    const TechmapOptions& options) {
+  ResourceEstimate est;
+  est.component = name;
+  est.luts = estimate_luts(net, options);
+  est.registers = seq.registers;
+  est.xors = count_xor_gates(net);
+  est.bram = seq.bram;
+  est.fifo = seq.fifo;
+  return est;
+}
+
+}  // namespace pufatt::netlist

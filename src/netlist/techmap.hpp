@@ -1,0 +1,56 @@
+// FPGA technology mapping estimator.
+//
+// Maps a gate netlist onto k-input LUTs (Virtex-5 style, k = 6) with a
+// greedy single-fanout absorption pass, and reports the resource vector of
+// the paper's Table 1 (LUTs / registers / XORs / BRAM / FIFO).  Registers,
+// BRAM and FIFO are sequential resources that do not appear in our purely
+// combinational netlists; callers pass them through `SequentialResources`.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace pufatt::netlist {
+
+/// Sequential resources supplied by the component model (flip-flops for
+/// arbiters/latches/state machines, block RAM for stored matrices, FIFOs
+/// for communication cores).
+struct SequentialResources {
+  std::size_t registers = 0;
+  std::size_t bram = 0;
+  std::size_t fifo = 0;
+};
+
+/// Resource vector matching the columns of the paper's Table 1.
+struct ResourceEstimate {
+  std::string component;
+  std::size_t luts = 0;
+  std::size_t registers = 0;
+  std::size_t xors = 0;  ///< dedicated XOR/carry resources (response path)
+  std::size_t bram = 0;
+  std::size_t fifo = 0;
+};
+
+struct TechmapOptions {
+  std::size_t lut_inputs = 6;  ///< Virtex-5 6-LUT
+  /// When true, each MUX stage maps to its own LUT (PDL stages must not be
+  /// merged: each stage's distinct physical delay is the whole point).
+  bool keep_mux_stages = true;
+};
+
+/// Number of k-LUTs after greedy absorption of single-fanout fanins.
+std::size_t estimate_luts(const Netlist& net, const TechmapOptions& options = {});
+
+/// Number of XOR gates in the netlist (reported in Table 1's XOR column;
+/// on Virtex-5 these map to the dedicated XOR/carry structures).
+std::size_t count_xor_gates(const Netlist& net);
+
+/// Full estimate for one named component.
+ResourceEstimate estimate_component(const std::string& name,
+                                    const Netlist& net,
+                                    const SequentialResources& seq,
+                                    const TechmapOptions& options = {});
+
+}  // namespace pufatt::netlist

@@ -1,0 +1,83 @@
+#include "support/rng.hpp"
+
+#include <bit>
+#include <cmath>
+
+namespace pufatt::support {
+
+std::uint64_t SplitMix64::next() {
+  state_ += 0x9e3779b97f4a7c15ULL;
+  return mix(state_);
+}
+
+std::uint64_t SplitMix64::mix(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+Xoshiro256pp::Xoshiro256pp(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& word : s_) word = sm.next();
+  // An all-zero state is a fixed point of xoshiro; SplitMix64 cannot emit
+  // four consecutive zeros, so no further check is needed.
+}
+
+std::uint64_t Xoshiro256pp::next() {
+  const std::uint64_t result = std::rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = std::rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256pp::uniform() {
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Xoshiro256pp::uniform(double lo, double hi) {
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Xoshiro256pp::uniform_u64(std::uint64_t bound) {
+  if (bound == 0) return 0;
+  // Rejection sampling on the top bits: unbiased and portable.
+  const std::uint64_t threshold = (0ULL - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = next();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+double Xoshiro256pp::gaussian() {
+  if (have_cached_gaussian_) {
+    have_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  // Box-Muller; u1 is kept away from 0 so log() is finite.
+  double u1 = 0.0;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double radius = std::sqrt(-2.0 * std::log(u1));
+  const double angle = 6.283185307179586476925286766559 * u2;
+  cached_gaussian_ = radius * std::sin(angle);
+  have_cached_gaussian_ = true;
+  return radius * std::cos(angle);
+}
+
+double Xoshiro256pp::gaussian(double mean, double stddev) {
+  return mean + stddev * gaussian();
+}
+
+bool Xoshiro256pp::bernoulli(double p) { return uniform() < p; }
+
+Xoshiro256pp Xoshiro256pp::split() { return Xoshiro256pp(next()); }
+
+}  // namespace pufatt::support

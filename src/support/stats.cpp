@@ -1,0 +1,98 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace pufatt::support {
+
+void OnlineStats::add(double x) {
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+Histogram::Histogram(std::size_t num_bins) : bins_(num_bins, 0) {}
+
+void Histogram::add(std::size_t value) {
+  if (bins_.empty()) return;
+  if (value >= bins_.size()) {
+    value = bins_.size() - 1;
+    ++clamped_;
+  }
+  ++bins_[value];
+  ++total_;
+}
+
+double Histogram::mean() const {
+  if (total_ == 0) return 0.0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    sum += static_cast<double>(i) * static_cast<double>(bins_[i]);
+  }
+  return sum / static_cast<double>(total_);
+}
+
+double Histogram::stddev() const {
+  if (total_ == 0) return 0.0;
+  const double mu = mean();
+  double sum = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const double d = static_cast<double>(i) - mu;
+    sum += d * d * static_cast<double>(bins_[i]);
+  }
+  return std::sqrt(sum / static_cast<double>(total_));
+}
+
+double Histogram::fraction(std::size_t i) const {
+  if (total_ == 0) return 0.0;
+  return static_cast<double>(bins_.at(i)) / static_cast<double>(total_);
+}
+
+std::size_t Histogram::quantile(double q) const {
+  if (total_ == 0) return 0;
+  const double target = q * static_cast<double>(total_);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    acc += static_cast<double>(bins_[i]);
+    if (acc >= target) return i;
+  }
+  return bins_.size() - 1;
+}
+
+std::string Histogram::render(const std::string& label,
+                              std::size_t max_width) const {
+  std::ostringstream out;
+  out << label << "  (n=" << total_ << ", mean=" << mean()
+      << ", sd=" << stddev() << ")\n";
+  std::uint64_t peak = 0;
+  for (const auto b : bins_) peak = std::max(peak, b);
+  if (peak == 0) peak = 1;
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    if (bins_[i] == 0) continue;
+    const auto width = static_cast<std::size_t>(
+        static_cast<double>(bins_[i]) / static_cast<double>(peak) *
+        static_cast<double>(max_width));
+    out << "  " << (i < 10 ? " " : "") << i << " | "
+        << std::string(std::max<std::size_t>(width, 1), '#') << "  "
+        << bins_[i] << "\n";
+  }
+  return out.str();
+}
+
+}  // namespace pufatt::support

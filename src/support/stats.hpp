@@ -1,0 +1,65 @@
+// Streaming statistics and integer histograms used by every experiment
+// harness (inter/intra Hamming-distance studies, cycle-count distributions,
+// attack success rates).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pufatt::support {
+
+/// Welford online mean/variance plus min/max tracking.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1 denominator); 0 if fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+
+ private:
+  std::size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Histogram over the integers [0, num_bins).  Out-of-range samples are
+/// clamped into the closest bin and counted in `clamped()` so that harness
+/// code can detect mis-sized histograms.
+class Histogram {
+ public:
+  explicit Histogram(std::size_t num_bins);
+
+  void add(std::size_t value);
+
+  std::size_t num_bins() const { return bins_.size(); }
+  std::uint64_t bin(std::size_t i) const { return bins_.at(i); }
+  std::uint64_t total() const { return total_; }
+  std::uint64_t clamped() const { return clamped_; }
+
+  double mean() const;
+  double stddev() const;
+  /// Fraction of samples falling in bin i.
+  double fraction(std::size_t i) const;
+  /// Smallest v such that at least q of the mass lies at bins <= v.
+  std::size_t quantile(double q) const;
+
+  /// Renders an ASCII bar chart (one row per non-empty bin), used by the
+  /// figure-reproduction benches to mirror the paper's histograms.
+  std::string render(const std::string& label, std::size_t max_width = 60) const;
+
+ private:
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+  std::uint64_t clamped_ = 0;
+};
+
+}  // namespace pufatt::support

@@ -1,0 +1,29 @@
+// Minimal ASCII table printer: every bench binary prints its results as a
+// table mirroring the corresponding table/figure in the paper.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pufatt::support {
+
+/// Accumulates rows of strings and renders them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends one row; the row may have fewer cells than the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with the given precision.
+  static std::string num(double value, int precision = 2);
+
+  /// Renders the table with a header separator line.
+  std::string render() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pufatt::support

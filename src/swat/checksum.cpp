@@ -1,0 +1,118 @@
+#include "swat/checksum.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace pufatt::swat {
+
+void validate(const SwatParams& params) {
+  if (params.rounds == 0 || params.rounds % 8 != 0) {
+    throw std::invalid_argument("SwatParams: rounds must be a multiple of 8");
+  }
+  if (params.puf_interval == 0 || params.puf_interval % 8 != 0) {
+    throw std::invalid_argument(
+        "SwatParams: puf_interval must be a multiple of 8");
+  }
+  if (params.rounds % params.puf_interval != 0) {
+    throw std::invalid_argument(
+        "SwatParams: puf_interval must divide rounds");
+  }
+  if (params.attest_words == 0 ||
+      (params.attest_words & (params.attest_words - 1)) != 0 ||
+      params.attest_words > 65536) {
+    throw std::invalid_argument(
+        "SwatParams: attest_words must be a power of two <= 65536");
+  }
+  if (params.fill_words > 0) {
+    if (params.fill_start + params.fill_words > params.attest_words) {
+      throw std::invalid_argument(
+          "SwatParams: fill region must lie inside the attested region");
+    }
+    if (params.attest_words > 32000) {
+      throw std::invalid_argument(
+          "SwatParams: fill addresses exceed the immediate range");
+    }
+  }
+}
+
+std::uint32_t xorshift32(std::uint32_t a) {
+  a ^= a << 13;
+  a ^= a >> 17;
+  a ^= a << 5;
+  return a;
+}
+
+std::array<std::uint64_t, 8> derive_puf_challenges(
+    const std::array<std::uint32_t, 8>& state, std::uint32_t a) {
+  std::array<std::uint64_t, 8> challenges{};
+  (void)a;
+  for (std::size_t r = 0; r < 8; ++r) {
+    // Operands (A, ~A): every PUF query drives the full-width carry chain,
+    // so the race is always timing-critical (required for the overclocking
+    // defence); the chip's per-gate rise/fall asymmetry makes the outcome
+    // depend on all of A.
+    challenges[r] = (static_cast<std::uint64_t>(state[r]) << 32) |
+                    static_cast<std::uint32_t>(~state[r]);
+  }
+  return challenges;
+}
+
+ChecksumResult compute_checksum(const std::vector<std::uint32_t>& memory,
+                                std::uint32_t seed, const SwatParams& params,
+                                const PufQuery& puf) {
+  validate(params);
+  if (seed == 0) throw std::invalid_argument("SWAT seed must be nonzero");
+  if (memory.size() < params.attest_words) {
+    throw std::invalid_argument("memory smaller than attested region");
+  }
+
+  ChecksumResult result;
+  const std::uint32_t mask = params.attest_words - 1;
+
+  std::uint32_t a = seed;
+  // Proactive fill: overwrite the designated (free) region with PRG noise
+  // chained from the seed, exactly as the PR32 program does.
+  std::vector<std::uint32_t> filled;
+  const std::vector<std::uint32_t>* view = &memory;
+  if (params.fill_words > 0) {
+    filled = memory;
+    for (std::uint32_t w = 0; w < params.fill_words; ++w) {
+      a = xorshift32(a);
+      filled[params.fill_start + w] = a;
+    }
+    view = &filled;
+  }
+
+  // State initialization: eight xorshift steps continuing the chain.
+  for (auto& s : result.state) {
+    a = xorshift32(a);
+    s = a;
+  }
+  a = xorshift32(a);
+
+  std::uint32_t epoch_countdown = params.puf_interval;
+  for (std::uint32_t block = 0; block < params.rounds / 8; ++block) {
+    for (std::uint32_t i = 0; i < 8; ++i) {
+      a = xorshift32(a);
+      const std::uint32_t addr = (a ^ result.state[i]) & mask;
+      const std::uint32_t t = result.state[i] ^ ((*view)[addr] + a);
+      result.state[i] = std::rotl(t, 7) + result.state[(i + 1) & 7];
+    }
+    epoch_countdown -= 8;
+    if (epoch_countdown == 0) {
+      const auto challenges = derive_puf_challenges(result.state, a);
+      const auto z = puf(challenges);
+      if (!z) {
+        result.ok = false;
+        return result;
+      }
+      result.state[0] ^= *z;
+      result.state[4] += std::rotl(*z, 16);
+      ++result.puf_calls;
+      epoch_countdown = params.puf_interval;
+    }
+  }
+  return result;
+}
+
+}  // namespace pufatt::swat

@@ -1,0 +1,91 @@
+// SWAT: the software-based attestation checksum, adapted from the SCUBA/
+// ICE family (Seshadri et al. — the paper's reference [31]) and extended
+// with PUF entanglement exactly as PUFatt prescribes: every `puf_interval`
+// rounds the running checksum state derives 8 PUF challenges, and the PUF
+// output z is folded back into the state.
+//
+// The algorithm is specified here once and implemented twice:
+//   * compute_checksum() — the native reference engine (verifier side and
+//     fast experimentation);
+//   * generate_swat_source() (program.hpp) — the PR32 assembly program the
+//     simulated prover actually executes.
+// Tests assert bit-exact agreement between the two.
+//
+// Round j (state s[0..7], PRG word a, attested memory M of 2^k words):
+//   a     = xorshift32(a)               (shifts 13, 17, 5)
+//   addr  = (a ^ s[j&7]) & (2^k - 1)
+//   t     = s[j&7] ^ (M[addr] + a)
+//   s[j&7]= rotl32(t, 7) + s[(j+1)&7]
+// Every puf_interval rounds (both multiples of 8):
+//   challenge_r = (s[r] << 32) | ~s[r]              for r = 0..7
+//   (operands (A, ~A) keep every bit of the adder in propagate mode, so
+//   each PUF query exercises the full-width carry chain at near-critical
+//   timing — the basis of the overclocking defence)
+//   z = PUF(challenges)                 (32-bit obfuscated output)
+//   s[0] ^= z;  s[4] += rotl32(z, 16)
+// The attestation response is the final 8-word state.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+namespace pufatt::swat {
+
+struct SwatParams {
+  std::uint32_t rounds = 2048;        ///< multiple of 8
+  std::uint32_t puf_interval = 64;    ///< multiple of 8, divides rounds
+  std::uint32_t attest_words = 4096;  ///< power of two, <= 65536
+  /// Proactive memory filling (Choi et al., ICCSA 2007 — the paper's
+  /// reference [3], one of its cited SWAT instantiations): before the
+  /// checksum runs, the prover overwrites [fill_start, fill_start +
+  /// fill_words) — the region that would otherwise be free memory — with
+  /// PRG output chained from the attestation seed.  The verifier computes
+  /// the same noise, so the filled region is covered by the checksum and
+  /// can no longer hide a pristine copy for the redirection attack.
+  /// fill_words = 0 disables filling.
+  std::uint32_t fill_start = 0;
+  std::uint32_t fill_words = 0;
+};
+
+/// Validates the structural constraints above; throws std::invalid_argument.
+void validate(const SwatParams& params);
+
+/// One logical PUF() call: 8 raw 64-bit challenges -> 32-bit obfuscated
+/// output z.  The prover's implementation never fails (it also records
+/// helper data out of band); the verifier's emulation returns nullopt when
+/// helper-data reconstruction fails.
+using PufQuery =
+    std::function<std::optional<std::uint32_t>(const std::array<std::uint64_t, 8>&)>;
+
+struct ChecksumResult {
+  std::array<std::uint32_t, 8> state{};
+  std::size_t puf_calls = 0;
+  /// False when a PUF query failed (verifier-side reconstruction error).
+  bool ok = true;
+};
+
+/// xorshift32 step (never returns 0 for nonzero input).
+std::uint32_t xorshift32(std::uint32_t a);
+
+/// Derives the 8 PUF challenges from the checksum state (shared spec).
+std::array<std::uint64_t, 8> derive_puf_challenges(
+    const std::array<std::uint32_t, 8>& state, std::uint32_t a);
+
+/// Native reference checksum over `memory` (indexed by word address; must
+/// hold at least attest_words words).  `seed` must be nonzero.  When
+/// filling is enabled the fill is applied to an internal copy of `memory`
+/// first (the caller's buffer is not modified), mirroring exactly what the
+/// PR32 program does to the device's RAM.
+ChecksumResult compute_checksum(const std::vector<std::uint32_t>& memory,
+                                std::uint32_t seed, const SwatParams& params,
+                                const PufQuery& puf);
+
+/// Expected cycle count of the honest PR32 SWAT program for these params
+/// (used by the verifier to set the time bound delta without running the
+/// prover; validated against the simulator in tests).
+std::uint64_t honest_cycle_estimate(const SwatParams& params);
+
+}  // namespace pufatt::swat

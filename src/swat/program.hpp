@@ -1,0 +1,60 @@
+// PR32 assembly generation for the SWAT checksum.
+//
+// The generated program is what actually lives in the prover's attested
+// memory: it self-checksums (its own instruction words are part of the
+// attested image) and drives the PUF through the pstart/add/pend ISA
+// extension.  A second generator produces the classic memory-redirection
+// (malware-hiding) attack variant: the adversary's program keeps a pristine
+// copy of the enrolled image and redirects every checksum read that lands
+// in the modified region — computing the *correct* checksum at the cost of
+// extra cycles per round, which the verifier's time bound catches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "swat/checksum.hpp"
+
+namespace pufatt::swat {
+
+/// Word addresses of the mailbox the harness uses to talk to the program.
+/// Everything here lies *above* the attested region.
+struct SwatLayout {
+  std::uint32_t seed_addr = 0;        ///< harness writes the nonzero seed
+  std::uint32_t result_addr = 0;      ///< program writes the 8 state words
+  std::uint32_t helper_ptr_addr = 0;  ///< running helper-buffer pointer
+  std::uint32_t helper_addr = 0;      ///< helper words, 8 per PUF call
+
+  /// Standard layout directly above the attested region.
+  static SwatLayout standard(const SwatParams& params);
+};
+
+/// Validates layout addresses (must fit 15-bit immediates and lie outside
+/// the attested region); throws std::invalid_argument.
+void validate(const SwatParams& params, const SwatLayout& layout);
+
+/// The memory-redirection attack configuration.
+struct RedirectAttack {
+  /// Reads with address < protected_words are redirected.
+  std::uint32_t protected_words = 0;
+  /// Word address of the pristine copy of the enrolled image's first
+  /// protected_words words (outside the attested region).
+  std::uint32_t copy_addr = 0;
+};
+
+/// Generates the honest SWAT program.
+std::string generate_swat_source(const SwatParams& params,
+                                 const SwatLayout& layout);
+
+/// Generates the attack variant: same checksum results over the enrolled
+/// image, extra work per round.
+std::string generate_swat_source(const SwatParams& params,
+                                 const SwatLayout& layout,
+                                 const RedirectAttack& attack);
+
+/// Cycle count of the honest program (measured on the simulator once; the
+/// count is input-independent).  The verifier derives the time bound delta
+/// from this.
+std::uint64_t honest_cycle_estimate(const SwatParams& params);
+
+}  // namespace pufatt::swat

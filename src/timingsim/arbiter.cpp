@@ -1,0 +1,17 @@
+#include "timingsim/arbiter.hpp"
+
+#include <cmath>
+
+namespace pufatt::timingsim {
+
+double Arbiter::probability_one(double delta_ps) const {
+  if (params_.meta_tau_ps <= 0.0) return delta_ps > 0.0 ? 1.0 : 0.0;
+  // Logistic resolution curve centred at delta = 0.
+  return 1.0 / (1.0 + std::exp(-delta_ps / params_.meta_tau_ps));
+}
+
+bool Arbiter::sample(double delta_ps, support::Xoshiro256pp& rng) const {
+  return rng.bernoulli(probability_one(delta_ps));
+}
+
+}  // namespace pufatt::timingsim

@@ -1,0 +1,43 @@
+// Arbiter (race-resolution) model with metastability.
+//
+// A physical arbiter is a latch that records which of two transitions
+// arrived first.  When the arrival gap falls inside the latch's resolution
+// window the output is effectively random.  We model the decision as a
+// logistic function of the time difference — the standard soft model for
+// arbiter PUFs — which reproduces the paper's finding that "the main factor
+// affecting the intra-chip HD is arbiter metastability".
+#pragma once
+
+#include "support/rng.hpp"
+
+namespace pufatt::timingsim {
+
+struct ArbiterParams {
+  /// Resolution time constant in picoseconds: the width of the region where
+  /// the outcome is noticeably random.  Larger tau = noisier arbiter.
+  double meta_tau_ps = 1.0;
+};
+
+class Arbiter {
+ public:
+  explicit Arbiter(const ArbiterParams& params = {}) : params_(params) {}
+
+  /// Probability that the arbiter outputs 1 given delta = t_b - t_a
+  /// (output 1 means "signal A settled first", matching the paper's
+  /// convention that the response bit reflects which ALU won the race).
+  double probability_one(double delta_ps) const;
+
+  /// Samples the arbiter decision.
+  bool sample(double delta_ps, support::Xoshiro256pp& rng) const;
+
+  /// Deterministic (noise-free) decision: the sign of delta.  Used by the
+  /// verifier's emulator, which has no metastability.
+  static bool decide(double delta_ps) { return delta_ps > 0.0; }
+
+  const ArbiterParams& params() const { return params_; }
+
+ private:
+  ArbiterParams params_;
+};
+
+}  // namespace pufatt::timingsim

@@ -1,0 +1,171 @@
+#include "timingsim/event_sim.hpp"
+
+#include <queue>
+#include <stdexcept>
+
+namespace pufatt::timingsim {
+
+using netlist::Gate;
+using netlist::GateId;
+using netlist::GateKind;
+
+namespace {
+
+bool gate_function(const Gate& g, const std::vector<bool>& value) {
+  switch (g.kind) {
+    case GateKind::kInput:
+    case GateKind::kConst0:
+      return false;
+    case GateKind::kConst1:
+      return true;
+    case GateKind::kBuf:
+      return value[g.fanins[0]];
+    case GateKind::kNot:
+      return !value[g.fanins[0]];
+    case GateKind::kMux:
+      return value[g.fanins[0]] ? value[g.fanins[2]] : value[g.fanins[1]];
+    case GateKind::kAnd:
+    case GateKind::kNand: {
+      bool v = true;
+      for (const auto f : g.fanins) v = v && value[f];
+      return g.kind == GateKind::kNand ? !v : v;
+    }
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      bool v = false;
+      for (const auto f : g.fanins) v = v || value[f];
+      return g.kind == GateKind::kNor ? !v : v;
+    }
+    case GateKind::kXor:
+    case GateKind::kXnor: {
+      bool v = g.kind == GateKind::kXnor;
+      for (const auto f : g.fanins) v = v != value[f];
+      return v;
+    }
+  }
+  return false;
+}
+
+struct Event {
+  double time = 0.0;
+  GateId gate = 0;
+  bool value = false;
+  std::uint64_t sequence = 0;  ///< tie-break for deterministic ordering
+
+  bool operator>(const Event& other) const {
+    if (time != other.time) return time > other.time;
+    return sequence > other.sequence;
+  }
+};
+
+}  // namespace
+
+EventSimulator::EventSimulator(const netlist::Netlist& net) : net_(&net) {
+  fanouts_.resize(net.num_gates());
+  const auto& gates = net.gates();
+  for (GateId id = 0; id < gates.size(); ++id) {
+    for (const auto f : gates[id].fanins) {
+      fanouts_[f].push_back(id);
+    }
+  }
+}
+
+std::vector<EventState> EventSimulator::run(const std::vector<bool>& previous,
+                                            const std::vector<bool>& next,
+                                            const DelaySet& delays) const {
+  const auto& gates = net_->gates();
+  if (previous.size() != net_->num_inputs() ||
+      next.size() != net_->num_inputs()) {
+    throw std::invalid_argument("EventSimulator::run: wrong input count");
+  }
+  if (delays.rise_ps.size() != gates.size() ||
+      delays.fall_ps.size() != gates.size()) {
+    throw std::invalid_argument("EventSimulator::run: wrong delay count");
+  }
+
+  // Settle the circuit on the previous input vector (steady state).
+  std::vector<bool> value(gates.size(), false);
+  {
+    std::size_t next_input = 0;
+    for (GateId id = 0; id < gates.size(); ++id) {
+      if (gates[id].kind == GateKind::kInput) {
+        value[id] = previous[next_input++];
+      } else {
+        value[id] = gate_function(gates[id], value);
+      }
+    }
+  }
+
+  std::vector<EventState> states(gates.size());
+  for (GateId id = 0; id < gates.size(); ++id) {
+    states[id].value = value[id];
+  }
+
+  // Pending inertial event per gate: time of the scheduled change, or < 0.
+  std::vector<double> pending_time(gates.size(), -1.0);
+  std::vector<bool> pending_value(gates.size(), false);
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<Event>> queue;
+  std::uint64_t sequence = 0;
+
+  // Input transitions at t = 0.
+  {
+    std::size_t next_input = 0;
+    for (GateId id = 0; id < gates.size(); ++id) {
+      if (gates[id].kind != GateKind::kInput) continue;
+      const bool nv = next[next_input++];
+      if (nv != value[id]) {
+        queue.push(Event{0.0, id, nv, sequence++});
+      }
+    }
+  }
+
+  auto evaluate_fanout = [&](GateId id, double now) {
+    const bool target = gate_function(gates[id], value);
+    if (pending_time[id] >= 0.0) {
+      // An output change is already in flight.
+      if (pending_value[id] == target) return;  // still heading there
+      // Inertial cancellation: the inputs reverted before the output
+      // could move.  Drop the pending change (the queued event will be
+      // ignored because pending_time no longer matches).
+      pending_time[id] = -1.0;
+      if (target == value[id]) return;  // back to the current value: no event
+    } else if (target == value[id]) {
+      return;  // nothing to do
+    }
+    const double delay =
+        target ? delays.rise_ps[id] : delays.fall_ps[id];
+    const double when = now + delay;
+    pending_time[id] = when;
+    pending_value[id] = target;
+    queue.push(Event{when, id, target, sequence++});
+  };
+
+  while (!queue.empty()) {
+    const Event event = queue.top();
+    queue.pop();
+    const GateId id = event.gate;
+    if (gates[id].kind == GateKind::kInput) {
+      // Input transitions always fire.
+      if (value[id] == event.value) continue;
+    } else {
+      // Stale or cancelled event?
+      if (pending_time[id] != event.time || pending_value[id] != event.value) {
+        continue;
+      }
+      pending_time[id] = -1.0;
+      if (value[id] == event.value) continue;
+    }
+    value[id] = event.value;
+    states[id].value = event.value;
+    states[id].settle_ps = event.time;
+    ++states[id].transitions;
+    for (const auto out : fanouts_[id]) {
+      evaluate_fanout(out, event.time);
+    }
+  }
+
+  return states;
+}
+
+}  // namespace pufatt::timingsim

@@ -1,0 +1,50 @@
+// Event-driven gate-level simulation with inertial delays.
+//
+// The production engine (timing_sim.hpp) computes settling times in one
+// topological pass using controlling-input ("floating mode") semantics —
+// fast enough for million-challenge experiments but an approximation: it
+// ignores glitching.  This engine simulates the actual transition
+// dynamics: inputs switch from a previous vector to the new one at t = 0,
+// transitions propagate as discrete events, and a gate's pending output
+// change is cancelled if its inputs revert before the delay elapses
+// (inertial filtering).  It reports, per net, the final value, the time of
+// the *last* transition (the true settling time) and the number of
+// transitions (glitch activity).
+//
+// Used by the validation tests and `bench/engine_crosscheck` to bound the
+// error of the fast engine on exactly the circuits the PUF races.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "timingsim/timing_sim.hpp"
+
+namespace pufatt::timingsim {
+
+/// Result of one event-driven run, per net.
+struct EventState {
+  bool value = false;       ///< final settled value
+  double settle_ps = 0.0;   ///< time of the last output transition (0 if none)
+  std::size_t transitions = 0;  ///< total output changes (glitches included)
+};
+
+class EventSimulator {
+ public:
+  explicit EventSimulator(const netlist::Netlist& net);
+
+  /// Simulates the transition from `previous` inputs (settled since
+  /// forever) to `next` inputs (applied at t = 0) under `delays`.
+  /// Gates use the rise delay when switching to 1 and the fall delay when
+  /// switching to 0.
+  std::vector<EventState> run(const std::vector<bool>& previous,
+                              const std::vector<bool>& next,
+                              const DelaySet& delays) const;
+
+ private:
+  const netlist::Netlist* net_;
+  std::vector<std::vector<netlist::GateId>> fanouts_;
+};
+
+}  // namespace pufatt::timingsim

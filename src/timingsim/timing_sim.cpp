@@ -1,0 +1,155 @@
+#include "timingsim/timing_sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace pufatt::timingsim {
+
+using netlist::Gate;
+using netlist::GateKind;
+
+TimingSimulator::TimingSimulator(const netlist::Netlist& net) : net_(&net) {}
+
+template <typename DelayOf>
+void TimingSimulator::run_impl(const std::vector<bool>& inputs,
+                               DelayOf&& delay_of,
+                               std::vector<SignalState>& states,
+                               const std::vector<double>* input_times_ps) const {
+  const auto& gates = net_->gates();
+  if (inputs.size() != net_->num_inputs()) {
+    throw std::invalid_argument("TimingSimulator::run: wrong input count");
+  }
+  states.resize(gates.size());
+
+  std::size_t next_input = 0;
+  for (std::size_t id = 0; id < gates.size(); ++id) {
+    const Gate& g = gates[id];
+    SignalState& out = states[id];
+    bool value = false;
+    double determined = 0.0;  // input-side determination time (pre-delay)
+    switch (g.kind) {
+      case GateKind::kInput: {
+        out.value = inputs[next_input];
+        out.time_ps =
+            input_times_ps != nullptr ? (*input_times_ps)[next_input] : 0.0;
+        ++next_input;
+        continue;
+      }
+      case GateKind::kConst0:
+        out = {false, kAlwaysSettled};
+        continue;
+      case GateKind::kConst1:
+        out = {true, kAlwaysSettled};
+        continue;
+      case GateKind::kBuf: {
+        const SignalState& in = states[g.fanins[0]];
+        value = in.value;
+        determined = in.time_ps;
+        break;
+      }
+      case GateKind::kNot: {
+        const SignalState& in = states[g.fanins[0]];
+        value = !in.value;
+        determined = in.time_ps;
+        break;
+      }
+      case GateKind::kMux: {
+        const SignalState& sel = states[g.fanins[0]];
+        const SignalState& d0 = states[g.fanins[1]];
+        const SignalState& d1 = states[g.fanins[2]];
+        const SignalState& chosen = sel.value ? d1 : d0;
+        value = chosen.value;
+        if (sel.time_ps == kAlwaysSettled) {
+          // Static configuration select (PDL): pure data-path delay.
+          determined = chosen.time_ps;
+        } else if (d0.value == d1.value) {
+          // Output independent of select; settled once both datas are.
+          determined = std::max(d0.time_ps, d1.time_ps);
+        } else {
+          determined = std::max(sel.time_ps, chosen.time_ps);
+        }
+        break;
+      }
+      case GateKind::kAnd:
+      case GateKind::kNand:
+      case GateKind::kOr:
+      case GateKind::kNor: {
+        const bool controlling =
+            (g.kind == GateKind::kOr || g.kind == GateKind::kNor);
+        bool any_controlling = false;
+        double earliest_controlling = 0.0;
+        double latest = kAlwaysSettled;
+        for (const auto f : g.fanins) {
+          const SignalState& in = states[f];
+          latest = std::max(latest, in.time_ps);
+          if (in.value == controlling) {
+            if (!any_controlling || in.time_ps < earliest_controlling) {
+              earliest_controlling = in.time_ps;
+            }
+            any_controlling = true;
+          }
+        }
+        const bool raw = any_controlling ? controlling : !controlling;
+        const bool inverted =
+            (g.kind == GateKind::kNand || g.kind == GateKind::kNor);
+        value = inverted ? !raw : raw;
+        determined = any_controlling ? earliest_controlling : latest;
+        break;
+      }
+      case GateKind::kXor:
+      case GateKind::kXnor: {
+        bool v = (g.kind == GateKind::kXnor);
+        double latest = kAlwaysSettled;
+        for (const auto f : g.fanins) {
+          const SignalState& in = states[f];
+          v = v != in.value;
+          latest = std::max(latest, in.time_ps);
+        }
+        value = v;
+        determined = latest;
+        break;
+      }
+    }
+    out.value = value;
+    out.time_ps = determined + delay_of(id, value);
+  }
+}
+
+void TimingSimulator::run(const std::vector<bool>& inputs,
+                          const DelaySet& delays,
+                          std::vector<SignalState>& states,
+                          const std::vector<double>* input_times_ps) const {
+  if (delays.rise_ps.size() != net_->num_gates() ||
+      delays.fall_ps.size() != net_->num_gates()) {
+    throw std::invalid_argument("TimingSimulator::run: wrong delay count");
+  }
+  run_impl(
+      inputs,
+      [&delays](std::size_t id, bool value) {
+        return value ? delays.rise_ps[id] : delays.fall_ps[id];
+      },
+      states, input_times_ps);
+}
+
+void TimingSimulator::run(const std::vector<bool>& inputs,
+                          const std::vector<double>& gate_delays_ps,
+                          std::vector<SignalState>& states,
+                          const std::vector<double>* input_times_ps) const {
+  if (gate_delays_ps.size() != net_->num_gates()) {
+    throw std::invalid_argument("TimingSimulator::run: wrong delay count");
+  }
+  run_impl(
+      inputs,
+      [&gate_delays_ps](std::size_t id, bool) { return gate_delays_ps[id]; },
+      states, input_times_ps);
+}
+
+std::vector<SignalState> TimingSimulator::run(
+    const std::vector<bool>& inputs,
+    const std::vector<double>& gate_delays_ps) const {
+  std::vector<SignalState> states;
+  run(inputs, gate_delays_ps, states);
+  return states;
+}
+
+}  // namespace pufatt::timingsim

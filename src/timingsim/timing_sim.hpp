@@ -1,0 +1,84 @@
+// Value-aware settling-time simulation.
+//
+// For a given input vector and per-gate delays, computes for every net both
+// its final logic value and the time at which it settles, using controlling-
+// input semantics ("floating mode"):
+//   * XOR/XNOR settle when the last input settles;
+//   * AND/OR settle at the earliest controlling input (a 0 on an AND, a 1 on
+//     an OR) if one exists, else at the latest input;
+//   * MUX with a statically-settled select settles when the selected data
+//     path settles.
+// This is what makes the PUF response genuinely challenge-dependent: carry
+// chains are only exercised where the operands actually propagate a carry,
+// exactly the mechanism the paper describes ("delay characteristics ...
+// depend on the inputs x_{i-1} and x_{i+3} because carry bits ... are
+// propagated from the LSB side to the MSB side").
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace pufatt::timingsim {
+
+/// Settled state of one net.
+struct SignalState {
+  bool value = false;
+  double time_ps = 0.0;
+};
+
+/// Time value for nets that are settled "since forever" (constants, static
+/// configuration).
+inline constexpr double kAlwaysSettled =
+    -std::numeric_limits<double>::infinity();
+
+/// Per-gate delays for one evaluation, split by output transition
+/// direction.  Rise/fall asymmetry is a first-order property of CMOS
+/// gates (PMOS vs NMOS drive) and is what makes the settling time of even
+/// a structurally-fixed path depend on the data values it carries — the
+/// PUFatt protocol leans on this (its PUF challenges drive the full carry
+/// chain; the chip-specific rise/fall mix encodes the challenge).
+struct DelaySet {
+  std::vector<double> rise_ps;  ///< delay when the gate output is 1
+  std::vector<double> fall_ps;  ///< delay when the gate output is 0
+};
+
+/// Reusable simulator for one netlist.  The per-gate delay set changes
+/// per evaluation (noise) or per operating point; the netlist does not.
+class TimingSimulator {
+ public:
+  explicit TimingSimulator(const netlist::Netlist& net);
+
+  /// Runs one evaluation.
+  /// `inputs` — value per primary input, in input order.
+  /// `delays` — rise/fall delay per gate id (inputs/constants ignored).
+  /// `input_times_ps` — optional arrival time per primary input (defaults
+  ///   to 0: the synchronized launch the paper's sync logic provides).
+  /// Results for all gates land in `states` (resized as needed).
+  void run(const std::vector<bool>& inputs, const DelaySet& delays,
+           std::vector<SignalState>& states,
+           const std::vector<double>* input_times_ps = nullptr) const;
+
+  /// Symmetric-delay convenience overload (rise == fall).
+  void run(const std::vector<bool>& inputs,
+           const std::vector<double>& gate_delays_ps,
+           std::vector<SignalState>& states,
+           const std::vector<double>* input_times_ps = nullptr) const;
+
+  /// Convenience wrapper returning a fresh state vector.
+  std::vector<SignalState> run(const std::vector<bool>& inputs,
+                               const std::vector<double>& gate_delays_ps) const;
+
+  const netlist::Netlist& net() const { return *net_; }
+
+ private:
+  template <typename DelayOf>
+  void run_impl(const std::vector<bool>& inputs, DelayOf&& delay_of,
+                std::vector<SignalState>& states,
+                const std::vector<double>* input_times_ps) const;
+
+  const netlist::Netlist* net_;
+};
+
+}  // namespace pufatt::timingsim

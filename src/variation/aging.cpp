@@ -1,0 +1,20 @@
+#include "variation/aging.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pufatt::variation {
+
+double aging_vth_shift(double coeff_v, double duty, double hours,
+                       const AgingParams& params) {
+  if (duty < 0.0 || duty > 1.0) {
+    throw std::invalid_argument("aging_vth_shift: duty outside [0,1]");
+  }
+  if (hours < 0.0) {
+    throw std::invalid_argument("aging_vth_shift: negative stress time");
+  }
+  if (duty == 0.0 || hours == 0.0) return 0.0;
+  return coeff_v * std::pow(duty * hours, params.exponent);
+}
+
+}  // namespace pufatt::variation

@@ -1,0 +1,35 @@
+// Transistor aging (NBTI/HCI) model.
+//
+// The paper's introduction lists "silicon aging effects" among the
+// influences a PUF must survive, and its companion work (Kong &
+// Koushanfar, "Processor-based strong PUFs with aging-based response
+// tuning", IEEE TETC 2013 — the paper's reference [13]) turns aging into a
+// feature: deliberately stressing one of the two raced paths widens a
+// marginal arbiter's margin and stabilizes the bit.
+//
+// Model: bias-temperature instability raises a stressed transistor's
+// threshold voltage with the classic power law
+//     dVth = a_g * (duty * t_hours)^n
+// where duty is the fraction of time the gate is held under stress, n ~ 0.2
+// and a_g is a per-gate coefficient (fab lottery, sampled at manufacturing).
+#pragma once
+
+#include <cstddef>
+
+namespace pufatt::variation {
+
+struct AgingParams {
+  /// Mean Vth shift (V) after one hour of continuous stress.
+  double coeff_v = 4.0e-3;
+  /// Relative per-gate spread of the coefficient.
+  double coeff_sigma_ratio = 0.3;
+  /// Time-power-law exponent.
+  double exponent = 0.2;
+};
+
+/// Vth shift for a gate with aging coefficient `coeff_v` stressed at
+/// `duty` for `hours`.
+double aging_vth_shift(double coeff_v, double duty, double hours,
+                       const AgingParams& params);
+
+}  // namespace pufatt::variation

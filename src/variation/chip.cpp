@@ -1,0 +1,150 @@
+#include "variation/chip.hpp"
+
+#include <algorithm>
+
+namespace pufatt::variation {
+
+namespace {
+
+double gate_delay_at(double intrinsic, double wire, double vth, double tempco,
+                     const Environment& env, const TechnologyParams& tech) {
+  // Total delay = voltage/temperature-scaled transistor part plus the
+  // temperature-only-scaled wire-RC part.
+  return scaled_delay_ps(intrinsic, vth, tempco, env, tech) +
+         wire * wire_scale(env, tech);
+}
+
+}  // namespace
+
+timingsim::DelaySet delays_from_table(const DelayTable& table,
+                                      const Environment& env) {
+  timingsim::DelaySet out;
+  const std::size_t n = table.intrinsic_ps.size();
+  out.rise_ps.assign(n, 0.0);
+  out.fall_ps.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (table.intrinsic_ps[i] > 0.0 || table.wire_ps[i] > 0.0) {
+      const double base =
+          gate_delay_at(table.intrinsic_ps[i], table.wire_ps[i],
+                        table.vth_v[i], table.vth_tempco[i], env, table.tech);
+      out.rise_ps[i] = base * table.rise_factor[i];
+      out.fall_ps[i] = base * table.fall_factor[i];
+    }
+  }
+  return out;
+}
+
+ChipInstance::ChipInstance(const netlist::Netlist& net,
+                           const TechnologyParams& tech,
+                           const QuadTreeConfig& qt_config,
+                           std::uint64_t chip_seed)
+    : net_(&net), tech_(tech) {
+  support::Xoshiro256pp rng(chip_seed);
+  // Design-level asymmetry: drawn from a *fixed* seed, so every die of the
+  // same netlist shares the identical skew pattern (it lives in the layout,
+  // not in the fab lottery).
+  support::Xoshiro256pp design_rng(0xDE51'6E5Eu);
+  const QuadTreeSample spatial(qt_config, tech.vth_sigma_v(), rng);
+
+  const auto& gates = net.gates();
+  intrinsic_ps_.resize(gates.size());
+  wire_ps_.resize(gates.size());
+  vth_.resize(gates.size());
+  vth_tempco_.resize(gates.size());
+  rise_factor_.resize(gates.size());
+  fall_factor_.resize(gates.size());
+  aging_coeff_.resize(gates.size());
+  aging_shift_.assign(gates.size(), 0.0);
+  for (std::size_t id = 0; id < gates.size(); ++id) {
+    const auto& g = gates[id];
+    const double design_skew =
+        std::clamp(design_rng.gaussian(0.0, tech.design_asym_sigma), -0.3, 0.3);
+    const double base =
+        base_delay_ps(g.kind, g.fanins.size()) * (1.0 + design_skew);
+    // Split nominal delay into a transistor part and a wire-RC part; the
+    // wire share varies per gate (routing is never uniform).
+    const double wire_fraction =
+        std::clamp(rng.gaussian(tech.wire_fraction_mean,
+                                tech.wire_fraction_sigma),
+                   0.0, 0.5);
+    intrinsic_ps_[id] = base * (1.0 - wire_fraction);
+    wire_ps_[id] = base * wire_fraction;
+    vth_[id] = tech.vth_nominal_v +
+               spatial.systematic_shift(g.place.x, g.place.y) +
+               rng.gaussian(0.0, spatial.random_sigma());
+    vth_tempco_[id] =
+        rng.gaussian(tech.vth_temp_coeff, tech.vth_temp_coeff_sigma);
+    // PMOS/NMOS drive mismatch: antisymmetric so the mean delay is
+    // preserved.
+    const double asym =
+        std::clamp(rng.gaussian(0.0, tech.rise_fall_asym_sigma), -0.3, 0.3);
+    rise_factor_[id] = 1.0 + asym;
+    fall_factor_[id] = 1.0 - asym;
+    const AgingParams aging_defaults;
+    aging_coeff_[id] = std::max(
+        0.0, rng.gaussian(aging_defaults.coeff_v,
+                          aging_defaults.coeff_v *
+                              aging_defaults.coeff_sigma_ratio));
+  }
+}
+
+void ChipInstance::apply_stress(netlist::GateId id, double duty, double hours,
+                                const AgingParams& params) {
+  const double shift = aging_vth_shift(aging_coeff_[id], duty, hours, params);
+  aging_shift_[id] += shift;
+  vth_[id] += shift;
+}
+
+void ChipInstance::age_uniformly(double duty, double hours,
+                                 const AgingParams& params) {
+  for (std::size_t id = 0; id < vth_.size(); ++id) {
+    if (intrinsic_ps_[id] > 0.0 || wire_ps_[id] > 0.0) {
+      apply_stress(static_cast<netlist::GateId>(id), duty, hours, params);
+    }
+  }
+}
+
+timingsim::DelaySet ChipInstance::nominal_delays(const Environment& env) const {
+  timingsim::DelaySet out;
+  nominal_delays(env, out);
+  return out;
+}
+
+void ChipInstance::nominal_delays(const Environment& env,
+                                  timingsim::DelaySet& out) const {
+  const std::size_t n = intrinsic_ps_.size();
+  out.rise_ps.resize(n);
+  out.fall_ps.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (intrinsic_ps_[i] > 0.0 || wire_ps_[i] > 0.0) {
+      const double base = gate_delay_at(intrinsic_ps_[i], wire_ps_[i], vth_[i],
+                                        vth_tempco_[i], env, tech_);
+      out.rise_ps[i] = base * rise_factor_[i];
+      out.fall_ps[i] = base * fall_factor_[i];
+    } else {
+      out.rise_ps[i] = 0.0;
+      out.fall_ps[i] = 0.0;
+    }
+  }
+}
+
+void ChipInstance::sample_delays(const timingsim::DelaySet& nominal,
+                                 const NoiseParams& noise,
+                                 support::Xoshiro256pp& rng,
+                                 timingsim::DelaySet& out) const {
+  const std::size_t n = nominal.rise_ps.size();
+  out.rise_ps.resize(n);
+  out.fall_ps.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double jitter = 1.0 + rng.gaussian(0.0, noise.delay_jitter_ratio);
+    out.rise_ps[i] = nominal.rise_ps[i] <= 0.0 ? 0.0 : nominal.rise_ps[i] * jitter;
+    out.fall_ps[i] = nominal.fall_ps[i] <= 0.0 ? 0.0 : nominal.fall_ps[i] * jitter;
+  }
+}
+
+DelayTable ChipInstance::export_delay_table() const {
+  return DelayTable{tech_,        intrinsic_ps_, wire_ps_,    vth_,
+                    vth_tempco_,  rise_factor_,  fall_factor_};
+}
+
+}  // namespace pufatt::variation

@@ -1,0 +1,47 @@
+#include "variation/quadtree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace pufatt::variation {
+
+QuadTreeSample::QuadTreeSample(const QuadTreeConfig& config, double total_sigma,
+                               support::Xoshiro256pp& rng)
+    : config_(config) {
+  if (config.levels == 0 || config.die_size <= 0.0) {
+    throw std::invalid_argument("QuadTreeSample: bad config");
+  }
+  if (config.systematic_fraction < 0.0 || config.systematic_fraction > 1.0) {
+    throw std::invalid_argument(
+        "QuadTreeSample: systematic_fraction outside [0,1]");
+  }
+  const double total_var = total_sigma * total_sigma;
+  const double systematic_var = total_var * config.systematic_fraction;
+  random_sigma_ = std::sqrt(total_var - systematic_var);
+  const double level_sigma =
+      std::sqrt(systematic_var / static_cast<double>(config.levels));
+
+  level_cells_.resize(config.levels);
+  for (std::size_t l = 0; l < config.levels; ++l) {
+    const std::size_t cells = std::size_t{1} << l;  // per edge
+    level_cells_[l].resize(cells * cells);
+    for (auto& v : level_cells_[l]) v = rng.gaussian(0.0, level_sigma);
+  }
+}
+
+double QuadTreeSample::systematic_shift(double x, double y) const {
+  const double clamped_x = std::clamp(x, 0.0, config_.die_size - 1e-9);
+  const double clamped_y = std::clamp(y, 0.0, config_.die_size - 1e-9);
+  double shift = 0.0;
+  for (std::size_t l = 0; l < level_cells_.size(); ++l) {
+    const std::size_t cells = std::size_t{1} << l;
+    const double cell_size = config_.die_size / static_cast<double>(cells);
+    const auto cx = static_cast<std::size_t>(clamped_x / cell_size);
+    const auto cy = static_cast<std::size_t>(clamped_y / cell_size);
+    shift += level_cells_[l][cy * cells + cx];
+  }
+  return shift;
+}
+
+}  // namespace pufatt::variation

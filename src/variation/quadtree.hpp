@@ -1,0 +1,55 @@
+// Quad-tree spatial process-variation model (Cline et al., ICCAD 2006 —
+// the paper's reference [4] for its own evaluation).
+//
+// The die is recursively divided into quadrants; each quadrant at each
+// level carries an independent Gaussian deviate.  A gate's systematic
+// V_th shift is the sum of the deviates of all quadrants containing it,
+// so nearby gates (e.g. the two adjacent ALUs of the PUF) share coarse
+// deviates and are strongly correlated — the physical basis of the paper's
+// claim that "variations due to systematic spatial variations are minimal"
+// between the redundant ALUs.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pufatt::variation {
+
+struct QuadTreeConfig {
+  /// Number of hierarchy levels (level l has 2^l x 2^l cells).
+  std::size_t levels = 4;
+  /// Die edge length in the same grid units as gate placements.
+  double die_size = 64.0;
+  /// Fraction of total V_th variance assigned to the spatially-correlated
+  /// (quad-tree) part; the rest is purely random per gate.
+  double systematic_fraction = 0.5;
+};
+
+/// One sampled spatial variation map (one per chip instance).
+class QuadTreeSample {
+ public:
+  /// Draws a fresh map.  `total_sigma` is the overall V_th standard
+  /// deviation; the systematic part gets systematic_fraction of the
+  /// variance, split equally across levels.
+  QuadTreeSample(const QuadTreeConfig& config, double total_sigma,
+                 support::Xoshiro256pp& rng);
+
+  /// Systematic V_th shift at die position (x, y).  Positions outside the
+  /// die are clamped to the die boundary.
+  double systematic_shift(double x, double y) const;
+
+  /// Standard deviation of the remaining per-gate random component.
+  double random_sigma() const { return random_sigma_; }
+
+  const QuadTreeConfig& config() const { return config_; }
+
+ private:
+  QuadTreeConfig config_;
+  double random_sigma_ = 0.0;
+  /// level_cells_[l] holds 2^l * 2^l deviates, row-major.
+  std::vector<std::vector<double>> level_cells_;
+};
+
+}  // namespace pufatt::variation

@@ -1,0 +1,405 @@
+#include <gtest/gtest.h>
+
+#include "cpu/assembler.hpp"
+#include "cpu/isa.hpp"
+#include "cpu/machine.hpp"
+
+namespace pufatt::cpu {
+namespace {
+
+// -------------------------------------------------------------------- ISA
+
+TEST(Isa, EncodeDecodeRoundTripAllFormats) {
+  const std::vector<Instruction> samples = {
+      {Opcode::kAdd, 1, 2, 3, 0},    {Opcode::kSub, 15, 14, 13, 0},
+      {Opcode::kAddi, 4, 5, 0, -42}, {Opcode::kLui, 6, 0, 0, 0x1234},
+      {Opcode::kLw, 7, 8, 0, 100},   {Opcode::kSw, 0, 9, 10, -8},
+      {Opcode::kBeq, 0, 1, 2, -100}, {Opcode::kBge, 0, 3, 4, 2047},
+      {Opcode::kJal, 15, 0, 0, -5000}, {Opcode::kJalr, 1, 2, 0, 16},
+      {Opcode::kHalt, 0, 0, 0, 0},   {Opcode::kPstart, 0, 0, 0, 0},
+      {Opcode::kPend, 5, 0, 0, 0},   {Opcode::kHread, 6, 0, 0, 0},
+      {Opcode::kRdcyc, 7, 0, 0, 0},
+  };
+  for (const auto& inst : samples) {
+    const auto decoded = decode(encode(inst));
+    EXPECT_EQ(decoded.op, inst.op);
+    EXPECT_EQ(decoded.rd, inst.rd) << mnemonic(inst.op);
+    EXPECT_EQ(decoded.rs1, inst.rs1) << mnemonic(inst.op);
+    EXPECT_EQ(decoded.rs2, inst.rs2) << mnemonic(inst.op);
+    EXPECT_EQ(decoded.imm, inst.imm) << mnemonic(inst.op);
+  }
+}
+
+TEST(Isa, RejectsUnknownOpcode) {
+  EXPECT_THROW(decode(0xFF000000u), std::invalid_argument);
+  EXPECT_THROW(decode(0x00000000u), std::invalid_argument);
+}
+
+TEST(Isa, RejectsOutOfRangeFields) {
+  EXPECT_THROW(encode({Opcode::kAdd, 16, 0, 0, 0}), std::invalid_argument);
+  EXPECT_THROW(encode({Opcode::kAddi, 1, 1, 0, 1 << 20}),
+               std::invalid_argument);
+  EXPECT_THROW(encode({Opcode::kBeq, 0, 1, 2, 5000}), std::invalid_argument);
+}
+
+TEST(Isa, CycleCosts) {
+  EXPECT_EQ(cycle_cost(Opcode::kAdd), 1u);
+  EXPECT_EQ(cycle_cost(Opcode::kLw), 2u);
+  EXPECT_EQ(cycle_cost(Opcode::kMul), 3u);
+  EXPECT_GT(cycle_cost(Opcode::kPend), 10u);
+}
+
+// -------------------------------------------------------------- Assembler
+
+TEST(Assembler, BasicProgram) {
+  const auto result = assemble(R"(
+    ; compute 6*7 the slow way
+    start: addi r1, r0, 6
+           addi r2, r0, 7
+           mul  r3, r1, r2
+           halt
+  )");
+  EXPECT_EQ(result.words.size(), 4u);
+  EXPECT_EQ(result.labels.at("start"), 0u);
+}
+
+TEST(Assembler, LabelsResolveToRelativeOffsets) {
+  const auto result = assemble(R"(
+        addi r1, r0, 3
+  loop: addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+  )");
+  const auto branch = decode(result.words[2]);
+  EXPECT_EQ(branch.op, Opcode::kBne);
+  EXPECT_EQ(branch.imm, -1);
+}
+
+TEST(Assembler, MemoryOperands) {
+  const auto result = assemble("lw r2, 8(r3)\nsw r2, -4(r5)\n");
+  const auto lw = decode(result.words[0]);
+  EXPECT_EQ(lw.rd, 2);
+  EXPECT_EQ(lw.rs1, 3);
+  EXPECT_EQ(lw.imm, 8);
+  const auto sw = decode(result.words[1]);
+  EXPECT_EQ(sw.rs2, 2);
+  EXPECT_EQ(sw.rs1, 5);
+  EXPECT_EQ(sw.imm, -4);
+}
+
+TEST(Assembler, WordDirectiveAndHex) {
+  const auto result = assemble(".word 0xdeadbeef\n.word -1\n");
+  EXPECT_EQ(result.words[0], 0xdeadbeefu);
+  EXPECT_EQ(result.words[1], 0xffffffffu);
+}
+
+TEST(Assembler, CommentsAndBlankLines) {
+  const auto result = assemble(R"(
+    # full line comment
+
+    addi r1, r0, 1  ; trailing comment
+  )");
+  EXPECT_EQ(result.words.size(), 1u);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+  try {
+    assemble("addi r1, r0, 1\nbogus r1\n");
+    FAIL() << "expected AssemblyError";
+  } catch (const AssemblyError& e) {
+    EXPECT_EQ(e.line(), 2u);
+  }
+}
+
+TEST(Assembler, RejectsBadInput) {
+  EXPECT_THROW(assemble("addi r1, r0\n"), AssemblyError);       // arity
+  EXPECT_THROW(assemble("addi r99, r0, 1\n"), AssemblyError);   // register
+  EXPECT_THROW(assemble("beq r1, r0, nowhere\n"), AssemblyError);
+  EXPECT_THROW(assemble("lw r1, r2\n"), AssemblyError);         // mem syntax
+  EXPECT_THROW(assemble("x: halt\nx: halt\n"), AssemblyError);  // dup label
+  EXPECT_THROW(assemble("123bad: halt\n"), AssemblyError);      // label name
+}
+
+TEST(Assembler, ForwardReferences) {
+  const auto result = assemble(R"(
+        jal r0, end
+        halt
+  end:  halt
+  )");
+  const auto jal = decode(result.words[0]);
+  EXPECT_EQ(jal.imm, 2);
+}
+
+// ---------------------------------------------------------------- Machine
+
+Machine run_program(const std::string& source,
+                    std::uint64_t max_cycles = 1'000'000) {
+  Machine machine(4096);
+  machine.load(assemble(source).words);
+  const auto result = machine.run(max_cycles);
+  EXPECT_TRUE(result.halted);
+  return machine;
+}
+
+TEST(Machine, ArithmeticAndR0) {
+  const auto m = run_program(R"(
+    addi r1, r0, 21
+    add  r2, r1, r1
+    sub  r3, r2, r1
+    add  r0, r1, r1   ; writes to r0 are discarded
+    halt
+  )");
+  EXPECT_EQ(m.reg(2), 42u);
+  EXPECT_EQ(m.reg(3), 21u);
+  EXPECT_EQ(m.reg(0), 0u);
+}
+
+TEST(Machine, LogicAndShifts) {
+  const auto m = run_program(R"(
+    addi r1, r0, 0xF0
+    addi r2, r0, 0x0F
+    and  r3, r1, r2
+    or   r4, r1, r2
+    xor  r5, r1, r2
+    slli r6, r2, 4
+    srli r7, r1, 4
+    addi r8, r0, -16
+    srai r9, r8, 2
+    halt
+  )");
+  EXPECT_EQ(m.reg(3), 0u);
+  EXPECT_EQ(m.reg(4), 0xFFu);
+  EXPECT_EQ(m.reg(5), 0xFFu);
+  EXPECT_EQ(m.reg(6), 0xF0u);
+  EXPECT_EQ(m.reg(7), 0x0Fu);
+  EXPECT_EQ(m.reg(9), static_cast<std::uint32_t>(-4));
+}
+
+TEST(Machine, SignedVsUnsignedCompare) {
+  const auto m = run_program(R"(
+    addi r1, r0, -1
+    addi r2, r0, 1
+    slt  r3, r1, r2   ; -1 < 1 signed -> 1
+    sltu r4, r1, r2   ; 0xffffffff < 1 unsigned -> 0
+    halt
+  )");
+  EXPECT_EQ(m.reg(3), 1u);
+  EXPECT_EQ(m.reg(4), 0u);
+}
+
+TEST(Machine, LuiBuildsConstants) {
+  const auto m = run_program(R"(
+    lui  r1, 0xdead
+    ori  r1, r1, 0xbeef
+    halt
+  )");
+  EXPECT_EQ(m.reg(1), 0xdeadbeefu);
+}
+
+TEST(Machine, LoadStore) {
+  const auto m = run_program(R"(
+    addi r1, r0, 100
+    addi r2, r0, 1234
+    sw   r2, 0(r1)
+    sw   r2, 1(r1)
+    lw   r3, 1(r1)
+    halt
+  )");
+  EXPECT_EQ(m.reg(3), 1234u);
+  EXPECT_EQ(m.mem(100), 1234u);
+  EXPECT_EQ(m.mem(101), 1234u);
+}
+
+TEST(Machine, LoopAndBranches) {
+  // Sum 1..10 = 55.
+  const auto m = run_program(R"(
+        addi r1, r0, 10
+        addi r2, r0, 0
+  loop: add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+  )");
+  EXPECT_EQ(m.reg(2), 55u);
+}
+
+TEST(Machine, JalAndJalrSubroutine) {
+  const auto m = run_program(R"(
+        addi r1, r0, 5
+        jal  r15, double
+        add  r3, r2, r0
+        halt
+  double:
+        add  r2, r1, r1
+        jalr r0, r15, 0
+  )");
+  EXPECT_EQ(m.reg(3), 10u);
+}
+
+TEST(Machine, CycleCountingMatchesCosts) {
+  Machine m(1024);
+  m.load(assemble(R"(
+    addi r1, r0, 1   ; 1
+    lw   r2, 0(r0)   ; 2
+    mul  r3, r1, r1  ; 3
+    halt             ; 1
+  )").words);
+  const auto result = m.run();
+  EXPECT_TRUE(result.halted);
+  EXPECT_EQ(result.cycles, 7u);
+}
+
+TEST(Machine, TakenBranchCostsExtra) {
+  Machine taken(1024), not_taken(1024);
+  taken.load(assemble("beq r0, r0, 2\nhalt\nhalt\n").words);
+  not_taken.load(assemble("bne r1, r0, 2\nhalt\nhalt\n").words);
+  EXPECT_EQ(taken.run().cycles, not_taken.run().cycles + kTakenBranchPenalty);
+}
+
+TEST(Machine, WallTimeFollowsClock) {
+  Machine m(64);
+  m.set_clock_mhz(100.0);
+  EXPECT_DOUBLE_EQ(m.wall_time_us(100), 1.0);
+  m.set_clock_mhz(200.0);
+  EXPECT_DOUBLE_EQ(m.wall_time_us(100), 0.5);
+  EXPECT_DOUBLE_EQ(m.cycle_ps(), 5000.0);
+  EXPECT_THROW(m.set_clock_mhz(0.0), MachineError);
+}
+
+TEST(Machine, RdcycReadsCycleCounter) {
+  const auto m = run_program(R"(
+    addi r1, r0, 1
+    addi r1, r0, 1
+    rdcyc r2
+    halt
+  )");
+  EXPECT_EQ(m.reg(2), 3u);  // two addis + rdcyc itself charged first
+}
+
+TEST(Machine, MaxCyclesStopsRunawayPrograms) {
+  Machine m(64);
+  m.load(assemble("spin: jal r0, spin\n").words);
+  const auto result = m.run(1000);
+  EXPECT_FALSE(result.halted);
+  EXPECT_GE(result.cycles, 1000u);
+}
+
+TEST(Machine, Traps) {
+  Machine m(64);
+  m.load(assemble("lw r1, 0(r0)\nhalt\n").words);
+  m.set_reg(1, 0);
+  // Bad memory access.
+  Machine bad(64);
+  bad.load(assemble("lw r1, 9999(r0)\nhalt\n").words);
+  EXPECT_THROW(bad.run(), MachineError);
+  // Decode fault on data.
+  Machine data(64);
+  data.load({0x00000000u});
+  EXPECT_THROW(data.run(), MachineError);
+  // PUF instructions without a PUF block.
+  Machine nopuf(64);
+  nopuf.load(assemble("pstart\nhalt\n").words);
+  EXPECT_THROW(nopuf.run(), MachineError);
+  // pend without pstart.
+  Machine nostart(64);
+  nostart.load(assemble("pend r1\nhalt\n").words);
+  struct NullPort : PufPort {
+    void start() override {}
+    void feed(std::uint64_t, double) override {}
+    std::uint32_t finish(std::vector<std::uint32_t>&) override { return 0; }
+  } port;
+  nostart.attach_puf(&port);
+  EXPECT_THROW(nostart.run(), MachineError);
+  // hread on empty FIFO.
+  Machine nofifo(64);
+  nofifo.load(assemble("hread r1\nhalt\n").words);
+  nofifo.attach_puf(&port);
+  EXPECT_THROW(nofifo.run(), MachineError);
+}
+
+TEST(Machine, ResetPreservesMemory) {
+  Machine m(64);
+  m.load(assemble("addi r1, r0, 7\nsw r1, 32(r0)\nhalt\n").words);
+  m.run();
+  EXPECT_EQ(m.reg(1), 7u);
+  m.reset();
+  EXPECT_EQ(m.reg(1), 0u);
+  EXPECT_EQ(m.pc(), 0u);
+  EXPECT_EQ(m.cycles(), 0u);
+  EXPECT_EQ(m.mem(32), 7u);
+}
+
+// ----------------------------------------------------------- PUF port path
+
+class RecordingPort : public PufPort {
+ public:
+  void start() override {
+    started = true;
+    challenges.clear();
+  }
+  void feed(std::uint64_t challenge, double cycle_ps) override {
+    challenges.push_back(challenge);
+    last_cycle_ps = cycle_ps;
+  }
+  std::uint32_t finish(std::vector<std::uint32_t>& helper_words) override {
+    helper_words = {0xAAA, 0xBBB};
+    return 0x12345678;
+  }
+  bool started = false;
+  std::vector<std::uint64_t> challenges;
+  double last_cycle_ps = 0.0;
+};
+
+TEST(Machine, PufInstructionSequence) {
+  Machine m(1024);
+  RecordingPort port;
+  m.attach_puf(&port);
+  m.load(assemble(R"(
+    lui  r1, 0x1111
+    addi r2, r0, 0x222
+    pstart
+    add  r3, r1, r2     ; PUF-mode add: challenge = (r1 << 32) | r2
+    pend r4
+    hread r5
+    hread r6
+    halt
+  )").words);
+  m.run();
+  EXPECT_TRUE(port.started);
+  ASSERT_EQ(port.challenges.size(), 1u);
+  EXPECT_EQ(port.challenges[0],
+            (static_cast<std::uint64_t>(0x11110000u) << 32) | 0x222u);
+  EXPECT_DOUBLE_EQ(port.last_cycle_ps, m.cycle_ps());
+  // The add also produced its architectural result.
+  EXPECT_EQ(m.reg(3), 0x11110000u + 0x222u);
+  EXPECT_EQ(m.reg(4), 0x12345678u);
+  EXPECT_EQ(m.reg(5), 0xAAAu);
+  EXPECT_EQ(m.reg(6), 0xBBBu);
+}
+
+TEST(Machine, NormalModeAddDoesNotTouchPuf) {
+  Machine m(1024);
+  RecordingPort port;
+  m.attach_puf(&port);
+  m.load(assemble("add r1, r2, r3\nhalt\n").words);
+  m.run();
+  EXPECT_TRUE(port.challenges.empty());
+}
+
+TEST(Machine, PendLeavesPufMode) {
+  Machine m(1024);
+  RecordingPort port;
+  m.attach_puf(&port);
+  m.load(assemble(R"(
+    pstart
+    add  r1, r0, r0
+    pend r2
+    add  r3, r0, r0   ; normal mode again
+    halt
+  )").words);
+  m.run();
+  EXPECT_EQ(port.challenges.size(), 1u);
+}
+
+}  // namespace
+}  // namespace pufatt::cpu

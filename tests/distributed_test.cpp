@@ -1,0 +1,88 @@
+// Distributed mutual-attestation tests (paper reference [37]).
+#include <gtest/gtest.h>
+
+#include "core/distributed.hpp"
+
+namespace pufatt::core {
+namespace {
+
+using support::Xoshiro256pp;
+
+TEST(Distributed, ValidatesConfiguration) {
+  DistributedParams params;
+  params.num_nodes = 2;
+  EXPECT_THROW(DistributedNetwork(params, {}, 1), std::invalid_argument);
+  params.num_nodes = 8;
+  params.degree = 4;  // 2*degree >= nodes
+  EXPECT_THROW(DistributedNetwork(params, {}, 1), std::invalid_argument);
+  params.degree = 2;
+  params.quorum = 5;  // > 2*degree
+  EXPECT_THROW(DistributedNetwork(params, {}, 1), std::invalid_argument);
+  EXPECT_THROW(DistributedNetwork(DistributedParams{},
+                                  {{99, NodeHealth::kNaiveMalware}}, 1),
+               std::invalid_argument);
+}
+
+TEST(Distributed, RingTopologyIsSymmetric) {
+  DistributedParams params;
+  params.num_nodes = 6;
+  params.degree = 1;
+  params.quorum = 1;
+  const DistributedNetwork net(params, {}, 2);
+  for (std::size_t i = 0; i < net.num_nodes(); ++i) {
+    const auto& nbrs = net.neighbours(i);
+    ASSERT_EQ(nbrs.size(), 2u);
+    for (const auto n : nbrs) {
+      const auto& back = net.neighbours(n);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+  }
+}
+
+TEST(Distributed, AllHealthyNobodyConvicted) {
+  DistributedParams params;
+  params.num_nodes = 6;
+  DistributedNetwork net(params, {}, 3);
+  Xoshiro256pp rng(4);
+  const auto verdicts = net.run_round(rng);
+  for (const auto& v : verdicts) {
+    EXPECT_FALSE(v.convicted);
+    EXPECT_EQ(v.rejections, 0u);
+    EXPECT_EQ(v.audits, 4u);  // 2*degree neighbours audit each node
+  }
+}
+
+TEST(Distributed, CompromisedNodesConvictedByQuorum) {
+  DistributedParams params;
+  params.num_nodes = 8;
+  DistributedNetwork net(params,
+                         {{2, NodeHealth::kNaiveMalware},
+                          {5, NodeHealth::kHidingMalware}},
+                         5);
+  Xoshiro256pp rng(6);
+  const auto verdicts = net.run_round(rng);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    if (i == 2 || i == 5) {
+      EXPECT_TRUE(verdicts[i].convicted) << "node " << i;
+      EXPECT_EQ(verdicts[i].rejections, verdicts[i].audits)
+          << "every neighbour must reject a compromised node";
+    } else {
+      EXPECT_FALSE(verdicts[i].convicted) << "node " << i;
+    }
+  }
+}
+
+TEST(Distributed, ConvictionStableAcrossRounds) {
+  DistributedParams params;
+  params.num_nodes = 6;
+  DistributedNetwork net(params, {{1, NodeHealth::kHidingMalware}}, 7);
+  Xoshiro256pp rng(8);
+  for (int round = 0; round < 3; ++round) {
+    const auto verdicts = net.run_round(rng);
+    EXPECT_TRUE(verdicts[1].convicted) << "round " << round;
+    EXPECT_FALSE(verdicts[0].convicted);
+  }
+}
+
+}  // namespace
+}  // namespace pufatt::core

@@ -1,0 +1,488 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "ecc/bch.hpp"
+#include "ecc/gf2_matrix.hpp"
+#include "ecc/gf2m.hpp"
+#include "ecc/helper_data.hpp"
+#include "ecc/reed_muller.hpp"
+#include "support/rng.hpp"
+
+namespace pufatt::ecc {
+namespace {
+
+using support::BitVector;
+using support::Xoshiro256pp;
+
+// ------------------------------------------------------------------ GF(2^m)
+
+TEST(GF2m, RejectsBadDegree) {
+  EXPECT_THROW(GF2m(1), std::invalid_argument);
+  EXPECT_THROW(GF2m(13), std::invalid_argument);
+}
+
+TEST(GF2m, OrderAndGeneratorCycle) {
+  for (unsigned m = 2; m <= 10; ++m) {
+    const GF2m f(m);
+    EXPECT_EQ(f.order(), (1u << m) - 1);
+    // alpha generates the full multiplicative group.
+    std::set<GF2m::Element> seen;
+    for (std::uint32_t e = 0; e < f.order(); ++e) seen.insert(f.alpha_pow(e));
+    EXPECT_EQ(seen.size(), f.order());
+    EXPECT_EQ(f.alpha_pow(f.order()), 1u);  // alpha^(2^m-1) = 1
+  }
+}
+
+TEST(GF2m, AdditionIsXor) {
+  const GF2m f(4);
+  EXPECT_EQ(f.add(0b1010, 0b0110), 0b1100u);
+  EXPECT_EQ(f.add(7, 7), 0u);
+}
+
+TEST(GF2m, MultiplicationProperties) {
+  const GF2m f(5);
+  Xoshiro256pp rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<GF2m::Element>(rng.uniform_u64(32));
+    const auto b = static_cast<GF2m::Element>(rng.uniform_u64(32));
+    const auto c = static_cast<GF2m::Element>(rng.uniform_u64(32));
+    EXPECT_EQ(f.mul(a, b), f.mul(b, a));
+    EXPECT_EQ(f.mul(a, f.mul(b, c)), f.mul(f.mul(a, b), c));
+    EXPECT_EQ(f.mul(a, f.add(b, c)), f.add(f.mul(a, b), f.mul(a, c)));
+    EXPECT_EQ(f.mul(a, 1), a);
+    EXPECT_EQ(f.mul(a, 0), 0u);
+  }
+}
+
+TEST(GF2m, InverseAndDivision) {
+  const GF2m f(6);
+  for (GF2m::Element a = 1; a < 64; ++a) {
+    EXPECT_EQ(f.mul(a, f.inv(a)), 1u);
+    EXPECT_EQ(f.div(a, a), 1u);
+  }
+  EXPECT_THROW(f.inv(0), std::domain_error);
+  EXPECT_THROW(f.div(1, 0), std::domain_error);
+}
+
+TEST(GF2m, PowMatchesRepeatedMul) {
+  const GF2m f(5);
+  for (GF2m::Element a = 1; a < 32; ++a) {
+    GF2m::Element acc = 1;
+    for (int e = 0; e < 10; ++e) {
+      EXPECT_EQ(f.pow(a, e), acc);
+      acc = f.mul(acc, a);
+    }
+  }
+  EXPECT_EQ(f.pow(0, 0), 1u);
+  EXPECT_EQ(f.pow(0, 5), 0u);
+}
+
+TEST(GF2m, LogExpRoundTrip) {
+  const GF2m f(8);
+  for (GF2m::Element a = 1; a < 256; ++a) {
+    EXPECT_EQ(f.alpha_pow(f.log(a)), a);
+  }
+  EXPECT_THROW(f.log(0), std::domain_error);
+}
+
+TEST(GF2m, NegativeExponents) {
+  const GF2m f(4);
+  EXPECT_EQ(f.alpha_pow(-1), f.inv(f.alpha_pow(1)));
+  EXPECT_EQ(f.alpha_pow(-15), f.alpha_pow(0));
+}
+
+// --------------------------------------------------------------- Gf2Matrix
+
+TEST(Gf2Matrix, MulVector) {
+  Gf2Matrix m(2, 3);
+  m.set(0, 0, true);
+  m.set(0, 2, true);
+  m.set(1, 1, true);
+  const BitVector x = BitVector::from_string("101");  // bit0=1,bit1=0,bit2=1
+  const BitVector y = m.mul_vector(x);
+  EXPECT_EQ(y.get(0), false);  // 1 ^ 1
+  EXPECT_EQ(y.get(1), false);  // 0
+}
+
+TEST(Gf2Matrix, RaggedRowsRejected) {
+  std::vector<BitVector> rows{BitVector(3), BitVector(4)};
+  EXPECT_THROW(Gf2Matrix m(std::move(rows)), std::invalid_argument);
+}
+
+TEST(Gf2Matrix, RankOfIdentity) {
+  Gf2Matrix m(4, 4);
+  for (int i = 0; i < 4; ++i) m.set(i, i, true);
+  EXPECT_EQ(m.rank(), 4u);
+}
+
+TEST(Gf2Matrix, RankDetectsDependentRows) {
+  Gf2Matrix m(3, 4);
+  m.set(0, 0, true);
+  m.set(0, 1, true);
+  m.set(1, 1, true);
+  m.set(1, 2, true);
+  // row2 = row0 ^ row1
+  m.set(2, 0, true);
+  m.set(2, 2, true);
+  EXPECT_EQ(m.rank(), 2u);
+}
+
+TEST(Gf2Matrix, NullSpaceOrthogonal) {
+  Xoshiro256pp rng(5);
+  Gf2Matrix m(4, 10);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 10; ++c) m.set(r, c, rng.bernoulli(0.5));
+  }
+  const auto basis = m.null_space();
+  EXPECT_EQ(basis.size(), 10u - m.rank());
+  for (const auto& v : basis) {
+    EXPECT_EQ(m.mul_vector(v).popcount(), 0u);
+  }
+  // Basis vectors are independent.
+  EXPECT_EQ(Gf2Matrix(basis).rank(), basis.size());
+}
+
+TEST(Gf2Matrix, SolveConsistentSystem) {
+  Xoshiro256pp rng(6);
+  Gf2Matrix m(5, 8);
+  for (std::size_t r = 0; r < 5; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) m.set(r, c, rng.bernoulli(0.5));
+  }
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto x = BitVector::random(8, rng);
+    const auto b = m.mul_vector(x);
+    const auto sol = m.solve(b);
+    ASSERT_TRUE(sol.has_value());
+    EXPECT_EQ(m.mul_vector(*sol), b);
+  }
+}
+
+TEST(Gf2Matrix, SolveDetectsInconsistency) {
+  Gf2Matrix m(2, 2);
+  m.set(0, 0, true);
+  m.set(1, 0, true);  // rows identical in col 0
+  BitVector b(2);
+  b.set(0, true);  // x0 = 1 and x0 = 0: inconsistent
+  EXPECT_FALSE(m.solve(b).has_value());
+}
+
+TEST(Gf2Matrix, Transpose) {
+  Gf2Matrix m(2, 3);
+  m.set(0, 2, true);
+  m.set(1, 0, true);
+  const auto t = m.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_TRUE(t.get(2, 0));
+  EXPECT_TRUE(t.get(0, 1));
+}
+
+// --------------------------------------------------------------------- BCH
+
+class BchParams
+    : public ::testing::TestWithParam<std::tuple<unsigned, std::size_t>> {};
+
+TEST_P(BchParams, EncodeDecodeAtFullCapacity) {
+  const auto [m, t] = GetParam();
+  const BchCode code(m, t);
+  Xoshiro256pp rng(100 * m + t);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto msg = BitVector::random(code.k(), rng);
+    const auto cw = code.encode(msg);
+    EXPECT_EQ(code.syndrome(cw).popcount(), 0u);
+    // Inject exactly t errors at distinct positions.
+    auto noisy = cw;
+    std::set<std::size_t> positions;
+    while (positions.size() < t) {
+      positions.insert(rng.uniform_u64(code.n()));
+    }
+    for (const auto p : positions) noisy.flip(p);
+    const auto decoded = code.decode(noisy);
+    ASSERT_TRUE(decoded.has_value()) << "m=" << m << " t=" << t;
+    EXPECT_EQ(*decoded, msg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Codes, BchParams,
+    ::testing::Values(std::tuple{4u, std::size_t{1}},
+                      std::tuple{4u, std::size_t{2}},
+                      std::tuple{5u, std::size_t{3}},
+                      std::tuple{5u, std::size_t{7}},
+                      std::tuple{6u, std::size_t{5}},
+                      std::tuple{7u, std::size_t{9}},
+                      std::tuple{8u, std::size_t{10}}));
+
+TEST(Bch, ParametersOfClassicCodes) {
+  const BchCode c15_1(4, 1);
+  EXPECT_EQ(c15_1.n(), 15u);
+  EXPECT_EQ(c15_1.k(), 11u);  // Hamming(15,11)
+  const BchCode c15_2(4, 2);
+  EXPECT_EQ(c15_2.k(), 7u);
+  const BchCode c15_3(4, 3);
+  EXPECT_EQ(c15_3.k(), 5u);
+  const BchCode c31_7(5, 7);
+  EXPECT_EQ(c31_7.n(), 31u);
+  EXPECT_EQ(c31_7.k(), 6u);  // the closest true-BCH cousin of "[32,6,16]"
+}
+
+TEST(Bch, NoErrorsPassThrough) {
+  const BchCode code(5, 3);
+  Xoshiro256pp rng(9);
+  const auto msg = BitVector::random(code.k(), rng);
+  const auto cw = code.encode(msg);
+  EXPECT_EQ(code.decode(cw), msg);
+  EXPECT_EQ(code.decode_to_codeword(cw), cw);
+}
+
+TEST(Bch, SystematicStructure) {
+  const BchCode code(5, 3);
+  Xoshiro256pp rng(10);
+  const auto msg = BitVector::random(code.k(), rng);
+  const auto cw = code.encode(msg);
+  const std::size_t redundancy = code.n() - code.k();
+  for (std::size_t i = 0; i < code.k(); ++i) {
+    EXPECT_EQ(cw.get(redundancy + i), msg.get(i));
+  }
+}
+
+TEST(Bch, ParityCheckAnnihilatesAllCodewords) {
+  const BchCode code(4, 2);
+  for (std::uint64_t m = 0; m < (1ULL << code.k()); ++m) {
+    const auto cw = code.encode(BitVector(code.k(), m));
+    EXPECT_EQ(code.syndrome(cw).popcount(), 0u);
+  }
+  EXPECT_EQ(code.parity_check().rows(), code.n() - code.k());
+  EXPECT_EQ(code.parity_check().rank(), code.n() - code.k());
+}
+
+TEST(Bch, MinDistanceSpotCheck) {
+  // All nonzero codewords of BCH(15, t=2) have weight >= 5.
+  const BchCode code(4, 2);
+  for (std::uint64_t m = 1; m < (1ULL << code.k()); ++m) {
+    const auto cw = code.encode(BitVector(code.k(), m));
+    EXPECT_GE(cw.popcount(), 5u);
+  }
+}
+
+TEST(Bch, BeyondCapacityDetectedOrMiscorrected) {
+  // t+1 errors: the decoder must either give up or return *a* codeword —
+  // never crash; and it must not return the transmitted codeword as if
+  // nothing happened while errors remain unflagged.
+  const BchCode code(5, 3);
+  Xoshiro256pp rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto msg = BitVector::random(code.k(), rng);
+    auto noisy = code.encode(msg);
+    std::set<std::size_t> positions;
+    while (positions.size() < code.guaranteed_correction() + 2) {
+      positions.insert(rng.uniform_u64(code.n()));
+    }
+    for (const auto p : positions) noisy.flip(p);
+    const auto decoded = code.decode_to_codeword(noisy);
+    if (decoded.has_value()) {
+      EXPECT_EQ(code.syndrome(*decoded).popcount(), 0u);
+    }
+  }
+}
+
+TEST(Bch, ShorteningWorks) {
+  const BchCode code(5, 3, 10);  // [21, 6] shortened from [31, 16]
+  EXPECT_EQ(code.n(), 21u);
+  EXPECT_EQ(code.k(), 6u);
+  Xoshiro256pp rng(12);
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto msg = BitVector::random(code.k(), rng);
+    auto noisy = code.encode(msg);
+    std::set<std::size_t> positions;
+    while (positions.size() < 3) positions.insert(rng.uniform_u64(code.n()));
+    for (const auto p : positions) noisy.flip(p);
+    EXPECT_EQ(code.decode(noisy), msg);
+  }
+}
+
+TEST(Bch, RejectsBadConfigs) {
+  EXPECT_THROW(BchCode(4, 0), std::invalid_argument);
+  EXPECT_THROW(BchCode(4, 100), std::invalid_argument);
+  EXPECT_THROW(BchCode(4, 1, 11), std::invalid_argument);  // shorten >= k
+}
+
+TEST(Bch, EncodeRejectsWrongLength) {
+  const BchCode code(4, 1);
+  EXPECT_THROW(code.encode(BitVector(5)), std::invalid_argument);
+  EXPECT_THROW(code.decode(BitVector(5)), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Reed-Muller
+
+TEST(ReedMuller, ParametersMatchPaper) {
+  const ReedMuller1 rm5(5);
+  EXPECT_EQ(rm5.n(), 32u);          // the paper's "[32,6,16]"
+  EXPECT_EQ(rm5.k(), 6u);
+  EXPECT_EQ(rm5.min_distance(), 16u);
+  EXPECT_EQ(rm5.guaranteed_correction(), 7u);
+}
+
+TEST(ReedMuller, AllCodewordsHaveWeightZeroHalfOrFull) {
+  const ReedMuller1 rm(4);
+  for (std::uint64_t m = 0; m < 32; ++m) {
+    const auto cw = rm.encode(BitVector(5, m));
+    const auto w = cw.popcount();
+    EXPECT_TRUE(w == 0 || w == 8 || w == 16) << "weight " << w;
+  }
+}
+
+TEST(ReedMuller, RoundTripAllMessages) {
+  const ReedMuller1 rm(5);
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    const BitVector msg(6, m);
+    const auto cw = rm.encode(msg);
+    EXPECT_EQ(rm.syndrome(cw).popcount(), 0u);
+    EXPECT_EQ(rm.decode(cw), msg);
+  }
+}
+
+TEST(ReedMuller, CorrectsUpToSevenErrors) {
+  const ReedMuller1 rm(5);
+  Xoshiro256pp rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto msg = BitVector::random(6, rng);
+    auto noisy = rm.encode(msg);
+    const auto nerr = 1 + rng.uniform_u64(7);
+    std::set<std::size_t> positions;
+    while (positions.size() < nerr) positions.insert(rng.uniform_u64(32));
+    for (const auto p : positions) noisy.flip(p);
+    EXPECT_EQ(rm.decode(noisy), msg) << "errors=" << nerr;
+  }
+}
+
+TEST(ReedMuller, OftenCorrectsBeyondGuarantee) {
+  // ML decoding frequently succeeds past radius 7 — the behaviour behind
+  // the paper's optimistic "up to 16 bit errors" phrasing.
+  const ReedMuller1 rm(5);
+  Xoshiro256pp rng(14);
+  int success = 0;
+  const int trials = 500;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto msg = BitVector::random(6, rng);
+    auto noisy = rm.encode(msg);
+    std::set<std::size_t> positions;
+    while (positions.size() < 9) positions.insert(rng.uniform_u64(32));
+    for (const auto p : positions) noisy.flip(p);
+    if (rm.decode(noisy) == msg) ++success;
+  }
+  EXPECT_GT(success, trials / 3);
+}
+
+TEST(ReedMuller, ParityCheckFullRank) {
+  const ReedMuller1 rm(5);
+  EXPECT_EQ(rm.parity_check().rows(), 26u);
+  EXPECT_EQ(rm.parity_check().rank(), 26u);
+}
+
+TEST(ReedMuller, CorrelationPeakIsNForCodewords) {
+  const ReedMuller1 rm(5);
+  Xoshiro256pp rng(15);
+  const auto cw = rm.encode(BitVector::random(6, rng));
+  EXPECT_EQ(rm.correlation_peak(cw), 32);
+  auto noisy = cw;
+  noisy.flip(0);
+  noisy.flip(5);
+  EXPECT_EQ(rm.correlation_peak(noisy), 32 - 4);
+}
+
+TEST(ReedMuller, RejectsBadM) {
+  EXPECT_THROW(ReedMuller1(1), std::invalid_argument);
+  EXPECT_THROW(ReedMuller1(17), std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Helper data
+
+class HelperDataCodes : public ::testing::Test {
+ protected:
+  ReedMuller1 rm_{5};
+  BchCode bch_{5, 7};  // [31, 6, 15]
+};
+
+TEST_F(HelperDataCodes, HelperSizeIsNMinusK) {
+  const SyndromeHelper helper(rm_);
+  EXPECT_EQ(helper.helper_bits(), 26u);
+  EXPECT_EQ(helper.leaked_bits(), 26u);
+  EXPECT_EQ(helper.response_bits(), 32u);
+}
+
+TEST_F(HelperDataCodes, ReproducesExactProverResponse) {
+  const SyndromeHelper helper(rm_);
+  Xoshiro256pp rng(16);
+  for (int trial = 0; trial < 200; ++trial) {
+    // Prover measures y'; verifier has reference within <= 7 bits.
+    const auto y_prover = BitVector::random(32, rng);
+    const auto h = helper.generate(y_prover);
+    auto y_ref = y_prover;
+    const auto nerr = rng.uniform_u64(8);
+    std::set<std::size_t> positions;
+    while (positions.size() < nerr) positions.insert(rng.uniform_u64(32));
+    for (const auto p : positions) y_ref.flip(p);
+    const auto reproduced = helper.reproduce(y_ref, h);
+    ASSERT_TRUE(reproduced.has_value());
+    EXPECT_EQ(*reproduced, y_prover)
+        << "verifier must recover the prover's *exact* noisy response";
+  }
+}
+
+TEST_F(HelperDataCodes, WorksWithBchToo) {
+  const SyndromeHelper helper(bch_);
+  Xoshiro256pp rng(17);
+  for (int trial = 0; trial < 100; ++trial) {
+    const auto y_prover = BitVector::random(31, rng);
+    const auto h = helper.generate(y_prover);
+    auto y_ref = y_prover;
+    std::set<std::size_t> positions;
+    while (positions.size() < 7) positions.insert(rng.uniform_u64(31));
+    for (const auto p : positions) y_ref.flip(p);
+    const auto reproduced = helper.reproduce(y_ref, h);
+    ASSERT_TRUE(reproduced.has_value());
+    EXPECT_EQ(*reproduced, y_prover);
+  }
+}
+
+TEST_F(HelperDataCodes, FarReferenceFailsOrMismatches) {
+  const SyndromeHelper helper(bch_);
+  Xoshiro256pp rng(18);
+  int mismatch_or_fail = 0;
+  const int trials = 100;
+  for (int trial = 0; trial < trials; ++trial) {
+    const auto y_prover = BitVector::random(31, rng);
+    const auto h = helper.generate(y_prover);
+    const auto y_ref = BitVector::random(31, rng);  // unrelated reference
+    const auto reproduced = helper.reproduce(y_ref, h);
+    if (!reproduced || *reproduced != y_prover) ++mismatch_or_fail;
+  }
+  EXPECT_GT(mismatch_or_fail, trials * 9 / 10);
+}
+
+TEST_F(HelperDataCodes, HelperIsLinearInResponse) {
+  // h(y1 ^ y2) = h(y1) ^ h(y2): the syndrome construction is linear, which
+  // is what the hardware XOR-tree implementation relies on.
+  const SyndromeHelper helper(rm_);
+  Xoshiro256pp rng(19);
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto y1 = BitVector::random(32, rng);
+    const auto y2 = BitVector::random(32, rng);
+    EXPECT_EQ(helper.generate(y1 ^ y2),
+              helper.generate(y1) ^ helper.generate(y2));
+  }
+}
+
+TEST_F(HelperDataCodes, SizeValidation) {
+  const SyndromeHelper helper(rm_);
+  EXPECT_THROW(helper.generate(BitVector(31)), std::invalid_argument);
+  EXPECT_THROW(helper.reproduce(BitVector(31), BitVector(26)),
+               std::invalid_argument);
+  EXPECT_THROW(helper.reproduce(BitVector(32), BitVector(25)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace pufatt::ecc

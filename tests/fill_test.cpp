@@ -1,0 +1,182 @@
+// Tests for the proactive memory-filling attestation variant (paper
+// reference [3]): free attested memory is overwritten with seed-derived
+// noise before the checksum, denying the redirection attack its hiding
+// place inside the attested region.
+#include <gtest/gtest.h>
+
+#include "core/enrollment.hpp"
+#include "core/protocol.hpp"
+#include "cpu/assembler.hpp"
+#include "cpu/machine.hpp"
+#include "ecc/reed_muller.hpp"
+#include "swat/checksum.hpp"
+#include "swat/program.hpp"
+
+namespace pufatt::swat {
+namespace {
+
+using support::Xoshiro256pp;
+
+std::optional<std::uint32_t> stub_puf(const std::array<std::uint64_t, 8>& c) {
+  std::uint64_t acc = 7;
+  for (const auto x : c) acc = support::SplitMix64::mix(acc ^ x);
+  return static_cast<std::uint32_t>(acc);
+}
+
+SwatParams fill_params() {
+  SwatParams params;
+  params.rounds = 512;
+  params.puf_interval = 64;
+  params.attest_words = 1024;
+  params.fill_start = 600;   // everything past the program+firmware
+  params.fill_words = 424;
+  return params;
+}
+
+TEST(Fill, ValidationRejectsBadRegions) {
+  SwatParams params = fill_params();
+  params.fill_start = 1000;
+  params.fill_words = 100;  // overruns the attested region
+  EXPECT_THROW(validate(params), std::invalid_argument);
+}
+
+TEST(Fill, ChecksumIgnoresPreFillContentOfFilledRegion) {
+  // Whatever garbage (or malware payload) sits in the filled region before
+  // attestation, the checksum is identical — because the region is
+  // overwritten first...
+  const auto params = fill_params();
+  std::vector<std::uint32_t> image(params.attest_words, 0);
+  Xoshiro256pp rng(1);
+  for (std::size_t i = 0; i < 600; ++i) {
+    image[i] = static_cast<std::uint32_t>(rng.next());
+  }
+  auto dirty = image;
+  for (std::size_t i = 600; i < 1024; ++i) {
+    dirty[i] = 0xE71Lu;  // placeholder garbage
+  }
+  const auto clean_result = compute_checksum(image, 9, params, stub_puf);
+  const auto dirty_result = compute_checksum(dirty, 9, params, stub_puf);
+  EXPECT_EQ(clean_result.state, dirty_result.state);
+}
+
+TEST(Fill, FillContentIsSeedDependent) {
+  const auto params = fill_params();
+  const std::vector<std::uint32_t> image(params.attest_words, 0);
+  const auto a = compute_checksum(image, 10, params, stub_puf);
+  const auto b = compute_checksum(image, 11, params, stub_puf);
+  EXPECT_NE(a.state, b.state);
+}
+
+TEST(Fill, CallerBufferNotModified) {
+  const auto params = fill_params();
+  const std::vector<std::uint32_t> image(params.attest_words, 0xABCD);
+  auto copy = image;
+  compute_checksum(image, 5, params, stub_puf);
+  EXPECT_EQ(image, copy);
+}
+
+TEST(Fill, CpuProgramMatchesNativeWithFill) {
+  const auto params = fill_params();
+  const auto layout = SwatLayout::standard(params);
+  const auto program = cpu::assemble(generate_swat_source(params, layout));
+  ASSERT_LE(program.words.size(), 600u) << "program must fit below the fill";
+
+  std::vector<std::uint32_t> image(params.attest_words, 0);
+  for (std::size_t i = 0; i < program.words.size(); ++i) {
+    image[i] = program.words[i];
+  }
+  Xoshiro256pp rng(2);
+  for (std::size_t i = program.words.size(); i < 600; ++i) {
+    image[i] = static_cast<std::uint32_t>(rng.next());
+  }
+
+  struct StubPort final : cpu::PufPort {
+    std::array<std::uint64_t, 8> challenges{};
+    unsigned count = 0;
+    void start() override { count = 0; }
+    void feed(std::uint64_t c, double) override {
+      if (count < 8) challenges[count] = c;
+      ++count;
+    }
+    std::uint32_t finish(std::vector<std::uint32_t>& h) override {
+      h.assign(8, 0);
+      return *stub_puf(challenges);
+    }
+  } port;
+
+  cpu::Machine machine(4096);
+  machine.load(image, 0);
+  machine.set_mem(layout.seed_addr, 77);
+  machine.attach_puf(&port);
+  const auto run = machine.run(100'000'000);
+  ASSERT_TRUE(run.halted);
+
+  const auto native = compute_checksum(image, 77, params, stub_puf);
+  for (unsigned i = 0; i < 8; ++i) {
+    EXPECT_EQ(machine.mem(layout.result_addr + i), native.state[i]) << i;
+  }
+  // The device RAM really was overwritten with the PRG noise.
+  std::uint32_t a = 77;
+  for (std::uint32_t w = 0; w < params.fill_words; ++w) {
+    a = xorshift32(a);
+    ASSERT_EQ(machine.mem(params.fill_start + w), a) << "fill word " << w;
+  }
+}
+
+TEST(Fill, FillCostsProportionalCycles) {
+  auto base = fill_params();
+  base.fill_words = 0;
+  auto filled = fill_params();
+  const auto c0 = honest_cycle_estimate(base);
+  const auto c1 = honest_cycle_estimate(filled);
+  EXPECT_GT(c1, c0 + 10 * filled.fill_words);  // ~11-12 cycles per word
+  EXPECT_LT(c1, c0 + 20 * filled.fill_words);
+}
+
+TEST(Fill, EndToEndProtocolWithFill) {
+  // Full protocol with the filling variant enabled in the device profile.
+  const ecc::ReedMuller1 code(5);
+  auto profile = core::DeviceProfile::standard();
+  profile.swat = fill_params();
+  profile.layout = SwatLayout::standard(profile.swat);
+  const alupuf::PufDevice device(profile.puf_config, 999, code);
+  const auto record = core::enroll(
+      device, profile,
+      core::make_enrolled_image(profile, std::vector<std::uint32_t>(100, 3)));
+  const core::Verifier verifier(record, code);
+  Xoshiro256pp rng(3);
+  core::CpuProver prover(device, record, core::CpuProver::Variant::kHonest, 4);
+  const core::Channel channel;
+  const auto request = verifier.make_request(rng);
+  const auto outcome = prover.respond(request);
+  const auto result = verifier.verify(
+      request, outcome.response,
+      outcome.compute_us +
+          channel.round_trip_us(8, outcome.response.wire_bytes()));
+  EXPECT_TRUE(result.accepted()) << core::to_string(result.status);
+}
+
+TEST(Fill, DeniesInRegionHidingPlace) {
+  // The defence quantified: without filling, the attested region's free
+  // tail could host the redirection attack's pristine copy (it is never
+  // sampled *differently*); with filling, any data stored there is
+  // destroyed before the checksum runs — the copy must move outside, and
+  // a device whose physical memory is sized to the attested region plus a
+  // small mailbox simply has no room.
+  const auto params = fill_params();
+  const auto layout = SwatLayout::standard(params);
+  RedirectAttack attack;
+  attack.protected_words = 1;
+  attack.copy_addr = 20000;
+  const auto words =
+      cpu::assemble(generate_swat_source(params, layout, attack)).words;
+  const std::size_t attacker_extra = words.size();  // pristine copy size ~ this
+  const std::size_t honest_memory =
+      layout.helper_addr + (params.rounds / params.puf_interval) * 8 + 16;
+  const std::size_t attacker_memory = honest_memory + attacker_extra;
+  EXPECT_GT(attacker_memory, honest_memory)
+      << "with in-region hiding denied, the attack needs physically more RAM";
+}
+
+}  // namespace
+}  // namespace pufatt::swat

@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include "ecc/reed_muller.hpp"
+#include "mlattack/attack.hpp"
+#include "mlattack/dataset.hpp"
+#include "mlattack/logreg.hpp"
+
+namespace pufatt::mlattack {
+namespace {
+
+using support::BitVector;
+using support::Xoshiro256pp;
+
+// ---------------------------------------------------------------- LogReg
+
+TEST(LogisticRegression, RejectsZeroFeatures) {
+  EXPECT_THROW(LogisticRegression(0), std::invalid_argument);
+}
+
+TEST(LogisticRegression, PredictValidatesSize) {
+  LogisticRegression model(3);
+  EXPECT_THROW(model.predict_probability({1.0}), std::invalid_argument);
+}
+
+TEST(LogisticRegression, UntrainedPredictsHalf) {
+  LogisticRegression model(4);
+  EXPECT_DOUBLE_EQ(model.predict_probability({1, 1, 1, 1}), 0.5);
+}
+
+TEST(LogisticRegression, LearnsLinearlySeparableData) {
+  // Labels = sign of a fixed linear function: LR must reach ~100%.
+  Xoshiro256pp rng(1);
+  const std::vector<double> true_w{1.5, -2.0, 0.7, 0.0, 0.3};
+  std::vector<Example> train, test;
+  auto make = [&](std::size_t n, std::vector<Example>& out) {
+    for (std::size_t i = 0; i < n; ++i) {
+      Example ex;
+      double z = 0.0;
+      for (const auto w : true_w) {
+        ex.features.push_back(rng.gaussian());
+        z += w * ex.features.back();
+      }
+      ex.label = z > 0.0;
+      out.push_back(std::move(ex));
+    }
+  };
+  make(2000, train);
+  make(500, test);
+  LogisticRegression model(true_w.size());
+  model.train(train, {}, rng);
+  EXPECT_GT(model.accuracy(test), 0.95);
+}
+
+TEST(LogisticRegression, RandomLabelsStayNearChance) {
+  Xoshiro256pp rng(2);
+  std::vector<Example> train, test;
+  for (int i = 0; i < 1500; ++i) {
+    Example ex;
+    for (int f = 0; f < 8; ++f) ex.features.push_back(rng.gaussian());
+    ex.label = rng.bernoulli(0.5);
+    (i < 1000 ? train : test).push_back(std::move(ex));
+  }
+  LogisticRegression model(8);
+  model.train(train, {}, rng);
+  EXPECT_LT(model.accuracy(test), 0.60);
+}
+
+TEST(LogisticRegression, EmptyDatasetIsNoop) {
+  Xoshiro256pp rng(3);
+  LogisticRegression model(2);
+  EXPECT_NO_THROW(model.train({}, {}, rng));
+  EXPECT_DOUBLE_EQ(model.accuracy({}), 0.0);
+}
+
+// ---------------------------------------------------------------- features
+
+TEST(Features, ArbiterParityTransform) {
+  const auto phi = arbiter_features(BitVector::from_string("0000"));
+  for (const auto v : phi) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Features, AluFeatureLayout) {
+  Xoshiro256pp rng(4);
+  const auto c = BitVector::random(32, rng);  // width 16
+  const auto f = alu_features(c);
+  EXPECT_EQ(f.size(), 32u + 16u + 1u);
+  EXPECT_DOUBLE_EQ(f.back(), 1.0);
+  for (std::size_t i = 0; i < 32; ++i) {
+    EXPECT_DOUBLE_EQ(f[i], c.get(i) ? 1.0 : -1.0);
+  }
+  for (std::size_t i = 0; i < 16; ++i) {
+    const bool p = c.get(i) != c.get(16 + i);
+    EXPECT_DOUBLE_EQ(f[32 + i], p ? 1.0 : -1.0);
+  }
+}
+
+TEST(Features, WordFeatures) {
+  const auto f = word_features(0x1ULL);
+  EXPECT_EQ(f.size(), 65u);
+  EXPECT_DOUBLE_EQ(f[0], 1.0);
+  EXPECT_DOUBLE_EQ(f[1], -1.0);
+  EXPECT_DOUBLE_EQ(f.back(), 1.0);
+}
+
+// ------------------------------------------------------------ full attacks
+
+TEST(Attack, ArbiterPufIsBroken) {
+  // The textbook result (paper ref [27]): a few thousand CRPs suffice to
+  // model a plain arbiter PUF with high accuracy.
+  const alupuf::ArbiterPuf puf({.stages = 64, .noise_sigma = 0.02}, 11);
+  Xoshiro256pp rng(5);
+  AttackConfig config;
+  config.test_crps = 1000;
+  const auto result = attack_arbiter(puf, 4000, rng, config);
+  EXPECT_GT(result.test_accuracy, 0.93);
+}
+
+TEST(Attack, ArbiterAccuracyGrowsWithCrps) {
+  const alupuf::ArbiterPuf puf({.stages = 64, .noise_sigma = 0.02}, 12);
+  Xoshiro256pp rng(6);
+  AttackConfig config;
+  config.test_crps = 800;
+  const auto small = attack_arbiter(puf, 200, rng, config);
+  const auto large = attack_arbiter(puf, 4000, rng, config);
+  EXPECT_GT(large.test_accuracy, small.test_accuracy);
+}
+
+TEST(Attack, RawAluPufBitLeaksAboveChance) {
+  // Raw (pre-obfuscation) response bits are partially predictable from the
+  // challenge — the reason the paper adds the obfuscation network.
+  alupuf::AluPufConfig config;
+  config.width = 16;
+  const alupuf::AluPuf puf(config, 21);
+  Xoshiro256pp rng(7);
+  AttackConfig attack_config;
+  attack_config.test_crps = 1000;
+  // Bit 8: mid-chain bit with substantial carry-dependence.
+  const auto result = attack_alu_raw_bit(puf, 8, 3000, rng, attack_config);
+  EXPECT_GT(result.test_accuracy, 0.62);
+}
+
+TEST(Attack, ObfuscatedOutputResists) {
+  // After the two-phase XOR over 8 responses, LR on the protocol challenge
+  // stays near coin-flip accuracy — the paper's central obfuscation claim.
+  const ecc::ReedMuller1 code(5);
+  alupuf::AluPufConfig config;
+  config.width = 32;
+  const alupuf::PufDevice device(config, 22, code);
+  Xoshiro256pp rng(8);
+  AttackConfig attack_config;
+  attack_config.test_crps = 600;
+  const auto result = attack_obfuscated_bit(device, 5, 1500, rng, attack_config);
+  EXPECT_LT(result.test_accuracy, 0.58);
+  EXPECT_GT(result.test_accuracy, 0.42);
+}
+
+}  // namespace
+}  // namespace pufatt::mlattack

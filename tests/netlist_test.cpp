@@ -1,0 +1,435 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/techmap.hpp"
+#include "support/bitvec.hpp"
+#include "support/rng.hpp"
+
+namespace pufatt::netlist {
+namespace {
+
+using support::BitVector;
+
+// ---------------------------------------------------------------- Netlist IR
+
+TEST(Netlist, AddInputAndGate) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g = net.add_gate(GateKind::kAnd, {a, b});
+  EXPECT_EQ(net.num_gates(), 3u);
+  EXPECT_EQ(net.num_inputs(), 2u);
+  EXPECT_EQ(net.gate(g).kind, GateKind::kAnd);
+  EXPECT_EQ(net.input_name(0), "a");
+}
+
+TEST(Netlist, RejectsForwardReference) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  EXPECT_THROW(net.add_gate(GateKind::kNot, {a + 5}), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsWrongFaninCount) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  EXPECT_THROW(net.add_gate(GateKind::kNot, {a, a}), std::invalid_argument);
+  EXPECT_THROW(net.add_gate(GateKind::kAnd, {a}), std::invalid_argument);
+  EXPECT_THROW(net.add_gate(GateKind::kMux, {a, a}), std::invalid_argument);
+}
+
+TEST(Netlist, RejectsInputViaAddGate) {
+  Netlist net;
+  EXPECT_THROW(net.add_gate(GateKind::kInput, {}), std::invalid_argument);
+}
+
+TEST(Netlist, OutputMustExist) {
+  Netlist net;
+  EXPECT_THROW(net.add_output("x", 3), std::invalid_argument);
+}
+
+TEST(Netlist, EvaluateBasicGates) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId and_g = net.add_gate(GateKind::kAnd, {a, b});
+  const GateId or_g = net.add_gate(GateKind::kOr, {a, b});
+  const GateId xor_g = net.add_gate(GateKind::kXor, {a, b});
+  const GateId nand_g = net.add_gate(GateKind::kNand, {a, b});
+  const GateId nor_g = net.add_gate(GateKind::kNor, {a, b});
+  const GateId xnor_g = net.add_gate(GateKind::kXnor, {a, b});
+  const GateId not_g = net.add_gate(GateKind::kNot, {a});
+
+  for (const bool va : {false, true}) {
+    for (const bool vb : {false, true}) {
+      const auto v = net.evaluate({va, vb});
+      EXPECT_EQ(v[and_g], va && vb);
+      EXPECT_EQ(v[or_g], va || vb);
+      EXPECT_EQ(v[xor_g], va != vb);
+      EXPECT_EQ(v[nand_g], !(va && vb));
+      EXPECT_EQ(v[nor_g], !(va || vb));
+      EXPECT_EQ(v[xnor_g], va == vb);
+      EXPECT_EQ(v[not_g], !va);
+    }
+  }
+}
+
+TEST(Netlist, EvaluateMuxAndConst) {
+  Netlist net;
+  const GateId s = net.add_input("s");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId zero = net.add_gate(GateKind::kConst0, {});
+  const GateId one = net.add_gate(GateKind::kConst1, {});
+  const GateId mux = net.add_gate(GateKind::kMux, {s, a, b});
+  for (const bool vs : {false, true}) {
+    for (const bool va : {false, true}) {
+      for (const bool vb : {false, true}) {
+        const auto v = net.evaluate({vs, va, vb});
+        EXPECT_EQ(v[mux], vs ? vb : va);
+        EXPECT_FALSE(v[zero]);
+        EXPECT_TRUE(v[one]);
+      }
+    }
+  }
+}
+
+TEST(Netlist, EvaluateWrongInputCountThrows) {
+  Netlist net;
+  net.add_input("a");
+  EXPECT_THROW(net.evaluate({}), std::invalid_argument);
+  EXPECT_THROW(net.evaluate({true, false}), std::invalid_argument);
+}
+
+TEST(Netlist, KindHistogramAndLogicCount) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  net.add_gate(GateKind::kXor, {a, b});
+  net.add_gate(GateKind::kXor, {a, b});
+  net.add_gate(GateKind::kConst0, {});
+  const auto hist = net.kind_histogram();
+  EXPECT_EQ(hist.at(GateKind::kXor), 2u);
+  EXPECT_EQ(hist.at(GateKind::kInput), 2u);
+  EXPECT_EQ(net.logic_gate_count(), 2u);
+}
+
+// ---------------------------------------------------------------- Full adder
+
+TEST(Builder, FullAdderTruthTable) {
+  for (const bool a : {false, true}) {
+    for (const bool b : {false, true}) {
+      for (const bool c : {false, true}) {
+        Netlist net;
+        const GateId ia = net.add_input("a");
+        const GateId ib = net.add_input("b");
+        const GateId ic = net.add_input("c");
+        const auto fa = build_full_adder(net, ia, ib, ic, {});
+        const auto v = net.evaluate({a, b, c});
+        const int sum = (a ? 1 : 0) + (b ? 1 : 0) + (c ? 1 : 0);
+        EXPECT_EQ(v[fa.sum], (sum & 1) != 0);
+        EXPECT_EQ(v[fa.carry_out], sum >= 2);
+      }
+    }
+  }
+}
+
+// ------------------------------------------------------------- Ripple adder
+
+class RippleAdderWidth : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RippleAdderWidth, AddsCorrectlyExhaustiveOrRandom) {
+  const std::size_t width = GetParam();
+  Netlist net;
+  std::vector<GateId> a, b;
+  for (std::size_t i = 0; i < width; ++i) {
+    a.push_back(net.add_input("a"));
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    b.push_back(net.add_input("b"));
+  }
+  const GateId cin = net.add_gate(GateKind::kConst0, {});
+  const auto ports = build_ripple_carry_adder(net, a, b, cin, {});
+  ASSERT_EQ(ports.sum.size(), width);
+
+  support::Xoshiro256pp rng(width * 7919);
+  const std::uint64_t mask =
+      width == 64 ? ~0ULL : ((1ULL << width) - 1);
+  const int trials = width <= 4 ? -1 : 500;
+
+  auto check = [&](std::uint64_t va, std::uint64_t vb) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < width; ++i) in.push_back((va >> i) & 1);
+    for (std::size_t i = 0; i < width; ++i) in.push_back((vb >> i) & 1);
+    const auto v = net.evaluate(in);
+    const std::uint64_t expect = va + vb;
+    for (std::size_t i = 0; i < width; ++i) {
+      EXPECT_EQ(v[ports.sum[i]], ((expect >> i) & 1) != 0)
+          << "bit " << i << " of " << va << "+" << vb;
+    }
+    if (width < 64) {
+      EXPECT_EQ(v[ports.carry_out], ((expect >> width) & 1) != 0);
+    }
+  };
+
+  if (trials < 0) {
+    for (std::uint64_t va = 0; va <= mask; ++va) {
+      for (std::uint64_t vb = 0; vb <= mask; ++vb) check(va, vb);
+    }
+  } else {
+    for (int i = 0; i < trials; ++i) {
+      check(rng.next() & mask, rng.next() & mask);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, RippleAdderWidth,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 32));
+
+TEST(Builder, RippleAdderRejectsMismatchedOperands) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b0 = net.add_input("b0");
+  const GateId b1 = net.add_input("b1");
+  const GateId cin = net.add_gate(GateKind::kConst0, {});
+  EXPECT_THROW(build_ripple_carry_adder(net, {a}, {b0, b1}, cin, {}),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------ ALU PUF circuit
+
+TEST(Builder, AluPufCircuitShape) {
+  const auto circuit = build_alu_puf_circuit(16);
+  EXPECT_EQ(circuit.width, 16u);
+  EXPECT_EQ(circuit.challenge_inputs.size(), 32u);
+  EXPECT_EQ(circuit.race0.size(), 17u);  // 16 sum bits + carry-out
+  EXPECT_EQ(circuit.race1.size(), 17u);
+  EXPECT_EQ(circuit.net.outputs().size(), 34u);
+}
+
+TEST(Builder, AluPufTwoAlusComputeSameSums) {
+  const auto circuit = build_alu_puf_circuit(8);
+  support::Xoshiro256pp rng(123);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < 16; ++i) in.push_back(rng.bernoulli(0.5));
+    const auto v = circuit.net.evaluate(in);
+    for (std::size_t i = 0; i < circuit.race0.size(); ++i) {
+      EXPECT_EQ(v[circuit.race0[i]], v[circuit.race1[i]])
+          << "identical ALUs must agree functionally";
+    }
+  }
+}
+
+TEST(Builder, AluPufComputesAddition) {
+  const auto circuit = build_alu_puf_circuit(8);
+  for (const auto& [va, vb] : {std::pair<unsigned, unsigned>{3, 5},
+                              {255, 1},
+                              {128, 128},
+                              {0, 0},
+                              {170, 85}}) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < 8; ++i) in.push_back((va >> i) & 1);
+    for (std::size_t i = 0; i < 8; ++i) in.push_back((vb >> i) & 1);
+    const auto v = circuit.net.evaluate(in);
+    const unsigned expect = va + vb;
+    for (std::size_t i = 0; i < 9; ++i) {
+      EXPECT_EQ(v[circuit.race0[i]], ((expect >> i) & 1) != 0);
+    }
+  }
+}
+
+TEST(Builder, AluPufRejectsBadWidth) {
+  EXPECT_THROW(build_alu_puf_circuit(0), std::invalid_argument);
+  EXPECT_THROW(build_alu_puf_circuit(65), std::invalid_argument);
+}
+
+TEST(Builder, AluPufPlacementSeparatesAlus) {
+  AluPufLayout layout;
+  layout.alu_separation = 4.0;
+  const auto circuit = build_alu_puf_circuit(4, layout);
+  // Race nets of ALU0 sit at y=0; ALU1 at y=separation.
+  const auto& g0 = circuit.net.gate(circuit.race0[0]);
+  const auto& g1 = circuit.net.gate(circuit.race1[0]);
+  EXPECT_DOUBLE_EQ(g0.place.y, 0.0);
+  EXPECT_DOUBLE_EQ(g1.place.y, 4.0);
+}
+
+// ------------------------------------------------------- Obfuscation circuit
+
+TEST(Builder, ObfuscationCircuitMatchesTwoPhaseXor) {
+  const std::size_t n = 4;
+  const auto net = build_obfuscation_circuit(n);
+  EXPECT_EQ(net.num_inputs(), 8 * 2 * n);
+  EXPECT_EQ(net.outputs().size(), 2 * n);
+
+  support::Xoshiro256pp rng(55);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<std::vector<bool>> y(8, std::vector<bool>(2 * n));
+    std::vector<bool> in;
+    for (auto& resp : y) {
+      for (auto&& bit : resp) bit = rng.bernoulli(0.5);
+      in.insert(in.end(), resp.begin(), resp.end());
+    }
+    const auto v = net.evaluate(in);
+    // Reference model of the paper's two phases.
+    std::vector<std::vector<bool>> folded(8, std::vector<bool>(n));
+    for (std::size_t r = 0; r < 8; ++r) {
+      for (std::size_t i = 0; i < n; ++i) {
+        folded[r][i] = y[r][i] != y[r][i + n];
+      }
+    }
+    for (std::size_t i = 0; i < 2 * n; ++i) {
+      bool expect = false;
+      for (std::size_t j = 0; j < 4; ++j) {
+        const auto& lo = folded[2 * j];
+        const auto& hi = folded[2 * j + 1];
+        const bool bit = i < n ? lo[i] : hi[i - n];
+        expect = expect != bit;
+      }
+      EXPECT_EQ(v[net.outputs()[i].gate], expect);
+    }
+  }
+}
+
+TEST(Builder, ObfuscationCircuitXorCountMatchesTable1) {
+  // For 2n = 32 the paper's Table 1 reports 224 XORs of obfuscation logic.
+  const auto net = build_obfuscation_circuit(16);
+  EXPECT_EQ(count_xor_gates(net), 224u);
+}
+
+// --------------------------------------------------------- Syndrome circuit
+
+TEST(Builder, SyndromeCircuitComputesParityRows) {
+  std::vector<BitVector> rows;
+  rows.push_back(BitVector::from_string("1010"));
+  rows.push_back(BitVector::from_string("1111"));
+  rows.push_back(BitVector::from_string("0001"));
+  const auto net = build_syndrome_circuit(rows);
+  ASSERT_EQ(net.outputs().size(), 3u);
+  for (unsigned y = 0; y < 16; ++y) {
+    std::vector<bool> in;
+    for (unsigned i = 0; i < 4; ++i) in.push_back((y >> i) & 1);
+    const auto v = net.evaluate(in);
+    for (std::size_t j = 0; j < rows.size(); ++j) {
+      bool expect = false;
+      for (unsigned i = 0; i < 4; ++i) {
+        if (rows[j].get(i) && ((y >> i) & 1)) expect = !expect;
+      }
+      EXPECT_EQ(v[net.outputs()[j].gate], expect);
+    }
+  }
+}
+
+TEST(Builder, SyndromeCircuitRejectsEmptyAndRagged) {
+  EXPECT_THROW(build_syndrome_circuit({}), std::invalid_argument);
+  std::vector<BitVector> ragged{BitVector(4), BitVector(5)};
+  EXPECT_THROW(build_syndrome_circuit(ragged), std::invalid_argument);
+}
+
+// ---------------------------------------------------------------- PDL bank
+
+TEST(Builder, PdlBankShapeAndTransparency) {
+  const auto net = build_pdl_bank(4, 8);
+  EXPECT_EQ(net.num_inputs(), 4u);
+  EXPECT_EQ(net.outputs().size(), 4u);
+  // PDL is logically transparent: output equals input.
+  for (unsigned pattern = 0; pattern < 16; ++pattern) {
+    std::vector<bool> in;
+    for (unsigned i = 0; i < 4; ++i) in.push_back((pattern >> i) & 1);
+    const auto v = net.evaluate(in);
+    for (unsigned i = 0; i < 4; ++i) {
+      EXPECT_EQ(v[net.outputs()[i].gate], in[i]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------- Techmap
+
+TEST(Techmap, SingleGateIsOneLut) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId g = net.add_gate(GateKind::kAnd, {a, b});
+  net.add_output("o", g);
+  EXPECT_EQ(estimate_luts(net), 1u);
+}
+
+TEST(Techmap, ChainAbsorbedIntoOneLut) {
+  // NOT -> AND -> XOR over 3 primary inputs: support fits a 6-LUT.
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId c = net.add_input("c");
+  const GateId n = net.add_gate(GateKind::kNot, {a});
+  const GateId g = net.add_gate(GateKind::kAnd, {n, b});
+  const GateId x = net.add_gate(GateKind::kXor, {g, c});
+  net.add_output("o", x);
+  EXPECT_EQ(estimate_luts(net), 1u);
+}
+
+TEST(Techmap, WideSupportNeedsMultipleLuts) {
+  Netlist net;
+  std::vector<GateId> ins;
+  for (int i = 0; i < 12; ++i) ins.push_back(net.add_input("i"));
+  // Balanced XOR tree over 12 inputs.
+  std::vector<GateId> level = ins;
+  while (level.size() > 1) {
+    std::vector<GateId> next;
+    for (std::size_t i = 0; i + 1 < level.size(); i += 2) {
+      next.push_back(net.add_gate(GateKind::kXor, {level[i], level[i + 1]}));
+    }
+    if (level.size() % 2) next.push_back(level.back());
+    level = next;
+  }
+  net.add_output("o", level[0]);
+  const auto luts = estimate_luts(net);
+  EXPECT_GE(luts, 2u);  // 12 > 6 inputs cannot fit one LUT
+  EXPECT_LE(luts, 4u);
+}
+
+TEST(Techmap, SharedFanoutNotAbsorbed) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId shared = net.add_gate(GateKind::kXor, {a, b});
+  const GateId g1 = net.add_gate(GateKind::kNot, {shared});
+  const GateId g2 = net.add_gate(GateKind::kBuf, {shared});
+  net.add_output("o1", g1);
+  net.add_output("o2", g2);
+  EXPECT_EQ(estimate_luts(net), 3u);
+}
+
+TEST(Techmap, MuxStagesKeptSeparate) {
+  const auto net = build_pdl_bank(1, 8);
+  const auto with_keep = estimate_luts(net, {.lut_inputs = 6, .keep_mux_stages = true});
+  EXPECT_EQ(with_keep, 8u);  // one LUT per PDL stage, by design
+}
+
+TEST(Techmap, CountXorGates) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  net.add_gate(GateKind::kXor, {a, b});
+  net.add_gate(GateKind::kXnor, {a, b});
+  net.add_gate(GateKind::kAnd, {a, b});
+  EXPECT_EQ(count_xor_gates(net), 2u);
+}
+
+TEST(Techmap, EstimateComponentCarriesSequentialResources) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId g = net.add_gate(GateKind::kNot, {a});
+  net.add_output("o", g);
+  const auto est = estimate_component("demo", net, {.registers = 7, .bram = 2, .fifo = 1});
+  EXPECT_EQ(est.component, "demo");
+  EXPECT_EQ(est.luts, 1u);
+  EXPECT_EQ(est.registers, 7u);
+  EXPECT_EQ(est.bram, 2u);
+  EXPECT_EQ(est.fifo, 1u);
+}
+
+}  // namespace
+}  // namespace pufatt::netlist

@@ -1,0 +1,288 @@
+// Cross-module property tests: randomized circuits, codec cross-checks and
+// reference-model fuzzing.  These guard the invariants the system-level
+// arguments rest on.
+#include <gtest/gtest.h>
+
+#include <bitset>
+
+#include "ecc/bch.hpp"
+#include "ecc/reed_muller.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/techmap.hpp"
+#include "support/rng.hpp"
+#include "timingsim/timing_sim.hpp"
+
+namespace pufatt {
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+using support::BitVector;
+using support::Xoshiro256pp;
+
+/// Random DAG circuit generator: `inputs` primary inputs, `gates` random
+/// gates over earlier nets.
+Netlist random_circuit(std::size_t inputs, std::size_t gates,
+                       Xoshiro256pp& rng) {
+  Netlist net;
+  for (std::size_t i = 0; i < inputs; ++i) net.add_input("i");
+  const GateKind kinds[] = {GateKind::kBuf,  GateKind::kNot, GateKind::kAnd,
+                            GateKind::kOr,   GateKind::kNand, GateKind::kNor,
+                            GateKind::kXor,  GateKind::kXnor, GateKind::kMux};
+  for (std::size_t g = 0; g < gates; ++g) {
+    const GateKind kind = kinds[rng.uniform_u64(std::size(kinds))];
+    const auto pick = [&] {
+      return static_cast<GateId>(rng.uniform_u64(net.num_gates()));
+    };
+    GateId id = 0;
+    switch (netlist::required_fanins(kind)) {
+      case 1:
+        id = net.add_gate(kind, {pick()});
+        break;
+      case 3:
+        id = net.add_gate(kind, {pick(), pick(), pick()});
+        break;
+      default: {
+        const std::size_t fanins = 2 + rng.uniform_u64(3);
+        std::vector<GateId> f;
+        for (std::size_t k = 0; k < fanins; ++k) f.push_back(pick());
+        id = net.add_gate(kind, std::move(f));
+        break;
+      }
+    }
+    if (g + 8 >= gates) net.add_output("o", id);
+  }
+  return net;
+}
+
+class RandomCircuit : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomCircuit, TimingValuesMatchFunctionalModel) {
+  // Whatever the delays, the timing simulator's settled values must equal
+  // the pure functional evaluation.
+  Xoshiro256pp rng(1000 + GetParam());
+  const auto net = random_circuit(6, 60, rng);
+  timingsim::TimingSimulator sim(net);
+  timingsim::DelaySet delays;
+  delays.rise_ps.resize(net.num_gates());
+  delays.fall_ps.resize(net.num_gates());
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    delays.rise_ps[g] = rng.uniform(1.0, 30.0);
+    delays.fall_ps[g] = rng.uniform(1.0, 30.0);
+  }
+  std::vector<timingsim::SignalState> states;
+  for (int trial = 0; trial < 64; ++trial) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+      in.push_back(rng.bernoulli(0.5));
+    }
+    const auto golden = net.evaluate(in);
+    sim.run(in, delays, states);
+    for (std::size_t g = 0; g < golden.size(); ++g) {
+      ASSERT_EQ(states[g].value, golden[g]) << "gate " << g;
+    }
+  }
+}
+
+TEST_P(RandomCircuit, SettlingTimesAreCausal) {
+  // Every gate settles no earlier than the earliest input could reach it:
+  // time >= 0 for anything fed (transitively) by a primary input, and
+  // settle times never regress below a fanin that the value depends on
+  // being determined... minimally: all times are finite-or-kAlwaysSettled
+  // and non-negative when finite.
+  Xoshiro256pp rng(2000 + GetParam());
+  const auto net = random_circuit(5, 50, rng);
+  timingsim::TimingSimulator sim(net);
+  std::vector<double> delays(net.num_gates(), 1.0);
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    const auto kind = net.gate(static_cast<GateId>(g)).kind;
+    if (kind == GateKind::kInput || kind == GateKind::kConst0 ||
+        kind == GateKind::kConst1) {
+      delays[g] = 0.0;
+    }
+  }
+  std::vector<bool> in(net.num_inputs(), true);
+  const auto states = sim.run(in, delays);
+  for (std::size_t g = 0; g < states.size(); ++g) {
+    const double t = states[g].time_ps;
+    ASSERT_TRUE(t == timingsim::kAlwaysSettled || t >= 0.0);
+  }
+}
+
+TEST_P(RandomCircuit, UniformDelayScalingScalesTimes) {
+  // Multiplying every delay by a constant multiplies every finite settle
+  // time by the same constant (timing is homogeneous of degree 1).
+  Xoshiro256pp rng(3000 + GetParam());
+  const auto net = random_circuit(4, 40, rng);
+  timingsim::TimingSimulator sim(net);
+  std::vector<double> delays(net.num_gates());
+  for (auto& d : delays) d = rng.uniform(1.0, 10.0);
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    const auto kind = net.gate(static_cast<GateId>(g)).kind;
+    if (kind == GateKind::kInput || kind == GateKind::kConst0 ||
+        kind == GateKind::kConst1) {
+      delays[g] = 0.0;
+    }
+  }
+  auto scaled = delays;
+  for (auto& d : scaled) d *= 3.0;
+  std::vector<bool> in;
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    in.push_back(rng.bernoulli(0.5));
+  }
+  const auto s1 = sim.run(in, delays);
+  const auto s3 = sim.run(in, scaled);
+  for (std::size_t g = 0; g < s1.size(); ++g) {
+    if (s1[g].time_ps == timingsim::kAlwaysSettled) {
+      ASSERT_EQ(s3[g].time_ps, timingsim::kAlwaysSettled);
+    } else {
+      ASSERT_NEAR(s3[g].time_ps, 3.0 * s1[g].time_ps, 1e-9);
+    }
+  }
+}
+
+TEST_P(RandomCircuit, TechmapNeverExceedsGateCount) {
+  Xoshiro256pp rng(4000 + GetParam());
+  const auto net = random_circuit(6, 80, rng);
+  EXPECT_LE(netlist::estimate_luts(net), net.logic_gate_count());
+  EXPECT_GE(netlist::estimate_luts(net), 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomCircuit, ::testing::Range(0, 8));
+
+// ------------------------------------------------------- codec cross-checks
+
+TEST(CodecCross, Rm15MatchesExhaustiveNearestCodeword) {
+  // ML decoding must return a codeword at minimum Hamming distance from
+  // the input (checked exhaustively against all 64 codewords).
+  const ecc::ReedMuller1 rm(5);
+  std::vector<BitVector> codewords;
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    codewords.push_back(rm.encode(BitVector(6, m)));
+  }
+  Xoshiro256pp rng(7);
+  for (int trial = 0; trial < 300; ++trial) {
+    const auto word = BitVector::random(32, rng);
+    const auto decoded = rm.decode_to_codeword(word);
+    ASSERT_TRUE(decoded.has_value());
+    std::size_t best = 33;
+    for (const auto& cw : codewords) {
+      best = std::min(best, word.hamming_distance(cw));
+    }
+    EXPECT_EQ(decoded->hamming_distance(word), best);
+  }
+}
+
+TEST(CodecCross, SoftDecodeWithUniformConfidenceMatchesHard) {
+  const ecc::ReedMuller1 rm(5);
+  Xoshiro256pp rng(8);
+  for (int trial = 0; trial < 200; ++trial) {
+    const auto word = BitVector::random(32, rng);
+    std::vector<double> llr(32);
+    for (std::size_t i = 0; i < 32; ++i) llr[i] = word.get(i) ? -1.0 : 1.0;
+    const auto hard = rm.decode_to_codeword(word);
+    const auto soft = rm.decode_soft_to_codeword(llr);
+    ASSERT_TRUE(hard && soft);
+    // Equal-confidence soft decoding picks a codeword at the same distance
+    // (ties may break differently).
+    EXPECT_EQ(soft->hamming_distance(word), hard->hamming_distance(word));
+  }
+}
+
+TEST(CodecCross, BchAndRmAgreeOnCodewordMembership) {
+  // Both parity-check matrices must declare exactly their own codewords.
+  const ecc::ReedMuller1 rm(5);
+  const ecc::BchCode bch(5, 7);  // [31, 6]
+  Xoshiro256pp rng(9);
+  for (std::uint64_t m = 0; m < 64; ++m) {
+    const auto rm_cw = rm.encode(BitVector(6, m));
+    EXPECT_EQ(rm.syndrome(rm_cw).popcount(), 0u);
+    const auto bch_cw = bch.encode(BitVector(6, m));
+    EXPECT_EQ(bch.syndrome(bch_cw).popcount(), 0u);
+  }
+  // Random words are almost never codewords.
+  int rm_hits = 0, bch_hits = 0;
+  for (int t = 0; t < 200; ++t) {
+    if (rm.syndrome(BitVector::random(32, rng)).popcount() == 0) ++rm_hits;
+    if (bch.syndrome(BitVector::random(31, rng)).popcount() == 0) ++bch_hits;
+  }
+  EXPECT_LE(rm_hits, 1);
+  EXPECT_LE(bch_hits, 1);
+}
+
+TEST(CodecCross, BchGuaranteedRadiusIsTight) {
+  // BCH(15, t=3): decodes every weight-3 error from the zero codeword, and
+  // the decoder never reports success with a *different* codeword for
+  // weight <= t errors.
+  const ecc::BchCode code(4, 3);
+  const BitVector zero_cw(code.n());
+  // All weight-1..3 error patterns (exhaustive: C(15,3) = 455 + 105 + 15).
+  for (std::size_t a = 0; a < code.n(); ++a) {
+    for (std::size_t b = a; b < code.n(); ++b) {
+      for (std::size_t c = b; c < code.n(); ++c) {
+        auto word = zero_cw;
+        word.flip(a);
+        if (b != a) word.flip(b);
+        if (c != b && c != a) word.flip(c);
+        const auto decoded = code.decode_to_codeword(word);
+        ASSERT_TRUE(decoded.has_value());
+        EXPECT_EQ(decoded->popcount(), 0u)
+            << "errors at " << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+// --------------------------------------------------- BitVector fuzz vs ref
+
+TEST(BitVectorFuzz, MatchesBitsetReference) {
+  Xoshiro256pp rng(10);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::bitset<96> ref_a, ref_b;
+    BitVector a(96), b(96);
+    for (std::size_t i = 0; i < 96; ++i) {
+      const bool va = rng.bernoulli(0.5);
+      const bool vb = rng.bernoulli(0.5);
+      ref_a[i] = va;
+      ref_b[i] = vb;
+      a.set(i, va);
+      b.set(i, vb);
+    }
+    EXPECT_EQ((a ^ b).popcount(), (ref_a ^ ref_b).count());
+    EXPECT_EQ((a & b).popcount(), (ref_a & ref_b).count());
+    EXPECT_EQ((a | b).popcount(), (ref_a | ref_b).count());
+    EXPECT_EQ(a.popcount(), ref_a.count());
+    EXPECT_EQ(a.hamming_distance(b), (ref_a ^ ref_b).count());
+    // Slice/concat round trip.
+    const auto lo = a.slice(0, 40);
+    const auto hi = a.slice(40, 56);
+    EXPECT_EQ(lo.concat(hi), a);
+  }
+}
+
+// ----------------------------------------- adder exhaustive small widths
+
+TEST(AdderExhaustive, ThreeBitFullTruthTable) {
+  Netlist net;
+  std::vector<GateId> a, b;
+  for (int i = 0; i < 3; ++i) a.push_back(net.add_input("a"));
+  for (int i = 0; i < 3; ++i) b.push_back(net.add_input("b"));
+  const GateId cin = net.add_gate(GateKind::kConst0, {});
+  const auto ports = netlist::build_ripple_carry_adder(net, a, b, cin, {});
+  for (unsigned va = 0; va < 8; ++va) {
+    for (unsigned vb = 0; vb < 8; ++vb) {
+      std::vector<bool> in;
+      for (int i = 0; i < 3; ++i) in.push_back((va >> i) & 1);
+      for (int i = 0; i < 3; ++i) in.push_back((vb >> i) & 1);
+      const auto v = net.evaluate(in);
+      unsigned sum = 0;
+      for (int i = 0; i < 3; ++i) sum |= (v[ports.sum[i]] ? 1u : 0u) << i;
+      sum |= (v[ports.carry_out] ? 1u : 0u) << 3;
+      EXPECT_EQ(sum, va + vb);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace pufatt

@@ -1,0 +1,187 @@
+// Adversarial edge cases on the protocol surface: tampered transcripts,
+// malformed messages, verifier knob behaviour, determinism.
+#include <gtest/gtest.h>
+
+#include "core/enrollment.hpp"
+#include "core/protocol.hpp"
+#include "core/puf_adapter.hpp"
+#include "ecc/reed_muller.hpp"
+
+namespace pufatt::core {
+namespace {
+
+using support::Xoshiro256pp;
+
+struct EdgeBed {
+  EdgeBed()
+      : code(5),
+        profile(make_profile()),
+        device(profile.puf_config, 888, code),
+        record(enroll(device, profile,
+                      make_enrolled_image(
+                          profile, std::vector<std::uint32_t>(400, 0xEE)))),
+        verifier(record, code) {}
+
+  static DeviceProfile make_profile() {
+    auto p = DeviceProfile::standard();
+    p.swat.rounds = 512;
+    p.swat.attest_words = 1024;
+    p.layout = swat::SwatLayout::standard(p.swat);
+    return p;
+  }
+
+  double elapsed(const CpuProver::Outcome& outcome) const {
+    const Channel channel;
+    return outcome.compute_us +
+           channel.round_trip_us(8, outcome.response.wire_bytes());
+  }
+
+  ecc::ReedMuller1 code;
+  DeviceProfile profile;
+  alupuf::PufDevice device;
+  EnrollmentRecord record;
+  Verifier verifier;
+};
+
+class ProtocolEdge : public ::testing::Test {
+ protected:
+  static EdgeBed& bed() {
+    static EdgeBed instance;
+    return instance;
+  }
+  Xoshiro256pp rng_{77};
+};
+
+TEST_F(ProtocolEdge, VerificationIsDeterministic) {
+  CpuProver prover(bed().device, bed().record, CpuProver::Variant::kHonest, 1);
+  const auto request = bed().verifier.make_request(rng_);
+  const auto outcome = prover.respond(request);
+  const auto r1 =
+      bed().verifier.verify(request, outcome.response, bed().elapsed(outcome));
+  const auto r2 =
+      bed().verifier.verify(request, outcome.response, bed().elapsed(outcome));
+  EXPECT_EQ(r1.status, r2.status);
+  EXPECT_DOUBLE_EQ(r1.deadline_us, r2.deadline_us);
+}
+
+TEST_F(ProtocolEdge, SingleHelperBitFlipRejects) {
+  // The helper transcript is authenticated implicitly: flipping any bit
+  // changes the reconstructed response and hence z and the checksum (or
+  // trips the distance budgets).
+  CpuProver prover(bed().device, bed().record, CpuProver::Variant::kHonest, 2);
+  const auto request = bed().verifier.make_request(rng_);
+  auto outcome = prover.respond(request);
+  Xoshiro256pp tamper_rng(5);
+  int rejects = 0;
+  const int trials = 10;
+  for (int t = 0; t < trials; ++t) {
+    auto tampered = outcome.response;
+    const auto word = tamper_rng.uniform_u64(tampered.helper_words.size());
+    tampered.helper_words[word] ^=
+        1u << tamper_rng.uniform_u64(26);  // 26-bit syndromes
+    const auto result =
+        bed().verifier.verify(request, tampered, bed().elapsed(outcome));
+    if (!result.accepted()) ++rejects;
+  }
+  EXPECT_EQ(rejects, trials);
+}
+
+TEST_F(ProtocolEdge, ExtraHelperWordsRejected) {
+  CpuProver prover(bed().device, bed().record, CpuProver::Variant::kHonest, 3);
+  const auto request = bed().verifier.make_request(rng_);
+  auto outcome = prover.respond(request);
+  outcome.response.helper_words.push_back(0xDEAD);
+  const auto result = bed().verifier.verify(request, outcome.response,
+                                            bed().elapsed(outcome));
+  EXPECT_EQ(result.status, VerifyStatus::kPufReconstructionFailed);
+}
+
+TEST_F(ProtocolEdge, EmptyTranscriptRejected) {
+  CpuProver prover(bed().device, bed().record, CpuProver::Variant::kHonest, 4);
+  const auto request = bed().verifier.make_request(rng_);
+  auto outcome = prover.respond(request);
+  outcome.response.helper_words.clear();
+  const auto result = bed().verifier.verify(request, outcome.response,
+                                            bed().elapsed(outcome));
+  EXPECT_EQ(result.status, VerifyStatus::kPufReconstructionFailed);
+}
+
+TEST_F(ProtocolEdge, ZeroElapsedStillNeedsCorrectChecksum) {
+  // Being fast is not enough.
+  CpuProver prover(bed().device, bed().record, CpuProver::Variant::kHonest, 5);
+  const auto request = bed().verifier.make_request(rng_);
+  auto outcome = prover.respond(request);
+  outcome.response.checksum[0] ^= 0x100;
+  const auto result = bed().verifier.verify(request, outcome.response, 0.0);
+  EXPECT_EQ(result.status, VerifyStatus::kChecksumMismatch);
+}
+
+TEST_F(ProtocolEdge, DeadlineScalesWithTranscriptSize) {
+  // The channel budget accounts for the response payload the prover must
+  // push through the constrained link.
+  AttestationResponse small, large;
+  small.helper_words.assign(8, 0);
+  large.helper_words.assign(800, 0);
+  EXPECT_GT(bed().verifier.deadline_us(large),
+            bed().verifier.deadline_us(small));
+}
+
+TEST_F(ProtocolEdge, TightWeightedBudgetRejectsHonest) {
+  // Sanity on the knob: an absurd budget flags even the honest device —
+  // proving the statistic is actually consulted.
+  Verifier strict(bed().record, bed().code);
+  strict.set_max_avg_weighted_ps(0.001);
+  CpuProver prover(bed().device, bed().record, CpuProver::Variant::kHonest, 6);
+  const auto request = strict.make_request(rng_);
+  const auto outcome = prover.respond(request);
+  const auto result =
+      strict.verify(request, outcome.response, bed().elapsed(outcome));
+  EXPECT_EQ(result.status, VerifyStatus::kPufReconstructionFailed);
+}
+
+TEST_F(ProtocolEdge, RequestNoncesAreFresh) {
+  Xoshiro256pp rng(123);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(seen.insert(bed().verifier.make_request(rng).nonce).second);
+  }
+}
+
+TEST_F(ProtocolEdge, ProverRespondsConsistentlyToSameNonce) {
+  // Same nonce, same device: the checksum matches across runs (the PUF
+  // noise is absorbed by the error correction; helper words may differ).
+  CpuProver a(bed().device, bed().record, CpuProver::Variant::kHonest, 7);
+  CpuProver b(bed().device, bed().record, CpuProver::Variant::kHonest, 8);
+  const AttestationRequest request{424242};
+  const auto ra = a.respond(request);
+  const auto rb = b.respond(request);
+  // Both must verify.  Note the checksums themselves are allowed to
+  // differ across runs: a reverse fuzzy extractor obfuscates the *noisy*
+  // measurement y' (whose few flipped bits differ per run) and the
+  // verifier reconstructs that exact y' from the helper data — so r is
+  // per-run while verification stays exact.
+  const auto va =
+      bed().verifier.verify(request, ra.response, bed().elapsed(ra));
+  const auto vb =
+      bed().verifier.verify(request, rb.response, bed().elapsed(rb));
+  EXPECT_TRUE(va.accepted());
+  EXPECT_TRUE(vb.accepted());
+}
+
+TEST_F(ProtocolEdge, NegativeSlackRejected) {
+  EXPECT_THROW(Verifier(bed().record, bed().code, ChannelParams{}, -0.1),
+               std::invalid_argument);
+}
+
+TEST_F(ProtocolEdge, PufPortRequiresEightFeeds) {
+  // Hardware contract: pend after fewer than 8 PUF-mode adds is a fault.
+  Xoshiro256pp rng(9);
+  DevicePufPort port(bed().device, variation::Environment::nominal(), rng);
+  port.start();
+  port.feed(1, 1000.0);
+  std::vector<std::uint32_t> helpers;
+  EXPECT_THROW(port.finish(helpers), cpu::MachineError);
+}
+
+}  // namespace
+}  // namespace pufatt::core

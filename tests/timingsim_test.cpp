@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "netlist/builder.hpp"
+#include "support/stats.hpp"
+#include "timingsim/arbiter.hpp"
+#include "timingsim/timing_sim.hpp"
+#include "variation/chip.hpp"
+
+namespace pufatt::timingsim {
+namespace {
+
+using netlist::GateId;
+using netlist::GateKind;
+using netlist::Netlist;
+
+std::vector<double> unit_delays(const Netlist& net, double d = 1.0) {
+  std::vector<double> delays(net.num_gates(), d);
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    const auto kind = net.gate(static_cast<GateId>(g)).kind;
+    if (kind == GateKind::kInput || kind == GateKind::kConst0 ||
+        kind == GateKind::kConst1) {
+      delays[g] = 0.0;
+    }
+  }
+  return delays;
+}
+
+// ------------------------------------------------------ settling semantics
+
+TEST(TimingSim, BufferChainAccumulatesDelay) {
+  Netlist net;
+  GateId sig = net.add_input("a");
+  for (int i = 0; i < 5; ++i) sig = net.add_gate(GateKind::kBuf, {sig});
+  TimingSimulator sim(net);
+  const auto states = sim.run({true}, unit_delays(net, 2.0));
+  EXPECT_TRUE(states[sig].value);
+  EXPECT_DOUBLE_EQ(states[sig].time_ps, 10.0);
+}
+
+TEST(TimingSim, XorWaitsForLatestInput) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId slow = net.add_gate(GateKind::kBuf, {b});
+  const GateId x = net.add_gate(GateKind::kXor, {a, slow});
+  TimingSimulator sim(net);
+  auto delays = unit_delays(net, 1.0);
+  delays[slow] = 7.0;
+  delays[x] = 1.0;
+  const auto states = sim.run({true, false}, delays);
+  EXPECT_DOUBLE_EQ(states[x].time_ps, 8.0);  // max(0, 7) + 1
+}
+
+TEST(TimingSim, AndControlledByEarliestZero) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId slow_b = net.add_gate(GateKind::kBuf, {b});
+  const GateId g = net.add_gate(GateKind::kAnd, {a, slow_b});
+  TimingSimulator sim(net);
+  auto delays = unit_delays(net);
+  delays[slow_b] = 9.0;
+  delays[g] = 1.0;
+  // a=0 arrives at t=0 and controls the AND: output settles at 0+1,
+  // regardless of the slow b path.
+  const auto s0 = sim.run({false, true}, delays);
+  EXPECT_FALSE(s0[g].value);
+  EXPECT_DOUBLE_EQ(s0[g].time_ps, 1.0);
+  // Both 1: must wait for the slow path.
+  const auto s1 = sim.run({true, true}, delays);
+  EXPECT_TRUE(s1[g].value);
+  EXPECT_DOUBLE_EQ(s1[g].time_ps, 10.0);
+}
+
+TEST(TimingSim, OrControlledByEarliestOne) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId slow_b = net.add_gate(GateKind::kBuf, {b});
+  const GateId g = net.add_gate(GateKind::kOr, {a, slow_b});
+  TimingSimulator sim(net);
+  auto delays = unit_delays(net);
+  delays[slow_b] = 9.0;
+  delays[g] = 1.0;
+  const auto s1 = sim.run({true, false}, delays);
+  EXPECT_TRUE(s1[g].value);
+  EXPECT_DOUBLE_EQ(s1[g].time_ps, 1.0);
+  const auto s0 = sim.run({false, false}, delays);
+  EXPECT_FALSE(s0[g].value);
+  EXPECT_DOUBLE_EQ(s0[g].time_ps, 10.0);
+}
+
+TEST(TimingSim, NandNorInvertValues) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId nand_g = net.add_gate(GateKind::kNand, {a, b});
+  const GateId nor_g = net.add_gate(GateKind::kNor, {a, b});
+  TimingSimulator sim(net);
+  const auto states = sim.run({true, true}, unit_delays(net));
+  EXPECT_FALSE(states[nand_g].value);
+  EXPECT_FALSE(states[nor_g].value);
+}
+
+TEST(TimingSim, ConstantsAlwaysSettled) {
+  Netlist net;
+  const GateId c0 = net.add_gate(GateKind::kConst0, {});
+  const GateId c1 = net.add_gate(GateKind::kConst1, {});
+  TimingSimulator sim(net);
+  const auto states = sim.run({}, unit_delays(net));
+  EXPECT_EQ(states[c0].time_ps, kAlwaysSettled);
+  EXPECT_EQ(states[c1].time_ps, kAlwaysSettled);
+}
+
+TEST(TimingSim, MuxStaticSelectUsesOnlyChosenPath) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId slow = net.add_gate(GateKind::kBuf, {a});
+  const GateId fast = net.add_gate(GateKind::kBuf, {a});
+  const GateId sel0 = net.add_gate(GateKind::kConst0, {});
+  const GateId mux = net.add_gate(GateKind::kMux, {sel0, fast, slow});
+  TimingSimulator sim(net);
+  auto delays = unit_delays(net);
+  delays[slow] = 50.0;
+  delays[fast] = 1.0;
+  delays[mux] = 1.0;
+  const auto states = sim.run({true}, delays);
+  EXPECT_TRUE(states[mux].value);
+  EXPECT_DOUBLE_EQ(states[mux].time_ps, 2.0);  // fast path only
+}
+
+TEST(TimingSim, MuxDynamicSelectWaitsForSelect) {
+  Netlist net;
+  const GateId s = net.add_input("s");
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId slow_sel = net.add_gate(GateKind::kBuf, {s});
+  const GateId mux = net.add_gate(GateKind::kMux, {slow_sel, a, b});
+  TimingSimulator sim(net);
+  auto delays = unit_delays(net);
+  delays[slow_sel] = 5.0;
+  delays[mux] = 1.0;
+  // a != b: output depends on select, which settles at t=5.
+  const auto states = sim.run({true, false, true}, delays);
+  EXPECT_TRUE(states[mux].value);
+  EXPECT_DOUBLE_EQ(states[mux].time_ps, 6.0);
+  // a == b: select is irrelevant; settles when data settles.
+  const auto states2 = sim.run({true, true, true}, delays);
+  EXPECT_DOUBLE_EQ(states2[mux].time_ps, 1.0);
+}
+
+TEST(TimingSim, InputArrivalTimesRespected) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId x = net.add_gate(GateKind::kXor, {a, b});
+  TimingSimulator sim(net);
+  std::vector<SignalState> states;
+  const std::vector<double> arrival{3.0, 10.0};
+  sim.run({true, false}, unit_delays(net), states, &arrival);
+  EXPECT_DOUBLE_EQ(states[x].time_ps, 11.0);
+}
+
+TEST(TimingSim, ValuesMatchFunctionalEvaluation) {
+  // Property: for random circuits (here: the ALU PUF netlist) the timing
+  // simulator's values must equal Netlist::evaluate's.
+  const auto circuit = netlist::build_alu_puf_circuit(16);
+  TimingSimulator sim(circuit.net);
+  const auto delays = unit_delays(circuit.net);
+  support::Xoshiro256pp rng(31);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::vector<bool> in;
+    for (std::size_t i = 0; i < circuit.net.num_inputs(); ++i) {
+      in.push_back(rng.bernoulli(0.5));
+    }
+    const auto golden = circuit.net.evaluate(in);
+    const auto states = sim.run(in, delays);
+    for (std::size_t g = 0; g < golden.size(); ++g) {
+      ASSERT_EQ(states[g].value, golden[g]) << "gate " << g;
+    }
+  }
+}
+
+TEST(TimingSim, CarryChainDelayGrowsWithPropagation) {
+  // 8-bit adder: a = all ones, b = 1 keeps every stage in propagate mode, so
+  // the MSB sum waits for the full carry ripple.  With a = b = 0 every stage
+  // kills the carry (a XOR b = 0 settles the AND early) and the MSB settles
+  // almost immediately — the challenge-dependent timing the paper exploits.
+  Netlist net;
+  std::vector<GateId> a, b;
+  for (int i = 0; i < 8; ++i) a.push_back(net.add_input("a"));
+  for (int i = 0; i < 8; ++i) b.push_back(net.add_input("b"));
+  const GateId cin = net.add_gate(GateKind::kConst0, {});
+  const auto ports = netlist::build_ripple_carry_adder(net, a, b, cin, {});
+  TimingSimulator sim(net);
+  const auto delays = unit_delays(net);
+
+  std::vector<bool> ripple(16, false);
+  for (int i = 0; i < 8; ++i) ripple[i] = true;  // a = 0xFF
+  ripple[8] = true;                              // b = 0x01
+  const auto with_carry = sim.run(ripple, delays);
+
+  const std::vector<bool> no_carry(16, false);  // a = 0, b = 0: kill chain
+  const auto without = sim.run(no_carry, delays);
+
+  EXPECT_GT(with_carry[ports.sum[7]].time_ps,
+            without[ports.sum[7]].time_ps + 5.0);
+}
+
+TEST(TimingSim, RunValidatesSizes) {
+  Netlist net;
+  net.add_input("a");
+  TimingSimulator sim(net);
+  EXPECT_THROW(sim.run({}, {0.0}), std::invalid_argument);
+  EXPECT_THROW(sim.run({true}, {}), std::invalid_argument);
+}
+
+// ----------------------------------------------------------------- Arbiter
+
+TEST(Arbiter, DecidesBySignDeterministically) {
+  EXPECT_TRUE(Arbiter::decide(1.0));
+  EXPECT_FALSE(Arbiter::decide(-1.0));
+  EXPECT_FALSE(Arbiter::decide(0.0));
+}
+
+TEST(Arbiter, ProbabilityMonotoneInDelta) {
+  const Arbiter arb({.meta_tau_ps = 2.0});
+  EXPECT_LT(arb.probability_one(-5.0), arb.probability_one(0.0));
+  EXPECT_LT(arb.probability_one(0.0), arb.probability_one(5.0));
+  EXPECT_DOUBLE_EQ(arb.probability_one(0.0), 0.5);
+}
+
+TEST(Arbiter, LargeGapsAreDeterministic) {
+  const Arbiter arb({.meta_tau_ps = 1.0});
+  EXPECT_GT(arb.probability_one(20.0), 0.999999);
+  EXPECT_LT(arb.probability_one(-20.0), 0.000001);
+}
+
+TEST(Arbiter, ZeroTauIsHardDecision) {
+  const Arbiter arb({.meta_tau_ps = 0.0});
+  EXPECT_DOUBLE_EQ(arb.probability_one(0.001), 1.0);
+  EXPECT_DOUBLE_EQ(arb.probability_one(-0.001), 0.0);
+}
+
+TEST(Arbiter, SampleFrequencyMatchesProbability) {
+  const Arbiter arb({.meta_tau_ps = 1.0});
+  support::Xoshiro256pp rng(71);
+  const double delta = 0.8;
+  int ones = 0;
+  const int trials = 100000;
+  for (int i = 0; i < trials; ++i) ones += arb.sample(delta, rng) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(ones) / trials, arb.probability_one(delta),
+              0.005);
+}
+
+TEST(Arbiter, MetastabilityOnlyNearZero) {
+  // With a realistic tau, a 10 ps gap is essentially deterministic while a
+  // 0.1 ps gap is a near coin flip — the paper's metastability story.
+  const Arbiter arb({.meta_tau_ps = 1.0});
+  EXPECT_NEAR(arb.probability_one(0.1), 0.5, 0.05);
+  EXPECT_GT(arb.probability_one(10.0), 0.9999);
+}
+
+// ----------------------------------------- integration: race on real chip
+
+TEST(Integration, RaceDeltasAreChipSpecific) {
+  const auto circuit = netlist::build_alu_puf_circuit(8);
+  const variation::TechnologyParams tech;
+  const variation::QuadTreeConfig qt;
+  const variation::ChipInstance chip_a(circuit.net, tech, qt, 11);
+  const variation::ChipInstance chip_b(circuit.net, tech, qt, 22);
+  TimingSimulator sim(circuit.net);
+  const auto env = variation::Environment::nominal();
+  const auto delays_a = chip_a.nominal_delays(env);
+  const auto delays_b = chip_b.nominal_delays(env);
+
+  std::vector<bool> in(16, true);  // full carry activity
+  std::vector<SignalState> sa, sb;
+  sim.run(in, delays_a, sa);
+  sim.run(in, delays_b, sb);
+  int sign_diff = 0;
+  for (std::size_t i = 0; i < circuit.race0.size(); ++i) {
+    const double da =
+        sa[circuit.race1[i]].time_ps - sa[circuit.race0[i]].time_ps;
+    const double db =
+        sb[circuit.race1[i]].time_ps - sb[circuit.race0[i]].time_ps;
+    EXPECT_NE(da, 0.0);
+    if ((da > 0) != (db > 0)) ++sign_diff;
+  }
+  // Different chips should disagree on at least one race outcome.
+  EXPECT_GT(sign_diff, 0);
+}
+
+}  // namespace
+}  // namespace pufatt::timingsim

@@ -1,0 +1,134 @@
+// pufatt-cli: operator tooling around the library.
+//
+//   pufatt-cli enroll <chip-seed> <record.bin>     manufacture + enroll a die
+//   pufatt-cli inspect <record.bin>                summarize a record
+//   pufatt-cli attest <chip-seed> <record.bin>     run one attestation
+//   pufatt-cli disasm <record.bin>                 list the attested program
+//
+// The "device" is simulated (chip-seed = fab lottery), but the data flow is
+// the real deployment one: enrollment produces a record file, the verifier
+// later loads it and talks to the device.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/protocol.hpp"
+#include "core/serialize.hpp"
+#include "cpu/disassembler.hpp"
+#include "ecc/reed_muller.hpp"
+
+using namespace pufatt;
+
+namespace {
+
+const ecc::ReedMuller1& code() {
+  static const ecc::ReedMuller1 instance(5);
+  return instance;
+}
+
+int cmd_enroll(std::uint64_t chip_seed, const std::string& path) {
+  const auto profile = core::DeviceProfile::standard();
+  const alupuf::PufDevice device(profile.puf_config, chip_seed, code());
+  // Ship a deterministic demo firmware image.
+  std::vector<std::uint32_t> firmware(2500);
+  for (std::size_t i = 0; i < firmware.size(); ++i) {
+    firmware[i] = static_cast<std::uint32_t>(
+        support::SplitMix64::mix(chip_seed + i));
+  }
+  const auto record = core::enroll(
+      device, profile, core::make_enrolled_image(profile, firmware));
+  core::save_record_file(path, record);
+  std::printf("enrolled chip %llu -> %s\n",
+              static_cast<unsigned long long>(chip_seed), path.c_str());
+  std::printf("  attested words : %zu\n", record.enrolled_image.size());
+  std::printf("  honest cycles  : %llu\n",
+              static_cast<unsigned long long>(record.honest_cycles));
+  std::printf("  base clock     : %.1f MHz\n", record.profile.base_clock_mhz);
+  return 0;
+}
+
+int cmd_inspect(const std::string& path) {
+  const auto record = core::load_record_file(path);
+  std::printf("enrollment record %s\n", path.c_str());
+  std::printf("  PUF width        : %zu bits\n",
+              record.profile.puf_config.width);
+  std::printf("  delay table      : %zu gates\n",
+              record.model.intrinsic_ps.size());
+  std::printf("  SWAT rounds      : %u (PUF every %u)\n",
+              record.profile.swat.rounds, record.profile.swat.puf_interval);
+  std::printf("  attested region  : %u words\n",
+              record.profile.swat.attest_words);
+  std::printf("  honest cycles    : %llu\n",
+              static_cast<unsigned long long>(record.honest_cycles));
+  std::printf("  base clock       : %.1f MHz\n",
+              record.profile.base_clock_mhz);
+  return 0;
+}
+
+int cmd_attest(std::uint64_t chip_seed, const std::string& path) {
+  const auto record = core::load_record_file(path);
+  const alupuf::PufDevice device(record.profile.puf_config, chip_seed, code());
+  const core::Verifier verifier(record, code());
+  support::Xoshiro256pp rng(support::SplitMix64::mix(chip_seed));
+  core::CpuProver prover(device, record, core::CpuProver::Variant::kHonest,
+                         chip_seed ^ 0xA77E57);
+  const core::Channel channel;
+  const auto request = verifier.make_request(rng);
+  const auto outcome = prover.respond(request);
+  const auto result = verifier.verify(
+      request, outcome.response,
+      outcome.compute_us +
+          channel.round_trip_us(8, outcome.response.wire_bytes()));
+  std::printf("attestation of chip %llu against %s: %s\n",
+              static_cast<unsigned long long>(chip_seed), path.c_str(),
+              core::to_string(result.status));
+  std::printf("  elapsed %.0f us, deadline %.0f us, %zu helper words\n",
+              result.elapsed_us, result.deadline_us,
+              outcome.response.helper_words.size());
+  return result.accepted() ? 0 : 2;
+}
+
+int cmd_disasm(const std::string& path) {
+  const auto record = core::load_record_file(path);
+  // The program occupies the image up to the first halt; list a prefix.
+  std::vector<std::uint32_t> prefix;
+  for (const auto word : record.enrolled_image) {
+    prefix.push_back(word);
+    try {
+      if (cpu::decode(word).op == cpu::Opcode::kHalt) break;
+    } catch (const std::invalid_argument&) {
+      break;  // data region reached
+    }
+  }
+  std::fputs(cpu::disassemble_program(prefix).c_str(), stdout);
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pufatt-cli enroll <chip-seed> <record.bin>\n"
+               "       pufatt-cli inspect <record.bin>\n"
+               "       pufatt-cli attest <chip-seed> <record.bin>\n"
+               "       pufatt-cli disasm <record.bin>\n");
+  return 64;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const std::string cmd = argc > 1 ? argv[1] : "";
+    if (cmd == "enroll" && argc == 4) {
+      return cmd_enroll(std::strtoull(argv[2], nullptr, 0), argv[3]);
+    }
+    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
+    if (cmd == "attest" && argc == 4) {
+      return cmd_attest(std::strtoull(argv[2], nullptr, 0), argv[3]);
+    }
+    if (cmd == "disasm" && argc == 3) return cmd_disasm(argv[2]);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
