@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_sweeps.dir/ablation_sweeps.cpp.o"
+  "CMakeFiles/ablation_sweeps.dir/ablation_sweeps.cpp.o.d"
+  "ablation_sweeps"
+  "ablation_sweeps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_sweeps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aging_tuning.dir/aging_tuning.cpp.o"
+  "CMakeFiles/aging_tuning.dir/aging_tuning.cpp.o.d"
+  "aging_tuning"
+  "aging_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aging_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attestation_security.dir/attestation_security.cpp.o"
+  "CMakeFiles/attestation_security.dir/attestation_security.cpp.o.d"
+  "attestation_security"
+  "attestation_security.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attestation_security.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for attestation_security.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_pufs.dir/baseline_pufs.cpp.o"
+  "CMakeFiles/baseline_pufs.dir/baseline_pufs.cpp.o.d"
+  "baseline_pufs"
+  "baseline_pufs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_pufs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

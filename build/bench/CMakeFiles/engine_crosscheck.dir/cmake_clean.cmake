@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_crosscheck.dir/engine_crosscheck.cpp.o"
+  "CMakeFiles/engine_crosscheck.dir/engine_crosscheck.cpp.o.d"
+  "engine_crosscheck"
+  "engine_crosscheck.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_crosscheck.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_interchip_hd.dir/fig3_interchip_hd.cpp.o"
+  "CMakeFiles/fig3_interchip_hd.dir/fig3_interchip_hd.cpp.o.d"
+  "fig3_interchip_hd"
+  "fig3_interchip_hd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_interchip_hd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_intrachip_hd.dir/fig4_intrachip_hd.cpp.o"
+  "CMakeFiles/fig4_intrachip_hd.dir/fig4_intrachip_hd.cpp.o.d"
+  "fig4_intrachip_hd"
+  "fig4_intrachip_hd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_intrachip_hd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fnr_error_correction.dir/fnr_error_correction.cpp.o"
+  "CMakeFiles/fnr_error_correction.dir/fnr_error_correction.cpp.o.d"
+  "fnr_error_correction"
+  "fnr_error_correction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fnr_error_correction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fnr_error_correction.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fnr_error_correction.
+# This may be replaced when dependencies are built.

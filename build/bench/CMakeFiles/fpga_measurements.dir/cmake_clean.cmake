@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_measurements.dir/fpga_measurements.cpp.o"
+  "CMakeFiles/fpga_measurements.dir/fpga_measurements.cpp.o.d"
+  "fpga_measurements"
+  "fpga_measurements.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_measurements.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ml_attack.dir/ml_attack.cpp.o"
+  "CMakeFiles/ml_attack.dir/ml_attack.cpp.o.d"
+  "ml_attack"
+  "ml_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ml_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overclocking.dir/overclocking.cpp.o"
+  "CMakeFiles/overclocking.dir/overclocking.cpp.o.d"
+  "overclocking"
+  "overclocking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overclocking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

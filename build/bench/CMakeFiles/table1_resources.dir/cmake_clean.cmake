@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_resources.dir/table1_resources.cpp.o"
+  "CMakeFiles/table1_resources.dir/table1_resources.cpp.o.d"
+  "table1_resources"
+  "table1_resources.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_resources.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_attestation.dir/distributed_attestation.cpp.o"
+  "CMakeFiles/distributed_attestation.dir/distributed_attestation.cpp.o.d"
+  "distributed_attestation"
+  "distributed_attestation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_attestation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

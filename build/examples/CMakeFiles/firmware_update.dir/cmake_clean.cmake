@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/firmware_update.dir/firmware_update.cpp.o"
+  "CMakeFiles/firmware_update.dir/firmware_update.cpp.o.d"
+  "firmware_update"
+  "firmware_update.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/firmware_update.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/modeling_attack_demo.dir/modeling_attack_demo.cpp.o"
+  "CMakeFiles/modeling_attack_demo.dir/modeling_attack_demo.cpp.o.d"
+  "modeling_attack_demo"
+  "modeling_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/modeling_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/overclocking_attack_demo.dir/overclocking_attack_demo.cpp.o"
+  "CMakeFiles/overclocking_attack_demo.dir/overclocking_attack_demo.cpp.o.d"
+  "overclocking_attack_demo"
+  "overclocking_attack_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/overclocking_attack_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("support")
+subdirs("netlist")
+subdirs("variation")
+subdirs("timingsim")
+subdirs("ecc")
+subdirs("alupuf")
+subdirs("cpu")
+subdirs("swat")
+subdirs("core")
+subdirs("mlattack")
+subdirs("fpga")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alupuf/aging_tuner.cpp" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/aging_tuner.cpp.o" "gcc" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/aging_tuner.cpp.o.d"
+  "/root/repo/src/alupuf/alu_puf.cpp" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/alu_puf.cpp.o" "gcc" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/alu_puf.cpp.o.d"
+  "/root/repo/src/alupuf/arbiter_puf.cpp" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/arbiter_puf.cpp.o" "gcc" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/arbiter_puf.cpp.o.d"
+  "/root/repo/src/alupuf/obfuscation.cpp" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/obfuscation.cpp.o" "gcc" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/obfuscation.cpp.o.d"
+  "/root/repo/src/alupuf/pipeline.cpp" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/pipeline.cpp.o" "gcc" "src/alupuf/CMakeFiles/pufatt_alupuf.dir/pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/pufatt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pufatt_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/timingsim/CMakeFiles/pufatt_timingsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/pufatt_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pufatt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_alupuf.dir/aging_tuner.cpp.o"
+  "CMakeFiles/pufatt_alupuf.dir/aging_tuner.cpp.o.d"
+  "CMakeFiles/pufatt_alupuf.dir/alu_puf.cpp.o"
+  "CMakeFiles/pufatt_alupuf.dir/alu_puf.cpp.o.d"
+  "CMakeFiles/pufatt_alupuf.dir/arbiter_puf.cpp.o"
+  "CMakeFiles/pufatt_alupuf.dir/arbiter_puf.cpp.o.d"
+  "CMakeFiles/pufatt_alupuf.dir/obfuscation.cpp.o"
+  "CMakeFiles/pufatt_alupuf.dir/obfuscation.cpp.o.d"
+  "CMakeFiles/pufatt_alupuf.dir/pipeline.cpp.o"
+  "CMakeFiles/pufatt_alupuf.dir/pipeline.cpp.o.d"
+  "libpufatt_alupuf.a"
+  "libpufatt_alupuf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_alupuf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_core.dir/channel.cpp.o"
+  "CMakeFiles/pufatt_core.dir/channel.cpp.o.d"
+  "CMakeFiles/pufatt_core.dir/crp_database.cpp.o"
+  "CMakeFiles/pufatt_core.dir/crp_database.cpp.o.d"
+  "CMakeFiles/pufatt_core.dir/distributed.cpp.o"
+  "CMakeFiles/pufatt_core.dir/distributed.cpp.o.d"
+  "CMakeFiles/pufatt_core.dir/enrollment.cpp.o"
+  "CMakeFiles/pufatt_core.dir/enrollment.cpp.o.d"
+  "CMakeFiles/pufatt_core.dir/protocol.cpp.o"
+  "CMakeFiles/pufatt_core.dir/protocol.cpp.o.d"
+  "CMakeFiles/pufatt_core.dir/puf_adapter.cpp.o"
+  "CMakeFiles/pufatt_core.dir/puf_adapter.cpp.o.d"
+  "CMakeFiles/pufatt_core.dir/serialize.cpp.o"
+  "CMakeFiles/pufatt_core.dir/serialize.cpp.o.d"
+  "libpufatt_core.a"
+  "libpufatt_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

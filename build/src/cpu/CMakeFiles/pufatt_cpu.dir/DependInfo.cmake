@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/assembler.cpp" "src/cpu/CMakeFiles/pufatt_cpu.dir/assembler.cpp.o" "gcc" "src/cpu/CMakeFiles/pufatt_cpu.dir/assembler.cpp.o.d"
+  "/root/repo/src/cpu/disassembler.cpp" "src/cpu/CMakeFiles/pufatt_cpu.dir/disassembler.cpp.o" "gcc" "src/cpu/CMakeFiles/pufatt_cpu.dir/disassembler.cpp.o.d"
+  "/root/repo/src/cpu/isa.cpp" "src/cpu/CMakeFiles/pufatt_cpu.dir/isa.cpp.o" "gcc" "src/cpu/CMakeFiles/pufatt_cpu.dir/isa.cpp.o.d"
+  "/root/repo/src/cpu/machine.cpp" "src/cpu/CMakeFiles/pufatt_cpu.dir/machine.cpp.o" "gcc" "src/cpu/CMakeFiles/pufatt_cpu.dir/machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pufatt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

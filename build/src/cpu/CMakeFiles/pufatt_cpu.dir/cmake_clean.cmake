@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_cpu.dir/assembler.cpp.o"
+  "CMakeFiles/pufatt_cpu.dir/assembler.cpp.o.d"
+  "CMakeFiles/pufatt_cpu.dir/disassembler.cpp.o"
+  "CMakeFiles/pufatt_cpu.dir/disassembler.cpp.o.d"
+  "CMakeFiles/pufatt_cpu.dir/isa.cpp.o"
+  "CMakeFiles/pufatt_cpu.dir/isa.cpp.o.d"
+  "CMakeFiles/pufatt_cpu.dir/machine.cpp.o"
+  "CMakeFiles/pufatt_cpu.dir/machine.cpp.o.d"
+  "libpufatt_cpu.a"
+  "libpufatt_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ecc/bch.cpp" "src/ecc/CMakeFiles/pufatt_ecc.dir/bch.cpp.o" "gcc" "src/ecc/CMakeFiles/pufatt_ecc.dir/bch.cpp.o.d"
+  "/root/repo/src/ecc/gf2_matrix.cpp" "src/ecc/CMakeFiles/pufatt_ecc.dir/gf2_matrix.cpp.o" "gcc" "src/ecc/CMakeFiles/pufatt_ecc.dir/gf2_matrix.cpp.o.d"
+  "/root/repo/src/ecc/gf2m.cpp" "src/ecc/CMakeFiles/pufatt_ecc.dir/gf2m.cpp.o" "gcc" "src/ecc/CMakeFiles/pufatt_ecc.dir/gf2m.cpp.o.d"
+  "/root/repo/src/ecc/helper_data.cpp" "src/ecc/CMakeFiles/pufatt_ecc.dir/helper_data.cpp.o" "gcc" "src/ecc/CMakeFiles/pufatt_ecc.dir/helper_data.cpp.o.d"
+  "/root/repo/src/ecc/linear_code.cpp" "src/ecc/CMakeFiles/pufatt_ecc.dir/linear_code.cpp.o" "gcc" "src/ecc/CMakeFiles/pufatt_ecc.dir/linear_code.cpp.o.d"
+  "/root/repo/src/ecc/reed_muller.cpp" "src/ecc/CMakeFiles/pufatt_ecc.dir/reed_muller.cpp.o" "gcc" "src/ecc/CMakeFiles/pufatt_ecc.dir/reed_muller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/pufatt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

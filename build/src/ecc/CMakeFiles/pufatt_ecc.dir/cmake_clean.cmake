@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_ecc.dir/bch.cpp.o"
+  "CMakeFiles/pufatt_ecc.dir/bch.cpp.o.d"
+  "CMakeFiles/pufatt_ecc.dir/gf2_matrix.cpp.o"
+  "CMakeFiles/pufatt_ecc.dir/gf2_matrix.cpp.o.d"
+  "CMakeFiles/pufatt_ecc.dir/gf2m.cpp.o"
+  "CMakeFiles/pufatt_ecc.dir/gf2m.cpp.o.d"
+  "CMakeFiles/pufatt_ecc.dir/helper_data.cpp.o"
+  "CMakeFiles/pufatt_ecc.dir/helper_data.cpp.o.d"
+  "CMakeFiles/pufatt_ecc.dir/linear_code.cpp.o"
+  "CMakeFiles/pufatt_ecc.dir/linear_code.cpp.o.d"
+  "CMakeFiles/pufatt_ecc.dir/reed_muller.cpp.o"
+  "CMakeFiles/pufatt_ecc.dir/reed_muller.cpp.o.d"
+  "libpufatt_ecc.a"
+  "libpufatt_ecc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_ecc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_fpga.dir/board.cpp.o"
+  "CMakeFiles/pufatt_fpga.dir/board.cpp.o.d"
+  "CMakeFiles/pufatt_fpga.dir/pdl.cpp.o"
+  "CMakeFiles/pufatt_fpga.dir/pdl.cpp.o.d"
+  "CMakeFiles/pufatt_fpga.dir/resources.cpp.o"
+  "CMakeFiles/pufatt_fpga.dir/resources.cpp.o.d"
+  "libpufatt_fpga.a"
+  "libpufatt_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

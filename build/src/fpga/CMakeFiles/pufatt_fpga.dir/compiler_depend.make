@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for pufatt_fpga.
+# This may be replaced when dependencies are built.

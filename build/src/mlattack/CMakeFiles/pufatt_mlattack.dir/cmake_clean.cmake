@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_mlattack.dir/attack.cpp.o"
+  "CMakeFiles/pufatt_mlattack.dir/attack.cpp.o.d"
+  "CMakeFiles/pufatt_mlattack.dir/dataset.cpp.o"
+  "CMakeFiles/pufatt_mlattack.dir/dataset.cpp.o.d"
+  "CMakeFiles/pufatt_mlattack.dir/logreg.cpp.o"
+  "CMakeFiles/pufatt_mlattack.dir/logreg.cpp.o.d"
+  "libpufatt_mlattack.a"
+  "libpufatt_mlattack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_mlattack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for pufatt_mlattack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_netlist.dir/builder.cpp.o"
+  "CMakeFiles/pufatt_netlist.dir/builder.cpp.o.d"
+  "CMakeFiles/pufatt_netlist.dir/netlist.cpp.o"
+  "CMakeFiles/pufatt_netlist.dir/netlist.cpp.o.d"
+  "CMakeFiles/pufatt_netlist.dir/techmap.cpp.o"
+  "CMakeFiles/pufatt_netlist.dir/techmap.cpp.o.d"
+  "libpufatt_netlist.a"
+  "libpufatt_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

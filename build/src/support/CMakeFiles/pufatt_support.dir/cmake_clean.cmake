@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_support.dir/bitvec.cpp.o"
+  "CMakeFiles/pufatt_support.dir/bitvec.cpp.o.d"
+  "CMakeFiles/pufatt_support.dir/rng.cpp.o"
+  "CMakeFiles/pufatt_support.dir/rng.cpp.o.d"
+  "CMakeFiles/pufatt_support.dir/stats.cpp.o"
+  "CMakeFiles/pufatt_support.dir/stats.cpp.o.d"
+  "CMakeFiles/pufatt_support.dir/table.cpp.o"
+  "CMakeFiles/pufatt_support.dir/table.cpp.o.d"
+  "libpufatt_support.a"
+  "libpufatt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

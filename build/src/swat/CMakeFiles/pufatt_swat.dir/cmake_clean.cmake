@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_swat.dir/checksum.cpp.o"
+  "CMakeFiles/pufatt_swat.dir/checksum.cpp.o.d"
+  "CMakeFiles/pufatt_swat.dir/program.cpp.o"
+  "CMakeFiles/pufatt_swat.dir/program.cpp.o.d"
+  "libpufatt_swat.a"
+  "libpufatt_swat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_swat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

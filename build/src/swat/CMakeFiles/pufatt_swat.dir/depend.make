@@ -1,0 +1,2 @@
+# Empty dependencies file for pufatt_swat.
+# This may be replaced when dependencies are built.

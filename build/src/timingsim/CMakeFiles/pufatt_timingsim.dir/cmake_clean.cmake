@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_timingsim.dir/arbiter.cpp.o"
+  "CMakeFiles/pufatt_timingsim.dir/arbiter.cpp.o.d"
+  "CMakeFiles/pufatt_timingsim.dir/event_sim.cpp.o"
+  "CMakeFiles/pufatt_timingsim.dir/event_sim.cpp.o.d"
+  "CMakeFiles/pufatt_timingsim.dir/timing_sim.cpp.o"
+  "CMakeFiles/pufatt_timingsim.dir/timing_sim.cpp.o.d"
+  "libpufatt_timingsim.a"
+  "libpufatt_timingsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_timingsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/variation/aging.cpp" "src/variation/CMakeFiles/pufatt_variation.dir/aging.cpp.o" "gcc" "src/variation/CMakeFiles/pufatt_variation.dir/aging.cpp.o.d"
+  "/root/repo/src/variation/chip.cpp" "src/variation/CMakeFiles/pufatt_variation.dir/chip.cpp.o" "gcc" "src/variation/CMakeFiles/pufatt_variation.dir/chip.cpp.o.d"
+  "/root/repo/src/variation/delay_model.cpp" "src/variation/CMakeFiles/pufatt_variation.dir/delay_model.cpp.o" "gcc" "src/variation/CMakeFiles/pufatt_variation.dir/delay_model.cpp.o.d"
+  "/root/repo/src/variation/quadtree.cpp" "src/variation/CMakeFiles/pufatt_variation.dir/quadtree.cpp.o" "gcc" "src/variation/CMakeFiles/pufatt_variation.dir/quadtree.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/netlist/CMakeFiles/pufatt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/timingsim/CMakeFiles/pufatt_timingsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pufatt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt_variation.dir/aging.cpp.o"
+  "CMakeFiles/pufatt_variation.dir/aging.cpp.o.d"
+  "CMakeFiles/pufatt_variation.dir/chip.cpp.o"
+  "CMakeFiles/pufatt_variation.dir/chip.cpp.o.d"
+  "CMakeFiles/pufatt_variation.dir/delay_model.cpp.o"
+  "CMakeFiles/pufatt_variation.dir/delay_model.cpp.o.d"
+  "CMakeFiles/pufatt_variation.dir/quadtree.cpp.o"
+  "CMakeFiles/pufatt_variation.dir/quadtree.cpp.o.d"
+  "libpufatt_variation.a"
+  "libpufatt_variation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

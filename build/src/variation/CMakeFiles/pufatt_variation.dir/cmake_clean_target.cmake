@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpufatt_variation.a"
+)

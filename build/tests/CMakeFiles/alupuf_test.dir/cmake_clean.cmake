@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alupuf_test.dir/alupuf_test.cpp.o"
+  "CMakeFiles/alupuf_test.dir/alupuf_test.cpp.o.d"
+  "alupuf_test"
+  "alupuf_test.pdb"
+  "alupuf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alupuf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

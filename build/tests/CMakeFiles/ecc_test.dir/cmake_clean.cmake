@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ecc_test.dir/ecc_test.cpp.o"
+  "CMakeFiles/ecc_test.dir/ecc_test.cpp.o.d"
+  "ecc_test"
+  "ecc_test.pdb"
+  "ecc_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ecc_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

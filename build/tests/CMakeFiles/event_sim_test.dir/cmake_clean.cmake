@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/event_sim_test.dir/event_sim_test.cpp.o"
+  "CMakeFiles/event_sim_test.dir/event_sim_test.cpp.o.d"
+  "event_sim_test"
+  "event_sim_test.pdb"
+  "event_sim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/event_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fill_test.dir/fill_test.cpp.o"
+  "CMakeFiles/fill_test.dir/fill_test.cpp.o.d"
+  "fill_test"
+  "fill_test.pdb"
+  "fill_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fill_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_test.dir/fpga_test.cpp.o"
+  "CMakeFiles/fpga_test.dir/fpga_test.cpp.o.d"
+  "fpga_test"
+  "fpga_test.pdb"
+  "fpga_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

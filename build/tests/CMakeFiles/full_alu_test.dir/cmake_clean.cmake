@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/full_alu_test.dir/full_alu_test.cpp.o"
+  "CMakeFiles/full_alu_test.dir/full_alu_test.cpp.o.d"
+  "full_alu_test"
+  "full_alu_test.pdb"
+  "full_alu_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/full_alu_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

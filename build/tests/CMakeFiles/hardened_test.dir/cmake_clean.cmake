@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hardened_test.dir/hardened_test.cpp.o"
+  "CMakeFiles/hardened_test.dir/hardened_test.cpp.o.d"
+  "hardened_test"
+  "hardened_test.pdb"
+  "hardened_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hardened_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mlattack_test.dir/mlattack_test.cpp.o"
+  "CMakeFiles/mlattack_test.dir/mlattack_test.cpp.o.d"
+  "mlattack_test"
+  "mlattack_test.pdb"
+  "mlattack_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mlattack_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

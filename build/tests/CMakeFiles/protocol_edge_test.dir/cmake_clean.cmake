@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protocol_edge_test.dir/protocol_edge_test.cpp.o"
+  "CMakeFiles/protocol_edge_test.dir/protocol_edge_test.cpp.o.d"
+  "protocol_edge_test"
+  "protocol_edge_test.pdb"
+  "protocol_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protocol_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

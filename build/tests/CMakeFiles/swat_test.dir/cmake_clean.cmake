@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/swat_test.dir/swat_test.cpp.o"
+  "CMakeFiles/swat_test.dir/swat_test.cpp.o.d"
+  "swat_test"
+  "swat_test.pdb"
+  "swat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/swat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timingsim_test.dir/timingsim_test.cpp.o"
+  "CMakeFiles/timingsim_test.dir/timingsim_test.cpp.o.d"
+  "timingsim_test"
+  "timingsim_test.pdb"
+  "timingsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timingsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

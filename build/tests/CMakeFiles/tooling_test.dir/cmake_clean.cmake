@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tooling_test.dir/tooling_test.cpp.o"
+  "CMakeFiles/tooling_test.dir/tooling_test.cpp.o.d"
+  "tooling_test"
+  "tooling_test.pdb"
+  "tooling_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tooling_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/variant_test.cpp" "tests/CMakeFiles/variant_test.dir/variant_test.cpp.o" "gcc" "tests/CMakeFiles/variant_test.dir/variant_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/alupuf/CMakeFiles/pufatt_alupuf.dir/DependInfo.cmake"
+  "/root/repo/build/src/ecc/CMakeFiles/pufatt_ecc.dir/DependInfo.cmake"
+  "/root/repo/build/src/variation/CMakeFiles/pufatt_variation.dir/DependInfo.cmake"
+  "/root/repo/build/src/timingsim/CMakeFiles/pufatt_timingsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/netlist/CMakeFiles/pufatt_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/pufatt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/variant_test.dir/variant_test.cpp.o"
+  "CMakeFiles/variant_test.dir/variant_test.cpp.o.d"
+  "variant_test"
+  "variant_test.pdb"
+  "variant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/variant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/variation_test[1]_include.cmake")
+include("/root/repo/build/tests/timingsim_test[1]_include.cmake")
+include("/root/repo/build/tests/ecc_test[1]_include.cmake")
+include("/root/repo/build/tests/alupuf_test[1]_include.cmake")
+include("/root/repo/build/tests/cpu_test[1]_include.cmake")
+include("/root/repo/build/tests/swat_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/mlattack_test[1]_include.cmake")
+include("/root/repo/build/tests/fpga_test[1]_include.cmake")
+include("/root/repo/build/tests/aging_test[1]_include.cmake")
+include("/root/repo/build/tests/tooling_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/hardened_test[1]_include.cmake")
+include("/root/repo/build/tests/protocol_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/event_sim_test[1]_include.cmake")
+include("/root/repo/build/tests/full_alu_test[1]_include.cmake")
+include("/root/repo/build/tests/fill_test[1]_include.cmake")
+include("/root/repo/build/tests/distributed_test[1]_include.cmake")
+include("/root/repo/build/tests/variant_test[1]_include.cmake")

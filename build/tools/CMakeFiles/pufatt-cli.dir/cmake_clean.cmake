@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pufatt-cli.dir/pufatt_cli.cpp.o"
+  "CMakeFiles/pufatt-cli.dir/pufatt_cli.cpp.o.d"
+  "pufatt-cli"
+  "pufatt-cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pufatt-cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
