@@ -1,0 +1,248 @@
+// Fault-tolerance sweep: how the attestation session's retry policy trades
+// availability against security on an unreliable radio.
+//
+// Reported:
+//   - false-rejection rate (FRR) of the honest prover vs. packet loss and
+//     latency jitter, with retries disabled and enabled,
+//   - detection rate of every adversary (naive malware, redirection
+//     malware, overclocked redirection, proxy/oracle) under the same
+//     faults — which must stay at its zero-loss value, since retries never
+//     extend the per-attempt deadline,
+//   - behaviour through a Gilbert-Elliott burst outage.
+//
+// Everything is seeded: same binary, same numbers.
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "core/enrollment.hpp"
+#include "core/faulty_channel.hpp"
+#include "core/protocol.hpp"
+#include "core/session.hpp"
+#include "ecc/reed_muller.hpp"
+#include "support/table.hpp"
+
+using namespace pufatt;
+using namespace pufatt::core;
+
+namespace {
+
+struct SweepResult {
+  double rejected_rate = 0.0;      ///< sessions ending kRejected
+  double inconclusive_rate = 0.0;  ///< timeout / corrupted / exhausted
+  double mean_attempts = 0.0;
+};
+
+SweepResult run_sweep(const Verifier& verifier, const Responder& responder,
+                      const FaultParams& faults, const SessionPolicy& policy,
+                      int sessions, std::uint64_t seed_base) {
+  SweepResult result;
+  support::Xoshiro256pp rng(seed_base);
+  std::size_t rejected = 0, inconclusive = 0, attempts = 0;
+  for (int s = 0; s < sessions; ++s) {
+    FaultyChannel link({}, faults, seed_base + 17 * s + 1);
+    AttestationSession session(verifier, link, policy);
+    const auto outcome = session.run(responder, rng);
+    attempts += outcome.attempts.size();
+    if (!outcome.conclusive()) {
+      ++inconclusive;
+    } else if (!outcome.accepted()) {
+      ++rejected;
+    }
+  }
+  result.rejected_rate = static_cast<double>(rejected) / sessions;
+  result.inconclusive_rate = static_cast<double>(inconclusive) / sessions;
+  result.mean_attempts = static_cast<double>(attempts) / sessions;
+  return result;
+}
+
+std::string pct(double v) { return support::Table::num(100.0 * v, 2) + "%"; }
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fault tolerance: attestation sessions over a lossy radio ===\n\n");
+
+  const ecc::ReedMuller1 code(5);
+  auto profile = DeviceProfile::standard();
+  profile.swat.rounds = 512;
+  profile.swat.puf_interval = 64;
+  profile.swat.attest_words = 1024;
+  profile.layout = swat::SwatLayout::standard(profile.swat);
+
+  support::Xoshiro256pp rng(0xFA017);
+  const alupuf::PufDevice device(profile.puf_config, 20'260'806, code);
+  std::vector<std::uint32_t> payload(700);
+  for (auto& w : payload) w = static_cast<std::uint32_t>(rng.next());
+  const auto record =
+      enroll(device, profile, make_enrolled_image(profile, payload));
+  const Verifier verifier(record, code);
+
+  CpuProver honest(device, record, CpuProver::Variant::kHonest, 1);
+  auto tampered = record;
+  for (std::size_t w = 700; w < 800; ++w) {
+    tampered.enrolled_image[w] ^= 0xBAD0BAD0u;
+  }
+  CpuProver naive(device, tampered, CpuProver::Variant::kHonest, 2);
+  CpuProver redirect(device, record, CpuProver::Variant::kRedirectMalware, 3);
+  CpuProver overclocked(device, record, CpuProver::Variant::kRedirectMalware, 4,
+                        record.profile.base_clock_mhz * 1.35);
+
+  auto cpu_responder = [](CpuProver& prover) {
+    return Responder([&prover](const AttestationRequest& request) {
+      auto outcome = prover.respond(request);
+      return ProverReply{std::move(outcome.response), outcome.compute_us};
+    });
+  };
+  // The proxy's elapsed time already contains its oracle round trips; the
+  // session adds the verifier-facing channel on top, as in the analytic
+  // bench.
+  support::Xoshiro256pp proxy_rng(0xBEEF);
+  Responder proxy_responder = [&](const AttestationRequest& request) {
+    ProxyAttackParams params;
+    params.accomplice_speedup = 100.0;
+    const auto outcome =
+        proxy_attack(device, record, request, params, proxy_rng);
+    return ProverReply{outcome.response, outcome.elapsed_us};
+  };
+
+  SessionPolicy no_retry;
+  no_retry.max_attempts = 1;
+  SessionPolicy with_retry;  // default: 4 attempts, exponential backoff
+
+  const std::vector<double> loss_rates = {0.0, 0.02, 0.05, 0.10, 0.20};
+  const int honest_sessions = 300;
+  const int adversary_sessions = 40;
+
+  // --- honest availability vs. packet loss ----------------------------------
+  std::printf("honest prover, %d sessions per cell (FRR = 1 - acceptance; "
+              "an honest session never ends 'rejected' at zero jitter,\n"
+              "so FRR here is transport starvation):\n\n",
+              honest_sessions);
+  support::Table honest_table({"loss", "FRR no retries", "FRR 4 attempts",
+                               "mean attempts", "backoff policy"});
+  double frr_no_retry_at_5 = 0.0, frr_retry_at_5 = 0.0;
+  for (const double loss : loss_rates) {
+    FaultParams faults;
+    faults.loss_prob = loss;
+    const auto off = run_sweep(verifier, cpu_responder(honest), faults,
+                               no_retry, honest_sessions, 0xA000);
+    const auto on = run_sweep(verifier, cpu_responder(honest), faults,
+                              with_retry, honest_sessions, 0xB000);
+    const double frr_off = off.rejected_rate + off.inconclusive_rate;
+    const double frr_on = on.rejected_rate + on.inconclusive_rate;
+    if (loss == 0.05) {
+      frr_no_retry_at_5 = frr_off;
+      frr_retry_at_5 = frr_on;
+    }
+    honest_table.add_row({pct(loss), pct(frr_off), pct(frr_on),
+                          support::Table::num(on.mean_attempts, 2),
+                          "20ms * 2^k +/-25%"});
+  }
+  std::printf("%s\n", honest_table.render().c_str());
+
+  // --- adversary detection vs. packet loss ----------------------------------
+  std::printf("adversary detection with retries enabled, %d sessions per "
+              "cell (detected = session ends 'rejected'):\n\n",
+              adversary_sessions);
+  support::Table det_table({"loss", "naive malware", "redirect", "redirect @1.35x",
+                            "proxy (100x CPU)"});
+  struct Adversary {
+    const char* name;
+    Responder responder;
+    double detection_at_zero_loss = -1.0;
+    bool stable = true;
+  };
+  std::vector<Adversary> adversaries;
+  adversaries.push_back({"naive", cpu_responder(naive), -1.0, true});
+  adversaries.push_back({"redirect", cpu_responder(redirect), -1.0, true});
+  adversaries.push_back({"overclock", cpu_responder(overclocked), -1.0, true});
+  adversaries.push_back({"proxy", proxy_responder, -1.0, true});
+  for (const double loss : loss_rates) {
+    FaultParams faults;
+    faults.loss_prob = loss;
+    std::vector<std::string> row = {pct(loss)};
+    std::uint64_t seed = 0xC000;
+    for (auto& adversary : adversaries) {
+      const auto sweep = run_sweep(verifier, adversary.responder, faults,
+                                   with_retry, adversary_sessions, seed);
+      seed += 0x1000;
+      row.push_back(pct(sweep.rejected_rate));
+      if (adversary.detection_at_zero_loss < 0.0) {
+        adversary.detection_at_zero_loss = sweep.rejected_rate;
+      } else if (loss <= 0.05 &&
+                 sweep.rejected_rate < adversary.detection_at_zero_loss) {
+        adversary.stable = false;
+      }
+    }
+    det_table.add_row(row);
+  }
+  std::printf("%s\n", det_table.render().c_str());
+
+  // --- honest availability vs. latency jitter -------------------------------
+  std::printf("honest prover vs. lognormal latency jitter (5%% loss held "
+              "fixed); jitter can push an intact response past the\n"
+              "per-challenge deadline, so retries also repair "
+              "jitter-induced kTimeExceeded rejections:\n\n");
+  support::Table jitter_table(
+      {"jitter sigma", "FRR no retries", "FRR 4 attempts"});
+  for (const double sigma : {0.0, 0.1, 0.25, 0.5}) {
+    FaultParams faults;
+    faults.loss_prob = 0.05;
+    faults.jitter_sigma = sigma;
+    const auto off = run_sweep(verifier, cpu_responder(honest), faults,
+                               no_retry, honest_sessions, 0xD000);
+    const auto on = run_sweep(verifier, cpu_responder(honest), faults,
+                              with_retry, honest_sessions, 0xE000);
+    jitter_table.add_row(
+        {support::Table::num(sigma, 2),
+         pct(off.rejected_rate + off.inconclusive_rate),
+         pct(on.rejected_rate + on.inconclusive_rate)});
+  }
+  std::printf("%s\n", jitter_table.render().c_str());
+
+  // --- Gilbert-Elliott burst outage -----------------------------------------
+  std::printf("Gilbert-Elliott burst outage (good->bad 5%%, bad->good 20%%, "
+              "90%% loss in bad state): sessions that start inside a burst\n"
+              "end inconclusive (timeout), not rejected — the evidence floor "
+              "in distributed audits builds on this distinction:\n\n");
+  FaultParams burst;
+  burst.burst = true;
+  burst.p_good_to_bad = 0.05;
+  burst.p_bad_to_good = 0.20;
+  burst.bad_loss_prob = 0.9;
+  const auto burst_sweep = run_sweep(verifier, cpu_responder(honest), burst,
+                                     with_retry, honest_sessions, 0xF000);
+  std::printf("  accepted %s | inconclusive %s | rejected %s "
+              "(mean attempts %.2f)\n\n",
+              pct(1.0 - burst_sweep.rejected_rate -
+                  burst_sweep.inconclusive_rate).c_str(),
+              pct(burst_sweep.inconclusive_rate).c_str(),
+              pct(burst_sweep.rejected_rate).c_str(),
+              burst_sweep.mean_attempts);
+
+  // --- acceptance summary ---------------------------------------------------
+  const bool honest_ok = frr_retry_at_5 < 0.01;
+  const bool gap_ok = frr_no_retry_at_5 > 2.0 * frr_retry_at_5 + 0.02;
+  bool detection_ok = true;
+  for (const auto& adversary : adversaries) {
+    if (!adversary.stable || adversary.detection_at_zero_loss < 1.0) {
+      detection_ok = false;
+      std::printf("!! %s detection degraded under loss\n", adversary.name);
+    }
+  }
+  std::printf("(at extreme loss a few adversary sessions end inconclusive —\n"
+              "transport-starved, never accepted — which is the degraded-mode\n"
+              "'re-audit' signal, not a miss)\n\n");
+  std::printf("claims:\n");
+  std::printf("  [%s] honest FRR at 5%% loss with retries:   %s (< 1%% required)\n",
+              honest_ok ? "ok" : "FAIL", pct(frr_retry_at_5).c_str());
+  std::printf("  [%s] honest FRR at 5%% loss, no retries:    %s (materially higher)\n",
+              gap_ok ? "ok" : "FAIL", pct(frr_no_retry_at_5).c_str());
+  std::printf("  [%s] all adversaries detected at their zero-loss rate "
+              "(100%%) through 5%% loss —\n"
+              "       retries restore availability without weakening the "
+              "time-bound argument\n",
+              detection_ok ? "ok" : "FAIL");
+  return honest_ok && gap_ok && detection_ok ? 0 : 1;
+}

@@ -58,5 +58,44 @@ int main() {
   std::printf(
       "\nbecause every pairwise audit is PUF-bound, a convicted node cannot\n"
       "shift the blame: its neighbours' verdicts rest on its own silicon.\n");
-  return convicted == 2 ? 0 : 1;
+
+  // --- the same round on a degraded radio -----------------------------------
+  // 5% packet loss on every link, and node 5 sits in a radio dead zone.
+  // Auditors drive retrying sessions; audits that stay silent count as
+  // inconclusive, and the evidence floor keeps the dead-zone node from
+  // being convicted on silence.
+  std::printf("\nDegraded radio: 5%% loss everywhere, node 5 partitioned\n"
+              "-------------------------------------------------------\n\n");
+  DistributedParams degraded = params;
+  degraded.radio_faults.loss_prob = 0.05;
+  degraded.session.max_attempts = 4;
+  DistributedNetwork lossy_net(degraded,
+                               {{3, NodeHealth::kNaiveMalware},
+                                {7, NodeHealth::kHidingMalware}},
+                               20260705);
+  lossy_net.set_partitioned(5, true);
+  const auto lossy_verdicts = lossy_net.run_round(rng);
+  support::Table lossy_table({"node", "ground truth", "rej", "done", "inconcl",
+                              "lost pkts", "verdict"});
+  std::size_t lossy_convicted = 0;
+  for (std::size_t i = 0; i < lossy_verdicts.size(); ++i) {
+    const auto& v = lossy_verdicts[i];
+    if (v.convicted) ++lossy_convicted;
+    const char* verdict = v.convicted ? "CONVICTED"
+                          : v.evidence_met ? "trusted"
+                                           : "NO EVIDENCE (re-audit)";
+    lossy_table.add_row({"node " + std::to_string(i), health_name(v.truth),
+                         std::to_string(v.rejections),
+                         std::to_string(v.completed),
+                         std::to_string(v.inconclusive),
+                         std::to_string(v.packets_lost), verdict});
+  }
+  std::printf("%s\n", lossy_table.render().c_str());
+  std::printf("convicted %zu of %zu nodes (expected 2; the partitioned node\n"
+              "is flagged for re-audit, not convicted on silence)\n",
+              lossy_convicted, lossy_verdicts.size());
+  const bool degraded_ok = lossy_convicted == 2 &&
+                           !lossy_verdicts[5].convicted &&
+                           !lossy_verdicts[5].evidence_met;
+  return convicted == 2 && degraded_ok ? 0 : 1;
 }

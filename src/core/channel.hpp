@@ -5,6 +5,12 @@
 // lower than the bandwidth of the interface between the CPU and the PUF",
 // so shipping every PUF output to a remote accomplice blows the time
 // bound.
+//
+// This class is the *analytic* model: zero loss, zero jitter, exact
+// transfer times — what the verifier budgets for when it computes the
+// deadline.  The deployed link is `FaultyChannel` (faulty_channel.hpp),
+// which derives from it and layers a seeded loss/corruption/jitter process
+// on top of the same parameters.
 #pragma once
 
 #include <cstddef>

@@ -83,6 +83,8 @@ DistributedNetwork::DistributedNetwork(
                                               seed + 5000 + i);
   }
 
+  partitioned_.assign(params.num_nodes, false);
+
   // k-connected ring adjacency.
   adjacency_.resize(params.num_nodes);
   for (std::size_t i = 0; i < params.num_nodes; ++i) {
@@ -93,31 +95,57 @@ DistributedNetwork::DistributedNetwork(
   }
 }
 
+void DistributedNetwork::set_partitioned(std::size_t node, bool partitioned) {
+  if (node >= nodes_.size()) {
+    throw std::invalid_argument("DistributedNetwork: bad node index");
+  }
+  partitioned_[node] = partitioned;
+}
+
 std::vector<NodeVerdict> DistributedNetwork::run_round(
     support::Xoshiro256pp& rng) {
   std::vector<NodeVerdict> verdicts(nodes_.size());
   for (std::size_t i = 0; i < nodes_.size(); ++i) {
     verdicts[i].truth = nodes_[i].health;
   }
-  const Channel radio(params_.radio);
 
   for (std::size_t auditor = 0; auditor < nodes_.size(); ++auditor) {
     for (const auto target : adjacency_[auditor]) {
-      // The auditor holds the target's enrollment record and runs the full
-      // PUFatt protocol against it over the radio.
+      // The auditor holds the target's enrollment record and drives the
+      // full retrying PUFatt session against it over its own faulty link.
+      FaultParams faults = params_.radio_faults;
+      if (partitioned_[auditor] || partitioned_[target]) {
+        faults.loss_prob = 1.0;
+        faults.burst = false;
+      }
+      FaultyChannel link(params_.radio, faults, rng.next());
       const Verifier& verifier = *nodes_[target].verifier_of_me;
-      const auto request = verifier.make_request(rng);
-      const auto outcome = nodes_[target].prover->respond(request);
-      const double elapsed =
-          outcome.compute_us +
-          radio.round_trip_us(8, outcome.response.wire_bytes());
-      const auto result = verifier.verify(request, outcome.response, elapsed);
-      ++verdicts[target].audits;
-      if (!result.accepted()) ++verdicts[target].rejections;
+      AttestationSession session(verifier, link, params_.session);
+      const auto outcome = session.run(
+          [&](const AttestationRequest& request) {
+            auto reply = nodes_[target].prover->respond(request);
+            return ProverReply{std::move(reply.response), reply.compute_us};
+          },
+          rng);
+
+      NodeVerdict& verdict = verdicts[target];
+      ++verdict.audits;
+      verdict.packets_lost += link.counters().packets_lost;
+      verdict.packets_corrupted += link.counters().packets_corrupted;
+      if (outcome.conclusive()) {
+        ++verdict.completed;
+        if (!outcome.accepted()) ++verdict.rejections;
+      } else {
+        // Silence is not evidence: a node in a dead zone must not be
+        // convicted because its responses never arrived.
+        ++verdict.inconclusive;
+      }
     }
   }
   for (auto& verdict : verdicts) {
-    verdict.convicted = verdict.rejections >= params_.quorum;
+    verdict.evidence_met = verdict.completed >= params_.min_evidence;
+    verdict.convicted =
+        verdict.evidence_met && verdict.rejections >= params_.quorum;
   }
   return verdicts;
 }

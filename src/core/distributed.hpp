@@ -15,7 +15,9 @@
 #include <vector>
 
 #include "core/enrollment.hpp"
+#include "core/faulty_channel.hpp"
 #include "core/protocol.hpp"
+#include "core/session.hpp"
 
 namespace pufatt::core {
 
@@ -34,6 +36,14 @@ struct DistributedParams {
   /// Neighbours that must reject before a node is convicted.
   std::size_t quorum = 2;
   ChannelParams radio{.bandwidth_bps = 250'000.0, .latency_us = 3'000.0};
+  /// Fault process applied to every radio link (default: perfect link).
+  FaultParams radio_faults{};
+  /// Retry/timeout/backoff policy each auditor uses per audit.
+  SessionPolicy session{};
+  /// Completed (conclusive) audits required before a conviction counts.
+  /// With radio faults a node in a dead zone completes zero audits; the
+  /// evidence floor keeps silence from reading as guilt.
+  std::size_t min_evidence = 1;
   DeviceProfile profile = small_profile();
 
   static DeviceProfile small_profile();
@@ -42,9 +52,17 @@ struct DistributedParams {
 /// Per-node verdict after an audit round.
 struct NodeVerdict {
   NodeHealth truth = NodeHealth::kHealthy;
-  std::size_t rejections = 0;  ///< neighbours that rejected this node
-  std::size_t audits = 0;      ///< neighbours that audited this node
+  std::size_t rejections = 0;    ///< completed audits that rejected this node
+  std::size_t audits = 0;        ///< neighbours that attempted an audit
+  std::size_t completed = 0;     ///< audits that reached accept/reject
+  std::size_t inconclusive = 0;  ///< audits starved by the transport
+  std::size_t packets_lost = 0;       ///< radio losses across this node's audits
+  std::size_t packets_corrupted = 0;  ///< corrupted frames across its audits
+  /// rejections >= quorum AND completed >= min_evidence.
   bool convicted = false;
+  /// True when the round gathered enough evidence to judge this node at
+  /// all; a false value marks a dead-zone node needing re-audit.
+  bool evidence_met = false;
 };
 
 /// A simulated network of PUFatt nodes performing mutual attestation.
@@ -58,9 +76,17 @@ class DistributedNetwork {
                          compromised,
                      std::uint64_t seed);
 
-  /// One audit round: every node challenges all of its neighbours.
-  /// Returns the verdicts (conviction = rejections >= quorum).
+  /// One audit round: every node challenges all of its neighbours through
+  /// its own faulty radio link, driving a full retrying session per audit.
+  /// Returns the verdicts (conviction = rejections >= quorum over the
+  /// audits that actually completed, subject to the evidence floor).
   std::vector<NodeVerdict> run_round(support::Xoshiro256pp& rng);
+
+  /// Marks a node as (un)reachable: every link touching it drops all
+  /// traffic, modelling a radio dead zone.  Its audits become
+  /// inconclusive, never rejections.
+  void set_partitioned(std::size_t node, bool partitioned);
+  bool partitioned(std::size_t node) const { return partitioned_.at(node); }
 
   std::size_t num_nodes() const { return nodes_.size(); }
   const std::vector<std::size_t>& neighbours(std::size_t node) const {
@@ -80,6 +106,7 @@ class DistributedNetwork {
   const ecc::BinaryCode* code_;
   std::vector<Node> nodes_;
   std::vector<std::vector<std::size_t>> adjacency_;
+  std::vector<bool> partitioned_;
 };
 
 }  // namespace pufatt::core

@@ -1,0 +1,115 @@
+#include "core/faulty_channel.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace pufatt::core {
+
+FaultyChannel::FaultyChannel(const ChannelParams& params,
+                             const FaultParams& faults, std::uint64_t seed)
+    : Channel(params), faults_(faults), rng_(seed) {
+  auto probability = [](double p) { return p >= 0.0 && p <= 1.0; };
+  if (!probability(faults.loss_prob) || !probability(faults.bit_error_rate) ||
+      !probability(faults.p_good_to_bad) ||
+      !probability(faults.p_bad_to_good) ||
+      !probability(faults.bad_loss_prob) ||
+      !probability(faults.bad_bit_error_rate)) {
+    throw std::invalid_argument("FaultyChannel: probability out of [0, 1]");
+  }
+  if (faults.jitter_sigma < 0.0) {
+    throw std::invalid_argument("FaultyChannel: negative jitter sigma");
+  }
+}
+
+std::pair<double, double> FaultyChannel::step_state() {
+  if (!faults_.burst) return {faults_.loss_prob, faults_.bit_error_rate};
+  if (bad_state_) {
+    if (rng_.bernoulli(faults_.p_bad_to_good)) bad_state_ = false;
+  } else {
+    if (rng_.bernoulli(faults_.p_good_to_bad)) bad_state_ = true;
+  }
+  if (bad_state_) {
+    ++counters_.bad_state_packets;
+    return {faults_.bad_loss_prob, faults_.bad_bit_error_rate};
+  }
+  return {faults_.loss_prob, faults_.bit_error_rate};
+}
+
+double FaultyChannel::sample_transfer_us(std::size_t payload_bytes) {
+  double latency = params().latency_us;
+  if (faults_.jitter_sigma > 0.0) {
+    // Mean-preserving lognormal: E[exp(sigma*g - sigma^2/2)] = 1, so the
+    // average latency stays at the nominal value the verifier budgets for
+    // while the tail stretches out.
+    const double s = faults_.jitter_sigma;
+    latency *= std::exp(s * rng_.gaussian() - 0.5 * s * s);
+  }
+  return latency + static_cast<double>(payload_bytes) * 8.0 /
+                       params().bandwidth_bps * 1e6;
+}
+
+std::size_t FaultyChannel::corrupt(std::vector<std::uint8_t>& frame,
+                                   double ber) {
+  if (ber <= 0.0 || frame.empty()) return 0;
+  const std::size_t total_bits = frame.size() * 8;
+  std::size_t flips = 0;
+  if (ber >= 1.0) {
+    for (auto& byte : frame) byte = static_cast<std::uint8_t>(~byte);
+    return total_bits;
+  }
+  // Geometric skipping: the gap to the next flipped bit is geometric with
+  // parameter ber, so cost scales with the number of flips, not the bits.
+  const double log1m = std::log1p(-ber);
+  std::size_t bit = 0;
+  while (true) {
+    double u = rng_.uniform();
+    if (u <= 0.0) u = 1e-300;  // uniform() is [0,1); guard the log
+    bit += static_cast<std::size_t>(std::floor(std::log(u) / log1m));
+    if (bit >= total_bits) break;
+    frame[bit / 8] ^= static_cast<std::uint8_t>(1u << (bit % 8));
+    ++flips;
+    ++bit;
+  }
+  return flips;
+}
+
+FaultyChannel::Delivery FaultyChannel::transmit(
+    std::vector<std::uint8_t>& frame) {
+  return transmit(frame, frame.size());
+}
+
+FaultyChannel::Delivery FaultyChannel::transmit(std::vector<std::uint8_t>& frame,
+                                                std::size_t timed_bytes) {
+  Delivery delivery;
+  ++counters_.packets_sent;
+  const auto [loss, ber] = step_state();
+  if (rng_.bernoulli(loss)) {
+    ++counters_.packets_lost;
+    return delivery;
+  }
+  delivery.delivered = true;
+  delivery.transfer_us = sample_transfer_us(timed_bytes);
+  delivery.bits_flipped = corrupt(frame, ber);
+  if (delivery.bits_flipped > 0) {
+    ++counters_.packets_corrupted;
+    counters_.bits_flipped += delivery.bits_flipped;
+  }
+  return delivery;
+}
+
+FaultyChannel::Delivery FaultyChannel::transmit_opaque(
+    std::size_t payload_bytes) {
+  Delivery delivery;
+  ++counters_.packets_sent;
+  const auto [loss, ber] = step_state();
+  (void)ber;  // bits are not modelled for opaque traffic
+  if (rng_.bernoulli(loss)) {
+    ++counters_.packets_lost;
+    return delivery;
+  }
+  delivery.delivered = true;
+  delivery.transfer_us = sample_transfer_us(payload_bytes);
+  return delivery;
+}
+
+}  // namespace pufatt::core

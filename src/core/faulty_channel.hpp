@@ -1,0 +1,100 @@
+// Fault-injecting wrapper around the analytic channel model.
+//
+// `Channel` answers "how long does a payload take" on a perfect link; a
+// deployed sensor-node radio also *loses* packets, *corrupts* bits and
+// *jitters* latency.  FaultyChannel layers a seeded, fully deterministic
+// fault process on top of the same bandwidth/latency parameters so that
+// protocol-level robustness experiments (false-rejection rate, degraded
+// distributed audits) are reproducible from a single seed.
+//
+// Fault processes:
+//   - independent packet loss (per-packet Bernoulli),
+//   - bit corruption (per-bit Bernoulli, sampled by geometric skipping so
+//     large payloads stay cheap),
+//   - latency jitter: mean-preserving lognormal multiplier on the
+//     propagation latency (the serialization time is deterministic),
+//   - optional Gilbert-Elliott two-state burst/outage model: the channel
+//     wanders between a good and a bad state with given transition
+//     probabilities, and the bad state applies its own (much worse) loss
+//     and corruption rates.  This models radio dead zones and interference
+//     bursts, which defeat naive retry policies tuned on i.i.d. loss.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "core/channel.hpp"
+#include "support/rng.hpp"
+
+namespace pufatt::core {
+
+struct FaultParams {
+  double loss_prob = 0.0;        ///< per-packet loss probability (good state)
+  double bit_error_rate = 0.0;   ///< per-bit corruption probability (good state)
+  double jitter_sigma = 0.0;     ///< lognormal sigma on latency (0 = none)
+
+  /// Gilbert-Elliott burst model; disabled unless `burst` is set.
+  bool burst = false;
+  double p_good_to_bad = 0.01;     ///< per-packet transition into the bad state
+  double p_bad_to_good = 0.25;     ///< per-packet recovery probability
+  double bad_loss_prob = 0.9;      ///< loss probability while in the bad state
+  double bad_bit_error_rate = 0.0; ///< corruption rate while in the bad state
+
+  /// A link with every fault knob at zero behaves exactly like `Channel`.
+  bool perfect() const {
+    return loss_prob == 0.0 && bit_error_rate == 0.0 && jitter_sigma == 0.0 &&
+           !burst;
+  }
+};
+
+/// Running totals of everything the channel did to traffic.
+struct FaultCounters {
+  std::size_t packets_sent = 0;
+  std::size_t packets_lost = 0;
+  std::size_t packets_corrupted = 0;  ///< delivered with >= 1 flipped bit
+  std::uint64_t bits_flipped = 0;
+  std::size_t bad_state_packets = 0;  ///< packets sent while in the GE bad state
+};
+
+class FaultyChannel : public Channel {
+ public:
+  FaultyChannel(const ChannelParams& params, const FaultParams& faults,
+                std::uint64_t seed);
+
+  /// What happened to one packet.
+  struct Delivery {
+    bool delivered = false;
+    std::size_t bits_flipped = 0;  ///< 0 when the frame arrived intact
+    double transfer_us = 0.0;      ///< sampled one-way time (when delivered)
+  };
+
+  /// Sends `frame` one way.  On a corrupting delivery the frame's bits are
+  /// flipped *in place*; the caller's integrity layer (frame CRC) is what
+  /// detects it.  `timed_bytes` is the payload size used for the timing
+  /// model — by default the frame size, but protocol code passes the
+  /// logical payload so the time-bound calibration matches the analytic
+  /// `Channel` (framing overhead is part of the link's own accounting).
+  Delivery transmit(std::vector<std::uint8_t>& frame);
+  Delivery transmit(std::vector<std::uint8_t>& frame, std::size_t timed_bytes);
+
+  /// Loss/jitter-only variant for traffic whose bytes are not modelled.
+  Delivery transmit_opaque(std::size_t payload_bytes);
+
+  const FaultParams& faults() const { return faults_; }
+  const FaultCounters& counters() const { return counters_; }
+  bool in_bad_state() const { return bad_state_; }
+
+ private:
+  /// Advances the GE state machine and returns this packet's (loss, ber).
+  std::pair<double, double> step_state();
+  double sample_transfer_us(std::size_t payload_bytes);
+  std::size_t corrupt(std::vector<std::uint8_t>& frame, double ber);
+
+  FaultParams faults_;
+  support::Xoshiro256pp rng_;
+  FaultCounters counters_;
+  bool bad_state_ = false;
+};
+
+}  // namespace pufatt::core

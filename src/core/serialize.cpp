@@ -1,5 +1,6 @@
 #include "core/serialize.hpp"
 
+#include <array>
 #include <cstring>
 #include <fstream>
 #include <istream>
@@ -191,6 +192,128 @@ EnrollmentRecord load_record(std::istream& in) {
     throw SerializationError("image size does not match the attested region");
   }
   return record;
+}
+
+namespace {
+
+constexpr std::uint32_t kRequestMagic = 0x50415251;   // "PARQ"
+constexpr std::uint32_t kResponseMagic = 0x50415253;  // "PARS"
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t peek_u32(const std::uint8_t* data, std::size_t offset) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(data[offset + i]) << (8 * i);
+  }
+  return v;
+}
+
+void append_crc(std::vector<std::uint8_t>& out) {
+  append_u32(out, crc32(out.data(), out.size()));
+}
+
+/// Validates the trailing CRC over everything before it.
+void check_crc(const std::uint8_t* data, std::size_t size) {
+  const std::uint32_t stored = peek_u32(data, size - 4);
+  if (crc32(data, size - 4) != stored) {
+    throw SerializationError("frame CRC mismatch (corrupted in transit)");
+  }
+}
+
+}  // namespace
+
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ data[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::vector<std::uint8_t> serialize_request(const AttestationRequest& request) {
+  std::vector<std::uint8_t> out;
+  out.reserve(16);
+  append_u32(out, kRequestMagic);
+  append_u32(out, static_cast<std::uint32_t>(request.nonce));
+  append_u32(out, static_cast<std::uint32_t>(request.nonce >> 32));
+  append_crc(out);
+  return out;
+}
+
+AttestationRequest deserialize_request(const std::uint8_t* data,
+                                       std::size_t size) {
+  if (size != 16) throw SerializationError("request frame has wrong size");
+  if (peek_u32(data, 0) != kRequestMagic) {
+    throw SerializationError("bad request magic");
+  }
+  check_crc(data, size);
+  AttestationRequest request;
+  request.nonce = static_cast<std::uint64_t>(peek_u32(data, 4)) |
+                  (static_cast<std::uint64_t>(peek_u32(data, 8)) << 32);
+  return request;
+}
+
+std::vector<std::uint8_t> serialize_response(
+    const AttestationResponse& response) {
+  std::vector<std::uint8_t> out;
+  out.reserve(8 + 4 * (8 + response.helper_words.size()) + 4);
+  append_u32(out, kResponseMagic);
+  append_u32(out, static_cast<std::uint32_t>(response.helper_words.size()));
+  for (const auto word : response.checksum) append_u32(out, word);
+  for (const auto word : response.helper_words) append_u32(out, word);
+  append_crc(out);
+  return out;
+}
+
+AttestationResponse deserialize_response(const std::uint8_t* data,
+                                         std::size_t size) {
+  constexpr std::size_t kHeaderBytes = 4 + 4 + 8 * 4;  // magic, count, checksum
+  if (size < kHeaderBytes + 4) {
+    throw SerializationError("response frame truncated");
+  }
+  if (peek_u32(data, 0) != kResponseMagic) {
+    throw SerializationError("bad response magic");
+  }
+  const std::uint32_t helper_count = peek_u32(data, 4);
+  if (helper_count > kMaxWireHelperWords) {
+    throw SerializationError("helper transcript exceeds wire limit");
+  }
+  if (helper_count % 8 != 0) {
+    throw SerializationError("helper count is not a multiple of 8");
+  }
+  const std::size_t expected =
+      kHeaderBytes + static_cast<std::size_t>(helper_count) * 4 + 4;
+  if (size != expected) {
+    throw SerializationError(size < expected
+                                 ? "response frame truncated"
+                                 : "response frame has trailing bytes");
+  }
+  check_crc(data, size);
+  AttestationResponse response;
+  for (unsigned i = 0; i < 8; ++i) {
+    response.checksum[i] = peek_u32(data, 8 + 4 * i);
+  }
+  response.helper_words.resize(helper_count);
+  for (std::uint32_t i = 0; i < helper_count; ++i) {
+    response.helper_words[i] = peek_u32(data, kHeaderBytes + 4 * i);
+  }
+  return response;
 }
 
 void save_record_file(const std::string& path, const EnrollmentRecord& record) {

@@ -1,4 +1,4 @@
-// Binary serialization of enrollment state.
+// Binary serialization of enrollment state and protocol messages.
 //
 // A real deployment stores one EnrollmentRecord per device in the
 // verifier's database: the delay table H (the only secret in the system),
@@ -6,14 +6,24 @@
 // little-endian tagged container with an explicit version, so databases
 // survive library upgrades; readers validate sizes and magic before
 // trusting any field.
+//
+// Protocol messages additionally get a *wire frame* — magic, explicit
+// lengths and a trailing CRC-32 — because they cross the unreliable radio:
+// the deserializers must turn any truncated, oversized, bit-flipped or
+// otherwise malformed byte stream into a clean SerializationError, never
+// undefined slicing.  The attestation session layer relies on the CRC to
+// classify corrupted frames as transport faults (retryable) rather than
+// protocol rejections (evidence).
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "core/enrollment.hpp"
+#include "core/protocol.hpp"
 
 namespace pufatt::core {
 
@@ -32,5 +42,38 @@ EnrollmentRecord load_record(std::istream& in);
 /// File-path convenience wrappers.
 void save_record_file(const std::string& path, const EnrollmentRecord& record);
 EnrollmentRecord load_record_file(const std::string& path);
+
+// --- protocol wire frames ---------------------------------------------------
+
+/// CRC-32 (IEEE 802.3, reflected) over a byte buffer.
+std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
+
+/// Largest helper transcript a verifier will accept on the wire.  Honest
+/// transcripts carry 8 words per PUF call; anything bigger than this is an
+/// attempted resource-exhaustion, not a response.
+constexpr std::size_t kMaxWireHelperWords = 1u << 20;
+
+/// Request frame: [magic][nonce lo][nonce hi][crc32].
+std::vector<std::uint8_t> serialize_request(const AttestationRequest& request);
+AttestationRequest deserialize_request(const std::uint8_t* data,
+                                       std::size_t size);
+
+/// Response frame: [magic][helper count][checksum x8][helpers...][crc32].
+/// Deserialization rejects bad magic, truncated or oversized buffers,
+/// helper counts that are absurd or not a multiple of 8 (8 words per PUF
+/// call), and any frame whose CRC does not match.
+std::vector<std::uint8_t> serialize_response(
+    const AttestationResponse& response);
+AttestationResponse deserialize_response(const std::uint8_t* data,
+                                         std::size_t size);
+
+inline AttestationRequest deserialize_request(
+    const std::vector<std::uint8_t>& frame) {
+  return deserialize_request(frame.data(), frame.size());
+}
+inline AttestationResponse deserialize_response(
+    const std::vector<std::uint8_t>& frame) {
+  return deserialize_response(frame.data(), frame.size());
+}
 
 }  // namespace pufatt::core
