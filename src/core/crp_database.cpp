@@ -25,29 +25,21 @@ CrpDatabase::AuthResult CrpDatabase::authenticate(
     const alupuf::AluPuf& device, support::Xoshiro256pp& rng,
     double threshold_fraction, const variation::Environment& env) {
   AuthResult result;
-  for (auto& entry : entries_) {
-    if (entry.used) continue;
-    entry.used = true;  // single-use: consumed even on failure (anti-replay)
-    for (std::size_t c = 0; c < entry.challenges.size(); ++c) {
-      const auto response = device.eval(entry.challenges[c], env, rng);
-      result.distance += response.hamming_distance(entry.references[c]);
-      result.compared_bits += response.size();
-    }
-    result.accepted =
-        static_cast<double>(result.distance) <=
-        threshold_fraction * static_cast<double>(result.compared_bits);
+  if (next_unused_ >= entries_.size()) {
+    result.exhausted = true;
     return result;
   }
-  result.exhausted = true;
-  return result;
-}
-
-std::size_t CrpDatabase::remaining() const {
-  std::size_t n = 0;
-  for (const auto& entry : entries_) {
-    if (!entry.used) ++n;
+  Entry& entry = entries_[next_unused_++];
+  entry.used = true;  // single-use: consumed even on failure (anti-replay)
+  for (std::size_t c = 0; c < entry.challenges.size(); ++c) {
+    const auto response = device.eval(entry.challenges[c], env, rng);
+    result.distance += response.hamming_distance(entry.references[c]);
+    result.compared_bits += response.size();
   }
-  return n;
+  result.accepted =
+      static_cast<double>(result.distance) <=
+      threshold_fraction * static_cast<double>(result.compared_bits);
+  return result;
 }
 
 std::size_t CrpDatabase::storage_bytes() const {

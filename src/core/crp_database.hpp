@@ -46,7 +46,9 @@ class CrpDatabase {
                               variation::Environment::nominal());
 
   std::size_t size() const { return entries_.size(); }
-  std::size_t remaining() const;
+  /// Unused entries left (O(1): entries are consumed strictly in order, so
+  /// a cursor past the last consumed entry is the full accounting).
+  std::size_t remaining() const { return entries_.size() - next_unused_; }
   /// Storage footprint in bytes (the scalability drawback, quantified).
   std::size_t storage_bytes() const;
 
@@ -57,6 +59,9 @@ class CrpDatabase {
     bool used = false;
   };
   std::vector<Entry> entries_;
+  /// Index of the next unused entry; everything below it is consumed.
+  /// Replaces the O(n) scan each authenticate()/remaining() used to do.
+  std::size_t next_unused_ = 0;
 };
 
 }  // namespace pufatt::core

@@ -1,0 +1,162 @@
+#include "service/device_registry.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <ostream>
+
+#include "core/serialize.hpp"
+#include "support/rng.hpp"
+
+namespace pufatt::service {
+
+namespace {
+
+// FNV-1a, then a SplitMix64 finalizer: std::hash<std::string> is
+// implementation-defined, and shard assignment must not change between
+// platforms or the registry's concurrency tests would be unportable.
+std::uint64_t stable_hash(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return support::SplitMix64::mix(h);
+}
+
+constexpr char kRegistryMagic[8] = {'P', 'F', 'A', 'T', 'R', 'E', 'G', '1'};
+
+}  // namespace
+
+DeviceRegistry::DeviceRegistry(std::size_t shards) {
+  shards_.reserve(std::max<std::size_t>(shards, 1));
+  for (std::size_t i = 0; i < std::max<std::size_t>(shards, 1); ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+DeviceRegistry::Shard& DeviceRegistry::shard_for(const std::string& id) {
+  return *shards_[stable_hash(id) % shards_.size()];
+}
+
+const DeviceRegistry::Shard& DeviceRegistry::shard_for(
+    const std::string& id) const {
+  return *shards_[stable_hash(id) % shards_.size()];
+}
+
+bool DeviceRegistry::store(
+    const std::string& device_id,
+    std::shared_ptr<const core::EnrollmentRecord> record) {
+  Shard& shard = shard_for(device_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.records.insert_or_assign(device_id, std::move(record)).second;
+}
+
+bool DeviceRegistry::store(const std::string& device_id,
+                           core::EnrollmentRecord record) {
+  return store(device_id, std::make_shared<const core::EnrollmentRecord>(
+                              std::move(record)));
+}
+
+std::shared_ptr<const core::EnrollmentRecord> DeviceRegistry::load(
+    const std::string& device_id) const {
+  const Shard& shard = shard_for(device_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const auto it = shard.records.find(device_id);
+  return it == shard.records.end() ? nullptr : it->second;
+}
+
+bool DeviceRegistry::contains(const std::string& device_id) const {
+  return load(device_id) != nullptr;
+}
+
+bool DeviceRegistry::evict(const std::string& device_id) {
+  Shard& shard = shard_for(device_id);
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  return shard.records.erase(device_id) > 0;
+}
+
+std::size_t DeviceRegistry::size() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    n += shard->records.size();
+  }
+  return n;
+}
+
+std::vector<std::string> DeviceRegistry::device_ids() const {
+  std::vector<std::string> ids;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& [id, record] : shard->records) ids.push_back(id);
+  }
+  std::sort(ids.begin(), ids.end());
+  return ids;
+}
+
+void DeviceRegistry::save(std::ostream& out) const {
+  // Snapshot (id, record) pairs shard by shard, then write sorted so the
+  // byte stream is independent of hash order.
+  std::vector<std::pair<std::string,
+                        std::shared_ptr<const core::EnrollmentRecord>>>
+      entries;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (const auto& entry : shard->records) entries.push_back(entry);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+
+  out.write(kRegistryMagic, sizeof(kRegistryMagic));
+  const std::uint64_t count = entries.size();
+  out.write(reinterpret_cast<const char*>(&count), sizeof(count));
+  for (const auto& [id, record] : entries) {
+    const std::uint64_t len = id.size();
+    out.write(reinterpret_cast<const char*>(&len), sizeof(len));
+    out.write(id.data(), static_cast<std::streamsize>(id.size()));
+    core::save_record(out, *record);
+  }
+  if (!out) throw core::SerializationError("DeviceRegistry: write failed");
+}
+
+DeviceRegistry DeviceRegistry::load_registry(std::istream& in,
+                                             std::size_t shards) {
+  char magic[sizeof(kRegistryMagic)] = {};
+  in.read(magic, sizeof(magic));
+  if (!in || !std::equal(magic, magic + sizeof(magic), kRegistryMagic)) {
+    throw core::SerializationError("DeviceRegistry: bad magic");
+  }
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&count), sizeof(count));
+  if (!in || count > (1ULL << 32)) {
+    throw core::SerializationError("DeviceRegistry: bad entry count");
+  }
+  DeviceRegistry registry(shards);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    std::uint64_t len = 0;
+    in.read(reinterpret_cast<char*>(&len), sizeof(len));
+    if (!in || len > (1ULL << 16)) {
+      throw core::SerializationError("DeviceRegistry: bad id length");
+    }
+    std::string id(len, '\0');
+    in.read(id.data(), static_cast<std::streamsize>(len));
+    if (!in) throw core::SerializationError("DeviceRegistry: truncated id");
+    registry.store(id, core::load_record(in));
+  }
+  return registry;
+}
+
+void DeviceRegistry::save_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw core::SerializationError("cannot open " + path);
+  save(out);
+}
+
+DeviceRegistry DeviceRegistry::load_registry_file(const std::string& path,
+                                                  std::size_t shards) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw core::SerializationError("cannot open " + path);
+  return load_registry(in, shards);
+}
+
+}  // namespace pufatt::service

@@ -1,0 +1,88 @@
+#include "service/emulator_cache.hpp"
+
+#include <stdexcept>
+
+namespace pufatt::service {
+
+EmulatorCache::EmulatorCache(const DeviceRegistry& registry,
+                             const ecc::BinaryCode& code, std::size_t capacity,
+                             const core::ChannelParams& channel, double slack)
+    : registry_(&registry),
+      code_(&code),
+      capacity_(capacity),
+      channel_(channel),
+      slack_(slack) {
+  if (capacity == 0) {
+    throw std::invalid_argument("EmulatorCache: zero capacity");
+  }
+}
+
+void EmulatorCache::touch(
+    std::unordered_map<std::string, Slot>::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+}
+
+EmulatorCache::Lease EmulatorCache::acquire(const std::string& device_id) {
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(device_id);
+    if (it != map_.end()) {
+      ++counters_.hits;
+      touch(it);
+      entry = it->second.entry;
+    } else {
+      ++counters_.misses;
+    }
+  }
+
+  if (!entry) {
+    const auto record = registry_->load(device_id);
+    if (!record) return Lease{};
+    // Construction happens unlocked: it simulates the whole ALU circuit to
+    // calibrate the emulator and must not stall unrelated lookups.
+    auto fresh =
+        std::make_shared<Entry>(*record, *code_, channel_, slack_);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = map_.find(device_id);
+    if (it != map_.end()) {
+      // Another thread won the construction race; use its entry.
+      ++counters_.discarded;
+      touch(it);
+      entry = it->second.entry;
+    } else {
+      lru_.push_front(device_id);
+      map_.emplace(device_id, Slot{fresh, lru_.begin()});
+      entry = std::move(fresh);
+      if (map_.size() > capacity_) {
+        const std::string victim = lru_.back();
+        lru_.pop_back();
+        map_.erase(victim);  // in-flight leases keep the entry alive
+        ++counters_.evictions;
+      }
+    }
+  }
+
+  return Lease(std::move(entry));  // blocks on the entry's session mutex
+}
+
+void EmulatorCache::invalidate(const std::string& device_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(device_id);
+  if (it == map_.end()) return;
+  lru_.erase(it->second.lru_it);
+  map_.erase(it);
+}
+
+std::size_t EmulatorCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
+CacheCounters EmulatorCache::counters() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return counters_;
+}
+
+}  // namespace pufatt::service

@@ -1,0 +1,112 @@
+#include "service/metrics.hpp"
+
+#include <cstdio>
+#include <limits>
+
+namespace pufatt::service {
+
+const char* to_string(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kAccepted: return "accepted";
+    case JobOutcome::kRejected: return "rejected";
+    case JobOutcome::kInconclusive: return "inconclusive";
+    case JobOutcome::kUnknownDevice: return "unknown device";
+  }
+  return "?";
+}
+
+double LatencyHistogram::upper_edge_us(std::size_t bucket) {
+  if (bucket + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
+  double edge = 100.0;
+  for (std::size_t i = 0; i < bucket; ++i) edge *= 4.0;
+  return edge;
+}
+
+std::size_t LatencyHistogram::bucket_for(double latency_us) {
+  double edge = 100.0;
+  for (std::size_t i = 0; i + 1 < kBuckets; ++i) {
+    if (latency_us < edge) return i;
+    edge *= 4.0;
+  }
+  return kBuckets - 1;
+}
+
+std::uint64_t LatencyHistogram::total() const {
+  std::uint64_t n = 0;
+  for (const auto c : counts) n += c;
+  return n;
+}
+
+void ServiceMetrics::record_outcome(JobOutcome outcome, double latency_us) {
+  outcomes_[static_cast<std::size_t>(outcome)].fetch_add(1, relaxed);
+  if (outcome != JobOutcome::kUnknownDevice) {
+    latency_[static_cast<std::size_t>(outcome)]
+            [LatencyHistogram::bucket_for(latency_us)]
+                .fetch_add(1, relaxed);
+  }
+}
+
+void ServiceMetrics::observe_queue_depth(std::size_t depth) {
+  std::uint64_t seen = queue_depth_hwm_.load(relaxed);
+  while (depth > seen &&
+         !queue_depth_hwm_.compare_exchange_weak(seen, depth, relaxed)) {
+  }
+}
+
+MetricsSnapshot ServiceMetrics::snapshot() const {
+  MetricsSnapshot snap;
+  snap.submitted = submitted_.load(relaxed);
+  snap.rejected_busy = rejected_busy_.load(relaxed);
+  snap.accepted = outcomes_[0].load(relaxed);
+  snap.rejected = outcomes_[1].load(relaxed);
+  snap.inconclusive = outcomes_[2].load(relaxed);
+  snap.unknown_device = outcomes_[3].load(relaxed);
+  snap.queue_depth_hwm = queue_depth_hwm_.load(relaxed);
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      snap.latency[c].counts[b] = latency_[c][b].load(relaxed);
+    }
+  }
+  return snap;
+}
+
+std::string MetricsSnapshot::format() const {
+  char line[160];
+  std::string out;
+  std::snprintf(line, sizeof(line),
+                "submitted %llu | busy-rejected %llu | queue hwm %llu\n",
+                static_cast<unsigned long long>(submitted),
+                static_cast<unsigned long long>(rejected_busy),
+                static_cast<unsigned long long>(queue_depth_hwm));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "accepted %llu | rejected %llu | inconclusive %llu | "
+                "unknown %llu\n",
+                static_cast<unsigned long long>(accepted),
+                static_cast<unsigned long long>(rejected),
+                static_cast<unsigned long long>(inconclusive),
+                static_cast<unsigned long long>(unknown_device));
+  out += line;
+  static const char* kClasses[3] = {"accepted", "rejected", "inconclusive"};
+  for (std::size_t c = 0; c < 3; ++c) {
+    if (latency[c].total() == 0) continue;
+    std::snprintf(line, sizeof(line), "latency[%s]:", kClasses[c]);
+    out += line;
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (latency[c].counts[b] == 0) continue;
+      const double edge = LatencyHistogram::upper_edge_us(b);
+      if (b + 1 < LatencyHistogram::kBuckets) {
+        std::snprintf(line, sizeof(line), " <%.0fms:%llu", edge / 1000.0,
+                      static_cast<unsigned long long>(latency[c].counts[b]));
+      } else {
+        std::snprintf(line, sizeof(line), " rest:%llu",
+                      static_cast<unsigned long long>(latency[c].counts[b]));
+      }
+      out += line;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace pufatt::service

@@ -1,0 +1,85 @@
+// Lock-free service metrics: outcome counters, queue-depth high-water
+// mark, and per-outcome latency histograms.
+//
+// Workers record on the hot path, so everything is a relaxed atomic —
+// metrics never serialize two workers.  snapshot() copies the counters
+// into a plain struct; because the loads are relaxed, a snapshot taken
+// while workers are mid-update is each-counter-consistent, not
+// cross-counter-consistent (e.g. `completed()` may momentarily lag
+// `submitted`).  Quiesce the pool (drain) before asserting exact totals.
+//
+// Latency is the *simulated* session wall time (SessionOutcome::total_us
+// — attempts + timeouts + backoff), not host wall time: it is what an
+// operator dashboard for the deployed radio protocol would show, and it
+// is deterministic under seeded workloads, which keeps tests exact.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace pufatt::service {
+
+/// Terminal classification of one job, from the service's viewpoint.
+enum class JobOutcome {
+  kAccepted,       ///< session ended kAccepted
+  kRejected,       ///< session ended kRejected (evidence against the prover)
+  kInconclusive,   ///< transport-starved session (timeout/corrupt/exhausted)
+  kUnknownDevice,  ///< device id not in the registry
+};
+
+const char* to_string(JobOutcome outcome);
+
+/// Log-scale histogram over simulated session latency.  Bucket i counts
+/// latencies in [edge(i-1), edge(i)) with edge(i) = 100us * 4^i; the last
+/// bucket is unbounded.  Spans 100us .. ~1.6s, the range between a clean
+/// one-attempt session and a fully backed-off retry budget.
+struct LatencyHistogram {
+  static constexpr std::size_t kBuckets = 8;
+  static double upper_edge_us(std::size_t bucket);  ///< +inf for the last
+  static std::size_t bucket_for(double latency_us);
+
+  std::array<std::uint64_t, kBuckets> counts{};
+  std::uint64_t total() const;
+};
+
+/// Plain-value copy of the metrics at one instant.
+struct MetricsSnapshot {
+  std::uint64_t submitted = 0;      ///< jobs accepted into the queue
+  std::uint64_t rejected_busy = 0;  ///< submits bounced by backpressure
+  std::uint64_t accepted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t inconclusive = 0;
+  std::uint64_t unknown_device = 0;
+  std::uint64_t queue_depth_hwm = 0;  ///< max queued jobs ever observed
+  std::array<LatencyHistogram, 3> latency;  ///< accepted/rejected/inconclusive
+
+  std::uint64_t completed() const {
+    return accepted + rejected + inconclusive + unknown_device;
+  }
+  /// Multi-line human-readable dump (operator tooling).
+  std::string format() const;
+};
+
+class ServiceMetrics {
+ public:
+  void record_submitted() { submitted_.fetch_add(1, relaxed); }
+  void record_rejected_busy() { rejected_busy_.fetch_add(1, relaxed); }
+  void record_outcome(JobOutcome outcome, double latency_us);
+  void observe_queue_depth(std::size_t depth);
+
+  MetricsSnapshot snapshot() const;
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> rejected_busy_{0};
+  std::atomic<std::uint64_t> outcomes_[4] = {};
+  std::atomic<std::uint64_t> queue_depth_hwm_{0};
+  std::atomic<std::uint64_t>
+      latency_[3][LatencyHistogram::kBuckets] = {};
+};
+
+}  // namespace pufatt::service

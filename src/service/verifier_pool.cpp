@@ -1,0 +1,160 @@
+#include "service/verifier_pool.hpp"
+
+#include <chrono>
+#include <stdexcept>
+
+namespace pufatt::service {
+
+namespace {
+
+double now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+const char* to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kEnqueued: return "enqueued";
+    case SubmitStatus::kRejectedBusy: return "rejected busy";
+    case SubmitStatus::kShuttingDown: return "shutting down";
+  }
+  return "?";
+}
+
+VerifierPool::VerifierPool(EmulatorCache& cache, const PoolConfig& config,
+                           CompletionFn on_complete)
+    : cache_(&cache), config_(config), on_complete_(std::move(on_complete)) {
+  if (config.workers == 0) {
+    throw std::invalid_argument("VerifierPool: zero workers");
+  }
+  if (config.queue_capacity == 0) {
+    throw std::invalid_argument("VerifierPool: zero queue capacity");
+  }
+  workers_.reserve(config.workers);
+  for (std::size_t i = 0; i < config.workers; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+VerifierPool::~VerifierPool() { shutdown(); }
+
+double VerifierPool::estimate_retry_after_us() const {
+  // Expected time until the queue has fully turned over once: depth jobs
+  // at the mean observed service time, spread over the workers.  Before
+  // any job completed there is no observed rate; fall back to one response
+  // timeout, the natural time constant of a session.
+  const double mean_service_us =
+      serviced_ > 0 ? total_service_us_ / static_cast<double>(serviced_)
+                    : config_.session.response_timeout_us;
+  const double backlog = static_cast<double>(queue_.size() + in_flight_);
+  return mean_service_us * backlog / static_cast<double>(config_.workers);
+}
+
+SubmitResult VerifierPool::submit(AttestationJob job) {
+  SubmitResult result;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!accepting_) {
+      result.status = SubmitStatus::kShuttingDown;
+      return result;
+    }
+    if (queue_.size() >= config_.queue_capacity) {
+      result.status = SubmitStatus::kRejectedBusy;
+      result.retry_after_us = estimate_retry_after_us();
+      metrics_.record_rejected_busy();
+      return result;
+    }
+    queue_.push_back(std::move(job));
+    metrics_.record_submitted();
+    metrics_.observe_queue_depth(queue_.size());
+  }
+  work_ready_.notify_one();
+  return result;
+}
+
+void VerifierPool::worker_loop() {
+  for (;;) {
+    AttestationJob job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_ready_.wait(lock, [this] { return exiting_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // exiting_ and nothing left to do
+      job = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+
+    const double start_us = now_us();
+    run_job(job);
+    const double service_us = now_us() - start_us;
+
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      total_service_us_ += service_us;
+      ++serviced_;
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) queue_idle_.notify_all();
+    }
+  }
+}
+
+void VerifierPool::run_job(const AttestationJob& job) {
+  JobResult result;
+  result.device_id = job.device_id;
+  result.tag = job.tag;
+
+  // The lease pins the cached verifier and serializes this device: it is
+  // held for the whole session, covering both verify() and the responder
+  // (one physical device answers one attestation at a time).
+  auto lease = cache_->acquire(job.device_id);
+  if (!lease) {
+    result.outcome = JobOutcome::kUnknownDevice;
+    metrics_.record_outcome(result.outcome, 0.0);
+    if (on_complete_) on_complete_(result);
+    return;
+  }
+
+  core::FaultyChannel link(config_.channel, job.faults, job.channel_seed);
+  core::AttestationSession session(lease.verifier(), link, config_.session);
+  support::Xoshiro256pp rng(job.rng_seed);
+  result.session = session.run(job.responder, rng);
+
+  if (result.session.accepted()) {
+    result.outcome = JobOutcome::kAccepted;
+  } else if (result.session.conclusive()) {
+    result.outcome = JobOutcome::kRejected;
+  } else {
+    result.outcome = JobOutcome::kInconclusive;
+  }
+  metrics_.record_outcome(result.outcome, result.session.total_us);
+  if (on_complete_) on_complete_(result);
+}
+
+void VerifierPool::drain() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  accepting_ = false;
+  queue_idle_.wait(lock,
+                   [this] { return queue_.empty() && in_flight_ == 0; });
+}
+
+void VerifierPool::shutdown() {
+  drain();
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (exiting_) return;  // already shut down; workers joined below once
+    exiting_ = true;
+  }
+  work_ready_.notify_all();
+  for (auto& worker : workers_) worker.join();
+  workers_.clear();
+}
+
+std::size_t VerifierPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
+}
+
+}  // namespace pufatt::service

@@ -350,6 +350,34 @@ TEST(CrpDatabaseTest, ExhaustionIsReported) {
   EXPECT_FALSE(result.accepted);
 }
 
+// Regression for the O(1) cursor: every authenticate() consumes exactly
+// one entry — in order, whether it accepts, rejects, or fails — so
+// remaining() ticks down deterministically and a failed attempt can never
+// be replayed against the same entry.
+TEST(CrpDatabaseTest, EveryAttemptConsumesExactlyOneEntry) {
+  Testbed bed;
+  const alupuf::AluPuf clone(bed.profile.puf_config, 987654);
+  Xoshiro256pp rng(54);
+  auto db = CrpDatabase::collect(bed.device.raw_puf(), 6, rng);
+  ASSERT_EQ(db.remaining(), 6u);
+
+  // Rejected attempts (clone) consume entries just like accepted ones.
+  for (std::size_t attempt = 0; attempt < 6; ++attempt) {
+    const auto& puf =
+        attempt % 2 == 0 ? bed.device.raw_puf() : clone;
+    const auto result = db.authenticate(puf, rng);
+    EXPECT_FALSE(result.exhausted);
+    EXPECT_EQ(db.remaining(), 6u - attempt - 1);
+  }
+
+  // Exhaustion is stable: further attempts consume nothing.
+  for (int attempt = 0; attempt < 3; ++attempt) {
+    const auto result = db.authenticate(bed.device.raw_puf(), rng);
+    EXPECT_TRUE(result.exhausted);
+    EXPECT_EQ(db.remaining(), 0u);
+  }
+}
+
 TEST(CrpDatabaseTest, StorageGrowsLinearly) {
   Testbed bed;
   Xoshiro256pp rng(53);

@@ -1,0 +1,427 @@
+// Concurrent attestation service tests: sharded registry semantics under
+// contention, emulator-cache LRU accounting and per-device lease mutual
+// exclusion, and the worker pool's backpressure, drain and verdict-parity
+// contracts.  Every multi-threaded test here is expected to run clean
+// under -DPUFATT_TSAN=ON (see README build matrix).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/distributed.hpp"
+#include "core/enrollment.hpp"
+#include "core/serialize.hpp"
+#include "core/session.hpp"
+#include "ecc/reed_muller.hpp"
+#include "service/device_registry.hpp"
+#include "service/emulator_cache.hpp"
+#include "service/verifier_pool.hpp"
+
+namespace pufatt::service {
+namespace {
+
+using support::Xoshiro256pp;
+
+const ecc::ReedMuller1& code() {
+  static const ecc::ReedMuller1 instance(5);
+  return instance;
+}
+
+/// Shared fixture: enrolling real devices is the expensive part, so one
+/// small fleet is built once and reused read-only by every test.
+struct Fleet {
+  struct Device {
+    std::string id;
+    std::unique_ptr<alupuf::PufDevice> device;
+    core::EnrollmentRecord record;
+  };
+  std::vector<Device> devices;
+
+  static const Fleet& instance() {
+    static const Fleet fleet(3);
+    return fleet;
+  }
+
+  /// Fresh registry holding every fleet device.
+  DeviceRegistry make_registry(std::size_t shards = 16) const {
+    DeviceRegistry registry(shards);
+    for (const auto& dev : devices) registry.store(dev.id, dev.record);
+    return registry;
+  }
+
+  /// Honest responder for `devices[index]`, deterministic in `seed`.
+  core::Responder responder(std::size_t index, std::uint64_t seed) const {
+    auto prover = std::make_shared<core::CpuProver>(
+        *devices[index].device, devices[index].record,
+        core::CpuProver::Variant::kHonest, seed);
+    return [prover](const core::AttestationRequest& request) {
+      auto outcome = prover->respond(request);
+      return core::ProverReply{std::move(outcome.response),
+                               outcome.compute_us};
+    };
+  }
+
+ private:
+  explicit Fleet(std::size_t count) {
+    const auto profile = core::DistributedParams::small_profile();
+    Xoshiro256pp rng(0x5E21);
+    std::vector<std::uint32_t> firmware(600);
+    for (auto& word : firmware) word = static_cast<std::uint32_t>(rng.next());
+    const auto image = core::make_enrolled_image(profile, firmware);
+    devices.resize(count);
+    for (std::size_t d = 0; d < count; ++d) {
+      devices[d].id = "unit-" + std::to_string(d);
+      devices[d].device = std::make_unique<alupuf::PufDevice>(
+          profile.puf_config, 0xACE0 + d, code());
+      devices[d].record = core::enroll(*devices[d].device, profile, image);
+    }
+  }
+};
+
+// --- DeviceRegistry ---------------------------------------------------------
+
+TEST(DeviceRegistry, StoreLoadEvict) {
+  const auto& fleet = Fleet::instance();
+  DeviceRegistry registry(4);
+  EXPECT_EQ(registry.size(), 0u);
+  EXPECT_EQ(registry.load("unit-0"), nullptr);
+
+  EXPECT_TRUE(registry.store("unit-0", fleet.devices[0].record));
+  EXPECT_TRUE(registry.store("unit-1", fleet.devices[1].record));
+  // Re-enrollment replaces in place and reports the id as already known.
+  EXPECT_FALSE(registry.store("unit-0", fleet.devices[0].record));
+  EXPECT_EQ(registry.size(), 2u);
+  EXPECT_TRUE(registry.contains("unit-1"));
+  ASSERT_NE(registry.load("unit-1"), nullptr);
+
+  EXPECT_TRUE(registry.evict("unit-0"));
+  EXPECT_FALSE(registry.evict("unit-0"));
+  EXPECT_FALSE(registry.contains("unit-0"));
+  EXPECT_EQ(registry.device_ids(), std::vector<std::string>{"unit-1"});
+}
+
+TEST(DeviceRegistry, LoadedSnapshotSurvivesEviction) {
+  const auto& fleet = Fleet::instance();
+  auto registry = fleet.make_registry();
+  const auto snapshot = registry.load(fleet.devices[0].id);
+  ASSERT_NE(snapshot, nullptr);
+  registry.evict(fleet.devices[0].id);
+  // The shared_ptr keeps the record alive: a verifier built from it is
+  // still usable after concurrent de-registration.
+  const core::Verifier verifier(*snapshot, code());
+  (void)verifier;
+}
+
+TEST(DeviceRegistry, SaveLoadRoundTripBytes) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  std::stringstream first;
+  registry.save(first);
+
+  std::stringstream input(first.str());
+  const auto reloaded = DeviceRegistry::load_registry(input, /*shards=*/4);
+  EXPECT_EQ(reloaded.size(), registry.size());
+  EXPECT_EQ(reloaded.device_ids(), registry.device_ids());
+
+  // save() sorts entries, so a reloaded registry reproduces the bytes
+  // regardless of its shard count.
+  std::stringstream second;
+  reloaded.save(second);
+  EXPECT_EQ(first.str(), second.str());
+}
+
+TEST(DeviceRegistry, RejectsMalformedInput) {
+  std::stringstream garbage("not a registry");
+  EXPECT_THROW(DeviceRegistry::load_registry(garbage),
+               core::SerializationError);
+}
+
+TEST(DeviceRegistry, ConcurrentStoreLoadEvict) {
+  const auto& fleet = Fleet::instance();
+  const auto shared = std::make_shared<const core::EnrollmentRecord>(
+      fleet.devices[0].record);
+  DeviceRegistry registry(8);
+
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 200;
+  std::vector<std::thread> threads;
+  std::atomic<int> null_loads{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int op = 0; op < kOpsPerThread; ++op) {
+        const std::string own = "t" + std::to_string(t) + "-" +
+                                std::to_string(op % 17);
+        registry.store(own, shared);
+        if (registry.load(own) == nullptr) ++null_loads;
+        // Everyone also hammers one contended id across all shards' worth
+        // of traffic: loads see either nullptr or a complete record.
+        registry.store("contended", shared);
+        const auto got = registry.load("contended");
+        if (got != nullptr) {
+          EXPECT_EQ(got->enrolled_image.size(), shared->enrolled_image.size());
+        }
+        if (op % 5 == 0) registry.evict("contended");
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  // A thread's own ids are never evicted: its loads always succeed.
+  EXPECT_EQ(null_loads, 0);
+  EXPECT_GE(registry.size(), static_cast<std::size_t>(kThreads * 17));
+}
+
+// --- EmulatorCache ----------------------------------------------------------
+
+TEST(EmulatorCache, CountsHitsMissesEvictions) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  EmulatorCache cache(registry, code(), /*capacity=*/2);
+
+  { auto lease = cache.acquire("unit-0"); ASSERT_TRUE(lease); }   // miss
+  { auto lease = cache.acquire("unit-0"); ASSERT_TRUE(lease); }   // hit
+  { auto lease = cache.acquire("unit-1"); ASSERT_TRUE(lease); }   // miss
+  { auto lease = cache.acquire("unit-2"); ASSERT_TRUE(lease); }   // miss, evicts unit-0
+  { auto lease = cache.acquire("unit-0"); ASSERT_TRUE(lease); }   // miss again
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits, 1u);
+  EXPECT_EQ(counters.misses, 4u);
+  EXPECT_EQ(counters.evictions, 2u);
+  EXPECT_LE(cache.size(), cache.capacity());
+}
+
+TEST(EmulatorCache, UnknownDeviceYieldsEmptyLease) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  EmulatorCache cache(registry, code(), 2);
+  EXPECT_FALSE(cache.acquire("never-enrolled"));
+  EXPECT_EQ(cache.counters().misses, 1u);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(EmulatorCache, SameDeviceLeasesAreMutuallyExclusive) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  EmulatorCache cache(registry, code(), 2);
+
+  std::atomic<int> inside{0};
+  std::atomic<bool> overlapped{false};
+  constexpr int kThreads = 6;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int round = 0; round < 20; ++round) {
+        auto lease = cache.acquire("unit-0");
+        ASSERT_TRUE(lease);
+        if (inside.fetch_add(1) != 0) overlapped = true;
+        std::this_thread::yield();
+        inside.fetch_sub(1);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_FALSE(overlapped) << "two threads held the same device's lease";
+}
+
+TEST(EmulatorCache, ConcurrentMissStormIsAccountedExactly) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  EmulatorCache cache(registry, code(), fleet.devices.size());
+
+  constexpr int kThreads = 8;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    // All threads race to construct the same entries at once; losers'
+    // instances are discarded, never doubled into the cache.
+    threads.emplace_back([&] {
+      for (const auto& dev : Fleet::instance().devices) {
+        auto lease = cache.acquire(dev.id);
+        ASSERT_TRUE(lease);
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  const auto counters = cache.counters();
+  EXPECT_EQ(counters.hits + counters.misses,
+            static_cast<std::size_t>(kThreads) * fleet.devices.size());
+  EXPECT_EQ(cache.size(), fleet.devices.size());
+  EXPECT_EQ(counters.evictions, 0u);
+}
+
+// --- VerifierPool -----------------------------------------------------------
+
+TEST(VerifierPool, RunsJobsToCompletionWithCorrectOutcomes) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  EmulatorCache cache(registry, code(), fleet.devices.size());
+
+  PoolConfig config;
+  config.workers = 4;
+  config.queue_capacity = 16;
+
+  std::mutex results_mutex;
+  std::vector<JobResult> results;
+  VerifierPool pool(cache, config, [&](const JobResult& result) {
+    std::lock_guard<std::mutex> lock(results_mutex);
+    results.push_back(result);
+  });
+
+  constexpr std::size_t kJobs = 6;
+  for (std::size_t job = 0; job < kJobs; ++job) {
+    AttestationJob j;
+    j.device_id = fleet.devices[job % fleet.devices.size()].id;
+    j.responder = fleet.responder(job % fleet.devices.size(), 0x100 + job);
+    j.channel_seed = 0x200 + job;
+    j.rng_seed = 0x300 + job;
+    j.tag = job;
+    ASSERT_TRUE(pool.submit(std::move(j)).enqueued());
+  }
+  AttestationJob ghost;
+  ghost.device_id = "never-enrolled";
+  ghost.tag = kJobs;
+  ASSERT_TRUE(pool.submit(std::move(ghost)).enqueued());
+
+  pool.drain();
+  EXPECT_EQ(results.size(), kJobs + 1);
+
+  const auto snapshot = pool.metrics_snapshot();
+  EXPECT_EQ(snapshot.submitted, kJobs + 1);
+  EXPECT_EQ(snapshot.accepted, kJobs);  // honest provers on a clean link
+  EXPECT_EQ(snapshot.unknown_device, 1u);
+  EXPECT_EQ(snapshot.rejected_busy, 0u);
+  EXPECT_EQ(snapshot.completed(), kJobs + 1);
+  EXPECT_GE(snapshot.queue_depth_hwm, 1u);
+  for (const auto& result : results) {
+    if (result.device_id == "never-enrolled") {
+      EXPECT_EQ(result.outcome, JobOutcome::kUnknownDevice);
+    } else {
+      EXPECT_EQ(result.outcome, JobOutcome::kAccepted);
+      EXPECT_TRUE(result.session.accepted());
+    }
+  }
+}
+
+TEST(VerifierPool, FullQueueRejectsWithRetryAfterHint) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  EmulatorCache cache(registry, code(), 2);
+
+  PoolConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+
+  std::promise<void> release;
+  const auto released = release.get_future().share();
+  VerifierPool pool(cache, config);
+
+  // One job blocks the single worker inside its responder; the next fills
+  // the one queue slot; the third must be shed with a positive hint.
+  auto blocking_job = [&](std::uint64_t tag) {
+    AttestationJob j;
+    j.device_id = fleet.devices[0].id;
+    j.responder = [&, released](const core::AttestationRequest& request) {
+      released.wait();
+      auto prover = std::make_shared<core::CpuProver>(
+          *fleet.devices[0].device, fleet.devices[0].record,
+          core::CpuProver::Variant::kHonest, tag);
+      auto outcome = prover->respond(request);
+      return core::ProverReply{std::move(outcome.response),
+                               outcome.compute_us};
+    };
+    j.rng_seed = tag;
+    j.tag = tag;
+    return j;
+  };
+
+  ASSERT_TRUE(pool.submit(blocking_job(0)).enqueued());
+  // Wait until the worker has picked up job 0, so job 1 occupies the queue.
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+  ASSERT_TRUE(pool.submit(blocking_job(1)).enqueued());
+
+  const auto shed = pool.submit(blocking_job(2));
+  EXPECT_EQ(shed.status, SubmitStatus::kRejectedBusy);
+  EXPECT_FALSE(shed.enqueued());
+  EXPECT_GT(shed.retry_after_us, 0.0);
+  EXPECT_EQ(pool.metrics_snapshot().rejected_busy, 1u);
+
+  release.set_value();
+  pool.drain();
+  EXPECT_EQ(pool.metrics_snapshot().completed(), 2u);
+}
+
+TEST(VerifierPool, DrainStopsIntakeAndIsIdempotent) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  EmulatorCache cache(registry, code(), 2);
+  VerifierPool pool(cache, PoolConfig{});
+
+  AttestationJob j;
+  j.device_id = fleet.devices[0].id;
+  j.responder = fleet.responder(0, 7);
+  j.tag = 7;
+  ASSERT_TRUE(pool.submit(std::move(j)).enqueued());
+
+  pool.drain();
+  pool.drain();  // idempotent
+  EXPECT_EQ(pool.queue_depth(), 0u);
+  EXPECT_EQ(pool.metrics_snapshot().completed(), 1u);
+
+  AttestationJob late;
+  late.device_id = fleet.devices[0].id;
+  EXPECT_EQ(pool.submit(std::move(late)).status, SubmitStatus::kShuttingDown);
+
+  pool.shutdown();
+  pool.shutdown();  // idempotent
+}
+
+// The determinism contract behind bench/service_throughput's parity claim:
+// with per-job seeds, worker count changes wall time, never a verdict.
+TEST(VerifierPool, VerdictsMatchAcrossWorkerCounts) {
+  const auto& fleet = Fleet::instance();
+  const auto registry = fleet.make_registry();
+  constexpr std::size_t kJobs = 9;
+
+  core::FaultParams faults;
+  faults.loss_prob = 0.15;  // force some retry traffic into the sessions
+
+  auto run_with = [&](std::size_t workers) {
+    EmulatorCache cache(registry, code(), fleet.devices.size());
+    PoolConfig config;
+    config.workers = workers;
+    config.queue_capacity = kJobs;
+
+    std::mutex verdict_mutex;
+    std::vector<core::SessionStatus> verdicts(
+        kJobs, core::SessionStatus::kRetriesExhausted);
+    VerifierPool pool(cache, config, [&](const JobResult& result) {
+      std::lock_guard<std::mutex> lock(verdict_mutex);
+      verdicts[result.tag] = result.session.status;
+    });
+    for (std::size_t job = 0; job < kJobs; ++job) {
+      AttestationJob j;
+      j.device_id = fleet.devices[job % fleet.devices.size()].id;
+      j.responder = fleet.responder(job % fleet.devices.size(), 0xA0 + job);
+      j.faults = faults;
+      j.channel_seed = 0xB0 + job;
+      j.rng_seed = 0xC0 + job;
+      j.tag = job;
+      EXPECT_TRUE(pool.submit(std::move(j)).enqueued());
+    }
+    pool.drain();
+    return verdicts;
+  };
+
+  const auto serial = run_with(1);
+  const auto pooled = run_with(4);
+  EXPECT_EQ(serial, pooled);
+}
+
+}  // namespace
+}  // namespace pufatt::service

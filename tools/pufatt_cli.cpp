@@ -4,18 +4,30 @@
 //   pufatt-cli inspect <record.bin>                summarize a record
 //   pufatt-cli attest <chip-seed> <record.bin>     run one attestation
 //   pufatt-cli disasm <record.bin>                 list the attested program
+//   pufatt-cli serve-demo [workers] [sessions] [devices]
+//                                                  run the concurrent service
 //
 // The "device" is simulated (chip-seed = fab lottery), but the data flow is
 // the real deployment one: enrollment produces a record file, the verifier
 // later loads it and talks to the device.
+#include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
+#include <vector>
 
+#include "core/distributed.hpp"
 #include "core/protocol.hpp"
 #include "core/serialize.hpp"
 #include "cpu/disassembler.hpp"
 #include "ecc/reed_muller.hpp"
+#include "service/device_registry.hpp"
+#include "service/emulator_cache.hpp"
+#include "service/verifier_pool.hpp"
 
 using namespace pufatt;
 
@@ -24,6 +36,33 @@ namespace {
 const ecc::ReedMuller1& code() {
   static const ecc::ReedMuller1 instance(5);
   return instance;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: pufatt-cli enroll <chip-seed> <record.bin>\n"
+               "       pufatt-cli inspect <record.bin>\n"
+               "       pufatt-cli attest <chip-seed> <record.bin>\n"
+               "       pufatt-cli disasm <record.bin>\n"
+               "       pufatt-cli serve-demo [workers] [sessions] [devices]\n");
+  return 64;
+}
+
+/// Strict decimal/hex u64 parse; rejects trailing garbage, empty strings
+/// and overflow ("12x" or "" must not silently read as 0).
+bool parse_u64(const char* text, std::uint64_t& value) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long parsed = std::strtoull(text, &end, 0);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  value = parsed;
+  return true;
+}
+
+int bad_argument(const char* what, const char* got) {
+  std::fprintf(stderr, "error: malformed %s '%s'\n", what, got);
+  return usage();
 }
 
 int cmd_enroll(std::uint64_t chip_seed, const std::string& path) {
@@ -104,13 +143,144 @@ int cmd_disasm(const std::string& path) {
   return 0;
 }
 
-int usage() {
-  std::fprintf(stderr,
-               "usage: pufatt-cli enroll <chip-seed> <record.bin>\n"
-               "       pufatt-cli inspect <record.bin>\n"
-               "       pufatt-cli attest <chip-seed> <record.bin>\n"
-               "       pufatt-cli disasm <record.bin>\n");
-  return 64;
+// serve-demo: stand up the whole concurrent service in-process — enroll a
+// small fleet, register it, then pump attestation jobs through the worker
+// pool over a mildly lossy simulated radio and print the metrics.  One
+// device answers with a tampered image so the rejected path shows up too.
+int cmd_serve_demo(std::uint64_t workers, std::uint64_t sessions,
+                   std::uint64_t devices) {
+  if (workers == 0 || sessions == 0 || devices == 0) {
+    std::fprintf(stderr, "error: workers, sessions and devices must be > 0\n");
+    return usage();
+  }
+  auto profile = core::DistributedParams::small_profile();
+
+  std::printf("enrolling %llu devices...\n",
+              static_cast<unsigned long long>(devices));
+  support::Xoshiro256pp rng(0x5E47EDE40);
+  std::vector<std::uint32_t> firmware(600);
+  for (auto& w : firmware) w = static_cast<std::uint32_t>(rng.next());
+  const auto image = core::make_enrolled_image(profile, firmware);
+
+  service::DeviceRegistry registry;
+  struct Fleet {
+    std::unique_ptr<alupuf::PufDevice> device;
+    core::EnrollmentRecord record;  ///< what the prover actually runs
+    std::string id;
+  };
+  std::vector<Fleet> fleet(devices);
+  for (std::uint64_t d = 0; d < devices; ++d) {
+    fleet[d].id = "device-" + std::to_string(d);
+    fleet[d].device = std::make_unique<alupuf::PufDevice>(
+        profile.puf_config, 0xD1CE0000 + d, code());
+    auto record = core::enroll(*fleet[d].device, profile, image);
+    registry.store(fleet[d].id, record);
+    fleet[d].record = std::move(record);
+  }
+  // The last device is compromised: it runs a tampered image against its
+  // own (honest) enrollment record.
+  auto& infected = fleet.back();
+  for (std::size_t w = 700; w < 760 && w < infected.record.enrolled_image.size();
+       ++w) {
+    infected.record.enrolled_image[w] ^= 0xBAD0BAD0u;
+  }
+
+  service::EmulatorCache cache(registry, code(), devices);
+  service::PoolConfig config;
+  config.workers = workers;
+  config.queue_capacity = 2 * workers;
+
+  // Per-device accepted/rejected tallies, keyed by round-robin index.
+  struct Tally {
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+  };
+  std::mutex tally_mutex;
+  std::vector<Tally> tally(devices);
+  service::VerifierPool pool(
+      cache, config, [&](const service::JobResult& result) {
+        std::lock_guard<std::mutex> lock(tally_mutex);
+        auto& t = tally[result.tag % devices];
+        if (result.outcome == service::JobOutcome::kAccepted) ++t.accepted;
+        if (result.outcome == service::JobOutcome::kRejected) ++t.rejected;
+      });
+
+  core::FaultParams faults;
+  faults.loss_prob = 0.02;
+
+  const auto start = std::chrono::steady_clock::now();
+  std::uint64_t busy = 0;
+  for (std::uint64_t s = 0; s < sessions; ++s) {
+    const auto& target = fleet[s % devices];
+    service::AttestationJob job;
+    job.device_id = target.id;
+    job.faults = faults;
+    job.channel_seed = 0xC4A2 + 31 * s;
+    job.rng_seed = 0x9E0 + 17 * s;
+    job.tag = s;
+    // Each job owns its prover (seeded per job): jobs never share mutable
+    // prover state, and the same-device lease already serializes access to
+    // the shared PufDevice underneath.
+    auto prover = std::make_shared<core::CpuProver>(
+        *target.device, target.record, core::CpuProver::Variant::kHonest,
+        job.rng_seed ^ 0xF00D);
+    job.responder = [prover](const core::AttestationRequest& request) {
+      auto outcome = prover->respond(request);
+      return core::ProverReply{std::move(outcome.response),
+                               outcome.compute_us};
+    };
+    // Offered load exceeds capacity on purpose: show the backpressure
+    // path, then retry the job after the suggested wait.
+    auto submitted = pool.submit(job);
+    while (submitted.status == service::SubmitStatus::kRejectedBusy) {
+      ++busy;
+      std::this_thread::sleep_for(std::chrono::microseconds(
+          static_cast<long>(submitted.retry_after_us)));
+      submitted = pool.submit(job);
+    }
+  }
+  pool.drain();
+  const double wall_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  const auto snap = pool.metrics_snapshot();
+  std::printf("\n%llu sessions on %llu workers over %llu devices "
+              "in %.2f s (%.1f sessions/s)\n",
+              static_cast<unsigned long long>(sessions),
+              static_cast<unsigned long long>(workers),
+              static_cast<unsigned long long>(devices), wall_s,
+              static_cast<double>(sessions) / wall_s);
+  std::printf("client-side busy retries: %llu\n\n",
+              static_cast<unsigned long long>(busy));
+  std::fputs(snap.format().c_str(), stdout);
+
+  // The security invariant: the tampered (last) device is NEVER accepted,
+  // and if round-robin dispatch reached it at all, it was caught at least
+  // once.  Honest devices may occasionally false-reject — that is the
+  // PUF's intrinsic FNR (an availability cost the paper quantifies), not
+  // a service defect — so it is reported, not failed on.
+  const std::uint64_t infected_sessions = sessions / devices;
+  const auto& infected_tally = tally.back();
+  std::uint64_t honest_false_rejects = 0;
+  for (std::uint64_t d = 0; d + 1 < devices; ++d) {
+    honest_false_rejects += tally[d].rejected;
+  }
+  if (honest_false_rejects > 0) {
+    std::printf("\nhonest false rejections (PUF noise): %llu\n",
+                static_cast<unsigned long long>(honest_false_rejects));
+  }
+  const bool infected_ok =
+      infected_tally.accepted == 0 &&
+      (infected_sessions == 0 || infected_tally.rejected > 0);
+  const bool ok = infected_ok &&
+                  snap.accepted + snap.rejected + snap.inconclusive == sessions;
+  std::printf("\n[%s] all sessions accounted; tampered device never "
+              "accepted (%llu/%llu of its sessions rejected)\n",
+              ok ? "ok" : "FAIL",
+              static_cast<unsigned long long>(infected_tally.rejected),
+              static_cast<unsigned long long>(infected_sessions));
+  return ok ? 0 : 1;
 }
 
 }  // namespace
@@ -118,14 +288,40 @@ int usage() {
 int main(int argc, char** argv) {
   try {
     const std::string cmd = argc > 1 ? argv[1] : "";
-    if (cmd == "enroll" && argc == 4) {
-      return cmd_enroll(std::strtoull(argv[2], nullptr, 0), argv[3]);
+    if (cmd == "enroll") {
+      if (argc != 4) return usage();
+      std::uint64_t seed = 0;
+      if (!parse_u64(argv[2], seed)) return bad_argument("chip-seed", argv[2]);
+      return cmd_enroll(seed, argv[3]);
     }
-    if (cmd == "inspect" && argc == 3) return cmd_inspect(argv[2]);
-    if (cmd == "attest" && argc == 4) {
-      return cmd_attest(std::strtoull(argv[2], nullptr, 0), argv[3]);
+    if (cmd == "inspect") {
+      return argc == 3 ? cmd_inspect(argv[2]) : usage();
     }
-    if (cmd == "disasm" && argc == 3) return cmd_disasm(argv[2]);
+    if (cmd == "attest") {
+      if (argc != 4) return usage();
+      std::uint64_t seed = 0;
+      if (!parse_u64(argv[2], seed)) return bad_argument("chip-seed", argv[2]);
+      return cmd_attest(seed, argv[3]);
+    }
+    if (cmd == "disasm") {
+      return argc == 3 ? cmd_disasm(argv[2]) : usage();
+    }
+    if (cmd == "serve-demo") {
+      if (argc > 5) return usage();
+      std::uint64_t workers = 4, sessions = 32, devices = 6;
+      if (argc > 2 && !parse_u64(argv[2], workers)) {
+        return bad_argument("worker count", argv[2]);
+      }
+      if (argc > 3 && !parse_u64(argv[3], sessions)) {
+        return bad_argument("session count", argv[3]);
+      }
+      if (argc > 4 && !parse_u64(argv[4], devices)) {
+        return bad_argument("device count", argv[4]);
+      }
+      return cmd_serve_demo(workers, sessions, devices);
+    }
+    if (cmd.empty()) return usage();
+    std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
     return usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
