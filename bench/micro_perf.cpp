@@ -4,6 +4,11 @@
 // paper's methodology requires.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
 #include "cpu/assembler.hpp"
 #include "swat/program.hpp"
 
@@ -163,6 +168,87 @@ void BM_FullAttestationRoundTrip(benchmark::State& state) {
 }
 BENCHMARK(BM_FullAttestationRoundTrip);
 
+void BM_TimingSimScalarRun(benchmark::State& state) {
+  const auto circuit = netlist::build_alu_puf_circuit(32);
+  const variation::ChipInstance chip(circuit.net, {}, {}, 1);
+  const auto delays = chip.nominal_delays(variation::Environment::nominal());
+  const timingsim::TimingSimulator sim(circuit.net);
+  support::Xoshiro256pp rng(12);
+  const auto challenge =
+      support::BitVector::random(circuit.net.num_inputs(), rng);
+  std::vector<timingsim::SignalState> states;
+  for (auto _ : state) {
+    sim.run(challenge, delays, states);
+    benchmark::DoNotOptimize(states.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TimingSimScalarRun);
+
+void BM_TimingSimBatchRun(benchmark::State& state) {
+  const auto circuit = netlist::build_alu_puf_circuit(32);
+  const variation::ChipInstance chip(circuit.net, {}, {}, 1);
+  const auto delays = chip.nominal_delays(variation::Environment::nominal());
+  const timingsim::TimingSimulator sim(circuit.net);
+  support::Xoshiro256pp rng(13);
+  const std::size_t batch = 256;
+  std::vector<support::BitVector> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(
+        support::BitVector::random(circuit.net.num_inputs(), rng));
+  }
+  std::vector<std::uint8_t> lanes;
+  timingsim::pack_input_lanes(challenges.data(), batch,
+                              circuit.net.num_inputs(), lanes);
+  timingsim::BatchState out;
+  for (auto _ : state) {
+    sim.run_batch(lanes.data(), batch, delays, out);
+    benchmark::DoNotOptimize(out.times_ps.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_TimingSimBatchRun);
+
+void BM_AluPufEvalBatch(benchmark::State& state) {
+  const alupuf::AluPuf puf(puf32(), 1);
+  support::Xoshiro256pp rng(14);
+  const auto env = variation::Environment::nominal();
+  puf.prewarm(env);
+  const std::size_t batch = 64;
+  std::vector<alupuf::Challenge> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(support::BitVector::random(64, rng));
+  }
+  alupuf::AluPufBatchScratch scratch;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(puf.eval_batch(challenges.data(), batch, env,
+                                            rng, nullptr, &scratch));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_AluPufEvalBatch);
+
+void BM_EmulatorEvalSoftBatch(benchmark::State& state) {
+  const alupuf::AluPuf puf(puf32(), 1);
+  const alupuf::AluPufEmulator emulator(32, puf.export_model());
+  support::Xoshiro256pp rng(15);
+  const std::size_t batch = 8;  // one PUF() call's worth
+  std::vector<alupuf::Challenge> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(support::BitVector::random(64, rng));
+  }
+  std::vector<double> soft;
+  for (auto _ : state) {
+    emulator.eval_soft_batch(challenges.data(), batch, soft);
+    benchmark::DoNotOptimize(soft.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_EmulatorEvalSoftBatch);
+
 void BM_LogRegTrain(benchmark::State& state) {
   support::Xoshiro256pp rng(11);
   std::vector<mlattack::Example> data;
@@ -182,6 +268,86 @@ void BM_LogRegTrain(benchmark::State& state) {
 }
 BENCHMARK(BM_LogRegTrain);
 
+// Reporter that mirrors the console output while capturing every run for
+// the stable-schema JSON file (BENCH_micro_perf.json) the CI trajectory
+// tracking consumes.
+class JsonCapturingReporter : public benchmark::ConsoleReporter {
+ public:
+  struct Row {
+    std::string name;
+    double s_per_iter = 0.0;
+    double items_per_s = 0.0;
+  };
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const auto& run : reports) {
+      if (run.error_occurred) continue;
+      Row row;
+      row.name = run.benchmark_name();
+      row.s_per_iter = run.iterations > 0
+                           ? run.real_accumulated_time /
+                                 static_cast<double>(run.iterations)
+                           : 0.0;
+      const auto it = run.counters.find("items_per_second");
+      if (it != run.counters.end()) row.items_per_s = it->second.value;
+      rows.push_back(std::move(row));
+    }
+  }
+
+  std::vector<Row> rows;
+};
+
+void write_json(const char* path, bool smoke,
+                const std::vector<JsonCapturingReporter::Row>& rows) {
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path);
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"schema_version\": 1,\n");
+  std::fprintf(f, "  \"bench\": \"micro_perf\",\n");
+  std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
+  std::fprintf(f, "  \"benchmarks\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"s_per_iter\": %.9e, "
+                 "\"items_per_second\": %.1f}%s\n",
+                 rows[i].name.c_str(), rows[i].s_per_iter,
+                 rows[i].items_per_s, i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path);
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // `--smoke` (ctest 'bench' label) shrinks every benchmark's measurement
+  // window; all other flags pass through to google-benchmark.
+  bool smoke = false;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  static char min_time[] = "--benchmark_min_time=0.02";
+  if (smoke) args.push_back(min_time);
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  JsonCapturingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  write_json("BENCH_micro_perf.json", smoke, reporter.rows);
+  return 0;
+}

@@ -11,6 +11,22 @@ bool same_env(const variation::Environment& a, const variation::Environment& b) 
   return a.vdd_scale == b.vdd_scale && a.temperature_c == b.temperature_c;
 }
 
+std::vector<netlist::GateId> raced_gates(const netlist::AluPufCircuit& circuit) {
+  std::vector<netlist::GateId> observed;
+  observed.reserve(circuit.race0.size() + circuit.race1.size());
+  observed.insert(observed.end(), circuit.race0.begin(), circuit.race0.end());
+  observed.insert(observed.end(), circuit.race1.begin(), circuit.race1.end());
+  return observed;
+}
+
+/// The eval_batch per-lane generator derivation (see alu_puf.hpp).
+constexpr std::uint64_t kLaneGolden = 0x9E3779B97F4A7C15ULL;
+
+support::Xoshiro256pp lane_rng(std::uint64_t batch_seed, std::size_t lane) {
+  return support::Xoshiro256pp(
+      support::SplitMix64::mix(batch_seed + kLaneGolden * (lane + 1)));
+}
+
 }  // namespace
 
 AluPuf::AluPuf(const AluPufConfig& config, std::uint64_t chip_seed)
@@ -18,15 +34,13 @@ AluPuf::AluPuf(const AluPufConfig& config, std::uint64_t chip_seed)
       circuit_(netlist::build_alu_puf_circuit(config.width, config.layout)),
       chip_(circuit_.net, config.tech, config.quadtree, chip_seed),
       sim_(circuit_.net),
+      batch_sim_(circuit_.net, raced_gates(circuit_)),
       arbiter_(config.arbiter) {}
 
-std::vector<bool> AluPuf::to_input_vector(const Challenge& challenge) const {
+void AluPuf::check_challenge(const Challenge& challenge) const {
   if (challenge.size() != challenge_bits()) {
     throw std::invalid_argument("AluPuf: challenge must be 2*width bits");
   }
-  std::vector<bool> in(challenge.size());
-  for (std::size_t i = 0; i < challenge.size(); ++i) in[i] = challenge.get(i);
-  return in;
 }
 
 const timingsim::DelaySet& AluPuf::nominal_for(
@@ -43,10 +57,10 @@ RawResponse AluPuf::eval(const Challenge& challenge,
                          const variation::Environment& env,
                          support::Xoshiro256pp& rng,
                          const ClockConstraint* clock) const {
-  const auto in = to_input_vector(challenge);
+  check_challenge(challenge);
   const auto& nominal = nominal_for(env);
   chip_.sample_delays(nominal, config_.noise, rng, scratch_delays_);
-  sim_.run(in, scratch_delays_, scratch_states_);
+  sim_.run(challenge, scratch_delays_, scratch_states_);
 
   RawResponse response(config_.width);
   const double deadline =
@@ -68,10 +82,67 @@ RawResponse AluPuf::eval(const Challenge& challenge,
   return response;
 }
 
+std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
+                                            std::size_t count,
+                                            const variation::Environment& env,
+                                            support::Xoshiro256pp& rng,
+                                            const ClockConstraint* clock,
+                                            AluPufBatchScratch* scratch) const {
+  const std::uint64_t batch_seed = rng.next();
+  std::vector<RawResponse> responses;
+  responses.reserve(count);
+  if (count == 0) return responses;
+  for (std::size_t x = 0; x < count; ++x) check_challenge(challenges[x]);
+
+  AluPufBatchScratch& ws = scratch != nullptr ? *scratch : batch_scratch_;
+  const auto& nominal = nominal_for(env);
+  const std::size_t num_gates = circuit_.net.num_gates();
+
+  timingsim::pack_input_lanes(challenges, count, challenge_bits(), ws.inputs);
+
+  // Per-lane noisy delay realization, drawn from that lane's derived
+  // generator in the same order the scalar path draws it.
+  ws.delays.batch = count;
+  ws.delays.rise_ps.resize(num_gates * count);
+  ws.delays.fall_ps.resize(num_gates * count);
+  ws.lane_rngs.resize(count, support::Xoshiro256pp(0));
+  for (std::size_t x = 0; x < count; ++x) {
+    // Each lane draws from its derived generator exactly what the scalar
+    // path draws: delays first, then (below) the arbiter decisions.
+    ws.lane_rngs[x] = lane_rng(batch_seed, x);
+    chip_.sample_delays(nominal, config_.noise, ws.lane_rngs[x],
+                        ws.lane_delays);
+    for (std::size_t g = 0; g < num_gates; ++g) {
+      ws.delays.rise_ps[g * count + x] = ws.lane_delays.rise_ps[g];
+      ws.delays.fall_ps[g * count + x] = ws.lane_delays.fall_ps[g];
+    }
+  }
+
+  batch_sim_.run_batch(ws.inputs.data(), count, ws.delays, ws.state);
+
+  const double deadline =
+      clock != nullptr ? clock->cycle_ps - clock->setup_ps : 0.0;
+  for (std::size_t x = 0; x < count; ++x) {
+    support::Xoshiro256pp& lrng = ws.lane_rngs[x];
+    RawResponse response(config_.width);
+    for (std::size_t i = 0; i < config_.width; ++i) {
+      const double t0 = ws.state.time_ps(circuit_.race0[i], x);
+      const double t1 = ws.state.time_ps(circuit_.race1[i], x);
+      if (clock != nullptr && std::min(t0, t1) > deadline) {
+        response.set(i, lrng.bernoulli(0.5));
+        continue;
+      }
+      response.set(i, arbiter_.sample(t1 - t0, lrng));
+    }
+    responses.push_back(std::move(response));
+  }
+  return responses;
+}
+
 std::vector<double> AluPuf::race_deltas(const Challenge& challenge,
                                         const variation::Environment& env) const {
-  const auto in = to_input_vector(challenge);
-  sim_.run(in, nominal_for(env), scratch_states_);
+  check_challenge(challenge);
+  sim_.run(challenge, nominal_for(env), scratch_states_);
   std::vector<double> deltas(config_.width);
   for (std::size_t i = 0; i < config_.width; ++i) {
     deltas[i] = scratch_states_[circuit_.race1[i]].time_ps -
@@ -85,8 +156,7 @@ double AluPuf::max_settle_ps(const variation::Environment& env) const {
   Challenge challenge(challenge_bits());
   for (std::size_t i = 0; i < config_.width; ++i) challenge.set(i, true);
   challenge.set(config_.width, true);
-  const auto in = to_input_vector(challenge);
-  sim_.run(in, nominal_for(env), scratch_states_);
+  sim_.run(challenge, nominal_for(env), scratch_states_);
   double worst = 0.0;
   for (std::size_t i = 0; i < config_.width; ++i) {
     worst = std::max({worst, scratch_states_[circuit_.race0[i]].time_ps,
@@ -120,7 +190,8 @@ AluPufEmulator::AluPufEmulator(std::size_t width, variation::DelayTable model,
     : width_(width),
       circuit_(netlist::build_alu_puf_circuit(width, layout)),
       model_(std::move(model)),
-      sim_(circuit_.net) {
+      sim_(circuit_.net),
+      batch_sim_(circuit_.net, raced_gates(circuit_)) {
   if (model_.intrinsic_ps.size() != circuit_.net.num_gates()) {
     throw std::invalid_argument(
         "AluPufEmulator: delay table does not match the PUF circuit "
@@ -128,20 +199,71 @@ AluPufEmulator::AluPufEmulator(std::size_t width, variation::DelayTable model,
   }
 }
 
-void AluPufEmulator::run_challenge(const Challenge& challenge,
-                                   const variation::Environment& env) const {
-  if (challenge.size() != 2 * width_) {
-    throw std::invalid_argument("AluPufEmulator: challenge must be 2*width bits");
-  }
+const timingsim::DelaySet& AluPufEmulator::delays_for(
+    const variation::Environment& env) const {
   if (!has_cache_ || cached_env_.vdd_scale != env.vdd_scale ||
       cached_env_.temperature_c != env.temperature_c) {
     cached_delays_ = variation::delays_from_table(model_, env);
     cached_env_ = env;
     has_cache_ = true;
   }
-  std::vector<bool> in(challenge.size());
-  for (std::size_t i = 0; i < challenge.size(); ++i) in[i] = challenge.get(i);
-  sim_.run(in, cached_delays_, scratch_states_);
+  return cached_delays_;
+}
+
+void AluPufEmulator::run_challenge(const Challenge& challenge,
+                                   const variation::Environment& env) const {
+  if (challenge.size() != 2 * width_) {
+    throw std::invalid_argument("AluPufEmulator: challenge must be 2*width bits");
+  }
+  sim_.run(challenge, delays_for(env), scratch_states_);
+}
+
+void AluPufEmulator::run_batch(const Challenge* challenges, std::size_t count,
+                               const variation::Environment& env) const {
+  for (std::size_t x = 0; x < count; ++x) {
+    if (challenges[x].size() != 2 * width_) {
+      throw std::invalid_argument(
+          "AluPufEmulator: challenge must be 2*width bits");
+    }
+  }
+  const auto& delays = delays_for(env);
+  timingsim::pack_input_lanes(challenges, count, 2 * width_, batch_inputs_);
+  batch_sim_.run_batch(batch_inputs_.data(), count, delays, batch_state_);
+}
+
+std::vector<RawResponse> AluPufEmulator::eval_batch(
+    const Challenge* challenges, std::size_t count,
+    const variation::Environment& env) const {
+  std::vector<RawResponse> responses;
+  responses.reserve(count);
+  if (count == 0) return responses;
+  run_batch(challenges, count, env);
+  for (std::size_t x = 0; x < count; ++x) {
+    RawResponse response(width_);
+    for (std::size_t i = 0; i < width_; ++i) {
+      const double delta = batch_state_.time_ps(circuit_.race1[i], x) -
+                           batch_state_.time_ps(circuit_.race0[i], x);
+      response.set(i, timingsim::Arbiter::decide(delta));
+    }
+    responses.push_back(std::move(response));
+  }
+  return responses;
+}
+
+void AluPufEmulator::eval_soft_batch(const Challenge* challenges,
+                                     std::size_t count,
+                                     std::vector<double>& out,
+                                     const variation::Environment& env) const {
+  out.resize(count * width_);
+  if (count == 0) return;
+  run_batch(challenges, count, env);
+  for (std::size_t x = 0; x < count; ++x) {
+    for (std::size_t i = 0; i < width_; ++i) {
+      const double delta = batch_state_.time_ps(circuit_.race1[i], x) -
+                           batch_state_.time_ps(circuit_.race0[i], x);
+      out[x * width_ + i] = -delta;
+    }
+  }
 }
 
 RawResponse AluPufEmulator::eval(const Challenge& challenge,

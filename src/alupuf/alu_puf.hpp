@@ -50,6 +50,17 @@ struct ClockConstraint {
   double setup_ps = 20.0;  ///< register setup time
 };
 
+/// Reusable per-worker scratch for AluPuf::eval_batch.  Threaded drivers
+/// allocate one per worker slot; single-threaded callers may pass nullptr
+/// (the PUF then uses an internal scratch, which is NOT thread-safe).
+struct AluPufBatchScratch {
+  timingsim::BatchState state;
+  timingsim::BatchDelays delays;
+  std::vector<std::uint8_t> inputs;
+  timingsim::DelaySet lane_delays;  ///< one lane's noisy draw
+  std::vector<support::Xoshiro256pp> lane_rngs;
+};
+
 class AluPuf {
  public:
   /// Builds the dual-ALU circuit and manufactures one chip from
@@ -66,6 +77,31 @@ class AluPuf {
                    const variation::Environment& env,
                    support::Xoshiro256pp& rng,
                    const ClockConstraint* clock = nullptr) const;
+
+  /// Batched physical evaluation over the SoA engine, restricted to the
+  /// arbiter cones.  Statistically equivalent to `count` scalar `eval`
+  /// calls, with a documented RNG contract instead of stream-for-stream
+  /// equality: the batch consumes exactly one `rng.next()` (its
+  /// batch_seed), and lane x then evaluates with a derived generator
+  ///   Xoshiro256pp(SplitMix64::mix(batch_seed + kGolden * (x + 1)))
+  /// (kGolden = 0x9E3779B97F4A7C15).  Lane x is therefore bit-identical
+  /// to a scalar `eval` run with that derived generator — the white-box
+  /// parity the tests check — and one batch is fully reproducible from
+  /// (caller rng state, challenges).  Note lane seeds depend on the lane
+  /// index, so splitting a workload into batches differently yields a
+  /// different (equally distributed) noise realization; deterministic
+  /// drivers must keep batch boundaries fixed (see support/parallel.hpp).
+  std::vector<RawResponse> eval_batch(const Challenge* challenges,
+                                      std::size_t count,
+                                      const variation::Environment& env,
+                                      support::Xoshiro256pp& rng,
+                                      const ClockConstraint* clock = nullptr,
+                                      AluPufBatchScratch* scratch = nullptr) const;
+
+  /// Warms the per-env nominal-delay cache so that subsequent const
+  /// evaluations at `env` are read-only (required before sharing *this
+  /// across threads — the cache itself is not synchronized).
+  void prewarm(const variation::Environment& env) const { nominal_for(env); }
 
   /// Arrival-time difference (t_alu1 - t_alu0) per response bit, noise
   /// free, at `env`.  Exposed for analysis and calibration.
@@ -99,7 +135,8 @@ class AluPuf {
   AluPufConfig config_;
   netlist::AluPufCircuit circuit_;
   variation::ChipInstance chip_;
-  timingsim::TimingSimulator sim_;
+  timingsim::TimingSimulator sim_;        ///< full netlist (analysis paths)
+  timingsim::TimingSimulator batch_sim_;  ///< arbiter-cone restricted
   timingsim::Arbiter arbiter_;
   // Per-env delay cache: most experiments evaluate millions of challenges
   // at a fixed operating point.
@@ -108,9 +145,10 @@ class AluPuf {
   mutable timingsim::DelaySet cached_nominal_;
   mutable timingsim::DelaySet scratch_delays_;
   mutable std::vector<timingsim::SignalState> scratch_states_;
+  mutable AluPufBatchScratch batch_scratch_;  ///< used when caller passes none
 
   const timingsim::DelaySet& nominal_for(const variation::Environment& env) const;
-  std::vector<bool> to_input_vector(const Challenge& challenge) const;
+  void check_challenge(const Challenge& challenge) const;
 };
 
 /// Verifier-side deterministic emulation from the enrollment model H.
@@ -136,18 +174,45 @@ class AluPufEmulator {
                                 const variation::Environment& env =
                                     variation::Environment::nominal()) const;
 
+  /// Batched deterministic emulation: bit-identical to `count` `eval`
+  /// calls (the emulator is noise-free, so there is no RNG contract to
+  /// negotiate — the batch engine computes the same doubles).
+  std::vector<RawResponse> eval_batch(const Challenge* challenges,
+                                      std::size_t count,
+                                      const variation::Environment& env =
+                                          variation::Environment::nominal()) const;
+
+  /// Batched soft responses: `out` is resized to count*width, challenge x's
+  /// LLRs at `out[x*width .. (x+1)*width)`.  Bit-identical to eval_soft.
+  void eval_soft_batch(const Challenge* challenges, std::size_t count,
+                       std::vector<double>& out,
+                       const variation::Environment& env =
+                           variation::Environment::nominal()) const;
+
+  /// Warms the per-env delay cache (see AluPuf::prewarm).
+  void prewarm(const variation::Environment& env =
+                   variation::Environment::nominal()) const {
+    delays_for(env);
+  }
+
  private:
   void run_challenge(const Challenge& challenge,
                      const variation::Environment& env) const;
+  const timingsim::DelaySet& delays_for(const variation::Environment& env) const;
+  void run_batch(const Challenge* challenges, std::size_t count,
+                 const variation::Environment& env) const;
 
   std::size_t width_;
   netlist::AluPufCircuit circuit_;
   variation::DelayTable model_;
-  timingsim::TimingSimulator sim_;
+  timingsim::TimingSimulator sim_;        ///< full netlist (scalar paths)
+  timingsim::TimingSimulator batch_sim_;  ///< arbiter-cone restricted
   mutable variation::Environment cached_env_;
   mutable bool has_cache_ = false;
   mutable timingsim::DelaySet cached_delays_;
   mutable std::vector<timingsim::SignalState> scratch_states_;
+  mutable timingsim::BatchState batch_state_;
+  mutable std::vector<std::uint8_t> batch_inputs_;
 };
 
 }  // namespace pufatt::alupuf

@@ -65,6 +65,36 @@ PufOutput PufDevice::query_raw(
   return out;
 }
 
+std::vector<PufOutput> PufDevice::query_batch(
+    const std::uint64_t* challenges, std::size_t count,
+    const variation::Environment& env, support::Xoshiro256pp& rng,
+    const ClockConstraint* clock, AluPufBatchScratch* scratch) const {
+  constexpr std::size_t kPer = ObfuscationNetwork::kResponsesPerOutput;
+  std::vector<Challenge> raw;
+  raw.reserve(count * kPer);
+  for (std::size_t x = 0; x < count; ++x) {
+    auto expanded =
+        ChallengeExpander::expand(challenges[x], puf_.response_bits());
+    for (auto& c : expanded) raw.push_back(std::move(c));
+  }
+  const auto responses =
+      puf_.eval_batch(raw.data(), raw.size(), env, rng, clock, scratch);
+  std::vector<PufOutput> outputs;
+  outputs.reserve(count);
+  for (std::size_t x = 0; x < count; ++x) {
+    std::array<BitVector, kPer> group;
+    PufOutput out;
+    out.helpers.reserve(kPer);
+    for (std::size_t r = 0; r < kPer; ++r) {
+      group[r] = responses[x * kPer + r];
+      out.helpers.push_back(helper_.generate(group[r]));
+    }
+    out.z = obfuscation_.obfuscate(group);
+    outputs.push_back(std::move(out));
+  }
+  return outputs;
+}
+
 PufEmulator::PufEmulator(std::size_t width, variation::DelayTable model,
                          const ecc::BinaryCode& code,
                          netlist::AluPufLayout layout)
@@ -98,10 +128,18 @@ std::optional<BitVector> PufEmulator::emulate_raw(
   std::array<BitVector, ObfuscationNetwork::kResponsesPerOutput> responses;
   std::size_t call_distance = 0;
   double weighted_distance = 0.0;
+  // All 8 soft emulations in one batched pass over the timing engine —
+  // bit-identical to per-challenge eval_soft (the emulator is noise-free),
+  // and the dominant cost of a verifier job.
+  const std::size_t width = emulator_.response_bits();
+  std::vector<double> soft;
+  emulator_.eval_soft_batch(challenges.data(), challenges.size(), soft, env);
+  std::vector<double> reference_llr(width);
   for (std::size_t r = 0; r < responses.size(); ++r) {
     // Soft-decision reconstruction: the emulation's race margins tell the
     // decoder which bits the physical arbiters resolve unreliably.
-    const auto reference_llr = emulator_.eval_soft(challenges[r], env);
+    std::copy(soft.begin() + r * width, soft.begin() + (r + 1) * width,
+              reference_llr.begin());
     const auto reconstructed =
         helper_.reproduce_soft(reference_llr, helpers[r]);
     if (!reconstructed) return std::nullopt;

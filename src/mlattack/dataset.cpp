@@ -1,8 +1,19 @@
 #include "mlattack/dataset.hpp"
 
+#include "support/parallel.hpp"
+
 namespace pufatt::mlattack {
 
 using support::BitVector;
+
+namespace {
+
+support::Xoshiro256pp shard_rng(std::uint64_t seed, std::size_t shard) {
+  return support::Xoshiro256pp(
+      support::SplitMix64::mix(seed ^ (0xA5A5A5A5A5A5A5A5ULL + shard)));
+}
+
+}  // namespace
 
 std::vector<double> arbiter_features(const BitVector& challenge) {
   return alupuf::ArbiterPuf::features(challenge);
@@ -83,6 +94,61 @@ std::vector<Example> collect_obfuscated(const alupuf::PufDevice& device,
     const auto result = device.query(x, env, rng);
     out.push_back(Example{word_features(x), result.z.get(bit)});
   }
+  return out;
+}
+
+std::vector<Example> collect_alu_raw_parallel(
+    const alupuf::AluPuf& puf, std::size_t bit, std::size_t count,
+    const ParallelCrpConfig& config) {
+  const auto env = variation::Environment::nominal();
+  puf.prewarm(env);  // const evaluation below must not mutate shared caches
+  std::vector<Example> out(count);
+  const std::size_t workers = std::max<std::size_t>(1, config.threads);
+  std::vector<alupuf::AluPufBatchScratch> scratch(workers);
+  support::parallel_blocks(
+      count, config.block, config.threads,
+      [&](std::size_t shard, std::size_t begin, std::size_t end,
+          std::size_t slot) {
+        auto rng = shard_rng(config.seed, shard);
+        std::vector<alupuf::Challenge> challenges;
+        challenges.reserve(end - begin);
+        for (std::size_t i = begin; i < end; ++i) {
+          challenges.push_back(
+              BitVector::random(puf.challenge_bits(), rng));
+        }
+        const auto responses = puf.eval_batch(
+            challenges.data(), challenges.size(), env, rng,
+            /*clock=*/nullptr, &scratch[slot]);
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = Example{alu_features(challenges[i - begin]),
+                           responses[i - begin].get(bit)};
+        }
+      });
+  return out;
+}
+
+std::vector<Example> collect_obfuscated_parallel(
+    const alupuf::PufDevice& device, std::size_t bit, std::size_t count,
+    const ParallelCrpConfig& config) {
+  const auto env = variation::Environment::nominal();
+  device.prewarm(env);
+  std::vector<Example> out(count);
+  const std::size_t workers = std::max<std::size_t>(1, config.threads);
+  std::vector<alupuf::AluPufBatchScratch> scratch(workers);
+  support::parallel_blocks(
+      count, config.block, config.threads,
+      [&](std::size_t shard, std::size_t begin, std::size_t end,
+          std::size_t slot) {
+        auto rng = shard_rng(config.seed, shard);
+        std::vector<std::uint64_t> xs(end - begin);
+        for (auto& x : xs) x = rng.next();
+        const auto results = device.query_batch(
+            xs.data(), xs.size(), env, rng, /*clock=*/nullptr, &scratch[slot]);
+        for (std::size_t i = begin; i < end; ++i) {
+          out[i] = Example{word_features(xs[i - begin]),
+                           results[i - begin].z.get(bit)};
+        }
+      });
   return out;
 }
 

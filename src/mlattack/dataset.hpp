@@ -53,4 +53,28 @@ std::vector<Example> collect_obfuscated(const alupuf::PufDevice& device,
                                         std::size_t bit, std::size_t count,
                                         support::Xoshiro256pp& rng);
 
+/// Shard-parallel CRP collection.  Work is cut into fixed `block`-sized
+/// shards; shard k derives its own generator from (seed, k) and writes its
+/// examples into the preallocated output slice [k*block, ...), so the
+/// dataset is identical at every thread count (and differs from the
+/// sequential collect_* functions only in RNG schedule, not distribution).
+struct ParallelCrpConfig {
+  std::size_t threads = 1;
+  std::size_t block = 256;     ///< challenges per shard (determinism unit)
+  std::uint64_t seed = 1;      ///< dataset seed (shard rngs derive from it)
+};
+
+/// Parallel variant of collect_alu_raw over AluPuf::eval_batch (one batch
+/// per shard).  Call order inside a shard follows the eval_batch RNG
+/// contract with the shard generator.
+std::vector<Example> collect_alu_raw_parallel(const alupuf::AluPuf& puf,
+                                              std::size_t bit,
+                                              std::size_t count,
+                                              const ParallelCrpConfig& config);
+
+/// Parallel variant of collect_obfuscated over PufDevice::query_batch.
+std::vector<Example> collect_obfuscated_parallel(
+    const alupuf::PufDevice& device, std::size_t bit, std::size_t count,
+    const ParallelCrpConfig& config);
+
 }  // namespace pufatt::mlattack

@@ -87,18 +87,43 @@ const std::string& Netlist::input_name(std::size_t i) const {
   return input_names_.at(i);
 }
 
+void Netlist::reorder_inputs(const std::vector<std::size_t>& perm) {
+  const std::size_t n = inputs_.size();
+  if (perm.size() != n) {
+    throw std::invalid_argument("reorder_inputs: wrong permutation size");
+  }
+  std::vector<bool> seen(n, false);
+  for (const std::size_t p : perm) {
+    if (p >= n || seen[p]) {
+      throw std::invalid_argument("reorder_inputs: not a permutation");
+    }
+    seen[p] = true;
+  }
+  std::vector<GateId> inputs(n);
+  std::vector<std::string> names(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    inputs[k] = inputs_[perm[k]];
+    names[k] = std::move(input_names_[perm[k]]);
+  }
+  inputs_ = std::move(inputs);
+  input_names_ = std::move(names);
+}
+
 std::vector<bool> Netlist::evaluate(
     const std::vector<bool>& input_values) const {
   if (input_values.size() != inputs_.size()) {
     throw std::invalid_argument("evaluate: wrong number of input values");
   }
   std::vector<bool> value(gates_.size(), false);
-  std::size_t next_input = 0;
+  // Bind by pin position, not encounter order — the two differ after
+  // reorder_inputs.
+  for (std::size_t k = 0; k < inputs_.size(); ++k) {
+    value[inputs_[k]] = input_values[k];
+  }
   for (std::size_t id = 0; id < gates_.size(); ++id) {
     const Gate& g = gates_[id];
     switch (g.kind) {
       case GateKind::kInput:
-        value[id] = input_values[next_input++];
         break;
       case GateKind::kConst0:
         value[id] = false;

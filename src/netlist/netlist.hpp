@@ -80,6 +80,14 @@ class Netlist {
   /// Registers a primary output.
   void add_output(const std::string& name, GateId gate);
 
+  /// Rebinds the primary-input pin order: after the call, input position k
+  /// is the gate that previously held position perm[k] (names move with
+  /// their gates).  Throws std::invalid_argument unless `perm` is a
+  /// permutation of [0, num_inputs).  Evaluation (`evaluate`) honors the
+  /// new order; the timing engines reject permuted netlists instead (see
+  /// timingsim::TimingSimulator).
+  void reorder_inputs(const std::vector<std::size_t>& perm);
+
   std::size_t num_gates() const { return gates_.size(); }
   std::size_t num_inputs() const { return inputs_.size(); }
   const Gate& gate(GateId id) const { return gates_.at(id); }

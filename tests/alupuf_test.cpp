@@ -503,5 +503,97 @@ TEST(FeedForwardArbiterPuf, NoisierThanPlainArbiter) {
   EXPECT_GE(ff_diff, plain_diff);
 }
 
+// ------------------------------------------------------------ batch paths
+
+TEST(AluPufBatch, DeviceLanesMatchScalarWithDerivedRng) {
+  // White-box check of the eval_batch RNG contract (see alu_puf.hpp):
+  // the batch consumes one rng.next() as batch_seed, and lane x equals a
+  // scalar eval driven by the documented derived generator.
+  const AluPuf puf(small_config(), 11);
+  const auto env = Environment::nominal();
+  Xoshiro256pp rng(1234);
+  Xoshiro256pp probe = rng;
+  std::vector<Challenge> challenges;
+  {
+    Xoshiro256pp crng(77);
+    for (int i = 0; i < 13; ++i) {
+      challenges.push_back(random_challenge(16, crng));
+    }
+  }
+  const auto batch =
+      puf.eval_batch(challenges.data(), challenges.size(), env, rng);
+  ASSERT_EQ(batch.size(), challenges.size());
+  const std::uint64_t batch_seed = probe.next();
+  for (std::size_t x = 0; x < challenges.size(); ++x) {
+    Xoshiro256pp lane(support::SplitMix64::mix(
+        batch_seed + 0x9E3779B97F4A7C15ULL * (x + 1)));
+    const auto scalar = puf.eval(challenges[x], env, lane);
+    EXPECT_EQ(batch[x], scalar) << "lane " << x;
+  }
+}
+
+TEST(AluPufBatch, ClockConstraintLanesMatchScalar) {
+  const AluPuf puf(small_config(), 3);
+  const auto env = Environment::nominal();
+  // Deadline near half the settle time: some bits violate setup and take
+  // the bernoulli path, which must also stay stream-identical.
+  const ClockConstraint clock{puf.max_settle_ps(env) * 0.5 + 20.0, 20.0};
+  Xoshiro256pp rng(99);
+  Xoshiro256pp probe = rng;
+  std::vector<Challenge> challenges;
+  {
+    Xoshiro256pp crng(5);
+    for (int i = 0; i < 9; ++i) challenges.push_back(random_challenge(16, crng));
+  }
+  const auto batch = puf.eval_batch(challenges.data(), challenges.size(), env,
+                                    rng, &clock);
+  const std::uint64_t batch_seed = probe.next();
+  for (std::size_t x = 0; x < challenges.size(); ++x) {
+    Xoshiro256pp lane(support::SplitMix64::mix(
+        batch_seed + 0x9E3779B97F4A7C15ULL * (x + 1)));
+    EXPECT_EQ(batch[x], puf.eval(challenges[x], env, lane, &clock));
+  }
+}
+
+TEST(AluPufBatch, EmulatorBatchBitIdenticalToScalar) {
+  const AluPuf puf(small_config(), 21);
+  const AluPufEmulator emulator(16, puf.export_model());
+  std::vector<Challenge> challenges;
+  Xoshiro256pp rng(31);
+  for (int i = 0; i < 25; ++i) challenges.push_back(random_challenge(16, rng));
+  const auto batch = emulator.eval_batch(challenges.data(), challenges.size());
+  std::vector<double> soft;
+  emulator.eval_soft_batch(challenges.data(), challenges.size(), soft);
+  for (std::size_t x = 0; x < challenges.size(); ++x) {
+    EXPECT_EQ(batch[x], emulator.eval(challenges[x]));
+    const auto scalar_soft = emulator.eval_soft(challenges[x]);
+    for (std::size_t i = 0; i < scalar_soft.size(); ++i) {
+      EXPECT_EQ(soft[x * 16 + i], scalar_soft[i]);
+    }
+  }
+}
+
+TEST(AluPufBatch, DeviceQueryBatchMatchesObfuscationShape) {
+  const ecc::ReedMuller1 code(5);
+  const AluPufConfig config;  // width 32 to match RM(1,5)
+  const PufDevice device(config, 8, code);
+  const auto env = Environment::nominal();
+  Xoshiro256pp rng(17);
+  const std::uint64_t xs[] = {1, 2, 3};
+  const auto outs = device.query_batch(xs, 3, env, rng);
+  ASSERT_EQ(outs.size(), 3u);
+  for (const auto& out : outs) {
+    EXPECT_EQ(out.z.size(), device.output_bits());
+    EXPECT_EQ(out.helpers.size(), ObfuscationNetwork::kResponsesPerOutput);
+  }
+  // The verifier reconstructs every batched output.
+  PufEmulator verifier(32, device.export_model(), code);
+  for (std::size_t i = 0; i < 3; ++i) {
+    const auto z = verifier.emulate(xs[i], outs[i].helpers, env);
+    ASSERT_TRUE(z.has_value());
+    EXPECT_EQ(*z, outs[i].z);
+  }
+}
+
 }  // namespace
 }  // namespace pufatt::alupuf

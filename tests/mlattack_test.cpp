@@ -154,5 +154,61 @@ TEST(Attack, ObfuscatedOutputResists) {
   EXPECT_GT(result.test_accuracy, 0.42);
 }
 
+// ----------------------------------------------- parallel CRP collection
+
+bool same_examples(const std::vector<Example>& a,
+                   const std::vector<Example>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].label != b[i].label || a[i].features != b[i].features) {
+      return false;
+    }
+  }
+  return true;
+}
+
+TEST(ParallelCrp, AluRawInvariantAcrossThreadCounts) {
+  // The determinism contract: fixed block boundaries + per-shard seeds =>
+  // the dataset is a pure function of (seed, count, block), not threads.
+  const alupuf::AluPuf puf(
+      [] {
+        alupuf::AluPufConfig c;
+        c.width = 16;
+        return c;
+      }(),
+      7);
+  ParallelCrpConfig config;
+  config.block = 64;
+  config.seed = 5;
+  config.threads = 1;
+  const auto one = collect_alu_raw_parallel(puf, 3, 500, config);
+  config.threads = 2;
+  const auto two = collect_alu_raw_parallel(puf, 3, 500, config);
+  config.threads = 8;
+  const auto eight = collect_alu_raw_parallel(puf, 3, 500, config);
+  ASSERT_EQ(one.size(), 500u);
+  EXPECT_TRUE(same_examples(one, two));
+  EXPECT_TRUE(same_examples(one, eight));
+  // Sanity: labels are not degenerate.
+  std::size_t ones = 0;
+  for (const auto& e : one) ones += e.label ? 1 : 0;
+  EXPECT_GT(ones, 50u);
+  EXPECT_LT(ones, 450u);
+}
+
+TEST(ParallelCrp, ObfuscatedInvariantAcrossThreadCounts) {
+  const ecc::ReedMuller1 code(5);
+  const alupuf::PufDevice device(alupuf::AluPufConfig{}, 9, code);
+  ParallelCrpConfig config;
+  config.block = 32;
+  config.seed = 12;
+  config.threads = 1;
+  const auto one = collect_obfuscated_parallel(device, 5, 128, config);
+  config.threads = 8;
+  const auto eight = collect_obfuscated_parallel(device, 5, 128, config);
+  ASSERT_EQ(one.size(), 128u);
+  EXPECT_TRUE(same_examples(one, eight));
+}
+
 }  // namespace
 }  // namespace pufatt::mlattack

@@ -431,5 +431,35 @@ TEST(Techmap, EstimateComponentCarriesSequentialResources) {
   EXPECT_EQ(est.fifo, 1u);
 }
 
+TEST(Netlist, ReorderInputsRebindsPinOrder) {
+  // y = a AND (NOT b): distinguishes the operands, so a swapped pin order
+  // must change evaluate()'s view of the same value vector.
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId nb = net.add_gate(GateKind::kNot, {b});
+  const GateId y = net.add_gate(GateKind::kAnd, {a, nb});
+  net.add_output("y", y);
+  EXPECT_TRUE(net.evaluate({true, false})[y]);
+  EXPECT_FALSE(net.evaluate({false, true})[y]);
+
+  net.reorder_inputs({1, 0});
+  EXPECT_EQ(net.inputs()[0], b);
+  EXPECT_EQ(net.inputs()[1], a);
+  EXPECT_EQ(net.input_name(0), "b");
+  // Same value vector, swapped meaning: position 0 now feeds b.
+  EXPECT_FALSE(net.evaluate({true, false})[y]);
+  EXPECT_TRUE(net.evaluate({false, true})[y]);
+}
+
+TEST(Netlist, ReorderInputsRejectsNonPermutations) {
+  Netlist net;
+  net.add_input("a");
+  net.add_input("b");
+  EXPECT_THROW(net.reorder_inputs({0}), std::invalid_argument);
+  EXPECT_THROW(net.reorder_inputs({0, 0}), std::invalid_argument);
+  EXPECT_THROW(net.reorder_inputs({0, 2}), std::invalid_argument);
+}
+
 }  // namespace
 }  // namespace pufatt::netlist

@@ -142,6 +142,111 @@ TEST_P(RandomCircuit, UniformDelayScalingScalesTimes) {
   }
 }
 
+TEST_P(RandomCircuit, BatchEngineBitIdenticalToScalar) {
+  // The SoA batch kernel must produce exactly the scalar engine's doubles:
+  // same operations in the same order per lane, so == not NEAR.
+  Xoshiro256pp rng(5000 + GetParam());
+  const auto net = random_circuit(8, 70, rng);
+  timingsim::TimingSimulator sim(net);
+  timingsim::DelaySet delays;
+  delays.rise_ps.resize(net.num_gates());
+  delays.fall_ps.resize(net.num_gates());
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    delays.rise_ps[g] = rng.uniform(1.0, 30.0);
+    delays.fall_ps[g] = rng.uniform(1.0, 30.0);
+  }
+  const std::size_t batch = 1 + rng.uniform_u64(40);
+  std::vector<BitVector> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(BitVector::random(net.num_inputs(), rng));
+  }
+  std::vector<std::uint8_t> lanes;
+  timingsim::pack_input_lanes(challenges.data(), batch, net.num_inputs(),
+                              lanes);
+  timingsim::BatchState out;
+  sim.run_batch(lanes.data(), batch, delays, out);
+  std::vector<timingsim::SignalState> states;
+  for (std::size_t b = 0; b < batch; ++b) {
+    sim.run(challenges[b], delays, states);
+    for (std::size_t g = 0; g < net.num_gates(); ++g) {
+      ASSERT_EQ(out.value(static_cast<GateId>(g), b), states[g].value);
+      ASSERT_EQ(out.time_ps(static_cast<GateId>(g), b), states[g].time_ps);
+    }
+  }
+}
+
+TEST_P(RandomCircuit, PerLaneDelaysMatchScalarPerLane) {
+  // BatchDelays mode: every lane carries its own delay realization and
+  // must equal a scalar run with that realization.
+  Xoshiro256pp rng(6000 + GetParam());
+  const auto net = random_circuit(6, 50, rng);
+  timingsim::TimingSimulator sim(net);
+  const std::size_t batch = 1 + rng.uniform_u64(12);
+  std::vector<timingsim::DelaySet> per_lane(batch);
+  timingsim::BatchDelays batch_delays;
+  batch_delays.batch = batch;
+  batch_delays.rise_ps.resize(net.num_gates() * batch);
+  batch_delays.fall_ps.resize(net.num_gates() * batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    per_lane[b].rise_ps.resize(net.num_gates());
+    per_lane[b].fall_ps.resize(net.num_gates());
+    for (std::size_t g = 0; g < net.num_gates(); ++g) {
+      per_lane[b].rise_ps[g] = rng.uniform(1.0, 20.0);
+      per_lane[b].fall_ps[g] = rng.uniform(1.0, 20.0);
+      batch_delays.rise_ps[g * batch + b] = per_lane[b].rise_ps[g];
+      batch_delays.fall_ps[g * batch + b] = per_lane[b].fall_ps[g];
+    }
+  }
+  std::vector<BitVector> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(BitVector::random(net.num_inputs(), rng));
+  }
+  std::vector<std::uint8_t> lanes;
+  timingsim::pack_input_lanes(challenges.data(), batch, net.num_inputs(),
+                              lanes);
+  timingsim::BatchState out;
+  sim.run_batch(lanes.data(), batch, batch_delays, out);
+  std::vector<timingsim::SignalState> states;
+  for (std::size_t b = 0; b < batch; ++b) {
+    sim.run(challenges[b], per_lane[b], states);
+    for (std::size_t g = 0; g < net.num_gates(); ++g) {
+      ASSERT_EQ(out.value(static_cast<GateId>(g), b), states[g].value);
+      ASSERT_EQ(out.time_ps(static_cast<GateId>(g), b), states[g].time_ps);
+    }
+  }
+}
+
+TEST_P(RandomCircuit, ScalarInputOverloadsAgree) {
+  // BitVector, vector<bool> and raw uint8_t* inputs are the same engine.
+  Xoshiro256pp rng(7000 + GetParam());
+  const auto net = random_circuit(7, 40, rng);
+  timingsim::TimingSimulator sim(net);
+  timingsim::DelaySet delays;
+  delays.rise_ps.resize(net.num_gates());
+  delays.fall_ps.resize(net.num_gates());
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    delays.rise_ps[g] = rng.uniform(1.0, 9.0);
+    delays.fall_ps[g] = rng.uniform(1.0, 9.0);
+  }
+  const auto challenge = BitVector::random(net.num_inputs(), rng);
+  std::vector<bool> as_bools(net.num_inputs());
+  std::vector<std::uint8_t> as_bytes(net.num_inputs());
+  for (std::size_t i = 0; i < net.num_inputs(); ++i) {
+    as_bools[i] = challenge.get(i);
+    as_bytes[i] = challenge.get(i) ? 1 : 0;
+  }
+  std::vector<timingsim::SignalState> a, b, c;
+  sim.run(challenge, delays, a);
+  sim.run(as_bools, delays, b);
+  sim.run(as_bytes.data(), as_bytes.size(), delays, c);
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    ASSERT_EQ(a[g].value, b[g].value);
+    ASSERT_EQ(a[g].time_ps, b[g].time_ps);
+    ASSERT_EQ(a[g].value, c[g].value);
+    ASSERT_EQ(a[g].time_ps, c[g].time_ps);
+  }
+}
+
 TEST_P(RandomCircuit, TechmapNeverExceedsGateCount) {
   Xoshiro256pp rng(4000 + GetParam());
   const auto net = random_circuit(6, 80, rng);

@@ -159,7 +159,7 @@ TEST(TimingSim, InputArrivalTimesRespected) {
   TimingSimulator sim(net);
   std::vector<SignalState> states;
   const std::vector<double> arrival{3.0, 10.0};
-  sim.run({true, false}, unit_delays(net), states, &arrival);
+  sim.run(std::vector<bool>{true, false}, unit_delays(net), states, &arrival);
   EXPECT_DOUBLE_EQ(states[x].time_ps, 11.0);
 }
 
@@ -291,6 +291,81 @@ TEST(Integration, RaceDeltasAreChipSpecific) {
   }
   // Different chips should disagree on at least one race outcome.
   EXPECT_GT(sign_diff, 0);
+}
+
+// ------------------------------------------------- compiled representation
+
+TEST(CompiledNetlist, LevelizedScheduleIsTopological) {
+  const auto circuit = netlist::build_alu_puf_circuit(8);
+  const CompiledNetlist compiled(circuit.net);
+  EXPECT_EQ(compiled.num_active(), circuit.net.num_gates());
+  EXPECT_TRUE(compiled.inputs_in_netlist_order());
+  std::vector<bool> seen(circuit.net.num_gates(), false);
+  for (const GateId g : compiled.schedule()) {
+    const auto begin = compiled.fanin_begin(g);
+    for (std::uint32_t k = 0; k < compiled.fanin_count(g); ++k) {
+      EXPECT_TRUE(seen[compiled.fanins()[begin + k]])
+          << "fanin scheduled after its reader";
+      EXPECT_LT(compiled.level(compiled.fanins()[begin + k]),
+                compiled.level(g));
+    }
+    seen[g] = true;
+  }
+}
+
+TEST(CompiledNetlist, ObservedConeDropsUnreachableGates) {
+  // a --NOT--> x (observed);  b --NOT--> y (not observed)
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId x = net.add_gate(GateKind::kNot, {a});
+  const GateId y = net.add_gate(GateKind::kNot, {b});
+  const CompiledNetlist compiled(net, {x});
+  EXPECT_TRUE(compiled.active(a));
+  EXPECT_TRUE(compiled.active(x));
+  EXPECT_FALSE(compiled.active(b));
+  EXPECT_FALSE(compiled.active(y));
+  EXPECT_EQ(compiled.num_active(), 2u);
+
+  // The batch engine leaves non-cone lanes zeroed.
+  TimingSimulator sim(net, {x});
+  DelaySet delays;
+  delays.rise_ps.assign(net.num_gates(), 1.0);
+  delays.fall_ps.assign(net.num_gates(), 1.0);
+  const std::uint8_t lanes[] = {0, 1,   // input a
+                                1, 0};  // input b
+  BatchState out;
+  sim.run_batch(lanes, 2, delays, out);
+  EXPECT_TRUE(out.value(x, 0));
+  EXPECT_FALSE(out.value(x, 1));
+  EXPECT_FALSE(out.value(y, 0));
+  EXPECT_EQ(out.time_ps(y, 0), 0.0);
+  EXPECT_EQ(out.time_ps(y, 1), 0.0);
+}
+
+TEST(TimingSim, RejectsPermutedInputOrder) {
+  // After reorder_inputs the k-th input gate in id order is no longer
+  // input k; the engines' sequential input binding would silently
+  // mis-assign challenge bits, so construction must throw.
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  net.add_output("o", net.add_gate(GateKind::kAnd, {a, b}));
+  EXPECT_NO_THROW(TimingSimulator{net});
+  net.reorder_inputs({1, 0});
+  EXPECT_THROW(TimingSimulator{net}, std::invalid_argument);
+}
+
+TEST(TimingSim, BatchRejectsBadDelayShape) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  net.add_output("o", net.add_gate(GateKind::kNot, {a}));
+  TimingSimulator sim(net);
+  const std::uint8_t lanes[] = {0, 1};
+  BatchState out;
+  BatchDelays delays;  // wrong batch / sizes
+  delays.batch = 3;
+  EXPECT_THROW(sim.run_batch(lanes, 2, delays, out), std::invalid_argument);
 }
 
 }  // namespace

@@ -1,0 +1,19 @@
+# Thread-count determinism check for `pufatt-cli gen-crps`: the CSV must be
+# byte-identical whether the shards run on 1 worker or 3 (the shard RNGs and
+# block boundaries are thread-count independent by construction).  700 CRPs
+# = three blocks of 256 including an uneven tail.
+#
+# Invoked by ctest with -DCLI=<pufatt-cli> -DOUT1=... -DOUT2=....
+execute_process(COMMAND ${CLI} gen-crps 77 700 1 ${OUT1}
+                RESULT_VARIABLE r1)
+execute_process(COMMAND ${CLI} gen-crps 77 700 3 ${OUT2}
+                RESULT_VARIABLE r2)
+if(NOT r1 EQUAL 0 OR NOT r2 EQUAL 0)
+  message(FATAL_ERROR "gen-crps exited nonzero (1-thread: ${r1}, "
+                      "3-thread: ${r2})")
+endif()
+execute_process(COMMAND ${CMAKE_COMMAND} -E compare_files ${OUT1} ${OUT2}
+                RESULT_VARIABLE same)
+if(NOT same EQUAL 0)
+  message(FATAL_ERROR "gen-crps output differs between 1 and 3 threads")
+endif()

@@ -6,10 +6,13 @@
 //   pufatt-cli disasm <record.bin>                 list the attested program
 //   pufatt-cli serve-demo [workers] [sessions] [devices]
 //                                                  run the concurrent service
+//   pufatt-cli gen-crps <chip-seed> <count> <threads> <out.csv>
+//                                                  dump protocol CRPs (batched)
 //
 // The "device" is simulated (chip-seed = fab lottery), but the data flow is
 // the real deployment one: enrollment produces a record file, the verifier
 // later loads it and talks to the device.
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -20,6 +23,7 @@
 #include <thread>
 #include <vector>
 
+#include "alupuf/pipeline.hpp"
 #include "core/distributed.hpp"
 #include "core/protocol.hpp"
 #include "core/serialize.hpp"
@@ -28,6 +32,7 @@
 #include "service/device_registry.hpp"
 #include "service/emulator_cache.hpp"
 #include "service/verifier_pool.hpp"
+#include "support/parallel.hpp"
 
 using namespace pufatt;
 
@@ -44,7 +49,9 @@ int usage() {
                "       pufatt-cli inspect <record.bin>\n"
                "       pufatt-cli attest <chip-seed> <record.bin>\n"
                "       pufatt-cli disasm <record.bin>\n"
-               "       pufatt-cli serve-demo [workers] [sessions] [devices]\n");
+               "       pufatt-cli serve-demo [workers] [sessions] [devices]\n"
+               "       pufatt-cli gen-crps <chip-seed> <count> <threads> "
+               "<out.csv>\n");
   return 64;
 }
 
@@ -283,6 +290,65 @@ int cmd_serve_demo(std::uint64_t workers, std::uint64_t sessions,
   return ok ? 0 : 1;
 }
 
+// gen-crps: dump protocol-level CRPs (64-bit challenge -> obfuscated
+// response) over the batched device path — query_batch on fixed-size shards
+// pulled by a small worker pool.  Shard boundaries and shard RNGs depend
+// only on (chip-seed, shard index), never on the thread count, so the same
+// invocation produces byte-identical CSVs at any parallelism (there is a
+// ctest comparing 1 vs 3 threads).
+int cmd_gen_crps(std::uint64_t chip_seed, std::uint64_t count,
+                 std::uint64_t threads, const std::string& path) {
+  if (count == 0 || threads == 0) {
+    std::fprintf(stderr, "error: count and threads must be > 0\n");
+    return usage();
+  }
+  const auto profile = core::DeviceProfile::standard();
+  const alupuf::PufDevice device(profile.puf_config, chip_seed, code());
+  const auto env = variation::Environment::nominal();
+  device.prewarm(env);  // fill per-env caches before going multi-threaded
+
+  constexpr std::size_t kBlock = 256;  // determinism unit
+  const auto n = static_cast<std::size_t>(count);
+  std::vector<std::uint64_t> challenges(n);
+  std::vector<std::uint64_t> responses(n);
+  const std::size_t workers =
+      std::min<std::size_t>(threads, (n + kBlock - 1) / kBlock);
+  std::vector<alupuf::AluPufBatchScratch> scratch(workers);
+  support::parallel_blocks(
+      n, kBlock, workers,
+      [&](std::size_t shard, std::size_t begin, std::size_t end,
+          std::size_t slot) {
+        // Same shard-generator derivation as the mlattack dataset builders.
+        support::Xoshiro256pp rng(support::SplitMix64::mix(
+            chip_seed ^ (0xA5A5A5A5A5A5A5A5ULL + shard)));
+        for (std::size_t i = begin; i < end; ++i) challenges[i] = rng.next();
+        const auto outputs =
+            device.query_batch(challenges.data() + begin, end - begin, env,
+                               rng, nullptr, &scratch[slot]);
+        for (std::size_t i = begin; i < end; ++i) {
+          responses[i] = outputs[i - begin].z.to_u64();
+        }
+      });
+
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "challenge_hex,response_hex\n");
+  for (std::size_t i = 0; i < n; ++i) {
+    std::fprintf(out, "%016llx,%08llx\n",
+                 static_cast<unsigned long long>(challenges[i]),
+                 static_cast<unsigned long long>(responses[i]));
+  }
+  std::fclose(out);
+  std::printf("wrote %zu CRPs (chip %llu, %zu worker(s), block %zu) -> %s\n",
+              n, static_cast<unsigned long long>(chip_seed), workers, kBlock,
+              path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -319,6 +385,16 @@ int main(int argc, char** argv) {
         return bad_argument("device count", argv[4]);
       }
       return cmd_serve_demo(workers, sessions, devices);
+    }
+    if (cmd == "gen-crps") {
+      if (argc != 6) return usage();
+      std::uint64_t seed = 0, count = 0, threads = 0;
+      if (!parse_u64(argv[2], seed)) return bad_argument("chip-seed", argv[2]);
+      if (!parse_u64(argv[3], count)) return bad_argument("count", argv[3]);
+      if (!parse_u64(argv[4], threads)) {
+        return bad_argument("thread count", argv[4]);
+      }
+      return cmd_gen_crps(seed, count, threads, argv[5]);
     }
     if (cmd.empty()) return usage();
     std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
