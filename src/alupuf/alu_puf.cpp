@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace pufatt::alupuf {
 
 namespace {
@@ -94,6 +96,16 @@ std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
   if (count == 0) return responses;
   for (std::size_t x = 0; x < count; ++x) check_challenge(challenges[x]);
 
+  // Batch profiling under the global tracer: the delay-sampling loop and
+  // the arbiter sweep are the two scalar phases flanking the vectorized
+  // run_batch (which records its own span), so the three children of
+  // puf.eval_batch account for the whole evaluation.
+  obs::Span eval_span;
+  if (obs::global_trace_enabled()) {
+    eval_span = obs::global_tracer().span("puf.eval_batch");
+    eval_span.note("lanes", static_cast<double>(count));
+  }
+
   AluPufBatchScratch& ws = scratch != nullptr ? *scratch : batch_scratch_;
   const auto& nominal = nominal_for(env);
   const std::size_t num_gates = circuit_.net.num_gates();
@@ -106,6 +118,7 @@ std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
   ws.delays.rise_ps.resize(num_gates * count);
   ws.delays.fall_ps.resize(num_gates * count);
   ws.lane_rngs.resize(count, support::Xoshiro256pp(0));
+  obs::Span sample_span = eval_span.child("puf.sample_delays");
   for (std::size_t x = 0; x < count; ++x) {
     // Each lane draws from its derived generator exactly what the scalar
     // path draws: delays first, then (below) the arbiter decisions.
@@ -117,9 +130,11 @@ std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
       ws.delays.fall_ps[g * count + x] = ws.lane_delays.fall_ps[g];
     }
   }
+  sample_span.end();
 
   batch_sim_.run_batch(ws.inputs.data(), count, ws.delays, ws.state);
 
+  obs::Span arbiter_span = eval_span.child("puf.arbiter");
   const double deadline =
       clock != nullptr ? clock->cycle_ps - clock->setup_ps : 0.0;
   for (std::size_t x = 0; x < count; ++x) {
@@ -136,6 +151,7 @@ std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
     }
     responses.push_back(std::move(response));
   }
+  arbiter_span.end();
   return responses;
 }
 

@@ -40,10 +40,40 @@ AttestationSession::AttestationSession(const Verifier& verifier,
 }
 
 SessionOutcome AttestationSession::run(const Responder& responder,
-                                       support::Xoshiro256pp& rng) {
+                                       support::Xoshiro256pp& rng,
+                                       const obs::TraceScope& trace) {
+  obs::Span run_span = trace.span("session.run");
+  SessionOutcome out = run_impl(responder, rng, run_span);
+  if (run_span.active()) {
+    run_span.note("attempts", static_cast<double>(out.attempts.size()));
+    run_span.note("total_us", out.total_us);
+    run_span.note("status", static_cast<double>(out.status));
+  }
+  return out;
+}
+
+SessionOutcome AttestationSession::run_impl(const Responder& responder,
+                                            support::Xoshiro256pp& rng,
+                                            obs::Span& run_span) {
   SessionOutcome out;
   for (std::size_t attempt = 0; attempt < policy_.max_attempts; ++attempt) {
+    obs::Span attempt_span = run_span.child("session.attempt");
     AttemptRecord rec;
+    // Everything the δ argument and the fault model produced for this
+    // attempt, flushed onto the span at every exit below.
+    std::uint64_t flips = 0;
+    double deadline_us = -1.0;
+    const auto note_attempt = [&] {
+      if (!attempt_span.active()) return;
+      attempt_span.note("backoff_us", rec.backoff_us);
+      attempt_span.note("elapsed_us", rec.elapsed_us);
+      attempt_span.note("flips", static_cast<double>(flips));
+      attempt_span.note("delivered", rec.response_delivered ? 1.0 : 0.0);
+      if (deadline_us >= 0.0) attempt_span.note("deadline_us", deadline_us);
+      if (rec.verify) {
+        attempt_span.note("verify", static_cast<double>(*rec.verify));
+      }
+    };
     if (attempt > 0) {
       const double nominal =
           policy_.backoff_base_us *
@@ -61,6 +91,7 @@ SessionOutcome AttestationSession::run(const Responder& responder,
     const auto request_delivery =
         channel_->transmit(request_frame, sizeof(request.nonce));
     bool request_ok = request_delivery.delivered;
+    flips += request_delivery.bits_flipped;
     if (request_ok) {
       // A corrupted request fails the prover's CRC and is discarded there:
       // from the verifier's side it is indistinguishable from a loss.
@@ -76,6 +107,7 @@ SessionOutcome AttestationSession::run(const Responder& responder,
       rec.elapsed_us = policy_.response_timeout_us;
       out.total_us += policy_.response_timeout_us;
       out.attempts.push_back(rec);
+      note_attempt();
       continue;
     }
 
@@ -83,6 +115,7 @@ SessionOutcome AttestationSession::run(const Responder& responder,
     const std::size_t wire_bytes = reply.response.wire_bytes();
     auto response_frame = serialize_response(reply.response);
     const auto response_delivery = channel_->transmit(response_frame, wire_bytes);
+    flips += response_delivery.bits_flipped;
     double elapsed = request_delivery.transfer_us + reply.compute_us +
                      (response_delivery.delivered
                           ? response_delivery.transfer_us
@@ -93,6 +126,7 @@ SessionOutcome AttestationSession::run(const Responder& responder,
       rec.elapsed_us = policy_.response_timeout_us;
       out.total_us += policy_.response_timeout_us;
       out.attempts.push_back(rec);
+      note_attempt();
       continue;
     }
     rec.response_delivered = true;
@@ -106,12 +140,15 @@ SessionOutcome AttestationSession::run(const Responder& responder,
       // Transport fault, not evidence: retry.
       rec.response_corrupted = true;
       out.attempts.push_back(rec);
+      note_attempt();
       continue;
     }
 
     const VerifyResult result = verifier_->verify(request, received, elapsed);
     rec.verify = result.status;
+    deadline_us = result.deadline_us;
     out.attempts.push_back(rec);
+    note_attempt();
     if (result.accepted()) {
       out.status = SessionStatus::kAccepted;
       return out;

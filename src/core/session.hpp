@@ -33,6 +33,7 @@
 
 #include "core/faulty_channel.hpp"
 #include "core/protocol.hpp"
+#include "obs/trace.hpp"
 
 namespace pufatt::core {
 
@@ -107,11 +108,23 @@ class AttestationSession {
   /// backoff jitter; all channel randomness lives in the channel's own
   /// seeded stream, so (session rng seed, channel seed) reproduce the
   /// exact attempt trace.
-  SessionOutcome run(const Responder& responder, support::Xoshiro256pp& rng);
+  ///
+  /// `trace` (optional) records the session as spans: one "session.run"
+  /// root under the scope's parent, one "session.attempt" child per
+  /// protocol attempt carrying the simulated timings the δ argument runs
+  /// on (elapsed_us / deadline_us), the backoff charged before the
+  /// attempt, and the channel's fault events (bits flipped, delivery) as
+  /// annotations.  The attempt spans are the AttemptRecord vector in
+  /// span form; the records themselves are unchanged.
+  SessionOutcome run(const Responder& responder, support::Xoshiro256pp& rng,
+                     const obs::TraceScope& trace = {});
 
   const SessionPolicy& policy() const { return policy_; }
 
  private:
+  SessionOutcome run_impl(const Responder& responder,
+                          support::Xoshiro256pp& rng, obs::Span& run_span);
+
   const Verifier* verifier_;
   FaultyChannel* channel_;
   SessionPolicy policy_;

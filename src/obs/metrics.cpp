@@ -1,0 +1,197 @@
+#include "obs/metrics.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <stdexcept>
+
+namespace pufatt::obs {
+
+namespace {
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+void append_number(std::string& out, double value) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+void append_escaped(std::string& out, const std::string& text) {
+  for (const char c : text) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+}
+
+}  // namespace
+
+// ------------------------------------------------------------------- Gauge
+
+void Gauge::set(double v) {
+  value_.store(v, relaxed);
+  seen_.store(true, relaxed);
+  double seen_max = max_.load(relaxed);
+  while (v > seen_max && !max_.compare_exchange_weak(seen_max, v, relaxed)) {
+  }
+}
+
+double Gauge::max() const {
+  return seen_.load(relaxed) ? max_.load(relaxed) : 0.0;
+}
+
+void Gauge::reset() {
+  value_.store(0.0, relaxed);
+  max_.store(0.0, relaxed);
+  seen_.store(false, relaxed);
+}
+
+// ------------------------------------------------------------ LogHistogram
+
+LogHistogram::LogHistogram(const support::LogScale& scale)
+    : scale_(scale),
+      counts_(new std::atomic<std::uint64_t>[scale.buckets]) {
+  if (scale.buckets == 0 || scale.first_edge <= 0.0 || scale.base <= 1.0) {
+    throw std::invalid_argument("LogHistogram: degenerate scale");
+  }
+  reset();
+}
+
+void LogHistogram::add_bucket(std::size_t bucket, std::uint64_t n) {
+  counts_[bucket < scale_.buckets ? bucket : scale_.buckets - 1].fetch_add(
+      n, relaxed);
+}
+
+std::uint64_t LogHistogram::bucket(std::size_t i) const {
+  return counts_[i].load(relaxed);
+}
+
+std::uint64_t LogHistogram::total() const {
+  std::uint64_t n = 0;
+  for (std::size_t i = 0; i < scale_.buckets; ++i) n += bucket(i);
+  return n;
+}
+
+double LogHistogram::quantile_edge(double q) const {
+  std::uint64_t counts[64];
+  const std::size_t n = scale_.buckets < 64 ? scale_.buckets : 64;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    counts[i] = bucket(i);
+    total += counts[i];
+  }
+  if (total == 0) return 0.0;
+  return scale_.upper_edge(support::bucket_quantile(counts, n, total, q));
+}
+
+void LogHistogram::reset() {
+  for (std::size_t i = 0; i < scale_.buckets; ++i) {
+    counts_[i].store(0, relaxed);
+  }
+}
+
+// ---------------------------------------------------------- MetricRegistry
+
+Counter& MetricRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.gauge || entry.histogram) {
+    throw std::invalid_argument("MetricRegistry: '" + name +
+                                "' is not a counter");
+  }
+  if (!entry.counter) entry.counter = std::make_unique<Counter>();
+  return *entry.counter;
+}
+
+Gauge& MetricRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter || entry.histogram) {
+    throw std::invalid_argument("MetricRegistry: '" + name +
+                                "' is not a gauge");
+  }
+  if (!entry.gauge) entry.gauge = std::make_unique<Gauge>();
+  return *entry.gauge;
+}
+
+LogHistogram& MetricRegistry::histogram(const std::string& name,
+                                        const support::LogScale& scale) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Entry& entry = entries_[name];
+  if (entry.counter || entry.gauge) {
+    throw std::invalid_argument("MetricRegistry: '" + name +
+                                "' is not a histogram");
+  }
+  if (!entry.histogram) {
+    entry.histogram = std::make_unique<LogHistogram>(scale);
+  } else if (!(entry.histogram->scale() == scale)) {
+    throw std::invalid_argument("MetricRegistry: '" + name +
+                                "' re-registered with a different scale");
+  }
+  return *entry.histogram;
+}
+
+std::string MetricRegistry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string counters = "\"counters\":{";
+  std::string gauges = "\"gauges\":{";
+  std::string histograms = "\"histograms\":{";
+  bool first_counter = true, first_gauge = true, first_histogram = true;
+  for (const auto& [name, entry] : entries_) {  // std::map: sorted names
+    if (entry.counter) {
+      if (!first_counter) counters.push_back(',');
+      first_counter = false;
+      counters.push_back('"');
+      append_escaped(counters, name);
+      counters += "\":";
+      append_u64(counters, entry.counter->value());
+    } else if (entry.gauge) {
+      if (!first_gauge) gauges.push_back(',');
+      first_gauge = false;
+      gauges.push_back('"');
+      append_escaped(gauges, name);
+      gauges += "\":{\"value\":";
+      append_number(gauges, entry.gauge->value());
+      gauges += ",\"max\":";
+      append_number(gauges, entry.gauge->max());
+      gauges += "}";
+    } else if (entry.histogram) {
+      if (!first_histogram) histograms.push_back(',');
+      first_histogram = false;
+      histograms.push_back('"');
+      append_escaped(histograms, name);
+      histograms += "\":{\"first_edge\":";
+      append_number(histograms, entry.histogram->scale().first_edge);
+      histograms += ",\"base\":";
+      append_number(histograms, entry.histogram->scale().base);
+      histograms += ",\"counts\":[";
+      for (std::size_t i = 0; i < entry.histogram->num_buckets(); ++i) {
+        if (i > 0) histograms.push_back(',');
+        append_u64(histograms, entry.histogram->bucket(i));
+      }
+      histograms += "],\"total\":";
+      append_u64(histograms, entry.histogram->total());
+      histograms += "}";
+    }
+  }
+  return "{" + counters + "}," + gauges + "}," + histograms + "}}";
+}
+
+void MetricRegistry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [name, entry] : entries_) {
+    if (entry.counter) entry.counter->reset();
+    if (entry.gauge) entry.gauge->reset();
+    if (entry.histogram) entry.histogram->reset();
+  }
+}
+
+MetricRegistry& global_registry() {
+  static MetricRegistry registry;
+  return registry;
+}
+
+}  // namespace pufatt::obs

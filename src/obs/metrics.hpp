@@ -1,0 +1,124 @@
+// Central metric registry: named atomic counters, gauges and log-scale
+// histograms behind one interface with a byte-stable JSON snapshot.
+//
+// Hot paths never pay a name lookup: callers resolve a metric once
+// (`registry.counter("sim.batches")` returns a stable reference) and then
+// touch only relaxed atomics.  Like ServiceMetrics, a snapshot taken while
+// writers are mid-update is each-metric-consistent, not cross-metric-
+// consistent; quiesce the workload before asserting exact totals.
+//
+// `snapshot_json()` is a *contract*: names are emitted sorted, numbers are
+// formatted deterministically, and the same metric values always produce
+// the same bytes — tests diff snapshots across thread counts to prove
+// aggregation is scheduling-invariant.
+//
+// References returned by the registry stay valid for the registry's
+// lifetime; `reset()` zeroes values but never invalidates references
+// (long-lived components cache them — see the timing-kernel hooks).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "support/stats.hpp"
+
+namespace pufatt::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { value_.fetch_add(n, relaxed); }
+  std::uint64_t value() const { return value_.load(relaxed); }
+  void reset() { value_.store(0, relaxed); }
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written value plus the high-water mark since the last reset.
+class Gauge {
+ public:
+  void set(double v);
+  double value() const { return value_.load(relaxed); }
+  double max() const;  ///< 0 before the first set()
+  void reset();
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::atomic<double> value_{0.0};
+  std::atomic<double> max_{0.0};
+  std::atomic<bool> seen_{false};
+};
+
+/// Lock-free log-scale histogram over a shared support::LogScale.  This is
+/// the one histogram type behind both the service latency metrics and the
+/// registry snapshots (the bucket math lives in support::LogScale so the
+/// two stay bit-identical).
+class LogHistogram {
+ public:
+  explicit LogHistogram(const support::LogScale& scale);
+
+  void record(double value) { add_bucket(scale_.bucket_for(value), 1); }
+  /// Merges pre-bucketed counts (publishing an existing snapshot).
+  void add_bucket(std::size_t bucket, std::uint64_t n);
+
+  const support::LogScale& scale() const { return scale_; }
+  std::size_t num_buckets() const { return scale_.buckets; }
+  std::uint64_t bucket(std::size_t i) const;
+  std::uint64_t total() const;
+  /// Upper edge of the bucket holding quantile q (+inf if it lands in the
+  /// unbounded last bucket); 0 when empty.
+  double quantile_edge(double q) const;
+  void reset();
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  support::LogScale scale_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> counts_;
+};
+
+class MetricRegistry {
+ public:
+  MetricRegistry() = default;
+  MetricRegistry(const MetricRegistry&) = delete;
+  MetricRegistry& operator=(const MetricRegistry&) = delete;
+
+  /// Find-or-create by name.  A name is bound to one metric kind for the
+  /// registry's lifetime; re-requesting it as another kind (or a
+  /// histogram with a different scale) throws std::invalid_argument.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  LogHistogram& histogram(const std::string& name,
+                          const support::LogScale& scale = {});
+
+  /// Byte-stable snapshot:
+  ///   {"counters":{...},"gauges":{"n":{"value":V,"max":V}},
+  ///    "histograms":{"n":{"first_edge":E,"base":B,"counts":[...],
+  ///                       "total":N}}}
+  /// with names sorted and no whitespace.
+  std::string snapshot_json() const;
+
+  /// Zeroes every metric's value; references stay valid.
+  void reset();
+
+ private:
+  struct Entry {
+    // At most one is set; which one encodes the metric's kind.
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<LogHistogram> histogram;
+  };
+
+  mutable std::mutex mutex_;   ///< guards the map, not metric updates
+  std::map<std::string, Entry> entries_;
+};
+
+/// Process-wide registry for layers too deep to receive one (the timing
+/// kernels' batch gauges).  Paired with obs::global_tracer().
+MetricRegistry& global_registry();
+
+}  // namespace pufatt::obs

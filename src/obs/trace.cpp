@@ -1,0 +1,335 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+namespace pufatt::obs {
+
+namespace {
+
+constexpr auto relaxed = std::memory_order_relaxed;
+constexpr auto acquire = std::memory_order_acquire;
+constexpr auto release = std::memory_order_release;
+
+std::uint64_t next_tracer_uid() {
+  static std::atomic<std::uint64_t> counter{1};
+  return counter.fetch_add(1, relaxed);
+}
+
+void append_escaped(std::string& out, const char* text) {
+  for (const char* p = text; *p != '\0'; ++p) {
+    const auto c = static_cast<unsigned char>(*p);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          // A raw control byte would break JSONL framing (names are
+          // literals by contract, but the exporter must not rely on it).
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(*p);
+        }
+    }
+  }
+}
+
+void append_number(std::string& out, double value) {
+  char buf[40];
+  // %.9g is enough for the values notes carry (latencies, counts, codes)
+  // and keeps the exported text byte-stable for a given record stream.
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  out += buf;
+}
+
+void append_u64(std::string& out, std::uint64_t value) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  out += buf;
+}
+
+}  // namespace
+
+std::uint64_t monotonic_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// ------------------------------------------------------------------- Span
+
+Span::Span(Tracer* tracer, const char* name, std::uint64_t id,
+           std::uint64_t parent)
+    : tracer_(tracer) {
+  rec_.id = id;
+  rec_.parent = parent;
+  rec_.name = name;
+  rec_.start_ns = monotonic_ns();
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    tracer_ = other.tracer_;
+    rec_ = other.rec_;
+    other.tracer_ = nullptr;
+  }
+  return *this;
+}
+
+Span Span::child(const char* name) {
+  return active() ? tracer_->span(name, rec_.id) : Span();
+}
+
+void Span::note(const char* key, double value) {
+  if (!active() || rec_.note_count >= SpanRecord::kMaxNotes) return;
+  rec_.notes[rec_.note_count++] = Note{key, value};
+}
+
+void Span::end() {
+  if (!active()) return;
+  rec_.end_ns = monotonic_ns();
+  Tracer* tracer = tracer_;
+  tracer_ = nullptr;
+  tracer->emit(rec_);
+}
+
+// ------------------------------------------------------------ ThreadBuffer
+
+/// Single-producer (owning thread) / single-consumer (whoever holds the
+/// tracer's store mutex in drain) ring of completed spans.
+struct Tracer::ThreadBuffer {
+  explicit ThreadBuffer(std::size_t capacity) : ring(capacity) {}
+
+  void push(const SpanRecord& rec) {
+    const std::uint64_t tail = tail_pos.load(relaxed);
+    const std::uint64_t head = head_pos.load(acquire);
+    if (tail - head >= ring.size()) {
+      dropped.fetch_add(1, relaxed);
+      return;
+    }
+    ring[tail % ring.size()] = rec;
+    tail_pos.store(tail + 1, release);
+  }
+
+  std::vector<SpanRecord> ring;
+  std::atomic<std::uint64_t> head_pos{0};  ///< consumer cursor
+  std::atomic<std::uint64_t> tail_pos{0};  ///< producer cursor
+  std::atomic<std::uint64_t> dropped{0};
+  std::uint32_t ordinal = 0;
+};
+
+// ------------------------------------------------------------------ Tracer
+
+Tracer::Tracer(const TraceConfig& config)
+    : config_(config), uid_(next_tracer_uid()) {}
+
+Tracer::~Tracer() {
+  std::lock_guard<std::mutex> lock(buffers_mutex_);
+  for (ThreadBuffer* buffer : buffers_) delete buffer;
+}
+
+Tracer::ThreadBuffer& Tracer::local_buffer() {
+  // Cached per (thread, tracer); tracer uids are never reused, so a stale
+  // cache entry for a destroyed tracer can never be looked up again.
+  thread_local std::vector<std::pair<std::uint64_t, ThreadBuffer*>> cache;
+  for (const auto& [uid, buffer] : cache) {
+    if (uid == uid_) return *buffer;
+  }
+  auto* buffer = new ThreadBuffer(config_.ring_capacity);
+  {
+    std::lock_guard<std::mutex> lock(buffers_mutex_);
+    buffer->ordinal = static_cast<std::uint32_t>(buffers_.size());
+    buffers_.push_back(buffer);
+  }
+  cache.emplace_back(uid_, buffer);
+  return *buffer;
+}
+
+void Tracer::set_sample_rate(double rate) {
+  sample_rate_.store(std::min(1.0, std::max(0.0, rate)), relaxed);
+}
+
+std::uint64_t Tracer::sample_root() {
+  if (!enabled()) return 0;
+  const double rate = sample_rate();
+  if (rate <= 0.0) return 0;
+  if (rate < 1.0) {
+    // Deterministic even spread: keep root n iff floor((n+1)*rate) moved.
+    const std::uint64_t n = root_counter_.fetch_add(1, relaxed);
+    const auto before =
+        static_cast<std::uint64_t>(static_cast<double>(n) * rate);
+    const auto after =
+        static_cast<std::uint64_t>(static_cast<double>(n + 1) * rate);
+    if (after == before) return 0;
+  }
+  return next_id();
+}
+
+Span Tracer::span(const char* name, std::uint64_t parent) {
+  if (!enabled()) return Span();
+  std::uint64_t id;
+  if (parent == 0) {
+    id = sample_root();
+    if (id == 0) return Span();
+  } else {
+    id = next_id();
+  }
+  return Span(this, name, id, parent);
+}
+
+void Tracer::emit(SpanRecord rec) {
+  if (!kTraceCompiled) return;
+  ThreadBuffer& buffer = local_buffer();
+  rec.thread = buffer.ordinal;
+  buffer.push(rec);
+}
+
+void Tracer::drain_locked() {
+  std::lock_guard<std::mutex> reg(buffers_mutex_);
+  for (ThreadBuffer* buffer : buffers_) {
+    const std::uint64_t tail = buffer->tail_pos.load(acquire);
+    std::uint64_t head = buffer->head_pos.load(relaxed);
+    for (; head != tail; ++head) {
+      if (store_.size() < config_.store_capacity) {
+        store_.push_back(buffer->ring[head % buffer->ring.size()]);
+      } else {
+        ++store_dropped_;
+      }
+    }
+    buffer->head_pos.store(head, release);
+  }
+}
+
+void Tracer::drain() {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  drain_locked();
+}
+
+std::vector<SpanRecord> Tracer::records() {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  drain_locked();
+  std::vector<SpanRecord> out = store_;
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns != b.start_ns ? a.start_ns < b.start_ns
+                                              : a.id < b.id;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const {
+  std::uint64_t total;
+  {
+    std::lock_guard<std::mutex> lock(store_mutex_);
+    total = store_dropped_;
+  }
+  std::lock_guard<std::mutex> reg(buffers_mutex_);
+  for (const ThreadBuffer* buffer : buffers_) {
+    total += buffer->dropped.load(relaxed);
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(store_mutex_);
+  drain_locked();
+  store_.clear();
+  store_dropped_ = 0;
+}
+
+// --------------------------------------------------------------- exporters
+
+std::string Tracer::to_jsonl() {
+  const auto recs = records();
+  std::string out;
+  out.reserve(recs.size() * 120);
+  for (const SpanRecord& rec : recs) {
+    out += "{\"id\":";
+    append_u64(out, rec.id);
+    out += ",\"parent\":";
+    append_u64(out, rec.parent);
+    out += ",\"thread\":";
+    append_u64(out, rec.thread);
+    out += ",\"name\":\"";
+    append_escaped(out, rec.name);
+    out += "\",\"start_ns\":";
+    append_u64(out, rec.start_ns);
+    out += ",\"end_ns\":";
+    append_u64(out, rec.end_ns);
+    out += ",\"notes\":{";
+    for (std::uint32_t i = 0; i < rec.note_count; ++i) {
+      if (i > 0) out.push_back(',');
+      out.push_back('"');
+      append_escaped(out, rec.notes[i].key);
+      out += "\":";
+      append_number(out, rec.notes[i].value);
+    }
+    out += "}}\n";
+  }
+  return out;
+}
+
+std::string Tracer::to_trace_event() {
+  const auto recs = records();
+  std::uint64_t base_ns = 0;
+  for (const SpanRecord& rec : recs) {
+    if (base_ns == 0 || rec.start_ns < base_ns) base_ns = rec.start_ns;
+  }
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[64];
+  bool first = true;
+  for (const SpanRecord& rec : recs) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "\n{\"ph\":\"X\",\"pid\":1,\"tid\":";
+    append_u64(out, rec.thread);
+    out += ",\"name\":\"";
+    append_escaped(out, rec.name);
+    out += "\",\"ts\":";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(rec.start_ns - base_ns) / 1000.0);
+    out += buf;
+    out += ",\"dur\":";
+    std::snprintf(buf, sizeof(buf), "%.3f",
+                  static_cast<double>(rec.end_ns - rec.start_ns) / 1000.0);
+    out += buf;
+    out += ",\"args\":{\"id\":";
+    append_u64(out, rec.id);
+    out += ",\"parent\":";
+    append_u64(out, rec.parent);
+    for (std::uint32_t i = 0; i < rec.note_count; ++i) {
+      out += ",\"";
+      append_escaped(out, rec.notes[i].key);
+      out += "\":";
+      append_number(out, rec.notes[i].value);
+    }
+    out += "}}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+// ----------------------------------------------------------------- globals
+
+Tracer& global_tracer() {
+  static Tracer tracer;
+  return tracer;
+}
+
+void set_global_trace(bool enabled, double sample_rate) {
+  Tracer& tracer = global_tracer();
+  tracer.set_sample_rate(sample_rate);
+  tracer.set_enabled(enabled);
+}
+
+}  // namespace pufatt::obs

@@ -1,0 +1,233 @@
+// Span-based tracing for the attestation stack.
+//
+// PUFatt's security argument is a *timing* argument — the verifier accepts
+// only inside the bound δ — so when the service misbehaves the question is
+// always "where did the microseconds go": queue wait, emulator build,
+// lane kernels, retries, backoff.  This tracer answers it with one
+// coherent trace instead of per-component counters.
+//
+// Model:
+//   * A `Span` is a named [start, end) interval on the host monotonic
+//     clock with an explicit parent link (no implicit thread-local span
+//     stack: jobs hop threads between enqueue and verify, so parenthood
+//     must travel with the work, not with the thread).
+//   * `Tracer::span(name, parent)` starts a child of an existing span;
+//     with `parent == 0` it starts a *root* span, which is subject to the
+//     runtime sampling rate.  Inert spans (disabled tracer, unsampled
+//     root, child of an inert parent) cost one branch and record nothing.
+//   * Completed spans are pushed into a per-thread lock-free SPSC ring;
+//     `drain()` moves them into a bounded global store from which the
+//     exporters read.  Overflow drops records and counts the drops — the
+//     tracer never blocks or allocates on the hot path after the ring
+//     exists.
+//   * Span/note names must be pointers to statically-allocated strings
+//     (string literals): records store the pointer, not a copy.
+//
+// Exporters: `to_jsonl()` (stable line-oriented schema, the input format
+// of `pufatt-cli trace-report`) and `to_trace_event()` (Chrome
+// `trace_event` JSON, loadable in chrome://tracing and Perfetto).
+//
+// Compile-time gate: building with -DPUFATT_TRACE=0 turns `kTraceCompiled`
+// into a constant false, so every `if (tracer && tracer->enabled())` hook
+// folds away and the hot paths carry zero tracing overhead.  The library
+// itself (exporters, report tooling) still builds.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace pufatt::obs {
+
+#ifndef PUFATT_TRACE
+#define PUFATT_TRACE 1
+#endif
+
+inline constexpr bool kTraceCompiled = PUFATT_TRACE != 0;
+
+/// Host monotonic clock, nanoseconds.  All span timestamps share it.
+std::uint64_t monotonic_ns();
+
+/// One key/value annotation on a span (key must be a string literal).
+struct Note {
+  const char* key = "";
+  double value = 0.0;
+};
+
+/// A completed span, as stored and exported.
+struct SpanRecord {
+  static constexpr std::size_t kMaxNotes = 6;
+
+  std::uint64_t id = 0;      ///< unique per tracer, never 0 for real spans
+  std::uint64_t parent = 0;  ///< 0 = root
+  std::uint64_t start_ns = 0;
+  std::uint64_t end_ns = 0;
+  const char* name = "";
+  std::uint32_t thread = 0;  ///< per-tracer thread ordinal
+  std::uint32_t note_count = 0;
+  std::array<Note, kMaxNotes> notes{};
+};
+
+class Tracer;
+
+/// RAII handle over an in-flight span.  Default-constructed spans are
+/// inert: every operation is a no-op and `child()` yields inert spans, so
+/// instrumented code never branches on "am I traced" beyond span creation.
+class Span {
+ public:
+  Span() = default;
+  Span(Span&& other) noexcept { *this = std::move(other); }
+  Span& operator=(Span&& other) noexcept;
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() { end(); }
+
+  bool active() const { return tracer_ != nullptr; }
+  /// 0 when inert — safe to pass anywhere a parent id is expected.
+  std::uint64_t id() const { return rec_.id; }
+
+  /// Child span of this one (inert if this span is inert).
+  Span child(const char* name);
+
+  /// Attaches an annotation; silently dropped past kMaxNotes.
+  void note(const char* key, double value);
+
+  /// Stamps the end time and hands the record to the tracer.  Idempotent;
+  /// the destructor calls it.
+  void end();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, const char* name, std::uint64_t id,
+       std::uint64_t parent);
+
+  Tracer* tracer_ = nullptr;
+  SpanRecord rec_{};
+};
+
+struct TraceConfig {
+  std::size_t ring_capacity = 4096;     ///< completed spans per thread
+  std::size_t store_capacity = 262144;  ///< bounded global store
+};
+
+class Tracer {
+ public:
+  explicit Tracer(const TraceConfig& config = {});
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  // ------------------------------------------------------------- control
+  /// Tracing is off by default; while off, span() returns inert spans.
+  void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+  bool enabled() const {
+    return kTraceCompiled && enabled_.load(std::memory_order_relaxed);
+  }
+  /// Fraction of *root* spans recorded, evenly spread (counter-based, not
+  /// random: a deterministic workload samples deterministically).  Child
+  /// spans follow their root's fate.  Clamped to [0, 1]; default 1.
+  void set_sample_rate(double rate);
+  double sample_rate() const {
+    return sample_rate_.load(std::memory_order_relaxed);
+  }
+
+  // ------------------------------------------------------------ recording
+  /// Starts a span.  parent == 0 starts a root (sampled); parent != 0
+  /// starts a child (always recorded while enabled).
+  Span span(const char* name, std::uint64_t parent = 0);
+
+  /// Root sampling decision without opening a span: returns a fresh span
+  /// id to parent children under, or 0 when disabled / not sampled.  Used
+  /// when the root interval is assembled manually across threads (the
+  /// pool's enqueue→completion job span).
+  std::uint64_t sample_root();
+
+  /// Fresh span id for manually-assembled records.
+  std::uint64_t next_id() {
+    return id_counter_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Records a manually-assembled span (explicit timestamps).  The calling
+  /// thread's ring receives it; `rec.thread` is overwritten.
+  void emit(SpanRecord rec);
+
+  // ------------------------------------------------------------- reading
+  /// Moves every thread ring's completed spans into the global store.
+  void drain();
+
+  /// drain() + a copy of the store sorted by (start_ns, id).
+  std::vector<SpanRecord> records();
+
+  /// Records dropped on ring or store overflow (never silently lost).
+  std::uint64_t dropped() const;
+
+  /// Forgets every stored record (rings are drained first).
+  void clear();
+
+  // ----------------------------------------------------------- exporters
+  /// One JSON object per line:
+  ///   {"id":N,"parent":N,"thread":N,"name":"...","start_ns":N,
+  ///    "end_ns":N,"notes":{"key":V,...}}
+  /// sorted by (start_ns, id); timestamps are raw monotonic ns.
+  std::string to_jsonl();
+
+  /// Chrome trace_event JSON ("X" complete events; ts/dur in us relative
+  /// to the earliest span; span id and parent preserved under "args").
+  std::string to_trace_event();
+
+ private:
+  struct ThreadBuffer;
+
+  ThreadBuffer& local_buffer();
+  void drain_locked();  ///< caller holds store_mutex_
+
+  const TraceConfig config_;
+  const std::uint64_t uid_;  ///< process-unique tracer identity (cache key)
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<double> sample_rate_{1.0};
+  std::atomic<std::uint64_t> id_counter_{1};
+  std::atomic<std::uint64_t> root_counter_{0};
+
+  mutable std::mutex buffers_mutex_;  ///< guards buffer registration
+  std::vector<ThreadBuffer*> buffers_;
+
+  mutable std::mutex store_mutex_;  ///< guards store_ and draining
+  std::vector<SpanRecord> store_;
+  std::uint64_t store_dropped_ = 0;
+};
+
+/// Borrowed tracing context handed down through layers that do not own a
+/// tracer (sessions, caches): a tracer plus the span to parent under.
+/// Default-constructed scope is inert.
+struct TraceScope {
+  Tracer* tracer = nullptr;
+  std::uint64_t parent = 0;
+
+  explicit operator bool() const {
+    return tracer != nullptr && tracer->enabled();
+  }
+  /// Child span under this scope's parent (inert scope -> inert span).
+  Span span(const char* name) const {
+    return tracer != nullptr ? tracer->span(name, parent) : Span();
+  }
+};
+
+/// Process-wide tracer for layers too deep to plumb a pointer into
+/// (timing kernels, PUF evaluation).  Disabled by default; serve-demo and
+/// the obs bench enable it.  Spans recorded here have no explicit service
+/// parent but nest by time containment per thread in the trace_event view.
+Tracer& global_tracer();
+
+/// Cheap hot-path gate: compiled-in AND global tracer enabled.
+inline bool global_trace_enabled() {
+  return kTraceCompiled && global_tracer().enabled();
+}
+
+/// Enables/disables the global tracer (and sets its sampling rate).
+void set_global_trace(bool enabled, double sample_rate = 1.0);
+
+}  // namespace pufatt::obs

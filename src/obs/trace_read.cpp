@@ -1,0 +1,297 @@
+#include "obs/trace_read.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace pufatt::obs {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue value = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content");
+    return value;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) const {
+    throw std::runtime_error("json parse error at byte " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view literal) {
+    if (text_.substr(pos_, literal.size()) != literal) return false;
+    pos_ += literal.size();
+    return true;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': {
+        JsonValue v;
+        v.kind = JsonValue::Kind::kString;
+        v.string = parse_string();
+        return v;
+      }
+      case 't':
+        if (!consume_literal("true")) fail("bad literal");
+        return make_bool(true);
+      case 'f':
+        if (!consume_literal("false")) fail("bad literal");
+        return make_bool(false);
+      case 'n':
+        if (!consume_literal("null")) fail("bad literal");
+        return JsonValue{};
+      default: return parse_number();
+    }
+  }
+
+  static JsonValue make_bool(bool b) {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = b;
+    return v;
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object[std::move(key)] = parse_value();
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) fail("unterminated escape");
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'n': out.push_back('\n'); break;
+          case 't': out.push_back('\t'); break;
+          case 'r': out.push_back('\r'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'u': {
+            // The exporters never emit \u; decode the BMP code point as a
+            // raw byte for robustness rather than full UTF-8 handling.
+            if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+              else fail("bad \\u escape");
+            }
+            out.push_back(static_cast<char>(code & 0xFF));
+            break;
+          }
+          default: fail("bad escape");
+        }
+        continue;
+      }
+      out.push_back(c);
+    }
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected a value");
+    const std::string token(text_.substr(start, pos_ - start));
+    char* end = nullptr;
+    const double parsed = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size()) {
+      pos_ = start;
+      fail("malformed number");
+    }
+    JsonValue v;
+    v.kind = JsonValue::Kind::kNumber;
+    v.number = parsed;
+    return v;
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+ParsedSpan span_from_jsonl(const JsonValue& obj) {
+  ParsedSpan span;
+  const JsonValue* name = obj.get("name");
+  span.name = name != nullptr ? name->string : "";
+  span.id = static_cast<std::uint64_t>(obj.number_or("id", 0));
+  span.parent = static_cast<std::uint64_t>(obj.number_or("parent", 0));
+  span.thread = static_cast<std::uint64_t>(obj.number_or("thread", 0));
+  const double start_ns = obj.number_or("start_ns", 0);
+  span.start_us = start_ns / 1000.0;
+  span.dur_us = (obj.number_or("end_ns", start_ns) - start_ns) / 1000.0;
+  if (const JsonValue* notes = obj.get("notes"); notes && notes->is_object()) {
+    for (const auto& [key, value] : notes->object) {
+      span.notes[key] = value.number;
+    }
+  }
+  return span;
+}
+
+ParsedSpan span_from_trace_event(const JsonValue& obj) {
+  ParsedSpan span;
+  const JsonValue* name = obj.get("name");
+  span.name = name != nullptr ? name->string : "";
+  span.thread = static_cast<std::uint64_t>(obj.number_or("tid", 0));
+  span.start_us = obj.number_or("ts", 0);
+  span.dur_us = obj.number_or("dur", 0);
+  if (const JsonValue* args = obj.get("args"); args && args->is_object()) {
+    span.id = static_cast<std::uint64_t>(args->number_or("id", 0));
+    span.parent = static_cast<std::uint64_t>(args->number_or("parent", 0));
+    for (const auto& [key, value] : args->object) {
+      if (key == "id" || key == "parent") continue;
+      span.notes[key] = value.number;
+    }
+  }
+  return span;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::get(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  const auto it = object.find(key);
+  return it != object.end() ? &it->second : nullptr;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* member = get(key);
+  return member != nullptr && member->kind == Kind::kNumber ? member->number
+                                                           : fallback;
+}
+
+JsonValue parse_json(std::string_view text) {
+  return Parser(text).parse_document();
+}
+
+std::vector<ParsedSpan> read_trace(std::string_view text) {
+  std::vector<ParsedSpan> spans;
+  // Sniff: a whole-document parse that yields {"traceEvents": [...]} is
+  // the Chrome format; a failure or another shape falls through to JSONL.
+  const std::size_t first = text.find_first_not_of(" \t\r\n");
+  if (first == std::string_view::npos) return spans;
+  if (text[first] == '{') {
+    try {
+      const JsonValue doc = parse_json(text);
+      if (const JsonValue* events = doc.get("traceEvents");
+          events != nullptr && events->is_array()) {
+        for (const JsonValue& event : events->array) {
+          if (!event.is_object()) continue;
+          // Only complete events carry durations; ignore metadata rows.
+          const JsonValue* ph = event.get("ph");
+          if (ph != nullptr && ph->string != "X") continue;
+          spans.push_back(span_from_trace_event(event));
+        }
+        return spans;
+      }
+    } catch (const std::runtime_error&) {
+      // Not a single-document trace_event file; try line-oriented below.
+    }
+  }
+  std::size_t pos = 0;
+  std::size_t line_no = 1;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    const std::size_t begin = line.find_first_not_of(" \t\r");
+    if (begin != std::string_view::npos) {
+      try {
+        spans.push_back(span_from_jsonl(parse_json(line.substr(begin))));
+      } catch (const std::runtime_error& e) {
+        throw std::runtime_error("trace line " + std::to_string(line_no) +
+                                 ": " + e.what());
+      }
+    }
+    ++line_no;
+  }
+  return spans;
+}
+
+}  // namespace pufatt::obs

@@ -1,0 +1,65 @@
+// Reading traces back: a minimal dependency-free JSON parser plus loaders
+// for both exporter formats (the JSONL span schema and Chrome
+// `trace_event`).  `pufatt-cli trace-report` and the obs tests round-trip
+// exported traces through this, so exporter regressions surface as parse
+// or field mismatches rather than silently-wrong dashboards.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace pufatt::obs {
+
+/// Tiny JSON document value (numbers are doubles, objects keep key order
+/// via std::map — enough for trace files, not a general-purpose DOM).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  std::map<std::string, JsonValue> object;
+
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  /// Object member or nullptr.
+  const JsonValue* get(const std::string& key) const;
+  /// Member's number, or `fallback` when missing / not a number.
+  double number_or(const std::string& key, double fallback) const;
+};
+
+/// Parses one JSON document; throws std::runtime_error with a byte offset
+/// on malformed input.  Trailing whitespace is allowed, trailing content
+/// is not.
+JsonValue parse_json(std::string_view text);
+
+/// A span as read back from either export format.  Times are in
+/// microseconds relative to an arbitrary origin (formats differ in
+/// origin, never in durations or relative order).
+struct ParsedSpan {
+  std::string name;
+  std::uint64_t id = 0;
+  std::uint64_t parent = 0;
+  std::uint64_t thread = 0;
+  double start_us = 0.0;
+  double dur_us = 0.0;
+  std::map<std::string, double> notes;
+
+  double note_or(const std::string& key, double fallback) const {
+    const auto it = notes.find(key);
+    return it != notes.end() ? it->second : fallback;
+  }
+};
+
+/// Loads spans from exported trace text, sniffing the format: a document
+/// whose top-level object has "traceEvents" is Chrome trace_event JSON;
+/// anything else is treated as JSONL (one span object per line).  Throws
+/// std::runtime_error on malformed input.
+std::vector<ParsedSpan> read_trace(std::string_view text);
+
+}  // namespace pufatt::obs

@@ -22,27 +22,34 @@ void EmulatorCache::touch(
   lru_.splice(lru_.begin(), lru_, it->second.lru_it);
 }
 
-EmulatorCache::Lease EmulatorCache::acquire(const std::string& device_id) {
+EmulatorCache::Lease EmulatorCache::acquire(const std::string& device_id,
+                                            const obs::TraceScope& trace) {
+  obs::Span acquire_span = trace.span("cache.acquire");
+  bool hit = false;
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = map_.find(device_id);
     if (it != map_.end()) {
       ++counters_.hits;
+      hit = true;
       touch(it);
       entry = it->second.entry;
     } else {
       ++counters_.misses;
     }
   }
+  acquire_span.note("hit", hit ? 1.0 : 0.0);
 
   if (!entry) {
     const auto record = registry_->load(device_id);
     if (!record) return Lease{};
     // Construction happens unlocked: it simulates the whole ALU circuit to
     // calibrate the emulator and must not stall unrelated lookups.
+    obs::Span build_span = acquire_span.child("cache.build");
     auto fresh =
         std::make_shared<Entry>(*record, *code_, channel_, slack_);
+    build_span.end();
 
     std::lock_guard<std::mutex> lock(mutex_);
     const auto it = map_.find(device_id);

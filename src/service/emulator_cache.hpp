@@ -32,6 +32,7 @@
 
 #include "core/protocol.hpp"
 #include "ecc/linear_code.hpp"
+#include "obs/trace.hpp"
 #include "service/device_registry.hpp"
 
 namespace pufatt::service {
@@ -79,7 +80,14 @@ class EmulatorCache {
 
   /// Blocks while another thread holds this device's lease.  Returns an
   /// empty lease when the device is not registered.
-  Lease acquire(const std::string& device_id);
+  Lease acquire(const std::string& device_id) { return acquire(device_id, {}); }
+
+  /// As above, recording a "cache.acquire" span under `trace` covering
+  /// lookup + (on a miss) construction + the wait for the device lease,
+  /// with a hit=0/1 note; misses get a nested "cache.build" span around
+  /// the verifier construction itself, which separates "the emulator was
+  /// cold" from "the device was busy" in a trace.
+  Lease acquire(const std::string& device_id, const obs::TraceScope& trace);
 
   /// Drops a cached verifier (e.g. after re-enrollment changed the
   /// record).  In-flight leases stay valid; the next acquire rebuilds.

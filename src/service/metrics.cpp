@@ -1,7 +1,8 @@
 #include "service/metrics.hpp"
 
 #include <cstdio>
-#include <limits>
+
+#include "service/emulator_cache.hpp"
 
 namespace pufatt::service {
 
@@ -16,19 +17,11 @@ const char* to_string(JobOutcome outcome) {
 }
 
 double LatencyHistogram::upper_edge_us(std::size_t bucket) {
-  if (bucket + 1 >= kBuckets) return std::numeric_limits<double>::infinity();
-  double edge = 100.0;
-  for (std::size_t i = 0; i < bucket; ++i) edge *= 4.0;
-  return edge;
+  return scale().upper_edge(bucket);
 }
 
 std::size_t LatencyHistogram::bucket_for(double latency_us) {
-  double edge = 100.0;
-  for (std::size_t i = 0; i + 1 < kBuckets; ++i) {
-    if (latency_us < edge) return i;
-    edge *= 4.0;
-  }
-  return kBuckets - 1;
+  return scale().bucket_for(latency_us);
 }
 
 std::uint64_t LatencyHistogram::total() const {
@@ -107,6 +100,33 @@ std::string MetricsSnapshot::format() const {
     out += '\n';
   }
   return out;
+}
+
+void publish_metrics(const MetricsSnapshot& snap, const CacheCounters& cache,
+                     obs::MetricRegistry& out) {
+  out.counter("service.submitted").add(snap.submitted);
+  out.counter("service.rejected_busy").add(snap.rejected_busy);
+  out.counter("service.accepted").add(snap.accepted);
+  out.counter("service.rejected").add(snap.rejected);
+  out.counter("service.inconclusive").add(snap.inconclusive);
+  out.counter("service.unknown_device").add(snap.unknown_device);
+  out.gauge("service.queue_depth_hwm")
+      .set(static_cast<double>(snap.queue_depth_hwm));
+  static const char* kClasses[3] = {"accepted", "rejected", "inconclusive"};
+  for (std::size_t c = 0; c < 3; ++c) {
+    auto& hist = out.histogram(
+        std::string("service.latency_us.") + kClasses[c],
+        LatencyHistogram::scale());
+    for (std::size_t b = 0; b < LatencyHistogram::kBuckets; ++b) {
+      if (snap.latency[c].counts[b] > 0) {
+        hist.add_bucket(b, snap.latency[c].counts[b]);
+      }
+    }
+  }
+  out.counter("service.cache.hits").add(cache.hits);
+  out.counter("service.cache.misses").add(cache.misses);
+  out.counter("service.cache.evictions").add(cache.evictions);
+  out.counter("service.cache.discarded").add(cache.discarded);
 }
 
 }  // namespace pufatt::service

@@ -19,6 +19,9 @@
 #include <cstdint>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "support/stats.hpp"
+
 namespace pufatt::service {
 
 /// Terminal classification of one job, from the service's viewpoint.
@@ -35,8 +38,15 @@ const char* to_string(JobOutcome outcome);
 /// latencies in [edge(i-1), edge(i)) with edge(i) = 100us * 4^i; the last
 /// bucket is unbounded.  Spans 100us .. ~1.6s, the range between a clean
 /// one-attempt session and a fully backed-off retry budget.
+///
+/// The bucket math is the shared support::LogScale (also behind
+/// obs::LogHistogram), so the service and registry views of the same
+/// latency stream are bit-identical by construction.
 struct LatencyHistogram {
   static constexpr std::size_t kBuckets = 8;
+  static constexpr support::LogScale scale() {
+    return support::LogScale{100.0, 4.0, kBuckets};
+  }
   static double upper_edge_us(std::size_t bucket);  ///< +inf for the last
   static std::size_t bucket_for(double latency_us);
 
@@ -81,5 +91,14 @@ class ServiceMetrics {
   std::atomic<std::uint64_t>
       latency_[3][LatencyHistogram::kBuckets] = {};
 };
+
+/// Publishes one quiesced snapshot (plus the emulator-cache counters) into
+/// a MetricRegistry under "service." names, matching the snapshot's field
+/// names so the registry's byte-stable JSON doubles as the service's
+/// exportable metrics file.  Counters are *added*, so publish into a fresh
+/// registry (or once per registry lifetime).
+void publish_metrics(const MetricsSnapshot& snap,
+                     const struct CacheCounters& cache,
+                     obs::MetricRegistry& out);
 
 }  // namespace pufatt::service

@@ -67,7 +67,15 @@ SubmitResult VerifierPool::submit(AttestationJob job) {
       metrics_.record_rejected_busy();
       return result;
     }
-    queue_.push_back(std::move(job));
+    Queued item;
+    item.job = std::move(job);
+    if (config_.tracer != nullptr && config_.tracer->enabled()) {
+      // Sampling is decided here, not at dequeue, so the queue-wait
+      // interval of a sampled job starts at the moment of admission.
+      item.trace_id = config_.tracer->sample_root();
+      if (item.trace_id != 0) item.enqueue_ns = obs::monotonic_ns();
+    }
+    queue_.push_back(std::move(item));
     metrics_.record_submitted();
     metrics_.observe_queue_depth(queue_.size());
   }
@@ -77,18 +85,29 @@ SubmitResult VerifierPool::submit(AttestationJob job) {
 
 void VerifierPool::worker_loop() {
   for (;;) {
-    AttestationJob job;
+    Queued item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       work_ready_.wait(lock, [this] { return exiting_ || !queue_.empty(); });
       if (queue_.empty()) return;  // exiting_ and nothing left to do
-      job = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop_front();
       ++in_flight_;
     }
+    if (item.trace_id != 0 && config_.tracer != nullptr) {
+      // The wait interval straddles two threads (stamped at submit, ends
+      // here), so it is assembled manually rather than via Span RAII.
+      obs::SpanRecord wait;
+      wait.id = config_.tracer->next_id();
+      wait.parent = item.trace_id;
+      wait.name = "pool.queue_wait";
+      wait.start_ns = item.enqueue_ns;
+      wait.end_ns = obs::monotonic_ns();
+      config_.tracer->emit(wait);
+    }
 
     const double start_us = now_us();
-    run_job(job);
+    run_job(item.job, item.trace_id, item.enqueue_ns);
     const double service_us = now_us() - start_us;
 
     {
@@ -101,35 +120,57 @@ void VerifierPool::worker_loop() {
   }
 }
 
-void VerifierPool::run_job(const AttestationJob& job) {
+void VerifierPool::run_job(const AttestationJob& job, std::uint64_t trace_id,
+                           std::uint64_t enqueue_ns) {
   JobResult result;
   result.device_id = job.device_id;
   result.tag = job.tag;
 
+  obs::Span verify_span;
+  obs::TraceScope scope;  // stays inert when this job was not sampled
+  if (trace_id != 0 && config_.tracer != nullptr) {
+    verify_span = config_.tracer->span("pool.verify", trace_id);
+    scope = obs::TraceScope{config_.tracer, verify_span.id()};
+  }
+
   // The lease pins the cached verifier and serializes this device: it is
   // held for the whole session, covering both verify() and the responder
   // (one physical device answers one attestation at a time).
-  auto lease = cache_->acquire(job.device_id);
+  auto lease = cache_->acquire(job.device_id, scope);
   if (!lease) {
     result.outcome = JobOutcome::kUnknownDevice;
     metrics_.record_outcome(result.outcome, 0.0);
-    if (on_complete_) on_complete_(result);
-    return;
-  }
-
-  core::FaultyChannel link(config_.channel, job.faults, job.channel_seed);
-  core::AttestationSession session(lease.verifier(), link, config_.session);
-  support::Xoshiro256pp rng(job.rng_seed);
-  result.session = session.run(job.responder, rng);
-
-  if (result.session.accepted()) {
-    result.outcome = JobOutcome::kAccepted;
-  } else if (result.session.conclusive()) {
-    result.outcome = JobOutcome::kRejected;
   } else {
-    result.outcome = JobOutcome::kInconclusive;
+    core::FaultyChannel link(config_.channel, job.faults, job.channel_seed);
+    core::AttestationSession session(lease.verifier(), link, config_.session);
+    support::Xoshiro256pp rng(job.rng_seed);
+    result.session = session.run(job.responder, rng, scope);
+
+    if (result.session.accepted()) {
+      result.outcome = JobOutcome::kAccepted;
+    } else if (result.session.conclusive()) {
+      result.outcome = JobOutcome::kRejected;
+    } else {
+      result.outcome = JobOutcome::kInconclusive;
+    }
+    metrics_.record_outcome(result.outcome, result.session.total_us);
   }
-  metrics_.record_outcome(result.outcome, result.session.total_us);
+
+  if (verify_span.active()) {
+    verify_span.note("outcome", static_cast<double>(result.outcome));
+    verify_span.end();
+    // The job root reuses the id handed out by sample_root() at submit():
+    // its children were parented under trace_id while the job ran, and the
+    // record itself is emitted only now that the interval is closed.
+    obs::SpanRecord root;
+    root.id = trace_id;
+    root.name = "pool.job";
+    root.start_ns = enqueue_ns;
+    root.end_ns = obs::monotonic_ns();
+    root.notes[0] = obs::Note{"outcome", static_cast<double>(result.outcome)};
+    root.note_count = 1;
+    config_.tracer->emit(root);
+  }
   if (on_complete_) on_complete_(result);
 }
 

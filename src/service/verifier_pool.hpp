@@ -33,6 +33,7 @@
 
 #include "core/faulty_channel.hpp"
 #include "core/session.hpp"
+#include "obs/trace.hpp"
 #include "service/emulator_cache.hpp"
 #include "service/metrics.hpp"
 
@@ -43,6 +44,11 @@ struct PoolConfig {
   std::size_t queue_capacity = 64;
   core::SessionPolicy session;         ///< retry policy for every session
   core::ChannelParams channel;         ///< link model for every session
+  /// Optional span tracer (must outlive the pool).  Each sampled job
+  /// yields a "pool.job" root covering enqueue→completion, with
+  /// "pool.queue_wait" and "pool.verify" children; the cache and the
+  /// session hang their spans under pool.verify.  Null = no tracing.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// One attestation request against a registered device.
@@ -110,8 +116,19 @@ class VerifierPool {
   MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
 
  private:
+  /// A queued job plus its tracing identity.  trace_id != 0 marks a
+  /// sampled job: it is the pre-allocated span id of the eventual
+  /// "pool.job" root, decided at submit() so queue wait is attributable
+  /// even though the record is only emitted when the job completes.
+  struct Queued {
+    AttestationJob job;
+    std::uint64_t trace_id = 0;
+    std::uint64_t enqueue_ns = 0;  ///< stamped iff trace_id != 0
+  };
+
   void worker_loop();
-  void run_job(const AttestationJob& job);
+  void run_job(const AttestationJob& job, std::uint64_t trace_id,
+               std::uint64_t enqueue_ns);
   double estimate_retry_after_us() const;  ///< caller holds mutex_
 
   EmulatorCache* cache_;
@@ -122,7 +139,7 @@ class VerifierPool {
   mutable std::mutex mutex_;
   std::condition_variable work_ready_;   ///< queue non-empty or exiting
   std::condition_variable queue_idle_;   ///< queue empty and nothing in flight
-  std::deque<AttestationJob> queue_;
+  std::deque<Queued> queue_;
   std::size_t in_flight_ = 0;
   bool accepting_ = true;
   bool exiting_ = false;

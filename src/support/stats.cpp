@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 namespace pufatt::support {
@@ -26,6 +27,34 @@ double OnlineStats::variance() const {
 }
 
 double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double LogScale::upper_edge(std::size_t bucket) const {
+  if (bucket + 1 >= buckets) return std::numeric_limits<double>::infinity();
+  double edge = first_edge;
+  for (std::size_t i = 0; i < bucket; ++i) edge *= base;
+  return edge;
+}
+
+std::size_t LogScale::bucket_for(double value) const {
+  double edge = first_edge;
+  for (std::size_t i = 0; i + 1 < buckets; ++i) {
+    if (value < edge) return i;
+    edge *= base;
+  }
+  return buckets - 1;
+}
+
+std::size_t bucket_quantile(const std::uint64_t* counts, std::size_t num_bins,
+                            std::uint64_t total, double q) {
+  if (total == 0 || num_bins == 0) return 0;
+  const double target = q * static_cast<double>(total);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < num_bins; ++i) {
+    acc += static_cast<double>(counts[i]);
+    if (acc >= target) return i;
+  }
+  return num_bins - 1;
+}
 
 Histogram::Histogram(std::size_t num_bins) : bins_(num_bins, 0) {}
 
@@ -65,14 +94,7 @@ double Histogram::fraction(std::size_t i) const {
 }
 
 std::size_t Histogram::quantile(double q) const {
-  if (total_ == 0) return 0;
-  const double target = q * static_cast<double>(total_);
-  double acc = 0.0;
-  for (std::size_t i = 0; i < bins_.size(); ++i) {
-    acc += static_cast<double>(bins_[i]);
-    if (acc >= target) return i;
-  }
-  return bins_.size() - 1;
+  return bucket_quantile(bins_.data(), bins_.size(), total_, q);
 }
 
 std::string Histogram::render(const std::string& label,

@@ -31,6 +31,35 @@ class OnlineStats {
   double max_ = 0.0;
 };
 
+/// Geometric bucket edges shared by every log-scale histogram in the tree
+/// (service latency histograms, the obs MetricRegistry histograms).
+/// Bucket i counts values in [upper_edge(i-1), upper_edge(i)) with
+/// upper_edge(i) = first_edge * base^i; the last bucket is unbounded.
+/// Edges are computed by repeated multiplication, not pow(), so bucket
+/// boundaries are bit-identical everywhere — the service's JSON snapshots
+/// are byte-stable contracts.
+struct LogScale {
+  double first_edge = 100.0;  ///< upper edge of bucket 0
+  double base = 4.0;          ///< geometric growth per bucket
+  std::size_t buckets = 8;
+
+  /// Upper edge of `bucket`; +infinity for the last bucket.
+  double upper_edge(std::size_t bucket) const;
+  /// Index of the bucket containing `value`.
+  std::size_t bucket_for(double value) const;
+
+  bool operator==(const LogScale& other) const {
+    return first_edge == other.first_edge && base == other.base &&
+           buckets == other.buckets;
+  }
+};
+
+/// Smallest bucket index such that at least `q * total` of the mass lies
+/// at or below it (the quantile rule both Histogram and the log-scale
+/// histograms use).  Returns 0 on an empty histogram.
+std::size_t bucket_quantile(const std::uint64_t* counts, std::size_t num_bins,
+                            std::uint64_t total, double q);
+
 /// Histogram over the integers [0, num_bins).  Out-of-range samples are
 /// clamped into the closest bin and counted in `clamped()` so that harness
 /// code can detect mis-sized histograms.

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pufatt::timingsim {
 
 using netlist::Gate;
@@ -43,6 +46,14 @@ CompiledNetlist::CompiledNetlist(const netlist::Netlist& net,
 
 void CompiledNetlist::build(const netlist::Netlist& net,
                             const std::vector<GateId>* observed) {
+  // Compilation is the cold half of a cache miss (cache.build ends up
+  // here via the Verifier constructor); a span per compile makes cold
+  // starts visible next to the per-batch kernels they amortize into.
+  obs::Span span;
+  if (obs::global_trace_enabled()) {
+    obs::global_registry().counter("sim.compiles").add(1);
+    span = obs::global_tracer().span("sim.compile");
+  }
   const auto& gates = net.gates();
   const std::size_t n = gates.size();
   kinds_.resize(n);
@@ -128,6 +139,11 @@ void CompiledNetlist::build(const netlist::Netlist& net,
     if (active_[id] != 0) {
       schedule_[cursor[level_[id]]++] = static_cast<GateId>(id);
     }
+  }
+  if (span.active()) {
+    span.note("gates", static_cast<double>(n));
+    span.note("levels", static_cast<double>(num_levels()));
+    span.note("active", static_cast<double>(active_count));
   }
 }
 

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace pufatt::timingsim {
 
 using netlist::GateId;
@@ -11,6 +14,26 @@ using netlist::GateKind;
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Profiling hook shared by both run_batch overloads.  Inert (one relaxed
+// load + branch, or nothing at all under -DPUFATT_TRACE=0) unless the
+// global tracer is on; then each batch gets a "sim.run_batch" span plus
+// occupancy metrics — sim.lanes/sim.batches is the mean batch fill, the
+// number the batched engine's speedup lives or dies by.
+obs::Span trace_batch(std::size_t batch, std::size_t gates) {
+  if (!obs::global_trace_enabled()) return obs::Span{};
+  auto& registry = obs::global_registry();
+  static obs::Counter& batches = registry.counter("sim.batches");
+  static obs::Counter& lanes = registry.counter("sim.lanes");
+  static obs::Gauge& occupancy = registry.gauge("sim.batch_occupancy");
+  batches.add(1);
+  lanes.add(batch);
+  occupancy.set(static_cast<double>(batch));
+  obs::Span span = obs::global_tracer().span("sim.run_batch");
+  span.note("batch", static_cast<double>(batch));
+  span.note("gates", static_cast<double>(gates));
+  return span;
+}
 
 void check_netlist_input_order(const CompiledNetlist& compiled) {
   if (!compiled.inputs_in_netlist_order()) {
@@ -521,6 +544,7 @@ void TimingSimulator::run_batch(const std::uint8_t* inputs, std::size_t batch,
                                 const DelaySet& delays, BatchState& out,
                                 const std::vector<double>* input_times_ps) const {
   check_delay_count(delays.rise_ps.size(), delays.fall_ps.size());
+  obs::Span span = trace_batch(batch, net_->num_gates());
   run_batch_impl(inputs, batch,
                  SharedDelayAt{delays.rise_ps.data(), delays.fall_ps.data()},
                  out, input_times_ps);
@@ -534,6 +558,7 @@ void TimingSimulator::run_batch(const std::uint8_t* inputs, std::size_t batch,
       delays.fall_ps.size() != net_->num_gates() * batch) {
     throw std::invalid_argument("run_batch: wrong per-lane delay count");
   }
+  obs::Span span = trace_batch(batch, net_->num_gates());
   run_batch_impl(
       inputs, batch,
       LaneDelayAt{delays.rise_ps.data(), delays.fall_ps.data(), batch}, out,

@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Pre-merge gate: configure, build, and test the three supported trees.
+#
+#   build       plain (PUFATT_TRACE=ON by default)
+#   build-asan  AddressSanitizer + UBSan   (-DPUFATT_SANITIZE=ON)
+#   build-tsan  ThreadSanitizer           (-DPUFATT_TSAN=ON)
+#
+# Every tree runs the full ctest suite *including* the bench-labeled
+# smokes (service_throughput_smoke, sim_engine_smoke, micro_perf_smoke,
+# obs_overhead_smoke), so the stable-schema BENCH_*.json writers and the
+# tracing overhead gates are exercised under each sanitizer too.
+#
+# Usage: tools/ci.sh [extra ctest args...]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_tree() {
+  local tree="$1"
+  shift
+  echo "=== ${tree}: configure ($*) ==="
+  cmake -B "${tree}" -S . "$@"
+  echo "=== ${tree}: build ==="
+  cmake --build "${tree}" -j "${JOBS}"
+  echo "=== ${tree}: ctest ==="
+  # ${arr[@]+...} keeps `set -u` happy on bash < 4.4 when no args given.
+  (cd "${tree}" && ctest --output-on-failure -j "${JOBS}" \
+      ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
+}
+
+CTEST_ARGS=("$@")
+
+run_tree build
+run_tree build-asan -DPUFATT_SANITIZE=ON
+run_tree build-tsan -DPUFATT_TSAN=ON
+
+echo "=== ci.sh: all trees green ==="

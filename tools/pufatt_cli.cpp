@@ -5,7 +5,9 @@
 //   pufatt-cli attest <chip-seed> <record.bin>     run one attestation
 //   pufatt-cli disasm <record.bin>                 list the attested program
 //   pufatt-cli serve-demo [workers] [sessions] [devices]
-//                                                  run the concurrent service
+//              [--trace-out=<f>] [--trace-jsonl=<f>] [--metrics-out=<f>]
+//              [--trace-sample=<r>]                 run the concurrent service
+//   pufatt-cli trace-report <trace-file>           aggregate an exported trace
 //   pufatt-cli gen-crps <chip-seed> <count> <threads> <out.csv>
 //                                                  dump protocol CRPs (batched)
 //
@@ -17,6 +19,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -29,6 +32,9 @@
 #include "core/serialize.hpp"
 #include "cpu/disassembler.hpp"
 #include "ecc/reed_muller.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_read.hpp"
 #include "service/device_registry.hpp"
 #include "service/emulator_cache.hpp"
 #include "service/verifier_pool.hpp"
@@ -50,6 +56,15 @@ int usage() {
                "       pufatt-cli attest <chip-seed> <record.bin>\n"
                "       pufatt-cli disasm <record.bin>\n"
                "       pufatt-cli serve-demo [workers] [sessions] [devices]\n"
+               "                  [--trace-out=<trace.json>]   Chrome "
+               "trace_event export\n"
+               "                  [--trace-jsonl=<spans.jsonl>] line-oriented "
+               "span export\n"
+               "                  [--metrics-out=<metrics.json>] registry "
+               "snapshot\n"
+               "                  [--trace-sample=<rate>]      root-span "
+               "sampling in [0,1]\n"
+               "       pufatt-cli trace-report <trace-file>\n"
                "       pufatt-cli gen-crps <chip-seed> <count> <threads> "
                "<out.csv>\n");
   return 64;
@@ -70,6 +85,47 @@ bool parse_u64(const char* text, std::uint64_t& value) {
 int bad_argument(const char* what, const char* got) {
   std::fprintf(stderr, "error: malformed %s '%s'\n", what, got);
   return usage();
+}
+
+/// Strict double parse, same contract as parse_u64.
+bool parse_f64(const char* text, double& value) {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double parsed = std::strtod(text, &end);
+  if (errno != 0 || end == text || *end != '\0') return false;
+  value = parsed;
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s' for writing\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(content.data(), 1, content.size(), out) == content.size();
+  std::fclose(out);
+  if (!ok) std::fprintf(stderr, "error: short write to '%s'\n", path.c_str());
+  return ok;
+}
+
+bool read_file(const std::string& path, std::string& content) {
+  std::FILE* in = std::fopen(path.c_str(), "rb");
+  if (in == nullptr) {
+    std::fprintf(stderr, "error: cannot open '%s'\n", path.c_str());
+    return false;
+  }
+  char buffer[1 << 16];
+  std::size_t got = 0;
+  while ((got = std::fread(buffer, 1, sizeof(buffer), in)) > 0) {
+    content.append(buffer, got);
+  }
+  const bool ok = std::ferror(in) == 0;
+  std::fclose(in);
+  if (!ok) std::fprintf(stderr, "error: cannot read '%s'\n", path.c_str());
+  return ok;
 }
 
 int cmd_enroll(std::uint64_t chip_seed, const std::string& path) {
@@ -150,12 +206,24 @@ int cmd_disasm(const std::string& path) {
   return 0;
 }
 
+/// Observability outputs of serve-demo; all optional.
+struct ServeDemoObs {
+  std::string trace_out;    ///< Chrome trace_event JSON
+  std::string trace_jsonl;  ///< line-oriented span export
+  std::string metrics_out;  ///< registry snapshot JSON
+  double trace_sample = 1.0;
+
+  bool tracing() const {
+    return !trace_out.empty() || !trace_jsonl.empty() || !metrics_out.empty();
+  }
+};
+
 // serve-demo: stand up the whole concurrent service in-process — enroll a
 // small fleet, register it, then pump attestation jobs through the worker
 // pool over a mildly lossy simulated radio and print the metrics.  One
 // device answers with a tampered image so the rejected path shows up too.
 int cmd_serve_demo(std::uint64_t workers, std::uint64_t sessions,
-                   std::uint64_t devices) {
+                   std::uint64_t devices, const ServeDemoObs& obs_out) {
   if (workers == 0 || sessions == 0 || devices == 0) {
     std::fprintf(stderr, "error: workers, sessions and devices must be > 0\n");
     return usage();
@@ -196,6 +264,14 @@ int cmd_serve_demo(std::uint64_t workers, std::uint64_t sessions,
   service::PoolConfig config;
   config.workers = workers;
   config.queue_capacity = 2 * workers;
+  if (obs_out.tracing()) {
+    // One tracer serves both layers: the pool parents its spans explicitly,
+    // and the timing kernels' global-tracer spans land in the same export.
+    obs::global_tracer().clear();
+    obs::global_registry().reset();
+    obs::set_global_trace(true, obs_out.trace_sample);
+    config.tracer = &obs::global_tracer();
+  }
 
   // Per-device accepted/rejected tallies, keyed by round-robin index.
   struct Tally {
@@ -252,6 +328,28 @@ int cmd_serve_demo(std::uint64_t workers, std::uint64_t sessions,
           .count();
 
   const auto snap = pool.metrics_snapshot();
+
+  bool exports_ok = true;
+  if (obs_out.tracing()) {
+    obs::set_global_trace(false);
+    service::publish_metrics(snap, cache.counters(), obs::global_registry());
+    if (!obs_out.metrics_out.empty()) {
+      exports_ok &= write_file(obs_out.metrics_out,
+                               obs::global_registry().snapshot_json() + "\n");
+    }
+    auto& tracer = obs::global_tracer();
+    if (!obs_out.trace_out.empty()) {
+      exports_ok &= write_file(obs_out.trace_out, tracer.to_trace_event());
+    }
+    if (!obs_out.trace_jsonl.empty()) {
+      exports_ok &= write_file(obs_out.trace_jsonl, tracer.to_jsonl());
+    }
+    std::printf("trace: %zu spans recorded, %llu dropped (sample rate %g)\n",
+                tracer.records().size(),
+                static_cast<unsigned long long>(tracer.dropped()),
+                obs_out.trace_sample);
+  }
+
   std::printf("\n%llu sessions on %llu workers over %llu devices "
               "in %.2f s (%.1f sessions/s)\n",
               static_cast<unsigned long long>(sessions),
@@ -280,7 +378,7 @@ int cmd_serve_demo(std::uint64_t workers, std::uint64_t sessions,
   const bool infected_ok =
       infected_tally.accepted == 0 &&
       (infected_sessions == 0 || infected_tally.rejected > 0);
-  const bool ok = infected_ok &&
+  const bool ok = infected_ok && exports_ok &&
                   snap.accepted + snap.rejected + snap.inconclusive == sessions;
   std::printf("\n[%s] all sessions accounted; tampered device never "
               "accepted (%llu/%llu of its sessions rejected)\n",
@@ -288,6 +386,90 @@ int cmd_serve_demo(std::uint64_t workers, std::uint64_t sessions,
               static_cast<unsigned long long>(infected_tally.rejected),
               static_cast<unsigned long long>(infected_sessions));
   return ok ? 0 : 1;
+}
+
+/// Nearest-rank percentile over a sorted sample; 0 on empty input.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0.0;
+  const auto idx = static_cast<std::size_t>(
+      q * static_cast<double>(sorted.size() - 1) + 0.5);
+  return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// trace-report: aggregate an exported trace (either format) into
+// per-stage latency percentiles.  Host-time stages (queue wait, emulator
+// build, verify, ...) come from span durations; the channel RTT and the
+// delta-margin column come from the simulated timings the session spans
+// carry as notes — margin = deadline_us - elapsed_us is the headroom the
+// paper's timing bound had on each verified attempt, the first number to
+// look at when honest devices start false-rejecting.
+int cmd_trace_report(const std::string& path) {
+  std::string text;
+  if (!read_file(path, text)) return 1;
+  const auto spans = obs::read_trace(text);
+  if (spans.empty()) {
+    std::fprintf(stderr, "error: no spans in '%s'\n", path.c_str());
+    return 1;
+  }
+
+  struct Stage {
+    std::vector<double> dur_us;
+    std::vector<double> margins_us;  ///< deadline - elapsed, where noted
+  };
+  std::map<std::string, Stage> stages;
+  std::vector<double> rtt_us;  ///< simulated RTT of delivered attempts
+  for (const auto& span : spans) {
+    Stage& stage = stages[span.name];
+    stage.dur_us.push_back(span.dur_us);
+    if (span.notes.count("deadline_us") != 0) {
+      stage.margins_us.push_back(span.note_or("deadline_us", 0.0) -
+                                 span.note_or("elapsed_us", 0.0));
+    }
+    if (span.name == "session.attempt" &&
+        span.note_or("delivered", 0.0) != 0.0) {
+      rtt_us.push_back(span.note_or("elapsed_us", 0.0));
+    }
+  }
+
+  std::printf("trace report: %zu spans, %zu stages (%s)\n\n", spans.size(),
+              stages.size(), path.c_str());
+  std::printf("%-18s %7s %10s %10s %10s %10s %16s\n", "stage", "count",
+              "p50_us", "p90_us", "p99_us", "max_us", "delta_margin_p50");
+  for (auto& [name, stage] : stages) {
+    std::sort(stage.dur_us.begin(), stage.dur_us.end());
+    std::printf("%-18s %7zu %10.1f %10.1f %10.1f %10.1f", name.c_str(),
+                stage.dur_us.size(), percentile(stage.dur_us, 0.5),
+                percentile(stage.dur_us, 0.9), percentile(stage.dur_us, 0.99),
+                stage.dur_us.back());
+    if (stage.margins_us.empty()) {
+      std::printf(" %16s\n", "-");
+    } else {
+      std::sort(stage.margins_us.begin(), stage.margins_us.end());
+      std::printf(" %16.1f\n", percentile(stage.margins_us, 0.5));
+    }
+  }
+
+  // The span durations above are host time; these two are the simulated
+  // protocol clock, which is what the delta bound actually constrains.
+  std::sort(rtt_us.begin(), rtt_us.end());
+  std::printf("\nchannel_rtt_us (simulated, delivered attempts): "
+              "count=%zu p50=%.1f p90=%.1f p99=%.1f max=%.1f\n",
+              rtt_us.size(), percentile(rtt_us, 0.5), percentile(rtt_us, 0.9),
+              percentile(rtt_us, 0.99), rtt_us.empty() ? 0.0 : rtt_us.back());
+
+  std::vector<double> margins;
+  for (const auto& [name, stage] : stages) {
+    margins.insert(margins.end(), stage.margins_us.begin(),
+                   stage.margins_us.end());
+  }
+  std::sort(margins.begin(), margins.end());
+  const std::size_t violations = static_cast<std::size_t>(
+      std::lower_bound(margins.begin(), margins.end(), 0.0) - margins.begin());
+  std::printf("delta_margin_us (deadline - elapsed, verified attempts): "
+              "count=%zu min=%.1f p10=%.1f p50=%.1f violations=%zu\n",
+              margins.size(), margins.empty() ? 0.0 : margins.front(),
+              percentile(margins, 0.1), percentile(margins, 0.5), violations);
+  return 0;
 }
 
 // gen-crps: dump protocol-level CRPs (64-bit challenge -> obfuscated
@@ -373,18 +555,54 @@ int main(int argc, char** argv) {
       return argc == 3 ? cmd_disasm(argv[2]) : usage();
     }
     if (cmd == "serve-demo") {
-      if (argc > 5) return usage();
+      ServeDemoObs obs_out;
+      std::vector<const char*> positional;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+          positional.push_back(argv[i]);
+          continue;
+        }
+        const auto eq = arg.find('=');
+        const std::string flag = arg.substr(0, eq);
+        const std::string value =
+            eq == std::string::npos ? "" : arg.substr(eq + 1);
+        if (flag == "--trace-out" || flag == "--trace-jsonl" ||
+            flag == "--metrics-out") {
+          if (value.empty()) {
+            std::fprintf(stderr, "error: %s needs a file path\n", flag.c_str());
+            return usage();
+          }
+          (flag == "--trace-out"     ? obs_out.trace_out
+           : flag == "--trace-jsonl" ? obs_out.trace_jsonl
+                                     : obs_out.metrics_out) = value;
+        } else if (flag == "--trace-sample") {
+          if (!parse_f64(value.c_str(), obs_out.trace_sample) ||
+              obs_out.trace_sample < 0.0 || obs_out.trace_sample > 1.0) {
+            return bad_argument("sample rate (want [0,1])", value.c_str());
+          }
+        } else {
+          // An operator mistyping --trace-ot must get a hard error, not a
+          // silently untraced run.
+          std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+          return usage();
+        }
+      }
+      if (positional.size() > 3) return usage();
       std::uint64_t workers = 4, sessions = 32, devices = 6;
-      if (argc > 2 && !parse_u64(argv[2], workers)) {
-        return bad_argument("worker count", argv[2]);
+      if (positional.size() > 0 && !parse_u64(positional[0], workers)) {
+        return bad_argument("worker count", positional[0]);
       }
-      if (argc > 3 && !parse_u64(argv[3], sessions)) {
-        return bad_argument("session count", argv[3]);
+      if (positional.size() > 1 && !parse_u64(positional[1], sessions)) {
+        return bad_argument("session count", positional[1]);
       }
-      if (argc > 4 && !parse_u64(argv[4], devices)) {
-        return bad_argument("device count", argv[4]);
+      if (positional.size() > 2 && !parse_u64(positional[2], devices)) {
+        return bad_argument("device count", positional[2]);
       }
-      return cmd_serve_demo(workers, sessions, devices);
+      return cmd_serve_demo(workers, sessions, devices, obs_out);
+    }
+    if (cmd == "trace-report") {
+      return argc == 3 ? cmd_trace_report(argv[2]) : usage();
     }
     if (cmd == "gen-crps") {
       if (argc != 6) return usage();
