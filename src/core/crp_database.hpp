@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "alupuf/alu_puf.hpp"
@@ -33,6 +34,12 @@ class CrpDatabase {
     bool exhausted = false;    ///< no unused entries left
     std::size_t distance = 0;  ///< summed HD over the entry's challenges
     std::size_t compared_bits = 0;
+
+    /// An exhausted database yields no evidence about the device at all —
+    /// tallies must treat it like a starved transport (PR 1's inconclusive
+    /// != rejection rule), never as a rejection.  Callers branch on this,
+    /// not on `!accepted`.
+    bool conclusive() const { return !exhausted; }
   };
 
   /// Authenticates a device claiming to be the enrolled one: replays the
@@ -49,8 +56,30 @@ class CrpDatabase {
   /// Unused entries left (O(1): entries are consumed strictly in order, so
   /// a cursor past the last consumed entry is the full accounting).
   std::size_t remaining() const { return entries_.size() - next_unused_; }
+  /// Entries consumed so far; entry indices below this are spent.
+  std::size_t consumed() const { return next_unused_; }
   /// Storage footprint in bytes (the scalability drawback, quantified).
   std::size_t storage_bytes() const;
+
+  /// Marks every entry up to and including `index` as consumed — the
+  /// durable store's WAL replay primitive.  Monotonic (the cursor only
+  /// advances) and idempotent, so replaying the same consume marker twice,
+  /// or on top of a snapshot that already folded it, is harmless.  Throws
+  /// std::out_of_range when `index` is not a valid entry.
+  void mark_consumed_through(std::size_t index);
+
+  // --- persistence ----------------------------------------------------------
+  // The consume cursor is part of the serialized state: a reloaded
+  // database keeps refusing entries that were spent before the save, which
+  // is the whole anti-replay point of a single-use database.
+
+  /// Writes the full database (entries + consume cursor) to a binary
+  /// stream; byte-stable for a given state.
+  void save(std::ostream& out) const;
+
+  /// Reads a database written by save(); throws SerializationError (see
+  /// core/serialize.hpp) on malformed input.
+  static CrpDatabase load(std::istream& in);
 
  private:
   struct Entry {

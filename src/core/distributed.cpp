@@ -53,6 +53,13 @@ DistributedNetwork::DistributedNetwork(
     node.record = enroll(*node.device, params.profile, image);
     node.verifier_of_me =
         std::make_unique<Verifier>(node.record, *code_, params.radio);
+    if (params.crp_entries_per_node > 0) {
+      // Verification option 1: the trusted party also records a bounded
+      // single-use CRP database per node at deployment time.
+      support::Xoshiro256pp crp_rng(seed + 9000 + i);
+      node.crp_db_of_me = std::make_unique<CrpDatabase>(CrpDatabase::collect(
+          node.device->raw_puf(), params.crp_entries_per_node, crp_rng));
+    }
   }
   for (const auto& [index, health] : compromised) {
     if (index >= nodes_.size()) {
@@ -93,6 +100,57 @@ DistributedNetwork::DistributedNetwork(
       adjacency_[i].push_back((i + params.num_nodes - d) % params.num_nodes);
     }
   }
+}
+
+std::size_t DistributedNetwork::crp_remaining(std::size_t node) const {
+  if (node >= nodes_.size()) {
+    throw std::invalid_argument("DistributedNetwork: bad node index");
+  }
+  return nodes_[node].crp_db_of_me ? nodes_[node].crp_db_of_me->remaining()
+                                   : 0;
+}
+
+std::vector<NodeVerdict> DistributedNetwork::run_crp_round(
+    support::Xoshiro256pp& rng) {
+  if (params_.crp_entries_per_node == 0) {
+    throw std::logic_error(
+        "DistributedNetwork: CRP audits need crp_entries_per_node > 0");
+  }
+  std::vector<NodeVerdict> verdicts(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    verdicts[i].truth = nodes_[i].health;
+  }
+  for (std::size_t auditor = 0; auditor < nodes_.size(); ++auditor) {
+    for (const auto target : adjacency_[auditor]) {
+      NodeVerdict& verdict = verdicts[target];
+      ++verdict.audits;
+      if (partitioned_[auditor] || partitioned_[target]) {
+        // Dead zone: the challenge never reaches the target.  No database
+        // entry is spent on an audit that cannot complete.
+        ++verdict.inconclusive;
+        continue;
+      }
+      // Malware does not alter the PUF, so the audited silicon is the
+      // target's real device regardless of its software health.
+      const auto result =
+          nodes_[target].crp_db_of_me->authenticate(
+              nodes_[target].device->raw_puf(), rng);
+      if (!result.conclusive()) {
+        // Exhausted database = no evidence, mirroring the transport rule:
+        // running dry must never read as a rejection of a healthy node.
+        ++verdict.inconclusive;
+        continue;
+      }
+      ++verdict.completed;
+      if (!result.accepted) ++verdict.rejections;
+    }
+  }
+  for (auto& verdict : verdicts) {
+    verdict.evidence_met = verdict.completed >= params_.min_evidence;
+    verdict.convicted =
+        verdict.evidence_met && verdict.rejections >= params_.quorum;
+  }
+  return verdicts;
 }
 
 void DistributedNetwork::set_partitioned(std::size_t node, bool partitioned) {

@@ -14,6 +14,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/crp_database.hpp"
 #include "core/enrollment.hpp"
 #include "core/faulty_channel.hpp"
 #include "core/protocol.hpp"
@@ -44,6 +45,10 @@ struct DistributedParams {
   /// With radio faults a node in a dead zone completes zero audits; the
   /// evidence floor keeps silence from reading as guilt.
   std::size_t min_evidence = 1;
+  /// When > 0, the deployment also distributes a single-use CRP database
+  /// of this many entries per node (the paper's first verification
+  /// option), enabling run_crp_round() hardware-identity audits.
+  std::size_t crp_entries_per_node = 0;
   DeviceProfile profile = small_profile();
 
   static DeviceProfile small_profile();
@@ -82,6 +87,22 @@ class DistributedNetwork {
   /// audits that actually completed, subject to the evidence floor).
   std::vector<NodeVerdict> run_round(support::Xoshiro256pp& rng);
 
+  /// One CRP-database audit round (requires crp_entries_per_node > 0,
+  /// throws std::logic_error otherwise): every node replays the next
+  /// unused entry of each neighbour's distributed CRP database against
+  /// that neighbour's physical PUF.  This is the paper's verification
+  /// option 1 — it authenticates the *silicon*, not the software image,
+  /// so malware-carrying nodes with genuine hardware still pass; what it
+  /// catches is substituted/cloned hardware.  Tally rule: an exhausted
+  /// database yields no evidence (AuthResult::conclusive() is false) and
+  /// lands in `inconclusive`, never in `rejections` — running out of
+  /// entries must not convict a healthy node, exactly like transport
+  /// starvation in run_round().
+  std::vector<NodeVerdict> run_crp_round(support::Xoshiro256pp& rng);
+
+  /// Unused CRP-database entries left for audits of `node`.
+  std::size_t crp_remaining(std::size_t node) const;
+
   /// Marks a node as (un)reachable: every link touching it drops all
   /// traffic, modelling a radio dead zone.  Its audits become
   /// inconclusive, never rejections.
@@ -99,6 +120,9 @@ class DistributedNetwork {
     EnrollmentRecord record;           ///< this node's own enrollment
     std::unique_ptr<CpuProver> prover; ///< how it actually answers
     std::unique_ptr<Verifier> verifier_of_me;  ///< what neighbours hold
+    /// Single-use CRP database neighbours audit this node against
+    /// (only when DistributedParams::crp_entries_per_node > 0).
+    std::unique_ptr<CrpDatabase> crp_db_of_me;
     NodeHealth health = NodeHealth::kHealthy;
   };
 

@@ -1,6 +1,7 @@
 #include "service/device_registry.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <fstream>
 #include <ostream>
 
@@ -147,9 +148,24 @@ DeviceRegistry DeviceRegistry::load_registry(std::istream& in,
 }
 
 void DeviceRegistry::save_file(const std::string& path) const {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) throw core::SerializationError("cannot open " + path);
-  save(out);
+  // Atomic snapshot: write to a sibling temp file, then rename over the
+  // target.  A crash (or any failure) mid-save can only ever lose the temp
+  // file — the previous snapshot at `path` stays intact and loadable.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw core::SerializationError("cannot open " + tmp);
+    save(out);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw core::SerializationError("write failed: " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw core::SerializationError("cannot rename " + tmp + " -> " + path);
+  }
 }
 
 DeviceRegistry DeviceRegistry::load_registry_file(const std::string& path,

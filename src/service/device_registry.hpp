@@ -72,6 +72,9 @@ class DeviceRegistry {
   static DeviceRegistry load_registry(std::istream& in,
                                       std::size_t shards = 16);
 
+  /// Atomic: writes `path + ".tmp"` then renames it over `path`, so a
+  /// crash mid-save never leaves a torn snapshot — readers see either the
+  /// old complete file or the new complete file.
   void save_file(const std::string& path) const;
   static DeviceRegistry load_registry_file(const std::string& path,
                                            std::size_t shards = 16);

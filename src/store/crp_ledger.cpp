@@ -1,0 +1,204 @@
+#include "store/crp_ledger.hpp"
+
+#include <istream>
+#include <ostream>
+#include <utility>
+
+#include "core/serialize.hpp"
+#include "store/records.hpp"
+#include "store/wal.hpp"
+
+namespace pufatt::store {
+
+namespace {
+
+constexpr std::uint32_t kLedgerMagic = 0x47444C50;  // "PLDG"
+constexpr std::uint32_t kLedgerVersion = 1;
+constexpr std::uint32_t kMaxLedgerDevices = 1u << 20;
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(bytes, 4);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  char bytes[4];
+  in.read(bytes, 4);
+  if (!in) throw StoreError("truncated CRP ledger");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+}  // namespace
+
+CrpLedger::CrpLedger(WalWriter* wal, Options options)
+    : wal_(wal), options_(std::move(options)) {}
+
+void CrpLedger::enroll(const std::string& device_id, core::CrpDatabase db) {
+  // Log-before-apply: the enrollment is in the WAL buffer before the
+  // in-memory map ever serves it.
+  if (wal_ != nullptr) {
+    wal_->append(kCrpEnroll, encode_crp_enroll(device_id, db));
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot slot;
+  slot.db = std::move(db);
+  slot.low_notified = slot.db.remaining() <= options_.low_watermark;
+  slots_.insert_or_assign(device_id, std::move(slot));
+}
+
+bool CrpLedger::erase(const std::string& device_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.erase(device_id) > 0;
+}
+
+std::optional<std::pair<std::string, std::size_t>>
+CrpLedger::check_watermark_locked(const std::string& device_id) {
+  auto it = slots_.find(device_id);
+  if (it == slots_.end()) return std::nullopt;
+  const std::size_t remaining = it->second.db.remaining();
+  if (remaining > options_.low_watermark) {
+    it->second.low_notified = false;  // replenished: re-arm
+    return std::nullopt;
+  }
+  if (it->second.low_notified || !options_.on_low) return std::nullopt;
+  it->second.low_notified = true;
+  return std::make_pair(device_id, remaining);
+}
+
+std::optional<core::CrpDatabase::AuthResult> CrpLedger::authenticate(
+    const std::string& device_id, const alupuf::AluPuf& device,
+    support::Xoshiro256pp& rng, double threshold_fraction,
+    const variation::Environment& env) {
+  std::optional<core::CrpDatabase::AuthResult> result;
+  std::optional<std::pair<std::string, std::size_t>> low;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = slots_.find(device_id);
+    if (it == slots_.end()) return std::nullopt;
+    // The entry authenticate() will spend is the one at the cursor; record
+    // its index before the call so the marker names exactly that entry.
+    const std::size_t spent_index = it->second.db.consumed();
+    result = it->second.db.authenticate(device, rng, threshold_fraction, env);
+    if (result->conclusive() && wal_ != nullptr) {
+      // Marker before the result escapes this function: an accepted
+      // verdict is never observable without its consumption logged.
+      wal_->append(kCrpConsume, encode_crp_consume(device_id, spent_index));
+    }
+    if (result->conclusive()) low = check_watermark_locked(device_id);
+  }
+  // Outside the lock: the hook may re-enter (enroll a replenished db).
+  if (low) options_.on_low(low->first, low->second);
+  return result;
+}
+
+std::optional<std::size_t> CrpLedger::remaining(
+    const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(device_id);
+  if (it == slots_.end()) return std::nullopt;
+  return it->second.db.remaining();
+}
+
+bool CrpLedger::contains(const std::string& device_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.count(device_id) > 0;
+}
+
+std::size_t CrpLedger::device_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size();
+}
+
+std::size_t CrpLedger::total_remaining() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::size_t total = 0;
+  for (const auto& [id, slot] : slots_) total += slot.db.remaining();
+  return total;
+}
+
+std::vector<std::string> CrpLedger::device_ids() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> ids;
+  ids.reserve(slots_.size());
+  for (const auto& [id, slot] : slots_) ids.push_back(id);
+  return ids;  // std::map iteration order: already sorted
+}
+
+void CrpLedger::replay_enroll(const std::string& device_id,
+                              core::CrpDatabase db) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Slot slot;
+  slot.db = std::move(db);
+  slot.low_notified = slot.db.remaining() <= options_.low_watermark;
+  slots_.insert_or_assign(device_id, std::move(slot));
+}
+
+void CrpLedger::replay_erase(const std::string& device_id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  slots_.erase(device_id);
+}
+
+void CrpLedger::replay_consume(const std::string& device_id,
+                               std::uint64_t entry_index) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = slots_.find(device_id);
+  if (it == slots_.end()) {
+    throw StoreError("WAL consume marker for a device with no CRP database: " +
+                     device_id);
+  }
+  try {
+    it->second.db.mark_consumed_through(static_cast<std::size_t>(entry_index));
+  } catch (const std::out_of_range&) {
+    throw StoreError("WAL consume marker past the database for " + device_id);
+  }
+  it->second.low_notified =
+      it->second.db.remaining() <= options_.low_watermark;
+}
+
+void CrpLedger::save(std::ostream& out) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  write_u32(out, kLedgerMagic);
+  write_u32(out, kLedgerVersion);
+  write_u32(out, static_cast<std::uint32_t>(slots_.size()));
+  for (const auto& [id, slot] : slots_) {  // sorted: byte-stable
+    write_u32(out, static_cast<std::uint32_t>(id.size()));
+    out.write(id.data(), static_cast<std::streamsize>(id.size()));
+    slot.db.save(out);
+  }
+  if (!out) throw StoreError("CRP ledger write failed");
+}
+
+void CrpLedger::load_into(std::istream& in, CrpLedger& ledger) {
+  if (read_u32(in) != kLedgerMagic) throw StoreError("bad CRP ledger magic");
+  if (read_u32(in) != kLedgerVersion) {
+    throw StoreError("unsupported CRP ledger version");
+  }
+  const std::uint32_t count = read_u32(in);
+  if (count > kMaxLedgerDevices) {
+    throw StoreError("CRP ledger device count exceeds sanity bound");
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const std::uint32_t len = read_u32(in);
+    if (len > kMaxDeviceIdBytes) {
+      throw StoreError("CRP ledger device id exceeds sanity bound");
+    }
+    std::string id(len, '\0');
+    in.read(id.data(), static_cast<std::streamsize>(len));
+    if (!in) throw StoreError("truncated CRP ledger");
+    core::CrpDatabase db;
+    try {
+      db = core::CrpDatabase::load(in);
+    } catch (const core::SerializationError& e) {
+      throw StoreError(std::string("bad CRP database in ledger: ") + e.what());
+    }
+    ledger.replay_enroll(id, std::move(db));
+  }
+}
+
+}  // namespace pufatt::store

@@ -1,0 +1,82 @@
+// Typed WAL record payloads for the verifier store.
+//
+// The WAL layer (store/wal) moves opaque CRC-framed byte strings; this
+// layer gives them meaning.  Five record types cover every durable state
+// mutation a verifier makes:
+//
+//   kEnroll      device enrolled/re-enrolled: id + full EnrollmentRecord
+//   kEvict       device de-registered: id only
+//   kCrpEnroll   a CRP database provisioned for a device: id + full DB
+//   kCrpConsume  one CRP entry spent: id + *absolute* entry index
+//   kCheckpoint  zero-payload marker (store-inspect bookkeeping)
+//
+// Replay of each type is idempotent, which is what lets recovery apply a
+// WAL on top of a snapshot that may already contain a prefix of it:
+// enroll is last-wins insert, evict of an absent id is a no-op, and a
+// consume marker carries the absolute index so it is applied as
+// "advance cursor to at least index+1" (CrpDatabase::mark_consumed_through)
+// rather than "consume one more" — replaying it twice moves nothing.
+//
+// String payload framing: [u32 id_len][id bytes][type-specific body], all
+// little-endian, matching the core/serialize discipline; decoders throw
+// StoreError on any malformed payload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/crp_database.hpp"
+#include "core/enrollment.hpp"
+#include "store/wal.hpp"
+
+namespace pufatt::store {
+
+enum RecordType : std::uint32_t {
+  kEnroll = 1,
+  kEvict = 2,
+  kCrpEnroll = 3,
+  kCrpConsume = 4,
+  kCheckpoint = 5,
+};
+
+/// Human-readable name for store-inspect ("enroll", "evict", ...);
+/// "unknown" for types this build does not know.
+const char* record_type_name(std::uint32_t type);
+
+/// Device ids inside records are bounded so a corrupt length field cannot
+/// drive a multi-gigabyte allocation before the CRC even gets checked.
+inline constexpr std::size_t kMaxDeviceIdBytes = 4096;
+
+std::string encode_enroll(const std::string& device_id,
+                          const core::EnrollmentRecord& record);
+std::string encode_evict(const std::string& device_id);
+std::string encode_crp_enroll(const std::string& device_id,
+                              const core::CrpDatabase& db);
+std::string encode_crp_consume(const std::string& device_id,
+                               std::uint64_t entry_index);
+
+struct EnrollPayload {
+  std::string device_id;
+  core::EnrollmentRecord record;
+};
+
+struct CrpEnrollPayload {
+  std::string device_id;
+  core::CrpDatabase db;
+};
+
+struct CrpConsumePayload {
+  std::string device_id;
+  std::uint64_t entry_index = 0;
+};
+
+/// Decoders for the corresponding encode_* payloads.  Throw StoreError on
+/// any malformed body (bad length, trailing bytes, nested
+/// SerializationError from the embedded record/database).
+EnrollPayload decode_enroll(const WalRecord& record);
+std::string decode_evict(const WalRecord& record);
+CrpEnrollPayload decode_crp_enroll(const WalRecord& record);
+CrpConsumePayload decode_crp_consume(const WalRecord& record);
+
+}  // namespace pufatt::store

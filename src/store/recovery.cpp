@@ -1,0 +1,166 @@
+#include "store/recovery.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "core/serialize.hpp"
+#include "store/records.hpp"
+
+namespace pufatt::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void write_u32(std::ostream& out, std::uint32_t v) {
+  char bytes[4];
+  for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
+  out.write(bytes, 4);
+}
+
+std::uint32_t read_u32(std::istream& in) {
+  char bytes[4];
+  in.read(bytes, 4);
+  if (!in) throw StoreError("truncated snapshot");
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(bytes[i]))
+         << (8 * i);
+  }
+  return v;
+}
+
+void load_snapshot(const std::string& path, RecoveredState& state,
+                   std::size_t registry_shards) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StoreError("cannot open snapshot " + path);
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    throw StoreError("bad snapshot magic: " + path);
+  }
+  if (read_u32(in) != kSnapshotVersion) {
+    throw StoreError("unsupported snapshot version: " + path);
+  }
+  try {
+    state.registry = service::DeviceRegistry::load_registry(in, registry_shards);
+  } catch (const core::SerializationError& e) {
+    throw StoreError(std::string("bad registry in snapshot: ") + e.what());
+  }
+  CrpLedger::load_into(in, *state.ledger);
+}
+
+void replay_record(const WalRecord& record, RecoveredState& state) {
+  switch (record.type) {
+    case kEnroll: {
+      auto payload = decode_enroll(record);
+      state.registry.store(payload.device_id, std::move(payload.record));
+      break;
+    }
+    case kEvict: {
+      const std::string id = decode_evict(record);
+      state.registry.evict(id);
+      state.ledger->replay_erase(id);
+      break;
+    }
+    case kCrpEnroll: {
+      auto payload = decode_crp_enroll(record);
+      state.ledger->replay_enroll(payload.device_id, std::move(payload.db));
+      break;
+    }
+    case kCrpConsume: {
+      const auto payload = decode_crp_consume(record);
+      state.ledger->replay_consume(payload.device_id, payload.entry_index);
+      break;
+    }
+    case kCheckpoint:
+      break;
+    default:
+      throw StoreError("unknown WAL record type " +
+                       std::to_string(record.type));
+  }
+}
+
+}  // namespace
+
+std::string snapshot_path(const std::string& dir) {
+  return dir + "/snapshot.bin";
+}
+
+RecoveredState recover(const std::string& dir, std::size_t registry_shards,
+                       CrpLedger::Options ledger_options) {
+  RecoveredState state(registry_shards);
+  state.ledger =
+      std::make_unique<CrpLedger>(nullptr, std::move(ledger_options));
+
+  const std::string snap = snapshot_path(dir);
+  std::error_code ec;
+  if (fs::exists(snap, ec)) {
+    state.stats.snapshot_present = true;
+    state.stats.snapshot_bytes = fs::file_size(snap);
+    load_snapshot(snap, state, registry_shards);
+  }
+
+  // The WAL tail: everything since the snapshot, plus (harmlessly, thanks
+  // to idempotent replay) anything the snapshot already folded if a crash
+  // interrupted compaction between the rename and the segment deletion.
+  WalReadResult wal;
+  if (fs::exists(dir, ec)) wal = read_wal(dir);
+  state.stats.wal_segments = wal.segments;
+  state.stats.wal_bytes = wal.bytes;
+  state.stats.torn_tail = wal.torn_tail;
+  for (const auto& record : wal.records) {
+    replay_record(record, state);
+    ++state.stats.records_replayed;
+    ++state.stats.records_by_type[record.type];
+  }
+
+  state.stats.devices = state.registry.size();
+  state.stats.crp_devices = state.ledger->device_count();
+  state.stats.crp_remaining = state.ledger->total_remaining();
+  return state;
+}
+
+void write_snapshot(const std::string& dir,
+                    const service::DeviceRegistry& registry,
+                    const CrpLedger& ledger) {
+  fs::create_directories(dir);
+  const std::string path = snapshot_path(dir);
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) throw StoreError("cannot open " + tmp);
+    out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+    write_u32(out, kSnapshotVersion);
+    registry.save(out);
+    ledger.save(out);
+    out.flush();
+    if (!out) {
+      std::remove(tmp.c_str());
+      throw StoreError("snapshot write failed: " + tmp);
+    }
+  }
+  // The temp file's bytes must be durable before the rename makes them
+  // the snapshot — otherwise a crash could expose a named-but-empty file.
+  fsync_path(tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw StoreError("cannot rename " + tmp + " -> " + path);
+  }
+  fsync_path(dir);
+}
+
+}  // namespace pufatt::store

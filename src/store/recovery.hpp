@@ -1,0 +1,80 @@
+// Crash recovery: snapshot + WAL tail → verifier state.
+//
+// The store's durable state is (snapshot, WAL), with the invariant that
+// replaying the *entire* WAL on top of the snapshot reproduces the live
+// state — even when the snapshot already folded a prefix of that WAL,
+// because every record type replays idempotently (see store/records.hpp).
+// That invariant is what makes compaction crash-safe without any LSN
+// bookkeeping: the snapshot is written atomically (temp file + rename +
+// directory fsync), and a crash *between* the rename and the WAL segment
+// deletion merely leaves a WAL whose records re-apply as no-ops.
+//
+// Snapshot layout:  "PFATSNP1" | version (u32) | DeviceRegistry::save
+//                   bytes | CrpLedger::save bytes
+// Both embedded blobs are self-delimiting with their own magic, so the
+// snapshot needs no internal length fields; any malformed byte stream
+// surfaces as StoreError.
+//
+// Recovery order: load snapshot (or start empty), then replay every WAL
+// record oldest segment first.  The WAL reader's torn-tail rule applies:
+// a truncated final record is the clean shutdown point (reported in
+// stats, not fatal); mid-log corruption throws.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "service/device_registry.hpp"
+#include "store/crp_ledger.hpp"
+#include "store/wal.hpp"
+
+namespace pufatt::store {
+
+inline constexpr char kSnapshotMagic[8] = {'P', 'F', 'A', 'T',
+                                           'S', 'N', 'P', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// The snapshot file inside a store directory.
+std::string snapshot_path(const std::string& dir);
+
+/// What recovery saw; store-inspect prints exactly this.
+struct RecoveryStats {
+  bool snapshot_present = false;
+  std::uint64_t snapshot_bytes = 0;
+  std::size_t wal_segments = 0;
+  std::uint64_t wal_bytes = 0;
+  bool torn_tail = false;           ///< final record truncated (tolerated)
+  std::size_t records_replayed = 0;
+  std::map<std::uint32_t, std::size_t> records_by_type;
+  std::size_t devices = 0;          ///< registry size after recovery
+  std::size_t crp_devices = 0;      ///< devices holding a CRP database
+  std::size_t crp_remaining = 0;    ///< unused CRP entries fleet-wide
+};
+
+struct RecoveredState {
+  service::DeviceRegistry registry;
+  /// Rebuilt with a null WAL; the caller attaches the live writer
+  /// (CrpLedger::attach_wal) before serving traffic.
+  std::unique_ptr<CrpLedger> ledger;
+  RecoveryStats stats;
+
+  explicit RecoveredState(std::size_t registry_shards)
+      : registry(registry_shards) {}
+};
+
+/// Rebuilds registry + ledger from `dir` (snapshot, if any, then the WAL
+/// tail).  A missing directory or an empty one recovers to empty state.
+/// Throws StoreError on corruption.
+RecoveredState recover(const std::string& dir, std::size_t registry_shards = 16,
+                       CrpLedger::Options ledger_options = {});
+
+/// Atomically persists the snapshot: writes `snapshot.bin.tmp`, fsyncs it,
+/// renames over `snapshot.bin`, fsyncs the directory.  A crash at any
+/// point leaves either the old complete snapshot or the new one.
+void write_snapshot(const std::string& dir,
+                    const service::DeviceRegistry& registry,
+                    const CrpLedger& ledger);
+
+}  // namespace pufatt::store

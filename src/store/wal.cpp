@@ -1,0 +1,373 @@
+#include "store/wal.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "core/serialize.hpp"  // crc32
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace pufatt::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Shared geometry of every store.* latency histogram: 1 us first edge,
+/// ×4 per bucket, 10 buckets (≈ up to 262 ms, unbounded tail above).
+const support::LogScale& store_scale() {
+  static const support::LogScale scale{1.0, 4.0, 10};
+  return scale;
+}
+
+double us_since(std::uint64_t start_ns) {
+  return static_cast<double>(obs::monotonic_ns() - start_ns) / 1000.0;
+}
+
+std::string segment_name(std::uint64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08llu.log",
+                static_cast<unsigned long long>(index));
+  return name;
+}
+
+/// Parses "wal-NNNNNNNN.log"; returns false on any other filename.
+bool parse_segment_index(const std::string& name, std::uint64_t& index) {
+  if (name.size() != 16 || name.rfind("wal-", 0) != 0 ||
+      name.substr(12) != ".log") {
+    return false;
+  }
+  index = 0;
+  for (std::size_t i = 4; i < 12; ++i) {
+    if (name[i] < '0' || name[i] > '9') return false;
+    index = index * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return true;
+}
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* data) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  return v;
+}
+
+std::uint64_t get_u64(const std::uint8_t* data) {
+  return static_cast<std::uint64_t>(get_u32(data)) |
+         (static_cast<std::uint64_t>(get_u32(data + 4)) << 32);
+}
+
+/// Best-effort directory fsync so created/renamed/deleted entries are
+/// durable too (a file's own fsync does not cover its directory entry).
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+struct SegmentScan {
+  std::vector<WalRecord> records;
+  std::uint64_t valid_bytes = 0;  ///< clean prefix length (header included)
+  bool torn = false;              ///< only ever true for the final segment
+};
+
+/// Applies the torn-tail rule to one segment.  `final_segment` selects
+/// whether a short read at the end is a clean shutdown point (accepted)
+/// or corruption (thrown); everything else throws identically.
+SegmentScan scan_segment(const std::string& path, std::uint64_t expect_index,
+                         bool final_segment, bool collect) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StoreError("cannot open WAL segment " + path);
+  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                  std::istreambuf_iterator<char>());
+
+  SegmentScan scan;
+  if (bytes.size() < kSegmentHeaderBytes) {
+    // A crash between segment creation and the header fsync leaves a short
+    // final segment; anywhere else a headerless file is corruption.
+    if (!final_segment) {
+      throw StoreError("WAL segment header truncated: " + path);
+    }
+    scan.torn = !bytes.empty();
+    return scan;
+  }
+  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    throw StoreError("bad WAL segment magic: " + path);
+  }
+  if (get_u64(bytes.data() + 8) != expect_index) {
+    throw StoreError("WAL segment index does not match filename: " + path);
+  }
+  scan.valid_bytes = kSegmentHeaderBytes;
+
+  std::size_t off = kSegmentHeaderBytes;
+  while (off < bytes.size()) {
+    const std::size_t remaining = bytes.size() - off;
+    if (remaining < kRecordOverheadBytes) {
+      if (!final_segment) {
+        throw StoreError("truncated record in non-final WAL segment: " + path);
+      }
+      scan.torn = true;
+      break;
+    }
+    if (get_u32(bytes.data() + off) != kRecordMagic) {
+      throw StoreError("bad WAL record magic (corrupt log): " + path);
+    }
+    const std::uint32_t type = get_u32(bytes.data() + off + 4);
+    const std::uint32_t len = get_u32(bytes.data() + off + 8);
+    if (len > kMaxRecordPayload) {
+      throw StoreError("WAL record payload exceeds sanity bound: " + path);
+    }
+    const std::size_t need = kRecordOverheadBytes + len;
+    if (remaining < need) {
+      if (!final_segment) {
+        throw StoreError("truncated record in non-final WAL segment: " + path);
+      }
+      scan.torn = true;  // crash mid-append: the clean shutdown point
+      break;
+    }
+    const std::uint32_t stored = get_u32(bytes.data() + off + 12 + len);
+    if (core::crc32(bytes.data() + off, 12 + len) != stored) {
+      throw StoreError("WAL record CRC mismatch (corrupt log): " + path);
+    }
+    if (collect) {
+      WalRecord record;
+      record.type = type;
+      record.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off + 12),
+                            bytes.begin() +
+                                static_cast<std::ptrdiff_t>(off + 12 + len));
+      scan.records.push_back(std::move(record));
+    }
+    off += need;
+    scan.valid_bytes = off;
+  }
+  return scan;
+}
+
+}  // namespace
+
+std::vector<std::string> wal_segment_paths(const std::string& dir) {
+  std::vector<std::pair<std::uint64_t, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    std::uint64_t index = 0;
+    if (entry.is_regular_file() &&
+        parse_segment_index(entry.path().filename().string(), index)) {
+      found.emplace_back(index, entry.path().string());
+    }
+  }
+  std::sort(found.begin(), found.end());
+  for (std::size_t i = 1; i < found.size(); ++i) {
+    if (found[i].first == found[i - 1].first) {
+      throw StoreError("duplicate WAL segment index in " + dir);
+    }
+  }
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [index, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+WalReadResult read_wal(const std::string& dir) {
+  WalReadResult result;
+  const auto paths = wal_segment_paths(dir);
+  result.segments = paths.size();
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    std::uint64_t index = 0;
+    parse_segment_index(fs::path(paths[i]).filename().string(), index);
+    const bool final_segment = i + 1 == paths.size();
+    auto scan = scan_segment(paths[i], index, final_segment, /*collect=*/true);
+    result.bytes += fs::file_size(paths[i]);
+    if (final_segment) {
+      result.torn_tail = scan.torn;
+      result.tail_valid_bytes = scan.valid_bytes;
+    }
+    for (auto& record : scan.records) {
+      result.records.push_back(std::move(record));
+    }
+  }
+  return result;
+}
+
+WalWriter::WalWriter(std::string dir, const WalOptions& options)
+    : dir_(std::move(dir)),
+      options_(options),
+      appends_(obs::global_registry().counter("store.wal.appends")),
+      append_bytes_(obs::global_registry().counter("store.wal.append_bytes")),
+      syncs_(obs::global_registry().counter("store.wal.syncs")),
+      rotations_(obs::global_registry().counter("store.wal.rotations")),
+      append_us_(obs::global_registry().histogram("store.wal.append_us",
+                                                  store_scale())),
+      sync_us_(obs::global_registry().histogram("store.wal.sync_us",
+                                                store_scale())) {
+  fs::create_directories(dir_);
+  const auto paths = wal_segment_paths(dir_);
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (paths.empty()) {
+    open_segment_locked(1);
+    return;
+  }
+  // Resume: validate the tail segment and truncate any torn append away,
+  // so new records extend the clean prefix.
+  std::uint64_t index = 0;
+  parse_segment_index(fs::path(paths.back()).filename().string(), index);
+  const auto scan =
+      scan_segment(paths.back(), index, /*final_segment=*/true,
+                   /*collect=*/false);
+  if (scan.valid_bytes < kSegmentHeaderBytes) {
+    // Crash before the header landed: rewrite the segment from scratch.
+    open_segment_locked(index);
+    return;
+  }
+  fs::resize_file(paths.back(), scan.valid_bytes);
+  file_ = std::fopen(paths.back().c_str(), "ab");
+  if (file_ == nullptr) {
+    throw StoreError("cannot reopen WAL segment " + paths.back());
+  }
+  segment_index_ = index;
+  segment_bytes_ = scan.valid_bytes;
+}
+
+WalWriter::~WalWriter() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  try {
+    if (file_ != nullptr) sync_locked();
+  } catch (const StoreError&) {
+    // Destructor must not throw; the data at risk is only the unsynced
+    // tail, which the torn-tail reader rule already tolerates.
+  }
+  if (file_ != nullptr) std::fclose(file_);
+  file_ = nullptr;
+}
+
+void WalWriter::open_segment_locked(std::uint64_t index) {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  const std::string path = dir_ + "/" + segment_name(index);
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) throw StoreError("cannot create WAL segment " + path);
+  std::uint8_t header[kSegmentHeaderBytes];
+  std::memcpy(header, kSegmentMagic, sizeof(kSegmentMagic));
+  put_u32(header + 8, static_cast<std::uint32_t>(index));
+  put_u32(header + 12, static_cast<std::uint32_t>(index >> 32));
+  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    throw StoreError("cannot write WAL segment header: " + path);
+  }
+  segment_index_ = index;
+  segment_bytes_ = kSegmentHeaderBytes;
+  fsync_dir(dir_);
+}
+
+void WalWriter::rotate_if_needed_locked() {
+  if (segment_bytes_ < options_.segment_bytes) return;
+  // The finished segment must be fully durable before its successor
+  // exists, or recovery could see new-segment records without old ones.
+  sync_locked();
+  open_segment_locked(segment_index_ + 1);
+  rotations_.add();
+}
+
+void WalWriter::sync_locked() {
+  const std::uint64_t t0 = obs::monotonic_ns();
+  obs::Span span;
+  if (obs::global_trace_enabled()) {
+    span = obs::global_tracer().span("store.fsync");
+    span.note("pending", static_cast<double>(unsynced_));
+  }
+  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+    throw StoreError("WAL fsync failed in " + dir_);
+  }
+  unsynced_ = 0;
+  syncs_.add();
+  sync_us_.record(us_since(t0));
+}
+
+std::uint64_t WalWriter::append(std::uint32_t type,
+                                const std::uint8_t* payload,
+                                std::size_t size) {
+  if (size > kMaxRecordPayload) {
+    throw StoreError("WAL record payload exceeds sanity bound");
+  }
+  const std::uint64_t t0 = obs::monotonic_ns();
+  obs::Span span;
+  if (obs::global_trace_enabled()) {
+    span = obs::global_tracer().span("store.append");
+    span.note("bytes", static_cast<double>(size));
+  }
+
+  std::vector<std::uint8_t> frame(kRecordOverheadBytes + size);
+  put_u32(frame.data(), kRecordMagic);
+  put_u32(frame.data() + 4, type);
+  put_u32(frame.data() + 8, static_cast<std::uint32_t>(size));
+  if (size > 0) std::memcpy(frame.data() + 12, payload, size);
+  put_u32(frame.data() + 12 + size, core::crc32(frame.data(), 12 + size));
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  rotate_if_needed_locked();
+  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+    throw StoreError("WAL append failed in " + dir_);
+  }
+  segment_bytes_ += frame.size();
+  bytes_ += frame.size();
+  const std::uint64_t ordinal = records_++;
+  ++unsynced_;
+  if (options_.sync_every > 0 && unsynced_ >= options_.sync_every) {
+    sync_locked();
+  }
+  appends_.add();
+  append_bytes_.add(frame.size());
+  append_us_.record(us_since(t0));
+  return ordinal;
+}
+
+std::uint64_t WalWriter::append(std::uint32_t type,
+                                const std::string& payload) {
+  return append(type, reinterpret_cast<const std::uint8_t*>(payload.data()),
+                payload.size());
+}
+
+void WalWriter::sync() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
+}
+
+void WalWriter::restart_segments() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  sync_locked();
+  std::fclose(file_);
+  file_ = nullptr;
+  const std::uint64_t next = segment_index_ + 1;
+  for (const auto& path : wal_segment_paths(dir_)) {
+    std::error_code ec;
+    fs::remove(path, ec);
+  }
+  open_segment_locked(next);
+}
+
+std::uint64_t WalWriter::appended_records() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return records_;
+}
+
+std::uint64_t WalWriter::appended_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::uint64_t WalWriter::current_segment_index() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return segment_index_;
+}
+
+}  // namespace pufatt::store

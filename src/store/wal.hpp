@@ -1,0 +1,151 @@
+// Append-only write-ahead log of CRC-framed records with segment rotation.
+//
+// The durability primitive under the verifier store: every state mutation
+// (device enrollment, eviction, CRP consumption) is appended here *before*
+// it is applied in memory, so a crash at any instant loses at most the
+// records not yet fsynced — never corrupts what was.
+//
+// On-disk layout (all integers little-endian), one directory per log:
+//
+//   wal-00000001.log, wal-00000002.log, ...     segment files
+//
+//   segment   := header record*
+//   header    := "PFATWAL1" (8 bytes) | segment index (u64)
+//   record    := magic (u32, "PFWR") | type (u32) | payload_len (u32)
+//              | payload bytes | crc32 (u32, over magic..payload)
+//
+// The CRC framing follows the PR-1 wire-format discipline (core/serialize):
+// readers must turn any malformed byte stream into a clean error, never
+// undefined slicing.  The torn-tail rule makes crash recovery precise:
+//
+//   * A record that runs past the end of the *final* segment is a torn
+//     tail — the prefix before it is the clean shutdown point.  Accepted;
+//     the writer truncates it away on reopen.  (Appends write the frame
+//     front to back, so a crash mid-append leaves exactly this shape.)
+//   * A *complete* record whose CRC does not match, a record with a bad
+//     magic while bytes remain, or any short read in a non-final segment
+//     is real corruption — a hard StoreError, never silently skipped.
+//   * Zero-length payloads are valid records (checkpoint markers).
+//   * A segment whose header is garbage is a hard error.
+//
+// Durability model: append() buffers into the segment's stdio buffer and
+// returns; sync() flushes and fsyncs.  With `sync_every = k`, one fsync is
+// shared by up to k appends (group commit) — the latency/durability knob
+// bench/store_recovery measures.  The writer is thread-safe (one mutex);
+// rotation happens transparently when a segment exceeds `segment_bytes`.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace pufatt::obs {
+class Counter;
+class LogHistogram;
+}  // namespace pufatt::obs
+
+namespace pufatt::store {
+
+/// Raised on corrupt or inconsistent on-disk state.
+class StoreError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kSegmentMagic[8] = {'P', 'F', 'A', 'T',
+                                          'W', 'A', 'L', '1'};
+inline constexpr std::uint32_t kRecordMagic = 0x52574650;  // "PFWR"
+inline constexpr std::size_t kSegmentHeaderBytes = 16;
+inline constexpr std::size_t kRecordOverheadBytes = 16;  // magic,type,len,crc
+inline constexpr std::size_t kMaxRecordPayload = 1u << 28;
+
+struct WalRecord {
+  std::uint32_t type = 0;
+  std::vector<std::uint8_t> payload;
+};
+
+struct WalReadResult {
+  std::vector<WalRecord> records;
+  bool torn_tail = false;       ///< final segment ended mid-record
+  std::size_t segments = 0;
+  std::uint64_t bytes = 0;      ///< total on-disk bytes scanned
+  std::uint64_t tail_valid_bytes = 0;  ///< clean byte length of last segment
+};
+
+/// Segment files under `dir`, sorted by index; validates that filenames
+/// parse and indices strictly increase.  Missing directory = empty log.
+std::vector<std::string> wal_segment_paths(const std::string& dir);
+
+/// Reads every record of every segment in order.  Throws StoreError on
+/// corruption (see the torn-tail rule above); a torn final record is
+/// reported via `torn_tail`, not thrown.
+WalReadResult read_wal(const std::string& dir);
+
+struct WalOptions {
+  std::size_t segment_bytes = 4u << 20;  ///< rotate past this size
+  /// Appends per automatic group commit; every sync_every-th append also
+  /// flushes+fsyncs.  0 = only explicit sync() calls hit the disk.
+  std::size_t sync_every = 32;
+};
+
+class WalWriter {
+ public:
+  /// Opens (creating the directory if needed) and resumes after the last
+  /// valid record: a torn tail from a previous crash is truncated away,
+  /// real corruption throws.  New records go to the highest segment, or a
+  /// fresh one when the log is empty.
+  explicit WalWriter(std::string dir, const WalOptions& options = {});
+  ~WalWriter();  ///< final sync + close (best effort)
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one record; returns its ordinal (0-based since open).
+  /// Thread-safe.  Durable only after the next sync (explicit or batched).
+  std::uint64_t append(std::uint32_t type, const std::uint8_t* payload,
+                       std::size_t size);
+  std::uint64_t append(std::uint32_t type, const std::string& payload);
+
+  /// Group commit: flushes buffered appends and fsyncs the segment.
+  /// One call covers every append since the previous sync.
+  void sync();
+
+  /// Compaction handshake: deletes every segment (their records are folded
+  /// into a snapshot the caller just persisted) and starts a fresh one at
+  /// the next index, so record order across restarts stays monotonic.
+  void restart_segments();
+
+  std::uint64_t appended_records() const;
+  std::uint64_t appended_bytes() const;
+  std::uint64_t current_segment_index() const;
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void open_segment_locked(std::uint64_t index);   ///< caller holds mutex_
+  void rotate_if_needed_locked();                  ///< caller holds mutex_
+  void sync_locked();                              ///< caller holds mutex_
+
+  const std::string dir_;
+  const WalOptions options_;
+
+  mutable std::mutex mutex_;
+  std::FILE* file_ = nullptr;
+  std::uint64_t segment_index_ = 0;
+  std::uint64_t segment_bytes_ = 0;   ///< bytes in the current segment
+  std::uint64_t records_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::size_t unsynced_ = 0;          ///< appends since the last fsync
+
+  // obs: resolved once, then relaxed-atomic updates only.
+  obs::Counter& appends_;
+  obs::Counter& append_bytes_;
+  obs::Counter& syncs_;
+  obs::Counter& rotations_;
+  obs::LogHistogram& append_us_;
+  obs::LogHistogram& sync_us_;
+};
+
+}  // namespace pufatt::store

@@ -84,5 +84,72 @@ TEST(Distributed, ConvictionStableAcrossRounds) {
   }
 }
 
+// CRP-database audits (the paper's verification option 1).  The pinned
+// tally rule: an exhausted database is *inconclusive*, never a rejection —
+// running out of single-use entries must not convict a healthy node, the
+// same way transport starvation never does in run_round().
+TEST(Distributed, CrpRoundExhaustionIsInconclusiveNeverRejection) {
+  DistributedParams params;
+  params.num_nodes = 6;
+  params.crp_entries_per_node = 8;  // 2*degree audits/round: dry by round 3
+  DistributedNetwork net(params, {{1, NodeHealth::kNaiveMalware}}, 9);
+  Xoshiro256pp rng(10);
+
+  // While entries last every audit completes; the CRP audit authenticates
+  // the *silicon*, so even the malware node (genuine hardware, tampered
+  // software) passes — catching malware is run_round()'s job.
+  for (int round = 0; round < 2; ++round) {
+    const auto verdicts = net.run_crp_round(rng);
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+      EXPECT_EQ(verdicts[i].audits, 4u) << "node " << i;
+      EXPECT_EQ(verdicts[i].completed, 4u) << "node " << i;
+      EXPECT_EQ(verdicts[i].rejections, 0u) << "node " << i;
+      EXPECT_FALSE(verdicts[i].convicted) << "node " << i;
+    }
+  }
+  for (std::size_t n = 0; n < net.num_nodes(); ++n) {
+    EXPECT_EQ(net.crp_remaining(n), 0u) << "node " << n;
+  }
+
+  // Every database is now exhausted: all audits must land in
+  // `inconclusive` with exhausted=true never counted as a rejection.
+  const auto verdicts = net.run_crp_round(rng);
+  for (std::size_t i = 0; i < verdicts.size(); ++i) {
+    EXPECT_EQ(verdicts[i].audits, 4u) << "node " << i;
+    EXPECT_EQ(verdicts[i].completed, 0u) << "node " << i;
+    EXPECT_EQ(verdicts[i].inconclusive, 4u) << "node " << i;
+    EXPECT_EQ(verdicts[i].rejections, 0u) << "node " << i;
+    EXPECT_FALSE(verdicts[i].convicted) << "node " << i;
+    EXPECT_FALSE(verdicts[i].evidence_met) << "node " << i;
+  }
+}
+
+TEST(Distributed, CrpRoundRequiresProvisionedDatabases) {
+  DistributedParams params;
+  params.num_nodes = 6;
+  DistributedNetwork net(params, {}, 11);
+  Xoshiro256pp rng(12);
+  EXPECT_THROW(net.run_crp_round(rng), std::logic_error);
+  EXPECT_EQ(net.crp_remaining(0), 0u);  // nothing was ever distributed
+}
+
+TEST(Distributed, CrpRoundSpendsNoEntriesOnPartitionedNodes) {
+  DistributedParams params;
+  params.num_nodes = 6;
+  params.crp_entries_per_node = 8;
+  DistributedNetwork net(params, {}, 13);
+  net.set_partitioned(2, true);
+  Xoshiro256pp rng(14);
+  const auto verdicts = net.run_crp_round(rng);
+  // The dead-zone node: all its audits inconclusive, no entry consumed.
+  EXPECT_EQ(verdicts[2].inconclusive, 4u);
+  EXPECT_EQ(verdicts[2].completed, 0u);
+  EXPECT_FALSE(verdicts[2].convicted);
+  EXPECT_EQ(net.crp_remaining(2), 8u);
+  // Everyone else audited normally (minus the audits the dead node could
+  // not perform — those still spent nothing of *their* databases).
+  EXPECT_EQ(net.crp_remaining(0), 8u - verdicts[0].completed);
+}
+
 }  // namespace
 }  // namespace pufatt::core

@@ -6,6 +6,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <memory>
 #include <mutex>
@@ -421,6 +423,50 @@ TEST(VerifierPool, VerdictsMatchAcrossWorkerCounts) {
   const auto serial = run_with(1);
   const auto pooled = run_with(4);
   EXPECT_EQ(serial, pooled);
+}
+
+// save_file is atomic (temp file + rename): a failed save must leave the
+// previous on-disk registry byte-for-byte intact, never a torn file.
+TEST(DeviceRegistry, FailedSaveLeavesOldFileIntact) {
+  const auto& fleet = Fleet::instance();
+  const std::string path =
+      ::testing::TempDir() + "pufatt_registry_atomic.bin";
+  const std::string tmp = path + ".tmp";
+  std::filesystem::remove(path);
+  std::filesystem::remove_all(tmp);
+
+  auto registry = fleet.make_registry();
+  registry.save_file(path);
+  std::string original;
+  {
+    std::ifstream in(path, std::ios::binary);
+    original.assign(std::istreambuf_iterator<char>(in),
+                    std::istreambuf_iterator<char>());
+  }
+  ASSERT_FALSE(original.empty());
+
+  // Simulated partial write: the temp path cannot be opened as a file (a
+  // directory squats on it), so the save dies before touching `path`.
+  std::filesystem::create_directory(tmp);
+  DeviceRegistry changed(4);
+  changed.store(fleet.devices[0].id, fleet.devices[0].record);
+  EXPECT_THROW(changed.save_file(path), core::SerializationError);
+
+  std::string after;
+  {
+    std::ifstream in(path, std::ios::binary);
+    after.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  EXPECT_EQ(after, original);  // the old complete file, untouched
+  auto reloaded = DeviceRegistry::load_registry_file(path);
+  EXPECT_EQ(reloaded.size(), fleet.devices.size());
+
+  // With the obstruction gone the same save lands atomically.
+  std::filesystem::remove_all(tmp);
+  changed.save_file(path);
+  EXPECT_EQ(DeviceRegistry::load_registry_file(path).size(), 1u);
+  EXPECT_FALSE(std::filesystem::exists(tmp));  // no debris either way
 }
 
 }  // namespace

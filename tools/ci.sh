@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# Pre-merge gate: configure, build, and test the three supported trees.
+# Pre-merge gate: configure, build, and test the four supported trees.
 #
-#   build       plain (PUFATT_TRACE=ON by default)
-#   build-asan  AddressSanitizer + UBSan   (-DPUFATT_SANITIZE=ON)
-#   build-tsan  ThreadSanitizer           (-DPUFATT_TSAN=ON)
+#   build         plain (PUFATT_TRACE=ON by default)
+#   build-asan    AddressSanitizer + UBSan   (-DPUFATT_SANITIZE=ON)
+#   build-tsan    ThreadSanitizer           (-DPUFATT_TSAN=ON)
+#   build-notrace tracing compiled out      (-DPUFATT_TRACE=OFF)
 #
 # Every tree runs the full ctest suite *including* the bench-labeled
 # smokes (service_throughput_smoke, sim_engine_smoke, micro_perf_smoke,
@@ -34,5 +35,8 @@ CTEST_ARGS=("$@")
 run_tree build
 run_tree build-asan -DPUFATT_SANITIZE=ON
 run_tree build-tsan -DPUFATT_TSAN=ON
+# The store's span instrumentation compiles to no-ops here; this leg keeps
+# the subsystem (and everything else) honest about not *requiring* tracing.
+run_tree build-notrace -DPUFATT_TRACE=OFF
 
 echo "=== ci.sh: all trees green ==="

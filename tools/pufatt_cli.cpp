@@ -10,6 +10,9 @@
 //   pufatt-cli trace-report <trace-file>           aggregate an exported trace
 //   pufatt-cli gen-crps <chip-seed> <count> <threads> <out.csv>
 //                                                  dump protocol CRPs (batched)
+//   pufatt-cli store-inspect <store-dir>           recover + summarize a store
+//   pufatt-cli store-compact <store-dir> [--segment-bytes=<n>]
+//                                                  fold the WAL into a snapshot
 //
 // The "device" is simulated (chip-seed = fab lottery), but the data flow is
 // the real deployment one: enrollment produces a record file, the verifier
@@ -19,6 +22,7 @@
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -38,6 +42,9 @@
 #include "service/device_registry.hpp"
 #include "service/emulator_cache.hpp"
 #include "service/verifier_pool.hpp"
+#include "store/records.hpp"
+#include "store/recovery.hpp"
+#include "store/verifier_store.hpp"
 #include "support/parallel.hpp"
 
 using namespace pufatt;
@@ -66,7 +73,10 @@ int usage() {
                "sampling in [0,1]\n"
                "       pufatt-cli trace-report <trace-file>\n"
                "       pufatt-cli gen-crps <chip-seed> <count> <threads> "
-               "<out.csv>\n");
+               "<out.csv>\n"
+               "       pufatt-cli store-inspect <store-dir>\n"
+               "       pufatt-cli store-compact <store-dir> "
+               "[--segment-bytes=<n>]\n");
   return 64;
 }
 
@@ -531,6 +541,72 @@ int cmd_gen_crps(std::uint64_t chip_seed, std::uint64_t count,
   return 0;
 }
 
+// store-inspect: run recovery read-only and print what it saw — the first
+// tool to reach for after an unclean shutdown ("did the log survive, how
+// many records, is the tail torn, what state comes back").
+int cmd_store_inspect(const std::string& dir) {
+  if (!std::filesystem::exists(dir)) {
+    std::fprintf(stderr, "error: no such store directory '%s'\n", dir.c_str());
+    return 1;
+  }
+  const auto state = store::recover(dir);
+  const auto& stats = state.stats;
+  std::printf("store %s\n", dir.c_str());
+  if (stats.snapshot_present) {
+    std::printf("  snapshot        : %llu bytes\n",
+                static_cast<unsigned long long>(stats.snapshot_bytes));
+  } else {
+    std::printf("  snapshot        : none\n");
+  }
+  std::printf("  WAL             : %zu segment(s), %llu bytes%s\n",
+              stats.wal_segments,
+              static_cast<unsigned long long>(stats.wal_bytes),
+              stats.torn_tail ? ", torn tail (tolerated)" : "");
+  std::printf("  records replayed: %zu\n", stats.records_replayed);
+  for (const auto& [type, count] : stats.records_by_type) {
+    std::printf("    %-13s : %zu\n", store::record_type_name(type), count);
+  }
+  std::printf("  devices         : %zu enrolled, %zu with CRP databases\n",
+              stats.devices, stats.crp_devices);
+  std::printf("  CRP entries left: %zu\n", stats.crp_remaining);
+  for (const auto& id : state.ledger->device_ids()) {
+    std::printf("    %-13s : %zu unused\n", id.c_str(),
+                *state.ledger->remaining(id));
+  }
+  return 0;
+}
+
+// store-compact: recover, fold everything into a fresh snapshot, restart
+// the log.  Safe on a live directory only if the owning process is down
+// (the store assumes single-process ownership).
+int cmd_store_compact(const std::string& dir, std::uint64_t segment_bytes) {
+  if (!std::filesystem::exists(dir)) {
+    std::fprintf(stderr, "error: no such store directory '%s'\n", dir.c_str());
+    return 1;
+  }
+  store::StoreOptions options;
+  if (segment_bytes > 0) {
+    options.wal.segment_bytes = static_cast<std::size_t>(segment_bytes);
+  }
+  const auto db = store::VerifierStore::open(dir, options);
+  const auto& before = db->recovery_stats();
+  std::printf("compacting %s: %zu WAL segment(s), %llu bytes, "
+              "%zu record(s) folded\n",
+              dir.c_str(), before.wal_segments,
+              static_cast<unsigned long long>(before.wal_bytes),
+              before.records_replayed);
+  db->compact();
+  std::printf("  snapshot        : %llu bytes\n",
+              static_cast<unsigned long long>(
+                  std::filesystem::file_size(store::snapshot_path(dir))));
+  std::printf("  WAL restarted at segment %llu\n",
+              static_cast<unsigned long long>(
+                  db->wal().current_segment_index()));
+  std::printf("  devices         : %zu enrolled, %zu CRP entries left\n",
+              db->registry().size(), db->crp_ledger().total_remaining());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -613,6 +689,37 @@ int main(int argc, char** argv) {
         return bad_argument("thread count", argv[4]);
       }
       return cmd_gen_crps(seed, count, threads, argv[5]);
+    }
+    if (cmd == "store-inspect") {
+      if (argc != 3) return usage();
+      const std::string arg = argv[2];
+      if (arg.rfind("--", 0) == 0) {
+        std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+        return usage();
+      }
+      return cmd_store_inspect(arg);
+    }
+    if (cmd == "store-compact") {
+      std::string dir;
+      std::uint64_t segment_bytes = 0;  // 0 = keep the default
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--segment-bytes=", 0) == 0) {
+          const std::string value = arg.substr(16);
+          if (!parse_u64(value.c_str(), segment_bytes) || segment_bytes == 0) {
+            return bad_argument("segment size (want > 0)", value.c_str());
+          }
+        } else if (arg.rfind("--", 0) == 0) {
+          std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+          return usage();
+        } else if (dir.empty()) {
+          dir = arg;
+        } else {
+          return usage();
+        }
+      }
+      if (dir.empty()) return usage();
+      return cmd_store_compact(dir, segment_bytes);
     }
     if (cmd.empty()) return usage();
     std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
