@@ -6,6 +6,7 @@
 #include <ostream>
 
 #include "core/serialize.hpp"
+#include "support/fsyncutil.hpp"
 #include "support/rng.hpp"
 
 namespace pufatt::service {
@@ -148,9 +149,12 @@ DeviceRegistry DeviceRegistry::load_registry(std::istream& in,
 }
 
 void DeviceRegistry::save_file(const std::string& path) const {
-  // Atomic snapshot: write to a sibling temp file, then rename over the
-  // target.  A crash (or any failure) mid-save can only ever lose the temp
-  // file — the previous snapshot at `path` stays intact and loadable.
+  // Atomic snapshot: write to a sibling temp file, fsync it, then rename
+  // over the target and fsync the directory.  A crash (or any failure)
+  // mid-save can only ever lose the temp file — the previous snapshot at
+  // `path` stays intact and loadable — and the temp file's bytes are
+  // durable before the rename can be, so a reader never sees a
+  // named-but-truncated file after power loss.
   const std::string tmp = path + ".tmp";
   {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
@@ -162,10 +166,12 @@ void DeviceRegistry::save_file(const std::string& path) const {
       throw core::SerializationError("write failed: " + tmp);
     }
   }
+  support::fsync_path(tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw core::SerializationError("cannot rename " + tmp + " -> " + path);
   }
+  support::fsync_parent_dir(path);
 }
 
 DeviceRegistry DeviceRegistry::load_registry_file(const std::string& path,

@@ -57,8 +57,8 @@ bool CrpLedger::erase(const std::string& device_id) {
   return slots_.erase(device_id) > 0;
 }
 
-std::optional<std::pair<std::string, std::size_t>>
-CrpLedger::check_watermark_locked(const std::string& device_id) {
+std::optional<CrpLedger::LowWatermark> CrpLedger::check_watermark_locked(
+    const std::string& device_id) {
   auto it = slots_.find(device_id);
   if (it == slots_.end()) return std::nullopt;
   const std::size_t remaining = it->second.db.remaining();
@@ -68,15 +68,16 @@ CrpLedger::check_watermark_locked(const std::string& device_id) {
   }
   if (it->second.low_notified || !options_.on_low) return std::nullopt;
   it->second.low_notified = true;
-  return std::make_pair(device_id, remaining);
+  return LowWatermark{device_id, remaining};
 }
 
 std::optional<core::CrpDatabase::AuthResult> CrpLedger::authenticate(
     const std::string& device_id, const alupuf::AluPuf& device,
     support::Xoshiro256pp& rng, double threshold_fraction,
-    const variation::Environment& env) {
+    const variation::Environment& env,
+    std::optional<LowWatermark>* low_out) {
   std::optional<core::CrpDatabase::AuthResult> result;
-  std::optional<std::pair<std::string, std::size_t>> low;
+  std::optional<LowWatermark> low;
   {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = slots_.find(device_id);
@@ -92,8 +93,16 @@ std::optional<core::CrpDatabase::AuthResult> CrpLedger::authenticate(
     }
     if (result->conclusive()) low = check_watermark_locked(device_id);
   }
-  // Outside the lock: the hook may re-enter (enroll a replenished db).
-  if (low) options_.on_low(low->first, low->second);
+  if (low_out != nullptr) {
+    // The caller holds an outer lock of its own (the VerifierStore
+    // facade): hand the notification over so it fires only after that
+    // lock is released — never inline, where a replenishing hook would
+    // re-enter the facade and self-deadlock.
+    *low_out = std::move(low);
+  } else if (low) {
+    // Outside the ledger lock: the hook may re-enter enroll() directly.
+    options_.on_low(low->device_id, low->remaining);
+  }
   return result;
 }
 

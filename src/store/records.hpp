@@ -10,12 +10,15 @@
 //   kCrpConsume  one CRP entry spent: id + *absolute* entry index
 //   kCheckpoint  zero-payload marker (store-inspect bookkeeping)
 //
-// Replay of each type is idempotent, which is what lets recovery apply a
-// WAL on top of a snapshot that may already contain a prefix of it:
-// enroll is last-wins insert, evict of an absent id is a no-op, and a
-// consume marker carries the absolute index so it is applied as
-// "advance cursor to at least index+1" (CrpDatabase::mark_consumed_through)
-// rather than "consume one more" — replaying it twice moves nothing.
+// Replay of each type is idempotent: enroll is last-wins insert, evict of
+// an absent id is a no-op, and a consume marker carries the absolute
+// index so it is applied as "advance cursor to at least index+1"
+// (CrpDatabase::mark_consumed_through) rather than "consume one more" —
+// replaying it twice moves nothing.  Note this is defense in depth, not
+// the compaction-safety mechanism: recovery never replays segments a
+// snapshot has folded (it skips everything at or below the snapshot's
+// WAL watermark, see store/recovery.hpp), because a stale folded record
+// can be *wrong* to re-apply against newer state, not merely redundant.
 //
 // String payload framing: [u32 id_len][id bytes][type-specific body], all
 // little-endian, matching the core/serialize discipline; decoders throw

@@ -1,8 +1,5 @@
 #include "store/recovery.hpp"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -10,6 +7,7 @@
 
 #include "core/serialize.hpp"
 #include "store/records.hpp"
+#include "support/fsyncutil.hpp"
 
 namespace pufatt::store {
 
@@ -17,18 +15,15 @@ namespace {
 
 namespace fs = std::filesystem;
 
-void fsync_path(const std::string& path) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
-}
-
 void write_u32(std::ostream& out, std::uint32_t v) {
   char bytes[4];
   for (int i = 0; i < 4; ++i) bytes[i] = static_cast<char>((v >> (8 * i)) & 0xff);
   out.write(bytes, 4);
+}
+
+void write_u64(std::ostream& out, std::uint64_t v) {
+  write_u32(out, static_cast<std::uint32_t>(v));
+  write_u32(out, static_cast<std::uint32_t>(v >> 32));
 }
 
 std::uint32_t read_u32(std::istream& in) {
@@ -43,6 +38,11 @@ std::uint32_t read_u32(std::istream& in) {
   return v;
 }
 
+std::uint64_t read_u64(std::istream& in) {
+  const std::uint64_t lo = read_u32(in);
+  return lo | (static_cast<std::uint64_t>(read_u32(in)) << 32);
+}
+
 void load_snapshot(const std::string& path, RecoveredState& state,
                    std::size_t registry_shards) {
   std::ifstream in(path, std::ios::binary);
@@ -55,6 +55,7 @@ void load_snapshot(const std::string& path, RecoveredState& state,
   if (read_u32(in) != kSnapshotVersion) {
     throw StoreError("unsupported snapshot version: " + path);
   }
+  state.stats.snapshot_watermark = read_u64(in);
   try {
     state.registry = service::DeviceRegistry::load_registry(in, registry_shards);
   } catch (const core::SerializationError& e) {
@@ -114,12 +115,16 @@ RecoveredState recover(const std::string& dir, std::size_t registry_shards,
     load_snapshot(snap, state, registry_shards);
   }
 
-  // The WAL tail: everything since the snapshot, plus (harmlessly, thanks
-  // to idempotent replay) anything the snapshot already folded if a crash
-  // interrupted compaction between the rename and the segment deletion.
+  // The WAL tail: only segments above the snapshot's watermark.  Segments
+  // at or below it were folded — if they still exist, a crash interrupted
+  // compaction between the rename and the segment deletion, and replaying
+  // them against this (newer) snapshot would be wrong, not just redundant.
   WalReadResult wal;
-  if (fs::exists(dir, ec)) wal = read_wal(dir);
+  if (fs::exists(dir, ec)) {
+    wal = read_wal(dir, state.stats.snapshot_watermark);
+  }
   state.stats.wal_segments = wal.segments;
+  state.stats.wal_segments_skipped = wal.segments_skipped;
   state.stats.wal_bytes = wal.bytes;
   state.stats.torn_tail = wal.torn_tail;
   for (const auto& record : wal.records) {
@@ -136,7 +141,7 @@ RecoveredState recover(const std::string& dir, std::size_t registry_shards,
 
 void write_snapshot(const std::string& dir,
                     const service::DeviceRegistry& registry,
-                    const CrpLedger& ledger) {
+                    const CrpLedger& ledger, std::uint64_t wal_watermark) {
   fs::create_directories(dir);
   const std::string path = snapshot_path(dir);
   const std::string tmp = path + ".tmp";
@@ -145,6 +150,7 @@ void write_snapshot(const std::string& dir,
     if (!out) throw StoreError("cannot open " + tmp);
     out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
     write_u32(out, kSnapshotVersion);
+    write_u64(out, wal_watermark);
     registry.save(out);
     ledger.save(out);
     out.flush();
@@ -155,12 +161,12 @@ void write_snapshot(const std::string& dir,
   }
   // The temp file's bytes must be durable before the rename makes them
   // the snapshot — otherwise a crash could expose a named-but-empty file.
-  fsync_path(tmp);
+  support::fsync_path(tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     std::remove(tmp.c_str());
     throw StoreError("cannot rename " + tmp + " -> " + path);
   }
-  fsync_path(dir);
+  support::fsync_dir(dir);
 }
 
 }  // namespace pufatt::store

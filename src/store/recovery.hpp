@@ -1,24 +1,31 @@
 // Crash recovery: snapshot + WAL tail → verifier state.
 //
-// The store's durable state is (snapshot, WAL), with the invariant that
-// replaying the *entire* WAL on top of the snapshot reproduces the live
-// state — even when the snapshot already folded a prefix of that WAL,
-// because every record type replays idempotently (see store/records.hpp).
-// That invariant is what makes compaction crash-safe without any LSN
-// bookkeeping: the snapshot is written atomically (temp file + rename +
-// directory fsync), and a crash *between* the rename and the WAL segment
-// deletion merely leaves a WAL whose records re-apply as no-ops.
+// The store's durable state is (snapshot, WAL).  The snapshot records a
+// *WAL-segment watermark*: the highest segment index it folded.  Recovery
+// loads the snapshot, then replays only segments *above* the watermark —
+// segments at or below it are skipped unread.  That is what makes
+// compaction crash-safe: the snapshot is written atomically (temp file +
+// fsync + rename + directory fsync), and a crash *between* the rename and
+// the WAL segment deletion leaves stale folded segments that recovery
+// ignores and the next WalWriter open deletes.  Skipping — rather than
+// relying on idempotent re-replay of the whole tail — matters because a
+// stale tail is not always harmless to re-apply: a leftover consume
+// marker could reference a database the snapshot has since replaced, and
+// a leftover enroll could resurrect an evicted device.  (Each record type
+// still replays idempotently, see store/records.hpp — defense in depth,
+// and what keeps replay of the genuinely-live tail order-insensitive to
+// how often recovery runs.)
 //
-// Snapshot layout:  "PFATSNP1" | version (u32) | DeviceRegistry::save
-//                   bytes | CrpLedger::save bytes
+// Snapshot layout:  "PFATSNP1" | version (u32) | WAL watermark (u64)
+//                   | DeviceRegistry::save bytes | CrpLedger::save bytes
 // Both embedded blobs are self-delimiting with their own magic, so the
 // snapshot needs no internal length fields; any malformed byte stream
 // surfaces as StoreError.
 //
 // Recovery order: load snapshot (or start empty), then replay every WAL
-// record oldest segment first.  The WAL reader's torn-tail rule applies:
-// a truncated final record is the clean shutdown point (reported in
-// stats, not fatal); mid-log corruption throws.
+// record above the watermark, oldest segment first.  The WAL reader's
+// torn-tail rule applies: a truncated final record is the clean shutdown
+// point (reported in stats, not fatal); mid-log corruption throws.
 #pragma once
 
 #include <cstdint>
@@ -43,7 +50,11 @@ std::string snapshot_path(const std::string& dir);
 struct RecoveryStats {
   bool snapshot_present = false;
   std::uint64_t snapshot_bytes = 0;
-  std::size_t wal_segments = 0;
+  /// Highest WAL segment index the snapshot folded; 0 without a snapshot.
+  /// Segments at or below it are skipped, the WalWriter resumes above it.
+  std::uint64_t snapshot_watermark = 0;
+  std::size_t wal_segments = 0;     ///< segments replayed
+  std::size_t wal_segments_skipped = 0;  ///< stale (at/below watermark)
   std::uint64_t wal_bytes = 0;
   bool torn_tail = false;           ///< final record truncated (tolerated)
   std::size_t records_replayed = 0;
@@ -73,8 +84,11 @@ RecoveredState recover(const std::string& dir, std::size_t registry_shards = 16,
 /// Atomically persists the snapshot: writes `snapshot.bin.tmp`, fsyncs it,
 /// renames over `snapshot.bin`, fsyncs the directory.  A crash at any
 /// point leaves either the old complete snapshot or the new one.
+/// `wal_watermark` is the highest WAL segment index this state covers
+/// (recovery will skip segments at or below it); callers compacting a
+/// live store pass the writer's current segment index *after* syncing it.
 void write_snapshot(const std::string& dir,
                     const service::DeviceRegistry& registry,
-                    const CrpLedger& ledger);
+                    const CrpLedger& ledger, std::uint64_t wal_watermark);
 
 }  // namespace pufatt::store

@@ -1,5 +1,6 @@
 #include "store/verifier_store.hpp"
 
+#include <algorithm>
 #include <mutex>
 #include <utility>
 
@@ -30,6 +31,12 @@ std::unique_ptr<VerifierStore> VerifierStore::open(std::string dir,
   // VerifierStore) truncates the torn tail; both apply the same clean-
   // prefix rule, so they agree on where the log ends.
   RecoveredState state = recover(dir, options.registry_shards, options.crp);
+  // The writer must never number a fresh segment at or below the
+  // snapshot's watermark (recovery would skip its records) and deletes
+  // any stale folded segments an interrupted compaction left behind.
+  options.wal.min_segment_index =
+      std::max<std::uint64_t>(options.wal.min_segment_index,
+                              state.stats.snapshot_watermark + 1);
   if (span.active()) {
     span.note("records", static_cast<double>(state.stats.records_replayed));
     span.note("devices", static_cast<double>(state.stats.devices));
@@ -86,10 +93,21 @@ std::optional<core::CrpDatabase::AuthResult> VerifierStore::authenticate_crp(
     const std::string& device_id, const alupuf::AluPuf& device,
     support::Xoshiro256pp& rng, double threshold_fraction,
     const variation::Environment& env) {
-  std::shared_lock<std::shared_mutex> lock(state_mutex_);
-  crp_auths_.add();
-  return ledger_->authenticate(device_id, device, rng, threshold_fraction,
-                               env);
+  std::optional<core::CrpDatabase::AuthResult> result;
+  std::optional<CrpLedger::LowWatermark> low;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    crp_auths_.add();
+    result = ledger_->authenticate(device_id, device, rng, threshold_fraction,
+                                   env, &low);
+  }
+  // The replenish hook fires only after the shared lock is released: it
+  // may call straight back into enroll_crps() (an exclusive locker on the
+  // same mutex), which would self-deadlock if invoked under the lock.
+  if (low && options_.crp.on_low) {
+    options_.crp.on_low(low->device_id, low->remaining);
+  }
+  return result;
 }
 
 void VerifierStore::sync() { wal_.sync(); }
@@ -102,10 +120,13 @@ void VerifierStore::compact() {
   }
   std::unique_lock<std::shared_mutex> lock(state_mutex_);
   // Under the exclusive lock the in-memory state covers every WAL record,
-  // so the order below is crash-safe at each step: old snapshot + full
-  // WAL, new snapshot + full WAL (idempotent replay), new snapshot alone.
+  // so the order below is crash-safe at each step: before the rename the
+  // old snapshot + the segments above *its* watermark still recover; after
+  // it the new snapshot's watermark (the just-synced current segment)
+  // makes recovery skip every folded segment, deleted or not — stale
+  // leftovers of an interrupted deletion are never replayed.
   wal_.sync();
-  write_snapshot(dir_, registry_, *ledger_);
+  write_snapshot(dir_, registry_, *ledger_, wal_.current_segment_index());
   wal_.restart_segments();
   compactions_.add();
   const double us =

@@ -74,7 +74,10 @@ class VerifierStore {
   void enroll_crps(const std::string& device_id, core::CrpDatabase db);
 
   /// CRP authentication with durable consumption (see CrpLedger).
-  /// nullopt when the device has no database.
+  /// nullopt when the device has no database.  A depletion-watermark
+  /// crossing fires StoreOptions.crp.on_low on this thread *after* the
+  /// store's shared lock is released, so the hook may replenish by
+  /// calling straight back into enroll_crps().
   std::optional<core::CrpDatabase::AuthResult> authenticate_crp(
       const std::string& device_id, const alupuf::AluPuf& device,
       support::Xoshiro256pp& rng, double threshold_fraction = 0.22,

@@ -1,6 +1,5 @@
 #include "store/wal.hpp"
 
-#include <fcntl.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -11,6 +10,7 @@
 #include "core/serialize.hpp"  // crc32
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/fsyncutil.hpp"
 
 namespace pufatt::store {
 
@@ -63,16 +63,6 @@ std::uint32_t get_u32(const std::uint8_t* data) {
 std::uint64_t get_u64(const std::uint8_t* data) {
   return static_cast<std::uint64_t>(get_u32(data)) |
          (static_cast<std::uint64_t>(get_u32(data + 4)) << 32);
-}
-
-/// Best-effort directory fsync so created/renamed/deleted entries are
-/// durable too (a file's own fsync does not cover its directory entry).
-void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
-  }
 }
 
 struct SegmentScan {
@@ -177,13 +167,22 @@ std::vector<std::string> wal_segment_paths(const std::string& dir) {
   return paths;
 }
 
-WalReadResult read_wal(const std::string& dir) {
+WalReadResult read_wal(const std::string& dir,
+                       std::uint64_t skip_through_index) {
   WalReadResult result;
   const auto paths = wal_segment_paths(dir);
-  result.segments = paths.size();
   for (std::size_t i = 0; i < paths.size(); ++i) {
     std::uint64_t index = 0;
     parse_segment_index(fs::path(paths[i]).filename().string(), index);
+    if (index <= skip_through_index) {
+      // Folded into the snapshot whose watermark the caller passed; may be
+      // a stale leftover of an interrupted compaction.  Never replayed.
+      ++result.segments_skipped;
+      continue;
+    }
+    ++result.segments;
+    // Indices sort with the paths, so the last path is also the last
+    // surviving segment — the only one the torn-tail rule applies to.
     const bool final_segment = i + 1 == paths.size();
     auto scan = scan_segment(paths[i], index, final_segment, /*collect=*/true);
     result.bytes += fs::file_size(paths[i]);
@@ -210,10 +209,26 @@ WalWriter::WalWriter(std::string dir, const WalOptions& options)
       sync_us_(obs::global_registry().histogram("store.wal.sync_us",
                                                 store_scale())) {
   fs::create_directories(dir_);
-  const auto paths = wal_segment_paths(dir_);
+  std::vector<std::string> paths;
+  bool deleted_stale = false;
+  for (auto& path : wal_segment_paths(dir_)) {
+    std::uint64_t index = 0;
+    parse_segment_index(fs::path(path).filename().string(), index);
+    if (index < options_.min_segment_index) {
+      // Below the snapshot watermark: folded, possibly a stale leftover of
+      // an interrupted compaction whose deletion never finished.  Recovery
+      // already skipped it; finish the deletion now.
+      std::error_code ec;
+      fs::remove(path, ec);
+      deleted_stale = true;
+      continue;
+    }
+    paths.push_back(std::move(path));
+  }
+  if (deleted_stale) support::fsync_dir(dir_);
   std::lock_guard<std::mutex> lock(mutex_);
   if (paths.empty()) {
-    open_segment_locked(1);
+    open_segment_locked(options_.min_segment_index);
     return;
   }
   // Resume: validate the tail segment and truncate any torn append away,
@@ -249,6 +264,14 @@ WalWriter::~WalWriter() {
   file_ = nullptr;
 }
 
+void WalWriter::require_open_locked() const {
+  if (file_ == nullptr) {
+    // A failed rotation (open_segment_locked threw) leaves no current
+    // segment; refuse cleanly instead of fwrite/fileno on a null stream.
+    throw StoreError("WAL writer failed (no open segment) in " + dir_);
+  }
+}
+
 void WalWriter::open_segment_locked(std::uint64_t index) {
   if (file_ != nullptr) {
     std::fclose(file_);
@@ -262,11 +285,17 @@ void WalWriter::open_segment_locked(std::uint64_t index) {
   put_u32(header + 8, static_cast<std::uint32_t>(index));
   put_u32(header + 12, static_cast<std::uint32_t>(index >> 32));
   if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+    // Never leave a half-headed segment behind as the current file: later
+    // appends would land after the partial header and the reader would
+    // misclassify them as a torn tail (silent data loss).
+    std::fclose(file_);
+    file_ = nullptr;
+    std::remove(path.c_str());
     throw StoreError("cannot write WAL segment header: " + path);
   }
   segment_index_ = index;
   segment_bytes_ = kSegmentHeaderBytes;
-  fsync_dir(dir_);
+  support::fsync_dir(dir_);
 }
 
 void WalWriter::rotate_if_needed_locked() {
@@ -279,6 +308,7 @@ void WalWriter::rotate_if_needed_locked() {
 }
 
 void WalWriter::sync_locked() {
+  require_open_locked();
   const std::uint64_t t0 = obs::monotonic_ns();
   obs::Span span;
   if (obs::global_trace_enabled()) {
@@ -314,6 +344,7 @@ std::uint64_t WalWriter::append(std::uint32_t type,
   put_u32(frame.data() + 12 + size, core::crc32(frame.data(), 12 + size));
 
   std::lock_guard<std::mutex> lock(mutex_);
+  require_open_locked();
   rotate_if_needed_locked();
   if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
     throw StoreError("WAL append failed in " + dir_);

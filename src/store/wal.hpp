@@ -70,8 +70,9 @@ struct WalRecord {
 struct WalReadResult {
   std::vector<WalRecord> records;
   bool torn_tail = false;       ///< final segment ended mid-record
-  std::size_t segments = 0;
-  std::uint64_t bytes = 0;      ///< total on-disk bytes scanned
+  std::size_t segments = 0;     ///< segments actually scanned
+  std::size_t segments_skipped = 0;  ///< at/below the caller's watermark
+  std::uint64_t bytes = 0;      ///< on-disk bytes of the scanned segments
   std::uint64_t tail_valid_bytes = 0;  ///< clean byte length of last segment
 };
 
@@ -82,21 +83,37 @@ std::vector<std::string> wal_segment_paths(const std::string& dir);
 /// Reads every record of every segment in order.  Throws StoreError on
 /// corruption (see the torn-tail rule above); a torn final record is
 /// reported via `torn_tail`, not thrown.
-WalReadResult read_wal(const std::string& dir);
+///
+/// Segments whose index is <= `skip_through_index` are not scanned at all
+/// (counted in `segments_skipped`): they are the ones a snapshot's WAL
+/// watermark declares folded, and may be stale leftovers of an
+/// interrupted compaction — replaying them against a newer snapshot would
+/// be wrong, not merely redundant (e.g. a stale consume marker applied to
+/// a freshly provisioned CRP database).
+WalReadResult read_wal(const std::string& dir,
+                       std::uint64_t skip_through_index = 0);
 
 struct WalOptions {
   std::size_t segment_bytes = 4u << 20;  ///< rotate past this size
   /// Appends per automatic group commit; every sync_every-th append also
   /// flushes+fsyncs.  0 = only explicit sync() calls hit the disk.
   std::size_t sync_every = 32;
+  /// Compaction watermark floor: segments with a lower index are folded
+  /// into a durable snapshot, so the writer deletes them on open and never
+  /// numbers a fresh segment below this.  Keeping every live record above
+  /// the snapshot's watermark is what makes recovery skip-below-watermark
+  /// safe.  1 = no snapshot yet.
+  std::uint64_t min_segment_index = 1;
 };
 
 class WalWriter {
  public:
   /// Opens (creating the directory if needed) and resumes after the last
   /// valid record: a torn tail from a previous crash is truncated away,
-  /// real corruption throws.  New records go to the highest segment, or a
-  /// fresh one when the log is empty.
+  /// real corruption throws.  Segments below `options.min_segment_index`
+  /// (stale leftovers of an interrupted compaction) are deleted first.
+  /// New records go to the highest surviving segment, or a fresh one at
+  /// `min_segment_index` when none survives.
   explicit WalWriter(std::string dir, const WalOptions& options = {});
   ~WalWriter();  ///< final sync + close (best effort)
 
@@ -105,6 +122,9 @@ class WalWriter {
 
   /// Appends one record; returns its ordinal (0-based since open).
   /// Thread-safe.  Durable only after the next sync (explicit or batched).
+  /// After a failed segment rotation the writer is permanently failed:
+  /// every further append/sync throws StoreError instead of touching the
+  /// (no longer open) segment.
   std::uint64_t append(std::uint32_t type, const std::uint8_t* payload,
                        std::size_t size);
   std::uint64_t append(std::uint32_t type, const std::string& payload);
@@ -114,8 +134,11 @@ class WalWriter {
   void sync();
 
   /// Compaction handshake: deletes every segment (their records are folded
-  /// into a snapshot the caller just persisted) and starts a fresh one at
-  /// the next index, so record order across restarts stays monotonic.
+  /// into a snapshot the caller just persisted *with the current segment
+  /// index as its watermark*) and starts a fresh one at the next index.
+  /// Monotonic numbering is what lets recovery tell folded segments from
+  /// live ones: a crash mid-deletion leaves stale segments at or below the
+  /// snapshot's watermark, which recovery skips and the next open deletes.
   void restart_segments();
 
   std::uint64_t appended_records() const;
@@ -124,6 +147,7 @@ class WalWriter {
   const std::string& dir() const { return dir_; }
 
  private:
+  void require_open_locked() const;  ///< throws when the writer has failed
   void open_segment_locked(std::uint64_t index);   ///< caller holds mutex_
   void rotate_if_needed_locked();                  ///< caller holds mutex_
   void sync_locked();                              ///< caller holds mutex_

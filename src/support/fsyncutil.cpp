@@ -1,0 +1,23 @@
+#include "support/fsyncutil.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+namespace pufatt::support {
+
+void fsync_path(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+void fsync_dir(const std::string& dir) { fsync_path(dir); }
+
+void fsync_parent_dir(const std::string& path) {
+  const auto slash = path.find_last_of('/');
+  fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+}
+
+}  // namespace pufatt::support

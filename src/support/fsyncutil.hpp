@@ -1,0 +1,30 @@
+// Durability helpers shared by every layer that persists files.
+//
+// POSIX fsync covers a file's *bytes*; the directory entry that names the
+// file (after create, rename, or delete) lives in the directory and needs
+// its own fsync.  Atomic-snapshot writers (temp file + rename) must
+// therefore fsync the temp file *before* the rename — or a power loss can
+// make the rename durable while the data blocks are not, exposing a
+// named-but-empty file — and fsync the parent directory *after*.
+//
+// All helpers are best-effort: filesystems that refuse O_RDONLY directory
+// fsync (or files that vanished meanwhile) are silently tolerated, the
+// same policy as stdio-based writers that cannot observe fsync errors on
+// close.
+#pragma once
+
+#include <string>
+
+namespace pufatt::support {
+
+/// fsyncs the file at `path` (opens it read-only just for the fsync).
+void fsync_path(const std::string& path);
+
+/// fsyncs the directory at `dir` so created/renamed/deleted entries in it
+/// are durable.
+void fsync_dir(const std::string& dir);
+
+/// fsyncs the directory containing `path` (".": no separator in `path`).
+void fsync_parent_dir(const std::string& path);
+
+}  // namespace pufatt::support

@@ -269,6 +269,28 @@ TEST(Wal, CorruptionMatrixFuzz) {
   }
 }
 
+// A failed rotation (the new segment cannot be created) must leave the
+// writer in a clean failed state: every further append/sync throws
+// StoreError instead of fwrite/fileno on a null stream.
+TEST(Wal, FailedRotationLeavesWriterFailedNotCrashed) {
+  const std::string dir = fresh_dir("failed_rotation");
+  WalOptions options;
+  options.segment_bytes = 64;  // the first record already overflows it
+  options.sync_every = 0;
+  auto wal = std::make_unique<WalWriter>(dir, options);
+  wal->append(1, std::string(80, 'x'));
+  wal->sync();
+  // Make the next rotation's fopen fail for any user (root included):
+  // replace the log directory with a regular file.
+  fs::remove_all(dir);
+  { std::ofstream(dir).put('x'); }
+  EXPECT_THROW(wal->append(1, "trigger-rotation"), StoreError);
+  EXPECT_THROW(wal->append(1, "already-failed"), StoreError);
+  EXPECT_THROW(wal->sync(), StoreError);
+  wal.reset();  // the destructor tolerates the failed state
+  fs::remove(dir);
+}
+
 TEST(Wal, ConcurrentAppendsKeepPerThreadOrder) {
   const std::string dir = fresh_dir("concurrent");
   constexpr std::size_t kThreads = 4;
@@ -535,6 +557,11 @@ TEST(VerifierStore, CompactionFoldsWalIntoSnapshot) {
   const auto& stats = reopened->recovery_stats();
   EXPECT_TRUE(stats.snapshot_present);
   EXPECT_EQ(stats.records_replayed, 0u);  // the snapshot carries everything
+  // The snapshot recorded the folded segment as its watermark, and the
+  // restarted log resumes strictly above it.
+  EXPECT_GE(stats.snapshot_watermark, 1u);
+  EXPECT_EQ(reopened->wal().current_segment_index(),
+            stats.snapshot_watermark + 1);
   EXPECT_EQ(stats.devices, fleet.devices.size() - 1);
   EXPECT_FALSE(reopened->registry().contains(fleet.devices[2].id));
   EXPECT_EQ(reopened->crp_remaining(fleet.devices[0].id), std::size_t{3});
@@ -568,9 +595,10 @@ TEST(VerifierStore, SnapshotPlusTailRecovery) {
 }
 
 // A crash *between* the snapshot rename and the WAL segment deletion
-// leaves both the new snapshot and the full WAL.  Replay must be a no-op
-// on top of the snapshot, not a double-application.
-TEST(VerifierStore, InterruptedCompactionReplaysIdempotently) {
+// leaves both the new snapshot and the full WAL.  The snapshot's
+// watermark makes recovery skip every folded segment — nothing is
+// double-applied, and the next open finishes the deletion.
+TEST(VerifierStore, InterruptedCompactionSkipsFoldedSegments) {
   const auto& fleet = Fleet::instance();
   const std::string dir = fresh_dir("interrupted_compaction");
   {
@@ -583,16 +611,106 @@ TEST(VerifierStore, InterruptedCompactionReplaysIdempotently) {
     db->authenticate_crp(fleet.devices[0].id,
                          fleet.devices[0].device->raw_puf(), rng);
     db->sync();
-    // Simulate the torn compaction: snapshot written, segments NOT deleted.
-    write_snapshot(dir, db->registry(), db->crp_ledger());
+    // Simulate the torn compaction: snapshot written (watermark = the
+    // segment it folded), segments NOT deleted.
+    write_snapshot(dir, db->registry(), db->crp_ledger(),
+                   db->wal().current_segment_index());
   }
   auto recovered = VerifierStore::open(dir);
   const auto& stats = recovered->recovery_stats();
   EXPECT_TRUE(stats.snapshot_present);
-  EXPECT_GT(stats.records_replayed, 0u);  // the whole WAL re-applied
+  EXPECT_GE(stats.snapshot_watermark, 1u);
+  EXPECT_EQ(stats.records_replayed, 0u);  // folded segments skipped unread
+  EXPECT_GE(stats.wal_segments_skipped, 1u);
   EXPECT_EQ(stats.devices, 1u);
-  // Idempotent: the consume cursor is exactly 2, not 4.
+  // The consume cursor comes from the snapshot alone: exactly 2, not 4.
   EXPECT_EQ(recovered->crp_remaining(fleet.devices[0].id), std::size_t{3});
+  // The interrupted deletion was finished on open: only segments above
+  // the watermark remain.
+  for (const auto& path : wal_segment_paths(dir)) {
+    const std::string name = fs::path(path).filename().string();
+    EXPECT_GT(std::stoull(name.substr(4, 8)), stats.snapshot_watermark)
+        << path;
+  }
+}
+
+// The reason the watermark exists: a stale WAL tail left by an
+// interrupted compaction is not merely redundant, it can be *wrong* to
+// replay.  Here the snapshotted state replaced a device's database with a
+// smaller one; a stale consume marker (index 2) points past the fresh
+// 2-entry database, so pre-watermark full-tail replay would refuse to
+// open the store (and with a same-size replacement it would silently mark
+// fresh entries consumed).
+TEST(VerifierStore, StaleConsumeMarkersNeverReplayOntoFreshDatabase) {
+  const auto& fleet = Fleet::instance();
+  const std::string dir = fresh_dir("stale_tail");
+  std::vector<std::pair<std::string, std::vector<std::uint8_t>>> stale;
+  {
+    auto db = VerifierStore::open(dir);
+    db->enroll(fleet.devices[0].id, fleet.devices[0].record);
+    db->enroll_crps(fleet.devices[0].id, fleet.collect(0, 5, 0x57A1));
+    Xoshiro256pp rng(0x81);
+    for (int i = 0; i < 3; ++i) {  // consume markers for indices 0, 1, 2
+      ASSERT_TRUE(db->authenticate_crp(fleet.devices[0].id,
+                                       fleet.devices[0].device->raw_puf(), rng)
+                      .has_value());
+    }
+    db->sync();
+    for (const auto& path : wal_segment_paths(dir)) {
+      stale.emplace_back(path, read_bytes(path));
+    }
+    db->compact();
+    // Post-compaction: a smaller replacement database (2 entries).
+    db->enroll_crps(fleet.devices[0].id, fleet.collect(0, 2, 0x57A2));
+    db->sync();
+  }
+  // Resurrect the folded segments, as if the compaction's deletion never
+  // reached the disk.
+  for (const auto& [path, bytes] : stale) {
+    ASSERT_FALSE(fs::exists(path));  // compact() did delete them live
+    write_bytes(path, bytes);
+  }
+
+  auto recovered = VerifierStore::open(dir);  // must not throw
+  const auto& stats = recovered->recovery_stats();
+  EXPECT_GE(stats.wal_segments_skipped, 1u);
+  // The fresh database is untouched by the stale markers.
+  EXPECT_EQ(recovered->crp_remaining(fleet.devices[0].id), std::size_t{2});
+}
+
+// The documented replenish pattern: the depletion hook calls straight
+// back into the store.  enroll_crps takes the store's exclusive lock, so
+// this deadlocks unless the store fires the hook only after releasing the
+// shared lock authenticate_crp holds.
+TEST(VerifierStore, LowWatermarkHookMayReenterTheStore) {
+  const auto& fleet = Fleet::instance();
+  const std::string dir = fresh_dir("hook_reenter");
+  VerifierStore* live = nullptr;
+  int fired = 0;
+  StoreOptions options;
+  options.crp.low_watermark = 1;
+  options.crp.on_low = [&](const std::string& id, std::size_t remaining) {
+    ++fired;
+    EXPECT_EQ(remaining, 1u);
+    live->enroll_crps(id, fleet.collect(0, 4, 0x0E91));  // replenish inline
+  };
+  auto db = VerifierStore::open(dir, options);
+  live = db.get();
+  db->enroll(fleet.devices[0].id, fleet.devices[0].record);
+  db->enroll_crps(fleet.devices[0].id, fleet.collect(0, 2, 0x0E90));
+
+  Xoshiro256pp rng(0x91);
+  const auto result = db->authenticate_crp(
+      fleet.devices[0].id, fleet.devices[0].device->raw_puf(), rng);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_TRUE(result->conclusive());
+  EXPECT_EQ(fired, 1);
+  // The hook's re-enrollment landed (and re-armed the watermark).
+  EXPECT_EQ(db->crp_remaining(fleet.devices[0].id), std::size_t{4});
+  ASSERT_TRUE(db->authenticate_crp(fleet.devices[0].id,
+                                   fleet.devices[0].device->raw_puf(), rng)
+                  .has_value());
+  EXPECT_EQ(fired, 1);  // remaining 3 > watermark: no re-fire
 }
 
 TEST(VerifierStore, EvictDropsRegistryAndLedger) {

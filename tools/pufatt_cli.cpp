@@ -553,8 +553,9 @@ int cmd_store_inspect(const std::string& dir) {
   const auto& stats = state.stats;
   std::printf("store %s\n", dir.c_str());
   if (stats.snapshot_present) {
-    std::printf("  snapshot        : %llu bytes\n",
-                static_cast<unsigned long long>(stats.snapshot_bytes));
+    std::printf("  snapshot        : %llu bytes, WAL watermark %llu\n",
+                static_cast<unsigned long long>(stats.snapshot_bytes),
+                static_cast<unsigned long long>(stats.snapshot_watermark));
   } else {
     std::printf("  snapshot        : none\n");
   }
@@ -562,6 +563,11 @@ int cmd_store_inspect(const std::string& dir) {
               stats.wal_segments,
               static_cast<unsigned long long>(stats.wal_bytes),
               stats.torn_tail ? ", torn tail (tolerated)" : "");
+  if (stats.wal_segments_skipped > 0) {
+    std::printf("  stale segments  : %zu skipped (at/below the snapshot "
+                "watermark; deleted on next open)\n",
+                stats.wal_segments_skipped);
+  }
   std::printf("  records replayed: %zu\n", stats.records_replayed);
   for (const auto& [type, count] : stats.records_by_type) {
     std::printf("    %-13s : %zu\n", store::record_type_name(type), count);
