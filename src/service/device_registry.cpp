@@ -13,10 +13,17 @@ namespace pufatt::service {
 
 namespace {
 
+constexpr char kRegistryMagic[8] = {'P', 'F', 'A', 'T', 'R', 'E', 'G', '1'};
+
+}  // namespace
+
 // FNV-1a, then a SplitMix64 finalizer: std::hash<std::string> is
 // implementation-defined, and shard assignment must not change between
-// platforms or the registry's concurrency tests would be unportable.
-std::uint64_t stable_hash(const std::string& s) {
+// platforms or the registry's concurrency tests would be unportable —
+// and, since the sharded store reuses this hash for shard *directories*,
+// a platform-dependent hash would scatter devices across the wrong
+// shards when a store is copied between machines.
+std::uint64_t stable_device_hash(const std::string& s) {
   std::uint64_t h = 1469598103934665603ULL;
   for (const unsigned char c : s) {
     h ^= c;
@@ -24,10 +31,6 @@ std::uint64_t stable_hash(const std::string& s) {
   }
   return support::SplitMix64::mix(h);
 }
-
-constexpr char kRegistryMagic[8] = {'P', 'F', 'A', 'T', 'R', 'E', 'G', '1'};
-
-}  // namespace
 
 DeviceRegistry::DeviceRegistry(std::size_t shards) {
   shards_.reserve(std::max<std::size_t>(shards, 1));
@@ -37,12 +40,12 @@ DeviceRegistry::DeviceRegistry(std::size_t shards) {
 }
 
 DeviceRegistry::Shard& DeviceRegistry::shard_for(const std::string& id) {
-  return *shards_[stable_hash(id) % shards_.size()];
+  return *shards_[stable_device_hash(id) % shards_.size()];
 }
 
 const DeviceRegistry::Shard& DeviceRegistry::shard_for(
     const std::string& id) const {
-  return *shards_[stable_hash(id) % shards_.size()];
+  return *shards_[stable_device_hash(id) % shards_.size()];
 }
 
 bool DeviceRegistry::store(

@@ -26,7 +26,31 @@
 
 namespace pufatt::service {
 
-class DeviceRegistry {
+/// Platform-stable device-id hash: FNV-1a folded through a SplitMix64
+/// finalizer.  std::hash<std::string> is implementation-defined, and this
+/// hash decides *placement* — registry lock striping here, and shard
+/// routing in store::ShardedVerifierStore — so it must produce the same
+/// value on every platform a store directory might be copied between.
+std::uint64_t stable_device_hash(const std::string& device_id);
+
+/// Read-side view of enrolled devices: what request-serving code
+/// (EmulatorCache, VerifierPool) actually needs.  Both a plain
+/// DeviceRegistry and a sharded store's routing facade implement it, so
+/// the service layer is indifferent to how records are partitioned.
+class RegistryView {
+ public:
+  virtual ~RegistryView() = default;
+
+  /// nullptr when the device is unknown.
+  virtual std::shared_ptr<const core::EnrollmentRecord> load(
+      const std::string& device_id) const = 0;
+
+  virtual bool contains(const std::string& device_id) const {
+    return load(device_id) != nullptr;
+  }
+};
+
+class DeviceRegistry : public RegistryView {
  public:
   /// `shards` is rounded up to 1; 16 is plenty below ~100 worker threads
   /// (collision probability on a random pair of ids is 1/shards).
@@ -47,9 +71,9 @@ class DeviceRegistry {
 
   /// nullptr when the device is unknown.
   std::shared_ptr<const core::EnrollmentRecord> load(
-      const std::string& device_id) const;
+      const std::string& device_id) const override;
 
-  bool contains(const std::string& device_id) const;
+  bool contains(const std::string& device_id) const override;
 
   /// De-registers a device; outstanding shared_ptrs stay valid.
   bool evict(const std::string& device_id);

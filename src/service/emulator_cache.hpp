@@ -55,8 +55,10 @@ class EmulatorCache {
 
  public:
   /// `registry` and `code` must outlive the cache.  `channel`/`slack` are
-  /// forwarded to every constructed Verifier.
-  EmulatorCache(const DeviceRegistry& registry, const ecc::BinaryCode& code,
+  /// forwarded to every constructed Verifier.  Any RegistryView works —
+  /// a plain DeviceRegistry or a sharded store's routing view — since the
+  /// cache only ever loads records by id.
+  EmulatorCache(const RegistryView& registry, const ecc::BinaryCode& code,
                 std::size_t capacity, const core::ChannelParams& channel = {},
                 double slack = 0.03);
 
@@ -106,7 +108,7 @@ class EmulatorCache {
   /// Marks `it` most-recently-used.  Caller holds mutex_.
   void touch(std::unordered_map<std::string, Slot>::iterator it);
 
-  const DeviceRegistry* registry_;
+  const RegistryView* registry_;
   const ecc::BinaryCode* code_;
   std::size_t capacity_;
   core::ChannelParams channel_;

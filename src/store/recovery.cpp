@@ -4,9 +4,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <sstream>
 
 #include "core/serialize.hpp"
 #include "store/records.hpp"
+#include "support/faulty_file.hpp"
 #include "support/fsyncutil.hpp"
 
 namespace pufatt::store {
@@ -64,41 +66,70 @@ void load_snapshot(const std::string& path, RecoveredState& state,
   CrpLedger::load_into(in, *state.ledger);
 }
 
-void replay_record(const WalRecord& record, RecoveredState& state) {
-  switch (record.type) {
-    case kEnroll: {
-      auto payload = decode_enroll(record);
-      state.registry.store(payload.device_id, std::move(payload.record));
-      break;
+}  // namespace
+
+void replay_wal_record(const WalRecord& record,
+                       service::DeviceRegistry& registry, CrpLedger& ledger) {
+  try {
+    switch (record.type) {
+      case kEnroll: {
+        auto payload = decode_enroll(record);
+        registry.store(payload.device_id, std::move(payload.record));
+        break;
+      }
+      case kEvict: {
+        const std::string id = decode_evict(record);
+        registry.evict(id);
+        ledger.replay_erase(id);
+        break;
+      }
+      case kCrpEnroll: {
+        auto payload = decode_crp_enroll(record);
+        ledger.replay_enroll(payload.device_id, std::move(payload.db));
+        break;
+      }
+      case kCrpConsume: {
+        const auto payload = decode_crp_consume(record);
+        ledger.replay_consume(payload.device_id, payload.entry_index);
+        break;
+      }
+      case kCheckpoint:
+        break;
+      default:
+        throw StoreError("unknown WAL record type " +
+                         std::to_string(record.type));
     }
-    case kEvict: {
-      const std::string id = decode_evict(record);
-      state.registry.evict(id);
-      state.ledger->replay_erase(id);
-      break;
-    }
-    case kCrpEnroll: {
-      auto payload = decode_crp_enroll(record);
-      state.ledger->replay_enroll(payload.device_id, std::move(payload.db));
-      break;
-    }
-    case kCrpConsume: {
-      const auto payload = decode_crp_consume(record);
-      state.ledger->replay_consume(payload.device_id, payload.entry_index);
-      break;
-    }
-    case kCheckpoint:
-      break;
-    default:
-      throw StoreError("unknown WAL record type " +
-                       std::to_string(record.type));
+  } catch (const StoreError& e) {
+    // The CRC was fine, so the frame arrived intact but its *payload* is
+    // nonsense — name the exact on-disk frame for the postmortem.
+    throw StoreError(std::string(e.what()) + " (record from " +
+                     wal_segment_file(record.origin_segment) + " at byte " +
+                     std::to_string(record.origin_offset) + ")");
   }
 }
 
-}  // namespace
-
 std::string snapshot_path(const std::string& dir) {
   return dir + "/snapshot.bin";
+}
+
+bool read_snapshot_watermark(const std::string& path,
+                             std::uint64_t& watermark) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return false;
+    throw StoreError("cannot open snapshot " + path);
+  }
+  char magic[8];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kSnapshotMagic, sizeof(magic)) != 0) {
+    throw StoreError("bad snapshot magic: " + path);
+  }
+  if (read_u32(in) != kSnapshotVersion) {
+    throw StoreError("unsupported snapshot version: " + path);
+  }
+  watermark = read_u64(in);
+  return true;
 }
 
 RecoveredState recover(const std::string& dir, std::size_t registry_shards,
@@ -128,7 +159,7 @@ RecoveredState recover(const std::string& dir, std::size_t registry_shards,
   state.stats.wal_bytes = wal.bytes;
   state.stats.torn_tail = wal.torn_tail;
   for (const auto& record : wal.records) {
-    replay_record(record, state);
+    replay_wal_record(record, state.registry, *state.ledger);
     ++state.stats.records_replayed;
     ++state.stats.records_by_type[record.type];
   }
@@ -145,25 +176,36 @@ void write_snapshot(const std::string& dir,
   fs::create_directories(dir);
   const std::string path = snapshot_path(dir);
   const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
-    if (!out) throw StoreError("cannot open " + tmp);
-    out.write(kSnapshotMagic, sizeof(kSnapshotMagic));
-    write_u32(out, kSnapshotVersion);
-    write_u64(out, wal_watermark);
-    registry.save(out);
-    ledger.save(out);
-    out.flush();
-    if (!out) {
-      std::remove(tmp.c_str());
-      throw StoreError("snapshot write failed: " + tmp);
-    }
-  }
+
+  // Serialize into memory first, then push the bytes through the
+  // fault-injectable io_* ops: one buffer, one write, every failure mode
+  // (short write, fsync EIO, torn rename) observable and tested.
+  std::ostringstream buffer(std::ios::binary);
+  buffer.write(kSnapshotMagic, sizeof(kSnapshotMagic));
+  write_u32(buffer, kSnapshotVersion);
+  write_u64(buffer, wal_watermark);
+  registry.save(buffer);
+  ledger.save(buffer);
+  const std::string bytes = buffer.str();
+
+  std::FILE* out = support::io_fopen(tmp.c_str(), "wb");
+  if (out == nullptr) throw StoreError("cannot open " + tmp);
+  const bool wrote =
+      support::io_fwrite(bytes.data(), bytes.size(), out) == bytes.size();
+  const bool flushed = support::io_fflush(out) == 0;
   // The temp file's bytes must be durable before the rename makes them
-  // the snapshot — otherwise a crash could expose a named-but-empty file.
-  support::fsync_path(tmp);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
+  // the snapshot — otherwise a crash could expose a named-but-torn file.
+  // This fsync is *checked*: ignoring its failure would publish a
+  // snapshot whose durability is unknown, then delete the WAL segments
+  // that could have rebuilt it.
+  const bool synced = support::io_fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (!wrote || !flushed || !synced) {
+    support::io_remove(tmp.c_str());
+    throw StoreError("snapshot write failed: " + tmp);
+  }
+  if (support::io_rename(tmp.c_str(), path.c_str()) != 0) {
+    support::io_remove(tmp.c_str());
     throw StoreError("cannot rename " + tmp + " -> " + path);
   }
   support::fsync_dir(dir);

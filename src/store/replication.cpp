@@ -1,0 +1,313 @@
+#include "store/replication.hpp"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "obs/metrics.hpp"
+#include "store/recovery.hpp"
+#include "support/faulty_file.hpp"
+#include "support/fsyncutil.hpp"
+
+namespace pufatt::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::vector<std::uint8_t> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw StoreError("cannot open " + path);
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
+
+std::uint64_t parse_u64(const std::uint8_t* data) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(data[i]) << (8 * i);
+  return v;
+}
+
+/// Validates an in-memory snapshot image's header and returns its WAL
+/// watermark.  Parsing the *slurped bytes* (not the file twice) keeps the
+/// copy and its watermark consistent even if the primary compacts between
+/// our reads: whatever complete snapshot we slurped is the one we ship.
+std::uint64_t snapshot_image_watermark(const std::vector<std::uint8_t>& bytes,
+                                       const std::string& path) {
+  if (bytes.size() < 20 ||
+      std::memcmp(bytes.data(), kSnapshotMagic, sizeof(kSnapshotMagic)) != 0) {
+    throw StoreError("bad snapshot magic: " + path);
+  }
+  return parse_u64(bytes.data() + 12);
+}
+
+/// Atomic file publish via the fault-injectable ops: temp + write +
+/// fsync + rename + parent-dir fsync.  Shared by the snapshot copy.
+void publish_file(const std::string& path,
+                  const std::vector<std::uint8_t>& bytes) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* out = support::io_fopen(tmp.c_str(), "wb");
+  if (out == nullptr) throw StoreError("cannot open " + tmp);
+  const bool wrote =
+      support::io_fwrite(bytes.data(), bytes.size(), out) == bytes.size();
+  const bool flushed = support::io_fflush(out) == 0;
+  const bool synced = support::io_fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (!wrote || !flushed || !synced) {
+    support::io_remove(tmp.c_str());
+    throw StoreError("replication copy failed: " + tmp);
+  }
+  if (support::io_rename(tmp.c_str(), path.c_str()) != 0) {
+    support::io_remove(tmp.c_str());
+    throw StoreError("cannot rename " + tmp + " -> " + path);
+  }
+  support::fsync_parent_dir(path);
+}
+
+std::uint64_t segment_index_of(const std::string& path) {
+  // wal_segment_paths only returns parseable names, so this cannot fail.
+  const std::string name = fs::path(path).filename().string();
+  std::uint64_t index = 0;
+  for (std::size_t i = 4; i < 12; ++i) {
+    index = index * 10 + static_cast<std::uint64_t>(name[i] - '0');
+  }
+  return index;
+}
+
+}  // namespace
+
+ShardFollower::ShardFollower(std::string primary_dir, std::string follower_dir,
+                             CrpLedger::Options ledger_options)
+    : primary_dir_(std::move(primary_dir)),
+      follower_dir_(std::move(follower_dir)),
+      ledger_options_(std::move(ledger_options)),
+      registry_(1),
+      ships_(obs::global_registry().counter("store.repl.ships")),
+      shipped_bytes_(obs::global_registry().counter("store.repl.shipped_bytes")),
+      applied_records_(
+          obs::global_registry().counter("store.repl.applied_records")),
+      snapshot_copies_(
+          obs::global_registry().counter("store.repl.snapshot_copies")),
+      lag_bytes_(obs::global_registry().gauge("store.repl.lag_bytes")) {
+  fs::create_directories(follower_dir_);
+  rescan_follower_locked();
+}
+
+void ShardFollower::require_live() const {
+  if (promoted_) {
+    throw StoreError("follower of " + primary_dir_ + " was promoted");
+  }
+  if (poisoned_) {
+    throw StoreError("follower of " + primary_dir_ +
+                     " failed mid-ship; rebuild it (the directory heals on "
+                     "the next construction)");
+  }
+}
+
+void ShardFollower::rescan_follower_locked() {
+  // The directory is the truth: recover warm state from it, then derive
+  // the shipping cursor from the last segment's clean prefix, truncating
+  // any torn tail a crashed (or injected-fault) ship left behind.
+  auto state = recover(follower_dir_, /*registry_shards=*/16, ledger_options_);
+  registry_ = std::move(state.registry);
+  ledger_ = std::move(state.ledger);
+  status_.snapshot_watermark = state.stats.snapshot_watermark;
+  status_.applied_records = state.stats.records_replayed;
+  status_.segment = 0;
+  status_.offset = 0;
+  const auto paths = wal_segment_paths(follower_dir_);
+  if (!paths.empty()) {
+    const std::uint64_t index = segment_index_of(paths.back());
+    const auto delta = read_segment_delta(paths.back(), index, 0);
+    if (delta.torn) {
+      fs::resize_file(paths.back(), delta.valid_bytes);
+    }
+    status_.segment = index;
+    status_.offset = delta.valid_bytes;
+  }
+}
+
+ReplicationStatus ShardFollower::ship() {
+  require_live();
+
+  // A live primary can compact *between* our watermark check and the
+  // segment scan, making cursor segments vanish mid-round.  That is the
+  // one benign race; one retry re-enters through snapshot catch-up.
+  for (int attempt = 0;; ++attempt) {
+    // --- 1. snapshot catch-up -----------------------------------------------
+    const std::string primary_snap = snapshot_path(primary_dir_);
+    std::error_code ec;
+    if (fs::exists(primary_snap, ec)) {
+      const auto image = slurp(primary_snap);
+      const std::uint64_t watermark =
+          snapshot_image_watermark(image, primary_snap);
+      if (watermark > status_.snapshot_watermark) {
+        publish_file(snapshot_path(follower_dir_), image);
+        for (const auto& path : wal_segment_paths(follower_dir_)) {
+          if (segment_index_of(path) <= watermark) {
+            support::io_remove(path.c_str());
+          }
+        }
+        support::fsync_dir(follower_dir_);
+        rescan_follower_locked();
+        snapshot_copies_.add();
+        ++status_.snapshot_copies;
+      }
+    }
+
+    // --- 2. tail shipping ---------------------------------------------------
+    std::uint64_t round_bytes = 0;
+    bool created_file = false;
+    bool raced_compaction = false;
+    for (const auto& primary_path : wal_segment_paths(primary_dir_)) {
+      const std::uint64_t index = segment_index_of(primary_path);
+      if (index <= status_.snapshot_watermark) continue;
+      if (status_.segment != 0 && index < status_.segment) continue;
+      if (status_.segment != 0 && index > status_.segment + 1 &&
+          status_.offset != 0) {
+        // The segment after the cursor vanished: compaction raced us.
+        raced_compaction = true;
+        break;
+      }
+      const std::uint64_t from =
+          index == status_.segment ? status_.offset : 0;
+      WalSegmentDelta delta;
+      try {
+        delta = read_segment_delta(primary_path, index, from);
+      } catch (const StoreError&) {
+        if (!fs::exists(primary_path, ec)) {
+          raced_compaction = true;
+          break;
+        }
+        throw;
+      }
+      if (!delta.bytes.empty()) {
+        const std::string follower_path =
+            follower_dir_ + "/" + wal_segment_file(index);
+        if (from > 0) {
+          // The cursor was derived from this very file; a size mismatch
+          // means someone else wrote the follower directory.
+          if (!fs::exists(follower_path, ec) ||
+              fs::file_size(follower_path) != from) {
+            poisoned_ = true;
+            throw StoreError("follower segment diverged from cursor: " +
+                             follower_path);
+          }
+        } else {
+          created_file = true;
+        }
+        std::FILE* out =
+            support::io_fopen(follower_path.c_str(), from > 0 ? "ab" : "wb");
+        if (out == nullptr) {
+          poisoned_ = true;
+          throw StoreError("cannot open follower segment " + follower_path);
+        }
+        const bool wrote =
+            support::io_fwrite(delta.bytes.data(), delta.bytes.size(), out) ==
+            delta.bytes.size();
+        const bool flushed = support::io_fflush(out) == 0;
+        // Checked: the cursor must never run ahead of what the follower
+        // holds durably, or a crash would silently lose shipped records.
+        const bool synced = support::io_fsync(::fileno(out)) == 0;
+        std::fclose(out);
+        if (!wrote || !flushed || !synced) {
+          // The follower file may now end in a torn frame this cursor
+          // knows nothing about; only a rescan (fresh construction) may
+          // touch this directory again.
+          poisoned_ = true;
+          throw StoreError("WAL shipping failed: " + follower_path);
+        }
+        for (const auto& record : delta.records) {
+          replay_wal_record(record, registry_, *ledger_);
+        }
+        applied_records_.add(delta.records.size());
+        status_.applied_records += delta.records.size();
+        round_bytes += delta.bytes.size();
+      }
+      status_.segment = index;
+      status_.offset = delta.valid_bytes;
+    }
+    if (raced_compaction) {
+      if (attempt >= 2) {
+        throw StoreError("primary " + primary_dir_ +
+                         " kept compacting segments out from under the "
+                         "shipping cursor");
+      }
+      continue;
+    }
+    if (created_file) support::fsync_dir(follower_dir_);
+
+    status_.shipped_bytes += round_bytes;
+    status_.lag_bytes = round_bytes;
+    ships_.add();
+    shipped_bytes_.add(round_bytes);
+    lag_bytes_.set(static_cast<double>(round_bytes));
+    return status_;
+  }
+}
+
+std::unique_ptr<VerifierStore> ShardFollower::promote(StoreOptions options) {
+  require_live();
+  promoted_ = true;
+  // The follower directory is an ordinary store directory, so failover is
+  // plain crash recovery — the same code path, the same guarantees.
+  return VerifierStore::open(follower_dir_, std::move(options));
+}
+
+StoreReplica::StoreReplica(std::string primary_dir, std::string follower_dir,
+                           CrpLedger::Options ledger_options)
+    : primary_dir_(std::move(primary_dir)),
+      follower_dir_(std::move(follower_dir)) {
+  std::size_t shards = 0;
+  if (!ShardedVerifierStore::read_manifest(primary_dir_, shards)) {
+    throw StoreError("no sharded-store manifest in " + primary_dir_ +
+                     " (replicate a single store with ShardFollower)");
+  }
+  std::size_t existing = 0;
+  if (ShardedVerifierStore::read_manifest(follower_dir_, existing)) {
+    if (existing != shards) {
+      throw StoreError("follower at " + follower_dir_ + " has " +
+                       std::to_string(existing) + " shards, primary has " +
+                       std::to_string(shards));
+    }
+  } else {
+    ShardedVerifierStore::write_manifest(follower_dir_, shards);
+  }
+  followers_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    followers_.push_back(std::make_unique<ShardFollower>(
+        ShardedVerifierStore::shard_dir(primary_dir_, i),
+        ShardedVerifierStore::shard_dir(follower_dir_, i), ledger_options));
+  }
+}
+
+std::vector<ReplicationStatus> StoreReplica::ship() {
+  std::vector<ReplicationStatus> statuses;
+  statuses.reserve(followers_.size());
+  for (auto& follower : followers_) {
+    statuses.push_back(follower->ship());
+  }
+  return statuses;
+}
+
+std::unique_ptr<VerifierStore> StoreReplica::promote_shard(
+    std::size_t shard, StoreOptions options) {
+  return followers_[shard]->promote(std::move(options));
+}
+
+std::unique_ptr<ShardedVerifierStore> StoreReplica::promote(
+    ShardedStoreOptions options) {
+  for (auto& follower : followers_) follower->ship();
+  // Consume the replica before recovery: the followers' warm state is
+  // about to go stale the moment the promoted store starts writing.
+  followers_.clear();
+  // The follower manifest (a copy of the primary's) is authoritative for
+  // the shard count; a caller-supplied default must not fight it.
+  options.shards = 0;
+  return ShardedVerifierStore::open(follower_dir_, std::move(options));
+}
+
+}  // namespace pufatt::store

@@ -1,0 +1,163 @@
+// Primary → follower WAL shipping and promote-and-replay failover.
+//
+// The replication unit is the *file*, not the record: a follower is a
+// byte-for-byte copy of the primary's durable state (snapshot + clean WAL
+// prefix), grown by appending each segment's newly-clean bytes — the
+// verified frame prefix past the follower's cursor — to the follower's
+// copy of the same-named segment.  Because the follower's directory is an
+// ordinary store directory, failover needs no special code path:
+// promote() simply runs standard crash recovery on it, and the result is
+// byte-identical to what recovering the primary at the same watermark
+// would produce.  Everything PR-5 proved about recovery (torn-tail
+// truncation, watermark skipping, idempotent replay, no CRP
+// double-consume or resurrection) transfers to failover for free.
+//
+// Shipping protocol, per ship() call:
+//
+//   1. Snapshot catch-up.  If the primary's snapshot watermark advanced
+//      past the follower's (the primary compacted), atomically copy the
+//      snapshot over (temp + fsync + rename), drop follower segments the
+//      watermark folded, and rebuild the follower's warm state from its
+//      own directory.
+//   2. Tail shipping.  For each primary segment past the cursor, append
+//      the newly-verified bytes ([cursor, valid_bytes) per
+//      read_segment_delta) to the follower's segment — fsynced before the
+//      cursor advances — and apply the contained records idempotently to
+//      the follower's warm in-memory state (`applied_through`).
+//
+// The cursor itself is never persisted: it is re-derived from a scan of
+// the follower directory on construction (truncating any torn tail a
+// crashed ship left), so a crashed or poisoned follower heals by being
+// rebuilt — the directory is always the truth, exactly as for the store.
+//
+// A ship() that fails mid-append (short write, fsync EIO) poisons the
+// follower: the directory may now end in a torn tail the in-memory
+// cursor knows nothing about, so every later ship() throws and the
+// owner constructs a fresh follower (which heals by scanning).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "store/sharded_store.hpp"
+#include "store/verifier_store.hpp"
+
+namespace pufatt::obs {
+class Counter;
+class Gauge;
+}  // namespace pufatt::obs
+
+namespace pufatt::store {
+
+/// Where a follower stands relative to its primary; store-replicate
+/// prints exactly this.
+struct ReplicationStatus {
+  std::uint64_t snapshot_watermark = 0;  ///< follower's snapshot watermark
+  std::uint64_t segment = 0;             ///< cursor: segment being shipped
+  std::uint64_t offset = 0;              ///< cursor: clean bytes of it held
+  /// applied_through: records applied into the follower's warm state —
+  /// everything its directory holds beyond its snapshot.
+  std::uint64_t applied_records = 0;
+  std::uint64_t shipped_bytes = 0;       ///< raw WAL bytes copied (total)
+  std::uint64_t snapshot_copies = 0;     ///< compaction catch-ups taken
+  /// Staleness at the *start* of the last ship(): primary clean bytes the
+  /// follower had not yet durably held.  0 after a ship of a quiesced
+  /// primary; also exported as the store.repl.lag_bytes gauge.
+  std::uint64_t lag_bytes = 0;
+};
+
+/// Replicates one store directory (a single VerifierStore, or one shard
+/// of a sharded store) into `follower_dir`.
+class ShardFollower {
+ public:
+  /// Attaches to `primary_dir` and scans `follower_dir` (creating it if
+  /// missing): recovers warm state from what was already shipped and
+  /// truncates any torn tail a crashed ship left behind.  Throws
+  /// StoreError if either directory is corrupt.
+  ShardFollower(std::string primary_dir, std::string follower_dir,
+                CrpLedger::Options ledger_options = {});
+
+  ShardFollower(const ShardFollower&) = delete;
+  ShardFollower& operator=(const ShardFollower&) = delete;
+
+  /// One shipping round: snapshot catch-up, then tail shipping (see the
+  /// protocol above).  Safe to call while the primary is live; bytes past
+  /// a torn (in-flight) final frame simply wait for the next round.
+  /// Throws StoreError on corruption or shipping I/O failure — after
+  /// which the follower is poisoned and must be reconstructed.
+  ReplicationStatus ship();
+
+  ReplicationStatus status() const { return status_; }
+
+  /// Failover: recovers a live store from the follower directory — byte-
+  /// identical to recovering the primary at the shipped watermark.  Call
+  /// ship() immediately before for the freshest possible tail.  The
+  /// follower is consumed: every later ship() throws.
+  std::unique_ptr<VerifierStore> promote(StoreOptions options = {});
+
+  const std::string& primary_dir() const { return primary_dir_; }
+  const std::string& follower_dir() const { return follower_dir_; }
+
+ private:
+  void rescan_follower_locked();
+  void require_live() const;
+
+  const std::string primary_dir_;
+  const std::string follower_dir_;
+  CrpLedger::Options ledger_options_;
+
+  bool poisoned_ = false;
+  bool promoted_ = false;
+  ReplicationStatus status_;
+
+  /// Warm mirror of the follower directory, for status and for applying
+  /// shipped records without a full re-recovery per round.
+  service::DeviceRegistry registry_;
+  std::unique_ptr<CrpLedger> ledger_;
+
+  obs::Counter& ships_;
+  obs::Counter& shipped_bytes_;
+  obs::Counter& applied_records_;
+  obs::Counter& snapshot_copies_;
+  obs::Gauge& lag_bytes_;
+};
+
+/// Replica of a whole sharded store: one ShardFollower per shard, plus
+/// the manifest copy that makes the follower directory a valid sharded
+/// store in its own right.
+class StoreReplica {
+ public:
+  /// `primary_dir` must hold a sharded-store manifest.  The follower
+  /// manifest is created (or checked) to match.
+  StoreReplica(std::string primary_dir, std::string follower_dir,
+               CrpLedger::Options ledger_options = {});
+
+  StoreReplica(const StoreReplica&) = delete;
+  StoreReplica& operator=(const StoreReplica&) = delete;
+
+  std::size_t shard_count() const { return followers_.size(); }
+  ShardFollower& follower(std::size_t shard) { return *followers_[shard]; }
+
+  /// Ships every shard; returns per-shard status (indexed by shard).
+  std::vector<ReplicationStatus> ship();
+
+  /// Fails over a single shard (the unit failure actually arrives in).
+  std::unique_ptr<VerifierStore> promote_shard(std::size_t shard,
+                                               StoreOptions options = {});
+
+  /// Fails over the whole store: final ship, then opens the follower
+  /// directory as a ShardedVerifierStore.  The replica is consumed.
+  std::unique_ptr<ShardedVerifierStore> promote(
+      ShardedStoreOptions options = {});
+
+  const std::string& follower_dir() const { return follower_dir_; }
+
+ private:
+  const std::string primary_dir_;
+  const std::string follower_dir_;
+  std::vector<std::unique_ptr<ShardFollower>> followers_;
+};
+
+}  // namespace pufatt::store

@@ -1,0 +1,205 @@
+#include "store/sharded_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+
+#include "support/faulty_file.hpp"
+#include "support/fsyncutil.hpp"
+#include "support/parallel.hpp"
+
+namespace pufatt::store {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+void put_u32(std::uint8_t* out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+
+std::uint32_t get_u32(const std::uint8_t* data) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(data[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+std::string ShardedVerifierStore::shard_dir(const std::string& dir,
+                                            std::size_t shard) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "shard-%04zu", shard);
+  return dir + "/" + name;
+}
+
+std::string ShardedVerifierStore::manifest_path(const std::string& dir) {
+  return dir + "/store.shards";
+}
+
+bool ShardedVerifierStore::read_manifest(const std::string& dir,
+                                         std::size_t& shards) {
+  const std::string path = manifest_path(dir);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::error_code ec;
+    if (!fs::exists(path, ec)) return false;
+    throw StoreError("cannot open store manifest " + path);
+  }
+  std::uint8_t bytes[sizeof(kManifestMagic) + 8];
+  in.read(reinterpret_cast<char*>(bytes), sizeof(bytes));
+  if (!in ||
+      std::memcmp(bytes, kManifestMagic, sizeof(kManifestMagic)) != 0) {
+    throw StoreError("bad store manifest magic: " + path);
+  }
+  if (get_u32(bytes + 8) != kManifestVersion) {
+    throw StoreError("unsupported store manifest version: " + path);
+  }
+  const std::uint32_t count = get_u32(bytes + 12);
+  if (count == 0 || count > kMaxStoreShards) {
+    throw StoreError("store manifest shard count out of range: " + path);
+  }
+  shards = count;
+  return true;
+}
+
+void ShardedVerifierStore::write_manifest(const std::string& dir,
+                                          std::size_t shards) {
+  if (shards == 0 || shards > kMaxStoreShards) {
+    throw StoreError("shard count out of range for " + dir);
+  }
+  fs::create_directories(dir);
+  const std::string path = manifest_path(dir);
+  const std::string tmp = path + ".tmp";
+  std::uint8_t bytes[sizeof(kManifestMagic) + 8];
+  std::memcpy(bytes, kManifestMagic, sizeof(kManifestMagic));
+  put_u32(bytes + 8, kManifestVersion);
+  put_u32(bytes + 12, static_cast<std::uint32_t>(shards));
+
+  std::FILE* out = support::io_fopen(tmp.c_str(), "wb");
+  if (out == nullptr) throw StoreError("cannot open " + tmp);
+  const bool wrote =
+      support::io_fwrite(bytes, sizeof(bytes), out) == sizeof(bytes);
+  const bool flushed = support::io_fflush(out) == 0;
+  const bool synced = support::io_fsync(::fileno(out)) == 0;
+  std::fclose(out);
+  if (!wrote || !flushed || !synced) {
+    support::io_remove(tmp.c_str());
+    throw StoreError("store manifest write failed: " + tmp);
+  }
+  if (support::io_rename(tmp.c_str(), path.c_str()) != 0) {
+    support::io_remove(tmp.c_str());
+    throw StoreError("cannot rename " + tmp + " -> " + path);
+  }
+  support::fsync_dir(dir);
+}
+
+std::unique_ptr<ShardedVerifierStore> ShardedVerifierStore::open(
+    std::string dir, ShardedStoreOptions options) {
+  std::size_t count = 0;
+  if (read_manifest(dir, count)) {
+    if (options.shards != 0 && options.shards != count) {
+      // hash % N routing: opening with a different N would look up every
+      // device in the wrong shard — refuse rather than "work", empty.
+      throw StoreError("store at " + dir + " has " + std::to_string(count) +
+                       " shards, but " + std::to_string(options.shards) +
+                       " were requested");
+    }
+  } else {
+    count = options.shards == 0 ? 1 : options.shards;
+    // Manifest before shards: a crash in between leaves a manifest plus
+    // empty shard directories, which the next open resumes unchanged.
+    write_manifest(dir, count);
+  }
+
+  std::size_t threads = options.recovery_threads;
+  if (threads == 0) {
+    threads = std::max(1u, std::thread::hardware_concurrency());
+  }
+
+  // Shards are fully independent, so recovery is embarrassingly parallel:
+  // each block recovers one shard into its own preallocated slot.
+  std::vector<std::unique_ptr<VerifierStore>> shards(count);
+  support::parallel_blocks(
+      count, 1, threads,
+      [&](std::size_t k, std::size_t, std::size_t, std::size_t) {
+        shards[k] = VerifierStore::open(shard_dir(dir, k), options.store);
+      });
+
+  return std::unique_ptr<ShardedVerifierStore>(
+      new ShardedVerifierStore(std::move(dir), std::move(shards)));
+}
+
+ShardedVerifierStore::ShardedVerifierStore(
+    std::string dir, std::vector<std::unique_ptr<VerifierStore>> shards)
+    : dir_(std::move(dir)), shards_(std::move(shards)), view_(*this) {}
+
+std::size_t ShardedVerifierStore::shard_of(
+    const std::string& device_id) const {
+  return service::stable_device_hash(device_id) % shards_.size();
+}
+
+VerifierStore& ShardedVerifierStore::shard_for(const std::string& device_id) {
+  return *shards_[shard_of(device_id)];
+}
+
+const VerifierStore& ShardedVerifierStore::shard_for(
+    const std::string& device_id) const {
+  return *shards_[shard_of(device_id)];
+}
+
+bool ShardedVerifierStore::enroll(const std::string& device_id,
+                                  core::EnrollmentRecord record) {
+  return shard_for(device_id).enroll(device_id, std::move(record));
+}
+
+bool ShardedVerifierStore::evict(const std::string& device_id) {
+  return shard_for(device_id).evict(device_id);
+}
+
+void ShardedVerifierStore::enroll_crps(const std::string& device_id,
+                                       core::CrpDatabase db) {
+  shard_for(device_id).enroll_crps(device_id, std::move(db));
+}
+
+std::optional<core::CrpDatabase::AuthResult>
+ShardedVerifierStore::authenticate_crp(const std::string& device_id,
+                                       const alupuf::AluPuf& device,
+                                       support::Xoshiro256pp& rng,
+                                       double threshold_fraction,
+                                       const variation::Environment& env) {
+  return shard_for(device_id).authenticate_crp(device_id, device, rng,
+                                               threshold_fraction, env);
+}
+
+std::optional<std::size_t> ShardedVerifierStore::crp_remaining(
+    const std::string& device_id) const {
+  return shard_for(device_id).crp_remaining(device_id);
+}
+
+void ShardedVerifierStore::sync() {
+  for (auto& shard : shards_) shard->sync();
+}
+
+void ShardedVerifierStore::compact() {
+  for (auto& shard : shards_) shard->compact();
+}
+
+std::size_t ShardedVerifierStore::device_count() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->registry().size();
+  return n;
+}
+
+std::size_t ShardedVerifierStore::total_crp_remaining() const {
+  std::size_t n = 0;
+  for (const auto& shard : shards_) n += shard->crp_ledger().total_remaining();
+  return n;
+}
+
+}  // namespace pufatt::store

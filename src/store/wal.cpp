@@ -10,6 +10,7 @@
 #include "core/serialize.hpp"  // crc32
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "support/faulty_file.hpp"
 #include "support/fsyncutil.hpp"
 
 namespace pufatt::store {
@@ -29,11 +30,11 @@ double us_since(std::uint64_t start_ns) {
   return static_cast<double>(obs::monotonic_ns() - start_ns) / 1000.0;
 }
 
-std::string segment_name(std::uint64_t index) {
-  char name[32];
-  std::snprintf(name, sizeof(name), "wal-%08llu.log",
-                static_cast<unsigned long long>(index));
-  return name;
+/// "<path> at byte <off>" — every frame-level corruption error carries
+/// the segment path and frame offset so a refused-to-open store is
+/// diagnosable from the exception alone.
+std::string at_byte(const std::string& path, std::uint64_t off) {
+  return path + " at byte " + std::to_string(off);
 }
 
 /// Parses "wal-NNNNNNNN.log"; returns false on any other filename.
@@ -71,63 +72,56 @@ struct SegmentScan {
   bool torn = false;              ///< only ever true for the final segment
 };
 
-/// Applies the torn-tail rule to one segment.  `final_segment` selects
-/// whether a short read at the end is a clean shutdown point (accepted)
-/// or corruption (thrown); everything else throws identically.
-SegmentScan scan_segment(const std::string& path, std::uint64_t expect_index,
-                         bool final_segment, bool collect) {
+std::vector<std::uint8_t> slurp_segment(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   if (!in) throw StoreError("cannot open WAL segment " + path);
-  std::vector<std::uint8_t> bytes((std::istreambuf_iterator<char>(in)),
-                                  std::istreambuf_iterator<char>());
+  return std::vector<std::uint8_t>((std::istreambuf_iterator<char>(in)),
+                                   std::istreambuf_iterator<char>());
+}
 
-  SegmentScan scan;
-  if (bytes.size() < kSegmentHeaderBytes) {
-    // A crash between segment creation and the header fsync leaves a short
-    // final segment; anywhere else a headerless file is corruption.
-    if (!final_segment) {
-      throw StoreError("WAL segment header truncated: " + path);
-    }
-    scan.torn = !bytes.empty();
-    return scan;
-  }
-  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
-    throw StoreError("bad WAL segment magic: " + path);
-  }
-  if (get_u64(bytes.data() + 8) != expect_index) {
-    throw StoreError("WAL segment index does not match filename: " + path);
-  }
-  scan.valid_bytes = kSegmentHeaderBytes;
-
-  std::size_t off = kSegmentHeaderBytes;
+/// Frame-parse loop shared by full-segment recovery scans and incremental
+/// replication scans: walks frames from `off`, extending `scan.valid_bytes`
+/// past each verified frame.  `tolerate_torn` selects whether a short
+/// frame at the end is a clean cut point (final segment / live shipping)
+/// or corruption; complete-but-corrupt frames always throw, with the
+/// segment path and frame byte offset in the message.
+void parse_frames(const std::vector<std::uint8_t>& bytes, std::size_t off,
+                  const std::string& path, std::uint64_t segment_index,
+                  bool tolerate_torn, bool collect, SegmentScan& scan) {
+  scan.valid_bytes = off;
   while (off < bytes.size()) {
     const std::size_t remaining = bytes.size() - off;
     if (remaining < kRecordOverheadBytes) {
-      if (!final_segment) {
-        throw StoreError("truncated record in non-final WAL segment: " + path);
+      if (!tolerate_torn) {
+        throw StoreError("truncated record in non-final WAL segment: " +
+                         at_byte(path, off));
       }
       scan.torn = true;
       break;
     }
     if (get_u32(bytes.data() + off) != kRecordMagic) {
-      throw StoreError("bad WAL record magic (corrupt log): " + path);
+      throw StoreError("bad WAL record magic (corrupt log): " +
+                       at_byte(path, off));
     }
     const std::uint32_t type = get_u32(bytes.data() + off + 4);
     const std::uint32_t len = get_u32(bytes.data() + off + 8);
     if (len > kMaxRecordPayload) {
-      throw StoreError("WAL record payload exceeds sanity bound: " + path);
+      throw StoreError("WAL record payload exceeds sanity bound: " +
+                       at_byte(path, off));
     }
     const std::size_t need = kRecordOverheadBytes + len;
     if (remaining < need) {
-      if (!final_segment) {
-        throw StoreError("truncated record in non-final WAL segment: " + path);
+      if (!tolerate_torn) {
+        throw StoreError("truncated record in non-final WAL segment: " +
+                         at_byte(path, off));
       }
       scan.torn = true;  // crash mid-append: the clean shutdown point
       break;
     }
     const std::uint32_t stored = get_u32(bytes.data() + off + 12 + len);
     if (core::crc32(bytes.data() + off, 12 + len) != stored) {
-      throw StoreError("WAL record CRC mismatch (corrupt log): " + path);
+      throw StoreError("WAL record CRC mismatch (corrupt log): " +
+                       at_byte(path, off));
     }
     if (collect) {
       WalRecord record;
@@ -135,15 +129,95 @@ SegmentScan scan_segment(const std::string& path, std::uint64_t expect_index,
       record.payload.assign(bytes.begin() + static_cast<std::ptrdiff_t>(off + 12),
                             bytes.begin() +
                                 static_cast<std::ptrdiff_t>(off + 12 + len));
+      record.origin_segment = segment_index;
+      record.origin_offset = off;
       scan.records.push_back(std::move(record));
     }
     off += need;
     scan.valid_bytes = off;
   }
+}
+
+/// Validates the 16-byte segment header against the index the filename
+/// claims.  Returns false for the tolerated short-final-segment case
+/// (crash between creation and the header landing), throws on mismatch.
+bool check_segment_header(const std::vector<std::uint8_t>& bytes,
+                          const std::string& path, std::uint64_t expect_index,
+                          bool final_segment, SegmentScan& scan) {
+  if (bytes.size() < kSegmentHeaderBytes) {
+    if (!final_segment) {
+      throw StoreError("WAL segment header truncated: " + path);
+    }
+    scan.torn = !bytes.empty();
+    return false;
+  }
+  if (std::memcmp(bytes.data(), kSegmentMagic, sizeof(kSegmentMagic)) != 0) {
+    throw StoreError("bad WAL segment magic: " + path);
+  }
+  if (get_u64(bytes.data() + 8) != expect_index) {
+    throw StoreError("WAL segment index does not match filename: " + path);
+  }
+  return true;
+}
+
+/// Applies the torn-tail rule to one segment.  `final_segment` selects
+/// whether a short read at the end is a clean shutdown point (accepted)
+/// or corruption (thrown); everything else throws identically.
+SegmentScan scan_segment(const std::string& path, std::uint64_t expect_index,
+                         bool final_segment, bool collect) {
+  const auto bytes = slurp_segment(path);
+  SegmentScan scan;
+  if (!check_segment_header(bytes, path, expect_index, final_segment, scan)) {
+    return scan;
+  }
+  parse_frames(bytes, kSegmentHeaderBytes, path, expect_index,
+               /*tolerate_torn=*/final_segment, collect, scan);
   return scan;
 }
 
 }  // namespace
+
+std::string wal_segment_file(std::uint64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "wal-%08llu.log",
+                static_cast<unsigned long long>(index));
+  return name;
+}
+
+WalSegmentDelta read_segment_delta(const std::string& path,
+                                   std::uint64_t expect_index,
+                                   std::uint64_t from) {
+  const auto bytes = slurp_segment(path);
+  if (from > bytes.size()) {
+    // The cursor claims more clean bytes than the segment holds — the
+    // source regressed (or the cursor is from another life).  Shipping
+    // from here would misframe every later record; fail closed.
+    throw StoreError("WAL shipping cursor past end of segment: " +
+                     at_byte(path, from));
+  }
+  SegmentScan scan;
+  WalSegmentDelta delta;
+  if (!check_segment_header(bytes, path, expect_index, /*final_segment=*/true,
+                            scan)) {
+    // Headerless (just-created) segment: nothing shippable yet.
+    delta.torn = scan.torn;
+    return delta;
+  }
+  const std::size_t start =
+      from < kSegmentHeaderBytes ? kSegmentHeaderBytes
+                                 : static_cast<std::size_t>(from);
+  parse_frames(bytes, start, path, expect_index, /*tolerate_torn=*/true,
+               /*collect=*/true, scan);
+  delta.records = std::move(scan.records);
+  delta.valid_bytes = scan.valid_bytes;
+  delta.torn = scan.torn;
+  // Raw bytes start at `from`, not `start`: a cursor of 0 means the
+  // follower has no copy of this segment yet and needs the header too.
+  delta.bytes.assign(bytes.begin() + static_cast<std::ptrdiff_t>(from),
+                     bytes.begin() +
+                         static_cast<std::ptrdiff_t>(scan.valid_bytes));
+  return delta;
+}
 
 std::vector<std::string> wal_segment_paths(const std::string& dir) {
   std::vector<std::pair<std::uint64_t, std::string>> found;
@@ -171,6 +245,7 @@ WalReadResult read_wal(const std::string& dir,
                        std::uint64_t skip_through_index) {
   WalReadResult result;
   const auto paths = wal_segment_paths(dir);
+  std::uint64_t prev_index = 0;
   for (std::size_t i = 0; i < paths.size(); ++i) {
     std::uint64_t index = 0;
     parse_segment_index(fs::path(paths[i]).filename().string(), index);
@@ -180,6 +255,17 @@ WalReadResult read_wal(const std::string& dir,
       ++result.segments_skipped;
       continue;
     }
+    // Rotation, restart_segments, and compaction all produce consecutive
+    // surviving indices, so a gap here is a vanished segment — silently
+    // lost records, not something replay may paper over.
+    const std::uint64_t expect_after =
+        result.segments == 0 ? skip_through_index : prev_index;
+    if (expect_after != 0 && index != expect_after + 1) {
+      throw StoreError("missing WAL segment in " + dir + ": expected " +
+                       wal_segment_file(expect_after + 1) + ", found " +
+                       wal_segment_file(index));
+    }
+    prev_index = index;
     ++result.segments;
     // Indices sort with the paths, so the last path is also the last
     // surviving segment — the only one the torn-tail rule applies to.
@@ -218,8 +304,7 @@ WalWriter::WalWriter(std::string dir, const WalOptions& options)
       // Below the snapshot watermark: folded, possibly a stale leftover of
       // an interrupted compaction whose deletion never finished.  Recovery
       // already skipped it; finish the deletion now.
-      std::error_code ec;
-      fs::remove(path, ec);
+      support::io_remove(path.c_str());
       deleted_stale = true;
       continue;
     }
@@ -244,7 +329,7 @@ WalWriter::WalWriter(std::string dir, const WalOptions& options)
     return;
   }
   fs::resize_file(paths.back(), scan.valid_bytes);
-  file_ = std::fopen(paths.back().c_str(), "ab");
+  file_ = support::io_fopen(paths.back().c_str(), "ab");
   if (file_ == nullptr) {
     throw StoreError("cannot reopen WAL segment " + paths.back());
   }
@@ -277,20 +362,20 @@ void WalWriter::open_segment_locked(std::uint64_t index) {
     std::fclose(file_);
     file_ = nullptr;
   }
-  const std::string path = dir_ + "/" + segment_name(index);
-  file_ = std::fopen(path.c_str(), "wb");
+  const std::string path = dir_ + "/" + wal_segment_file(index);
+  file_ = support::io_fopen(path.c_str(), "wb");
   if (file_ == nullptr) throw StoreError("cannot create WAL segment " + path);
   std::uint8_t header[kSegmentHeaderBytes];
   std::memcpy(header, kSegmentMagic, sizeof(kSegmentMagic));
   put_u32(header + 8, static_cast<std::uint32_t>(index));
   put_u32(header + 12, static_cast<std::uint32_t>(index >> 32));
-  if (std::fwrite(header, 1, sizeof(header), file_) != sizeof(header)) {
+  if (support::io_fwrite(header, sizeof(header), file_) != sizeof(header)) {
     // Never leave a half-headed segment behind as the current file: later
     // appends would land after the partial header and the reader would
     // misclassify them as a torn tail (silent data loss).
     std::fclose(file_);
     file_ = nullptr;
-    std::remove(path.c_str());
+    support::io_remove(path.c_str());
     throw StoreError("cannot write WAL segment header: " + path);
   }
   segment_index_ = index;
@@ -315,7 +400,13 @@ void WalWriter::sync_locked() {
     span = obs::global_tracer().span("store.fsync");
     span.note("pending", static_cast<double>(unsynced_));
   }
-  if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
+  if (support::io_fflush(file_) != 0 ||
+      support::io_fsync(::fileno(file_)) != 0) {
+    // fsyncgate: after a failed fsync the kernel may have dropped the
+    // dirty pages, so "what is durable" is unknowable.  Fail closed —
+    // poison the writer rather than carry on as if durability held.
+    std::fclose(file_);
+    file_ = nullptr;
     throw StoreError("WAL fsync failed in " + dir_);
   }
   unsynced_ = 0;
@@ -346,7 +437,12 @@ std::uint64_t WalWriter::append(std::uint32_t type,
   std::lock_guard<std::mutex> lock(mutex_);
   require_open_locked();
   rotate_if_needed_locked();
-  if (std::fwrite(frame.data(), 1, frame.size(), file_) != frame.size()) {
+  if (support::io_fwrite(frame.data(), frame.size(), file_) != frame.size()) {
+    // The stream now holds a partial frame; appending after it would bury
+    // mid-segment garbage that reads back as hard corruption.  Close (the
+    // partial frame becomes an ordinary torn tail) and poison the writer.
+    std::fclose(file_);
+    file_ = nullptr;
     throw StoreError("WAL append failed in " + dir_);
   }
   segment_bytes_ += frame.size();
@@ -380,8 +476,7 @@ void WalWriter::restart_segments() {
   file_ = nullptr;
   const std::uint64_t next = segment_index_ + 1;
   for (const auto& path : wal_segment_paths(dir_)) {
-    std::error_code ec;
-    fs::remove(path, ec);
+    support::io_remove(path.c_str());
   }
   open_segment_locked(next);
 }

@@ -65,6 +65,11 @@ inline constexpr std::size_t kMaxRecordPayload = 1u << 28;
 struct WalRecord {
   std::uint32_t type = 0;
   std::vector<std::uint8_t> payload;
+  /// Provenance for diagnostics: which segment the record came from and
+  /// the byte offset of its frame there, so replay errors can name the
+  /// exact on-disk location (see wal_segment_file).
+  std::uint64_t origin_segment = 0;
+  std::uint64_t origin_offset = 0;
 };
 
 struct WalReadResult {
@@ -80,9 +85,35 @@ struct WalReadResult {
 /// parse and indices strictly increase.  Missing directory = empty log.
 std::vector<std::string> wal_segment_paths(const std::string& dir);
 
+/// Filename of segment `index` ("wal-00000042.log") — the naming scheme
+/// shared by the writer, recovery diagnostics, and replication shipping.
+std::string wal_segment_file(std::uint64_t index);
+
+/// Incremental single-segment scan, the unit of WAL shipping: parses the
+/// clean frame prefix of `path` starting at byte `from` (a frame boundary
+/// from a previous scan, or 0 for the segment start).  A torn final frame
+/// is always tolerated — a live primary's current segment routinely ends
+/// mid-frame — and simply stays beyond `valid_bytes` until it completes.
+/// Complete-but-corrupt frames throw StoreError with path and offset.
+struct WalSegmentDelta {
+  std::vector<WalRecord> records;   ///< frames wholly inside [from, valid)
+  std::vector<std::uint8_t> bytes;  ///< raw clean bytes [from, valid)
+  std::uint64_t valid_bytes = 0;    ///< clean prefix length of the segment
+  bool torn = false;                ///< a partial frame follows valid_bytes
+};
+WalSegmentDelta read_segment_delta(const std::string& path,
+                                   std::uint64_t expect_index,
+                                   std::uint64_t from);
+
 /// Reads every record of every segment in order.  Throws StoreError on
 /// corruption (see the torn-tail rule above); a torn final record is
-/// reported via `torn_tail`, not thrown.
+/// reported via `torn_tail`, not thrown.  Corruption messages name the
+/// segment path and the byte offset of the offending frame.
+///
+/// Scanned segment indices must be contiguous: a missing *middle* segment
+/// (or a gap just above the snapshot watermark) means silently lost
+/// records and is a hard StoreError, since rotation, restart_segments,
+/// and compaction only ever produce consecutive surviving indices.
 ///
 /// Segments whose index is <= `skip_through_index` are not scanned at all
 /// (counted in `segments_skipped`): they are the ones a snapshot's WAL
@@ -122,9 +153,15 @@ class WalWriter {
 
   /// Appends one record; returns its ordinal (0-based since open).
   /// Thread-safe.  Durable only after the next sync (explicit or batched).
-  /// After a failed segment rotation the writer is permanently failed:
-  /// every further append/sync throws StoreError instead of touching the
-  /// (no longer open) segment.
+  /// On any write failure the writer fails *closed*: a failed rotation,
+  /// a short frame write, or a failed fsync each close the segment and
+  /// permanently poison the writer — every further append/sync throws
+  /// StoreError.  (A short write leaves a partial frame at the segment
+  /// end; appending after it would bury mid-segment garbage that reads as
+  /// hard corruption, whereas the poisoned writer leaves a torn tail the
+  /// next open cleanly truncates.  A failed fsync means unknown data
+  /// loss — fsyncgate — so pretending the writer is still durable would
+  /// be a lie.)
   std::uint64_t append(std::uint32_t type, const std::uint8_t* payload,
                        std::size_t size);
   std::uint64_t append(std::uint32_t type, const std::string& payload);

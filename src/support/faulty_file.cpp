@@ -1,0 +1,165 @@
+#include "support/faulty_file.hpp"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <unistd.h>
+
+namespace pufatt::support {
+
+FaultyFile& FaultyFile::instance() {
+  static FaultyFile singleton;
+  return singleton;
+}
+
+void FaultyFile::arm(const FaultPlan& plan) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  plan_ = plan;
+  crashed_ = false;
+  bytes_ = 0;
+  writes_ = 0;
+  fsyncs_ = 0;
+  renames_ = 0;
+  armed_.store(true, std::memory_order_relaxed);
+}
+
+void FaultyFile::disarm() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  armed_.store(false, std::memory_order_relaxed);
+  plan_ = FaultPlan{};
+  crashed_ = false;
+}
+
+bool FaultyFile::crashed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return crashed_;
+}
+
+std::uint64_t FaultyFile::bytes_written() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return bytes_;
+}
+
+std::FILE* io_fopen(const char* path, const char* mode) {
+  FaultyFile& ff = FaultyFile::instance();
+  if (ff.armed()) {
+    std::lock_guard<std::mutex> lock(ff.mutex_);
+    if (ff.crashed_) {
+      // A killed process creates no files.  Hand back a /dev/null stream
+      // so the caller's later (suppressed) writes have somewhere to not
+      // go, without a new segment/tmp file ever appearing on disk.
+      return std::fopen("/dev/null", mode);
+    }
+  }
+  return std::fopen(path, mode);
+}
+
+std::size_t io_fwrite(const void* data, std::size_t size, std::FILE* file) {
+  FaultyFile& ff = FaultyFile::instance();
+  if (!ff.armed()) {
+    return std::fwrite(data, 1, size, file);
+  }
+  std::lock_guard<std::mutex> lock(ff.mutex_);
+  if (ff.crashed_) {
+    return size;  // pretend success; a killed process persists nothing new
+  }
+  ff.writes_ += 1;
+  if (ff.plan_.crash_after_bytes != 0 &&
+      ff.bytes_ + size >= ff.plan_.crash_after_bytes) {
+    const std::size_t keep =
+        static_cast<std::size_t>(ff.plan_.crash_after_bytes - ff.bytes_);
+    if (keep > 0) {
+      std::fwrite(data, 1, keep, file);
+    }
+    ff.bytes_ = ff.plan_.crash_after_bytes;
+    ff.crashed_ = true;
+    return size;  // the "process" does not notice the kill
+  }
+  if (ff.plan_.short_write_at != 0 && ff.writes_ == ff.plan_.short_write_at) {
+    const std::size_t keep =
+        ff.plan_.short_write_keep < size
+            ? static_cast<std::size_t>(ff.plan_.short_write_keep)
+            : size;
+    if (keep > 0) {
+      std::fwrite(data, 1, keep, file);
+    }
+    ff.bytes_ += keep;
+    return keep;
+  }
+  const std::size_t wrote = std::fwrite(data, 1, size, file);
+  ff.bytes_ += wrote;
+  return wrote;
+}
+
+int io_fflush(std::FILE* file) {
+  FaultyFile& ff = FaultyFile::instance();
+  if (ff.armed()) {
+    std::lock_guard<std::mutex> lock(ff.mutex_);
+    if (ff.crashed_) {
+      return 0;
+    }
+  }
+  return std::fflush(file);
+}
+
+int io_fsync(int fd) {
+  FaultyFile& ff = FaultyFile::instance();
+  if (ff.armed()) {
+    std::lock_guard<std::mutex> lock(ff.mutex_);
+    if (ff.crashed_) {
+      return 0;
+    }
+    ff.fsyncs_ += 1;
+    if (ff.plan_.fsync_error_at != 0 &&
+        ff.fsyncs_ == ff.plan_.fsync_error_at) {
+      errno = EIO;
+      return -1;
+    }
+  }
+  return ::fsync(fd);
+}
+
+int io_rename(const char* from, const char* to) {
+  FaultyFile& ff = FaultyFile::instance();
+  if (ff.armed()) {
+    std::lock_guard<std::mutex> lock(ff.mutex_);
+    if (ff.crashed_) {
+      return 0;
+    }
+    ff.renames_ += 1;
+    if (ff.plan_.rename_error_at != 0 &&
+        ff.renames_ == ff.plan_.rename_error_at) {
+      errno = EIO;
+      return -1;
+    }
+    if (ff.plan_.torn_rename_at != 0 &&
+        ff.renames_ == ff.plan_.torn_rename_at) {
+      // Power-loss image: the rename became durable before the source's
+      // data blocks did, so the named file survives with only part of
+      // its contents.
+      std::FILE* probe = std::fopen(from, "rb");
+      long half = 0;
+      if (probe != nullptr) {
+        std::fseek(probe, 0, SEEK_END);
+        half = std::ftell(probe) / 2;
+        std::fclose(probe);
+      }
+      ::truncate(from, half);
+      return std::rename(from, to);
+    }
+  }
+  return std::rename(from, to);
+}
+
+int io_remove(const char* path) {
+  FaultyFile& ff = FaultyFile::instance();
+  if (ff.armed()) {
+    std::lock_guard<std::mutex> lock(ff.mutex_);
+    if (ff.crashed_) {
+      return 0;
+    }
+  }
+  return std::remove(path);
+}
+
+}  // namespace pufatt::support

@@ -1,0 +1,133 @@
+// Deterministic fault injection for the store's durability-critical file
+// ops.
+//
+// Crash-recovery code is only as good as the failures it has actually
+// been run against, and the failures that matter — a short write under
+// disk pressure, an fsync returning EIO, a rename whose data blocks never
+// became durable, a kill at an arbitrary byte — are exactly the ones a
+// normal test run never produces.  This layer closes that gap: the store
+// routes every fwrite/fflush/fsync/rename/remove through the io_*
+// wrappers below, and a test arms a FaultPlan describing precisely which
+// operation misbehaves.  Disarmed (the default, and the only state
+// outside tests), each wrapper is the libc call behind one relaxed
+// atomic load.
+//
+// Fault semantics (all ordinals 1-based; 0 = never fire):
+//
+//   short_write_at    the Nth io_fwrite persists only `short_write_keep`
+//                     bytes and reports a short count — the caller must
+//                     fail closed (StoreError), and what did land must
+//                     read back as a torn tail, never as corruption.
+//   fsync_error_at    the Nth io_fsync fails with EIO.  Durability code
+//                     must treat this as data loss (fsyncgate), not retry.
+//   rename_error_at   the Nth io_rename fails with EIO, target untouched.
+//   torn_rename_at    the Nth io_rename *succeeds* but first truncates the
+//                     source to half its size — the power-loss image of a
+//                     rename made durable before the file's data blocks
+//                     (what fsync-before-rename exists to prevent).
+//                     Readers must refuse the torn file, never half-load.
+//   crash_after_bytes simulated kill: once the cumulative bytes accepted
+//                     by io_fwrite reach K, the prefix reaching exactly K
+//                     is written and every later write/fsync/rename/remove
+//                     silently pretends success while touching nothing —
+//                     the process "runs on" but, like a killed one, leaves
+//                     only the first K logical bytes behind.  Recovery is
+//                     then exercised against an arbitrary cut point.
+//
+// The singleton is thread-safe: arming/disarming and the fault counters
+// are mutex-protected, and the armed flag is an atomic so the disarmed
+// fast path takes no lock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+
+namespace pufatt::support {
+
+/// Which operations fail, and how (see the header comment).
+struct FaultPlan {
+  std::uint64_t short_write_at = 0;
+  std::uint64_t short_write_keep = 0;  ///< bytes the short write still lands
+  std::uint64_t fsync_error_at = 0;
+  std::uint64_t rename_error_at = 0;
+  std::uint64_t torn_rename_at = 0;
+  std::uint64_t crash_after_bytes = 0;
+};
+
+class FaultyFile {
+ public:
+  static FaultyFile& instance();
+
+  /// Arms `plan` and resets every counter.  Tests must disarm() (or use
+  /// ScopedFaultPlan) before letting store objects destruct normally.
+  void arm(const FaultPlan& plan);
+  void disarm();
+  bool armed() const { return armed_.load(std::memory_order_relaxed); }
+
+  /// True once crash_after_bytes was reached; later ops are no-ops.
+  bool crashed() const;
+  /// Cumulative payload bytes accepted by io_fwrite since arm().
+  std::uint64_t bytes_written() const;
+
+ private:
+  friend std::FILE* io_fopen(const char* path, const char* mode);
+  friend std::size_t io_fwrite(const void* data, std::size_t size,
+                               std::FILE* file);
+  friend int io_fflush(std::FILE* file);
+  friend int io_fsync(int fd);
+  friend int io_rename(const char* from, const char* to);
+  friend int io_remove(const char* path);
+
+  FaultyFile() = default;
+
+  std::atomic<bool> armed_{false};
+  mutable std::mutex mutex_;
+  FaultPlan plan_;
+  bool crashed_ = false;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t writes_ = 0;
+  std::uint64_t fsyncs_ = 0;
+  std::uint64_t renames_ = 0;
+};
+
+/// RAII arm/disarm, so a throwing test cannot leak an armed injector into
+/// the next test's (or a destructor's) file ops.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    FaultyFile::instance().arm(plan);
+  }
+  ~ScopedFaultPlan() { FaultyFile::instance().disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+// --- the wrappers the store's file ops go through ---------------------------
+
+/// fopen(path, mode), except after a simulated crash — a killed process
+/// creates no files, so the stream returned then is /dev/null and the
+/// path never appears on disk.
+std::FILE* io_fopen(const char* path, const char* mode);
+
+/// fwrite(data, 1, size, file) with fault injection; returns bytes
+/// accepted (short on an injected short write; `size` under a simulated
+/// crash, where the bytes silently do not land).
+std::size_t io_fwrite(const void* data, std::size_t size, std::FILE* file);
+
+/// fflush with crash suppression (a killed process flushes nothing new).
+int io_fflush(std::FILE* file);
+
+/// fsync(fd); -1/EIO when injected, silent no-op after a simulated crash.
+int io_fsync(int fd);
+
+/// rename(from, to); injectable error / torn-source variants, suppressed
+/// (pretend success) after a simulated crash.
+int io_rename(const char* from, const char* to);
+
+/// remove(path); suppressed after a simulated crash — a killed process
+/// deletes nothing, so compaction's segment deletion must not either.
+int io_remove(const char* path);
+
+}  // namespace pufatt::support

@@ -3,14 +3,20 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "support/faulty_file.hpp"
+
 namespace pufatt::support {
 
-void fsync_path(const std::string& path) {
+void fsync_path(const std::string& path) { (void)try_fsync_path(path); }
+
+bool try_fsync_path(const std::string& path) {
   const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd >= 0) {
-    ::fsync(fd);
-    ::close(fd);
+  if (fd < 0) {
+    return false;
   }
+  const int rc = io_fsync(fd);
+  ::close(fd);
+  return rc == 0;
 }
 
 void fsync_dir(const std::string& dir) { fsync_path(dir); }

@@ -7,10 +7,16 @@
 // make the rename durable while the data blocks are not, exposing a
 // named-but-empty file — and fsync the parent directory *after*.
 //
-// All helpers are best-effort: filesystems that refuse O_RDONLY directory
-// fsync (or files that vanished meanwhile) are silently tolerated, the
-// same policy as stdio-based writers that cannot observe fsync errors on
-// close.
+// The plain helpers are best-effort: filesystems that refuse O_RDONLY
+// directory fsync (or files that vanished meanwhile) are silently
+// tolerated, the same policy as stdio-based writers that cannot observe
+// fsync errors on close.  try_fsync_path() is the checked variant for the
+// one place best-effort is wrong — syncing a snapshot temp file before
+// the rename that publishes it, where an unreported fsync failure would
+// let a torn snapshot become the named truth.
+//
+// All helpers go through support::io_fsync, so fault-injection tests can
+// schedule fsync failures here too.
 #pragma once
 
 #include <string>
@@ -19,6 +25,10 @@ namespace pufatt::support {
 
 /// fsyncs the file at `path` (opens it read-only just for the fsync).
 void fsync_path(const std::string& path);
+
+/// Like fsync_path but reports failure: false when the file cannot be
+/// opened or fsync returns an error (including an injected EIO).
+bool try_fsync_path(const std::string& path);
 
 /// fsyncs the directory at `dir` so created/renamed/deleted entries in it
 /// are durable.

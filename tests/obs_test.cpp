@@ -35,6 +35,17 @@ const ecc::ReedMuller1& code() {
   return instance;
 }
 
+// Most tests below assert that spans actually arrive, which requires the
+// tracing hooks to be compiled in.  A -DPUFATT_TRACE=OFF tree (the
+// build-notrace leg of tools/ci.sh) instead proves everything degrades
+// to no-ops — there these tests skip rather than assert on delivery.
+#define PUFATT_REQUIRE_COMPILED_TRACING()                         \
+  do {                                                            \
+    if (!kTraceCompiled) {                                        \
+      GTEST_SKIP() << "span delivery requires -DPUFATT_TRACE=ON"; \
+    }                                                             \
+  } while (0)
+
 // --- Tracer core ------------------------------------------------------------
 
 TEST(Tracer, DisabledTracerYieldsInertSpans) {
@@ -50,6 +61,7 @@ TEST(Tracer, DisabledTracerYieldsInertSpans) {
 }
 
 TEST(Tracer, RecordsParentChildAndNotes) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   Tracer tracer;
   tracer.set_enabled(true);
   {
@@ -78,6 +90,7 @@ TEST(Tracer, RecordsParentChildAndNotes) {
 }
 
 TEST(Tracer, HalfSampleRateKeepsEveryOtherRoot) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   Tracer tracer;
   tracer.set_enabled(true);
   tracer.set_sample_rate(0.5);
@@ -97,6 +110,7 @@ TEST(Tracer, HalfSampleRateKeepsEveryOtherRoot) {
 }
 
 TEST(Tracer, ZeroSampleRateStillAllowsExplicitParents) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   Tracer tracer;
   tracer.set_enabled(true);
   tracer.set_sample_rate(0.0);
@@ -107,6 +121,7 @@ TEST(Tracer, ZeroSampleRateStillAllowsExplicitParents) {
 }
 
 TEST(Tracer, RingOverflowDropsAreCounted) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   TraceConfig config;
   config.ring_capacity = 8;
   Tracer tracer(config);
@@ -119,6 +134,7 @@ TEST(Tracer, RingOverflowDropsAreCounted) {
 }
 
 TEST(Tracer, ConcurrentSpansAllArriveExactlyOnce) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   constexpr std::size_t kThreads = 8;
   constexpr std::size_t kPerThread = 2000;
   TraceConfig config;
@@ -146,6 +162,7 @@ TEST(Tracer, ConcurrentSpansAllArriveExactlyOnce) {
 // --- Exporters and the reader ----------------------------------------------
 
 TEST(TraceExport, JsonlRoundTripsThroughReader) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   Tracer tracer;
   tracer.set_enabled(true);
   Span root = tracer.span("alpha");
@@ -164,6 +181,7 @@ TEST(TraceExport, JsonlRoundTripsThroughReader) {
 }
 
 TEST(TraceExport, TraceEventRoundTripsThroughReader) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   Tracer tracer;
   tracer.set_enabled(true);
   Span root = tracer.span("alpha");
@@ -360,6 +378,7 @@ std::pair<std::vector<SpanRecord>, std::string> run_traced_pool(
 }
 
 TEST(PoolTracing, SpansNestAcrossWorkerThreads) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   Tracer tracer;
   const auto [records, json] = run_traced_pool(3, tracer);
   (void)json;
@@ -430,6 +449,7 @@ TEST(PoolTracing, MetricsAndSpanNamesAreThreadCountInvariant) {
 }
 
 TEST(GlobalTracing, SimulatorHooksRecordUnderGlobalTracer) {
+  PUFATT_REQUIRE_COMPILED_TRACING();
   const auto& fleet = Fleet::instance();
   auto& tracer = global_tracer();
   tracer.clear();

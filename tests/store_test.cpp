@@ -15,18 +15,24 @@
 #include <thread>
 #include <vector>
 
+#include <map>
+
 #include "core/crp_database.hpp"
 #include "core/distributed.hpp"
 #include "core/enrollment.hpp"
 #include "core/serialize.hpp"
 #include "ecc/reed_muller.hpp"
+#include "service/device_registry.hpp"
 #include "service/emulator_cache.hpp"
 #include "service/verifier_pool.hpp"
 #include "store/crp_ledger.hpp"
 #include "store/records.hpp"
 #include "store/recovery.hpp"
+#include "store/replication.hpp"
+#include "store/sharded_store.hpp"
 #include "store/verifier_store.hpp"
 #include "store/wal.hpp"
+#include "support/faulty_file.hpp"
 
 namespace pufatt::store {
 namespace {
@@ -58,6 +64,36 @@ void write_bytes(const std::string& path,
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
+}
+
+/// filename -> contents for every regular file directly under `dir`:
+/// the byte-identical comparison replication tests are built on.
+std::map<std::string, std::vector<std::uint8_t>> dir_image(
+    const std::string& dir) {
+  std::map<std::string, std::vector<std::uint8_t>> image;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.is_regular_file()) {
+      image[entry.path().filename().string()] =
+          read_bytes(entry.path().string());
+    }
+  }
+  return image;
+}
+
+/// Canonical serialization of whatever crash recovery reconstructs from
+/// `dir` — two directories recovering to equal pairs hold the same state.
+std::pair<std::string, std::string> serialize_recovered(
+    const std::string& dir) {
+  const auto state = recover(dir);
+  std::stringstream registry(std::ios::in | std::ios::out | std::ios::binary);
+  state.registry.save(registry);
+  std::stringstream ledger(std::ios::in | std::ios::out | std::ios::binary);
+  state.ledger->save(ledger);
+  return {registry.str(), ledger.str()};
+}
+
+std::uint64_t segment_index(const std::string& path) {
+  return std::stoull(fs::path(path).filename().string().substr(4, 8));
 }
 
 /// Shared fixture: enrolling real devices is the expensive part, so one
@@ -821,6 +857,746 @@ TEST(Records, ConsumeRoundTrip) {
   const auto decoded = decode_crp_consume(record);
   EXPECT_EQ(decoded.device_id, "device-7");
   EXPECT_EQ(decoded.entry_index, 0x123456789ABCull);
+}
+
+// --- error provenance: StoreError names the segment and byte offset ---------
+
+TEST(Wal, CorruptionErrorsCarrySegmentPathAndByteOffset) {
+  const std::string dir = fresh_dir("error_provenance");
+  {
+    WalWriter wal(dir);
+    wal.append(1, "alpha");  // frame [16, 37)
+    wal.append(2, "beta!");  // frame [37, 58)
+    wal.sync();
+  }
+  const std::string segment = wal_segment_paths(dir).back();
+  auto bytes = read_bytes(segment);
+  bytes[37 + 4] ^= 0x01;  // the second record's type field: CRC mismatch
+  write_bytes(segment, bytes);
+  try {
+    read_wal(dir);
+    FAIL() << "corrupt record must throw";
+  } catch (const StoreError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find(segment), std::string::npos) << message;
+    EXPECT_NE(message.find("at byte 37"), std::string::npos) << message;
+  }
+}
+
+TEST(Recovery, ReplayErrorsNameTheRecordOrigin) {
+  const std::string dir = fresh_dir("replay_provenance");
+  {
+    WalWriter wal(dir);
+    // A CRC-valid frame whose *payload* is nonsense: an evict record
+    // claiming a 4 GiB device id.
+    wal.append(kEvict, std::string("\xFF\xFF\xFF\xFF", 4));
+    wal.sync();
+  }
+  try {
+    recover(dir);
+    FAIL() << "malformed payload must throw";
+  } catch (const StoreError& e) {
+    const std::string message = e.what();
+    EXPECT_NE(message.find("record from wal-00000001.log at byte 16"),
+              std::string::npos)
+        << message;
+  }
+}
+
+// --- registry snapshot load: a torn file never half-loads -------------------
+
+TEST(DeviceRegistryPersistence, TruncatedRegistryFileNeverHalfLoads) {
+  const auto& fleet = Fleet::instance();
+  const std::string dir = fresh_dir("registry_torn");
+  fs::create_directories(dir);
+  const std::string path = dir + "/registry.bin";
+  service::DeviceRegistry registry(4);
+  for (const auto& dev : fleet.devices) registry.store(dev.id, dev.record);
+  registry.save_file(path);
+  const auto full = read_bytes(path);
+  ASSERT_GT(full.size(), 64u);
+  ASSERT_EQ(service::DeviceRegistry::load_registry_file(path).size(),
+            fleet.devices.size());
+
+  // Every proper prefix must throw — the entry count is written up front,
+  // so a short stream can never quietly load fewer devices.
+  const std::string torn = dir + "/registry_torn.bin";
+  std::vector<std::size_t> cuts;
+  for (std::size_t cut = 0; cut < 24; ++cut) cuts.push_back(cut);
+  const std::size_t step = std::max<std::size_t>(1, full.size() / 48);
+  for (std::size_t cut = 24; cut < full.size(); cut += step) cuts.push_back(cut);
+  cuts.push_back(full.size() - 1);
+  for (const std::size_t cut : cuts) {
+    write_bytes(torn, {full.begin(),
+                       full.begin() + static_cast<std::ptrdiff_t>(cut)});
+    EXPECT_THROW(service::DeviceRegistry::load_registry_file(torn),
+                 core::SerializationError)
+        << "cut at " << cut << " of " << full.size();
+  }
+}
+
+// --- depletion hook: once per episode, across many episodes -----------------
+
+TEST(VerifierStore, DepletionHookRearmsEveryReplenishEpisode) {
+  const auto& fleet = Fleet::instance();
+  const std::string dir = fresh_dir("hook_episodes");
+  std::vector<std::size_t> fired;
+  StoreOptions options;
+  options.crp.low_watermark = 1;
+  options.crp.on_low = [&](const std::string& id, std::size_t remaining) {
+    EXPECT_EQ(id, fleet.devices[0].id);
+    fired.push_back(remaining);
+  };
+  auto db = VerifierStore::open(dir, options);
+  db->enroll(fleet.devices[0].id, fleet.devices[0].record);
+  const auto& puf = fleet.devices[0].device->raw_puf();
+  Xoshiro256pp rng(0xE5D);
+  for (int episode = 0; episode < 3; ++episode) {
+    // Replenish above the watermark (3 > 1), then run the database dry:
+    // the hook must fire exactly once, at the crossing, per episode.
+    db->enroll_crps(fleet.devices[0].id,
+                    fleet.collect(0, 3, 0xE50 + episode));
+    for (int k = 0; k < 3; ++k) {
+      ASSERT_TRUE(
+          db->authenticate_crp(fleet.devices[0].id, puf, rng).has_value());
+    }
+    EXPECT_EQ(db->crp_remaining(fleet.devices[0].id), std::size_t{0});
+    ASSERT_EQ(fired.size(), static_cast<std::size_t>(episode + 1));
+    EXPECT_EQ(fired.back(), 1u);  // fired at the crossing, not at zero
+  }
+}
+
+// --- WAL corruption fuzz: rotation boundaries and multi-segment tails -------
+
+// Extends the corruption matrix to the places segment rotation makes
+// interesting: deleting whole trailing segments (a multi-segment torn
+// tail), cuts landing exactly on frame boundaries or inside the 16-byte
+// segment header, and a *gap* in the segment sequence, which is never a
+// crash image and must be refused.
+TEST(Wal, RotationBoundaryAndMultiSegmentTornFuzz) {
+  const std::string dir = fresh_dir("fuzz_rotation");
+  WalOptions options;
+  options.segment_bytes = 200;
+  {
+    WalWriter wal(dir, options);
+    for (int i = 0; i < 24; ++i) {
+      wal.append(static_cast<std::uint32_t>(i + 1), std::string(24, 'g'));
+    }
+    wal.sync();
+  }
+  const auto paths = wal_segment_paths(dir);
+  ASSERT_GT(paths.size(), 2u);
+  std::vector<std::vector<std::uint8_t>> pristine;
+  std::vector<std::size_t> records_in;  // record count per segment
+  for (const auto& path : paths) {
+    pristine.push_back(read_bytes(path));
+    records_in.push_back(
+        read_segment_delta(path, segment_index(path), 0).records.size());
+  }
+  auto restore = [&] {
+    for (std::size_t i = 0; i < paths.size(); ++i) {
+      write_bytes(paths[i], pristine[i]);
+    }
+  };
+  auto records_through = [&](std::size_t segments) {
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < segments; ++i) n += records_in[i];
+    return n;
+  };
+
+  Xoshiro256pp rng(0xC0222);
+  for (int trial = 0; trial < 96; ++trial) {
+    restore();
+    switch (trial % 4) {
+      case 0: {
+        // Drop the last k whole segments: still a valid prefix image.
+        const std::size_t keep = 1 + rng.next() % (paths.size() - 1);
+        for (std::size_t i = keep; i < paths.size(); ++i) fs::remove(paths[i]);
+        const auto result = read_wal(dir);
+        EXPECT_EQ(result.records.size(), records_through(keep)) << trial;
+        EXPECT_FALSE(result.torn_tail) << trial;
+        break;
+      }
+      case 1: {
+        // Multi-segment torn tail: drop trailing segments *and* cut into
+        // the new final one at a random byte.
+        const std::size_t keep = 1 + rng.next() % (paths.size() - 1);
+        for (std::size_t i = keep; i < paths.size(); ++i) fs::remove(paths[i]);
+        const auto& tail = pristine[keep - 1];
+        const std::size_t cut = rng.next() % (tail.size() + 1);
+        write_bytes(paths[keep - 1],
+                    {tail.begin(),
+                     tail.begin() + static_cast<std::ptrdiff_t>(cut)});
+        const auto result = read_wal(dir);
+        EXPECT_LE(result.records.size(), records_through(keep)) << trial;
+        EXPECT_GE(result.records.size(), records_through(keep - 1)) << trial;
+        for (std::size_t i = 0; i < result.records.size(); ++i) {
+          EXPECT_EQ(result.records[i].type, i + 1);  // a strict prefix
+        }
+        break;
+      }
+      case 2: {
+        // Cut the final segment exactly on a frame boundary (a perfectly
+        // clean crash) or inside its header (a just-rotated crash).
+        const auto delta = read_segment_delta(
+            paths.back(), segment_index(paths.back()), 0);
+        std::vector<std::size_t> boundaries{kSegmentHeaderBytes};
+        for (const auto& record : delta.records) {
+          boundaries.push_back(static_cast<std::size_t>(
+              record.origin_offset + kRecordOverheadBytes +
+              record.payload.size()));
+        }
+        if (rng.next() % 4 == 0) {
+          // Header-partial final segment: tolerated, contributes nothing.
+          const std::size_t cut = rng.next() % kSegmentHeaderBytes;
+          write_bytes(paths.back(),
+                      {pristine.back().begin(),
+                       pristine.back().begin() +
+                           static_cast<std::ptrdiff_t>(cut)});
+          const auto result = read_wal(dir);
+          EXPECT_EQ(result.records.size(),
+                    records_through(paths.size() - 1))
+              << trial;
+        } else {
+          const std::size_t pick = rng.next() % boundaries.size();
+          write_bytes(paths.back(),
+                      {pristine.back().begin(),
+                       pristine.back().begin() +
+                           static_cast<std::ptrdiff_t>(boundaries[pick])});
+          const auto result = read_wal(dir);
+          EXPECT_EQ(result.records.size(),
+                    records_through(paths.size() - 1) + pick)
+              << trial;
+          EXPECT_FALSE(result.torn_tail) << trial;  // boundary cut is clean
+        }
+        break;
+      }
+      case 3: {
+        // A hole in the middle of the sequence: no crash produces this
+        // (compaction deletes strictly oldest-first, which only ever
+        // shortens the *front*), so the reader must refuse rather than
+        // silently skip records.
+        const std::size_t victim = 1 + rng.next() % (paths.size() - 2);
+        fs::remove(paths[victim]);
+        try {
+          read_wal(dir);
+          FAIL() << "gap in segment sequence must throw, trial " << trial;
+        } catch (const StoreError& e) {
+          EXPECT_NE(std::string(e.what()).find("missing WAL segment"),
+                    std::string::npos)
+              << e.what();
+        }
+        break;
+      }
+    }
+  }
+  restore();
+}
+
+// --- fault injection: the short-write / EIO / torn-rename matrix ------------
+
+TEST(FaultInjection, ShortAppendWriteFailsClosedAndReadsBackAsTornTail) {
+  const std::string dir = fresh_dir("fault_short_append");
+  WalOptions options;
+  options.sync_every = 0;
+  WalWriter wal(dir, options);
+  wal.append(1, "survivor");
+  wal.sync();
+  {
+    support::FaultPlan plan;
+    plan.short_write_at = 1;  // the next append's frame write
+    plan.short_write_keep = 7;
+    support::ScopedFaultPlan guard(plan);
+    EXPECT_THROW(wal.append(2, "doomed-record"), StoreError);
+    // The writer poisoned itself: the stream held a partial frame.
+    EXPECT_THROW(wal.append(3, "already-failed"), StoreError);
+    EXPECT_THROW(wal.sync(), StoreError);
+  }
+  // What landed is a torn tail — recoverable, never corruption.
+  const auto result = read_wal(dir);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].type, 1u);
+  EXPECT_TRUE(result.torn_tail);
+  // Reopening truncates the tail and the log serves appends again.
+  WalWriter healed(dir, options);
+  healed.append(4, "after-heal");
+  healed.sync();
+  const auto after = read_wal(dir);
+  ASSERT_EQ(after.records.size(), 2u);
+  EXPECT_EQ(after.records[1].type, 4u);
+  EXPECT_FALSE(after.torn_tail);
+}
+
+TEST(FaultInjection, FsyncEioPoisonsTheWriter) {
+  const std::string dir = fresh_dir("fault_fsync");
+  WalOptions options;
+  options.sync_every = 0;
+  WalWriter wal(dir, options);
+  wal.append(1, "durable");
+  wal.sync();
+  wal.append(2, "in-flight");
+  {
+    support::FaultPlan plan;
+    plan.fsync_error_at = 1;
+    support::ScopedFaultPlan guard(plan);
+    // fsyncgate: after EIO "what is durable" is unknowable, so the writer
+    // must fail closed rather than carry on.
+    EXPECT_THROW(wal.sync(), StoreError);
+    EXPECT_THROW(wal.append(3, "rejected"), StoreError);
+  }
+  // The on-disk file still reads back clean (fail closed, not corrupt).
+  const auto result = read_wal(dir);
+  EXPECT_GE(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].type, 1u);
+  EXPECT_FALSE(result.torn_tail);
+}
+
+TEST(FaultInjection, SnapshotWriteFaultsLeaveTheStoreRecoverable) {
+  const auto& fleet = Fleet::instance();
+  // Arm plans against compact(): a short write or an fsync EIO on the
+  // snapshot temp file must abort compaction with StoreError and leave
+  // the previous durable state (full WAL, no/old snapshot) intact.
+  struct Arm {
+    const char* name;
+    support::FaultPlan plan;
+  };
+  std::vector<Arm> arms(3);
+  arms[0].name = "short-write";
+  arms[0].plan.short_write_at = 1;  // the snapshot image write
+  arms[0].plan.short_write_keep = 9;
+  arms[1].name = "fsync-eio";
+  // compact()'s WAL group commit consumes fsync #1; #2 is the snapshot's.
+  arms[1].plan.fsync_error_at = 2;
+  arms[2].name = "rename-eio";
+  arms[2].plan.rename_error_at = 1;  // snapshot.bin.tmp -> snapshot.bin
+
+  for (const auto& arm : arms) {
+    const std::string dir = fresh_dir(std::string("fault_snap_") + arm.name);
+    {
+      auto db = VerifierStore::open(dir);
+      db->enroll(fleet.devices[0].id, fleet.devices[0].record);
+      db->enroll_crps(fleet.devices[0].id, fleet.collect(0, 3, 0xFA57));
+      Xoshiro256pp rng(0xA1);
+      ASSERT_TRUE(db->authenticate_crp(fleet.devices[0].id,
+                                       fleet.devices[0].device->raw_puf(), rng)
+                      .has_value());
+      db->sync();
+      {
+        support::ScopedFaultPlan guard(arm.plan);
+        EXPECT_THROW(db->compact(), StoreError) << arm.name;
+      }
+      EXPECT_FALSE(fs::exists(snapshot_path(dir))) << arm.name;
+    }
+    auto reopened = VerifierStore::open(dir);
+    EXPECT_EQ(reopened->crp_remaining(fleet.devices[0].id), std::size_t{2})
+        << arm.name;
+    EXPECT_TRUE(reopened->registry().contains(fleet.devices[0].id))
+        << arm.name;
+  }
+}
+
+TEST(FaultInjection, TornSnapshotRenameFailsClosedOnReopen) {
+  const auto& fleet = Fleet::instance();
+  const std::string dir = fresh_dir("fault_snap_torn");
+  {
+    auto db = VerifierStore::open(dir);
+    db->enroll(fleet.devices[0].id, fleet.devices[0].record);
+    db->enroll_crps(fleet.devices[0].id, fleet.collect(0, 3, 0x70A2));
+    db->sync();
+    support::FaultPlan plan;
+    plan.torn_rename_at = 1;  // rename lands, data blocks did not
+    support::ScopedFaultPlan guard(plan);
+    db->compact();  // "succeeds" — the power-loss image is only on disk
+  }
+  // The snapshot is named but torn, and compaction already deleted the
+  // folded WAL — the one state recovery must never invent data from.
+  // Refuse to open: fail closed, never half-load.
+  EXPECT_TRUE(fs::exists(snapshot_path(dir)));
+  EXPECT_THROW(VerifierStore::open(dir), StoreError);
+  EXPECT_THROW(recover(dir), StoreError);
+}
+
+// --- replication: ship, follow compaction, promote --------------------------
+
+TEST(Replication, ShipMirrorsPrimaryByteForByteThenPromotes) {
+  const auto& fleet = Fleet::instance();
+  const std::string primary = fresh_dir("repl_primary");
+  const std::string follower = fresh_dir("repl_follower");
+  constexpr std::size_t kEntries = 4;
+  constexpr std::size_t kConsume = 5;
+  auto db = VerifierStore::open(primary);
+  for (std::size_t d = 0; d < fleet.devices.size(); ++d) {
+    db->enroll(fleet.devices[d].id, fleet.devices[d].record);
+    db->enroll_crps(fleet.devices[d].id,
+                    fleet.collect(d, kEntries, 0x4E90 + d));
+  }
+  Xoshiro256pp rng(0xB1);
+  for (std::size_t k = 0; k < kConsume; ++k) {
+    const std::size_t d = k % fleet.devices.size();
+    ASSERT_TRUE(db->authenticate_crp(fleet.devices[d].id,
+                                     fleet.devices[d].device->raw_puf(), rng)
+                    .has_value());
+  }
+  db->sync();
+
+  ShardFollower repl(primary, follower);
+  auto status = repl.ship();
+  EXPECT_GT(status.applied_records, 0u);
+  EXPECT_GT(status.lag_bytes, 0u);  // it had everything still to ship
+  EXPECT_GT(status.shipped_bytes, 0u);
+  EXPECT_TRUE(dir_image(primary) == dir_image(follower))
+      << "follower is not a byte-for-byte mirror";
+
+  // A quiesced primary ships nothing more; the staleness metric says so.
+  status = repl.ship();
+  EXPECT_EQ(status.lag_bytes, 0u);
+
+  // Failover: the promoted store serves exactly the primary's state.
+  auto promoted = repl.promote();
+  for (std::size_t d = 0; d < fleet.devices.size(); ++d) {
+    EXPECT_EQ(promoted->crp_remaining(fleet.devices[d].id),
+              db->crp_remaining(fleet.devices[d].id));
+    EXPECT_TRUE(promoted->registry().contains(fleet.devices[d].id));
+  }
+  // No consumed CRP resurrected: the promoted store keeps consuming from
+  // the primary's cursor, not from the start.
+  Xoshiro256pp rng2(0xB2);
+  const auto before = *promoted->crp_remaining(fleet.devices[0].id);
+  ASSERT_TRUE(promoted
+                  ->authenticate_crp(fleet.devices[0].id,
+                                     fleet.devices[0].device->raw_puf(), rng2)
+                  .has_value());
+  EXPECT_EQ(*promoted->crp_remaining(fleet.devices[0].id), before - 1);
+
+  // The follower was consumed by promote().
+  EXPECT_THROW(repl.ship(), StoreError);
+}
+
+TEST(Replication, ShipFollowsPrimaryCompaction) {
+  const auto& fleet = Fleet::instance();
+  const std::string primary = fresh_dir("repl_compact_primary");
+  const std::string follower = fresh_dir("repl_compact_follower");
+  auto db = VerifierStore::open(primary);
+  db->enroll(fleet.devices[0].id, fleet.devices[0].record);
+  db->enroll_crps(fleet.devices[0].id, fleet.collect(0, 5, 0x5C01));
+  Xoshiro256pp rng(0xC1);
+  ASSERT_TRUE(db->authenticate_crp(fleet.devices[0].id,
+                                   fleet.devices[0].device->raw_puf(), rng)
+                  .has_value());
+  db->sync();
+
+  ShardFollower repl(primary, follower);
+  repl.ship();  // pre-compaction WAL tail
+  ASSERT_TRUE(dir_image(primary) == dir_image(follower));
+
+  // Primary compacts, then keeps mutating: the follower must take the
+  // snapshot catch-up, drop its folded segments, and ship the new tail.
+  db->compact();
+  db->enroll(fleet.devices[1].id, fleet.devices[1].record);
+  ASSERT_TRUE(db->authenticate_crp(fleet.devices[0].id,
+                                   fleet.devices[0].device->raw_puf(), rng)
+                  .has_value());
+  db->sync();
+  const auto status = repl.ship();
+  EXPECT_EQ(status.snapshot_copies, 1u);
+  EXPECT_GE(status.snapshot_watermark, 1u);
+  EXPECT_TRUE(dir_image(primary) == dir_image(follower))
+      << "follower did not converge after the primary compacted";
+
+  auto promoted = repl.promote();
+  EXPECT_EQ(promoted->crp_remaining(fleet.devices[0].id), std::size_t{3});
+  EXPECT_TRUE(promoted->registry().contains(fleet.devices[1].id));
+}
+
+TEST(Replication, InjectedShipFailurePoisonsFollowerAndRebuildHeals) {
+  const auto& fleet = Fleet::instance();
+  const std::string primary = fresh_dir("repl_poison_primary");
+  const std::string follower = fresh_dir("repl_poison_follower");
+  {
+    auto db = VerifierStore::open(primary);
+    db->enroll(fleet.devices[0].id, fleet.devices[0].record);
+    db->enroll_crps(fleet.devices[0].id, fleet.collect(0, 4, 0x901));
+    Xoshiro256pp rng(0xD1);
+    ASSERT_TRUE(db->authenticate_crp(fleet.devices[0].id,
+                                     fleet.devices[0].device->raw_puf(), rng)
+                    .has_value());
+    db->sync();
+  }
+  ShardFollower repl(primary, follower);
+  {
+    support::FaultPlan plan;
+    plan.fsync_error_at = 1;  // the shipped segment's durability fsync
+    support::ScopedFaultPlan guard(plan);
+    EXPECT_THROW(repl.ship(), StoreError);
+  }
+  // Poisoned: the cursor can no longer be trusted, even disarmed.
+  EXPECT_THROW(repl.ship(), StoreError);
+
+  // The documented recovery: a fresh follower rescans the directory
+  // (truncating any torn tail the failed ship left) and converges.
+  ShardFollower rebuilt(primary, follower);
+  rebuilt.ship();
+  EXPECT_TRUE(dir_image(primary) == dir_image(follower));
+  auto promoted = rebuilt.promote();
+  EXPECT_EQ(promoted->crp_remaining(fleet.devices[0].id), std::size_t{3});
+}
+
+TEST(Replication, TornSnapshotCatchUpFailsClosed) {
+  const auto& fleet = Fleet::instance();
+  const std::string primary = fresh_dir("repl_torn_primary");
+  const std::string follower = fresh_dir("repl_torn_follower");
+  {
+    auto db = VerifierStore::open(primary);
+    db->enroll(fleet.devices[0].id, fleet.devices[0].record);
+    db->enroll_crps(fleet.devices[0].id, fleet.collect(0, 4, 0x70B));
+    db->compact();  // the primary has a snapshot for the follower to copy
+  }
+  ShardFollower repl(primary, follower);
+  {
+    support::FaultPlan plan;
+    plan.torn_rename_at = 1;  // the follower's snapshot copy lands torn
+    support::ScopedFaultPlan guard(plan);
+    EXPECT_THROW(repl.ship(), StoreError);
+  }
+  // The torn follower snapshot must be refused, not half-loaded — by a
+  // rebuilt follower and by promotion alike.
+  EXPECT_THROW(ShardFollower(primary, follower), StoreError);
+  EXPECT_THROW(recover(follower), StoreError);
+  // Wiping the follower directory rebuilds from scratch and converges.
+  fs::remove_all(follower);
+  ShardFollower rebuilt(primary, follower);
+  rebuilt.ship();
+  auto promoted = rebuilt.promote();
+  EXPECT_EQ(promoted->crp_remaining(fleet.devices[0].id), std::size_t{4});
+}
+
+// --- the kill-anywhere failover property ------------------------------------
+
+// Randomized kill points over a real store workload (enroll, consume,
+// compact, consume): at *every* cut the crash image ships to a follower
+// whose promotion is byte-identical to recovering the primary directly,
+// and remaining() agrees exactly.  This is the acceptance property the
+// torture binary (tests/store_torture.cpp) runs at scale.
+TEST(Replication, KillAnywhereFailoverMatchesPrimaryRecovery) {
+  const auto& fleet = Fleet::instance();
+  auto workload = [&](const std::string& dir) {
+    StoreOptions options;
+    options.wal.segment_bytes = 1024;  // rotate within the workload
+    options.wal.sync_every = 4;
+    auto db = VerifierStore::open(dir, options);
+    for (std::size_t d = 0; d < fleet.devices.size(); ++d) {
+      db->enroll(fleet.devices[d].id, fleet.devices[d].record);
+      db->enroll_crps(fleet.devices[d].id, fleet.collect(d, 5, 0xFA11 + d));
+    }
+    Xoshiro256pp rng(0xAB);
+    for (int k = 0; k < 4; ++k) {
+      (void)db->authenticate_crp(fleet.devices[k % fleet.devices.size()].id,
+                                 fleet.devices[k % fleet.devices.size()]
+                                     .device->raw_puf(),
+                                 rng);
+    }
+    db->compact();
+    for (int k = 0; k < 5; ++k) {
+      (void)db->authenticate_crp(fleet.devices[k % fleet.devices.size()].id,
+                                 fleet.devices[k % fleet.devices.size()]
+                                     .device->raw_puf(),
+                                 rng);
+    }
+    db->sync();
+  };
+
+  // Probe run: learn the workload's total byte budget so kill points can
+  // be drawn from the whole execution, compaction included.
+  std::uint64_t total_bytes = 0;
+  {
+    const std::string dir = fresh_dir("kill_probe");
+    support::FaultPlan plan;
+    plan.crash_after_bytes = ~std::uint64_t{0};  // never fires: just counts
+    support::ScopedFaultPlan guard(plan);
+    workload(dir);
+    total_bytes = support::FaultyFile::instance().bytes_written();
+  }
+  ASSERT_GT(total_bytes, 1024u);
+
+  Xoshiro256pp rng(0x60D);
+  for (int trial = 0; trial < 6; ++trial) {
+    const std::uint64_t kill = 1 + rng.next() % total_bytes;
+    const std::string primary =
+        fresh_dir("kill_primary_" + std::to_string(trial));
+    const std::string follower =
+        fresh_dir("kill_follower_" + std::to_string(trial));
+    {
+      support::FaultPlan plan;
+      plan.crash_after_bytes = kill;
+      support::ScopedFaultPlan guard(plan);
+      workload(primary);  // the process "runs on"; the disk stops at K
+    }
+    ShardFollower(primary, follower).ship();
+    const auto primary_state = serialize_recovered(primary);
+    const auto follower_state = serialize_recovered(follower);
+    EXPECT_EQ(primary_state.first, follower_state.first)
+        << "registry diverged, kill at byte " << kill;
+    EXPECT_EQ(primary_state.second, follower_state.second)
+        << "ledger diverged, kill at byte " << kill;
+
+    // remaining() exact: promotion and direct primary recovery agree
+    // device by device — no CRP consumed twice, none resurrected.
+    auto promoted = ShardFollower(primary, follower).promote();
+    auto direct = VerifierStore::open(primary);
+    for (const auto& dev : fleet.devices) {
+      EXPECT_EQ(promoted->crp_remaining(dev.id), direct->crp_remaining(dev.id))
+          << "kill at byte " << kill << ", device " << dev.id;
+      EXPECT_EQ(promoted->registry().contains(dev.id),
+                direct->registry().contains(dev.id))
+          << "kill at byte " << kill << ", device " << dev.id;
+    }
+  }
+}
+
+// --- sharded store ----------------------------------------------------------
+
+TEST(ShardedStore, RoutesRecoversInParallelAndServesThePool) {
+  const auto& fleet = Fleet::instance();
+  const std::string dir = fresh_dir("sharded");
+  constexpr std::size_t kShards = 4;
+  constexpr std::size_t kEntries = 4;
+  constexpr std::size_t kConsume = 5;
+  {
+    ShardedStoreOptions options;
+    options.shards = kShards;
+    options.recovery_threads = kShards;
+    auto db = ShardedVerifierStore::open(dir, options);
+    EXPECT_EQ(db->shard_count(), kShards);
+    for (std::size_t d = 0; d < fleet.devices.size(); ++d) {
+      EXPECT_TRUE(db->enroll(fleet.devices[d].id, fleet.devices[d].record));
+      db->enroll_crps(fleet.devices[d].id,
+                      fleet.collect(d, kEntries, 0x5A4D + d));
+      // Routing is the platform-stable hash the registry stripes by.
+      EXPECT_EQ(db->shard_of(fleet.devices[d].id),
+                service::stable_device_hash(fleet.devices[d].id) % kShards);
+    }
+    Xoshiro256pp rng(0xE1);
+    for (std::size_t k = 0; k < kConsume; ++k) {
+      const std::size_t d = k % fleet.devices.size();
+      ASSERT_TRUE(db->authenticate_crp(fleet.devices[d].id,
+                                       fleet.devices[d].device->raw_puf(), rng)
+                      .has_value());
+    }
+    EXPECT_EQ(db->device_count(), fleet.devices.size());
+    EXPECT_EQ(db->total_crp_remaining(),
+              fleet.devices.size() * kEntries - kConsume);
+    db->sync();
+  }
+  ASSERT_TRUE(fs::exists(ShardedVerifierStore::manifest_path(dir)));
+
+  // Reopen letting the manifest decide the count; per-shard recovery ran
+  // in parallel and every cursor came back exact.
+  ShardedStoreOptions reopen;
+  reopen.shards = 0;
+  auto recovered = ShardedVerifierStore::open(dir, reopen);
+  EXPECT_EQ(recovered->shard_count(), kShards);
+  EXPECT_EQ(recovered->device_count(), fleet.devices.size());
+  EXPECT_EQ(recovered->total_crp_remaining(),
+            fleet.devices.size() * kEntries - kConsume);
+  for (std::size_t d = 0; d < fleet.devices.size(); ++d) {
+    const std::size_t consumed =
+        kConsume / fleet.devices.size() +
+        (d < kConsume % fleet.devices.size() ? 1 : 0);
+    EXPECT_EQ(recovered->crp_remaining(fleet.devices[d].id),
+              kEntries - consumed);
+  }
+
+  // The manifest pins N forever: hash % N routing makes any other count
+  // look up every device in the wrong shard.
+  ShardedStoreOptions wrong;
+  wrong.shards = 2;
+  EXPECT_THROW(ShardedVerifierStore::open(dir, wrong), StoreError);
+
+  // The service layer runs against the routing view, indifferent to the
+  // partitioning: a full pool round-trip over all shards.
+  service::EmulatorCache cache(recovered->registry_view(), code(),
+                               fleet.devices.size());
+  std::atomic<std::size_t> accepted{0};
+  service::PoolConfig config;
+  config.workers = 2;
+  config.queue_capacity = 8;
+  config.on_drain = [&] { recovered->sync(); };
+  service::VerifierPool pool(cache, config,
+                             [&](const service::JobResult& result) {
+                               if (result.outcome ==
+                                   service::JobOutcome::kAccepted) {
+                                 accepted.fetch_add(1);
+                               }
+                             });
+  for (std::size_t d = 0; d < fleet.devices.size(); ++d) {
+    service::AttestationJob job;
+    job.device_id = fleet.devices[d].id;
+    job.responder = fleet.responder(d, 0xE2 + d);
+    job.channel_seed = 0xE3 + d;
+    job.rng_seed = 0xE4 + d;
+    job.tag = d;
+    ASSERT_TRUE(pool.submit(job).enqueued());
+  }
+  pool.drain();
+  pool.shutdown();
+  EXPECT_EQ(accepted.load(), fleet.devices.size());
+
+  // Per-shard compaction round-trips too.
+  recovered->compact();
+  recovered.reset();
+  auto again = ShardedVerifierStore::open(dir, reopen);
+  EXPECT_EQ(again->device_count(), fleet.devices.size());
+  EXPECT_EQ(again->total_crp_remaining(),
+            fleet.devices.size() * kEntries - kConsume);
+}
+
+TEST(Replication, ShardedReplicaShipsAndPromotesWholeFleet) {
+  const auto& fleet = Fleet::instance();
+  const std::string primary = fresh_dir("sharded_repl_primary");
+  const std::string follower = fresh_dir("sharded_repl_follower");
+  constexpr std::size_t kShards = 2;
+  constexpr std::size_t kEntries = 3;
+  constexpr std::size_t kConsume = 4;
+  ShardedStoreOptions options;
+  options.shards = kShards;
+  auto db = ShardedVerifierStore::open(primary, options);
+  for (std::size_t d = 0; d < fleet.devices.size(); ++d) {
+    db->enroll(fleet.devices[d].id, fleet.devices[d].record);
+    db->enroll_crps(fleet.devices[d].id,
+                    fleet.collect(d, kEntries, 0x2E91 + d));
+  }
+  Xoshiro256pp rng(0xF1);
+  for (std::size_t k = 0; k < kConsume; ++k) {
+    const std::size_t d = k % fleet.devices.size();
+    ASSERT_TRUE(db->authenticate_crp(fleet.devices[d].id,
+                                     fleet.devices[d].device->raw_puf(), rng)
+                    .has_value());
+  }
+  db->sync();
+
+  StoreReplica replica(primary, follower);
+  EXPECT_EQ(replica.shard_count(), kShards);
+  const auto statuses = replica.ship();
+  ASSERT_EQ(statuses.size(), kShards);
+  for (std::size_t i = 0; i < kShards; ++i) {
+    EXPECT_TRUE(dir_image(ShardedVerifierStore::shard_dir(primary, i)) ==
+                dir_image(ShardedVerifierStore::shard_dir(follower, i)))
+        << "shard " << i << " is not a byte-for-byte mirror";
+  }
+
+  auto promoted = replica.promote();
+  EXPECT_EQ(promoted->shard_count(), kShards);
+  EXPECT_EQ(promoted->device_count(), fleet.devices.size());
+  EXPECT_EQ(promoted->total_crp_remaining(),
+            fleet.devices.size() * kEntries - kConsume);
+  for (const auto& dev : fleet.devices) {
+    EXPECT_EQ(promoted->crp_remaining(dev.id), db->crp_remaining(dev.id));
+  }
+
+  // A replica of a plain (unsharded) directory is refused up front.
+  EXPECT_THROW(StoreReplica(fresh_dir("not_sharded"),
+                            fresh_dir("not_sharded_follower")),
+               StoreError);
 }
 
 }  // namespace

@@ -11,11 +11,19 @@
 # obs_overhead_smoke), so the stable-schema BENCH_*.json writers and the
 # tracing overhead gates are exercised under each sanitizer too.
 #
+# Each tree then reruns the torture-labeled seeded kill-and-recover loop
+# (tests/store_torture.cpp) with a second seed: random fault points over
+# an append workload, gating that follower promotion stays byte-identical
+# to direct crash recovery under plain, ASan, TSan, and no-trace builds.
+# Tune with TORTURE_ITERS / TORTURE_SEED.
+#
 # Usage: tools/ci.sh [extra ctest args...]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 JOBS="$(nproc 2>/dev/null || echo 4)"
+TORTURE_ITERS="${TORTURE_ITERS:-12}"
+TORTURE_SEED="${TORTURE_SEED:-49537}"
 
 run_tree() {
   local tree="$1"
@@ -28,6 +36,11 @@ run_tree() {
   # ${arr[@]+...} keeps `set -u` happy on bash < 4.4 when no args given.
   (cd "${tree}" && ctest --output-on-failure -j "${JOBS}" \
       ${CTEST_ARGS[@]+"${CTEST_ARGS[@]}"})
+  echo "=== ${tree}: kill-and-recover torture (seed ${TORTURE_SEED}, ${TORTURE_ITERS} iters) ==="
+  (cd "${tree}" && \
+      STORE_TORTURE_ITERS="${TORTURE_ITERS}" \
+      STORE_TORTURE_SEED="${TORTURE_SEED}" \
+      ctest --output-on-failure -L torture)
 }
 
 CTEST_ARGS=("$@")
