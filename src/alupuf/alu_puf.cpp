@@ -108,28 +108,19 @@ std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
 
   AluPufBatchScratch& ws = scratch != nullptr ? *scratch : batch_scratch_;
   const auto& nominal = nominal_for(env);
-  const std::size_t num_gates = circuit_.net.num_gates();
 
   timingsim::pack_input_lanes(challenges, count, challenge_bits(), ws.inputs);
 
-  // Per-lane noisy delay realization, drawn from that lane's derived
-  // generator in the same order the scalar path draws it.
-  ws.delays.batch = count;
-  ws.delays.rise_ps.resize(num_gates * count);
-  ws.delays.fall_ps.resize(num_gates * count);
+  // Per-lane noisy delay realization: each lane's derived generator feeds
+  // the batched ziggurat fill (one deviate per gate, gate order) and stays
+  // live for that lane's arbiter draws below.
   ws.lane_rngs.resize(count, support::Xoshiro256pp(0));
-  obs::Span sample_span = eval_span.child("puf.sample_delays");
   for (std::size_t x = 0; x < count; ++x) {
-    // Each lane draws from its derived generator exactly what the scalar
-    // path draws: delays first, then (below) the arbiter decisions.
     ws.lane_rngs[x] = lane_rng(batch_seed, x);
-    chip_.sample_delays(nominal, config_.noise, ws.lane_rngs[x],
-                        ws.lane_delays);
-    for (std::size_t g = 0; g < num_gates; ++g) {
-      ws.delays.rise_ps[g * count + x] = ws.lane_delays.rise_ps[g];
-      ws.delays.fall_ps[g * count + x] = ws.lane_delays.fall_ps[g];
-    }
   }
+  obs::Span sample_span = eval_span.child("puf.sample_delays");
+  chip_.sample_delays_batch(nominal, config_.noise, ws.lane_rngs.data(),
+                            count, ws.delays);
   sample_span.end();
 
   batch_sim_.run_batch(ws.inputs.data(), count, ws.delays, ws.state);

@@ -57,7 +57,6 @@ struct AluPufBatchScratch {
   timingsim::BatchState state;
   timingsim::BatchDelays delays;
   std::vector<std::uint8_t> inputs;
-  timingsim::DelaySet lane_delays;  ///< one lane's noisy draw
   std::vector<support::Xoshiro256pp> lane_rngs;
 };
 
@@ -82,15 +81,20 @@ class AluPuf {
   /// arbiter cones.  Statistically equivalent to `count` scalar `eval`
   /// calls, with a documented RNG contract instead of stream-for-stream
   /// equality: the batch consumes exactly one `rng.next()` (its
-  /// batch_seed), and lane x then evaluates with a derived generator
+  /// batch_seed), and lane x then draws ALL of its randomness from the
+  /// derived generator
   ///   Xoshiro256pp(SplitMix64::mix(batch_seed + kGolden * (x + 1)))
-  /// (kGolden = 0x9E3779B97F4A7C15).  Lane x is therefore bit-identical
-  /// to a scalar `eval` run with that derived generator — the white-box
-  /// parity the tests check — and one batch is fully reproducible from
-  /// (caller rng state, challenges).  Note lane seeds depend on the lane
-  /// index, so splitting a workload into batches differently yields a
-  /// different (equally distributed) noise realization; deterministic
-  /// drivers must keep batch boundaries fixed (see support/parallel.hpp).
+  /// (kGolden = 0x9E3779B97F4A7C15): first one noise deviate per gate in
+  /// gate order via the fast ziggurat sampler (gaussian_fast; zero-delay
+  /// gates included, see ChipInstance::sample_delays_batch), then the
+  /// arbiter/metastability draws bit by bit.  Lane responses are NOT
+  /// stream-identical to scalar `eval` (which spends the caller's
+  /// generator through the Box-Muller sampler) but follow the identical
+  /// distribution, and one batch is fully reproducible from (caller rng
+  /// state, challenges).  Note lane seeds depend on the lane index, so
+  /// splitting a workload into batches differently yields a different
+  /// (equally distributed) noise realization; deterministic drivers must
+  /// keep batch boundaries fixed (see support/parallel.hpp).
   std::vector<RawResponse> eval_batch(const Challenge* challenges,
                                       std::size_t count,
                                       const variation::Environment& env,

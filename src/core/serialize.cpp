@@ -12,7 +12,10 @@ namespace {
 
 constexpr std::uint32_t kMagic = 0x50554154;  // "PUAT"
 constexpr std::uint32_t kVersion = 1;
-constexpr std::size_t kMaxVectorLen = 1u << 24;  // sanity bound on inputs
+// Sanity bound on record vector lengths: the biggest honest array is a
+// firmware image of a few thousand words, so 4M elements is already generous.
+// The check fires on the *declared* length, before the allocation it sizes.
+constexpr std::size_t kMaxVectorLen = 1u << 22;
 
 void write_u32(std::ostream& out, std::uint32_t v) {
   unsigned char bytes[4];
@@ -258,6 +261,9 @@ std::vector<std::uint8_t> serialize_request(const AttestationRequest& request) {
 
 AttestationRequest deserialize_request(const std::uint8_t* data,
                                        std::size_t size) {
+  if (size > kMaxWireFrameBytes) {
+    throw SerializationError("frame exceeds wire limit");
+  }
   if (size != 16) throw SerializationError("request frame has wrong size");
   if (peek_u32(data, 0) != kRequestMagic) {
     throw SerializationError("bad request magic");
@@ -284,6 +290,9 @@ std::vector<std::uint8_t> serialize_response(
 AttestationResponse deserialize_response(const std::uint8_t* data,
                                          std::size_t size) {
   constexpr std::size_t kHeaderBytes = 4 + 4 + 8 * 4;  // magic, count, checksum
+  if (size > kMaxWireFrameBytes) {
+    throw SerializationError("frame exceeds wire limit");
+  }
   if (size < kHeaderBytes + 4) {
     throw SerializationError("response frame truncated");
   }

@@ -53,6 +53,16 @@ std::uint32_t crc32(const std::uint8_t* data, std::size_t size);
 /// attempted resource-exhaustion, not a response.
 constexpr std::size_t kMaxWireHelperWords = 1u << 20;
 
+/// Hard ceiling on any single protocol frame, sized to the largest frame an
+/// honest peer can produce: a response carrying kMaxWireHelperWords helper
+/// words plus its header and trailing CRC.  Every deserializer rejects a
+/// buffer above this bound before touching its contents, and every stream
+/// decoder (src/net FrameDecoder) must check a *declared* length against it
+/// before allocating or buffering a frame body — an attacker-supplied length
+/// field must never size an allocation.
+constexpr std::size_t kMaxWireFrameBytes =
+    4 + 4 + 8 * 4 + kMaxWireHelperWords * 4 + 4;
+
 /// Request frame: [magic][nonce lo][nonce hi][crc32].
 std::vector<std::uint8_t> serialize_request(const AttestationRequest& request);
 AttestationRequest deserialize_request(const std::uint8_t* data,

@@ -1,0 +1,282 @@
+#include "net/event_loop.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+namespace pufatt::net {
+
+namespace {
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+#ifdef __linux__
+std::uint32_t from_epoll(std::uint32_t ev) {
+  std::uint32_t out = 0;
+  if (ev & (EPOLLIN | EPOLLHUP)) out |= EventLoop::kReadable;
+  if (ev & EPOLLOUT) out |= EventLoop::kWritable;
+  if (ev & (EPOLLERR | EPOLLHUP)) out |= EventLoop::kError;
+  return out;
+}
+
+std::uint32_t to_epoll(std::uint32_t interest) {
+  std::uint32_t ev = 0;
+  if (interest & EventLoop::kReadable) ev |= EPOLLIN;
+  if (interest & EventLoop::kWritable) ev |= EPOLLOUT;
+  return ev;
+}
+#endif
+
+short to_poll(std::uint32_t interest) {
+  short ev = 0;
+  if (interest & EventLoop::kReadable) ev |= POLLIN;
+  if (interest & EventLoop::kWritable) ev |= POLLOUT;
+  return ev;
+}
+
+std::uint32_t from_poll(short ev) {
+  std::uint32_t out = 0;
+  if (ev & (POLLIN | POLLHUP)) out |= EventLoop::kReadable;
+  if (ev & POLLOUT) out |= EventLoop::kWritable;
+  if (ev & (POLLERR | POLLHUP | POLLNVAL)) out |= EventLoop::kError;
+  return out;
+}
+
+}  // namespace
+
+EventLoop::EventLoop(Backend backend) {
+#ifdef __linux__
+  if (backend != Backend::kPoll) {
+    const int efd = ::epoll_create1(0);
+    if (efd < 0) {
+      throw NetError(std::string("epoll_create1: ") + std::strerror(errno));
+    }
+    epoll_fd_.reset(efd);
+  }
+#else
+  if (backend == Backend::kEpoll) {
+    throw NetError("epoll backend requested on a non-Linux platform");
+  }
+#endif
+  (void)backend;
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) < 0) {
+    throw NetError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_read_.reset(pipe_fds[0]);
+  wake_write_.reset(pipe_fds[1]);
+  set_nonblocking(wake_read_.get());
+  set_nonblocking(wake_write_.get());
+  add(wake_read_.get(), kReadable, [this](std::uint32_t) {
+    drain_wake_pipe();
+  });
+}
+
+EventLoop::~EventLoop() = default;
+
+void EventLoop::add(int fd, std::uint32_t interest, IoCallback callback) {
+  auto entry = std::make_shared<Entry>();
+  entry->fd = fd;
+  entry->interest = interest;
+  entry->callback = std::move(callback);
+  entries_[fd] = entry;
+#ifdef __linux__
+  if (using_epoll()) {
+    epoll_event ev{};
+    ev.events = to_epoll(interest);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, fd, &ev) < 0) {
+      entries_.erase(fd);
+      throw NetError(std::string("epoll_ctl(ADD): ") + std::strerror(errno));
+    }
+    return;
+  }
+#endif
+  poll_dirty_ = true;
+}
+
+void EventLoop::modify(int fd, std::uint32_t interest) {
+  const auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  it->second->interest = interest;
+#ifdef __linux__
+  if (using_epoll()) {
+    epoll_event ev{};
+    ev.events = to_epoll(interest);
+    ev.data.fd = fd;
+    if (::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_MOD, fd, &ev) < 0) {
+      throw NetError(std::string("epoll_ctl(MOD): ") + std::strerror(errno));
+    }
+    return;
+  }
+#endif
+  poll_dirty_ = true;
+}
+
+void EventLoop::remove(int fd) {
+  const auto it = entries_.find(fd);
+  if (it == entries_.end()) return;
+  it->second->dead = true;  // a dispatch batch may still hold the entry
+  entries_.erase(it);
+#ifdef __linux__
+  if (using_epoll()) {
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+    return;
+  }
+#endif
+  poll_dirty_ = true;
+}
+
+void EventLoop::post(std::function<void()> fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    posted_.push_back(std::move(fn));
+  }
+  wake();
+}
+
+void EventLoop::stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_requested_ = true;
+  }
+  wake();
+}
+
+void EventLoop::set_timer(double period_ms, std::function<void()> on_tick) {
+  timer_period_ms_ = period_ms;
+  on_tick_ = std::move(on_tick);
+  next_tick_ns_ =
+      period_ms > 0.0
+          ? steady_ns() + static_cast<std::uint64_t>(period_ms * 1e6)
+          : 0;
+}
+
+void EventLoop::wake() {
+  const char byte = 1;
+  // EAGAIN means the pipe already holds a wakeup; either way the loop runs.
+  [[maybe_unused]] const auto n = ::write(wake_write_.get(), &byte, 1);
+}
+
+void EventLoop::drain_wake_pipe() {
+  char buf[256];
+  while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+  }
+}
+
+void EventLoop::run_posted() {
+  std::vector<std::function<void()>> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    batch.swap(posted_);
+  }
+  for (auto& fn : batch) fn();
+}
+
+int EventLoop::timeout_ms_until_tick() const {
+  if (timer_period_ms_ <= 0.0) return -1;
+  const std::uint64_t now = steady_ns();
+  if (now >= next_tick_ns_) return 0;
+  const std::uint64_t delta_ms = (next_tick_ns_ - now) / 1'000'000u;
+  return static_cast<int>(delta_ms) + 1;
+}
+
+void EventLoop::maybe_fire_timer() {
+  if (timer_period_ms_ <= 0.0 || !on_tick_) return;
+  const std::uint64_t now = steady_ns();
+  if (now < next_tick_ns_) return;
+  next_tick_ns_ = now + static_cast<std::uint64_t>(timer_period_ms_ * 1e6);
+  on_tick_();
+}
+
+int EventLoop::wait(
+    std::vector<std::pair<std::shared_ptr<Entry>, std::uint32_t>>& ready,
+    int timeout_ms) {
+  ready.clear();
+#ifdef __linux__
+  if (using_epoll()) {
+    epoll_event events[256];
+    const int n = ::epoll_wait(epoll_fd_.get(), events, 256, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      throw NetError(std::string("epoll_wait: ") + std::strerror(errno));
+    }
+    for (int i = 0; i < n; ++i) {
+      const auto it = entries_.find(events[i].data.fd);
+      if (it == entries_.end()) continue;
+      ready.emplace_back(it->second, from_epoll(events[i].events));
+    }
+    return n;
+  }
+#endif
+  if (poll_dirty_) {
+    pollfds_.clear();
+    poll_entries_.clear();
+    pollfds_.reserve(entries_.size());
+    poll_entries_.reserve(entries_.size());
+    for (const auto& [fd, entry] : entries_) {
+      pollfds_.push_back({fd, to_poll(entry->interest), 0});
+      poll_entries_.push_back(entry);
+    }
+    poll_dirty_ = false;
+  }
+  const int n = ::poll(pollfds_.data(),
+                       static_cast<nfds_t>(pollfds_.size()), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    throw NetError(std::string("poll: ") + std::strerror(errno));
+  }
+  for (std::size_t i = 0; i < pollfds_.size(); ++i) {
+    if (pollfds_[i].revents == 0) continue;
+    ready.emplace_back(poll_entries_[i], from_poll(pollfds_[i].revents));
+  }
+  return n;
+}
+
+void EventLoop::poll_once(int timeout_ms) {
+  std::vector<std::pair<std::shared_ptr<Entry>, std::uint32_t>> ready;
+  wait(ready, timeout_ms);
+  for (auto& [entry, events] : ready) {
+    if (entry->dead || events == 0) continue;
+    entry->callback(events);
+  }
+  run_posted();
+  maybe_fire_timer();
+}
+
+void EventLoop::run() {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stop_requested_ = false;
+  }
+  std::vector<std::pair<std::shared_ptr<Entry>, std::uint32_t>> ready;
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(post_mutex_);
+      if (stop_requested_) break;
+    }
+    wait(ready, timeout_ms_until_tick());
+    for (auto& [entry, events] : ready) {
+      if (entry->dead || events == 0) continue;
+      entry->callback(events);
+    }
+    ready.clear();  // drop entry refs before callbacks' effects pile up
+    run_posted();
+    maybe_fire_timer();
+  }
+  run_posted();  // closures posted between the stop flag and the wake
+}
+
+}  // namespace pufatt::net

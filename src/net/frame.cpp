@@ -1,0 +1,267 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace pufatt::net {
+
+namespace {
+
+using core::SerializationError;
+
+// Device ids are operator-assigned short names; a kilobyte is already
+// absurd.  Checked against the *declared* length, before it sizes a copy.
+constexpr std::size_t kMaxDeviceIdBytes = 1024;
+
+void append_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void append_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  append_u32(out, static_cast<std::uint32_t>(v));
+  append_u32(out, static_cast<std::uint32_t>(v >> 32));
+}
+
+void append_f64(std::vector<std::uint8_t>& out, double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, 8);
+  append_u64(out, bits);
+}
+
+/// Bounds-checked little-endian reader over a payload.
+class Cursor {
+ public:
+  explicit Cursor(const std::vector<std::uint8_t>& data) : data_(data) {}
+
+  std::uint32_t u32() {
+    require(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+  }
+
+  double f64() {
+    const std::uint64_t bits = u64();
+    double v;
+    std::memcpy(&v, &bits, 8);
+    return v;
+  }
+
+  std::string bytes(std::size_t n) {
+    require(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  void expect_end() const {
+    if (pos_ != data_.size()) {
+      throw SerializationError("message payload has trailing bytes");
+    }
+  }
+
+ private:
+  void require(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw SerializationError("message payload truncated");
+    }
+  }
+
+  const std::vector<std::uint8_t>& data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(MsgType type) {
+  switch (type) {
+    case MsgType::kJobRequest:
+      return "job_request";
+    case MsgType::kVerdictReply:
+      return "verdict_reply";
+    case MsgType::kBusyReply:
+      return "busy_reply";
+    case MsgType::kErrorReply:
+      return "error_reply";
+  }
+  return "unknown";
+}
+
+std::vector<std::uint8_t> encode_frame(
+    MsgType type, const std::vector<std::uint8_t>& payload) {
+  std::vector<std::uint8_t> out;
+  out.reserve(kFrameOverheadBytes + payload.size());
+  append_u32(out, kFrameMagic);
+  append_u32(out, static_cast<std::uint32_t>(type));
+  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  out.insert(out.end(), payload.begin(), payload.end());
+  append_u32(out, core::crc32(out.data(), out.size()));
+  return out;
+}
+
+std::vector<std::uint8_t> encode_job_request(const JobRequest& msg) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(4 + msg.device_id.size() + 24);
+  append_u32(payload, static_cast<std::uint32_t>(msg.device_id.size()));
+  payload.insert(payload.end(), msg.device_id.begin(), msg.device_id.end());
+  append_u64(payload, msg.channel_seed);
+  append_u64(payload, msg.rng_seed);
+  append_u64(payload, msg.tag);
+  return encode_frame(MsgType::kJobRequest, payload);
+}
+
+std::vector<std::uint8_t> encode_verdict_reply(const VerdictReply& msg) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(28);
+  append_u64(payload, msg.tag);
+  append_u32(payload, static_cast<std::uint32_t>(msg.outcome));
+  append_u32(payload, static_cast<std::uint32_t>(msg.status));
+  append_u32(payload, msg.attempts);
+  append_f64(payload, msg.total_us);
+  return encode_frame(MsgType::kVerdictReply, payload);
+}
+
+std::vector<std::uint8_t> encode_busy_reply(const BusyReply& msg) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(16);
+  append_u64(payload, msg.tag);
+  append_f64(payload, msg.retry_after_us);
+  return encode_frame(MsgType::kBusyReply, payload);
+}
+
+std::vector<std::uint8_t> encode_error_reply(const ErrorReply& msg) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(12);
+  append_u64(payload, msg.tag);
+  append_u32(payload, static_cast<std::uint32_t>(msg.code));
+  return encode_frame(MsgType::kErrorReply, payload);
+}
+
+JobRequest decode_job_request(const std::vector<std::uint8_t>& payload) {
+  Cursor cur(payload);
+  const std::uint32_t id_len = cur.u32();
+  if (id_len > kMaxDeviceIdBytes) {
+    throw SerializationError("device id exceeds wire limit");
+  }
+  JobRequest msg;
+  msg.device_id = cur.bytes(id_len);
+  msg.channel_seed = cur.u64();
+  msg.rng_seed = cur.u64();
+  msg.tag = cur.u64();
+  cur.expect_end();
+  return msg;
+}
+
+VerdictReply decode_verdict_reply(const std::vector<std::uint8_t>& payload) {
+  Cursor cur(payload);
+  VerdictReply msg;
+  msg.tag = cur.u64();
+  const std::uint32_t outcome = cur.u32();
+  if (outcome > static_cast<std::uint32_t>(service::JobOutcome::kUnknownDevice)) {
+    throw SerializationError("verdict outcome out of range");
+  }
+  msg.outcome = static_cast<service::JobOutcome>(outcome);
+  const std::uint32_t status = cur.u32();
+  if (status > static_cast<std::uint32_t>(core::SessionStatus::kRetriesExhausted)) {
+    throw SerializationError("session status out of range");
+  }
+  msg.status = static_cast<core::SessionStatus>(status);
+  msg.attempts = cur.u32();
+  msg.total_us = cur.f64();
+  cur.expect_end();
+  return msg;
+}
+
+BusyReply decode_busy_reply(const std::vector<std::uint8_t>& payload) {
+  Cursor cur(payload);
+  BusyReply msg;
+  msg.tag = cur.u64();
+  msg.retry_after_us = cur.f64();
+  cur.expect_end();
+  return msg;
+}
+
+ErrorReply decode_error_reply(const std::vector<std::uint8_t>& payload) {
+  Cursor cur(payload);
+  ErrorReply msg;
+  msg.tag = cur.u64();
+  const std::uint32_t code = cur.u32();
+  if (code < 1 ||
+      code > static_cast<std::uint32_t>(ErrorCode::kShuttingDown)) {
+    throw SerializationError("error code out of range");
+  }
+  msg.code = static_cast<ErrorCode>(code);
+  cur.expect_end();
+  return msg;
+}
+
+bool FrameDecoder::fail(const char* why) {
+  failed_ = true;
+  error_ = why;
+  return false;
+}
+
+bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size,
+                        std::vector<Frame>& out) {
+  if (failed_) return false;
+  buffer_.insert(buffer_.end(), data, data + size);
+
+  for (;;) {
+    const std::size_t avail = buffer_.size() - consumed_;
+    if (avail < kFrameHeaderBytes) break;
+
+    const std::uint8_t* head = buffer_.data() + consumed_;
+    auto word = [&](std::size_t off) {
+      std::uint32_t v = 0;
+      for (int i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(head[off + i]) << (8 * i);
+      }
+      return v;
+    };
+
+    if (word(0) != kFrameMagic) {
+      return fail("bad frame magic (stream desynchronized)");
+    }
+    const std::uint32_t len = word(8);
+    // The declared length is still untrusted here: bound it before it
+    // influences how much we are willing to buffer for this frame.
+    if (len > max_payload_) {
+      return fail("declared payload exceeds frame limit");
+    }
+    const std::size_t frame_bytes = kFrameOverheadBytes + len;
+    if (avail < frame_bytes) break;  // wait for the rest
+
+    const std::uint32_t stored_crc = word(kFrameHeaderBytes + len);
+    if (core::crc32(head, kFrameHeaderBytes + len) != stored_crc) {
+      return fail("frame CRC mismatch");
+    }
+
+    Frame frame;
+    frame.type = static_cast<MsgType>(word(4));
+    frame.payload.assign(head + kFrameHeaderBytes,
+                         head + kFrameHeaderBytes + len);
+    out.push_back(std::move(frame));
+    consumed_ += frame_bytes;
+  }
+
+  // Compact once the decoded prefix dominates the buffer, so a long-lived
+  // connection's buffer does not grow with total traffic.
+  if (consumed_ > 0 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  return true;
+}
+
+}  // namespace pufatt::net

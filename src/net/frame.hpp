@@ -1,0 +1,159 @@
+// Stream framing and message codecs for the attestation service protocol.
+//
+// A connection is a byte stream; the unit of meaning is a *frame*:
+//
+//   [u32 magic "PANT"][u32 type][u32 payload_len][payload][u32 crc32]
+//
+// little-endian throughout, CRC-32 (core::crc32) over everything before
+// the trailing word.  The layout deliberately mirrors PR 1's protocol
+// frames — magic first so desynchronized streams fail fast, explicit
+// length, trailing CRC — but adds the length *prefix* a stream decoder
+// needs to reassemble frames across arbitrary read boundaries.
+//
+// Security posture (shared with core/serialize): the declared payload
+// length is attacker-controlled bytes until proven otherwise, so
+// FrameDecoder checks it against core::kMaxWireFrameBytes (the same bound
+// the in-process deserializers enforce) *before* the length sizes any
+// buffering decision.  A frame that fails magic, bound or CRC poisons the
+// decoder permanently — after desync there is no way to find the next
+// frame boundary, so the connection must be dropped, never resynced by
+// guesswork.
+//
+// Message payloads (one codec per MsgType):
+//   kJobRequest   client → server: run one attestation job
+//   kVerdictReply server → client: terminal job outcome
+//   kBusyReply    server → client: pool backpressure + retry-after hint
+//   kErrorReply   server → client: protocol-level failure, connection drops
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "core/session.hpp"
+#include "service/metrics.hpp"
+
+namespace pufatt::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x50414E54;  // "PANT"
+inline constexpr std::size_t kFrameHeaderBytes = 12;      // magic, type, len
+inline constexpr std::size_t kFrameOverheadBytes = kFrameHeaderBytes + 4;
+
+enum class MsgType : std::uint32_t {
+  kJobRequest = 1,
+  kVerdictReply = 2,
+  kBusyReply = 3,
+  kErrorReply = 4,
+};
+
+const char* to_string(MsgType type);
+
+/// One attestation job as submitted over the wire.  The client names the
+/// device and the deterministic seeds; the server supplies the enrollment
+/// record, the simulated prover and the fault process.  `tag` is echoed
+/// verbatim in the reply — it is the client's correlation id and must be
+/// unique among that client's in-flight jobs.
+struct JobRequest {
+  std::string device_id;
+  std::uint64_t channel_seed = 0;
+  std::uint64_t rng_seed = 0;
+  std::uint64_t tag = 0;
+};
+
+/// Terminal verdict for one job (mirrors service::JobResult).
+struct VerdictReply {
+  std::uint64_t tag = 0;
+  service::JobOutcome outcome = service::JobOutcome::kUnknownDevice;
+  core::SessionStatus status = core::SessionStatus::kTimeout;
+  std::uint32_t attempts = 0;
+  double total_us = 0.0;  ///< simulated session wall time
+};
+
+/// Pool backpressure: come back in `retry_after_us` host microseconds.
+struct BusyReply {
+  std::uint64_t tag = 0;
+  double retry_after_us = 0.0;
+};
+
+enum class ErrorCode : std::uint32_t {
+  kUnknownMessageType = 1,  ///< valid frame, type the server does not serve
+  kMalformedPayload = 2,    ///< valid frame, payload failed its codec
+  kShuttingDown = 3,        ///< server is draining; job was not run
+};
+
+struct ErrorReply {
+  std::uint64_t tag = 0;
+  ErrorCode code = ErrorCode::kMalformedPayload;
+};
+
+// --- encoding ---------------------------------------------------------------
+
+/// Wraps a payload in the framing layer (header + CRC).
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       const std::vector<std::uint8_t>& payload);
+
+std::vector<std::uint8_t> encode_job_request(const JobRequest& msg);
+std::vector<std::uint8_t> encode_verdict_reply(const VerdictReply& msg);
+std::vector<std::uint8_t> encode_busy_reply(const BusyReply& msg);
+std::vector<std::uint8_t> encode_error_reply(const ErrorReply& msg);
+
+// --- payload decoding -------------------------------------------------------
+// All throw core::SerializationError on malformed payloads (wrong size,
+// oversized embedded lengths, trailing bytes).
+
+JobRequest decode_job_request(const std::vector<std::uint8_t>& payload);
+VerdictReply decode_verdict_reply(const std::vector<std::uint8_t>& payload);
+BusyReply decode_busy_reply(const std::vector<std::uint8_t>& payload);
+ErrorReply decode_error_reply(const std::vector<std::uint8_t>& payload);
+
+// --- stream decoding --------------------------------------------------------
+
+/// Incremental frame reassembler.  feed() consumes any byte-chunking the
+/// transport produced — partial headers, frames split across dozens of
+/// reads, many frames coalesced into one read — and appends every
+/// completed frame to `out`.
+///
+/// The decoder is single-use per connection: the first protocol violation
+/// (bad magic, declared payload beyond `max_payload`, CRC mismatch) makes
+/// feed() return false and sticks; `error()` says what happened.  Callers
+/// must drop the connection — a byte stream that has lost framing cannot
+/// be trusted again.
+class FrameDecoder {
+ public:
+  struct Frame {
+    MsgType type = MsgType::kErrorReply;
+    std::vector<std::uint8_t> payload;
+  };
+
+  /// `max_payload` defaults to the protocol-wide frame bound shared with
+  /// core/serialize's deserializers.
+  explicit FrameDecoder(std::size_t max_payload = core::kMaxWireFrameBytes)
+      : max_payload_(max_payload) {}
+
+  /// Returns false when the stream is (now or previously) poisoned; `out`
+  /// still receives any frames completed before the violation.
+  bool feed(const std::uint8_t* data, std::size_t size,
+            std::vector<Frame>& out);
+  bool feed(const std::vector<std::uint8_t>& data, std::vector<Frame>& out) {
+    return feed(data.data(), data.size(), out);
+  }
+
+  bool failed() const { return failed_; }
+  const std::string& error() const { return error_; }
+
+  /// Bytes buffered awaiting a complete frame (bounded by
+  /// kFrameOverheadBytes + max_payload once a header is validated).
+  std::size_t buffered() const { return buffer_.size() - consumed_; }
+
+ private:
+  bool fail(const char* why);
+
+  std::size_t max_payload_;
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;  ///< decoded prefix not yet compacted away
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace pufatt::net

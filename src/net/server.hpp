@@ -1,0 +1,179 @@
+// Socket front end for the attestation service.
+//
+// One event-loop thread owns every connection; a VerifierPool owns the
+// verify work.  The seam between them is exactly the pool's submit
+// contract: decoded JobRequests are submitted without blocking, and the
+// two non-enqueue outcomes become wire replies — kRejectedBusy turns into
+// a BusyReply carrying the pool's retry-after hint (the fleet-level
+// backpressure signal), kShuttingDown into an ErrorReply.  Verdicts travel
+// back from worker threads via EventLoop::post, so connection state is
+// only ever touched on the loop thread.
+//
+// Connection lifecycle and shedding rules (DESIGN.md §14):
+//   * accept → read/decode frames → submit; replies queue per connection
+//     and flush as the socket drains.
+//   * Any framing violation (bad magic, oversized declared length, CRC
+//     mismatch) closes the connection: a desynced stream cannot be
+//     re-trusted.  A structurally valid frame with an unservable payload
+//     gets an ErrorReply, then the connection closes too.
+//   * A connection idle (no bytes received) past `idle_timeout_ms` is
+//     evicted — slow-drip clients cannot pin fds open.
+//   * A connection whose write queue exceeds `max_write_queue_bytes`
+//     (a client that sends jobs but never reads verdicts) is shed.
+//   * Jobs whose connection died before the verdict completed are counted
+//     (`replies_dropped`) and the verdict is discarded: the pool finishes
+//     what it started, the socket layer just loses the delivery.
+//
+// Observability: `net.accept` (per accepted connection), `net.read` (per
+// readable event: bytes in, frames decoded), `net.reply` (per verdict
+// delivery: encode + enqueue + opportunistic flush) spans under
+// `config.tracer`, plus NetCounters mirroring the service-metrics idiom.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "core/faulty_channel.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "obs/trace.hpp"
+#include "service/verifier_pool.hpp"
+
+namespace pufatt::net {
+
+/// Builds the responder for a wire job (the simulated prover).  Runs on
+/// the loop thread; the returned function runs on pool worker threads.
+/// An empty responder means "unknown device": the server short-circuits a
+/// kUnknownDevice verdict without consuming pool capacity.
+using ResponderFactory =
+    std::function<core::Responder(const JobRequest& request)>;
+
+struct ServerConfig {
+  Endpoint endpoint;                    ///< tcp:HOST:PORT (0 = ephemeral) or unix:PATH
+  service::PoolConfig pool;             ///< workers, queue bound, session/channel
+  core::FaultParams job_faults;         ///< simulated link faults per job
+  double idle_timeout_ms = 30'000.0;    ///< evict silent connections
+  std::size_t max_write_queue_bytes = 1u << 20;  ///< per-connection cap
+  /// Accept-queue depth handed to listen(2); the kernel clamps it to
+  /// net.core.somaxconn.  A fleet-scale connect storm overflows the
+  /// historical 128 default long before the loop is actually saturated,
+  /// and every overflowed SYN costs its client a ~1 s kernel retransmit.
+  int listen_backlog = 4096;
+  std::size_t read_chunk_bytes = 64 * 1024;
+  EventLoop::Backend backend = EventLoop::Backend::kAuto;
+  obs::Tracer* tracer = nullptr;        ///< must outlive the server; null = off
+};
+
+/// Monotonic event counters plus the live-connection gauge.  snapshot() is
+/// loop-thread-consistent: take it via run-loop quiescence (stop) or
+/// accept small skew, exactly like service metrics.
+struct NetCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t closed = 0;           ///< all closes, whatever the reason
+  std::uint64_t idle_evicted = 0;
+  std::uint64_t decode_errors = 0;    ///< framing violations (connection died)
+  std::uint64_t payload_errors = 0;   ///< intact frame, unservable payload
+  std::uint64_t frames_in = 0;
+  std::uint64_t requests = 0;         ///< well-formed JobRequests dispatched
+  std::uint64_t verdicts_sent = 0;
+  std::uint64_t busy_replies = 0;     ///< pool backpressure relayed to the wire
+  std::uint64_t error_replies = 0;
+  std::uint64_t replies_dropped = 0;  ///< verdict outlived its connection
+  std::uint64_t writeq_shed = 0;      ///< connections killed by the write cap
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t open_connections = 0;  ///< gauge
+};
+
+class AttestationServer {
+ public:
+  /// Binds and listens immediately (so an ephemeral port is known before
+  /// run()), but accepts nothing until run().  `cache` must outlive the
+  /// server; `factory` is called on the loop thread.
+  AttestationServer(service::EmulatorCache& cache, ResponderFactory factory,
+                    const ServerConfig& config);
+  ~AttestationServer();
+
+  AttestationServer(const AttestationServer&) = delete;
+  AttestationServer& operator=(const AttestationServer&) = delete;
+
+  /// Serves until stop(); returns after every connection is closed.  The
+  /// pool keeps draining in-flight jobs until destruction.
+  void run();
+
+  /// Thread-safe, idempotent.
+  void stop();
+
+  /// Where clients should connect (ephemeral TCP port resolved).
+  const Endpoint& bound_endpoint() const { return bound_; }
+
+  NetCounters counters() const;
+  const service::VerifierPool& pool() const { return *pool_; }
+  service::VerifierPool& pool() { return *pool_; }
+
+ private:
+  struct Connection {
+    std::uint64_t id = 0;
+    Fd fd;
+    FrameDecoder decoder;
+    std::deque<std::vector<std::uint8_t>> write_queue;
+    std::size_t write_queue_bytes = 0;
+    std::size_t front_offset = 0;   ///< bytes of write_queue.front() already sent
+    bool want_write = false;        ///< kWritable interest currently registered
+    std::uint64_t last_activity_ns = 0;
+    bool closing = false;
+  };
+
+  void on_accept();
+  void on_io(const std::shared_ptr<Connection>& conn, std::uint32_t events);
+  void on_readable(const std::shared_ptr<Connection>& conn);
+  void dispatch_frame(const std::shared_ptr<Connection>& conn,
+                      const FrameDecoder::Frame& frame);
+  void handle_job_request(const std::shared_ptr<Connection>& conn,
+                          const JobRequest& request);
+  void on_job_complete(const service::JobResult& result);
+  void send_bytes(const std::shared_ptr<Connection>& conn,
+                  std::vector<std::uint8_t> bytes);
+  void flush_writes(const std::shared_ptr<Connection>& conn);
+  void close_connection(const std::shared_ptr<Connection>& conn);
+  void sweep_idle();
+
+  /// All counter mutations happen on the loop thread; the lock only
+  /// orders them against off-thread counters() readers.
+  template <typename Fn>
+  void count(Fn&& fn) {
+    std::lock_guard<std::mutex> lock(counters_mutex_);
+    fn(counters_);
+  }
+
+  service::EmulatorCache* cache_;
+  ResponderFactory factory_;
+  ServerConfig config_;
+  Endpoint bound_;
+
+  EventLoop loop_;
+  Fd listener_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> connections_;
+  /// In-flight pool jobs: server correlation id -> (connection, client tag).
+  struct Pending {
+    std::uint64_t conn_id = 0;
+    std::uint64_t client_tag = 0;
+  };
+  std::unordered_map<std::uint64_t, Pending> pending_;
+  std::uint64_t next_conn_id_ = 1;
+  std::uint64_t next_corr_id_ = 1;
+  NetCounters counters_;
+  mutable std::mutex counters_mutex_;  ///< counters_ reads off-thread
+
+  // Declared last on purpose: the pool must be destroyed (drained, workers
+  // joined) while loop_ is still alive, because completions post into it.
+  std::unique_ptr<service::VerifierPool> pool_;
+};
+
+}  // namespace pufatt::net

@@ -1,0 +1,186 @@
+#include "net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace pufatt::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+sockaddr_in make_tcp_addr(const Endpoint& ep) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(ep.port);
+  if (inet_pton(AF_INET, ep.host.c_str(), &addr.sin_addr) != 1) {
+    throw NetError("bad IPv4 address: " + ep.host);
+  }
+  return addr;
+}
+
+sockaddr_un make_unix_addr(const Endpoint& ep) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (ep.path.empty() || ep.path.size() >= sizeof(addr.sun_path)) {
+    throw NetError("unix socket path empty or too long: " + ep.path);
+  }
+  std::memcpy(addr.sun_path, ep.path.c_str(), ep.path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+void Fd::reset(int fd) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = fd;
+}
+
+Endpoint Endpoint::tcp(std::string host, std::uint16_t port) {
+  Endpoint ep;
+  ep.kind = Kind::kTcp;
+  ep.host = std::move(host);
+  ep.port = port;
+  return ep;
+}
+
+Endpoint Endpoint::unix_path(std::string path) {
+  Endpoint ep;
+  ep.kind = Kind::kUnix;
+  ep.path = std::move(path);
+  return ep;
+}
+
+Endpoint Endpoint::parse(const std::string& spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    if (path.empty()) throw NetError("unix endpoint needs a path: " + spec);
+    return unix_path(path);
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0) {
+      throw NetError("tcp endpoint must be tcp:HOST:PORT: " + spec);
+    }
+    const std::string host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    if (port_str.empty() ||
+        port_str.find_first_not_of("0123456789") != std::string::npos) {
+      throw NetError("bad tcp port: " + spec);
+    }
+    const unsigned long port = std::stoul(port_str);
+    if (port > 65535) throw NetError("tcp port out of range: " + spec);
+    return tcp(host, static_cast<std::uint16_t>(port));
+  }
+  throw NetError("endpoint must start with tcp: or unix:  — got: " + spec);
+}
+
+std::string Endpoint::describe() const {
+  if (kind == Kind::kUnix) return "unix:" + path;
+  return "tcp:" + host + ":" + std::to_string(port);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) throw_errno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(F_SETFL, O_NONBLOCK)");
+  }
+}
+
+Fd listen_on(const Endpoint& endpoint, int backlog) {
+  const int domain = endpoint.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  Fd fd(::socket(domain, SOCK_STREAM, 0));
+  if (!fd) throw_errno("socket");
+
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    if (::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one)) <
+        0) {
+      throw_errno("setsockopt(SO_REUSEADDR)");
+    }
+    const sockaddr_in addr = make_tcp_addr(endpoint);
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw_errno("bind " + endpoint.describe());
+    }
+  } else {
+    const sockaddr_un addr = make_unix_addr(endpoint);
+    ::unlink(endpoint.path.c_str());  // stale socket from a previous run
+    if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+               sizeof(addr)) < 0) {
+      throw_errno("bind " + endpoint.describe());
+    }
+  }
+  if (::listen(fd.get(), backlog) < 0) throw_errno("listen");
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+Endpoint local_endpoint(int listener_fd, const Endpoint& requested) {
+  if (requested.kind == Endpoint::Kind::kUnix) return requested;
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(listener_fd, reinterpret_cast<sockaddr*>(&addr), &len) <
+      0) {
+    throw_errno("getsockname");
+  }
+  Endpoint bound = requested;
+  bound.port = ntohs(addr.sin_port);
+  return bound;
+}
+
+Fd connect_to(const Endpoint& endpoint) {
+  const int domain = endpoint.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  Fd fd(::socket(domain, SOCK_STREAM, 0));
+  if (!fd) throw_errno("socket");
+
+  int rc;
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    const sockaddr_in addr = make_tcp_addr(endpoint);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  } else {
+    const sockaddr_un addr = make_unix_addr(endpoint);
+    rc = ::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                   sizeof(addr));
+  }
+  if (rc < 0) throw_errno("connect " + endpoint.describe());
+
+  if (endpoint.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    if (::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one)) <
+        0) {
+      throw_errno("setsockopt(TCP_NODELAY)");
+    }
+  }
+  set_nonblocking(fd.get());
+  return fd;
+}
+
+Fd accept_on(int listener_fd) {
+  const int fd = ::accept(listener_fd, nullptr, nullptr);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK || errno == ECONNABORTED ||
+        errno == EINTR) {
+      return Fd();
+    }
+    throw_errno("accept");
+  }
+  Fd accepted(fd);
+  set_nonblocking(fd);
+  return accepted;
+}
+
+}  // namespace pufatt::net

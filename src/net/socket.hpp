@@ -1,0 +1,107 @@
+// Thin POSIX socket layer: RAII descriptors and endpoint plumbing.
+//
+// Everything above this header (event loop, server, load generator) is
+// transport-agnostic: an Endpoint names either a TCP address or a Unix
+// domain socket path, and the two factory functions hand back non-blocking
+// descriptors ready for the event loop.  TCP is the deployment story —
+// verifier and fleet on different machines — while Unix sockets give tests
+// and single-host benches the same code path without touching the network
+// stack.
+//
+// Error policy: setup-time failures (bind, listen, connect, bad endpoint
+// spec) throw NetError with errno context; steady-state I/O is done by the
+// caller on the raw fd, where EAGAIN is flow control, not an error.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace pufatt::net {
+
+/// Raised on socket setup failures and malformed endpoint specs.
+class NetError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Move-only owner of a file descriptor; closes on destruction.
+class Fd {
+ public:
+  Fd() = default;
+  explicit Fd(int fd) : fd_(fd) {}
+  ~Fd() { reset(); }
+
+  Fd(Fd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Fd& operator=(Fd&& other) noexcept {
+    if (this != &other) {
+      reset();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+  Fd(const Fd&) = delete;
+  Fd& operator=(const Fd&) = delete;
+
+  int get() const { return fd_; }
+  explicit operator bool() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  /// Closes the current descriptor (if any) and adopts `fd`.
+  void reset(int fd = -1);
+
+ private:
+  int fd_ = -1;
+};
+
+/// A listen/connect target: "tcp:HOST:PORT" or "unix:PATH".
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+
+  Kind kind = Kind::kTcp;
+  std::string host = "127.0.0.1";  ///< TCP only
+  std::uint16_t port = 0;          ///< TCP only; 0 = ephemeral (serve)
+  std::string path;                ///< Unix only
+
+  static Endpoint tcp(std::string host, std::uint16_t port);
+  static Endpoint unix_path(std::string path);
+
+  /// Parses "tcp:HOST:PORT" / "unix:PATH"; throws NetError on anything
+  /// else (including trailing garbage in the port).
+  static Endpoint parse(const std::string& spec);
+
+  /// Round-trips through parse(): "tcp:127.0.0.1:4433", "unix:/tmp/s".
+  std::string describe() const;
+};
+
+/// Sets O_NONBLOCK; throws NetError.
+void set_nonblocking(int fd);
+
+/// Creates a non-blocking listener bound to `endpoint` (SO_REUSEADDR for
+/// TCP; a stale Unix socket path is unlinked first).  Throws NetError.
+Fd listen_on(const Endpoint& endpoint, int backlog = 128);
+
+/// The endpoint a listener actually bound to — resolves an ephemeral TCP
+/// port 0 to the kernel-assigned one.  Throws NetError.
+Endpoint local_endpoint(int listener_fd, const Endpoint& requested);
+
+/// Connects to `endpoint` (blocking handshake — loopback and Unix sockets
+/// complete immediately), then switches the socket non-blocking.  TCP
+/// connections get TCP_NODELAY: attestation frames are small and
+/// latency-bound.  Throws NetError.
+Fd connect_to(const Endpoint& endpoint);
+
+/// Accepts one pending connection as a non-blocking fd.  Returns an empty
+/// Fd when the accept queue is empty (EAGAIN); throws NetError on real
+/// accept failures (except the per-connection ones — ECONNABORTED and
+/// friends — which are reported as empty too and simply skipped).
+Fd accept_on(int listener_fd);
+
+}  // namespace pufatt::net

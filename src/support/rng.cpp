@@ -5,6 +5,34 @@
 
 namespace pufatt::support {
 
+namespace {
+
+// Ziggurat layout for the standard normal (Doornik, "An improved ziggurat
+// method to generate normal random samples", 2005): 128 layers of equal
+// area kZigV under exp(-x^2/2), tail cut at kZigR.  Built once at load
+// from the same libm the rest of the generator suite already relies on.
+constexpr int kZigLayers = 128;
+constexpr double kZigR = 3.442619855899;
+constexpr double kZigV = 9.91256303526217e-3;
+
+struct ZigTables {
+  double x[kZigLayers + 1];  ///< layer right edges; x[0] spans the base box
+  double ratio[kZigLayers];  ///< x[i+1]/x[i]: the rejection-free bound
+  ZigTables() {
+    x[0] = kZigV / std::exp(-0.5 * kZigR * kZigR);
+    x[1] = kZigR;
+    x[kZigLayers] = 0.0;
+    for (int i = 2; i < kZigLayers; ++i) {
+      x[i] = std::sqrt(-2.0 * std::log(kZigV / x[i - 1] +
+                                       std::exp(-0.5 * x[i - 1] * x[i - 1])));
+    }
+    for (int i = 0; i < kZigLayers; ++i) ratio[i] = x[i + 1] / x[i];
+  }
+};
+const ZigTables kZig;
+
+}  // namespace
+
 std::uint64_t SplitMix64::next() {
   state_ += 0x9e3779b97f4a7c15ULL;
   return mix(state_);
@@ -74,6 +102,45 @@ double Xoshiro256pp::gaussian() {
 
 double Xoshiro256pp::gaussian(double mean, double stddev) {
   return mean + stddev * gaussian();
+}
+
+double Xoshiro256pp::gaussian_fast() {
+  for (;;) {
+    // One next() yields both the layer index (low 7 bits) and the signed
+    // position u in [-1, 1) (top 53 bits) — disjoint bit ranges, so the
+    // two are independent.
+    const std::uint64_t bits = next();
+    const int layer = static_cast<int>(bits & (kZigLayers - 1));
+    const double u =
+        2.0 * (static_cast<double>(bits >> 11) * 0x1.0p-53) - 1.0;
+    if (std::abs(u) < kZig.ratio[layer]) return u * kZig.x[layer];  // ~97.5%
+    if (layer == 0) {
+      // Tail beyond kZigR (Marsaglia's exponential-majorant method).
+      double tx;
+      double ty;
+      do {
+        double u1 = 0.0;
+        do { u1 = uniform(); } while (u1 <= 0.0);
+        double u2 = 0.0;
+        do { u2 = uniform(); } while (u2 <= 0.0);
+        tx = std::log(u1) / kZigR;
+        ty = std::log(u2);
+      } while (-2.0 * ty < tx * tx);
+      return u < 0.0 ? tx - kZigR : kZigR - tx;
+    }
+    // Wedge between layers: accept against the true density gap.
+    const double val = u * kZig.x[layer];
+    const double f0 =
+        std::exp(-0.5 * (kZig.x[layer] * kZig.x[layer] - val * val));
+    const double f1 =
+        std::exp(-0.5 * (kZig.x[layer + 1] * kZig.x[layer + 1] - val * val));
+    if (f1 + uniform() * (f0 - f1) < 1.0) return val;
+  }
+}
+
+void Xoshiro256pp::gaussian_fill(double* out, std::size_t n, double mean,
+                                 double stddev) {
+  for (std::size_t i = 0; i < n; ++i) out[i] = mean + stddev * gaussian_fast();
 }
 
 bool Xoshiro256pp::bernoulli(double p) { return uniform() < p; }

@@ -142,6 +142,29 @@ void ChipInstance::sample_delays(const timingsim::DelaySet& nominal,
   }
 }
 
+void ChipInstance::sample_delays_batch(const timingsim::DelaySet& nominal,
+                                       const NoiseParams& noise,
+                                       support::Xoshiro256pp* noise_rngs,
+                                       std::size_t count,
+                                       timingsim::BatchDelays& out) const {
+  const std::size_t n = nominal.rise_ps.size();
+  out.batch = count;
+  out.rise_ps.resize(n * count);
+  out.fall_ps.resize(n * count);
+  for (std::size_t g = 0; g < n; ++g) {
+    const double rise = nominal.rise_ps[g];
+    const double fall = nominal.fall_ps[g];
+    double* rise_row = out.rise_ps.data() + g * count;
+    double* fall_row = out.fall_ps.data() + g * count;
+    for (std::size_t x = 0; x < count; ++x) {
+      const double jitter =
+          1.0 + noise.delay_jitter_ratio * noise_rngs[x].gaussian_fast();
+      rise_row[x] = rise <= 0.0 ? 0.0 : rise * jitter;
+      fall_row[x] = fall <= 0.0 ? 0.0 : fall * jitter;
+    }
+  }
+}
+
 DelayTable ChipInstance::export_delay_table() const {
   return DelayTable{tech_,        intrinsic_ps_, wire_ps_,    vth_,
                     vth_tempco_,  rise_factor_,  fall_factor_};

@@ -75,6 +75,22 @@ class ChipInstance {
                      const NoiseParams& noise, support::Xoshiro256pp& rng,
                      timingsim::DelaySet& out) const;
 
+  /// `count` independent noisy realizations at once, written gate-major
+  /// into the SoA layout the batch engine consumes (out.rise_ps[g*count+x]
+  /// is lane x's gate g) — contiguous lane writes, no per-lane transpose.
+  /// Lane x's jitter comes from noise_rngs[x]: exactly one gaussian_fast()
+  /// deviate per gate in gate order, zero-delay gates included, so each
+  /// lane's stream position is a function of the gate index alone and a
+  /// caller may keep using noise_rngs[x] afterwards (AluPuf::eval_batch
+  /// continues it for the arbiter draws).  Same semantics as
+  /// sample_delays per lane — shared rise/fall jitter, zeros preserved —
+  /// but via the fast sampler, so not stream-compatible with it.
+  void sample_delays_batch(const timingsim::DelaySet& nominal,
+                           const NoiseParams& noise,
+                           support::Xoshiro256pp* noise_rngs,
+                           std::size_t count,
+                           timingsim::BatchDelays& out) const;
+
   /// Exports the emulation model H (manufacturer-side enrollment).
   DelayTable export_delay_table() const;
 

@@ -215,6 +215,24 @@ TEST_F(ProtocolEdge, OversizedAndTrailingResponseFramesRejected) {
   EXPECT_THROW(deserialize_response(huge), SerializationError);
 }
 
+TEST_F(ProtocolEdge, FramesBeyondWireByteLimitRejected) {
+  // kMaxWireFrameBytes is sized so the largest *honest* frame — a response
+  // carrying exactly kMaxWireHelperWords helper words — still fits...
+  AttestationResponse biggest;
+  biggest.helper_words.assign(kMaxWireHelperWords, 0xABCD);
+  const auto frame = serialize_response(biggest);
+  ASSERT_EQ(frame.size(), kMaxWireFrameBytes);
+  EXPECT_EQ(deserialize_response(frame).helper_words.size(),
+            kMaxWireHelperWords);
+
+  // ...while any buffer past the bound is rejected up front, whatever its
+  // contents.  Stream decoders share this constant so a declared length can
+  // never size an allocation beyond it.
+  std::vector<std::uint8_t> oversized(kMaxWireFrameBytes + 1, 0);
+  EXPECT_THROW(deserialize_response(oversized), SerializationError);
+  EXPECT_THROW(deserialize_request(oversized), SerializationError);
+}
+
 TEST_F(ProtocolEdge, WrongHelperWordCountRejected) {
   // Helper transcripts carry 8 words per PUF call; a count of, say, 12
   // cannot come from an honest prover and is rejected at the frame layer.

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <set>
+#include <vector>
 
 #include "support/bitvec.hpp"
 #include "support/rng.hpp"
@@ -89,6 +90,42 @@ TEST(Xoshiro, GaussianScaled) {
   for (int i = 0; i < 100000; ++i) stats.add(rng.gaussian(10.0, 2.0));
   EXPECT_NEAR(stats.mean(), 10.0, 0.05);
   EXPECT_NEAR(stats.stddev(), 2.0, 0.05);
+}
+
+TEST(Xoshiro, GaussianFastMomentsAndTail) {
+  Xoshiro256pp rng(5);
+  OnlineStats stats;
+  int tail = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian_fast();
+    stats.add(g);
+    if (std::abs(g) > 3.0) ++tail;
+  }
+  EXPECT_NEAR(stats.mean(), 0.0, 0.02);
+  EXPECT_NEAR(stats.stddev(), 1.0, 0.02);
+  // P(|N(0,1)| > 3) = 0.27%; the ziggurat's wedge/tail paths must feed it.
+  const double tail_rate = static_cast<double>(tail) / n;
+  EXPECT_GT(tail_rate, 0.0013);
+  EXPECT_LT(tail_rate, 0.0055);
+}
+
+TEST(Xoshiro, GaussianFastDeterministic) {
+  Xoshiro256pp a(123);
+  Xoshiro256pp b(123);
+  for (int i = 0; i < 4096; ++i) {
+    ASSERT_EQ(a.gaussian_fast(), b.gaussian_fast());
+  }
+}
+
+TEST(Xoshiro, GaussianFillMatchesRepeatedDraws) {
+  Xoshiro256pp a(9);
+  Xoshiro256pp b(9);
+  std::vector<double> buf(257);
+  a.gaussian_fill(buf.data(), buf.size(), 1.5, 2.0);
+  for (const double v : buf) {
+    ASSERT_EQ(v, 1.5 + 2.0 * b.gaussian_fast());
+  }
 }
 
 TEST(Xoshiro, BernoulliProbability) {

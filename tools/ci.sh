@@ -8,8 +8,12 @@
 #
 # Every tree runs the full ctest suite *including* the bench-labeled
 # smokes (service_throughput_smoke, sim_engine_smoke, micro_perf_smoke,
-# obs_overhead_smoke), so the stable-schema BENCH_*.json writers and the
-# tracing overhead gates are exercised under each sanitizer too.
+# obs_overhead_smoke, net_throughput_smoke), so the stable-schema
+# BENCH_*.json writers and the tracing overhead gates are exercised under
+# each sanitizer too.  The TSan tree in particular covers the socket
+# front end's cross-thread seams: event-loop wakeups, pool-completion
+# posts back onto the loop thread, and server/loadgen counter handoff
+# (tests/net_test.cpp runs in all four trees).
 #
 # Each tree then reruns the torture-labeled seeded kill-and-recover loop
 # (tests/store_torture.cpp) with a second seed: random fault points over

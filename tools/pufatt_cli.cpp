@@ -7,6 +7,17 @@
 //   pufatt-cli serve-demo [workers] [sessions] [devices]
 //              [--trace-out=<f>] [--trace-jsonl=<f>] [--metrics-out=<f>]
 //              [--trace-sample=<r>]                 run the concurrent service
+//   pufatt-cli serve <endpoint> [--workers=N] [--queue=N] [--devices=N]
+//              [--fleet-seed=S] [--idle-timeout-ms=X] [--max-jobs=N]
+//                                                  serve attestation over a
+//                                                  socket (tcp:HOST:PORT,
+//                                                  port 0 = ephemeral, or
+//                                                  unix:PATH) until SIGINT
+//                                                  or N verdicts
+//   pufatt-cli loadgen <endpoint> [--connections=N] [--jobs=N] [--devices=N]
+//              [--max-busy-retries=N] [--max-retry-wait-ms=X]
+//                                                  drive a simulated fleet
+//                                                  against a running server
 //   pufatt-cli trace-report <trace-file>           aggregate an exported trace
 //   pufatt-cli gen-crps <chip-seed> <count> <threads> <out.csv>
 //                                                  dump protocol CRPs (batched)
@@ -27,8 +38,10 @@
 // the real deployment one: enrollment produces a record file, the verifier
 // later loads it and talks to the device.
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -45,6 +58,9 @@
 #include "core/serialize.hpp"
 #include "cpu/disassembler.hpp"
 #include "ecc/reed_muller.hpp"
+#include "net/fleet.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "obs/trace_read.hpp"
@@ -82,6 +98,14 @@ int usage() {
                "snapshot\n"
                "                  [--trace-sample=<rate>]      root-span "
                "sampling in [0,1]\n"
+               "       pufatt-cli serve <endpoint> [--workers=<n>] "
+               "[--queue=<n>]\n"
+               "                  [--devices=<n>] [--fleet-seed=<s>]\n"
+               "                  [--idle-timeout-ms=<x>] [--max-jobs=<n>]\n"
+               "       pufatt-cli loadgen <endpoint> [--connections=<n>] "
+               "[--jobs=<n>]\n"
+               "                  [--devices=<n>] [--max-busy-retries=<n>]\n"
+               "                  [--max-retry-wait-ms=<x>]\n"
                "       pufatt-cli trace-report <trace-file>\n"
                "       pufatt-cli gen-crps <chip-seed> <count> <threads> "
                "<out.csv>\n"
@@ -419,6 +443,136 @@ double percentile(const std::vector<double>& sorted, double q) {
   const auto idx = static_cast<std::size_t>(
       q * static_cast<double>(sorted.size() - 1) + 0.5);
   return sorted[std::min(idx, sorted.size() - 1)];
+}
+
+// serve: the real network front end — SimFleet behind an AttestationServer
+// on a TCP or Unix endpoint, until SIGINT/SIGTERM (or --max-jobs verdicts,
+// for scripted runs).  The counterpart of `loadgen` below; together they
+// are the two-terminal quickstart in the README.
+
+std::atomic<bool> g_serve_interrupted{false};
+
+void serve_signal_handler(int) { g_serve_interrupted.store(true); }
+
+int cmd_serve(const net::Endpoint& endpoint, std::uint64_t workers,
+              std::uint64_t queue, std::uint64_t devices,
+              std::uint64_t fleet_seed, double idle_timeout_ms,
+              std::uint64_t max_jobs) {
+  if (workers == 0 || devices == 0) {
+    std::fprintf(stderr, "error: workers and devices must be > 0\n");
+    return usage();
+  }
+
+  std::printf("enrolling %llu simulated devices...\n",
+              static_cast<unsigned long long>(devices));
+  std::fflush(stdout);
+  net::SimFleet fleet(devices, fleet_seed);
+  service::EmulatorCache cache(fleet.registry(), fleet.code(), fleet.size());
+
+  net::ServerConfig config;
+  config.endpoint = endpoint;
+  config.pool.workers = workers;
+  config.pool.queue_capacity = queue != 0 ? queue : 2 * workers;
+  config.idle_timeout_ms = idle_timeout_ms;
+  net::AttestationServer server(
+      cache,
+      [&fleet](const net::JobRequest& request) {
+        return fleet.responder_for(request.device_id, request.rng_seed);
+      },
+      config);
+
+  // Scripts (and humans) need the resolved ephemeral port before any
+  // client can connect, so this line prints — flushed — before serving.
+  std::printf("listening on %s (%llu workers, queue %zu)\n",
+              server.bound_endpoint().describe().c_str(),
+              static_cast<unsigned long long>(workers),
+              config.pool.queue_capacity);
+  std::fflush(stdout);
+
+  g_serve_interrupted.store(false);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+
+  std::thread runner([&server] { server.run(); });
+  for (;;) {
+    if (g_serve_interrupted.load()) break;
+    if (max_jobs != 0 && server.counters().verdicts_sent >= max_jobs) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.stop();
+  runner.join();
+
+  const auto c = server.counters();
+  std::printf("served: %llu connections, %llu requests, %llu verdicts\n"
+              "shed:   %llu busy replies, %llu idle evictions, %llu write-cap"
+              ", %llu dropped verdicts\n"
+              "errors: %llu framing, %llu payload\n",
+              static_cast<unsigned long long>(c.accepted),
+              static_cast<unsigned long long>(c.requests),
+              static_cast<unsigned long long>(c.verdicts_sent),
+              static_cast<unsigned long long>(c.busy_replies),
+              static_cast<unsigned long long>(c.idle_evicted),
+              static_cast<unsigned long long>(c.writeq_shed),
+              static_cast<unsigned long long>(c.replies_dropped),
+              static_cast<unsigned long long>(c.decode_errors),
+              static_cast<unsigned long long>(c.payload_errors));
+  return 0;
+}
+
+int cmd_loadgen(const net::Endpoint& endpoint, std::uint64_t connections,
+                std::uint64_t jobs_per_connection, std::uint64_t devices,
+                std::uint64_t max_busy_retries, double max_retry_wait_ms) {
+  if (connections == 0 || jobs_per_connection == 0 || devices == 0) {
+    std::fprintf(stderr,
+                 "error: connections, jobs and devices must be > 0\n");
+    return usage();
+  }
+
+  net::LoadGenConfig config;
+  config.endpoint = endpoint;
+  config.connections = connections;
+  config.jobs_per_connection = jobs_per_connection;
+  config.devices = devices;
+  config.max_busy_retries = max_busy_retries;
+  config.max_retry_wait_ms = max_retry_wait_ms;
+
+  std::printf("driving %llu connections x %llu jobs against %s...\n",
+              static_cast<unsigned long long>(connections),
+              static_cast<unsigned long long>(jobs_per_connection),
+              endpoint.describe().c_str());
+  std::fflush(stdout);
+
+  net::LoadGenerator generator(config);
+  const auto report = generator.run();
+
+  std::vector<double> latencies;
+  latencies.reserve(report.by_job.size());
+  for (const auto& verdict : report.by_job) {
+    if (verdict.completed) latencies.push_back(verdict.latency_us);
+  }
+  std::sort(latencies.begin(), latencies.end());
+
+  std::printf(
+      "verdicts: %llu/%zu (%llu accepted, %llu rejected, %llu inconclusive, "
+      "%llu unknown)\n"
+      "backpressure: %llu busy replies obeyed, %llu jobs exhausted retries\n"
+      "failures: %llu connect, %llu disconnect, %llu decode, %llu error "
+      "replies\n"
+      "wall: %.2fs  goodput: %.1f verdicts/s  latency p50/p95: %.1f/%.1f ms\n",
+      static_cast<unsigned long long>(report.verdicts), report.jobs,
+      static_cast<unsigned long long>(report.accepted),
+      static_cast<unsigned long long>(report.rejected),
+      static_cast<unsigned long long>(report.inconclusive),
+      static_cast<unsigned long long>(report.unknown_device),
+      static_cast<unsigned long long>(report.busy_replies),
+      static_cast<unsigned long long>(report.retries_exhausted),
+      static_cast<unsigned long long>(report.connect_failures),
+      static_cast<unsigned long long>(report.disconnects),
+      static_cast<unsigned long long>(report.decode_errors),
+      static_cast<unsigned long long>(report.error_replies), report.wall_s,
+      report.goodput_per_s(), percentile(latencies, 0.5) / 1e3,
+      percentile(latencies, 0.95) / 1e3);
+  return report.verdicts == report.jobs ? 0 : 1;
 }
 
 // trace-report: aggregate an exported trace (either format) into
@@ -814,6 +968,89 @@ int main(int argc, char** argv) {
         return bad_argument("device count", positional[2]);
       }
       return cmd_serve_demo(workers, sessions, devices, obs_out);
+    }
+    if (cmd == "serve" || cmd == "loadgen") {
+      // Shared shape: one positional endpoint, then --key=value flags with
+      // the serve-demo strictness (unknown flag or malformed value = 64).
+      std::string endpoint_spec;
+      std::map<std::string, std::string> flags;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) != 0) {
+          if (!endpoint_spec.empty()) return usage();
+          endpoint_spec = arg;
+          continue;
+        }
+        const auto eq = arg.find('=');
+        if (eq == std::string::npos || eq + 1 == arg.size()) {
+          std::fprintf(stderr, "error: %s needs a value\n",
+                       arg.substr(0, eq).c_str());
+          return usage();
+        }
+        flags[arg.substr(2, eq - 2)] = arg.substr(eq + 1);
+      }
+      if (endpoint_spec.empty()) return usage();
+
+      net::Endpoint endpoint;
+      try {
+        endpoint = net::Endpoint::parse(endpoint_spec);
+      } catch (const net::NetError&) {
+        return bad_argument("endpoint (want tcp:HOST:PORT or unix:PATH)",
+                            endpoint_spec.c_str());
+      }
+
+      const auto take_u64 = [&](const char* name, std::uint64_t& value) {
+        const auto it = flags.find(name);
+        if (it == flags.end()) return true;
+        const bool ok = parse_u64(it->second.c_str(), value);
+        if (!ok) bad_argument(name, it->second.c_str());
+        flags.erase(it);
+        return ok;
+      };
+      const auto take_f64 = [&](const char* name, double& value) {
+        const auto it = flags.find(name);
+        if (it == flags.end()) return true;
+        const bool ok =
+            parse_f64(it->second.c_str(), value) && value >= 0.0;
+        if (!ok) bad_argument(name, it->second.c_str());
+        flags.erase(it);
+        return ok;
+      };
+      const auto reject_leftovers = [&] {
+        if (flags.empty()) return false;
+        std::fprintf(stderr, "error: unknown flag '--%s'\n",
+                     flags.begin()->first.c_str());
+        return true;
+      };
+
+      if (cmd == "serve") {
+        std::uint64_t workers = 4, queue = 0, devices = 8;
+        std::uint64_t fleet_seed = 0x5E47EDE40, max_jobs = 0;
+        double idle_timeout_ms = 30'000.0;
+        if (!take_u64("workers", workers) || !take_u64("queue", queue) ||
+            !take_u64("devices", devices) ||
+            !take_u64("fleet-seed", fleet_seed) ||
+            !take_u64("max-jobs", max_jobs) ||
+            !take_f64("idle-timeout-ms", idle_timeout_ms)) {
+          return 64;
+        }
+        if (reject_leftovers()) return usage();
+        return cmd_serve(endpoint, workers, queue, devices, fleet_seed,
+                         idle_timeout_ms, max_jobs);
+      }
+
+      std::uint64_t connections = 16, jobs = 4, devices = 8;
+      std::uint64_t max_busy_retries = 64;
+      double max_retry_wait_ms = 50.0;
+      if (!take_u64("connections", connections) || !take_u64("jobs", jobs) ||
+          !take_u64("devices", devices) ||
+          !take_u64("max-busy-retries", max_busy_retries) ||
+          !take_f64("max-retry-wait-ms", max_retry_wait_ms)) {
+        return 64;
+      }
+      if (reject_leftovers()) return usage();
+      return cmd_loadgen(endpoint, connections, jobs, devices,
+                         max_busy_retries, max_retry_wait_ms);
     }
     if (cmd == "trace-report") {
       return argc == 3 ? cmd_trace_report(argv[2]) : usage();
