@@ -40,9 +40,12 @@ int main() {
   std::vector<support::Histogram> hists;
   for (std::size_t i = 0; i < std::size(conditions); ++i) hists.emplace_back(33);
 
-  // Chunked over the batched engine: one reference batch at nominal, then
-  // one batch per corner on the same challenges.  Same distributions as
-  // per-challenge eval, different noise realization.
+  // Chunked over the bit-sliced engine: one reference batch at nominal,
+  // then one batch per corner on the same challenges.  Same distributions
+  // as per-challenge eval, different noise realization; same bytes as the
+  // SoA engine (see fig3 / engine_crosscheck — engine choice never moves
+  // responses).
+  constexpr auto kEngine = timingsim::BatchEngine::kBitslice;
   const auto nominal = variation::Environment::nominal();
   const std::size_t chunk = 250;
   std::vector<alupuf::Challenge> batch(chunk);
@@ -54,10 +57,11 @@ int main() {
       for (std::size_t c = 0; c < n; ++c) {
         batch[c] = support::BitVector::random(64, rng);
       }
-      const auto reference = puf.eval_batch(batch.data(), n, nominal, rng);
+      const auto reference = puf.eval_batch(batch.data(), n, nominal, rng,
+                                            nullptr, nullptr, kEngine);
       for (std::size_t k = 0; k < std::size(conditions); ++k) {
-        const auto corner =
-            puf.eval_batch(batch.data(), n, conditions[k].env, rng);
+        const auto corner = puf.eval_batch(batch.data(), n, conditions[k].env,
+                                           rng, nullptr, nullptr, kEngine);
         for (std::size_t c = 0; c < n; ++c) {
           hists[k].add(reference[c].hamming_distance(corner[c]));
         }

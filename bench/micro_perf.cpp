@@ -20,6 +20,7 @@
 #include "ecc/reed_muller.hpp"
 #include "mlattack/logreg.hpp"
 #include "swat/checksum.hpp"
+#include "timingsim/bitslice.hpp"
 
 using namespace pufatt;
 
@@ -209,6 +210,111 @@ void BM_TimingSimBatchRun(benchmark::State& state) {
                           static_cast<std::int64_t>(batch));
 }
 BENCHMARK(BM_TimingSimBatchRun);
+
+void BM_Transpose64x64(benchmark::State& state) {
+  // The bit-slice packing primitive: one 64x64 bit-matrix transpose turns
+  // 64 challenge words into 64 lane words (items = lanes per block).
+  support::Xoshiro256pp rng(16);
+  std::uint64_t m[64];
+  for (auto& w : m) w = rng.next();
+  for (auto _ : state) {
+    support::transpose_64x64(m);
+    benchmark::DoNotOptimize(m);
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_Transpose64x64);
+
+void BM_BitslicePackInputWords(benchmark::State& state) {
+  // Full transpose layer cost per evaluation: what the bit-sliced engine
+  // charges on top of its kernel to accept BitVector challenges.
+  const auto circuit = netlist::build_alu_puf_circuit(32);
+  support::Xoshiro256pp rng(17);
+  const std::size_t batch = 256;
+  std::vector<support::BitVector> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(
+        support::BitVector::random(circuit.net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  for (auto _ : state) {
+    timingsim::pack_input_words(challenges.data(), batch,
+                                circuit.net.num_inputs(), words);
+    benchmark::DoNotOptimize(words.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BitslicePackInputWords);
+
+void BM_BitsliceSharedRun(benchmark::State& state) {
+  // Shared-delay bit-sliced kernel (the fleet-emulation path): 64 lanes
+  // per word through the levelized schedule, time-rep shortcuts on.
+  const auto circuit = netlist::build_alu_puf_circuit(32);
+  const variation::ChipInstance chip(circuit.net, {}, {}, 1);
+  const auto delays = chip.nominal_delays(variation::Environment::nominal());
+  const timingsim::TimingSimulator sim(circuit.net);
+  support::Xoshiro256pp rng(18);
+  const std::size_t batch = 256;
+  std::vector<support::BitVector> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(
+        support::BitVector::random(circuit.net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  timingsim::pack_input_words(challenges.data(), batch,
+                              circuit.net.num_inputs(), words);
+  const timingsim::BitSliceEngine engine(sim.compiled(), delays);
+  timingsim::BitSliceState out;
+  for (auto _ : state) {
+    engine.run(words.data(), batch, out);
+    benchmark::DoNotOptimize(out.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BitsliceSharedRun);
+
+void BM_BitsliceLaneRun(benchmark::State& state) {
+  // Lane-delay bit-sliced kernel (the noisy device path): every computed
+  // gate carries per-lane times, so this isolates the word-parallel value
+  // pass + fused AVX time pass against one fixed delay realization.
+  const auto circuit = netlist::build_alu_puf_circuit(32);
+  const variation::ChipInstance chip(circuit.net, {}, {}, 1);
+  const auto delays = chip.nominal_delays(variation::Environment::nominal());
+  const timingsim::TimingSimulator sim(circuit.net);
+  support::Xoshiro256pp rng(19);
+  const std::size_t batch = 256;
+  std::vector<support::BitVector> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(
+        support::BitVector::random(circuit.net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  timingsim::pack_input_words(challenges.data(), batch,
+                              circuit.net.num_inputs(), words);
+  const std::size_t gates = circuit.net.num_gates();
+  timingsim::BatchDelays lane_delays;
+  lane_delays.batch = batch;
+  lane_delays.rise_ps.resize(gates * batch);
+  lane_delays.fall_ps.resize(gates * batch);
+  for (std::size_t g = 0; g < gates; ++g) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const double jitter = 1.0 + 0.01 * rng.uniform();
+      lane_delays.rise_ps[g * batch + b] = delays.rise_ps[g] * jitter;
+      lane_delays.fall_ps[g * batch + b] = delays.fall_ps[g] * jitter;
+    }
+  }
+  const timingsim::BitSliceEngine engine(sim.compiled());
+  timingsim::BitSliceState out;
+  for (auto _ : state) {
+    engine.run(words.data(), batch, lane_delays, out);
+    benchmark::DoNotOptimize(out.values.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(batch));
+}
+BENCHMARK(BM_BitsliceLaneRun);
 
 void BM_AluPufEvalBatch(benchmark::State& state) {
   const alupuf::AluPuf puf(puf32(), 1);

@@ -1,24 +1,34 @@
-// Timing-engine throughput bench: scalar vs batched SoA evaluation, plus
-// shard-parallel CRP generation.
+// Timing-engine throughput bench: scalar vs batched SoA vs bit-sliced
+// evaluation, plus shard-parallel CRP generation.
 //
-// Three sweeps on the 32-bit ALU PUF circuit:
+// Four sweeps on the 32-bit ALU PUF circuit:
 //   1. engine level — TimingSimulator::run vs run_batch (shared delays,
 //      the verifier-emulation workload), with an exact divergence count
-//      (values and settle times compared bitwise per net);
+//      (values and settle times compared bitwise per net), then the
+//      bit-sliced engine (64 lanes per uint64_t word) over the same
+//      challenges with the same exact divergence check;
 //   2. device level — AluPuf::eval vs eval_batch (per-lane noisy delays,
 //      the CRP-generation workload);
 //   3. CRP generation — collect_alu_raw_parallel at 1/2/4/8 threads with a
-//      dataset digest that must be invariant across thread counts.
+//      dataset digest that must be invariant across thread counts;
+//   4. CRP generation by engine — SoA vs bit-sliced kernels under
+//      collect_alu_raw_parallel, with a digest that must be invariant
+//      across engines (engine choice must never move the dataset bytes).
 //
 // Results go to stdout and BENCH_sim_engine.json (same schema family as
 // BENCH_service_throughput.json).  `--smoke` runs a tiny sweep as a ctest
 // smoke test labeled 'bench'; the full run backs the acceptance criteria
-// (>= 4x single-thread batched speedup at the engine level, >= 1.2x at
-// the device level where per-lane noise sampling rides along, zero
-// divergence, thread-invariant parallel datasets).
+// (>= 4x single-thread batched speedup at the engine level, >= 5x
+// bit-sliced speedup over the best SoA batch point, >= 1.2x at the device
+// level where per-lane noise sampling rides along, measurably faster CRP
+// generation on the bit-sliced engine, zero divergence, thread- and
+// engine-invariant parallel datasets).
 //
-// Scaling claims are hardware-aware: on an N-core host, T threads can only
-// be expected to scale to min(T, N); beyond that we require no regression.
+// Timing claims are measured interleaved best-of-N (contender and baseline
+// alternate inside one loop) so a noisy-neighbour blip on a shared host
+// hits both sides instead of deciding the claim.  Scaling claims are
+// hardware-aware: on an N-core host, T threads can only be expected to
+// scale to min(T, N); beyond that we require no regression.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +40,7 @@
 #include "mlattack/dataset.hpp"
 #include "netlist/builder.hpp"
 #include "support/table.hpp"
+#include "timingsim/bitslice.hpp"
 #include "timingsim/timing_sim.hpp"
 #include "variation/chip.hpp"
 
@@ -68,9 +79,22 @@ struct BatchPoint {
   std::size_t divergence = 0;
 };
 
+struct SlicePoint {
+  std::size_t batch = 0;
+  double evals_per_s = 0.0;
+  double speedup_vs_scalar = 0.0;
+  std::size_t divergence = 0;
+};
+
 struct DevicePoint {
   const char* path = "";
   double evals_per_s = 0.0;
+};
+
+struct EnginePoint {
+  const char* engine = "";
+  double crps_per_s = 0.0;
+  std::uint64_t digest = 0;
 };
 
 struct ThreadPoint {
@@ -84,11 +108,16 @@ struct ThreadPoint {
 void write_json(const char* path, bool smoke, std::size_t engine_evals,
                 std::size_t crp_count, double scalar_evals_per_s,
                 const std::vector<BatchPoint>& batch_sweep,
+                const std::vector<SlicePoint>& slice_sweep,
                 const std::vector<DevicePoint>& device_sweep,
                 const std::vector<ThreadPoint>& thread_sweep,
+                const std::vector<EnginePoint>& engine_sweep,
                 double batch_speedup_top, std::size_t total_divergence,
                 bool thread_invariant, bool scaling_ok, bool speedup_ok,
-                double device_speedup, bool device_speedup_ok) {
+                double device_speedup, bool device_speedup_ok,
+                double bitslice_speedup, bool bitslice_speedup_ok,
+                double gen_crps_bitslice_speedup, bool gen_crps_bitslice_ok,
+                bool engine_invariant) {
   std::FILE* f = std::fopen(path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path);
@@ -113,6 +142,16 @@ void write_json(const char* path, bool smoke, std::size_t engine_evals,
                  i + 1 < batch_sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"slice_sweep\": [\n");
+  for (std::size_t i = 0; i < slice_sweep.size(); ++i) {
+    const auto& p = slice_sweep[i];
+    std::fprintf(f,
+                 "    {\"batch\": %zu, \"evals_per_s\": %.1f, "
+                 "\"speedup_vs_scalar\": %.3f, \"divergence\": %zu}%s\n",
+                 p.batch, p.evals_per_s, p.speedup_vs_scalar, p.divergence,
+                 i + 1 < slice_sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f, "  \"device_sweep\": [\n");
   for (std::size_t i = 0; i < device_sweep.size(); ++i) {
     const auto& p = device_sweep[i];
@@ -133,17 +172,35 @@ void write_json(const char* path, bool smoke, std::size_t engine_evals,
                  i + 1 < thread_sweep.size() ? "," : "");
   }
   std::fprintf(f, "  ],\n");
+  std::fprintf(f, "  \"gen_crps_engines\": [\n");
+  for (std::size_t i = 0; i < engine_sweep.size(); ++i) {
+    const auto& p = engine_sweep[i];
+    std::fprintf(f,
+                 "    {\"engine\": \"%s\", \"crps_per_s\": %.1f, "
+                 "\"digest\": \"%016llx\"}%s\n",
+                 p.engine, p.crps_per_s,
+                 static_cast<unsigned long long>(p.digest),
+                 i + 1 < engine_sweep.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n");
   std::fprintf(f,
                "  \"claims\": {\"batch_speedup_top\": %.3f, "
                "\"batch_speedup_ok\": %s, \"divergence\": %zu, "
                "\"divergence_ok\": %s, \"thread_invariant\": %s, "
                "\"scaling_ok\": %s, \"device_batch_speedup\": %.3f, "
-               "\"device_batch_speedup_ok\": %s}\n",
+               "\"device_batch_speedup_ok\": %s, "
+               "\"bitslice_speedup\": %.3f, \"bitslice_speedup_ok\": %s, "
+               "\"gen_crps_bitslice_speedup\": %.3f, "
+               "\"gen_crps_bitslice_ok\": %s, \"engine_invariant\": %s}\n",
                batch_speedup_top, speedup_ok ? "true" : "false",
                total_divergence, total_divergence == 0 ? "true" : "false",
                thread_invariant ? "true" : "false",
                scaling_ok ? "true" : "false", device_speedup,
-               device_speedup_ok ? "true" : "false");
+               device_speedup_ok ? "true" : "false", bitslice_speedup,
+               bitslice_speedup_ok ? "true" : "false",
+               gen_crps_bitslice_speedup,
+               gen_crps_bitslice_ok ? "true" : "false",
+               engine_invariant ? "true" : "false");
   std::fprintf(f, "}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path);
@@ -226,6 +283,64 @@ int main(int argc, char** argv) {
     batch_sweep.push_back(p);
   }
 
+  // ---- 1c. engine level: bit-sliced (64 lanes per word) -----------------
+  // Interleaved best-of-N against an SoA B=256 reference so the headline
+  // bitslice_speedup compares two rates measured under the same load.
+  const timingsim::BitSliceEngine slice(sim.compiled(), delays);
+  timingsim::BitSliceState slice_state;
+  std::vector<std::uint64_t> input_words;
+  const std::size_t slice_batches[] = {64, 256, 512};
+  std::vector<SlicePoint> slice_sweep(std::size(slice_batches));
+  double soa_ref_best = 0.0;
+  const int engine_reps = smoke ? 1 : 5;
+  for (int rep = 0; rep < engine_reps; ++rep) {
+    // SoA reference pass (B=256, same chunking as the sweep above).
+    t0 = Clock::now();
+    for (std::size_t base = 0; base < engine_evals; base += 256) {
+      const std::size_t n = std::min<std::size_t>(256, engine_evals - base);
+      timingsim::pack_input_lanes(challenges.data() + base, n,
+                                  circuit.net.num_inputs(), lanes);
+      sim.run_batch(lanes.data(), n, delays, batch_states);
+      sink += batch_states.time_ps(circuit.race0[0], 0);
+    }
+    soa_ref_best = std::max(soa_ref_best, engine_evals / seconds_since(t0));
+    for (std::size_t i = 0; i < std::size(slice_batches); ++i) {
+      const std::size_t B = slice_batches[i];
+      t0 = Clock::now();
+      for (std::size_t base = 0; base < engine_evals; base += B) {
+        const std::size_t n = std::min<std::size_t>(B, engine_evals - base);
+        timingsim::pack_input_words(challenges.data() + base, n,
+                                    circuit.net.num_inputs(), input_words);
+        slice.run(input_words.data(), n, slice_state);
+        sink += slice.time_ps(slice_state, circuit.race0[0], 0);
+      }
+      slice_sweep[i].batch = B;
+      slice_sweep[i].evals_per_s = std::max(
+          slice_sweep[i].evals_per_s, engine_evals / seconds_since(t0));
+    }
+  }
+  // Divergence: recheck one B=256 pass bitwise against scalar, all gates.
+  for (std::size_t base = 0; base < engine_evals; base += 256) {
+    const std::size_t n = std::min<std::size_t>(256, engine_evals - base);
+    timingsim::pack_input_words(challenges.data() + base, n,
+                                circuit.net.num_inputs(), input_words);
+    slice.run(input_words.data(), n, slice_state);
+    for (std::size_t b = 0; b < n; ++b) {
+      sim.run(challenges[base + b], delays, states);
+      for (std::size_t g = 0; g < circuit.net.num_gates(); ++g) {
+        const auto id = static_cast<netlist::GateId>(g);
+        if (slice.value(slice_state, id, b) != states[g].value ||
+            slice.time_ps(slice_state, id, b) != states[g].time_ps) {
+          ++slice_sweep[1].divergence;
+        }
+      }
+    }
+  }
+  for (auto& p : slice_sweep) {
+    p.speedup_vs_scalar = p.evals_per_s / scalar_evals_per_s;
+    total_divergence += p.divergence;
+  }
+
   // ---- 2. device level: noisy eval vs eval_batch ------------------------
   const alupuf::AluPufConfig puf_config;  // width 32
   const alupuf::AluPuf puf(puf_config, 777);
@@ -284,12 +399,56 @@ int main(int argc, char** argv) {
     thread_sweep.push_back(p);
   }
 
+  // ---- 3b. CRP generation by engine: SoA vs bit-sliced -------------------
+  // Same shard-parallel collector, only the timing kernel differs; the
+  // dataset digest must not move (engine-independence is the contract the
+  // gen_crps_engine_parity ctest checks at the CLI layer).  Interleaved
+  // best-of-N, 2 worker threads (the fleet-enrollment shape).
+  std::vector<EnginePoint> engine_sweep = {{"batch", 0.0, 0},
+                                           {"bitslice", 0.0, 0}};
+  const int crp_reps = smoke ? 1 : 3;
+  for (int rep = 0; rep < crp_reps; ++rep) {
+    for (auto& point : engine_sweep) {
+      mlattack::ParallelCrpConfig config;
+      config.threads = 2;
+      config.block = crp_block;
+      config.seed = 99;
+      config.engine = std::strcmp(point.engine, "bitslice") == 0
+                          ? timingsim::BatchEngine::kBitslice
+                          : timingsim::BatchEngine::kBatch;
+      t0 = Clock::now();
+      const auto dataset =
+          mlattack::collect_alu_raw_parallel(puf, 0, crp_count, config);
+      point.crps_per_s =
+          std::max(point.crps_per_s, crp_count / seconds_since(t0));
+      point.digest = dataset_digest(dataset);
+    }
+  }
+  const bool engine_invariant =
+      engine_sweep[0].digest == engine_sweep[1].digest &&
+      engine_sweep[0].digest == thread_sweep[0].digest;
+
   // ---- claims ------------------------------------------------------------
   double batch_speedup_top = 0.0;
   for (const auto& p : batch_sweep) {
     batch_speedup_top = std::max(batch_speedup_top, p.speedup_vs_scalar);
   }
   const bool speedup_ok = batch_speedup_top >= 4.0;
+  // Bit-sliced engine: the tentpole claim.  Best bit-sliced point vs the
+  // interleaved SoA reference — 64 lanes per word must clear 5x the SoA
+  // batch engine on the shared-delay workload.
+  double slice_best = 0.0;
+  for (const auto& p : slice_sweep) {
+    slice_best = std::max(slice_best, p.evals_per_s);
+  }
+  const double bitslice_speedup = slice_best / soa_ref_best;
+  const bool bitslice_speedup_ok = bitslice_speedup >= 5.0;
+  // CRP generation rides the noisy lane-delay path where ziggurat noise
+  // sampling takes a fixed share of the wall clock, so the bar is lower:
+  // measurably faster, >= 1.15x (measured ~1.5x on the reference host).
+  const double gen_crps_bitslice_speedup =
+      engine_sweep[1].crps_per_s / engine_sweep[0].crps_per_s;
+  const bool gen_crps_bitslice_ok = gen_crps_bitslice_speedup >= 1.15;
   // Device level: the noisy batch path (ziggurat noise fill, gate-major
   // SoA writes) must actually beat per-challenge eval — the regression
   // this sweep exists to catch.
@@ -318,6 +477,12 @@ int main(int argc, char** argv) {
                    support::Table::num(p.speedup_vs_scalar, 2) + "x, " +
                        std::to_string(p.divergence) + " diverge"});
   }
+  for (const auto& p : slice_sweep) {
+    table.add_row({"engine", "bitslice B=" + std::to_string(p.batch),
+                   support::Table::num(p.evals_per_s, 0) + " eval/s",
+                   support::Table::num(p.speedup_vs_scalar, 2) + "x, " +
+                       std::to_string(p.divergence) + " diverge"});
+  }
   for (const auto& p : device_sweep) {
     table.add_row({"device", p.path,
                    support::Table::num(p.evals_per_s, 0) + " eval/s",
@@ -328,25 +493,41 @@ int main(int argc, char** argv) {
                    support::Table::num(p.crps_per_s, 0) + " crp/s",
                    support::Table::num(p.speedup_vs_1, 2) + "x"});
   }
+  for (const auto& p : engine_sweep) {
+    table.add_row({"crp-gen", std::string("engine ") + p.engine,
+                   support::Table::num(p.crps_per_s, 0) + " crp/s",
+                   "2 threads"});
+  }
   std::printf("%s\n", table.render().c_str());
   std::printf(
-      "claims: batch speedup %.2fx (need >= 4 in full mode) | device batch "
-      "%.2fx (need >= 1.2 in full mode) | divergence %zu | thread-invariant "
-      "%s | scaling ok (vs %zu cores) %s\n(sink %.1f)\n",
-      batch_speedup_top, device_speedup, total_divergence,
-      thread_invariant ? "yes" : "NO", cores, scaling_ok ? "yes" : "NO", sink);
+      "claims: batch speedup %.2fx (need >= 4 in full mode) | bitslice "
+      "%.2fx vs SoA (need >= 5 in full mode) | device batch %.2fx (need >= "
+      "1.2 in full mode) | crp-gen bitslice %.2fx (need >= 1.15 in full "
+      "mode) | divergence %zu | thread-invariant %s | engine-invariant %s | "
+      "scaling ok (vs %zu cores) %s\n(sink %.1f)\n",
+      batch_speedup_top, bitslice_speedup, device_speedup,
+      gen_crps_bitslice_speedup, total_divergence,
+      thread_invariant ? "yes" : "NO", engine_invariant ? "yes" : "NO",
+      cores, scaling_ok ? "yes" : "NO", sink);
 
   write_json("BENCH_sim_engine.json", smoke, engine_evals, crp_count,
-             scalar_evals_per_s, batch_sweep, device_sweep, thread_sweep,
-             batch_speedup_top, total_divergence, thread_invariant,
-             scaling_ok, speedup_ok, device_speedup, device_speedup_ok);
+             scalar_evals_per_s, batch_sweep, slice_sweep, device_sweep,
+             thread_sweep, engine_sweep, batch_speedup_top, total_divergence,
+             thread_invariant, scaling_ok, speedup_ok, device_speedup,
+             device_speedup_ok, bitslice_speedup, bitslice_speedup_ok,
+             gen_crps_bitslice_speedup, gen_crps_bitslice_ok,
+             engine_invariant);
 
-  // Smoke mode gates only correctness — divergence and thread invariance.
-  // Both timing claims (>= 4x engine speedup, shard scaling) gate only the
-  // full run: the smoke workloads are tiny and ctest runs them alongside
-  // other tests (often on one loaded core, worse under sanitizers), so any
-  // wall-clock assertion there is pure flake.
-  bool ok = total_divergence == 0 && thread_invariant;
-  if (!smoke) ok = ok && speedup_ok && scaling_ok && device_speedup_ok;
+  // Smoke mode gates only correctness — divergence plus thread and engine
+  // invariance.  All timing claims (>= 4x engine speedup, >= 5x bit-sliced,
+  // device batch, crp-gen engine, shard scaling) gate only the full run:
+  // the smoke workloads are tiny and ctest runs them alongside other tests
+  // (often on one loaded core, worse under sanitizers), so any wall-clock
+  // assertion there is pure flake.
+  bool ok = total_divergence == 0 && thread_invariant && engine_invariant;
+  if (!smoke) {
+    ok = ok && speedup_ok && scaling_ok && device_speedup_ok &&
+         bitslice_speedup_ok && gen_crps_bitslice_ok;
+  }
   return ok ? 0 : 1;
 }

@@ -37,6 +37,7 @@ AluPuf::AluPuf(const AluPufConfig& config, std::uint64_t chip_seed)
       chip_(circuit_.net, config.tech, config.quadtree, chip_seed),
       sim_(circuit_.net),
       batch_sim_(circuit_.net, raced_gates(circuit_)),
+      slice_sim_(batch_sim_.compiled()),
       arbiter_(config.arbiter) {}
 
 void AluPuf::check_challenge(const Challenge& challenge) const {
@@ -89,27 +90,36 @@ std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
                                             const variation::Environment& env,
                                             support::Xoshiro256pp& rng,
                                             const ClockConstraint* clock,
-                                            AluPufBatchScratch* scratch) const {
+                                            AluPufBatchScratch* scratch,
+                                            timingsim::BatchEngine engine) const {
+  // The batch_seed draw precedes engine resolution so responses are a
+  // function of (rng state, challenges) alone — switching engines cannot
+  // change them.
   const std::uint64_t batch_seed = rng.next();
   std::vector<RawResponse> responses;
   responses.reserve(count);
   if (count == 0) return responses;
   for (std::size_t x = 0; x < count; ++x) check_challenge(challenges[x]);
 
+  using timingsim::BatchEngine;
+  if (engine == BatchEngine::kAuto) {
+    engine = count >= timingsim::kBitsliceMinLanes ? BatchEngine::kBitslice
+                                                   : BatchEngine::kBatch;
+  }
+
   // Batch profiling under the global tracer: the delay-sampling loop and
   // the arbiter sweep are the two scalar phases flanking the vectorized
-  // run_batch (which records its own span), so the three children of
+  // timing kernel (which records its own span), so the three children of
   // puf.eval_batch account for the whole evaluation.
   obs::Span eval_span;
   if (obs::global_trace_enabled()) {
     eval_span = obs::global_tracer().span("puf.eval_batch");
     eval_span.note("lanes", static_cast<double>(count));
+    eval_span.note("engine", static_cast<double>(engine));
   }
 
   AluPufBatchScratch& ws = scratch != nullptr ? *scratch : batch_scratch_;
   const auto& nominal = nominal_for(env);
-
-  timingsim::pack_input_lanes(challenges, count, challenge_bits(), ws.inputs);
 
   // Per-lane noisy delay realization: each lane's derived generator feeds
   // the batched ziggurat fill (one deviate per gate, gate order) and stays
@@ -123,7 +133,46 @@ std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
                             count, ws.delays);
   sample_span.end();
 
-  batch_sim_.run_batch(ws.inputs.data(), count, ws.delays, ws.state);
+  // Run the selected timing kernel.  The scalar reference path keeps its
+  // race times in a side buffer; the SoA / bit-sliced states are read in
+  // place by the arbiter sweep below.
+  std::vector<double> scalar_t0, scalar_t1;
+  switch (engine) {
+    case BatchEngine::kBitslice:
+      timingsim::pack_input_words(challenges, count, challenge_bits(),
+                                  ws.input_words);
+      slice_sim_.run(ws.input_words.data(), count, ws.delays, ws.slice);
+      break;
+    case BatchEngine::kScalar: {
+      // One cone-restricted scalar run per lane, each with its own column
+      // of the sampled delay matrix.  All-local state: the reference path
+      // must stay safe under the same thread-sharing rules as the others.
+      scalar_t0.resize(count * config_.width);
+      scalar_t1.resize(count * config_.width);
+      const std::size_t gates = circuit_.net.num_gates();
+      timingsim::DelaySet lane_delays;
+      lane_delays.rise_ps.resize(gates);
+      lane_delays.fall_ps.resize(gates);
+      std::vector<timingsim::SignalState> states;
+      for (std::size_t x = 0; x < count; ++x) {
+        for (std::size_t g = 0; g < gates; ++g) {
+          lane_delays.rise_ps[g] = ws.delays.rise_ps[g * count + x];
+          lane_delays.fall_ps[g] = ws.delays.fall_ps[g * count + x];
+        }
+        batch_sim_.run(challenges[x], lane_delays, states);
+        for (std::size_t i = 0; i < config_.width; ++i) {
+          scalar_t0[x * config_.width + i] = states[circuit_.race0[i]].time_ps;
+          scalar_t1[x * config_.width + i] = states[circuit_.race1[i]].time_ps;
+        }
+      }
+      break;
+    }
+    default:
+      timingsim::pack_input_lanes(challenges, count, challenge_bits(),
+                                  ws.inputs);
+      batch_sim_.run_batch(ws.inputs.data(), count, ws.delays, ws.state);
+      break;
+  }
 
   obs::Span arbiter_span = eval_span.child("puf.arbiter");
   const double deadline =
@@ -132,8 +181,17 @@ std::vector<RawResponse> AluPuf::eval_batch(const Challenge* challenges,
     support::Xoshiro256pp& lrng = ws.lane_rngs[x];
     RawResponse response(config_.width);
     for (std::size_t i = 0; i < config_.width; ++i) {
-      const double t0 = ws.state.time_ps(circuit_.race0[i], x);
-      const double t1 = ws.state.time_ps(circuit_.race1[i], x);
+      double t0, t1;
+      if (engine == BatchEngine::kBitslice) {
+        t0 = slice_sim_.time_ps(ws.slice, circuit_.race0[i], x);
+        t1 = slice_sim_.time_ps(ws.slice, circuit_.race1[i], x);
+      } else if (engine == BatchEngine::kScalar) {
+        t0 = scalar_t0[x * config_.width + i];
+        t1 = scalar_t1[x * config_.width + i];
+      } else {
+        t0 = ws.state.time_ps(circuit_.race0[i], x);
+        t1 = ws.state.time_ps(circuit_.race1[i], x);
+      }
       if (clock != nullptr && std::min(t0, t1) > deadline) {
         response.set(i, lrng.bernoulli(0.5));
         continue;
@@ -211,6 +269,11 @@ const timingsim::DelaySet& AluPufEmulator::delays_for(
   if (!has_cache_ || cached_env_.vdd_scale != env.vdd_scale ||
       cached_env_.temperature_c != env.temperature_c) {
     cached_delays_ = variation::delays_from_table(model_, env);
+    // Rebuild the shared-delay bit-sliced engine eagerly with the cache:
+    // its time-rep classification is a one-off per operating point, and
+    // prewarm() must leave nothing left to build lazily (thread sharing).
+    cached_slice_ = std::make_unique<timingsim::BitSliceEngine>(
+        batch_sim_.compiled(), cached_delays_);
     cached_env_ = env;
     has_cache_ = true;
   }
@@ -225,26 +288,69 @@ void AluPufEmulator::run_challenge(const Challenge& challenge,
   sim_.run(challenge, delays_for(env), scratch_states_);
 }
 
-void AluPufEmulator::run_batch(const Challenge* challenges, std::size_t count,
-                               const variation::Environment& env) const {
+void AluPufEmulator::check_batch(const Challenge* challenges,
+                                 std::size_t count) const {
   for (std::size_t x = 0; x < count; ++x) {
     if (challenges[x].size() != 2 * width_) {
       throw std::invalid_argument(
           "AluPufEmulator: challenge must be 2*width bits");
     }
   }
+}
+
+timingsim::BatchEngine AluPufEmulator::run_batch(
+    const Challenge* challenges, std::size_t count,
+    const variation::Environment& env, timingsim::BatchEngine engine) const {
+  check_batch(challenges, count);
   const auto& delays = delays_for(env);
-  timingsim::pack_input_lanes(challenges, count, 2 * width_, batch_inputs_);
-  batch_sim_.run_batch(batch_inputs_.data(), count, delays, batch_state_);
+  using timingsim::BatchEngine;
+  if (engine == BatchEngine::kAuto) {
+    engine = count >= timingsim::kBitsliceMinLanes ? BatchEngine::kBitslice
+                                                   : BatchEngine::kBatch;
+  }
+  if (engine == BatchEngine::kBitslice) {
+    timingsim::pack_input_words(challenges, count, 2 * width_, slice_words_);
+    cached_slice_->run(slice_words_.data(), count, slice_state_);
+  } else {
+    timingsim::pack_input_lanes(challenges, count, 2 * width_, batch_inputs_);
+    batch_sim_.run_batch(batch_inputs_.data(), count, delays, batch_state_);
+  }
+  return engine;
 }
 
 std::vector<RawResponse> AluPufEmulator::eval_batch(
     const Challenge* challenges, std::size_t count,
-    const variation::Environment& env) const {
+    const variation::Environment& env, timingsim::BatchEngine engine) const {
   std::vector<RawResponse> responses;
-  responses.reserve(count);
   if (count == 0) return responses;
-  run_batch(challenges, count, env);
+  using timingsim::BatchEngine;
+  if (engine == BatchEngine::kScalar) {
+    check_batch(challenges, count);
+    responses.reserve(count);
+    for (std::size_t x = 0; x < count; ++x) {
+      responses.push_back(eval(challenges[x], env));
+    }
+    return responses;
+  }
+  engine = run_batch(challenges, count, env, engine);
+  if (engine == BatchEngine::kBitslice) {
+    // Word-parallel arbiter: decide every race 64 lanes at a time, then
+    // transpose each lane block back into per-device response vectors.
+    responses.assign(count, RawResponse(width_));
+    const std::size_t nwords = slice_state_.nwords;
+    std::vector<std::uint64_t> race(width_ * nwords);
+    for (std::size_t i = 0; i < width_; ++i) {
+      cached_slice_->race_words(slice_state_, circuit_.race0[i],
+                                circuit_.race1[i], race.data() + i * nwords);
+    }
+    for (std::size_t w = 0; w < nwords; ++w) {
+      const std::size_t lanes = std::min<std::size_t>(64, count - w * 64);
+      support::unpack_bit_columns(race.data() + w, width_, nwords,
+                                  responses.data() + w * 64, lanes);
+    }
+    return responses;
+  }
+  responses.reserve(count);
   for (std::size_t x = 0; x < count; ++x) {
     RawResponse response(width_);
     for (std::size_t i = 0; i < width_; ++i) {
@@ -260,10 +366,31 @@ std::vector<RawResponse> AluPufEmulator::eval_batch(
 void AluPufEmulator::eval_soft_batch(const Challenge* challenges,
                                      std::size_t count,
                                      std::vector<double>& out,
-                                     const variation::Environment& env) const {
+                                     const variation::Environment& env,
+                                     timingsim::BatchEngine engine) const {
   out.resize(count * width_);
   if (count == 0) return;
-  run_batch(challenges, count, env);
+  using timingsim::BatchEngine;
+  if (engine == BatchEngine::kScalar) {
+    check_batch(challenges, count);
+    for (std::size_t x = 0; x < count; ++x) {
+      const auto llr = eval_soft(challenges[x], env);
+      std::copy(llr.begin(), llr.end(), out.begin() + x * width_);
+    }
+    return;
+  }
+  engine = run_batch(challenges, count, env, engine);
+  if (engine == BatchEngine::kBitslice) {
+    for (std::size_t x = 0; x < count; ++x) {
+      for (std::size_t i = 0; i < width_; ++i) {
+        const double delta =
+            cached_slice_->time_ps(slice_state_, circuit_.race1[i], x) -
+            cached_slice_->time_ps(slice_state_, circuit_.race0[i], x);
+        out[x * width_ + i] = -delta;
+      }
+    }
+    return;
+  }
   for (std::size_t x = 0; x < count; ++x) {
     for (std::size_t i = 0; i < width_; ++i) {
       const double delta = batch_state_.time_ps(circuit_.race1[i], x) -

@@ -12,10 +12,13 @@
 #include <cstdint>
 #include <vector>
 
+#include <memory>
+
 #include "netlist/builder.hpp"
 #include "support/bitvec.hpp"
 #include "support/rng.hpp"
 #include "timingsim/arbiter.hpp"
+#include "timingsim/bitslice.hpp"
 #include "timingsim/timing_sim.hpp"
 #include "variation/chip.hpp"
 
@@ -58,6 +61,9 @@ struct AluPufBatchScratch {
   timingsim::BatchDelays delays;
   std::vector<std::uint8_t> inputs;
   std::vector<support::Xoshiro256pp> lane_rngs;
+  // Bit-sliced path (BatchEngine::kBitslice / large kAuto batches).
+  timingsim::BitSliceState slice;
+  std::vector<std::uint64_t> input_words;
 };
 
 class AluPuf {
@@ -95,12 +101,19 @@ class AluPuf {
   /// splitting a workload into batches differently yields a different
   /// (equally distributed) noise realization; deterministic drivers must
   /// keep batch boundaries fixed (see support/parallel.hpp).
-  std::vector<RawResponse> eval_batch(const Challenge* challenges,
-                                      std::size_t count,
-                                      const variation::Environment& env,
-                                      support::Xoshiro256pp& rng,
-                                      const ClockConstraint* clock = nullptr,
-                                      AluPufBatchScratch* scratch = nullptr) const;
+  ///
+  /// `engine` selects the timing kernel only.  The batch_seed draw, the
+  /// delay realization and the arbiter sweep are engine-independent, and
+  /// all engines compute the same settle-time doubles (the repo's
+  /// exactness contract), so responses are byte-identical across engines.
+  /// kAuto routes to the bit-sliced engine at >= kBitsliceMinLanes lanes
+  /// and to the SoA engine below.
+  std::vector<RawResponse> eval_batch(
+      const Challenge* challenges, std::size_t count,
+      const variation::Environment& env, support::Xoshiro256pp& rng,
+      const ClockConstraint* clock = nullptr,
+      AluPufBatchScratch* scratch = nullptr,
+      timingsim::BatchEngine engine = timingsim::BatchEngine::kAuto) const;
 
   /// Warms the per-env nominal-delay cache so that subsequent const
   /// evaluations at `env` are read-only (required before sharing *this
@@ -141,6 +154,7 @@ class AluPuf {
   variation::ChipInstance chip_;
   timingsim::TimingSimulator sim_;        ///< full netlist (analysis paths)
   timingsim::TimingSimulator batch_sim_;  ///< arbiter-cone restricted
+  timingsim::BitSliceEngine slice_sim_;   ///< lane-delay mode, same cone
   timingsim::Arbiter arbiter_;
   // Per-env delay cache: most experiments evaluate millions of challenges
   // at a fixed operating point.
@@ -180,18 +194,21 @@ class AluPufEmulator {
 
   /// Batched deterministic emulation: bit-identical to `count` `eval`
   /// calls (the emulator is noise-free, so there is no RNG contract to
-  /// negotiate — the batch engine computes the same doubles).
-  std::vector<RawResponse> eval_batch(const Challenge* challenges,
-                                      std::size_t count,
-                                      const variation::Environment& env =
-                                          variation::Environment::nominal()) const;
+  /// negotiate — every engine computes the same doubles).  The emulator's
+  /// delays are shared across lanes, so kBitslice here uses the
+  /// shared-delay BitSliceEngine with its time-representation shortcuts
+  /// (the fastest fleet-emulation path).
+  std::vector<RawResponse> eval_batch(
+      const Challenge* challenges, std::size_t count,
+      const variation::Environment& env = variation::Environment::nominal(),
+      timingsim::BatchEngine engine = timingsim::BatchEngine::kAuto) const;
 
   /// Batched soft responses: `out` is resized to count*width, challenge x's
   /// LLRs at `out[x*width .. (x+1)*width)`.  Bit-identical to eval_soft.
-  void eval_soft_batch(const Challenge* challenges, std::size_t count,
-                       std::vector<double>& out,
-                       const variation::Environment& env =
-                           variation::Environment::nominal()) const;
+  void eval_soft_batch(
+      const Challenge* challenges, std::size_t count, std::vector<double>& out,
+      const variation::Environment& env = variation::Environment::nominal(),
+      timingsim::BatchEngine engine = timingsim::BatchEngine::kAuto) const;
 
   /// Warms the per-env delay cache (see AluPuf::prewarm).
   void prewarm(const variation::Environment& env =
@@ -203,8 +220,14 @@ class AluPufEmulator {
   void run_challenge(const Challenge& challenge,
                      const variation::Environment& env) const;
   const timingsim::DelaySet& delays_for(const variation::Environment& env) const;
-  void run_batch(const Challenge* challenges, std::size_t count,
-                 const variation::Environment& env) const;
+  /// Runs the kBatch or kBitslice kernel (kAuto resolved by lane count)
+  /// into batch_state_ / slice_state_; returns the engine that ran.
+  /// kScalar never reaches here — callers loop the scalar path themselves.
+  timingsim::BatchEngine run_batch(const Challenge* challenges,
+                                   std::size_t count,
+                                   const variation::Environment& env,
+                                   timingsim::BatchEngine engine) const;
+  void check_batch(const Challenge* challenges, std::size_t count) const;
 
   std::size_t width_;
   netlist::AluPufCircuit circuit_;
@@ -214,9 +237,15 @@ class AluPufEmulator {
   mutable variation::Environment cached_env_;
   mutable bool has_cache_ = false;
   mutable timingsim::DelaySet cached_delays_;
+  /// Shared-delay bit-sliced engine over the cached DelaySet; rebuilt with
+  /// the cache (prewarm builds it too, keeping post-prewarm evaluation
+  /// read-only for thread sharing).
+  mutable std::unique_ptr<timingsim::BitSliceEngine> cached_slice_;
   mutable std::vector<timingsim::SignalState> scratch_states_;
   mutable timingsim::BatchState batch_state_;
   mutable std::vector<std::uint8_t> batch_inputs_;
+  mutable timingsim::BitSliceState slice_state_;
+  mutable std::vector<std::uint64_t> slice_words_;
 };
 
 }  // namespace pufatt::alupuf

@@ -65,13 +65,14 @@ class PufDevice {
   /// timing engine (count*8 physical evaluations).  Follows the
   /// AluPuf::eval_batch RNG contract — one `rng.next()` consumed for the
   /// whole batch, every lane independent of batch split and thread count.
-  /// `scratch` as in AluPuf::eval_batch (pass one per worker thread).
-  std::vector<PufOutput> query_batch(const std::uint64_t* challenges,
-                                     std::size_t count,
-                                     const variation::Environment& env,
-                                     support::Xoshiro256pp& rng,
-                                     const ClockConstraint* clock = nullptr,
-                                     AluPufBatchScratch* scratch = nullptr) const;
+  /// `scratch` as in AluPuf::eval_batch (pass one per worker thread);
+  /// `engine` selects the timing kernel (responses are engine-independent).
+  std::vector<PufOutput> query_batch(
+      const std::uint64_t* challenges, std::size_t count,
+      const variation::Environment& env, support::Xoshiro256pp& rng,
+      const ClockConstraint* clock = nullptr,
+      AluPufBatchScratch* scratch = nullptr,
+      timingsim::BatchEngine engine = timingsim::BatchEngine::kAuto) const;
 
   /// See AluPuf::prewarm — required before multi-threaded use at `env`.
   void prewarm(const variation::Environment& env) const { puf_.prewarm(env); }

@@ -118,7 +118,7 @@ std::vector<Example> collect_alu_raw_parallel(
         }
         const auto responses = puf.eval_batch(
             challenges.data(), challenges.size(), env, rng,
-            /*clock=*/nullptr, &scratch[slot]);
+            /*clock=*/nullptr, &scratch[slot], config.engine);
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = Example{alu_features(challenges[i - begin]),
                            responses[i - begin].get(bit)};
@@ -142,8 +142,9 @@ std::vector<Example> collect_obfuscated_parallel(
         auto rng = shard_rng(config.seed, shard);
         std::vector<std::uint64_t> xs(end - begin);
         for (auto& x : xs) x = rng.next();
-        const auto results = device.query_batch(
-            xs.data(), xs.size(), env, rng, /*clock=*/nullptr, &scratch[slot]);
+        const auto results = device.query_batch(xs.data(), xs.size(), env, rng,
+                                                /*clock=*/nullptr,
+                                                &scratch[slot], config.engine);
         for (std::size_t i = begin; i < end; ++i) {
           out[i] = Example{word_features(xs[i - begin]),
                            results[i - begin].z.get(bit)};

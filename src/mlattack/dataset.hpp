@@ -62,6 +62,10 @@ struct ParallelCrpConfig {
   std::size_t threads = 1;
   std::size_t block = 256;     ///< challenges per shard (determinism unit)
   std::uint64_t seed = 1;      ///< dataset seed (shard rngs derive from it)
+  /// Timing kernel for the batched evaluations.  Datasets are
+  /// engine-independent (the exactness contract), so this only trades
+  /// speed; kAuto picks the bit-sliced engine for full shards.
+  timingsim::BatchEngine engine = timingsim::BatchEngine::kAuto;
 };
 
 /// Parallel variant of collect_alu_raw over AluPuf::eval_batch (one batch

@@ -1,0 +1,1308 @@
+#include "timingsim/bitslice.hpp"
+
+#include <algorithm>
+#include <array>
+#include <limits>
+#include <stdexcept>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__AVX512F__)
+#include <immintrin.h>
+#endif
+
+namespace pufatt::timingsim {
+
+using netlist::GateId;
+using netlist::GateKind;
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+inline bool word_bit(const std::uint64_t* words, std::size_t lane) {
+  return (words[lane >> 6] >> (lane & 63)) & 1ULL;
+}
+
+obs::Span trace_bitslice(std::size_t lanes, std::size_t gates) {
+  if (!obs::global_trace_enabled()) return obs::Span{};
+  // Same occupancy counters as the SoA run_batch hook — sim.lanes /
+  // sim.batches is the mean batch fill regardless of which batched engine
+  // served it — plus an engine-distinguishing span name for trace-report.
+  auto& registry = obs::global_registry();
+  static obs::Counter& batches = registry.counter("sim.batches");
+  static obs::Counter& lane_count = registry.counter("sim.lanes");
+  static obs::Gauge& occupancy = registry.gauge("sim.batch_occupancy");
+  batches.add(1);
+  lane_count.add(lanes);
+  occupancy.set(static_cast<double>(lanes));
+  obs::Span span = obs::global_tracer().span("sim.run_bitslice");
+  span.note("lanes", static_cast<double>(lanes));
+  span.note("gates", static_cast<double>(gates));
+  return span;
+}
+
+/// Per-fanin time source for the wide time kernels: how to materialize the
+/// fanin's settle time at a given lane.  `vw` (the fanin's value words) is
+/// always set — the AND/MUX kernels need fanin values regardless of rep.
+struct Src {
+  std::uint8_t mode = 0;  // TimeRep
+  double t0 = 0.0;
+  double t1 = 0.0;
+  const double* wide = nullptr;
+  const std::uint64_t* vw = nullptr;
+
+  double at(std::size_t lane) const {
+    if (mode == 2) return wide[lane];
+    if (mode == 1) return word_bit(vw, lane) ? t1 : t0;
+    return t0;
+  }
+};
+
+#if defined(__AVX512F__)
+/// Vector form of Src with the two broadcasts hoisted out of the lane loop.
+struct SrcV {
+  int mode;
+  __m512d b0, b1;
+  const double* wide;
+  const std::uint64_t* vw;
+};
+
+inline SrcV make_srcv(const Src& s) {
+  return SrcV{s.mode, _mm512_set1_pd(s.t0), _mm512_set1_pd(s.t1), s.wide,
+              s.vw};
+}
+
+inline __m512d fetchv(const SrcV& s, std::size_t lane) {
+  if (s.mode == 2) return _mm512_loadu_pd(s.wide + lane);
+  if (s.mode == 1) {
+    const __mmask8 m =
+        static_cast<__mmask8>(s.vw[lane >> 6] >> (lane & 63));
+    return _mm512_mask_blend_pd(m, s.b0, s.b1);
+  }
+  return s.b0;
+}
+
+/// Mode-templated fetch for the hot 2-input kernels: the fanin's time rep
+/// is loop-invariant, so the dispatch happens once per gate (9-way switch)
+/// and the inner loop carries no branches.  `mv` views the fanin's value
+/// words as bytes — byte g of the value array IS the __mmask8 for lane
+/// group g, so mask extraction is a single byte load.
+template <int M>
+inline __m512d fetch_m(const SrcV& s, const std::uint8_t* mv,
+                       std::size_t lane) {
+  if constexpr (M == 2) {
+    return _mm512_loadu_pd(s.wide + lane);
+  } else if constexpr (M == 1) {
+    return _mm512_mask_blend_pd(static_cast<__mmask8>(mv[lane >> 3]), s.b0,
+                                s.b1);
+  } else {
+    return s.b0;
+  }
+}
+
+template <bool kLane, int MA, int MB>
+void and2_avx(const SrcV& va, const SrcV& vb, const std::uint8_t* mva,
+              const std::uint8_t* mvb, const std::uint8_t* mvo,
+              std::uint8_t cinv, __m512d vr, __m512d vf, const double* rp,
+              const double* fp, double* tp, std::size_t vlim) {
+  const __m512d vinf = _mm512_set1_pd(kInf);
+#pragma GCC unroll 2
+  for (std::size_t lane = 0; lane < vlim; lane += 8) {
+    const std::size_t gi = lane >> 3;
+    const __mmask8 ma = static_cast<__mmask8>(mva[gi] ^ cinv);
+    const __mmask8 mb = static_cast<__mmask8>(mvb[gi] ^ cinv);
+    const __mmask8 ko = static_cast<__mmask8>(mvo[gi]);
+    const __m512d xa = fetch_m<MA>(va, mva, lane);
+    const __m512d xb = fetch_m<MB>(vb, mvb, lane);
+    const __m512d ca = _mm512_mask_blend_pd(ma, vinf, xa);
+    const __m512d cb = _mm512_mask_blend_pd(mb, vinf, xb);
+    const __m512d mn = _mm512_min_pd(ca, cb);
+    const __m512d mx = _mm512_max_pd(xa, xb);
+    const __mmask8 fin = _mm512_cmp_pd_mask(mn, vinf, _CMP_NEQ_OQ);
+    const __m512d det = _mm512_mask_blend_pd(fin, mx, mn);
+    __m512d dr = vr;
+    __m512d df = vf;
+    if constexpr (kLane) {
+      dr = _mm512_loadu_pd(rp + lane);
+      df = _mm512_loadu_pd(fp + lane);
+    }
+    const __m512d d = _mm512_mask_blend_pd(ko, df, dr);
+    _mm512_storeu_pd(tp + lane, _mm512_add_pd(det, d));
+  }
+}
+
+template <bool kLane, int MA, int MB>
+void xor2_avx(const SrcV& va, const SrcV& vb, const std::uint8_t* mva,
+              const std::uint8_t* mvb, const std::uint8_t* mvo, __m512d vr,
+              __m512d vf, const double* rp, const double* fp, double* tp,
+              std::size_t vlim) {
+#pragma GCC unroll 2
+  for (std::size_t lane = 0; lane < vlim; lane += 8) {
+    const std::size_t gi = lane >> 3;
+    const __mmask8 ko = static_cast<__mmask8>(mvo[gi]);
+    const __m512d xa = fetch_m<MA>(va, mva, lane);
+    const __m512d xb = fetch_m<MB>(vb, mvb, lane);
+    const __m512d det = _mm512_max_pd(xa, xb);
+    __m512d dr = vr;
+    __m512d df = vf;
+    if constexpr (kLane) {
+      dr = _mm512_loadu_pd(rp + lane);
+      df = _mm512_loadu_pd(fp + lane);
+    }
+    const __m512d d = _mm512_mask_blend_pd(ko, df, dr);
+    _mm512_storeu_pd(tp + lane, _mm512_add_pd(det, d));
+  }
+}
+#endif
+
+// ------------------------------------------------------ wide time kernels
+//
+// Every kernel reproduces the SoA batch kernel's per-lane operation order
+// exactly (same selections, same single add), so the produced doubles are
+// bit-identical to run_batch and the scalar engine.  The AVX-512 paths use
+// only min/max/compare/blend/add — all exact selections — and the scalar
+// tails repeat the identical expressions, so vector and tail lanes agree
+// too.  kLane = per-lane delays (device batches); shared mode processes
+// the padded tail lanes as well (inputs are zero-filled there and nothing
+// exposes them), which keeps its loop a clean multiple of the word size.
+
+/// Portable per-lane bodies over [start, limit): the scalar reference for
+/// the vector kernels (identical expressions), the non-multiple-of-8 tail
+/// in lane-delay mode, and the whole loop on non-AVX-512 builds.
+template <bool kLane>
+void and2_span(const Src& sa, const Src& sb, const std::uint64_t* vow,
+               bool ctrl, double grise, double gfall, const double* rp,
+               const double* fp, double* tp, std::size_t start,
+               std::size_t limit) {
+  for (std::size_t lane = start; lane < limit; ++lane) {
+    const bool a = word_bit(sa.vw, lane);
+    const bool b = word_bit(sb.vw, lane);
+    const double xa = sa.at(lane);
+    const double xb = sb.at(lane);
+    const double ca = a == ctrl ? xa : kInf;
+    const double cb = b == ctrl ? xb : kInf;
+    const double mn = std::min(ca, cb);
+    const double det = mn != kInf ? mn : std::max(xa, xb);
+    const bool val = word_bit(vow, lane);
+    const double dr = kLane ? rp[lane] : grise;
+    const double df = kLane ? fp[lane] : gfall;
+    tp[lane] = det + (val ? dr : df);
+  }
+}
+
+template <bool kLane>
+void xor2_span(const Src& sa, const Src& sb, const std::uint64_t* vow,
+               double grise, double gfall, const double* rp, const double* fp,
+               double* tp, std::size_t start, std::size_t limit) {
+  for (std::size_t lane = start; lane < limit; ++lane) {
+    const double xa = sa.at(lane);
+    const double xb = sb.at(lane);
+    const bool val = word_bit(vow, lane);
+    const double dr = kLane ? rp[lane] : grise;
+    const double df = kLane ? fp[lane] : gfall;
+    tp[lane] = std::max(xa, xb) + (val ? dr : df);
+  }
+}
+
+template <bool kLane>
+void wide_and2(const Src& sa, const Src& sb, const std::uint64_t* vow,
+               bool ctrl, double grise, double gfall, const double* rp,
+               const double* fp, double* tp, std::size_t count,
+               std::size_t padded) {
+  const std::size_t limit = kLane ? count : padded;
+  std::size_t lane = 0;
+#if defined(__AVX512F__)
+  const SrcV va = make_srcv(sa);
+  const SrcV vb = make_srcv(sb);
+  const auto* const mva = reinterpret_cast<const std::uint8_t*>(sa.vw);
+  const auto* const mvb = reinterpret_cast<const std::uint8_t*>(sb.vw);
+  const auto* const mvo = reinterpret_cast<const std::uint8_t*>(vow);
+  const std::uint8_t cinv = ctrl ? 0x00 : 0xFF;
+  const __m512d vr = _mm512_set1_pd(grise);
+  const __m512d vf = _mm512_set1_pd(gfall);
+  const std::size_t vlim = limit & ~std::size_t{7};
+  switch (sa.mode * 3 + sb.mode) {
+    case 0 * 3 + 0:
+      and2_avx<kLane, 0, 0>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+    case 0 * 3 + 1:
+      and2_avx<kLane, 0, 1>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+    case 0 * 3 + 2:
+      and2_avx<kLane, 0, 2>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+    case 1 * 3 + 0:
+      and2_avx<kLane, 1, 0>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+    case 1 * 3 + 1:
+      and2_avx<kLane, 1, 1>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+    case 1 * 3 + 2:
+      and2_avx<kLane, 1, 2>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+    case 2 * 3 + 0:
+      and2_avx<kLane, 2, 0>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+    case 2 * 3 + 1:
+      and2_avx<kLane, 2, 1>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+    default:
+      and2_avx<kLane, 2, 2>(va, vb, mva, mvb, mvo, cinv, vr, vf, rp, fp, tp,
+                            vlim);
+      break;
+  }
+  lane = vlim;
+#endif
+  and2_span<kLane>(sa, sb, vow, ctrl, grise, gfall, rp, fp, tp, lane, limit);
+}
+
+template <bool kLane>
+void wide_xor2(const Src& sa, const Src& sb, const std::uint64_t* vow,
+               double grise, double gfall, const double* rp, const double* fp,
+               double* tp, std::size_t count, std::size_t padded) {
+  const std::size_t limit = kLane ? count : padded;
+  std::size_t lane = 0;
+#if defined(__AVX512F__)
+  const SrcV va = make_srcv(sa);
+  const SrcV vb = make_srcv(sb);
+  const auto* const mva = reinterpret_cast<const std::uint8_t*>(sa.vw);
+  const auto* const mvb = reinterpret_cast<const std::uint8_t*>(sb.vw);
+  const auto* const mvo = reinterpret_cast<const std::uint8_t*>(vow);
+  const __m512d vr = _mm512_set1_pd(grise);
+  const __m512d vf = _mm512_set1_pd(gfall);
+  const std::size_t vlim = limit & ~std::size_t{7};
+  switch (sa.mode * 3 + sb.mode) {
+    case 0 * 3 + 0:
+      xor2_avx<kLane, 0, 0>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+    case 0 * 3 + 1:
+      xor2_avx<kLane, 0, 1>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+    case 0 * 3 + 2:
+      xor2_avx<kLane, 0, 2>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+    case 1 * 3 + 0:
+      xor2_avx<kLane, 1, 0>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+    case 1 * 3 + 1:
+      xor2_avx<kLane, 1, 1>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+    case 1 * 3 + 2:
+      xor2_avx<kLane, 1, 2>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+    case 2 * 3 + 0:
+      xor2_avx<kLane, 2, 0>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+    case 2 * 3 + 1:
+      xor2_avx<kLane, 2, 1>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+    default:
+      xor2_avx<kLane, 2, 2>(va, vb, mva, mvb, mvo, vr, vf, rp, fp, tp, vlim);
+      break;
+  }
+  lane = vlim;
+#endif
+  xor2_span<kLane>(sa, sb, vow, grise, gfall, rp, fp, tp, lane, limit);
+}
+
+/// One gate of a fused plan op: where its value bytes, delays, and output
+/// time lanes live.  `cinv` is the AND-family controlling-value invert
+/// (0x00 when the controlling value is 1, 0xFF when it is 0).
+struct FusedGate {
+  const std::uint64_t* vw = nullptr;  ///< own value words (delay select)
+  double r = 0.0, f = 0.0;            ///< shared-mode delays
+  const double* rp = nullptr;         ///< lane-mode delay rows
+  const double* fp = nullptr;
+  double* tp = nullptr;               ///< output time lanes
+  std::uint8_t cinv = 0;
+};
+
+/// A fused full-adder step: P = AND-family(x, y), optionally S = XOR(x, y)
+/// (shares max(xa, xb) with P) and C = AND-family(g, P) (P's freshly
+/// computed times forward in registers).  Each gate's arithmetic is exactly
+/// the single-gate kernel's — fusion only shares fetches and loop overhead.
+struct FusedCtx {
+  Src x, y, g;
+  bool has_s = false;
+  bool has_c = false;
+  FusedGate P, S, C;
+};
+
+/// One materialized time-pass step: kernel arguments fully resolved to
+/// pointers.  Non-fused ops reuse the FusedCtx storage — fanin sources in
+/// x/y/g, the output gate's descriptors in P.
+struct PreOp {
+  enum Kind : std::uint8_t {
+    kFused,
+    kUnary,
+    kMux,
+    kAnd2,
+    kXor2,
+    kNaryAnd,
+    kNaryXor,
+  };
+  Kind kind = kFused;
+  bool ctrl = false;          // AND-family controlling value
+  std::uint32_t nf = 0;       // n-ary fanin count
+  std::uint32_t nary_off = 0; // offset into ExecPlan::nary
+  FusedCtx fc;
+  Src pSrc;                   // fused: P as a fanin source for C's tail span
+};
+
+/// The cached dispatch for one (engine, state shape, buffer placement).
+/// Everything the stamp covers is baked into the PreOp pointers, so a
+/// matching stamp means the ops can run as-is.
+struct ExecPlan {
+  const void* owner = nullptr;
+  std::size_t count = 0;
+  const std::uint64_t* values = nullptr;
+  const double* times = nullptr;
+  const double* ldr = nullptr;  // lane-delay rows (null in shared mode)
+  const double* ldf = nullptr;
+  std::vector<PreOp> ops;
+  std::vector<Src> nary;  // flat fanin-source pool for n-ary ops
+};
+
+#if defined(__AVX512F__)
+template <bool kLane, int MX, int MY>
+void fused_avx(const FusedCtx& c, std::size_t vlim) {
+  const __m512d vinf = _mm512_set1_pd(kInf);
+  const SrcV vx = make_srcv(c.x);
+  const SrcV vy = make_srcv(c.y);
+  const SrcV vg = make_srcv(c.g);
+  const auto* const mvx = reinterpret_cast<const std::uint8_t*>(c.x.vw);
+  const auto* const mvy = reinterpret_cast<const std::uint8_t*>(c.y.vw);
+  const auto* const mvg = reinterpret_cast<const std::uint8_t*>(c.g.vw);
+  const auto* const mvp = reinterpret_cast<const std::uint8_t*>(c.P.vw);
+  const auto* const mvs = reinterpret_cast<const std::uint8_t*>(c.S.vw);
+  const auto* const mvc = reinterpret_cast<const std::uint8_t*>(c.C.vw);
+  const __m512d pr = _mm512_set1_pd(c.P.r);
+  const __m512d pf = _mm512_set1_pd(c.P.f);
+  const __m512d sr = _mm512_set1_pd(c.S.r);
+  const __m512d sf = _mm512_set1_pd(c.S.f);
+  const __m512d cr = _mm512_set1_pd(c.C.r);
+  const __m512d cf = _mm512_set1_pd(c.C.f);
+#pragma GCC unroll 2
+  for (std::size_t lane = 0; lane < vlim; lane += 8) {
+    const std::size_t gi = lane >> 3;
+    const __m512d xa = fetch_m<MX>(vx, mvx, lane);
+    const __m512d xb = fetch_m<MY>(vy, mvy, lane);
+    // P = AND-family(x, y): the single-gate and2 sequence verbatim.
+    const __mmask8 kp = static_cast<__mmask8>(mvp[gi]);
+    const __mmask8 maP = static_cast<__mmask8>(mvx[gi] ^ c.P.cinv);
+    const __mmask8 mbP = static_cast<__mmask8>(mvy[gi] ^ c.P.cinv);
+    const __m512d caP = _mm512_mask_blend_pd(maP, vinf, xa);
+    const __m512d cbP = _mm512_mask_blend_pd(mbP, vinf, xb);
+    const __m512d mnP = _mm512_min_pd(caP, cbP);
+    const __m512d mxAB = _mm512_max_pd(xa, xb);
+    const __mmask8 finP = _mm512_cmp_pd_mask(mnP, vinf, _CMP_NEQ_OQ);
+    const __m512d detP = _mm512_mask_blend_pd(finP, mxAB, mnP);
+    __m512d dpr = pr;
+    __m512d dpf = pf;
+    if constexpr (kLane) {
+      dpr = _mm512_loadu_pd(c.P.rp + lane);
+      dpf = _mm512_loadu_pd(c.P.fp + lane);
+    }
+    const __m512d tP =
+        _mm512_add_pd(detP, _mm512_mask_blend_pd(kp, dpf, dpr));
+    _mm512_storeu_pd(c.P.tp + lane, tP);
+    // S = XOR(x, y): its determined time is exactly max(xa, xb) = mxAB.
+    if (c.has_s) {
+      const __mmask8 ks = static_cast<__mmask8>(mvs[gi]);
+      __m512d dsr = sr;
+      __m512d dsf = sf;
+      if constexpr (kLane) {
+        dsr = _mm512_loadu_pd(c.S.rp + lane);
+        dsf = _mm512_loadu_pd(c.S.fp + lane);
+      }
+      _mm512_storeu_pd(
+          c.S.tp + lane,
+          _mm512_add_pd(mxAB, _mm512_mask_blend_pd(ks, dsf, dsr)));
+    }
+    // C = AND-family(g, P): tP never leaves registers.  min/max selection
+    // is operand-order independent (ties select equal doubles), so the
+    // (g, P) order here matches the single-gate kernel bit-for-bit even
+    // when C's netlist fanins are (P, g).
+    if (c.has_c) {
+      const __m512d xg = fetchv(vg, lane);
+      const __mmask8 mgC = static_cast<__mmask8>(mvg[gi] ^ c.C.cinv);
+      const __mmask8 mpC = static_cast<__mmask8>(mvp[gi] ^ c.C.cinv);
+      const __m512d cgC = _mm512_mask_blend_pd(mgC, vinf, xg);
+      const __m512d cpC = _mm512_mask_blend_pd(mpC, vinf, tP);
+      const __m512d mnC = _mm512_min_pd(cgC, cpC);
+      const __m512d mxC = _mm512_max_pd(xg, tP);
+      const __mmask8 finC = _mm512_cmp_pd_mask(mnC, vinf, _CMP_NEQ_OQ);
+      const __m512d detC = _mm512_mask_blend_pd(finC, mxC, mnC);
+      const __mmask8 kc = static_cast<__mmask8>(mvc[gi]);
+      __m512d dcr = cr;
+      __m512d dcf = cf;
+      if constexpr (kLane) {
+        dcr = _mm512_loadu_pd(c.C.rp + lane);
+        dcf = _mm512_loadu_pd(c.C.fp + lane);
+      }
+      _mm512_storeu_pd(
+          c.C.tp + lane,
+          _mm512_add_pd(detC, _mm512_mask_blend_pd(kc, dcf, dcr)));
+    }
+  }
+}
+
+template <bool kLane>
+void fused_run_avx(const FusedCtx& c, std::size_t vlim) {
+  switch (c.x.mode * 3 + c.y.mode) {
+    case 0 * 3 + 0:
+      fused_avx<kLane, 0, 0>(c, vlim);
+      break;
+    case 0 * 3 + 1:
+      fused_avx<kLane, 0, 1>(c, vlim);
+      break;
+    case 0 * 3 + 2:
+      fused_avx<kLane, 0, 2>(c, vlim);
+      break;
+    case 1 * 3 + 0:
+      fused_avx<kLane, 1, 0>(c, vlim);
+      break;
+    case 1 * 3 + 1:
+      fused_avx<kLane, 1, 1>(c, vlim);
+      break;
+    case 1 * 3 + 2:
+      fused_avx<kLane, 1, 2>(c, vlim);
+      break;
+    case 2 * 3 + 0:
+      fused_avx<kLane, 2, 0>(c, vlim);
+      break;
+    case 2 * 3 + 1:
+      fused_avx<kLane, 2, 1>(c, vlim);
+      break;
+    default:
+      fused_avx<kLane, 2, 2>(c, vlim);
+      break;
+  }
+}
+#endif
+
+/// Runs a fused plan op: AVX-512 over the aligned prefix, then the
+/// single-gate portable spans over the tail (P first so C's span can read
+/// P's freshly stored times through `pSrc`).
+template <bool kLane>
+void fused_run(const FusedCtx& c, const Src& pSrc, std::size_t count,
+               std::size_t padded) {
+  const std::size_t limit = kLane ? count : padded;
+  std::size_t lane = 0;
+#if defined(__AVX512F__)
+  const std::size_t vlim = limit & ~std::size_t{7};
+  fused_run_avx<kLane>(c, vlim);
+  lane = vlim;
+#endif
+  if (lane >= limit) return;
+  and2_span<kLane>(c.x, c.y, c.P.vw, c.P.cinv == 0, c.P.r, c.P.f, c.P.rp,
+                   c.P.fp, c.P.tp, lane, limit);
+  if (c.has_s) {
+    xor2_span<kLane>(c.x, c.y, c.S.vw, c.S.r, c.S.f, c.S.rp, c.S.fp, c.S.tp,
+                     lane, limit);
+  }
+  if (c.has_c) {
+    and2_span<kLane>(c.g, pSrc, c.C.vw, c.C.cinv == 0, c.C.r, c.C.f, c.C.rp,
+                     c.C.fp, c.C.tp, lane, limit);
+  }
+}
+
+template <bool kLane>
+void wide_unary(const Src& sa, const std::uint64_t* vow, double grise,
+                double gfall, const double* rp, const double* fp, double* tp,
+                std::size_t count, std::size_t padded) {
+  const std::size_t limit = kLane ? count : padded;
+  for (std::size_t lane = 0; lane < limit; ++lane) {
+    const bool val = word_bit(vow, lane);
+    const double dr = kLane ? rp[lane] : grise;
+    const double df = kLane ? fp[lane] : gfall;
+    tp[lane] = sa.at(lane) + (val ? dr : df);
+  }
+}
+
+template <bool kLane>
+void wide_mux(const Src& ss, const Src& s0, const Src& s1,
+              const std::uint64_t* vow, double grise, double gfall,
+              const double* rp, const double* fp, double* tp,
+              std::size_t count, std::size_t padded) {
+  const std::size_t limit = kLane ? count : padded;
+  for (std::size_t lane = 0; lane < limit; ++lane) {
+    const bool sel = word_bit(ss.vw, lane);
+    const bool y0 = word_bit(s0.vw, lane);
+    const bool y1 = word_bit(s1.vw, lane);
+    const double xs = ss.at(lane);
+    const double x0 = s0.at(lane);
+    const double x1 = s1.at(lane);
+    const double chosen_t = sel ? x1 : x0;
+    const double det =
+        xs == kAlwaysSettled
+            ? chosen_t
+            : (y0 == y1 ? std::max(x0, x1) : std::max(xs, chosen_t));
+    const bool val = word_bit(vow, lane);
+    const double dr = kLane ? rp[lane] : grise;
+    const double df = kLane ? fp[lane] : gfall;
+    tp[lane] = det + (val ? dr : df);
+  }
+}
+
+template <bool kLane>
+void wide_nary_and(const Src* srcs, std::size_t nf, const std::uint64_t* vow,
+                   bool ctrl, double grise, double gfall, const double* rp,
+                   const double* fp, double* tp, std::size_t count,
+                   std::size_t padded) {
+  const std::size_t limit = kLane ? count : padded;
+  for (std::size_t lane = 0; lane < limit; ++lane) {
+    double latest = kAlwaysSettled;
+    double earliest = kInf;
+    for (std::size_t k = 0; k < nf; ++k) {
+      const double x = srcs[k].at(lane);
+      const double e = earliest;
+      latest = std::max(latest, x);
+      earliest = word_bit(srcs[k].vw, lane) == ctrl ? std::min(e, x) : e;
+    }
+    const bool any = earliest != kInf;
+    const double det = any ? earliest : latest;
+    const bool val = word_bit(vow, lane);
+    const double dr = kLane ? rp[lane] : grise;
+    const double df = kLane ? fp[lane] : gfall;
+    tp[lane] = det + (val ? dr : df);
+  }
+}
+
+template <bool kLane>
+void wide_nary_xor(const Src* srcs, std::size_t nf, const std::uint64_t* vow,
+                   double grise, double gfall, const double* rp,
+                   const double* fp, double* tp, std::size_t count,
+                   std::size_t padded) {
+  const std::size_t limit = kLane ? count : padded;
+  for (std::size_t lane = 0; lane < limit; ++lane) {
+    double latest = kAlwaysSettled;
+    for (std::size_t k = 0; k < nf; ++k) {
+      latest = std::max(latest, srcs[k].at(lane));
+    }
+    const bool val = word_bit(vow, lane);
+    const double dr = kLane ? rp[lane] : grise;
+    const double df = kLane ? fp[lane] : gfall;
+    tp[lane] = latest + (val ? dr : df);
+  }
+}
+
+/// Classification-time evaluation of one fanin value combination, using
+/// the scalar engine's exact semantics (same selections, same single add).
+struct VT {
+  bool v;
+  double t;
+};
+
+VT eval_combo(GateKind kind, const VT* ins, std::size_t nf, double rise,
+              double fall) {
+  bool value = false;
+  double det = 0.0;
+  switch (kind) {
+    case GateKind::kBuf:
+      value = ins[0].v;
+      det = ins[0].t;
+      break;
+    case GateKind::kNot:
+      value = !ins[0].v;
+      det = ins[0].t;
+      break;
+    case GateKind::kMux: {
+      const VT& sel = ins[0];
+      const VT& d0 = ins[1];
+      const VT& d1 = ins[2];
+      const VT& chosen = sel.v ? d1 : d0;
+      value = chosen.v;
+      if (sel.t == kAlwaysSettled) {
+        det = chosen.t;
+      } else if (d0.v == d1.v) {
+        det = std::max(d0.t, d1.t);
+      } else {
+        det = std::max(sel.t, chosen.t);
+      }
+      break;
+    }
+    case GateKind::kAnd:
+    case GateKind::kNand:
+    case GateKind::kOr:
+    case GateKind::kNor: {
+      const bool controlling =
+          (kind == GateKind::kOr || kind == GateKind::kNor);
+      bool any = false;
+      double earliest = 0.0;
+      double latest = kAlwaysSettled;
+      for (std::size_t k = 0; k < nf; ++k) {
+        latest = std::max(latest, ins[k].t);
+        if (ins[k].v == controlling) {
+          if (!any || ins[k].t < earliest) earliest = ins[k].t;
+          any = true;
+        }
+      }
+      const bool raw = any ? controlling : !controlling;
+      const bool inverted =
+          (kind == GateKind::kNand || kind == GateKind::kNor);
+      value = inverted ? !raw : raw;
+      det = any ? earliest : latest;
+      break;
+    }
+    case GateKind::kXor:
+    case GateKind::kXnor: {
+      bool v = (kind == GateKind::kXnor);
+      double latest = kAlwaysSettled;
+      for (std::size_t k = 0; k < nf; ++k) {
+        v = v != ins[k].v;
+        latest = std::max(latest, ins[k].t);
+      }
+      value = v;
+      det = latest;
+      break;
+    }
+    default:
+      break;  // inputs/constants never reach enumeration
+  }
+  return {value, det + (value ? rise : fall)};
+}
+
+// Value pass: one word op evaluates a gate for 64 lanes.  Templated on the
+// word count so the common batch sizes (64..1024 lanes) get fully unrolled
+// inner loops — at runtime trip counts the loop overhead dwarfs the single
+// AND/XOR it wraps.  NWC == 0 is the generic any-size fallback.
+template <std::size_t NWC>
+void value_pass(const CompiledNetlist& cn, const std::uint64_t* input_words,
+                std::uint64_t* values, std::size_t nw_dynamic) {
+  const std::size_t NW = NWC != 0 ? NWC : nw_dynamic;
+  const netlist::GateId* const fanins = cn.fanins().data();
+  for (const netlist::GateId g : cn.schedule()) {
+    const std::uint32_t fb = cn.fanin_begin(g);
+    std::uint64_t* const v = values + static_cast<std::size_t>(g) * NW;
+    const BatchOp op = cn.op(g);
+    switch (op) {
+      case BatchOp::kInput: {
+        const std::uint64_t* const src =
+            input_words + static_cast<std::size_t>(cn.input_pos(g)) * NW;
+        for (std::size_t w = 0; w < NW; ++w) v[w] = src[w];
+        break;
+      }
+      case BatchOp::kConst0:
+        break;  // values already zero
+      case BatchOp::kConst1:
+        for (std::size_t w = 0; w < NW; ++w) v[w] = ~0ULL;
+        break;
+      case BatchOp::kBuf:
+      case BatchOp::kNot: {
+        const std::uint64_t* const a =
+            values + static_cast<std::size_t>(fanins[fb]) * NW;
+        if (op == BatchOp::kNot) {
+          for (std::size_t w = 0; w < NW; ++w) v[w] = ~a[w];
+        } else {
+          for (std::size_t w = 0; w < NW; ++w) v[w] = a[w];
+        }
+        break;
+      }
+      case BatchOp::kMux: {
+        const std::uint64_t* const s =
+            values + static_cast<std::size_t>(fanins[fb]) * NW;
+        const std::uint64_t* const d0 =
+            values + static_cast<std::size_t>(fanins[fb + 1]) * NW;
+        const std::uint64_t* const d1 =
+            values + static_cast<std::size_t>(fanins[fb + 2]) * NW;
+        for (std::size_t w = 0; w < NW; ++w) {
+          v[w] = (s[w] & d1[w]) | (~s[w] & d0[w]);
+        }
+        break;
+      }
+      case BatchOp::kAnd2:
+      case BatchOp::kNand2:
+      case BatchOp::kOr2:
+      case BatchOp::kNor2:
+      case BatchOp::kXor2:
+      case BatchOp::kXnor2: {
+        const std::uint64_t* const a =
+            values + static_cast<std::size_t>(fanins[fb]) * NW;
+        const std::uint64_t* const b =
+            values + static_cast<std::size_t>(fanins[fb + 1]) * NW;
+        switch (op) {
+          case BatchOp::kAnd2:
+            for (std::size_t w = 0; w < NW; ++w) v[w] = a[w] & b[w];
+            break;
+          case BatchOp::kNand2:
+            for (std::size_t w = 0; w < NW; ++w) v[w] = ~(a[w] & b[w]);
+            break;
+          case BatchOp::kOr2:
+            for (std::size_t w = 0; w < NW; ++w) v[w] = a[w] | b[w];
+            break;
+          case BatchOp::kNor2:
+            for (std::size_t w = 0; w < NW; ++w) v[w] = ~(a[w] | b[w]);
+            break;
+          case BatchOp::kXor2:
+            for (std::size_t w = 0; w < NW; ++w) v[w] = a[w] ^ b[w];
+            break;
+          default:
+            for (std::size_t w = 0; w < NW; ++w) v[w] = ~(a[w] ^ b[w]);
+            break;
+        }
+        break;
+      }
+      case BatchOp::kAndN:
+      case BatchOp::kNandN:
+      case BatchOp::kOrN:
+      case BatchOp::kNorN: {
+        const bool or_like = (op == BatchOp::kOrN || op == BatchOp::kNorN);
+        const bool inverted = (op == BatchOp::kNandN || op == BatchOp::kNorN);
+        const std::uint32_t fe = fb + cn.fanin_count(g);
+        for (std::size_t w = 0; w < NW; ++w) {
+          std::uint64_t acc = or_like ? 0 : ~0ULL;
+          for (std::uint32_t k = fb; k < fe; ++k) {
+            const std::uint64_t fw =
+                values[static_cast<std::size_t>(fanins[k]) * NW + w];
+            acc = or_like ? (acc | fw) : (acc & fw);
+          }
+          v[w] = inverted ? ~acc : acc;
+        }
+        break;
+      }
+      case BatchOp::kXorN:
+      case BatchOp::kXnorN: {
+        const std::uint32_t fe = fb + cn.fanin_count(g);
+        for (std::size_t w = 0; w < NW; ++w) {
+          std::uint64_t acc = op == BatchOp::kXnorN ? ~0ULL : 0;
+          for (std::uint32_t k = fb; k < fe; ++k) {
+            acc ^= values[static_cast<std::size_t>(fanins[k]) * NW + w];
+          }
+          v[w] = acc;
+        }
+        break;
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void pack_input_words(const support::BitVector* challenges, std::size_t count,
+                      std::size_t num_inputs,
+                      std::vector<std::uint64_t>& out) {
+  const std::size_t nwords = (count + 63) / 64;
+  out.assign(num_inputs * nwords, 0);
+  for (std::size_t blk = 0; blk < nwords; ++blk) {
+    const std::size_t lanes = std::min<std::size_t>(64, count - blk * 64);
+    support::pack_bit_columns(challenges + blk * 64, lanes, num_inputs,
+                              out.data() + blk, nwords);
+  }
+}
+
+BitSliceEngine::BitSliceEngine(const CompiledNetlist& compiled)
+    : cn_(&compiled) {
+  init_common();
+  // Lane-delay mode: every lane jitters its own delays, so no gate's time
+  // can be lane-invariant except the delay-free inputs and constants.
+  for (const GateId g : cn_->schedule()) {
+    switch (cn_->kind(g)) {
+      case GateKind::kInput:
+        break;  // kConstT, t0 = 0
+      case GateKind::kConst0:
+      case GateKind::kConst1:
+        t0_[g] = kAlwaysSettled;
+        break;
+      default:
+        rep_[g] = kWideT;
+        slot_[g] = static_cast<std::uint32_t>(wide_count_++);
+        break;
+    }
+  }
+  build_plan();
+}
+
+BitSliceEngine::BitSliceEngine(const CompiledNetlist& compiled,
+                               const DelaySet& delays)
+    : cn_(&compiled), shared_(true) {
+  if (delays.rise_ps.size() != cn_->num_gates() ||
+      delays.fall_ps.size() != cn_->num_gates()) {
+    throw std::invalid_argument("BitSliceEngine: wrong delay count");
+  }
+  init_common();
+  rise_ = delays.rise_ps;
+  fall_ = delays.fall_ps;
+  classify_shared(delays);
+  build_plan();
+}
+
+void BitSliceEngine::init_common() {
+  const std::size_t n = cn_->num_gates();
+  rep_.assign(n, kConstT);
+  t0_.assign(n, 0.0);
+  t1_.assign(n, 0.0);
+  slot_.assign(n, 0);
+}
+
+void BitSliceEngine::classify_shared(const DelaySet& delays) {
+  const CompiledNetlist& cn = *cn_;
+  const GateId* const fanins = cn.fanins().data();
+  // -1 = value varies across lanes; 0/1 = provably constant.
+  std::vector<std::int8_t> fixed(cn.num_gates(), -1);
+
+  for (const GateId g : cn.schedule()) {
+    const GateKind kind = cn.kind(g);
+    if (kind == GateKind::kInput) continue;  // kConstT, t0 = 0
+    if (kind == GateKind::kConst0 || kind == GateKind::kConst1) {
+      t0_[g] = kAlwaysSettled;
+      fixed[g] = kind == GateKind::kConst1 ? 1 : 0;
+      continue;
+    }
+    const std::uint32_t fb = cn.fanin_begin(g);
+    const std::size_t nf = cn.fanin_count(g);
+
+    // Collect each fanin's possible (value, time) pairs.  Any wide fanin
+    // or an oversized combination space forces this gate wide.
+    bool wide = false;
+    std::size_t combos = 1;
+    std::vector<std::array<VT, 2>> opts(nf);
+    std::vector<std::size_t> nopts(nf);
+    for (std::size_t k = 0; k < nf && !wide; ++k) {
+      const GateId f = fanins[fb + k];
+      switch (rep_[f]) {
+        case kWideT:
+          wide = true;
+          break;
+        case kBimodalT:
+          opts[k] = {VT{false, t0_[f]}, VT{true, t1_[f]}};
+          nopts[k] = 2;
+          break;
+        default:
+          if (fixed[f] >= 0) {
+            opts[k] = {VT{fixed[f] != 0, t0_[f]}, VT{}};
+            nopts[k] = 1;
+          } else {
+            opts[k] = {VT{false, t0_[f]}, VT{true, t0_[f]}};
+            nopts[k] = 2;
+          }
+          break;
+      }
+      combos *= nopts[k];
+      if (combos > 64) wide = true;
+    }
+
+    if (!wide) {
+      // Enumerate all combinations (a superset of the reachable ones —
+      // correlations between fanins can only shrink the real set, so the
+      // verdict is conservative) and see whether the gate's own value
+      // determines its time.
+      bool have[2] = {false, false};
+      double tt[2] = {0.0, 0.0};
+      bool multi = false;
+      std::vector<VT> ins(nf);
+      for (std::size_t idx = 0; idx < combos && !multi; ++idx) {
+        std::size_t rem = idx;
+        for (std::size_t k = 0; k < nf; ++k) {
+          ins[k] = opts[k][rem % nopts[k]];
+          rem /= nopts[k];
+        }
+        const VT r = eval_combo(kind, ins.data(), nf, delays.rise_ps[g],
+                                delays.fall_ps[g]);
+        const int vi = r.v ? 1 : 0;
+        if (!have[vi]) {
+          have[vi] = true;
+          tt[vi] = r.t;
+        } else if (tt[vi] != r.t) {
+          multi = true;
+        }
+      }
+      if (!multi) {
+        if (have[0] && have[1]) {
+          if (tt[0] == tt[1]) {
+            t0_[g] = tt[0];  // kConstT with free value
+          } else {
+            rep_[g] = kBimodalT;
+            t0_[g] = tt[0];
+            t1_[g] = tt[1];
+          }
+        } else {
+          t0_[g] = have[0] ? tt[0] : tt[1];
+          fixed[g] = have[0] ? 0 : 1;
+        }
+        continue;
+      }
+    }
+    rep_[g] = kWideT;
+    slot_[g] = static_cast<std::uint32_t>(wide_count_++);
+  }
+}
+
+void BitSliceEngine::build_plan() {
+  const CompiledNetlist& cn = *cn_;
+  const GateId* const fanins = cn.fanins().data();
+  const auto& sched = cn.schedule();
+  const auto& lo = cn.level_offsets();
+  plan_.clear();
+  plan_.reserve(wide_count_);
+
+  const auto is_and2 = [&](GateId h) {
+    const BatchOp o = cn.op(h);
+    return o == BatchOp::kAnd2 || o == BatchOp::kNand2 ||
+           o == BatchOp::kOr2 || o == BatchOp::kNor2;
+  };
+  const auto is_xor2 = [&](GateId h) {
+    const BatchOp o = cn.op(h);
+    return o == BatchOp::kXor2 || o == BatchOp::kXnor2;
+  };
+  const auto same_pair = [&](GateId h, GateId x, GateId y) {
+    const std::uint32_t hb = cn.fanin_begin(h);
+    const GateId hx = fanins[hb];
+    const GateId hy = fanins[hb + 1];
+    return (hx == x && hy == y) || (hx == y && hy == x);
+  };
+
+  // Schedule position per gate — "already computed at step i" checks.
+  std::vector<std::uint32_t> pos(cn.num_gates(), 0);
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    pos[sched[i]] = static_cast<std::uint32_t>(i);
+  }
+  // Gates already emitted into the plan (as p, s, or c of some entry).
+  std::vector<std::uint8_t> emitted(cn.num_gates(), 0);
+
+  for (std::size_t i = 0; i < sched.size(); ++i) {
+    GateId g = sched[i];
+    if (rep_[g] != kWideT || emitted[g]) continue;
+    PlanOp po{g, kNoGate, kNoGate};
+    emitted[g] = 1;
+
+    // If g is the XOR half of a full adder, look for its AND-family twin
+    // later in the same level and make that the anchor (P must be the
+    // AND-family gate — its output feeds the carry).
+    const std::uint32_t lvl = cn.level(g);
+    if (is_xor2(g)) {
+      const std::uint32_t gb = cn.fanin_begin(g);
+      for (std::uint32_t j = lo[lvl]; j < lo[lvl + 1]; ++j) {
+        const GateId h = sched[j];
+        if (emitted[h] || rep_[h] != kWideT || !is_and2(h)) continue;
+        if (same_pair(h, fanins[gb], fanins[gb + 1])) {
+          po.s = g;
+          po.p = h;
+          emitted[h] = 1;
+          break;
+        }
+      }
+    }
+    if (is_and2(po.p)) {
+      const GateId p = po.p;
+      const std::uint32_t pb = cn.fanin_begin(p);
+      const GateId x = fanins[pb];
+      const GateId y = fanins[pb + 1];
+      // Sibling XOR sharing both fanins (sum next to carry-propagate).
+      if (po.s == kNoGate) {
+        for (std::uint32_t j = lo[lvl]; j < lo[lvl + 1]; ++j) {
+          const GateId h = sched[j];
+          if (emitted[h] || rep_[h] != kWideT || !is_xor2(h)) continue;
+          if (same_pair(h, x, y)) {
+            po.s = h;
+            emitted[h] = 1;
+            break;
+          }
+        }
+      }
+      // 2-input AND-family consumer of p in the next level whose other
+      // fanin is already computed (the carry-out OR).
+      if (lvl + 1 < cn.num_levels()) {
+        for (std::uint32_t j = lo[lvl + 1]; j < lo[lvl + 2]; ++j) {
+          const GateId h = sched[j];
+          if (emitted[h] || rep_[h] != kWideT || !is_and2(h)) continue;
+          const std::uint32_t hb = cn.fanin_begin(h);
+          const GateId hx = fanins[hb];
+          const GateId hy = fanins[hb + 1];
+          const GateId other = hx == p ? hy : (hy == p ? hx : kNoGate);
+          if (other == kNoGate || other == p) continue;
+          if (pos[other] >= i && rep_[other] == kWideT) continue;
+          po.c = h;
+          emitted[h] = 1;
+          break;
+        }
+      }
+    }
+    plan_.push_back(po);
+  }
+}
+
+double BitSliceEngine::time_ps(const BitSliceState& s, GateId g,
+                               std::size_t lane) const {
+  switch (rep_[g]) {
+    case kWideT:
+      return s.times[static_cast<std::size_t>(slot_[g]) * s.padded + lane];
+    case kBimodalT:
+      return value(s, g, lane) ? t1_[g] : t0_[g];
+    default:
+      return t0_[g];
+  }
+}
+
+void BitSliceEngine::race_words(const BitSliceState& s, GateId g0, GateId g1,
+                                std::uint64_t* out) const {
+  for (std::size_t w = 0; w < s.nwords; ++w) {
+    const std::size_t base = w * 64;
+    const std::size_t lim = std::min<std::size_t>(64, s.count - base);
+    std::uint64_t bits = 0;
+    if (rep_[g0] == kWideT && rep_[g1] == kWideT) {
+      const double* const p0 =
+          s.times.data() + static_cast<std::size_t>(slot_[g0]) * s.padded;
+      const double* const p1 =
+          s.times.data() + static_cast<std::size_t>(slot_[g1]) * s.padded;
+      for (std::size_t l = 0; l < lim; ++l) {
+        const double delta = p1[base + l] - p0[base + l];
+        bits |= static_cast<std::uint64_t>(delta > 0.0 ? 1 : 0) << l;
+      }
+    } else {
+      for (std::size_t l = 0; l < lim; ++l) {
+        const double delta = time_ps(s, g1, base + l) - time_ps(s, g0, base + l);
+        bits |= static_cast<std::uint64_t>(delta > 0.0 ? 1 : 0) << l;
+      }
+    }
+    out[w] = bits;
+  }
+}
+
+void BitSliceEngine::prepare(BitSliceState& out, std::size_t count) const {
+  if (count == 0) {
+    throw std::invalid_argument("BitSliceEngine::run: empty batch");
+  }
+  const std::size_t n = cn_->num_gates();
+  out.count = count;
+  out.nwords = (count + 63) / 64;
+  out.padded = out.nwords * 64;
+  // Re-zeroing a same-size buffer is wasted work: the value pass rewrites
+  // every scheduled gate's words, and gates outside the schedule (or
+  // kConst0) are never written after the first zero-fill, so they still
+  // read 0 from the previous run — as long as the previous run was this
+  // engine (another netlist's schedule leaves different gates untouched).
+  const std::size_t vneed = n * out.nwords;
+  if (out.values.size() != vneed || out.owner != this) {
+    out.values.assign(vneed, 0);
+    out.owner = this;
+  }
+  const std::size_t tneed = wide_count_ * out.padded;
+  if (out.times.size() != tneed) out.times.assign(tneed, 0.0);
+}
+
+template <bool kLaneDelays>
+void BitSliceEngine::run_impl(const std::uint64_t* input_words,
+                              std::size_t count,
+                              const BatchDelays* lane_delays,
+                              BitSliceState& out) const {
+  const CompiledNetlist& cn = *cn_;
+  prepare(out, count);
+  const std::size_t NW = out.nwords;
+  const std::size_t P = out.padded;
+  std::uint64_t* const values = out.values.data();
+  double* const times = out.times.data();
+  const GateId* const fanins = cn.fanins().data();
+  const double* const ld_rise =
+      kLaneDelays ? lane_delays->rise_ps.data() : nullptr;
+  const double* const ld_fall =
+      kLaneDelays ? lane_delays->fall_ps.data() : nullptr;
+
+  const auto src_of = [&](GateId f) {
+    Src s;
+    s.mode = rep_[f];
+    s.t0 = t0_[f];
+    s.t1 = t1_[f];
+    s.vw = values + static_cast<std::size_t>(f) * NW;
+    if (s.mode == kWideT) {
+      s.wide = times + static_cast<std::size_t>(slot_[f]) * P;
+    }
+    return s;
+  };
+
+  switch (NW) {
+    case 1: value_pass<1>(cn, input_words, values, NW); break;
+    case 2: value_pass<2>(cn, input_words, values, NW); break;
+    case 4: value_pass<4>(cn, input_words, values, NW); break;
+    case 8: value_pass<8>(cn, input_words, values, NW); break;
+    case 16: value_pass<16>(cn, input_words, values, NW); break;
+    default: value_pass<0>(cn, input_words, values, NW); break;
+  }
+
+  // ---- phase 2: settle times for wide gates, in plan order.  Times never
+  // feed back into values, so the phases separate cleanly — and the
+  // separation is what lets fused ops compute a later-scheduled gate's
+  // times (its value words already exist).
+  //
+  // The kernel arguments are materialized once into the state's ExecPlan
+  // and replayed while the stamp holds (same engine, lane count, buffer
+  // addresses, delay rows) — per-gate setup vanishes from the steady-state
+  // batch loop.
+  ExecPlan* ep = static_cast<ExecPlan*>(out.exec.get());
+  if (ep == nullptr || ep->owner != this || ep->count != count ||
+      ep->values != values || ep->times != times || ep->ldr != ld_rise ||
+      ep->ldf != ld_fall) {
+    auto fresh = std::make_shared<ExecPlan>();
+    ep = fresh.get();
+    out.exec = std::move(fresh);
+    ep->owner = this;
+    ep->count = count;
+    ep->values = values;
+    ep->times = times;
+    ep->ldr = ld_rise;
+    ep->ldf = ld_fall;
+    ep->ops.reserve(plan_.size());
+
+    const auto fill_out = [&](GateId h, FusedGate& fg) {
+      fg.vw = values + static_cast<std::size_t>(h) * NW;
+      fg.r = shared_ ? rise_[h] : 0.0;
+      fg.f = shared_ ? fall_[h] : 0.0;
+      fg.rp = kLaneDelays ? ld_rise + static_cast<std::size_t>(h) * count
+                          : nullptr;
+      fg.fp = kLaneDelays ? ld_fall + static_cast<std::size_t>(h) * count
+                          : nullptr;
+      fg.tp = times + static_cast<std::size_t>(slot_[h]) * P;
+      const BatchOp ho = cn.op(h);
+      fg.cinv = (ho == BatchOp::kOr2 || ho == BatchOp::kNor2) ? 0x00 : 0xFF;
+    };
+
+    for (const PlanOp& po : plan_) {
+      const GateId g = po.p;
+      const std::uint32_t fb = cn.fanin_begin(g);
+      const BatchOp op = cn.op(g);
+      PreOp q;
+      fill_out(g, q.fc.P);
+
+      if (po.s != kNoGate || po.c != kNoGate) {
+        q.kind = PreOp::kFused;
+        q.fc.x = src_of(fanins[fb]);
+        q.fc.y = src_of(fanins[fb + 1]);
+        if (po.s != kNoGate) {
+          q.fc.has_s = true;
+          fill_out(po.s, q.fc.S);
+        }
+        if (po.c != kNoGate) {
+          q.fc.has_c = true;
+          fill_out(po.c, q.fc.C);
+          const std::uint32_t cb = cn.fanin_begin(po.c);
+          const GateId other = fanins[cb] == g ? fanins[cb + 1] : fanins[cb];
+          q.fc.g = src_of(other);
+        }
+        q.pSrc = src_of(g);
+        ep->ops.push_back(q);
+        continue;
+      }
+
+      switch (op) {
+        case BatchOp::kBuf:
+        case BatchOp::kNot:
+          q.kind = PreOp::kUnary;
+          q.fc.x = src_of(fanins[fb]);
+          break;
+        case BatchOp::kMux:
+          q.kind = PreOp::kMux;
+          q.fc.x = src_of(fanins[fb]);
+          q.fc.y = src_of(fanins[fb + 1]);
+          q.fc.g = src_of(fanins[fb + 2]);
+          break;
+        case BatchOp::kAnd2:
+        case BatchOp::kNand2:
+        case BatchOp::kOr2:
+        case BatchOp::kNor2:
+          q.kind = PreOp::kAnd2;
+          q.ctrl = (op == BatchOp::kOr2 || op == BatchOp::kNor2);
+          q.fc.x = src_of(fanins[fb]);
+          q.fc.y = src_of(fanins[fb + 1]);
+          break;
+        case BatchOp::kXor2:
+        case BatchOp::kXnor2:
+          q.kind = PreOp::kXor2;
+          q.fc.x = src_of(fanins[fb]);
+          q.fc.y = src_of(fanins[fb + 1]);
+          break;
+        case BatchOp::kAndN:
+        case BatchOp::kNandN:
+        case BatchOp::kOrN:
+        case BatchOp::kNorN:
+        case BatchOp::kXorN:
+        case BatchOp::kXnorN: {
+          const bool is_xor =
+              (op == BatchOp::kXorN || op == BatchOp::kXnorN);
+          q.kind = is_xor ? PreOp::kNaryXor : PreOp::kNaryAnd;
+          q.ctrl = (op == BatchOp::kOrN || op == BatchOp::kNorN);
+          q.nf = cn.fanin_count(g);
+          q.nary_off = static_cast<std::uint32_t>(ep->nary.size());
+          for (std::uint32_t k = 0; k < q.nf; ++k) {
+            ep->nary.push_back(src_of(fanins[fb + k]));
+          }
+          break;
+        }
+        default:
+          continue;  // inputs/constants never enter the plan
+      }
+      ep->ops.push_back(q);
+    }
+  }
+
+  for (const PreOp& q : ep->ops) {
+    const FusedGate& og = q.fc.P;
+    switch (q.kind) {
+      case PreOp::kFused:
+        fused_run<kLaneDelays>(q.fc, q.pSrc, count, P);
+        break;
+      case PreOp::kUnary:
+        wide_unary<kLaneDelays>(q.fc.x, og.vw, og.r, og.f, og.rp, og.fp,
+                                og.tp, count, P);
+        break;
+      case PreOp::kMux:
+        wide_mux<kLaneDelays>(q.fc.x, q.fc.y, q.fc.g, og.vw, og.r, og.f,
+                              og.rp, og.fp, og.tp, count, P);
+        break;
+      case PreOp::kAnd2:
+        wide_and2<kLaneDelays>(q.fc.x, q.fc.y, og.vw, q.ctrl, og.r, og.f,
+                               og.rp, og.fp, og.tp, count, P);
+        break;
+      case PreOp::kXor2:
+        wide_xor2<kLaneDelays>(q.fc.x, q.fc.y, og.vw, og.r, og.f, og.rp,
+                               og.fp, og.tp, count, P);
+        break;
+      case PreOp::kNaryAnd:
+        wide_nary_and<kLaneDelays>(ep->nary.data() + q.nary_off, q.nf, og.vw,
+                                   q.ctrl, og.r, og.f, og.rp, og.fp, og.tp,
+                                   count, P);
+        break;
+      case PreOp::kNaryXor:
+        wide_nary_xor<kLaneDelays>(ep->nary.data() + q.nary_off, q.nf, og.vw,
+                                   og.r, og.f, og.rp, og.fp, og.tp, count, P);
+        break;
+    }
+  }
+}
+
+void BitSliceEngine::run(const std::uint64_t* input_words, std::size_t count,
+                         BitSliceState& out) const {
+  if (!shared_) {
+    throw std::logic_error(
+        "BitSliceEngine: shared-delay run on a lane-delay engine");
+  }
+  obs::Span span = trace_bitslice(count, cn_->num_gates());
+  run_impl<false>(input_words, count, nullptr, out);
+}
+
+void BitSliceEngine::run(const std::uint64_t* input_words, std::size_t count,
+                         const BatchDelays& delays, BitSliceState& out) const {
+  if (shared_) {
+    throw std::logic_error(
+        "BitSliceEngine: lane-delay run on a shared-delay engine");
+  }
+  if (delays.batch != count ||
+      delays.rise_ps.size() != cn_->num_gates() * count ||
+      delays.fall_ps.size() != cn_->num_gates() * count) {
+    throw std::invalid_argument(
+        "BitSliceEngine::run: wrong per-lane delay count");
+  }
+  obs::Span span = trace_bitslice(count, cn_->num_gates());
+  run_impl<true>(input_words, count, &delays, out);
+}
+
+}  // namespace pufatt::timingsim

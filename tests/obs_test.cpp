@@ -460,7 +460,13 @@ TEST(GlobalTracing, SimulatorHooksRecordUnderGlobalTracer) {
   Xoshiro256pp rng(0x51D);
   std::uint64_t challenges[16];
   for (auto& c : challenges) c = rng.next();
+  // 16 obfuscated queries expand to 128 raw races, so kAuto routes this
+  // through the bit-sliced engine; force the SoA engine on a second batch
+  // so both batched paths prove their hooks.
   (void)fleet.devices[0].device->query_batch(challenges, 16, env, rng);
+  (void)fleet.devices[0].device->query_batch(
+      challenges, 16, env, rng, nullptr, nullptr,
+      timingsim::BatchEngine::kBatch);
   set_global_trace(false);
 
   EXPECT_GT(global_registry().counter("sim.batches").value(), 0u);
@@ -472,6 +478,7 @@ TEST(GlobalTracing, SimulatorHooksRecordUnderGlobalTracer) {
   EXPECT_EQ(names.count("puf.eval_batch"), 1u);
   EXPECT_EQ(names.count("puf.sample_delays"), 1u);
   EXPECT_EQ(names.count("puf.arbiter"), 1u);
+  EXPECT_EQ(names.count("sim.run_bitslice"), 1u);
   EXPECT_EQ(names.count("sim.run_batch"), 1u);
   tracer.clear();
 }

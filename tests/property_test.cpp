@@ -3,13 +3,16 @@
 // arguments rest on.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <bitset>
 
 #include "ecc/bch.hpp"
 #include "ecc/reed_muller.hpp"
 #include "netlist/builder.hpp"
 #include "netlist/techmap.hpp"
+#include "support/bitvec.hpp"
 #include "support/rng.hpp"
+#include "timingsim/bitslice.hpp"
 #include "timingsim/timing_sim.hpp"
 
 namespace pufatt {
@@ -247,6 +250,83 @@ TEST_P(RandomCircuit, ScalarInputOverloadsAgree) {
   }
 }
 
+TEST_P(RandomCircuit, BitSliceSharedModeBitIdenticalToScalar) {
+  // The bit-sliced engine (64 lanes per word) shares the exactness
+  // contract: identical doubles to the scalar simulator, == not NEAR.
+  // Batches up to ~140 lanes cover multi-word states and ragged tails.
+  Xoshiro256pp rng(8000 + GetParam());
+  const auto net = random_circuit(8, 70, rng);
+  timingsim::TimingSimulator sim(net);
+  timingsim::DelaySet delays;
+  delays.rise_ps.resize(net.num_gates());
+  delays.fall_ps.resize(net.num_gates());
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    delays.rise_ps[g] = rng.uniform(1.0, 30.0);
+    delays.fall_ps[g] = rng.uniform(1.0, 30.0);
+  }
+  const timingsim::BitSliceEngine slice(sim.compiled(), delays);
+  const std::size_t batch = 1 + rng.uniform_u64(140);
+  std::vector<BitVector> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(BitVector::random(net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  timingsim::pack_input_words(challenges.data(), batch, net.num_inputs(),
+                              words);
+  timingsim::BitSliceState out;
+  slice.run(words.data(), batch, out);
+  std::vector<timingsim::SignalState> states;
+  for (std::size_t b = 0; b < batch; ++b) {
+    sim.run(challenges[b], delays, states);
+    for (std::size_t g = 0; g < net.num_gates(); ++g) {
+      const auto id = static_cast<GateId>(g);
+      ASSERT_EQ(slice.value(out, id, b), states[g].value)
+          << "gate " << g << " lane " << b;
+      ASSERT_EQ(slice.time_ps(out, id, b), states[g].time_ps)
+          << "gate " << g << " lane " << b;
+    }
+  }
+}
+
+TEST_P(RandomCircuit, BitSliceLaneModeBitIdenticalToBatch) {
+  // Lane-delay mode: every lane carries its own delay realization and must
+  // reproduce the SoA batch engine bit-for-bit.
+  Xoshiro256pp rng(9000 + GetParam());
+  const auto net = random_circuit(6, 50, rng);
+  timingsim::TimingSimulator sim(net);
+  const timingsim::BitSliceEngine slice(sim.compiled());
+  const std::size_t batch = 1 + rng.uniform_u64(100);
+  timingsim::BatchDelays delays;
+  delays.batch = batch;
+  delays.rise_ps.resize(net.num_gates() * batch);
+  delays.fall_ps.resize(net.num_gates() * batch);
+  for (auto& d : delays.rise_ps) d = rng.uniform(1.0, 20.0);
+  for (auto& d : delays.fall_ps) d = rng.uniform(1.0, 20.0);
+  std::vector<BitVector> challenges;
+  for (std::size_t b = 0; b < batch; ++b) {
+    challenges.push_back(BitVector::random(net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  timingsim::pack_input_words(challenges.data(), batch, net.num_inputs(),
+                              words);
+  timingsim::BitSliceState out;
+  slice.run(words.data(), batch, delays, out);
+  std::vector<std::uint8_t> lanes;
+  timingsim::pack_input_lanes(challenges.data(), batch, net.num_inputs(),
+                              lanes);
+  timingsim::BatchState soa;
+  sim.run_batch(lanes.data(), batch, delays, soa);
+  for (std::size_t g = 0; g < net.num_gates(); ++g) {
+    const auto id = static_cast<GateId>(g);
+    for (std::size_t b = 0; b < batch; ++b) {
+      ASSERT_EQ(slice.value(out, id, b), soa.value(id, b) != 0)
+          << "gate " << g << " lane " << b;
+      ASSERT_EQ(slice.time_ps(out, id, b), soa.time_ps(id, b))
+          << "gate " << g << " lane " << b;
+    }
+  }
+}
+
 TEST_P(RandomCircuit, TechmapNeverExceedsGateCount) {
   Xoshiro256pp rng(4000 + GetParam());
   const auto net = random_circuit(6, 80, rng);
@@ -364,6 +444,72 @@ TEST(BitVectorFuzz, MatchesBitsetReference) {
     const auto hi = a.slice(40, 56);
     EXPECT_EQ(lo.concat(hi), a);
   }
+}
+
+// ------------------------------------------- bit-column transpose helpers
+
+TEST(BitColumns, Transpose64x64MatchesNaiveAndIsInvolution) {
+  Xoshiro256pp rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::uint64_t m[64];
+    for (auto& w : m) w = rng.next();
+    std::uint64_t t[64];
+    std::copy(std::begin(m), std::end(m), std::begin(t));
+    support::transpose_64x64(t);
+    for (int r = 0; r < 64; ++r) {
+      for (int c = 0; c < 64; ++c) {
+        ASSERT_EQ((t[r] >> c) & 1ULL, (m[c] >> r) & 1ULL)
+            << "row " << r << " col " << c;
+      }
+    }
+    support::transpose_64x64(t);  // involution: transpose twice = identity
+    for (int r = 0; r < 64; ++r) ASSERT_EQ(t[r], m[r]);
+  }
+}
+
+TEST(BitColumns, PackUnpackRoundTripsWithStrideAndPartialBlocks) {
+  Xoshiro256pp rng(12);
+  for (int trial = 0; trial < 50; ++trial) {
+    const std::size_t count = 1 + rng.uniform_u64(64);
+    const std::size_t nbits = 1 + rng.uniform_u64(150);
+    const std::size_t stride = 1 + rng.uniform_u64(3);
+    std::vector<BitVector> vecs;
+    for (std::size_t l = 0; l < count; ++l) {
+      vecs.push_back(BitVector::random(nbits, rng));
+    }
+    std::vector<std::uint64_t> cols(nbits * stride, ~0ULL);
+    support::pack_bit_columns(vecs.data(), count, nbits, cols.data(), stride);
+    for (std::size_t i = 0; i < nbits; ++i) {
+      for (std::size_t l = 0; l < 64; ++l) {
+        const bool expect = l < count && vecs[l].get(i);
+        ASSERT_EQ((cols[i * stride] >> l) & 1ULL, expect ? 1ULL : 0ULL)
+            << "bit " << i << " lane " << l;  // tail lanes must be zeroed
+      }
+    }
+    std::vector<BitVector> back(count, BitVector(nbits));
+    support::unpack_bit_columns(cols.data(), nbits, stride, back.data(),
+                                count);
+    for (std::size_t l = 0; l < count; ++l) ASSERT_EQ(back[l], vecs[l]);
+  }
+}
+
+TEST(BitColumns, PackValidatesWidthAndLaneCount) {
+  BitVector vecs[2] = {BitVector(8), BitVector(9)};  // ragged widths
+  std::uint64_t out[9] = {};
+  EXPECT_THROW(support::pack_bit_columns(vecs, 2, 8, out, 1),
+               std::invalid_argument);
+  std::vector<BitVector> many(65, BitVector(4));
+  std::uint64_t out4[4] = {};
+  EXPECT_THROW(support::pack_bit_columns(many.data(), 65, 4, out4, 1),
+               std::invalid_argument);
+  std::vector<BitVector> back(65, BitVector(4));
+  EXPECT_THROW(support::unpack_bit_columns(out4, 4, 1, back.data(), 65),
+               std::invalid_argument);
+  // pack_input_words inherits the width check per 64-lane block.
+  BitVector ragged[2] = {BitVector(6), BitVector(7)};
+  std::vector<std::uint64_t> words;
+  EXPECT_THROW(timingsim::pack_input_words(ragged, 2, 6, words),
+               std::invalid_argument);
 }
 
 // ----------------------------------------- adder exhaustive small widths

@@ -5,6 +5,7 @@
 #include "netlist/builder.hpp"
 #include "support/stats.hpp"
 #include "timingsim/arbiter.hpp"
+#include "timingsim/bitslice.hpp"
 #include "timingsim/timing_sim.hpp"
 #include "variation/chip.hpp"
 
@@ -366,6 +367,248 @@ TEST(TimingSim, BatchRejectsBadDelayShape) {
   BatchDelays delays;  // wrong batch / sizes
   delays.batch = 3;
   EXPECT_THROW(sim.run_batch(lanes, 2, delays, out), std::invalid_argument);
+}
+
+// ---------------------------------------------------- bit-sliced engine
+
+// Exactness is the contract: the bit-sliced engine must produce the same
+// doubles as the scalar simulator (same classification-free arithmetic,
+// symmetric-exact min/max), so every comparison below is ==, not NEAR.
+
+TEST(BitSlice, SharedModeMatchesScalarOnAluCircuit) {
+  const auto circuit = netlist::build_alu_puf_circuit(8);
+  const variation::ChipInstance chip(circuit.net, {}, {}, 1234);
+  const auto delays = chip.nominal_delays(variation::Environment::nominal());
+  const TimingSimulator sim(circuit.net);
+  const BitSliceEngine slice(sim.compiled(), delays);
+
+  // 100 lanes: one full 64-lane word plus a 36-lane tail.
+  const std::size_t count = 100;
+  support::Xoshiro256pp rng(91);
+  std::vector<support::BitVector> challenges;
+  for (std::size_t i = 0; i < count; ++i) {
+    challenges.push_back(
+        support::BitVector::random(circuit.net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  pack_input_words(challenges.data(), count, circuit.net.num_inputs(), words);
+  BitSliceState out;
+  slice.run(words.data(), count, out);
+
+  std::vector<SignalState> states;
+  for (std::size_t b = 0; b < count; ++b) {
+    sim.run(challenges[b], delays, states);
+    for (std::size_t g = 0; g < circuit.net.num_gates(); ++g) {
+      const auto id = static_cast<GateId>(g);
+      ASSERT_EQ(slice.value(out, id, b), states[g].value)
+          << "gate " << g << " lane " << b;
+      ASSERT_EQ(slice.time_ps(out, id, b), states[g].time_ps)
+          << "gate " << g << " lane " << b;
+    }
+  }
+}
+
+TEST(BitSlice, LaneDelayModeMatchesRunBatch) {
+  const auto circuit = netlist::build_alu_puf_circuit(8);
+  const variation::ChipInstance chip(circuit.net, {}, {}, 1234);
+  const auto base = chip.nominal_delays(variation::Environment::nominal());
+  const TimingSimulator sim(circuit.net);
+  const BitSliceEngine slice(sim.compiled());
+
+  const std::size_t count = 70;  // non-multiple-of-64 tail
+  const std::size_t gates = circuit.net.num_gates();
+  support::Xoshiro256pp rng(92);
+  BatchDelays delays;
+  delays.batch = count;
+  delays.rise_ps.resize(gates * count);
+  delays.fall_ps.resize(gates * count);
+  for (std::size_t g = 0; g < gates; ++g) {
+    for (std::size_t b = 0; b < count; ++b) {
+      const double jitter = 1.0 + 0.02 * rng.uniform();
+      delays.rise_ps[g * count + b] = base.rise_ps[g] * jitter;
+      delays.fall_ps[g * count + b] = base.fall_ps[g] * jitter;
+    }
+  }
+  std::vector<support::BitVector> challenges;
+  for (std::size_t i = 0; i < count; ++i) {
+    challenges.push_back(
+        support::BitVector::random(circuit.net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  pack_input_words(challenges.data(), count, circuit.net.num_inputs(), words);
+  BitSliceState out;
+  slice.run(words.data(), count, delays, out);
+
+  std::vector<std::uint8_t> lanes;
+  pack_input_lanes(challenges.data(), count, circuit.net.num_inputs(), lanes);
+  BatchState soa;
+  sim.run_batch(lanes.data(), count, delays, soa);
+  for (std::size_t g = 0; g < gates; ++g) {
+    const auto id = static_cast<GateId>(g);
+    for (std::size_t b = 0; b < count; ++b) {
+      ASSERT_EQ(slice.value(out, id, b), soa.value(id, b) != 0)
+          << "gate " << g << " lane " << b;
+      ASSERT_EQ(slice.time_ps(out, id, b), soa.time_ps(id, b))
+          << "gate " << g << " lane " << b;
+    }
+  }
+}
+
+TEST(BitSlice, OutsideConeGatesReadZero) {
+  // Same shape as ObservedConeDropsUnreachableGates: y is outside the
+  // observed cone, so its values and times must read back zeroed.
+  Netlist net;
+  const GateId a = net.add_input("a");
+  const GateId b = net.add_input("b");
+  const GateId x = net.add_gate(GateKind::kNot, {a});
+  const GateId y = net.add_gate(GateKind::kNot, {b});
+  const TimingSimulator sim(net, {x});
+  DelaySet delays;
+  delays.rise_ps.assign(net.num_gates(), 1.0);
+  delays.fall_ps.assign(net.num_gates(), 1.0);
+  const BitSliceEngine slice(sim.compiled(), delays);
+
+  support::BitVector challenges[2];
+  challenges[0] = support::BitVector(2);
+  challenges[1] = support::BitVector(2);
+  challenges[1].set(0, true);  // a=1 on lane 1
+  challenges[0].set(1, true);  // b=1 on lane 0 (feeds only the dead cone)
+  std::vector<std::uint64_t> words;
+  pack_input_words(challenges, 2, 2, words);
+  BitSliceState out;
+  slice.run(words.data(), 2, out);
+  EXPECT_TRUE(slice.value(out, x, 0));
+  EXPECT_FALSE(slice.value(out, x, 1));
+  EXPECT_FALSE(slice.value(out, y, 0));
+  EXPECT_FALSE(slice.value(out, y, 1));
+  EXPECT_EQ(slice.time_ps(out, y, 0), 0.0);
+  EXPECT_EQ(slice.time_ps(out, y, 1), 0.0);
+}
+
+TEST(BitSlice, RaceWordsMatchesArbiterAndZerosTail) {
+  const auto circuit = netlist::build_alu_puf_circuit(8);
+  const variation::ChipInstance chip(circuit.net, {}, {}, 77);
+  const auto delays = chip.nominal_delays(variation::Environment::nominal());
+  const TimingSimulator sim(circuit.net);
+  const BitSliceEngine slice(sim.compiled(), delays);
+
+  const std::size_t count = 70;
+  support::Xoshiro256pp rng(93);
+  std::vector<support::BitVector> challenges;
+  for (std::size_t i = 0; i < count; ++i) {
+    challenges.push_back(
+        support::BitVector::random(circuit.net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  pack_input_words(challenges.data(), count, circuit.net.num_inputs(), words);
+  BitSliceState out;
+  slice.run(words.data(), count, out);
+
+  std::vector<std::uint64_t> race(out.nwords);
+  for (std::size_t i = 0; i < circuit.race0.size(); ++i) {
+    slice.race_words(out, circuit.race0[i], circuit.race1[i], race.data());
+    for (std::size_t b = 0; b < count; ++b) {
+      const double delta = slice.time_ps(out, circuit.race1[i], b) -
+                           slice.time_ps(out, circuit.race0[i], b);
+      const bool bit = (race[b >> 6] >> (b & 63)) & 1ULL;
+      ASSERT_EQ(bit, Arbiter::decide(delta)) << "race " << i << " lane " << b;
+    }
+    // Lanes past `count` in the tail word must be zero.
+    for (std::size_t b = count; b < out.nwords * 64; ++b) {
+      ASSERT_FALSE((race[b >> 6] >> (b & 63)) & 1ULL);
+    }
+  }
+}
+
+TEST(BitSlice, StateReuseAcrossRunsAndEngines) {
+  // BitSliceState caches a materialized execution plan stamped with its
+  // owning engine; reusing one state across runs and across engines must
+  // stay correct (the stamp forces a rebuild on engine change).
+  const auto circuit = netlist::build_alu_puf_circuit(8);
+  const variation::ChipInstance chip_a(circuit.net, {}, {}, 1);
+  const variation::ChipInstance chip_b(circuit.net, {}, {}, 2);
+  const auto env = variation::Environment::nominal();
+  const auto delays_a = chip_a.nominal_delays(env);
+  const auto delays_b = chip_b.nominal_delays(env);
+  const TimingSimulator sim(circuit.net);
+  const BitSliceEngine slice_a(sim.compiled(), delays_a);
+  const BitSliceEngine slice_b(sim.compiled(), delays_b);
+
+  const std::size_t count = 65;
+  support::Xoshiro256pp rng(94);
+  std::vector<support::BitVector> challenges;
+  for (std::size_t i = 0; i < count; ++i) {
+    challenges.push_back(
+        support::BitVector::random(circuit.net.num_inputs(), rng));
+  }
+  std::vector<std::uint64_t> words;
+  pack_input_words(challenges.data(), count, circuit.net.num_inputs(), words);
+
+  BitSliceState shared_state;  // one state threaded through everything
+  slice_a.run(words.data(), count, shared_state);
+  std::vector<double> first_a(circuit.race0.size() * count);
+  for (std::size_t i = 0; i < circuit.race0.size(); ++i) {
+    for (std::size_t b = 0; b < count; ++b) {
+      first_a[i * count + b] = slice_a.time_ps(shared_state, circuit.race0[i], b);
+    }
+  }
+  // Same engine, same inputs, same state: identical bytes.
+  slice_a.run(words.data(), count, shared_state);
+  for (std::size_t i = 0; i < circuit.race0.size(); ++i) {
+    for (std::size_t b = 0; b < count; ++b) {
+      ASSERT_EQ(slice_a.time_ps(shared_state, circuit.race0[i], b),
+                first_a[i * count + b]);
+    }
+  }
+  // Different engine, same state: must match a fresh-state run of B.
+  slice_b.run(words.data(), count, shared_state);
+  BitSliceState fresh;
+  slice_b.run(words.data(), count, fresh);
+  for (std::size_t g = 0; g < circuit.net.num_gates(); ++g) {
+    const auto id = static_cast<GateId>(g);
+    for (std::size_t b = 0; b < count; ++b) {
+      ASSERT_EQ(slice_b.value(shared_state, id, b), slice_b.value(fresh, id, b));
+      ASSERT_EQ(slice_b.time_ps(shared_state, id, b),
+                slice_b.time_ps(fresh, id, b));
+    }
+  }
+}
+
+TEST(BitSlice, RunValidatesModeAndShapes) {
+  Netlist net;
+  const GateId a = net.add_input("a");
+  net.add_output("o", net.add_gate(GateKind::kNot, {a}));
+  const TimingSimulator sim(net);
+  DelaySet shared;
+  shared.rise_ps.assign(net.num_gates(), 1.0);
+  shared.fall_ps.assign(net.num_gates(), 1.0);
+  const BitSliceEngine lane_engine(sim.compiled());
+  const BitSliceEngine shared_engine(sim.compiled(), shared);
+
+  const std::uint64_t words[] = {1};
+  BitSliceState out;
+  BatchDelays lane_delays;
+  lane_delays.batch = 1;
+  lane_delays.rise_ps.assign(net.num_gates(), 1.0);
+  lane_delays.fall_ps.assign(net.num_gates(), 1.0);
+
+  // Empty batches are rejected in both modes.
+  EXPECT_THROW(shared_engine.run(words, 0, out), std::invalid_argument);
+  EXPECT_THROW(lane_engine.run(words, 0, lane_delays, out),
+               std::invalid_argument);
+  // Shared-mode run on a lane engine (and vice versa) is a usage bug.
+  EXPECT_THROW(lane_engine.run(words, 1, out), std::logic_error);
+  EXPECT_THROW(shared_engine.run(words, 1, lane_delays, out),
+               std::logic_error);
+  // Lane-delay shape must match the lane count.
+  BatchDelays bad = lane_delays;
+  bad.batch = 3;
+  EXPECT_THROW(lane_engine.run(words, 1, bad, out), std::invalid_argument);
+  // Shared ctor rejects a delay set sized for a different netlist.
+  DelaySet wrong;
+  wrong.rise_ps.assign(net.num_gates() + 1, 1.0);
+  wrong.fall_ps.assign(net.num_gates() + 1, 1.0);
+  EXPECT_THROW(BitSliceEngine(sim.compiled(), wrong), std::invalid_argument);
 }
 
 }  // namespace

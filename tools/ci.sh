@@ -10,10 +10,15 @@
 # smokes (service_throughput_smoke, sim_engine_smoke, micro_perf_smoke,
 # obs_overhead_smoke, net_throughput_smoke), so the stable-schema
 # BENCH_*.json writers and the tracing overhead gates are exercised under
-# each sanitizer too.  The TSan tree in particular covers the socket
-# front end's cross-thread seams: event-loop wakeups, pool-completion
-# posts back onto the loop thread, and server/loadgen counter handoff
-# (tests/net_test.cpp runs in all four trees).
+# each sanitizer too.  sim_engine_smoke additionally gates the bit-sliced
+# engine (zero divergence vs scalar, engine-invariant CRP digests), and
+# gen_crps_engine_parity re-derives the same contract at the CLI layer:
+# gen-crps output must be byte-identical across --engine=scalar/batch/
+# bitslice.  The TSan tree in particular covers the socket front end's
+# cross-thread seams — event-loop wakeups, pool-completion posts back onto
+# the loop thread, server/loadgen counter handoff (tests/net_test.cpp) —
+# and the shard workers' concurrent use of one prewarmed device through
+# the bit-sliced and scalar eval paths.
 #
 # Each tree then reruns the torture-labeled seeded kill-and-recover loop
 # (tests/store_torture.cpp) with a second seed: random fault points over

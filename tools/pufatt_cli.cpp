@@ -20,6 +20,7 @@
 //                                                  against a running server
 //   pufatt-cli trace-report <trace-file>           aggregate an exported trace
 //   pufatt-cli gen-crps <chip-seed> <count> <threads> <out.csv>
+//              [--engine={auto,scalar,batch,bitslice}]
 //                                                  dump protocol CRPs (batched)
 //   pufatt-cli store-inspect <store-dir>           recover + summarize a store
 //                                                  (sharded stores print every
@@ -109,6 +110,8 @@ int usage() {
                "       pufatt-cli trace-report <trace-file>\n"
                "       pufatt-cli gen-crps <chip-seed> <count> <threads> "
                "<out.csv>\n"
+               "                  [--engine={auto,scalar,batch,bitslice}]  "
+               "timing kernel\n"
                "       pufatt-cli store-inspect <store-dir>\n"
                "       pufatt-cli store-compact <store-dir> "
                "[--segment-bytes=<n>]\n"
@@ -134,6 +137,37 @@ bool parse_u64(const char* text, std::uint64_t& value) {
 int bad_argument(const char* what, const char* got) {
   std::fprintf(stderr, "error: malformed %s '%s'\n", what, got);
   return usage();
+}
+
+/// Strict engine-selector parse: exact names only, same reject-don't-guess
+/// contract as parse_u64.  All engines produce byte-identical output (the
+/// exactness contract has a crosscheck gate), so the flag only trades speed.
+bool parse_engine(const std::string& name, timingsim::BatchEngine& engine) {
+  if (name == "auto") {
+    engine = timingsim::BatchEngine::kAuto;
+  } else if (name == "scalar") {
+    engine = timingsim::BatchEngine::kScalar;
+  } else if (name == "batch") {
+    engine = timingsim::BatchEngine::kBatch;
+  } else if (name == "bitslice") {
+    engine = timingsim::BatchEngine::kBitslice;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* engine_name(timingsim::BatchEngine engine) {
+  switch (engine) {
+    case timingsim::BatchEngine::kScalar:
+      return "scalar";
+    case timingsim::BatchEngine::kBatch:
+      return "batch";
+    case timingsim::BatchEngine::kBitslice:
+      return "bitslice";
+    default:
+      return "auto";
+  }
 }
 
 /// Strict double parse, same contract as parse_u64.
@@ -658,7 +692,8 @@ int cmd_trace_report(const std::string& path) {
 // invocation produces byte-identical CSVs at any parallelism (there is a
 // ctest comparing 1 vs 3 threads).
 int cmd_gen_crps(std::uint64_t chip_seed, std::uint64_t count,
-                 std::uint64_t threads, const std::string& path) {
+                 std::uint64_t threads, const std::string& path,
+                 timingsim::BatchEngine engine) {
   if (count == 0 || threads == 0) {
     std::fprintf(stderr, "error: count and threads must be > 0\n");
     return usage();
@@ -685,7 +720,7 @@ int cmd_gen_crps(std::uint64_t chip_seed, std::uint64_t count,
         for (std::size_t i = begin; i < end; ++i) challenges[i] = rng.next();
         const auto outputs =
             device.query_batch(challenges.data() + begin, end - begin, env,
-                               rng, nullptr, &scratch[slot]);
+                               rng, nullptr, &scratch[slot], engine);
         for (std::size_t i = begin; i < end; ++i) {
           responses[i] = outputs[i - begin].z.to_u64();
         }
@@ -704,9 +739,11 @@ int cmd_gen_crps(std::uint64_t chip_seed, std::uint64_t count,
                  static_cast<unsigned long long>(responses[i]));
   }
   std::fclose(out);
-  std::printf("wrote %zu CRPs (chip %llu, %zu worker(s), block %zu) -> %s\n",
-              n, static_cast<unsigned long long>(chip_seed), workers, kBlock,
-              path.c_str());
+  std::printf(
+      "wrote %zu CRPs (chip %llu, %zu worker(s), block %zu, engine %s) -> "
+      "%s\n",
+      n, static_cast<unsigned long long>(chip_seed), workers, kBlock,
+      engine_name(engine), path.c_str());
   return 0;
 }
 
@@ -1056,14 +1093,24 @@ int main(int argc, char** argv) {
       return argc == 3 ? cmd_trace_report(argv[2]) : usage();
     }
     if (cmd == "gen-crps") {
-      if (argc != 6) return usage();
+      if (argc != 6 && argc != 7) return usage();
       std::uint64_t seed = 0, count = 0, threads = 0;
       if (!parse_u64(argv[2], seed)) return bad_argument("chip-seed", argv[2]);
       if (!parse_u64(argv[3], count)) return bad_argument("count", argv[3]);
       if (!parse_u64(argv[4], threads)) {
         return bad_argument("thread count", argv[4]);
       }
-      return cmd_gen_crps(seed, count, threads, argv[5]);
+      auto engine = timingsim::BatchEngine::kAuto;
+      if (argc == 7) {
+        const std::string arg = argv[6];
+        const std::string prefix = "--engine=";
+        if (arg.rfind(prefix, 0) != 0 ||
+            !parse_engine(arg.substr(prefix.size()), engine)) {
+          return bad_argument("engine (want auto/scalar/batch/bitslice)",
+                              arg.c_str());
+        }
+      }
+      return cmd_gen_crps(seed, count, threads, argv[5], engine);
     }
     if (cmd == "store-inspect") {
       if (argc != 3) return usage();
