@@ -17,6 +17,13 @@
 //      The load generator runs in a forked child process so each side of
 //      the socket gets its own fd budget (exactly the two-process shape of
 //      a real deployment), shipping per-job verdicts back over a pipe.
+//   5. tracing overhead A/B — the same cell with no tracer vs with a
+//      tracer attached but disabled (hooks compiled in, sampler off: the
+//      always-on production configuration).  Best-of-N goodput each way;
+//      the full-mode claim gate is <= 2% goodput cost.
+//   6. stats-under-load cell — a concurrent poller hammers the
+//      StatsRequest admin frame for the whole cell; the claim is zero
+//      verdict divergence with stats actually served mid-load.
 //
 // Verdict parity is the correctness spine: every cell's jobs are the same
 // derivation (LoadGenerator::job_for — device j%devices, seeds affine in
@@ -28,10 +35,12 @@
 // Results go to stdout and BENCH_net_throughput.json (stable schema; bump
 // schema_version on any field change).  `--smoke` runs a tiny sweep with a
 // 3-device fleet as the ctest smoke labeled 'bench'.
+#include <sys/socket.h>
 #include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdint>
@@ -43,8 +52,11 @@
 #include <vector>
 
 #include "net/fleet.hpp"
+#include "net/frame.hpp"
 #include "net/loadgen.hpp"
 #include "net/server.hpp"
+#include "net/socket.hpp"
+#include "obs/trace.hpp"
 #include "service/emulator_cache.hpp"
 #include "service/verifier_pool.hpp"
 #include "support/table.hpp"
@@ -135,6 +147,7 @@ struct Cell {
   net::LoadGenReport report;
   net::NetCounters server_counters;
   std::size_t divergence = 0;
+  std::size_t stats_polls = 0;  ///< stats round trips during the cell
 
   double shed_rate() const {
     const double replies = static_cast<double>(report.verdicts) +
@@ -287,11 +300,60 @@ bool run_loadgen_forked(const net::LoadGenConfig& config,
   return ok && WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
 }
 
+/// Hammers the stats admin frame over one dedicated connection until
+/// stopped; counts successful round trips.
+void poll_stats_until(const net::Endpoint& endpoint,
+                      const std::atomic<bool>& stop, std::size_t* served) {
+  try {
+    net::Fd fd = net::connect_to(endpoint);
+    net::FrameDecoder decoder;
+    std::vector<net::FrameDecoder::Frame> frames;
+    std::uint64_t tag = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const auto request = net::encode_stats_request(net::StatsRequest{tag});
+      std::size_t sent = 0;
+      while (sent < request.size()) {
+        const ssize_t n = ::send(fd.get(), request.data() + sent,
+                                 request.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+          sent += static_cast<std::size_t>(n);
+        } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+                   errno != EINTR) {
+          return;
+        }
+      }
+      bool got_reply = false;
+      while (!got_reply) {
+        std::uint8_t buf[8192];
+        const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+        if (n > 0) {
+          if (!decoder.feed(buf, static_cast<std::size_t>(n), frames)) return;
+          for (const auto& frame : frames) {
+            if (frame.type == net::MsgType::kStatsReply) got_reply = true;
+          }
+          frames.clear();
+        } else if (n == 0) {
+          return;
+        } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          if (stop.load(std::memory_order_relaxed)) return;
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        } else if (errno != EINTR) {
+          return;
+        }
+      }
+      ++tag;
+      ++*served;
+    }
+  } catch (const net::NetError&) {
+  }
+}
+
 Cell run_cell(const net::SimFleet& fleet, service::EmulatorCache& cache,
               std::size_t workers, std::size_t queue,
               std::size_t connections, std::size_t jobs_per_connection,
               const std::vector<BaselineVerdict>& baseline, bool forked,
-              double idle_timeout_ms = 0.0) {
+              double idle_timeout_ms = 0.0, obs::Tracer* tracer = nullptr,
+              bool stats_poll = false) {
   Cell cell;
   cell.connections = connections;
   cell.workers = workers;
@@ -303,6 +365,11 @@ Cell run_cell(const net::SimFleet& fleet, service::EmulatorCache& cache,
   server_config.pool.workers = workers;
   server_config.pool.queue_capacity = queue;
   if (idle_timeout_ms > 0.0) server_config.idle_timeout_ms = idle_timeout_ms;
+  // The tracing-overhead A/B attaches a *disabled* tracer here: every hook
+  // runs its enabled() check (the production always-on cost), records
+  // nothing.
+  server_config.tracer = tracer;
+  server_config.pool.tracer = tracer;
   net::AttestationServer server(
       cache,
       [&fleet](const net::JobRequest& request) {
@@ -310,6 +377,15 @@ Cell run_cell(const net::SimFleet& fleet, service::EmulatorCache& cache,
       },
       server_config);
   std::thread runner([&server] { server.run(); });
+
+  std::atomic<bool> poll_stop{false};
+  std::thread poller;
+  if (stats_poll) {
+    poller = std::thread([&server, &poll_stop, &cell] {
+      poll_stats_until(server.bound_endpoint(), poll_stop,
+                       &cell.stats_polls);
+    });
+  }
 
   net::LoadGenConfig config;
   config.endpoint = server.bound_endpoint();
@@ -328,6 +404,10 @@ Cell run_cell(const net::SimFleet& fleet, service::EmulatorCache& cache,
     cell.report = generator.run();
   }
 
+  if (stats_poll) {
+    poll_stop.store(true);
+    poller.join();
+  }
   server.stop();
   runner.join();
   cell.server_counters = server.counters();
@@ -457,6 +537,55 @@ int main(int argc, char** argv) {
     print_cells("connection scale:", scale_cells);
   }
 
+  // --- tracing overhead A/B: no tracer vs disabled tracer -------------------
+  // Hooks are compiled in either way (PUFATT_TRACE governs that at build
+  // time); the question here is what the always-on production config — a
+  // tracer attached, sampler off — costs over no tracer at all.  Best of
+  // N runs each way to push scheduling noise below the 2% gate.
+  const std::size_t ab_rounds = smoke ? 1 : 3;
+  const std::size_t ab_conns = smoke ? 4 : 16;
+  const std::size_t ab_jobs_per_conn =
+      std::max<std::size_t>(1, grid_jobs / ab_conns);
+  obs::Tracer disabled_tracer;  // never enabled
+  Cell trace_off_cell, trace_disabled_cell;
+  double best_plain = 0.0, best_disabled = 0.0;
+  for (std::size_t round = 0; round < ab_rounds; ++round) {
+    auto plain = run_cell(fleet, cache, sweep_workers, sweep_queue, ab_conns,
+                          ab_jobs_per_conn, baseline, /*forked=*/false);
+    auto disabled = run_cell(fleet, cache, sweep_workers, sweep_queue,
+                             ab_conns, ab_jobs_per_conn, baseline,
+                             /*forked=*/false, /*idle_timeout_ms=*/0.0,
+                             &disabled_tracer);
+    if (plain.report.goodput_per_s() > best_plain) {
+      best_plain = plain.report.goodput_per_s();
+      trace_off_cell = plain;
+    }
+    if (disabled.report.goodput_per_s() > best_disabled) {
+      best_disabled = disabled.report.goodput_per_s();
+      trace_disabled_cell = disabled;
+    }
+  }
+  const double trace_overhead =
+      best_plain > 0.0 ? std::max(0.0, 1.0 - best_disabled / best_plain) : 0.0;
+  print_cells("tracing overhead A/B (no tracer, then disabled tracer):",
+              {trace_off_cell, trace_disabled_cell});
+  std::printf("tracing disabled overhead: %.2f%% goodput "
+              "(%.1f/s -> %.1f/s, best of %zu)\n\n",
+              100.0 * trace_overhead, best_plain, best_disabled, ab_rounds);
+
+  // --- stats frames served mid-load ------------------------------------------
+  const auto stats_cell =
+      run_cell(fleet, cache, sweep_workers, sweep_queue, ab_conns,
+               ab_jobs_per_conn, baseline, /*forked=*/false,
+               /*idle_timeout_ms=*/0.0, /*tracer=*/nullptr,
+               /*stats_poll=*/true);
+  print_cells("stats polled concurrently with load:", {stats_cell});
+  std::printf("stats served mid-load: %zu round trips "
+              "(server counted %llu)\n\n",
+              stats_cell.stats_polls,
+              static_cast<unsigned long long>(
+                  stats_cell.server_counters.stats_served));
+
   // --- claims ---------------------------------------------------------------
   std::size_t total_divergence = 0;
   std::uint64_t total_verdicts = 0;
@@ -470,9 +599,13 @@ int main(int argc, char** argv) {
       best_goodput = std::max(best_goodput, c.report.goodput_per_s());
     }
   }
-  total_divergence += overload.divergence;
-  total_verdicts += overload.report.verdicts;
-  total_jobs += overload.jobs;
+  const Cell* extra_cells[] = {&overload, &trace_off_cell,
+                               &trace_disabled_cell, &stats_cell};
+  for (const Cell* extra : extra_cells) {
+    total_divergence += extra->divergence;
+    total_verdicts += extra->report.verdicts;
+    total_jobs += extra->jobs;
+  }
 
   const bool parity_ok = total_divergence == 0;
   const bool complete_ok = total_verdicts == total_jobs;
@@ -497,11 +630,18 @@ int main(int argc, char** argv) {
                     scale_cells.front().jobs &&
                 scale_cells.front().report.connect_failures == 0 &&
                 scale_cells.front().divergence == 0);
+  // Smoke cells are too short to resolve 2%; report there, gate in full.
+  const bool trace_overhead_ok = smoke || trace_overhead <= 0.02;
+  const bool stats_ok = stats_cell.divergence == 0 &&
+                        stats_cell.report.verdicts == stats_cell.jobs &&
+                        stats_cell.stats_polls > 0 &&
+                        stats_cell.server_counters.stats_served >=
+                            stats_cell.stats_polls;
 
   FILE* f = std::fopen("BENCH_net_throughput.json", "w");
   if (f != nullptr) {
     std::fprintf(f, "{\n");
-    std::fprintf(f, "  \"schema_version\": 1,\n");
+    std::fprintf(f, "  \"schema_version\": 2,\n");
     std::fprintf(f, "  \"bench\": \"net_throughput\",\n");
     std::fprintf(f, "  \"mode\": \"%s\",\n", smoke ? "smoke" : "full");
     std::fprintf(f,
@@ -528,13 +668,28 @@ int main(int argc, char** argv) {
       json_cell(f, scale_cells[i], i + 1 < scale_cells.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"tracing_overhead\": {\"rounds\": %zu, "
+                 "\"goodput_no_tracer\": %.2f, "
+                 "\"goodput_disabled_tracer\": %.2f, \"overhead\": %.4f},\n",
+                 ab_rounds, best_plain, best_disabled, trace_overhead);
+    std::fprintf(f, "  \"stats_under_load\": [\n");
+    json_cell(f, stats_cell, "");
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f,
+                 "  \"stats_polls\": {\"round_trips\": %zu, \"served\": %llu},\n",
+                 stats_cell.stats_polls,
+                 static_cast<unsigned long long>(
+                     stats_cell.server_counters.stats_served));
     std::fprintf(
         f,
         "  \"claims\": {\"parity_ok\": %s, \"complete_ok\": %s, "
-        "\"plateau_ok\": %s, \"overload_ok\": %s, \"scale_ok\": %s}\n",
+        "\"plateau_ok\": %s, \"overload_ok\": %s, \"scale_ok\": %s, "
+        "\"trace_overhead_ok\": %s, \"stats_ok\": %s}\n",
         parity_ok ? "true" : "false", complete_ok ? "true" : "false",
         plateau_ok ? "true" : "false", overload_ok ? "true" : "false",
-        scale_ok ? "true" : "false");
+        scale_ok ? "true" : "false", trace_overhead_ok ? "true" : "false",
+        stats_ok ? "true" : "false");
     std::fprintf(f, "}\n");
     std::fclose(f);
     std::printf("wrote BENCH_net_throughput.json\n");
@@ -565,7 +720,15 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(
                     scale_cells.front().report.connect_failures));
   }
-  return parity_ok && complete_ok && plateau_ok && overload_ok && scale_ok
+  std::printf("  [%s] tracing disabled costs <= 2%% goodput: %.2f%%%s\n",
+              trace_overhead_ok ? "ok" : "FAIL", 100.0 * trace_overhead,
+              smoke ? " (reported only in smoke)" : "");
+  std::printf("  [%s] stats served mid-load with zero divergence: "
+              "%zu polls, %zu divergences\n",
+              stats_ok ? "ok" : "FAIL", stats_cell.stats_polls,
+              stats_cell.divergence);
+  return parity_ok && complete_ok && plateau_ok && overload_ok && scale_ok &&
+                 trace_overhead_ok && stats_ok
              ? 0
              : 1;
 }

@@ -156,12 +156,26 @@ void EventLoop::stop() {
 }
 
 void EventLoop::set_timer(double period_ms, std::function<void()> on_tick) {
-  timer_period_ms_ = period_ms;
-  on_tick_ = std::move(on_tick);
-  next_tick_ns_ =
+  if (timers_.empty()) timers_.resize(1);
+  Timer& slot = timers_[0];
+  slot.period_ms = period_ms;
+  slot.on_tick = std::move(on_tick);
+  slot.next_ns =
       period_ms > 0.0
           ? steady_ns() + static_cast<std::uint64_t>(period_ms * 1e6)
           : 0;
+}
+
+void EventLoop::add_timer(double period_ms, std::function<void()> on_tick) {
+  if (timers_.empty()) timers_.resize(1);  // keep slot 0 for set_timer()
+  Timer timer;
+  timer.period_ms = period_ms;
+  timer.on_tick = std::move(on_tick);
+  timer.next_ns =
+      period_ms > 0.0
+          ? steady_ns() + static_cast<std::uint64_t>(period_ms * 1e6)
+          : 0;
+  timers_.push_back(std::move(timer));
 }
 
 void EventLoop::wake() {
@@ -186,19 +200,31 @@ void EventLoop::run_posted() {
 }
 
 int EventLoop::timeout_ms_until_tick() const {
-  if (timer_period_ms_ <= 0.0) return -1;
+  std::uint64_t soonest = 0;
+  bool armed = false;
+  for (const Timer& timer : timers_) {
+    if (timer.period_ms <= 0.0 || !timer.on_tick) continue;
+    if (!armed || timer.next_ns < soonest) soonest = timer.next_ns;
+    armed = true;
+  }
+  if (!armed) return -1;
   const std::uint64_t now = steady_ns();
-  if (now >= next_tick_ns_) return 0;
-  const std::uint64_t delta_ms = (next_tick_ns_ - now) / 1'000'000u;
+  if (now >= soonest) return 0;
+  const std::uint64_t delta_ms = (soonest - now) / 1'000'000u;
   return static_cast<int>(delta_ms) + 1;
 }
 
 void EventLoop::maybe_fire_timer() {
-  if (timer_period_ms_ <= 0.0 || !on_tick_) return;
-  const std::uint64_t now = steady_ns();
-  if (now < next_tick_ns_) return;
-  next_tick_ns_ = now + static_cast<std::uint64_t>(timer_period_ms_ * 1e6);
-  on_tick_();
+  // Index loop on purpose: a tick callback may add_timer(), growing the
+  // vector (the new timer first fires on a later iteration).
+  for (std::size_t i = 0; i < timers_.size(); ++i) {
+    if (timers_[i].period_ms <= 0.0 || !timers_[i].on_tick) continue;
+    const std::uint64_t now = steady_ns();
+    if (now < timers_[i].next_ns) continue;
+    timers_[i].next_ns =
+        now + static_cast<std::uint64_t>(timers_[i].period_ms * 1e6);
+    timers_[i].on_tick();
+  }
 }
 
 int EventLoop::wait(

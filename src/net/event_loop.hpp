@@ -64,8 +64,13 @@ class EventLoop {
   /// wakes the loop if it is blocked in the kernel.
   void post(std::function<void()> fn);
 
-  /// Periodic callback on the loop thread (one timer; period <= 0 disables).
+  /// Periodic callback on the loop thread.  set_timer() owns the primary
+  /// slot (period <= 0 disables it); add_timer() registers additional
+  /// independent periodic timers — the loop's poll timeout is the minimum
+  /// over all armed timers, and each fires on its own cadence.  Both are
+  /// loop-thread-or-pre-run only, like add()/modify()/remove().
   void set_timer(double period_ms, std::function<void()> on_tick);
+  void add_timer(double period_ms, std::function<void()> on_tick);
 
   /// Dispatches until stop().  Must be called at most once at a time.
   void run();
@@ -112,9 +117,14 @@ class EventLoop {
   std::vector<std::function<void()>> posted_;
   bool stop_requested_ = false;  ///< guarded by post_mutex_
 
-  double timer_period_ms_ = 0.0;
-  std::function<void()> on_tick_;
-  std::uint64_t next_tick_ns_ = 0;
+  /// Timer slot 0 belongs to set_timer(); add_timer() appends.  A slot
+  /// with period_ms <= 0 (or no callback) is disarmed.
+  struct Timer {
+    double period_ms = 0.0;
+    std::function<void()> on_tick;
+    std::uint64_t next_ns = 0;
+  };
+  std::vector<Timer> timers_;
 };
 
 }  // namespace pufatt::net

@@ -93,23 +93,35 @@ const char* to_string(MsgType type) {
       return "busy_reply";
     case MsgType::kErrorReply:
       return "error_reply";
+    case MsgType::kStatsRequest:
+      return "stats_request";
+    case MsgType::kStatsReply:
+      return "stats_reply";
   }
   return "unknown";
 }
 
-std::vector<std::uint8_t> encode_frame(
-    MsgType type, const std::vector<std::uint8_t>& payload) {
+std::vector<std::uint8_t> encode_frame(MsgType type,
+                                       const std::vector<std::uint8_t>& payload,
+                                       const TraceContext& trace) {
   std::vector<std::uint8_t> out;
-  out.reserve(kFrameOverheadBytes + payload.size());
+  const std::size_t ctx_bytes = trace.traced() ? kTraceContextBytes : 0;
+  out.reserve(kFrameOverheadBytes + ctx_bytes + payload.size());
   append_u32(out, kFrameMagic);
-  append_u32(out, static_cast<std::uint32_t>(type));
-  append_u32(out, static_cast<std::uint32_t>(payload.size()));
+  append_u32(out, static_cast<std::uint32_t>(type) |
+                      (trace.traced() ? kFrameTracedBit : 0u));
+  append_u32(out, static_cast<std::uint32_t>(ctx_bytes + payload.size()));
+  if (trace.traced()) {
+    append_u64(out, trace.trace_id);
+    append_u64(out, trace.span_id);
+  }
   out.insert(out.end(), payload.begin(), payload.end());
   append_u32(out, core::crc32(out.data(), out.size()));
   return out;
 }
 
-std::vector<std::uint8_t> encode_job_request(const JobRequest& msg) {
+std::vector<std::uint8_t> encode_job_request(const JobRequest& msg,
+                                             const TraceContext& trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(4 + msg.device_id.size() + 24);
   append_u32(payload, static_cast<std::uint32_t>(msg.device_id.size()));
@@ -117,10 +129,11 @@ std::vector<std::uint8_t> encode_job_request(const JobRequest& msg) {
   append_u64(payload, msg.channel_seed);
   append_u64(payload, msg.rng_seed);
   append_u64(payload, msg.tag);
-  return encode_frame(MsgType::kJobRequest, payload);
+  return encode_frame(MsgType::kJobRequest, payload, trace);
 }
 
-std::vector<std::uint8_t> encode_verdict_reply(const VerdictReply& msg) {
+std::vector<std::uint8_t> encode_verdict_reply(const VerdictReply& msg,
+                                               const TraceContext& trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(28);
   append_u64(payload, msg.tag);
@@ -128,15 +141,32 @@ std::vector<std::uint8_t> encode_verdict_reply(const VerdictReply& msg) {
   append_u32(payload, static_cast<std::uint32_t>(msg.status));
   append_u32(payload, msg.attempts);
   append_f64(payload, msg.total_us);
-  return encode_frame(MsgType::kVerdictReply, payload);
+  return encode_frame(MsgType::kVerdictReply, payload, trace);
 }
 
-std::vector<std::uint8_t> encode_busy_reply(const BusyReply& msg) {
+std::vector<std::uint8_t> encode_busy_reply(const BusyReply& msg,
+                                            const TraceContext& trace) {
   std::vector<std::uint8_t> payload;
   payload.reserve(16);
   append_u64(payload, msg.tag);
   append_f64(payload, msg.retry_after_us);
-  return encode_frame(MsgType::kBusyReply, payload);
+  return encode_frame(MsgType::kBusyReply, payload, trace);
+}
+
+std::vector<std::uint8_t> encode_stats_request(const StatsRequest& msg) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(8);
+  append_u64(payload, msg.tag);
+  return encode_frame(MsgType::kStatsRequest, payload);
+}
+
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& msg) {
+  std::vector<std::uint8_t> payload;
+  payload.reserve(12 + msg.stats_json.size());
+  append_u64(payload, msg.tag);
+  append_u32(payload, static_cast<std::uint32_t>(msg.stats_json.size()));
+  payload.insert(payload.end(), msg.stats_json.begin(), msg.stats_json.end());
+  return encode_frame(MsgType::kStatsReply, payload);
 }
 
 std::vector<std::uint8_t> encode_error_reply(const ErrorReply& msg) {
@@ -205,6 +235,29 @@ ErrorReply decode_error_reply(const std::vector<std::uint8_t>& payload) {
   return msg;
 }
 
+StatsRequest decode_stats_request(const std::vector<std::uint8_t>& payload) {
+  Cursor cur(payload);
+  StatsRequest msg;
+  msg.tag = cur.u64();
+  cur.expect_end();
+  return msg;
+}
+
+StatsReply decode_stats_reply(const std::vector<std::uint8_t>& payload) {
+  Cursor cur(payload);
+  StatsReply msg;
+  msg.tag = cur.u64();
+  const std::uint32_t json_len = cur.u32();
+  // The declared length is bounded by the frame limit before it sizes the
+  // copy, same posture as the device-id length above.
+  if (json_len > core::kMaxWireFrameBytes) {
+    throw SerializationError("stats JSON exceeds wire limit");
+  }
+  msg.stats_json = cur.bytes(json_len);
+  cur.expect_end();
+  return msg;
+}
+
 bool FrameDecoder::fail(const char* why) {
   failed_ = true;
   error_ = why;
@@ -246,10 +299,28 @@ bool FrameDecoder::feed(const std::uint8_t* data, std::size_t size,
       return fail("frame CRC mismatch");
     }
 
+    const std::uint32_t type_word = word(4);
     Frame frame;
-    frame.type = static_cast<MsgType>(word(4));
-    frame.payload.assign(head + kFrameHeaderBytes,
-                         head + kFrameHeaderBytes + len);
+    frame.type = static_cast<MsgType>(type_word & ~kFrameTracedBit);
+    std::size_t body_off = kFrameHeaderBytes;
+    std::size_t body_len = len;
+    if ((type_word & kFrameTracedBit) != 0) {
+      // The traced flag promises 16 context bytes inside the payload
+      // region; a shorter declared length lied about the bytes it covers
+      // and is handled like every other bound violation: poison.
+      if (len < kTraceContextBytes) {
+        return fail("traced frame shorter than its trace context");
+      }
+      auto qword = [&](std::size_t off) {
+        return static_cast<std::uint64_t>(word(off)) |
+               (static_cast<std::uint64_t>(word(off + 4)) << 32);
+      };
+      frame.trace.trace_id = qword(kFrameHeaderBytes);
+      frame.trace.span_id = qword(kFrameHeaderBytes + 8);
+      body_off += kTraceContextBytes;
+      body_len -= kTraceContextBytes;
+    }
+    frame.payload.assign(head + body_off, head + body_off + body_len);
     out.push_back(std::move(frame));
     consumed_ += frame_bytes;
   }

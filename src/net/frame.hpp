@@ -10,6 +10,17 @@
 // length, trailing CRC — but adds the length *prefix* a stream decoder
 // needs to reassemble frames across arbitrary read boundaries.
 //
+// Trace context (distributed tracing): a frame may carry an optional
+// 16-byte trace context — trace id + parent/root span id — flagged by the
+// high bit of the type word.  When the flag is set, the context occupies
+// the *first 16 bytes of the payload region* (so `payload_len` and the
+// trailing CRC cover it exactly like message bytes) and the message
+// payload follows.  An absent flag is an untraced frame, byte-identical
+// to the pre-trace protocol — old captures decode unchanged, and a peer
+// with tracing disabled interoperates with a traced peer frame-for-frame.
+// A set flag with payload_len < 16 is a framing violation (the declared
+// length lied about the bytes it promised) and poisons the decoder.
+//
 // Security posture (shared with core/serialize): the declared payload
 // length is attacker-controlled bytes until proven otherwise, so
 // FrameDecoder checks it against core::kMaxWireFrameBytes (the same bound
@@ -24,6 +35,9 @@
 //   kVerdictReply server → client: terminal job outcome
 //   kBusyReply    server → client: pool backpressure + retry-after hint
 //   kErrorReply   server → client: protocol-level failure, connection drops
+//   kStatsRequest client → server: admin probe for live telemetry
+//   kStatsReply   server → client: byte-stable JSON snapshot of the
+//                 server's metric registry, net counters and pool state
 #pragma once
 
 #include <cstdint>
@@ -40,14 +54,40 @@ inline constexpr std::uint32_t kFrameMagic = 0x50414E54;  // "PANT"
 inline constexpr std::size_t kFrameHeaderBytes = 12;      // magic, type, len
 inline constexpr std::size_t kFrameOverheadBytes = kFrameHeaderBytes + 4;
 
+/// High bit of the type word: the payload region starts with a 16-byte
+/// trace context (see TraceContext).  Kept out of the MsgType value space
+/// so type dispatch is unchanged by tracing.
+inline constexpr std::uint32_t kFrameTracedBit = 0x8000'0000u;
+/// Bytes the trace context occupies at the head of a traced payload.
+inline constexpr std::size_t kTraceContextBytes = 16;
+
 enum class MsgType : std::uint32_t {
   kJobRequest = 1,
   kVerdictReply = 2,
   kBusyReply = 3,
   kErrorReply = 4,
+  kStatsRequest = 5,
+  kStatsReply = 6,
 };
 
 const char* to_string(MsgType type);
+
+/// Optional per-frame distributed-tracing context.
+///
+/// Requests: `trace_id` is the client's root span id for this job and
+/// `span_id` the client span to parent under (the server adopts both, so
+/// its pool.job/net.* spans join the client's trace).  Replies: the
+/// server echoes `trace_id` and sets `span_id` to its own pool.job root,
+/// which is the join key `trace-report` merges client and server JSONL
+/// files on.  `trace_id == 0` means untraced — the frame is encoded
+/// without the context and is byte-identical to the pre-trace wire
+/// format.
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  bool traced() const { return trace_id != 0; }
+};
 
 /// One attestation job as submitted over the wire.  The client names the
 /// device and the deterministic seeds; the server supplies the enrollment
@@ -87,16 +127,39 @@ struct ErrorReply {
   ErrorCode code = ErrorCode::kMalformedPayload;
 };
 
+/// Admin probe for a live server's telemetry; `tag` is echoed in the reply.
+struct StatsRequest {
+  std::uint64_t tag = 0;
+};
+
+/// Live telemetry snapshot.  `stats_json` is the server's byte-stable
+/// JSON: same server state serializes to the same bytes (sorted keys, no
+/// whitespace, integer counters) — diffable, greppable, and safe to
+/// assert on in tests.
+struct StatsReply {
+  std::uint64_t tag = 0;
+  std::string stats_json;
+};
+
 // --- encoding ---------------------------------------------------------------
 
-/// Wraps a payload in the framing layer (header + CRC).
+/// Wraps a payload in the framing layer (header + CRC).  A traced context
+/// (`trace.traced()`) sets kFrameTracedBit and prepends the 16-byte
+/// context to the payload region; the default context leaves the frame
+/// byte-identical to the pre-trace encoding.
 std::vector<std::uint8_t> encode_frame(MsgType type,
-                                       const std::vector<std::uint8_t>& payload);
+                                       const std::vector<std::uint8_t>& payload,
+                                       const TraceContext& trace = {});
 
-std::vector<std::uint8_t> encode_job_request(const JobRequest& msg);
-std::vector<std::uint8_t> encode_verdict_reply(const VerdictReply& msg);
-std::vector<std::uint8_t> encode_busy_reply(const BusyReply& msg);
+std::vector<std::uint8_t> encode_job_request(const JobRequest& msg,
+                                             const TraceContext& trace = {});
+std::vector<std::uint8_t> encode_verdict_reply(const VerdictReply& msg,
+                                               const TraceContext& trace = {});
+std::vector<std::uint8_t> encode_busy_reply(const BusyReply& msg,
+                                            const TraceContext& trace = {});
 std::vector<std::uint8_t> encode_error_reply(const ErrorReply& msg);
+std::vector<std::uint8_t> encode_stats_request(const StatsRequest& msg);
+std::vector<std::uint8_t> encode_stats_reply(const StatsReply& msg);
 
 // --- payload decoding -------------------------------------------------------
 // All throw core::SerializationError on malformed payloads (wrong size,
@@ -106,6 +169,8 @@ JobRequest decode_job_request(const std::vector<std::uint8_t>& payload);
 VerdictReply decode_verdict_reply(const std::vector<std::uint8_t>& payload);
 BusyReply decode_busy_reply(const std::vector<std::uint8_t>& payload);
 ErrorReply decode_error_reply(const std::vector<std::uint8_t>& payload);
+StatsRequest decode_stats_request(const std::vector<std::uint8_t>& payload);
+StatsReply decode_stats_reply(const std::vector<std::uint8_t>& payload);
 
 // --- stream decoding --------------------------------------------------------
 
@@ -123,6 +188,10 @@ class FrameDecoder {
  public:
   struct Frame {
     MsgType type = MsgType::kErrorReply;
+    /// Extracted trace context; all-zero on untraced frames.  The context
+    /// bytes are stripped from `payload`, so message codecs see exactly
+    /// the bytes an untraced peer would have sent.
+    TraceContext trace;
     std::vector<std::uint8_t> payload;
   };
 

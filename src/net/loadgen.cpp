@@ -26,7 +26,9 @@ struct LoadGenerator::Conn {
   bool waiting_retry = false;
   bool done = false;           ///< all jobs terminal; fd closed
   std::uint32_t busy_retries = 0;
-  std::uint64_t send_ns = 0;   ///< first send of the current job
+  std::uint64_t send_ns = 0;     ///< first send of the current job
+  std::uint64_t trace_id = 0;    ///< sampled client.job root id (0 = untraced)
+  std::uint64_t attempt_ns = 0;  ///< send of the *current* attempt
 };
 
 LoadGenerator::LoadGenerator(const LoadGenConfig& config)
@@ -173,13 +175,44 @@ void LoadGenerator::on_reply(const std::shared_ptr<Conn>& conn,
       case MsgType::kVerdictReply: {
         const VerdictReply reply = decode_verdict_reply(frame.payload);
         if (reply.tag != conn->job) break;  // stale reply; keep waiting
+        const std::uint64_t now = obs::monotonic_ns();
         auto& verdict = report_.by_job[conn->job];
         verdict.completed = true;
         verdict.reply = reply;
         verdict.busy_retries = conn->busy_retries;
         verdict.latency_us =
-            static_cast<double>(obs::monotonic_ns() - conn->send_ns) / 1e3;
+            static_cast<double>(now - conn->send_ns) / 1e3;
         ++report_.verdicts;
+        if (conn->trace_id != 0) {
+          // The terminal attempt's wire interval, then the job root.  The
+          // root's notes carry the cross-process join key ("trace") and
+          // the server's pool.job root span id echoed in the reply.
+          obs::SpanRecord wire;
+          wire.id = config_.tracer->next_id();
+          wire.parent = conn->trace_id;
+          wire.name = "client.wire";
+          wire.start_ns = conn->attempt_ns;
+          wire.end_ns = now;
+          wire.notes[0] = obs::Note{"busy", 0.0};
+          wire.note_count = 1;
+          config_.tracer->emit(wire);
+
+          obs::SpanRecord root;
+          root.id = conn->trace_id;
+          root.name = "client.job";
+          root.start_ns = conn->send_ns;
+          root.end_ns = now;
+          root.notes[0] =
+              obs::Note{"trace", static_cast<double>(conn->trace_id)};
+          root.notes[1] =
+              obs::Note{"outcome", static_cast<double>(reply.outcome)};
+          root.notes[2] = obs::Note{
+              "server_span", static_cast<double>(frame.trace.span_id)};
+          root.notes[3] = obs::Note{
+              "busy_retries", static_cast<double>(conn->busy_retries)};
+          root.note_count = 4;
+          config_.tracer->emit(root);
+        }
         switch (reply.outcome) {
           case service::JobOutcome::kAccepted: ++report_.accepted; break;
           case service::JobOutcome::kRejected: ++report_.rejected; break;
@@ -198,6 +231,19 @@ void LoadGenerator::on_reply(const std::shared_ptr<Conn>& conn,
         if (busy.tag != conn->job) break;
         ++report_.busy_replies;
         ++conn->busy_retries;
+        if (conn->trace_id != 0) {
+          // One wire interval per shed attempt: the merge can tell time
+          // lost to backpressure from time inside the accepted attempt.
+          obs::SpanRecord wire;
+          wire.id = config_.tracer->next_id();
+          wire.parent = conn->trace_id;
+          wire.name = "client.wire";
+          wire.start_ns = conn->attempt_ns;
+          wire.end_ns = obs::monotonic_ns();
+          wire.notes[0] = obs::Note{"busy", 1.0};
+          wire.note_count = 1;
+          config_.tracer->emit(wire);
+        }
         if (conn->busy_retries > config_.max_busy_retries) {
           ++report_.retries_exhausted;
           advance(conn);  // abandon this job, move on
@@ -245,8 +291,21 @@ void LoadGenerator::send_current_job(const std::shared_ptr<Conn>& conn) {
   const JobRequest request = job_for(config_, conn->job);
   conn->awaiting_reply = true;
   conn->waiting_retry = false;
-  if (conn->busy_retries == 0) conn->send_ns = obs::monotonic_ns();
-  auto bytes = encode_job_request(request);
+  if (conn->busy_retries == 0) {
+    // First attempt: this job's sampling decision is made here, once —
+    // busy retries reuse the same trace so the whole shed-and-retry
+    // history lands under one client.job root.
+    conn->send_ns = obs::monotonic_ns();
+    conn->trace_id =
+        config_.tracer != nullptr && config_.tracer->enabled()
+            ? config_.tracer->sample_root()
+            : 0;
+  }
+  conn->attempt_ns = obs::monotonic_ns();
+  // A sampled job stamps its root id as both trace id and parent span:
+  // the server parents its work under the client root directly.
+  auto bytes = encode_job_request(
+      request, TraceContext{conn->trace_id, conn->trace_id});
   report_.bytes_out += bytes.size();
   conn->write_queue.push_back(std::move(bytes));
   flush_writes(conn);
@@ -256,6 +315,7 @@ void LoadGenerator::advance(const std::shared_ptr<Conn>& conn) {
   ++conn->jobs_done;
   conn->busy_retries = 0;
   conn->awaiting_reply = false;
+  conn->trace_id = 0;  // next job makes its own sampling decision
   if (conn->jobs_done >= config_.jobs_per_connection) {
     close_conn(conn);
     return;

@@ -29,6 +29,7 @@
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/trace.hpp"
 
 namespace pufatt::net {
 
@@ -51,6 +52,13 @@ struct LoadGenConfig {
   /// idles between waves.  0 disables (retry exactly at the hint).
   double retry_jitter = 0.5;
   EventLoop::Backend backend = EventLoop::Backend::kAuto;
+  /// Optional span tracer (must outlive the generator; null = untraced
+  /// requests, byte-identical to the pre-trace wire format).  Each
+  /// sampled job yields a "client.job" root covering first-send→verdict
+  /// with a "client.wire" child per attempt, and stamps its root span id
+  /// into the request's trace context so the server's spans join the
+  /// trace (DESIGN.md §16).
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Terminal state of one job.

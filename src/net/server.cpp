@@ -31,6 +31,14 @@ AttestationServer::AttestationServer(service::EmulatorCache& cache,
     const double sweep_ms = std::max(config_.idle_timeout_ms / 4.0, 1.0);
     loop_.set_timer(std::min(sweep_ms, 250.0), [this] { sweep_idle(); });
   }
+  if (!config_.metrics_jsonl.empty() && config_.stats_interval_ms > 0.0) {
+    metrics_file_ = std::fopen(config_.metrics_jsonl.c_str(), "w");
+    if (metrics_file_ == nullptr) {
+      throw NetError("cannot open metrics JSONL: " + config_.metrics_jsonl);
+    }
+    loop_.add_timer(config_.stats_interval_ms,
+                    [this] { append_metrics_snapshot(); });
+  }
 
   pool_ = std::make_unique<service::VerifierPool>(
       cache, config_.pool, [this](const service::JobResult& result) {
@@ -46,6 +54,7 @@ AttestationServer::~AttestationServer() {
   if (config_.endpoint.kind == Endpoint::Kind::kUnix) {
     ::unlink(config_.endpoint.path.c_str());
   }
+  if (metrics_file_ != nullptr) std::fclose(metrics_file_);
 }
 
 void AttestationServer::run() {
@@ -117,6 +126,7 @@ void AttestationServer::on_readable(const std::shared_ptr<Connection>& conn) {
   }
   std::size_t event_bytes = 0;
   std::size_t event_frames = 0;
+  std::uint64_t event_trace = 0;  ///< first traced frame seen this event
   std::vector<std::uint8_t> buf(config_.read_chunk_bytes);
   std::vector<FrameDecoder::Frame> frames;
 
@@ -130,6 +140,7 @@ void AttestationServer::on_readable(const std::shared_ptr<Connection>& conn) {
           conn->decoder.feed(buf.data(), static_cast<std::size_t>(n), frames);
       for (const auto& frame : frames) {
         ++event_frames;
+        if (event_trace == 0) event_trace = frame.trace.trace_id;
         dispatch_frame(conn, frame);
         if (conn->closing) break;
       }
@@ -155,15 +166,44 @@ void AttestationServer::on_readable(const std::shared_ptr<Connection>& conn) {
   if (span.active()) {
     span.note("bytes", static_cast<double>(event_bytes));
     span.note("frames", static_cast<double>(event_frames));
+    if (event_trace != 0) {
+      span.note("trace", static_cast<double>(event_trace));
+    }
   }
 }
 
 void AttestationServer::dispatch_frame(const std::shared_ptr<Connection>& conn,
                                        const FrameDecoder::Frame& frame) {
   count([](NetCounters& c) { ++c.frames_in; });
+  if (frame.type == MsgType::kStatsRequest) {
+    StatsRequest probe;
+    try {
+      probe = decode_stats_request(frame.payload);
+    } catch (const core::SerializationError&) {
+      count([](NetCounters& c) {
+        ++c.payload_errors;
+        ++c.frames_rejected;
+        ++c.error_replies;
+      });
+      send_bytes(conn, encode_error_reply(
+                           ErrorReply{0, ErrorCode::kMalformedPayload}));
+      close_connection(conn);
+      return;
+    }
+    // Served inline on the loop thread: the snapshot is a few hundred
+    // bytes of relaxed-atomic reads, cheaper than one verify, and the
+    // connection stays open — an operator polls over one socket.
+    StatsReply reply;
+    reply.tag = probe.tag;
+    reply.stats_json = stats_json();
+    count([](NetCounters& c) { ++c.stats_served; });
+    send_bytes(conn, encode_stats_reply(reply));
+    return;
+  }
   if (frame.type != MsgType::kJobRequest) {
     count([](NetCounters& c) {
       ++c.payload_errors;
+      ++c.frames_rejected;
       ++c.error_replies;
     });
     send_bytes(conn, encode_error_reply(
@@ -177,6 +217,7 @@ void AttestationServer::dispatch_frame(const std::shared_ptr<Connection>& conn,
   } catch (const core::SerializationError&) {
     count([](NetCounters& c) {
       ++c.payload_errors;
+      ++c.frames_rejected;
       ++c.error_replies;
     });
     send_bytes(conn,
@@ -184,23 +225,27 @@ void AttestationServer::dispatch_frame(const std::shared_ptr<Connection>& conn,
     close_connection(conn);
     return;
   }
-  handle_job_request(conn, request);
+  handle_job_request(conn, request, frame.trace);
 }
 
 void AttestationServer::handle_job_request(
-    const std::shared_ptr<Connection>& conn, const JobRequest& request) {
+    const std::shared_ptr<Connection>& conn, const JobRequest& request,
+    const TraceContext& trace) {
   count([](NetCounters& c) { ++c.requests; });
 
   core::Responder responder = factory_(request);
   if (!responder) {
     // Unknown device: same verdict the pool would produce, without
-    // spending queue capacity on it.
+    // spending queue capacity on it.  No pool.job span exists, so a
+    // traced request gets its trace id echoed with span_id = 0 — the
+    // client still closes its timeline, there is just no server half.
     VerdictReply reply;
     reply.tag = request.tag;
     reply.outcome = service::JobOutcome::kUnknownDevice;
     reply.status = core::SessionStatus::kTimeout;
     count([](NetCounters& c) { ++c.verdicts_sent; });
-    send_bytes(conn, encode_verdict_reply(reply));
+    send_bytes(conn,
+               encode_verdict_reply(reply, TraceContext{trace.trace_id, 0}));
     return;
   }
 
@@ -210,6 +255,10 @@ void AttestationServer::handle_job_request(
   job.faults = config_.job_faults;
   job.channel_seed = request.channel_seed;
   job.rng_seed = request.rng_seed;
+  // Adopt the client's trace identity: the pool notes it on the pool.job
+  // root, which is what links the server's spans into the client's trace.
+  job.wire_trace_id = trace.trace_id;
+  job.wire_parent_span = trace.span_id;
   const std::uint64_t corr_id = next_corr_id_++;
   job.tag = corr_id;
 
@@ -222,8 +271,10 @@ void AttestationServer::handle_job_request(
       // The pool's backpressure, verbatim, as a wire reply: the client
       // learns both "not now" and "when".
       count([](NetCounters& c) { ++c.busy_replies; });
-      send_bytes(conn, encode_busy_reply(
-                           BusyReply{request.tag, submitted.retry_after_us}));
+      send_bytes(conn,
+                 encode_busy_reply(
+                     BusyReply{request.tag, submitted.retry_after_us},
+                     TraceContext{trace.trace_id, 0}));
       break;
     }
     case service::SubmitStatus::kShuttingDown:
@@ -251,6 +302,9 @@ void AttestationServer::on_job_complete(const service::JobResult& result) {
     span = config_.tracer->span("net.reply");
     span.note("outcome", static_cast<double>(result.outcome));
     span.note("attempts", static_cast<double>(result.session.attempts.size()));
+    if (result.wire_trace_id != 0) {
+      span.note("trace", static_cast<double>(result.wire_trace_id));
+    }
   }
 
   VerdictReply reply;
@@ -260,7 +314,11 @@ void AttestationServer::on_job_complete(const service::JobResult& result) {
   reply.attempts = static_cast<std::uint32_t>(result.session.attempts.size());
   reply.total_us = result.session.total_us;
   count([](NetCounters& c) { ++c.verdicts_sent; });
-  send_bytes(conn_it->second, encode_verdict_reply(reply));
+  // A traced job's reply echoes the client's trace id and carries this
+  // server's pool.job root span id — the cross-process join key.
+  send_bytes(conn_it->second,
+             encode_verdict_reply(
+                 reply, TraceContext{result.wire_trace_id, result.trace_span}));
 }
 
 void AttestationServer::send_bytes(const std::shared_ptr<Connection>& conn,
@@ -328,6 +386,69 @@ void AttestationServer::close_connection(
     ++c.closed;
     --c.open_connections;
   });
+}
+
+std::string AttestationServer::stats_json() const {
+  const NetCounters net = counters();
+  const service::MetricsSnapshot pool = pool_->metrics_snapshot();
+  const std::uint64_t depth = pool_->queue_depth();
+
+  // Hand-rolled on purpose: byte-stability is the contract (same state →
+  // same bytes), so the serializer is the specification.  Keys are sorted
+  // within every object, values are decimal integers, no whitespace.
+  std::string out;
+  out.reserve(768);
+  auto field = [&out](const char* name, std::uint64_t value,
+                      bool last = false) {
+    out += '"';
+    out += name;
+    out += "\":";
+    out += std::to_string(value);
+    if (!last) out += ',';
+  };
+  out += "{\"net\":{";
+  field("accepted", net.accepted);
+  field("busy_replies", net.busy_replies);
+  field("bytes_in", net.bytes_in);
+  field("bytes_out", net.bytes_out);
+  field("closed", net.closed);
+  field("decode_errors", net.decode_errors);
+  field("error_replies", net.error_replies);
+  field("frames_in", net.frames_in);
+  field("frames_rejected", net.frames_rejected);
+  field("idle_evicted", net.idle_evicted);
+  field("open_connections", net.open_connections);
+  field("payload_errors", net.payload_errors);
+  field("replies_dropped", net.replies_dropped);
+  field("requests", net.requests);
+  field("stats_served", net.stats_served);
+  field("verdicts_sent", net.verdicts_sent);
+  field("writeq_shed", net.writeq_shed, true);
+  out += "},\"pool\":{";
+  field("accepted", pool.accepted);
+  field("inconclusive", pool.inconclusive);
+  field("queue_capacity", config_.pool.queue_capacity);
+  field("queue_depth", depth);
+  field("queue_depth_hwm", pool.queue_depth_hwm);
+  field("rejected", pool.rejected);
+  field("rejected_busy", pool.rejected_busy);
+  field("submitted", pool.submitted);
+  field("unknown_device", pool.unknown_device);
+  field("workers", config_.pool.workers, true);
+  out += "},\"registry\":";
+  out += config_.registry != nullptr ? config_.registry->snapshot_json() : "{}";
+  out += '}';
+  return out;
+}
+
+void AttestationServer::append_metrics_snapshot() {
+  if (metrics_file_ == nullptr) return;
+  const std::string line = "{\"ts_ns\":" + std::to_string(obs::monotonic_ns()) +
+                           ",\"stats\":" + stats_json() + "}\n";
+  std::fwrite(line.data(), 1, line.size(), metrics_file_);
+  // Flushed per tick: the file is an operator's live tail, and a tick is
+  // orders of magnitude rarer than a verdict.
+  std::fflush(metrics_file_);
 }
 
 void AttestationServer::sweep_idle() {

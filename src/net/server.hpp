@@ -28,9 +28,22 @@
 // readable event: bytes in, frames decoded), `net.reply` (per verdict
 // delivery: encode + enqueue + opportunistic flush) spans under
 // `config.tracer`, plus NetCounters mirroring the service-metrics idiom.
+//
+// Distributed tracing (DESIGN.md §16): a traced JobRequest's context is
+// adopted — the pool.job root records the client's trace id, and the
+// verdict reply carries this server's root span id back — so a client
+// trace file and a server trace file merge into one cross-process
+// timeline.  Untraced requests get untraced replies, byte-identical to
+// the pre-trace protocol.
+//
+// Live telemetry: a kStatsRequest frame is answered inline on the loop
+// thread with stats_json(), a byte-stable snapshot of net counters, pool
+// state and (when configured) the process MetricRegistry; a periodic
+// loop timer can append the same snapshots to a metrics JSONL file.
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <functional>
 #include <memory>
@@ -42,6 +55,7 @@
 #include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/verifier_pool.hpp"
 
@@ -68,6 +82,14 @@ struct ServerConfig {
   std::size_t read_chunk_bytes = 64 * 1024;
   EventLoop::Backend backend = EventLoop::Backend::kAuto;
   obs::Tracer* tracer = nullptr;        ///< must outlive the server; null = off
+  /// Optional process-wide metric registry (store WAL/replication/shard
+  /// gauges live there).  Included verbatim in the stats frame and the
+  /// metrics JSONL; must outlive the server.  Null = "registry":{}.
+  obs::MetricRegistry* registry = nullptr;
+  /// When non-empty, a loop timer appends one
+  /// `{"ts_ns":...,"stats":<stats_json()>}` line per tick to this file.
+  std::string metrics_jsonl;
+  double stats_interval_ms = 250.0;     ///< metrics ticker cadence
 };
 
 /// Monotonic event counters plus the live-connection gauge.  snapshot() is
@@ -79,9 +101,15 @@ struct NetCounters {
   std::uint64_t idle_evicted = 0;
   std::uint64_t decode_errors = 0;    ///< framing violations (connection died)
   std::uint64_t payload_errors = 0;   ///< intact frame, unservable payload
+  /// Structurally valid frames the server refused to dispatch (unknown
+  /// type or payload failed its codec).  Always moves in lockstep with
+  /// payload_errors today; split out so the shed-path accounting tests
+  /// can pin the relationship down.
+  std::uint64_t frames_rejected = 0;
   std::uint64_t frames_in = 0;
   std::uint64_t requests = 0;         ///< well-formed JobRequests dispatched
   std::uint64_t verdicts_sent = 0;
+  std::uint64_t stats_served = 0;     ///< StatsReply frames sent
   std::uint64_t busy_replies = 0;     ///< pool backpressure relayed to the wire
   std::uint64_t error_replies = 0;
   std::uint64_t replies_dropped = 0;  ///< verdict outlived its connection
@@ -117,6 +145,13 @@ class AttestationServer {
   const service::VerifierPool& pool() const { return *pool_; }
   service::VerifierPool& pool() { return *pool_; }
 
+  /// Byte-stable live-telemetry snapshot (the kStatsReply body): sorted
+  /// keys, no whitespace, integer counters.  Thread-safe — counters are
+  /// read under their mutex, the pool's metrics are relaxed-atomic reads
+  /// — so mid-load snapshots are each-counter-consistent, like
+  /// NetCounters::snapshot semantics.
+  std::string stats_json() const;
+
  private:
   struct Connection {
     std::uint64_t id = 0;
@@ -136,7 +171,9 @@ class AttestationServer {
   void dispatch_frame(const std::shared_ptr<Connection>& conn,
                       const FrameDecoder::Frame& frame);
   void handle_job_request(const std::shared_ptr<Connection>& conn,
-                          const JobRequest& request);
+                          const JobRequest& request,
+                          const TraceContext& trace);
+  void append_metrics_snapshot();
   void on_job_complete(const service::JobResult& result);
   void send_bytes(const std::shared_ptr<Connection>& conn,
                   std::vector<std::uint8_t> bytes);
@@ -170,6 +207,8 @@ class AttestationServer {
   std::uint64_t next_corr_id_ = 1;
   NetCounters counters_;
   mutable std::mutex counters_mutex_;  ///< counters_ reads off-thread
+  /// Metrics JSONL sink (loop thread only); null when not configured.
+  std::FILE* metrics_file_ = nullptr;
 
   // Declared last on purpose: the pool must be destroyed (drained, workers
   // joined) while loop_ is still alive, because completions post into it.

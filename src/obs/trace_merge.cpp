@@ -1,0 +1,111 @@
+#include "obs/trace_merge.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace pufatt::obs {
+
+namespace {
+
+/// Children-of index for one file (span ids are unique per tracer, i.e.
+/// per file — never across files).
+using ChildIndex = std::unordered_multimap<std::uint64_t, const ParsedSpan*>;
+
+/// Walks the subtree under `root_id`, accumulating the stage durations
+/// and δ-margins the timeline decomposition needs.  Iterative: a verdict
+/// subtree is shallow, but depth must not depend on attempt count.
+void accumulate_subtree(const ChildIndex& children, std::uint64_t root_id,
+                        MergedVerdict& out) {
+  std::vector<std::uint64_t> frontier{root_id};
+  while (!frontier.empty()) {
+    const std::uint64_t id = frontier.back();
+    frontier.pop_back();
+    const auto [begin, end] = children.equal_range(id);
+    for (auto it = begin; it != end; ++it) {
+      const ParsedSpan& span = *it->second;
+      if (span.name == "pool.queue_wait") {
+        out.queue_us += span.dur_us;
+      } else if (span.name == "pool.verify") {
+        out.verify_us += span.dur_us;
+      } else if (span.name == "store.fsync") {
+        out.store_fsync_us += span.dur_us;
+      }
+      if (span.name == "session.attempt" &&
+          span.notes.count("deadline_us") != 0) {
+        out.margins_us.push_back(span.note_or("deadline_us", 0.0) -
+                                 span.note_or("elapsed_us", 0.0));
+      }
+      if (span.id != 0) frontier.push_back(span.id);
+    }
+  }
+}
+
+}  // namespace
+
+MergeReport merge_traces(const std::vector<TraceFile>& files) {
+  MergeReport report;
+  report.files = files.size();
+
+  // Server side of the join: trace id -> (file, pool.job root).  A trace
+  // id sampled twice across files (two clients with colliding id spaces)
+  // keeps the first root; the collision also shows as joined < roots.
+  struct ServerRoot {
+    std::size_t file = 0;
+    const ParsedSpan* span = nullptr;
+  };
+  std::unordered_map<std::uint64_t, ServerRoot> server_roots;
+  std::vector<ChildIndex> children(files.size());
+
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    for (const ParsedSpan& span : files[f].spans) {
+      ++report.spans;
+      report.stage_us[span.name].push_back(span.dur_us);
+      if (span.parent != 0) children[f].emplace(span.parent, &span);
+      if (span.name == "pool.job") {
+        const auto trace = static_cast<std::uint64_t>(span.note_or("trace", 0.0));
+        if (trace != 0) {
+          ++report.server_roots;
+          server_roots.emplace(trace, ServerRoot{f, &span});
+        }
+      }
+    }
+  }
+
+  for (std::size_t f = 0; f < files.size(); ++f) {
+    for (const ParsedSpan& span : files[f].spans) {
+      if (span.name != "client.job") continue;
+      const auto trace = static_cast<std::uint64_t>(span.note_or("trace", 0.0));
+      if (trace == 0) continue;
+      ++report.client_roots;
+
+      MergedVerdict verdict;
+      verdict.trace = trace;
+      verdict.client_file = f;
+      verdict.client_us = span.dur_us;
+      verdict.outcome = span.note_or("outcome", 0.0);
+      verdict.busy_retries = span.note_or("busy_retries", 0.0);
+
+      const auto it = server_roots.find(trace);
+      if (it != server_roots.end()) {
+        ++report.joined;
+        verdict.joined = true;
+        verdict.server_file = it->second.file;
+        const ParsedSpan& root = *it->second.span;
+        verdict.server_us = root.dur_us;
+        verdict.wire_rtt_us = verdict.client_us - verdict.server_us;
+        accumulate_subtree(children[it->second.file], root.id, verdict);
+      }
+      report.verdicts.push_back(std::move(verdict));
+    }
+  }
+
+  std::sort(report.verdicts.begin(), report.verdicts.end(),
+            [](const MergedVerdict& a, const MergedVerdict& b) {
+              if (a.client_file != b.client_file)
+                return a.client_file < b.client_file;
+              return a.trace < b.trace;
+            });
+  return report;
+}
+
+}  // namespace pufatt::obs

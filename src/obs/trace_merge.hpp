@@ -1,0 +1,85 @@
+// Cross-process trace merge: joining client and server trace files into
+// per-verdict timelines (DESIGN.md §16).
+//
+// Client and server run separate Tracers, so their span ids live in
+// independent id spaces — parent pointers cannot cross a file boundary.
+// The join key is instead the *trace id* (the client's root span id for
+// one wire job) carried as the "trace" note on both sides' root spans:
+// the LoadGenerator stamps it on its "client.job" root and into the wire
+// trace context, and the VerifierPool copies it onto the adopted job's
+// "pool.job" root.  Note values are doubles; span ids stay far below
+// 2^53, so the round-trip is exact.
+//
+// A joined pair decomposes the client-observed latency of one verdict:
+//
+//   client.job  =  wire RTT  +  pool.queue_wait  +  pool.verify
+//                  (derived)    (server span)       (server span)
+//
+// with store.fsync time and session.attempt δ-margins (deadline −
+// elapsed, the anti-emulation headroom the paper's timing argument rests
+// on) pulled from the server root's subtree.  Wire RTT is the residual —
+// everything the client saw that the server cannot account for: kernel
+// queues, the socket, the event loop's dispatch latency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace_read.hpp"
+
+namespace pufatt::obs {
+
+/// One parsed trace file plus where it came from (for reporting).
+struct TraceFile {
+  std::string label;
+  std::vector<ParsedSpan> spans;
+};
+
+/// One wire verdict reconstructed across processes.
+struct MergedVerdict {
+  std::uint64_t trace = 0;       ///< join key (client root span id)
+  std::size_t client_file = 0;   ///< index into the merge input
+  std::size_t server_file = 0;   ///< valid iff joined
+  bool joined = false;           ///< a server root matched this trace
+
+  double client_us = 0.0;       ///< client.job duration (first send → verdict)
+  double server_us = 0.0;       ///< pool.job duration (admission → completion)
+  double wire_rtt_us = 0.0;     ///< client_us − server_us (the residual)
+  double queue_us = 0.0;        ///< pool.queue_wait under the server root
+  double verify_us = 0.0;       ///< pool.verify under the server root
+  double store_fsync_us = 0.0;  ///< sum of store.fsync in the server subtree
+  double outcome = 0.0;         ///< service::JobOutcome, from the client root
+  double busy_retries = 0.0;    ///< shed attempts before the verdict
+  /// deadline_us − elapsed_us per verified session.attempt in the server
+  /// subtree: negative = the verifier accepted outside its own bound.
+  std::vector<double> margins_us;
+};
+
+struct MergeReport {
+  std::size_t files = 0;
+  std::size_t spans = 0;         ///< total spans across all files
+  std::size_t client_roots = 0;  ///< client.job roots with a trace note
+  std::size_t server_roots = 0;  ///< wire-traced pool.job roots
+  std::size_t joined = 0;
+  /// Every client root, joined or not, sorted by (file, trace id).
+  std::vector<MergedVerdict> verdicts;
+  /// Per-stage durations pooled across all files, keyed by span name —
+  /// the same aggregation the single-file report prints, now fleet-wide.
+  std::map<std::string, std::vector<double>> stage_us;
+
+  double join_fraction() const {
+    return client_roots > 0
+               ? static_cast<double>(joined) / static_cast<double>(client_roots)
+               : 0.0;
+  }
+};
+
+/// Joins N trace files (any mix of client and server exports; a file may
+/// contain both roles).  Order matters only for file indices in the
+/// report.  Unjoined client roots (e.g. unknown-device short-circuits,
+/// which never reach the pool) stay in `verdicts` with joined = false.
+MergeReport merge_traces(const std::vector<TraceFile>& files);
+
+}  // namespace pufatt::obs

@@ -72,7 +72,11 @@ SubmitResult VerifierPool::submit(AttestationJob job) {
     if (config_.tracer != nullptr && config_.tracer->enabled()) {
       // Sampling is decided here, not at dequeue, so the queue-wait
       // interval of a sampled job starts at the moment of admission.
-      item.trace_id = config_.tracer->sample_root();
+      // A wire-traced job skips the sampler: the client already decided
+      // this trace is worth recording, and dropping the server half would
+      // leave the client's timeline unjoinable.
+      item.trace_id = item.job.wire_trace_id != 0 ? config_.tracer->next_id()
+                                                  : config_.tracer->sample_root();
       if (item.trace_id != 0) item.enqueue_ns = obs::monotonic_ns();
     }
     queue_.push_back(std::move(item));
@@ -125,6 +129,8 @@ void VerifierPool::run_job(const AttestationJob& job, std::uint64_t trace_id,
   JobResult result;
   result.device_id = job.device_id;
   result.tag = job.tag;
+  result.wire_trace_id = job.wire_trace_id;
+  result.trace_span = trace_id;
 
   obs::Span verify_span;
   obs::TraceScope scope;  // stays inert when this job was not sampled
@@ -169,6 +175,17 @@ void VerifierPool::run_job(const AttestationJob& job, std::uint64_t trace_id,
     root.end_ns = obs::monotonic_ns();
     root.notes[0] = obs::Note{"outcome", static_cast<double>(result.outcome)};
     root.note_count = 1;
+    if (job.wire_trace_id != 0) {
+      // Join keys for the cross-process merge: the client's trace id (its
+      // root span id in *its* tracer's id space) and the client span this
+      // job is conceptually parented under.  Ids stay below 2^53, so the
+      // double-valued notes carry them exactly.
+      root.notes[1] =
+          obs::Note{"trace", static_cast<double>(job.wire_trace_id)};
+      root.notes[2] =
+          obs::Note{"parent_span", static_cast<double>(job.wire_parent_span)};
+      root.note_count = 3;
+    }
     config_.tracer->emit(root);
   }
   if (on_complete_) on_complete_(result);

@@ -65,6 +65,13 @@ struct AttestationJob {
   std::uint64_t channel_seed = 0; ///< seeds the link's fault schedule
   std::uint64_t rng_seed = 0;     ///< seeds nonces + backoff jitter
   std::uint64_t tag = 0;          ///< caller correlation id, echoed in the result
+  /// Distributed-tracing context adopted from the wire (0 = untraced).
+  /// A non-zero wire_trace_id forces the job to be recorded — the client
+  /// already made the sampling decision — and the "pool.job" root gets
+  /// "trace"/"parent_span" notes so a cross-process merge can join the
+  /// server's spans into the client's trace.
+  std::uint64_t wire_trace_id = 0;
+  std::uint64_t wire_parent_span = 0;
 };
 
 struct JobResult {
@@ -72,6 +79,12 @@ struct JobResult {
   std::uint64_t tag = 0;
   JobOutcome outcome = JobOutcome::kUnknownDevice;
   core::SessionOutcome session;  ///< empty when the device was unknown
+  /// Echo of AttestationJob::wire_trace_id, plus the span id of this
+  /// job's "pool.job" root (0 when the job was not recorded).  The server
+  /// sends trace_span back to the client as the reply's span id — the
+  /// join key of the cross-process merge.
+  std::uint64_t wire_trace_id = 0;
+  std::uint64_t trace_span = 0;
 };
 
 enum class SubmitStatus {

@@ -9,6 +9,7 @@
 #include <fstream>
 #include <thread>
 
+#include "obs/metrics.hpp"
 #include "support/faulty_file.hpp"
 #include "support/fsyncutil.hpp"
 #include "support/parallel.hpp"
@@ -200,6 +201,19 @@ std::size_t ShardedVerifierStore::total_crp_remaining() const {
   std::size_t n = 0;
   for (const auto& shard : shards_) n += shard->crp_ledger().total_remaining();
   return n;
+}
+
+void ShardedVerifierStore::publish_metrics(obs::MetricRegistry& registry) const {
+  registry.gauge("store.shards").set(static_cast<double>(shards_.size()));
+  char name[64];
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::snprintf(name, sizeof(name), "store.shard%04zu.devices", i);
+    registry.gauge(name).set(
+        static_cast<double>(shards_[i]->registry().size()));
+    std::snprintf(name, sizeof(name), "store.shard%04zu.crp_remaining", i);
+    registry.gauge(name).set(
+        static_cast<double>(shards_[i]->crp_ledger().total_remaining()));
+  }
 }
 
 }  // namespace pufatt::store

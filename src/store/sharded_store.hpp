@@ -34,6 +34,10 @@
 
 #include "store/verifier_store.hpp"
 
+namespace pufatt::obs {
+class MetricRegistry;
+}
+
 namespace pufatt::store {
 
 inline constexpr char kManifestMagic[8] = {'P', 'F', 'A', 'T',
@@ -112,6 +116,15 @@ class ShardedVerifierStore {
   std::size_t device_count() const;
   std::size_t total_crp_remaining() const;
   const std::string& dir() const { return dir_; }
+
+  /// Publishes per-shard occupancy gauges into `registry`:
+  ///   store.shards                 shard count (fixed by the manifest)
+  ///   store.shard<i>.devices       enrolled devices routed to shard i
+  ///   store.shard<i>.crp_remaining unspent CRPs held by shard i
+  /// Same name-stability contract as the registry's snapshot_json(): call
+  /// it again to refresh, e.g. from a serve-loop stats ticker, and the
+  /// gauges land in the StatsReply "registry" section (DESIGN.md §16).
+  void publish_metrics(obs::MetricRegistry& registry) const;
 
  private:
   /// Routes load()/contains() to the owning shard's registry.

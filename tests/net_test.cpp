@@ -22,6 +22,7 @@
 #include "net/server.hpp"
 #include "net/socket.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_read.hpp"
 #include "service/emulator_cache.hpp"
 #include "service/verifier_pool.hpp"
 #include "support/rng.hpp"
@@ -210,6 +211,29 @@ TEST(FrameDecoder, TornCrcPoisonsTheStream) {
   const auto good = sample_stream(1);
   EXPECT_FALSE(decoder.feed(good, out));
   EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(FrameDecoder, PoisonedStateIsTerminalAndBounded) {
+  // Once poisoned, the decoder must stay poisoned with a frozen error and
+  // must not keep buffering whatever the peer throws at it afterwards —
+  // a poisoned connection is close-pending, not an accumulation vector.
+  auto stream = sample_stream(2);
+  stream[stream.size() - 2] ^= 0x01;
+  FrameDecoder decoder;
+  std::vector<FrameDecoder::Frame> out;
+  EXPECT_FALSE(decoder.feed(stream, out));
+  ASSERT_TRUE(decoder.failed());
+  const std::string first_error = decoder.error();
+  const std::size_t buffered = decoder.buffered();
+
+  for (int round = 0; round < 16; ++round) {
+    const auto more = sample_stream(3);
+    EXPECT_FALSE(decoder.feed(more, out));
+    EXPECT_TRUE(decoder.failed());
+    EXPECT_EQ(decoder.error(), first_error);  // first cause, never rewritten
+    EXPECT_EQ(decoder.buffered(), buffered);  // no growth after poison
+  }
+  EXPECT_EQ(out.size(), 1u);  // only the frame before the tear
 }
 
 TEST(FrameDecoder, BadMagicFailsFast) {
@@ -787,6 +811,188 @@ TEST(AttestationServerTest, CountersAndSpansCoverThePipeline) {
   EXPECT_TRUE(has("net.read"));
   EXPECT_TRUE(has("net.reply"));
   EXPECT_TRUE(has("pool.job"));  // the verify stage, same trace
+}
+
+TEST(AttestationServerTest, FaultScheduleLeavesCountersExactlyConsistent) {
+  // A deterministic schedule of good frames and injected faults, one
+  // connection at a time; afterwards every NetCounter must equal the
+  // arithmetic of the schedule — no double counting, no missed paths.
+  RunningServer rs(base_config(Endpoint::tcp("127.0.0.1", 0)));
+
+  enum class Fault { kUnknownType, kMalformedJob, kCrcTear, kMalformedStats };
+  struct Step {
+    std::size_t goods;
+    Fault fault;
+  };
+  const Step schedule[] = {
+      {2, Fault::kUnknownType},    {1, Fault::kUnknownType},
+      {3, Fault::kUnknownType},    {0, Fault::kMalformedJob},
+      {2, Fault::kMalformedJob},   {1, Fault::kCrcTear},
+      {0, Fault::kCrcTear},        {0, Fault::kMalformedStats},
+  };
+
+  std::size_t total_goods = 0, rejected = 0, torn = 0;
+  for (const auto& step : schedule) {
+    RawClient client(rs.server.bound_endpoint());
+    for (std::size_t g = 0; g < step.goods; ++g) {
+      ASSERT_TRUE(client.send(encode_job_request(
+          JobRequest{SimFleet::device_id(0), 10u + g, 20u + g, g})));
+    }
+    // Drain the verdicts first so the fault's close cannot race them.
+    if (step.goods > 0) {
+      const auto replies = client.read_until_close_or(step.goods);
+      ASSERT_EQ(replies.size(), step.goods);
+      for (const auto& reply : replies) {
+        ASSERT_EQ(reply.type, MsgType::kVerdictReply);
+      }
+      total_goods += step.goods;
+    }
+    switch (step.fault) {
+      case Fault::kUnknownType:
+        client.send(encode_frame(static_cast<MsgType>(99), {0x00}));
+        ++rejected;
+        break;
+      case Fault::kMalformedJob:
+        client.send(encode_frame(MsgType::kJobRequest, {0xFF, 0xFF}));
+        ++rejected;
+        break;
+      case Fault::kCrcTear: {
+        auto frame = encode_job_request(JobRequest{"dev-x", 1, 2, 3});
+        frame[frame.size() - 1] ^= 0x10;
+        client.send(frame);
+        ++torn;
+        break;
+      }
+      case Fault::kMalformedStats:
+        client.send(encode_frame(MsgType::kStatsRequest, {0x01, 0x02, 0x03}));
+        ++rejected;
+        break;
+    }
+    // Ask for more frames than can arrive: loops until the server's close
+    // lands (error-reply faults deliver one frame first, tears deliver
+    // none — both end in a close).
+    client.read_until_close_or(2, 10.0);
+    EXPECT_TRUE(client.closed);
+  }
+
+  const std::size_t connections = std::size(schedule);
+  wait_until([&] { return rs.server.counters().closed >= connections; });
+  const auto counters = rs.server.counters();
+  EXPECT_EQ(counters.accepted, connections);
+  EXPECT_EQ(counters.closed, connections);
+  EXPECT_EQ(counters.open_connections, 0u);
+  EXPECT_EQ(counters.requests, total_goods);
+  EXPECT_EQ(counters.verdicts_sent, total_goods);
+  // Structurally valid frames all dispatched; CRC tears never got that far.
+  EXPECT_EQ(counters.frames_in, total_goods + rejected);
+  EXPECT_EQ(counters.frames_rejected, rejected);
+  EXPECT_EQ(counters.payload_errors, rejected);
+  EXPECT_EQ(counters.error_replies, rejected);
+  EXPECT_EQ(counters.decode_errors, torn);
+  // The sequential schedule never overloads or backs up a socket.
+  EXPECT_EQ(counters.busy_replies, 0u);
+  EXPECT_EQ(counters.replies_dropped, 0u);
+  EXPECT_EQ(counters.writeq_shed, 0u);
+  EXPECT_EQ(counters.stats_served, 0u);  // the stats fault never served
+}
+
+// --- live telemetry ---------------------------------------------------------
+
+TEST(AttestationServerTest, StatsFrameServedInlineOnOpenConnection) {
+  RunningServer rs(base_config(Endpoint::tcp("127.0.0.1", 0)));
+  RawClient client(rs.server.bound_endpoint());
+
+  // Two polls over one connection: the stats frame must not close it.
+  for (std::uint64_t poll = 0; poll < 2; ++poll) {
+    ASSERT_TRUE(client.send(encode_stats_request(StatsRequest{100 + poll})));
+    const auto replies = client.read_until_close_or(1);
+    ASSERT_EQ(replies.size(), 1u);
+    ASSERT_EQ(replies.back().type, MsgType::kStatsReply);
+    const auto reply = decode_stats_reply(replies.back().payload);
+    EXPECT_EQ(reply.tag, 100 + poll);
+
+    const auto doc = obs::parse_json(reply.stats_json);
+    const auto* net = doc.get("net");
+    const auto* pool = doc.get("pool");
+    ASSERT_NE(net, nullptr);
+    ASSERT_NE(pool, nullptr);
+    EXPECT_EQ(net->number_or("open_connections", -1.0), 1.0);
+    EXPECT_EQ(net->number_or("stats_served", -1.0),
+              static_cast<double>(poll));  // snapshot precedes its own count
+    EXPECT_EQ(pool->number_or("workers", -1.0), 2.0);
+    EXPECT_EQ(pool->number_or("queue_capacity", -1.0), 16.0);
+  }
+  EXPECT_FALSE(client.closed);
+  EXPECT_EQ(rs.server.counters().stats_served, 2u);
+
+  // Byte stability: at quiesce the only counters that move between two
+  // consecutive snapshots are the ones the polling itself drives (frame
+  // and byte totals, stats_served).  With those scrubbed, the
+  // serialization must be byte-identical — deterministic key order and
+  // formatting, the contract scripted consumers rely on.
+  ASSERT_TRUE(client.send(encode_stats_request(StatsRequest{200})));
+  ASSERT_TRUE(client.send(encode_stats_request(StatsRequest{201})));
+  const auto replies = client.read_until_close_or(2);
+  ASSERT_EQ(replies.size(), 2u);
+  auto a = decode_stats_reply(replies[0].payload).stats_json;
+  auto b = decode_stats_reply(replies[1].payload).stats_json;
+  const auto scrub = [](std::string& json) {
+    for (const char* key :
+         {"\"bytes_in\":", "\"bytes_out\":", "\"frames_in\":",
+          "\"stats_served\":"}) {
+      const auto pos = json.find(key);
+      ASSERT_NE(pos, std::string::npos) << key;
+      auto end = json.find_first_of(",}", pos);
+      if (json[end] == ',') ++end;  // take the separator with the field
+      json.erase(pos, end - pos);
+    }
+  };
+  scrub(a);
+  scrub(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST(AttestationServerTest, StatsServedMidLoadCausesZeroVerdictDivergence) {
+  // An operator polling fleet-stats while the fleet is under load must
+  // never perturb a verdict: same count, no decode errors, no drops.
+  RunningServer rs(base_config(Endpoint::tcp("127.0.0.1", 0)));
+
+  LoadGenConfig lcfg;
+  lcfg.endpoint = rs.server.bound_endpoint();
+  lcfg.connections = 4;
+  lcfg.jobs_per_connection = 4;
+  lcfg.devices = fleet().size();
+  LoadGenReport report;
+  std::thread load([&] { report = LoadGenerator(lcfg).run(); });
+
+  RawClient poller(rs.server.bound_endpoint());
+  std::size_t polls = 0;
+  double last_accepted = 0.0;
+  for (; polls < 64; ++polls) {
+    if (!poller.send(encode_stats_request(StatsRequest{polls}))) break;
+    const auto replies = poller.read_until_close_or(1);
+    if (replies.size() != 1) break;
+    const auto reply = decode_stats_reply(replies.back().payload);
+    EXPECT_EQ(reply.tag, polls);
+    const auto doc = obs::parse_json(reply.stats_json);
+    const auto* pool = doc.get("pool");
+    ASSERT_NE(pool, nullptr);
+    // Monotone under concurrent load: a snapshot never goes backwards.
+    const double accepted = pool->number_or("accepted", -1.0);
+    EXPECT_GE(accepted, last_accepted);
+    last_accepted = accepted;
+    if (rs.server.counters().verdicts_sent >= lcfg.connections *
+                                                  lcfg.jobs_per_connection) {
+      break;
+    }
+  }
+  load.join();
+
+  EXPECT_EQ(report.verdicts, report.jobs);
+  EXPECT_EQ(report.decode_errors, 0u);
+  EXPECT_EQ(report.disconnects, 0u);
+  EXPECT_GE(rs.server.counters().stats_served, 1u);
+  EXPECT_EQ(rs.server.counters().replies_dropped, 0u);
 }
 
 }  // namespace

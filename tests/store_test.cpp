@@ -7,6 +7,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -18,6 +19,7 @@
 #include <map>
 
 #include "core/crp_database.hpp"
+#include "obs/metrics.hpp"
 #include "core/distributed.hpp"
 #include "core/enrollment.hpp"
 #include "core/serialize.hpp"
@@ -1548,6 +1550,57 @@ TEST(ShardedStore, RoutesRecoversInParallelAndServesThePool) {
   EXPECT_EQ(again->device_count(), fleet.devices.size());
   EXPECT_EQ(again->total_crp_remaining(),
             fleet.devices.size() * kEntries - kConsume);
+}
+
+TEST(ShardedStore, PublishMetricsExportsPerShardOccupancyGauges) {
+  const auto& fleet = Fleet::instance();
+  const std::string dir = fresh_dir("sharded_gauges");
+  constexpr std::size_t kShards = 2;
+  constexpr std::size_t kEntries = 3;
+  ShardedStoreOptions options;
+  options.shards = kShards;
+  auto db = ShardedVerifierStore::open(dir, options);
+  for (std::size_t d = 0; d < fleet.devices.size(); ++d) {
+    ASSERT_TRUE(db->enroll(fleet.devices[d].id, fleet.devices[d].record));
+    db->enroll_crps(fleet.devices[d].id,
+                    fleet.collect(d, kEntries, 0x6A4D + d));
+  }
+
+  obs::MetricRegistry registry;
+  db->publish_metrics(registry);
+  EXPECT_EQ(registry.gauge("store.shards").value(),
+            static_cast<double>(kShards));
+  double devices = 0.0, crps = 0.0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "store.shard%04zu.devices", i);
+    const double shard_devices = registry.gauge(name).value();
+    EXPECT_EQ(shard_devices, static_cast<double>(db->shard(i).registry().size()))
+        << "shard " << i;
+    devices += shard_devices;
+    std::snprintf(name, sizeof(name), "store.shard%04zu.crp_remaining", i);
+    crps += registry.gauge(name).value();
+  }
+  // The per-shard gauges reconcile exactly with the whole-store aggregates.
+  EXPECT_EQ(devices, static_cast<double>(db->device_count()));
+  EXPECT_EQ(crps, static_cast<double>(db->total_crp_remaining()));
+
+  // Refresh after mutation: gauges track, names stay fixed (the stats
+  // frame's "registry" section depends on that stability).
+  Xoshiro256pp rng(0x6B);
+  ASSERT_TRUE(db->authenticate_crp(fleet.devices[0].id,
+                                   fleet.devices[0].device->raw_puf(), rng)
+                  .has_value());
+  db->publish_metrics(registry);
+  double crps_after = 0.0;
+  for (std::size_t i = 0; i < kShards; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "store.shard%04zu.crp_remaining", i);
+    crps_after += registry.gauge(name).value();
+  }
+  EXPECT_EQ(crps_after, crps - 1.0);
+  EXPECT_NE(registry.snapshot_json().find("store.shard0000.devices"),
+            std::string::npos);
 }
 
 TEST(Replication, ShardedReplicaShipsAndPromotesWholeFleet) {

@@ -1,0 +1,414 @@
+// Cross-process tracing tests: the wire trace context (frame-level codec
+// and interop guarantees), the client/server span stitching through a real
+// socket pipeline, and the obs::merge_traces join itself.  The pipeline
+// test is the in-process twin of the trace_merge_pipeline ctest in
+// tools/CMakeLists.txt; span-dependent cases GTEST_SKIP on the notrace
+// tree, while the codec and interop tests run everywhere (the wire format
+// does not depend on PUFATT_TRACE).
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/serialize.hpp"
+#include "net/fleet.hpp"
+#include "net/frame.hpp"
+#include "net/loadgen.hpp"
+#include "net/server.hpp"
+#include "net/socket.hpp"
+#include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
+#include "obs/trace_read.hpp"
+#include "service/emulator_cache.hpp"
+
+namespace pufatt::net {
+namespace {
+
+// --- wire trace context ------------------------------------------------------
+
+TEST(WireTraceContext, RoundTripsThroughEveryCodec) {
+  const TraceContext ctx{0xAB12, 0xCD34};
+  FrameDecoder decoder;
+  std::vector<FrameDecoder::Frame> out;
+
+  ASSERT_TRUE(
+      decoder.feed(encode_job_request(JobRequest{"dev-1", 1, 2, 3}, ctx), out));
+  ASSERT_TRUE(decoder.feed(
+      encode_verdict_reply(VerdictReply{3, service::JobOutcome::kAccepted,
+                                        core::SessionStatus::kAccepted, 1, 9.0},
+                           ctx),
+      out));
+  ASSERT_TRUE(decoder.feed(encode_busy_reply(BusyReply{4, 100.0}, ctx), out));
+  ASSERT_EQ(out.size(), 3u);
+  for (const auto& frame : out) {
+    EXPECT_TRUE(frame.trace.traced());
+    EXPECT_EQ(frame.trace.trace_id, ctx.trace_id);
+    EXPECT_EQ(frame.trace.span_id, ctx.span_id);
+  }
+  // The context is framing metadata, not payload: the payload codecs must
+  // see exactly the bytes they produced.
+  EXPECT_EQ(decode_job_request(out[0].payload).device_id, "dev-1");
+  EXPECT_EQ(decode_verdict_reply(out[1].payload).tag, 3u);
+  EXPECT_EQ(decode_busy_reply(out[2].payload).tag, 4u);
+}
+
+TEST(WireTraceContext, UntracedEncodingIsByteIdenticalToLegacy) {
+  // TraceContext{0,0} must not change a single bit on the wire — this is
+  // the interop guarantee with pre-tracing peers.
+  const JobRequest request{"dev-7", 11, 22, 33};
+  EXPECT_EQ(encode_job_request(request),
+            encode_job_request(request, TraceContext{0, 0}));
+  const auto frame = encode_job_request(request);
+  FrameDecoder decoder;
+  std::vector<FrameDecoder::Frame> out;
+  ASSERT_TRUE(decoder.feed(frame, out));
+  EXPECT_FALSE(out[0].trace.traced());
+  EXPECT_EQ(out[0].trace.trace_id, 0u);
+  EXPECT_EQ(out[0].trace.span_id, 0u);
+}
+
+TEST(WireTraceContext, TracedBitWithTruncatedContextPoisons) {
+  // Hand-build a frame with the traced bit set but a 2-byte payload — too
+  // short to hold the 16-byte context — and a *valid* CRC, so the decoder
+  // must reject on the context bound itself, not the checksum.
+  std::vector<std::uint8_t> frame;
+  const auto push_u32 = [&](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      frame.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+    }
+  };
+  push_u32(kFrameMagic);
+  push_u32(static_cast<std::uint32_t>(MsgType::kBusyReply) | kFrameTracedBit);
+  push_u32(2);
+  frame.push_back(0x01);
+  frame.push_back(0x02);
+  push_u32(core::crc32(frame.data(), frame.size()));
+
+  FrameDecoder decoder;
+  std::vector<FrameDecoder::Frame> out;
+  EXPECT_FALSE(decoder.feed(frame, out));
+  EXPECT_TRUE(decoder.failed());
+  EXPECT_NE(decoder.error().find("trace context"), std::string::npos)
+      << decoder.error();
+
+  // Poisoned means poisoned, same as every other framing violation.
+  EXPECT_FALSE(decoder.feed(encode_busy_reply(BusyReply{1, 5.0}), out));
+  EXPECT_TRUE(out.empty());
+
+  // Sanity: a real traced frame is exactly 16 bytes longer than the bare
+  // encoding of the same message.
+  const auto traced = encode_busy_reply(BusyReply{1, 5.0}, TraceContext{9, 9});
+  EXPECT_EQ(traced.size(), encode_busy_reply(BusyReply{1, 5.0}).size() + 16);
+}
+
+// --- server interop ----------------------------------------------------------
+
+const SimFleet& fleet() {
+  static const SimFleet instance(3, 0x7E57F1EE7);
+  return instance;
+}
+
+ResponderFactory fleet_factory() {
+  return [](const JobRequest& request) {
+    return fleet().responder_for(request.device_id, request.rng_seed);
+  };
+}
+
+struct RunningServer {
+  explicit RunningServer(ServerConfig config)
+      : cache(fleet().registry(), fleet().code(), fleet().size()),
+        server(cache, fleet_factory(), config),
+        thread([this] { server.run(); }) {}
+  ~RunningServer() {
+    server.stop();
+    thread.join();
+  }
+  service::EmulatorCache cache;
+  AttestationServer server;
+  std::thread thread;
+};
+
+ServerConfig base_config() {
+  ServerConfig config;
+  config.endpoint = Endpoint::tcp("127.0.0.1", 0);
+  config.pool.workers = 2;
+  config.pool.queue_capacity = 16;
+  return config;
+}
+
+/// Minimal blocking round trip for one request frame.
+FrameDecoder::Frame roundtrip(const Endpoint& endpoint,
+                              const std::vector<std::uint8_t>& request) {
+  Fd fd = connect_to(endpoint);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd.get(), request.data() + sent, request.size() - sent, 0);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+    } else if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK &&
+               errno != EINTR) {
+      ADD_FAILURE() << "send failed";
+      return {};
+    }
+  }
+  FrameDecoder decoder;
+  std::vector<FrameDecoder::Frame> out;
+  std::uint8_t buf[4096];
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (out.empty() && std::chrono::steady_clock::now() < deadline) {
+    const ssize_t n = ::read(fd.get(), buf, sizeof(buf));
+    if (n > 0) {
+      decoder.feed(buf, static_cast<std::size_t>(n), out);
+    } else if (n == 0) {
+      break;
+    } else if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  if (out.empty()) {
+    ADD_FAILURE() << "no reply before deadline";
+    return {};
+  }
+  return out[0];
+}
+
+TEST(TraceInterop, UntracedClientAgainstTracedServerGetsUntracedReply) {
+  obs::Tracer tracer;
+  tracer.set_enabled(true);
+  auto config = base_config();
+  config.tracer = &tracer;
+  config.pool.tracer = &tracer;
+  RunningServer rs(config);
+
+  const auto reply = roundtrip(
+      rs.server.bound_endpoint(),
+      encode_job_request(JobRequest{SimFleet::device_id(0), 1, 2, 3}));
+  ASSERT_EQ(reply.type, MsgType::kVerdictReply);
+  EXPECT_EQ(decode_verdict_reply(reply.payload).tag, 3u);
+  // An untraced request must never grow a trace context on the way back:
+  // a pre-tracing client would reject the unknown bytes.
+  EXPECT_FALSE(reply.trace.traced());
+}
+
+TEST(TraceInterop, TracedClientAgainstUntracedServerStillGetsVerdict) {
+  RunningServer rs(base_config());  // no tracer anywhere
+
+  const auto reply =
+      roundtrip(rs.server.bound_endpoint(),
+                encode_job_request(JobRequest{SimFleet::device_id(1), 4, 5, 6},
+                                   TraceContext{0x77, 0x77}));
+  ASSERT_EQ(reply.type, MsgType::kVerdictReply);
+  EXPECT_EQ(decode_verdict_reply(reply.payload).tag, 6u);
+  // The trace id is echoed even though the server recorded nothing; the
+  // span half is 0 (there is no server root to point at).
+  EXPECT_EQ(reply.trace.trace_id, 0x77u);
+  EXPECT_EQ(reply.trace.span_id, 0u);
+}
+
+// --- cross-process merge, end to end ----------------------------------------
+
+TEST(TraceMergePipeline, ReconstructsLinkedTimelinesAcrossProcesses) {
+  if (!obs::kTraceCompiled) {
+    GTEST_SKIP() << "tracing hooks compiled out (PUFATT_TRACE=0)";
+  }
+  // Server and client run *separate* tracers, exactly like two processes:
+  // independent id spaces, joined only through the wire trace context.
+  obs::Tracer server_tracer;
+  server_tracer.set_enabled(true);
+  auto config = base_config();
+  config.tracer = &server_tracer;
+  config.pool.tracer = &server_tracer;
+  RunningServer rs(config);
+
+  obs::Tracer client_tracer;
+  client_tracer.set_enabled(true);
+  LoadGenConfig lcfg;
+  lcfg.endpoint = rs.server.bound_endpoint();
+  lcfg.connections = 4;
+  lcfg.jobs_per_connection = 6;
+  lcfg.devices = fleet().size();  // known devices only: every job joins
+  lcfg.tracer = &client_tracer;
+  const auto report = LoadGenerator(lcfg).run();
+  ASSERT_EQ(report.verdicts, report.jobs);
+
+  // Both sides export through the same serializer a real deployment uses.
+  server_tracer.set_enabled(false);
+  client_tracer.set_enabled(false);
+  std::vector<obs::TraceFile> files(2);
+  files[0].label = "client";
+  files[0].spans = obs::read_trace(client_tracer.to_jsonl());
+  files[1].label = "server";
+  files[1].spans = obs::read_trace(server_tracer.to_jsonl());
+
+  const auto merged = obs::merge_traces(files);
+  EXPECT_EQ(merged.client_roots, report.jobs);
+  // The acceptance bar: >= 99% of wire verdicts reconstruct into a linked
+  // cross-process timeline.  With known devices and no sampling, every
+  // single one must join.
+  EXPECT_GE(merged.join_fraction(), 0.99);
+  EXPECT_EQ(merged.joined, merged.client_roots);
+
+  for (const auto& verdict : merged.verdicts) {
+    ASSERT_TRUE(verdict.joined) << "trace " << verdict.trace;
+    EXPECT_EQ(verdict.client_file, 0u);
+    EXPECT_EQ(verdict.server_file, 1u);
+    // The server interval nests inside the client interval, so the wire
+    // residual is positive, and the decomposed stages fit inside it.
+    EXPECT_GT(verdict.client_us, 0.0);
+    EXPECT_GE(verdict.wire_rtt_us, 0.0) << "trace " << verdict.trace;
+    EXPECT_LE(verdict.queue_us + verdict.verify_us,
+              verdict.server_us * 1.0001 + 1.0)
+        << "trace " << verdict.trace;
+  }
+}
+
+TEST(TraceMergePipeline, ServerSpansCarryTheClientJoinKey) {
+  if (!obs::kTraceCompiled) {
+    GTEST_SKIP() << "tracing hooks compiled out (PUFATT_TRACE=0)";
+  }
+  obs::Tracer server_tracer;
+  server_tracer.set_enabled(true);
+  auto config = base_config();
+  config.tracer = &server_tracer;
+  config.pool.tracer = &server_tracer;
+  RunningServer rs(config);
+
+  const auto reply =
+      roundtrip(rs.server.bound_endpoint(),
+                encode_job_request(JobRequest{SimFleet::device_id(0), 7, 8, 9},
+                                   TraceContext{0x1234, 0x1234}));
+  ASSERT_EQ(reply.type, MsgType::kVerdictReply);
+  EXPECT_EQ(reply.trace.trace_id, 0x1234u);
+  EXPECT_NE(reply.trace.span_id, 0u);  // the server's pool.job root id
+
+  server_tracer.set_enabled(false);
+  bool found_root = false;
+  for (const auto& rec : server_tracer.records()) {
+    if (std::string(rec.name) != "pool.job") continue;
+    for (std::size_t i = 0; i < rec.note_count; ++i) {
+      if (std::string(rec.notes[i].key) == "trace") {
+        EXPECT_EQ(rec.notes[i].value, static_cast<double>(0x1234));
+        EXPECT_EQ(rec.id, reply.trace.span_id);
+        found_root = true;
+      }
+    }
+  }
+  EXPECT_TRUE(found_root);
+}
+
+// --- merge_traces on synthetic spans ----------------------------------------
+// Pure data-plumbing tests: these run on the notrace tree too, since the
+// merge operates on parsed files, not live hooks.
+
+obs::ParsedSpan span(const char* name, std::uint64_t id, std::uint64_t parent,
+                     double dur_us,
+                     std::map<std::string, double> notes = {}) {
+  obs::ParsedSpan s;
+  s.name = name;
+  s.id = id;
+  s.parent = parent;
+  s.dur_us = dur_us;
+  s.notes = std::move(notes);
+  return s;
+}
+
+TEST(MergeTraces, JoinsOnTraceNoteAndDecomposesStages) {
+  std::vector<obs::TraceFile> files(2);
+  files[0].label = "client";
+  files[0].spans = {
+      span("client.job", 5, 0, 1000.0,
+           {{"trace", 5.0}, {"outcome", 0.0}, {"busy_retries", 2.0}}),
+      span("client.wire", 6, 5, 400.0),
+  };
+  files[1].label = "server";
+  files[1].spans = {
+      span("pool.job", 9, 0, 700.0, {{"trace", 5.0}, {"parent_span", 5.0}}),
+      span("pool.queue_wait", 10, 9, 150.0),
+      span("pool.verify", 11, 9, 500.0),
+      span("session.run", 12, 11, 480.0),
+      span("session.attempt", 13, 12, 480.0,
+           {{"deadline_us", 100.0}, {"elapsed_us", 130.0}}),
+      span("store.fsync", 14, 9, 40.0),
+  };
+
+  const auto report = obs::merge_traces(files);
+  EXPECT_EQ(report.files, 2u);
+  EXPECT_EQ(report.spans, 8u);
+  EXPECT_EQ(report.client_roots, 1u);
+  EXPECT_EQ(report.server_roots, 1u);
+  EXPECT_EQ(report.joined, 1u);
+  EXPECT_DOUBLE_EQ(report.join_fraction(), 1.0);
+
+  ASSERT_EQ(report.verdicts.size(), 1u);
+  const auto& v = report.verdicts[0];
+  EXPECT_TRUE(v.joined);
+  EXPECT_EQ(v.trace, 5u);
+  EXPECT_DOUBLE_EQ(v.client_us, 1000.0);
+  EXPECT_DOUBLE_EQ(v.server_us, 700.0);
+  EXPECT_DOUBLE_EQ(v.wire_rtt_us, 300.0);
+  EXPECT_DOUBLE_EQ(v.queue_us, 150.0);
+  EXPECT_DOUBLE_EQ(v.verify_us, 500.0);
+  EXPECT_DOUBLE_EQ(v.store_fsync_us, 40.0);
+  EXPECT_DOUBLE_EQ(v.busy_retries, 2.0);
+  // The δ-margin came from two levels down the server subtree, and this
+  // one is a violation (elapsed past the deadline).
+  ASSERT_EQ(v.margins_us.size(), 1u);
+  EXPECT_DOUBLE_EQ(v.margins_us[0], -30.0);
+
+  // Stage pool aggregates across files by span name.
+  EXPECT_EQ(report.stage_us.at("client.job").size(), 1u);
+  EXPECT_EQ(report.stage_us.at("pool.verify").size(), 1u);
+}
+
+TEST(MergeTraces, UnjoinedClientRootsStayInTheReport) {
+  // An unknown-device verdict never reaches the pool: the client half
+  // exists, the server half does not.  The merge must keep it visible
+  // (joined = false), not silently drop it.
+  std::vector<obs::TraceFile> files(2);
+  files[0].label = "client";
+  files[0].spans = {
+      span("client.job", 3, 0, 500.0, {{"trace", 3.0}, {"outcome", 4.0}}),
+      span("client.job", 4, 0, 800.0, {{"trace", 4.0}, {"outcome", 0.0}}),
+  };
+  files[1].label = "server";
+  files[1].spans = {
+      span("pool.job", 2, 0, 600.0, {{"trace", 4.0}}),
+  };
+
+  const auto report = obs::merge_traces(files);
+  EXPECT_EQ(report.client_roots, 2u);
+  EXPECT_EQ(report.joined, 1u);
+  EXPECT_DOUBLE_EQ(report.join_fraction(), 0.5);
+  ASSERT_EQ(report.verdicts.size(), 2u);
+  EXPECT_FALSE(report.verdicts[0].joined);  // trace 3: no server root
+  EXPECT_TRUE(report.verdicts[1].joined);
+  EXPECT_DOUBLE_EQ(report.verdicts[1].wire_rtt_us, 200.0);
+}
+
+TEST(MergeTraces, LocalOnlyServerRootsDoNotJoin) {
+  // A pool.job sampled locally (no wire trace, so no "trace" note) must
+  // not be counted as a server root, and an untraced client.job (trace
+  // note absent) is not a client root.
+  std::vector<obs::TraceFile> files(1);
+  files[0].spans = {
+      span("pool.job", 1, 0, 100.0, {{"outcome", 0.0}}),
+      span("client.job", 2, 0, 100.0, {{"outcome", 0.0}}),
+  };
+  const auto report = obs::merge_traces(files);
+  EXPECT_EQ(report.client_roots, 0u);
+  EXPECT_EQ(report.server_roots, 0u);
+  EXPECT_EQ(report.joined, 0u);
+  EXPECT_DOUBLE_EQ(report.join_fraction(), 0.0);
+  EXPECT_TRUE(report.verdicts.empty());
+}
+
+}  // namespace
+}  // namespace pufatt::net

@@ -20,6 +20,15 @@
 # and the shard workers' concurrent use of one prewarmed device through
 # the bit-sliced and scalar eval paths.
 #
+# The plain (and sanitizer) trees also run the cross-process tracing
+# fixture trace_merge_pipeline: traced serve + traced loadgen as two OS
+# processes over a Unix socket, one live fleet-stats poll mid-flight, then
+# `trace-report <client> <server>` must join 100% of wire verdicts into
+# linked timelines.  On build-notrace that fixture (and trace_pipeline) is
+# not registered, and the span-dependent gtests in trace_merge_test.cpp
+# GTEST_SKIP themselves — the wire-format and interop tests still run, so
+# the no-trace tree keeps proving the traced/untraced byte compatibility.
+#
 # Each tree then reruns the torture-labeled seeded kill-and-recover loop
 # (tests/store_torture.cpp) with a second seed: random fault points over
 # an append workload, gating that follower promotion stays byte-identical

@@ -9,16 +9,27 @@
 //              [--trace-sample=<r>]                 run the concurrent service
 //   pufatt-cli serve <endpoint> [--workers=N] [--queue=N] [--devices=N]
 //              [--fleet-seed=S] [--idle-timeout-ms=X] [--max-jobs=N]
-//                                                  serve attestation over a
+//              [--trace-out=<f>] [--trace-jsonl=<f>] [--metrics-out=<f>]
+//              [--trace-sample=<r>] [--metrics-jsonl=<f>]
+//              [--stats-interval-ms=X]             serve attestation over a
 //                                                  socket (tcp:HOST:PORT,
 //                                                  port 0 = ephemeral, or
 //                                                  unix:PATH) until SIGINT
 //                                                  or N verdicts
 //   pufatt-cli loadgen <endpoint> [--connections=N] [--jobs=N] [--devices=N]
 //              [--max-busy-retries=N] [--max-retry-wait-ms=X]
+//              [--trace-out=<f>] [--trace-jsonl=<f>] [--trace-sample=<r>]
 //                                                  drive a simulated fleet
 //                                                  against a running server
-//   pufatt-cli trace-report <trace-file>           aggregate an exported trace
+//   pufatt-cli fleet-stats <endpoint> [--watch-ms=X] [--samples=N]
+//                                                  poll a live server's stats
+//                                                  frame (one-shot JSON, or
+//                                                  interval mode with delta
+//                                                  rates)
+//   pufatt-cli trace-report <trace-file>...        aggregate an exported
+//                                                  trace; N files (client +
+//                                                  server) are merged into
+//                                                  cross-process timelines
 //   pufatt-cli gen-crps <chip-seed> <count> <threads> <out.csv>
 //              [--engine={auto,scalar,batch,bitslice}]
 //                                                  dump protocol CRPs (batched)
@@ -38,6 +49,10 @@
 // The "device" is simulated (chip-seed = fab lottery), but the data flow is
 // the real deployment one: enrollment produces a record file, the verifier
 // later loads it and talks to the device.
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
@@ -64,6 +79,7 @@
 #include "net/server.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/trace_merge.hpp"
 #include "obs/trace_read.hpp"
 #include "service/device_registry.hpp"
 #include "service/emulator_cache.hpp"
@@ -103,11 +119,19 @@ int usage() {
                "[--queue=<n>]\n"
                "                  [--devices=<n>] [--fleet-seed=<s>]\n"
                "                  [--idle-timeout-ms=<x>] [--max-jobs=<n>]\n"
+               "                  [--trace-out=<f>] [--trace-jsonl=<f>]\n"
+               "                  [--metrics-out=<f>] [--trace-sample=<r>]\n"
+               "                  [--metrics-jsonl=<f>] "
+               "[--stats-interval-ms=<x>]\n"
                "       pufatt-cli loadgen <endpoint> [--connections=<n>] "
                "[--jobs=<n>]\n"
                "                  [--devices=<n>] [--max-busy-retries=<n>]\n"
-               "                  [--max-retry-wait-ms=<x>]\n"
-               "       pufatt-cli trace-report <trace-file>\n"
+               "                  [--max-retry-wait-ms=<x>] "
+               "[--trace-out=<f>]\n"
+               "                  [--trace-jsonl=<f>] [--trace-sample=<r>]\n"
+               "       pufatt-cli fleet-stats <endpoint> [--watch-ms=<x>] "
+               "[--samples=<n>]\n"
+               "       pufatt-cli trace-report <trace-file>...\n"
                "       pufatt-cli gen-crps <chip-seed> <count> <threads> "
                "<out.csv>\n"
                "                  [--engine={auto,scalar,batch,bitslice}]  "
@@ -289,12 +313,16 @@ int cmd_disasm(const std::string& path) {
   return 0;
 }
 
-/// Observability outputs of serve-demo; all optional.
+/// Observability outputs shared by serve-demo, serve and loadgen; all
+/// optional.  serve additionally honours the live-telemetry pair
+/// (metrics_jsonl + stats_interval_ms).
 struct ServeDemoObs {
-  std::string trace_out;    ///< Chrome trace_event JSON
-  std::string trace_jsonl;  ///< line-oriented span export
-  std::string metrics_out;  ///< registry snapshot JSON
+  std::string trace_out;      ///< Chrome trace_event JSON
+  std::string trace_jsonl;    ///< line-oriented span export
+  std::string metrics_out;    ///< registry snapshot JSON
+  std::string metrics_jsonl;  ///< periodic stats snapshots (serve only)
   double trace_sample = 1.0;
+  double stats_interval_ms = 250.0;
 
   bool tracing() const {
     return !trace_out.empty() || !trace_jsonl.empty() || !metrics_out.empty();
@@ -491,7 +519,7 @@ void serve_signal_handler(int) { g_serve_interrupted.store(true); }
 int cmd_serve(const net::Endpoint& endpoint, std::uint64_t workers,
               std::uint64_t queue, std::uint64_t devices,
               std::uint64_t fleet_seed, double idle_timeout_ms,
-              std::uint64_t max_jobs) {
+              std::uint64_t max_jobs, const ServeDemoObs& obs_out) {
   if (workers == 0 || devices == 0) {
     std::fprintf(stderr, "error: workers and devices must be > 0\n");
     return usage();
@@ -508,6 +536,20 @@ int cmd_serve(const net::Endpoint& endpoint, std::uint64_t workers,
   config.pool.workers = workers;
   config.pool.queue_capacity = queue != 0 ? queue : 2 * workers;
   config.idle_timeout_ms = idle_timeout_ms;
+  if (obs_out.tracing()) {
+    // Same single-tracer setup as serve-demo: loop spans (net.*), pool
+    // spans (pool.*, session.*) and any global-tracer store spans all
+    // land in one export.
+    obs::global_tracer().clear();
+    obs::global_registry().reset();
+    obs::set_global_trace(true, obs_out.trace_sample);
+    config.tracer = &obs::global_tracer();
+    config.pool.tracer = &obs::global_tracer();
+  }
+  // The stats frame and the metrics ticker work with or without tracing.
+  config.registry = &obs::global_registry();
+  config.metrics_jsonl = obs_out.metrics_jsonl;
+  config.stats_interval_ms = obs_out.stats_interval_ms;
   net::AttestationServer server(
       cache,
       [&fleet](const net::JobRequest& request) {
@@ -536,6 +578,28 @@ int cmd_serve(const net::Endpoint& endpoint, std::uint64_t workers,
   server.stop();
   runner.join();
 
+  bool exports_ok = true;
+  if (obs_out.tracing()) {
+    obs::set_global_trace(false);
+    service::publish_metrics(server.pool().metrics_snapshot(),
+                             cache.counters(), obs::global_registry());
+    if (!obs_out.metrics_out.empty()) {
+      exports_ok &= write_file(obs_out.metrics_out,
+                               obs::global_registry().snapshot_json() + "\n");
+    }
+    auto& tracer = obs::global_tracer();
+    if (!obs_out.trace_out.empty()) {
+      exports_ok &= write_file(obs_out.trace_out, tracer.to_trace_event());
+    }
+    if (!obs_out.trace_jsonl.empty()) {
+      exports_ok &= write_file(obs_out.trace_jsonl, tracer.to_jsonl());
+    }
+    std::printf("trace: %zu spans recorded, %llu dropped (sample rate %g)\n",
+                tracer.records().size(),
+                static_cast<unsigned long long>(tracer.dropped()),
+                obs_out.trace_sample);
+  }
+
   const auto c = server.counters();
   std::printf("served: %llu connections, %llu requests, %llu verdicts\n"
               "shed:   %llu busy replies, %llu idle evictions, %llu write-cap"
@@ -550,12 +614,13 @@ int cmd_serve(const net::Endpoint& endpoint, std::uint64_t workers,
               static_cast<unsigned long long>(c.replies_dropped),
               static_cast<unsigned long long>(c.decode_errors),
               static_cast<unsigned long long>(c.payload_errors));
-  return 0;
+  return exports_ok ? 0 : 1;
 }
 
 int cmd_loadgen(const net::Endpoint& endpoint, std::uint64_t connections,
                 std::uint64_t jobs_per_connection, std::uint64_t devices,
-                std::uint64_t max_busy_retries, double max_retry_wait_ms) {
+                std::uint64_t max_busy_retries, double max_retry_wait_ms,
+                const ServeDemoObs& obs_out) {
   if (connections == 0 || jobs_per_connection == 0 || devices == 0) {
     std::fprintf(stderr,
                  "error: connections, jobs and devices must be > 0\n");
@@ -570,6 +635,16 @@ int cmd_loadgen(const net::Endpoint& endpoint, std::uint64_t connections,
   config.max_busy_retries = max_busy_retries;
   config.max_retry_wait_ms = max_retry_wait_ms;
 
+  // The client side of a cross-process trace: a *local* tracer (its id
+  // space must be independent of any server in this process), exported
+  // for `trace-report <client.jsonl> <server.jsonl>`.
+  obs::Tracer tracer;
+  if (obs_out.tracing()) {
+    tracer.set_sample_rate(obs_out.trace_sample);
+    tracer.set_enabled(true);
+    config.tracer = &tracer;
+  }
+
   std::printf("driving %llu connections x %llu jobs against %s...\n",
               static_cast<unsigned long long>(connections),
               static_cast<unsigned long long>(jobs_per_connection),
@@ -578,6 +653,22 @@ int cmd_loadgen(const net::Endpoint& endpoint, std::uint64_t connections,
 
   net::LoadGenerator generator(config);
   const auto report = generator.run();
+
+  if (obs_out.tracing()) {
+    tracer.set_enabled(false);
+    bool exports_ok = true;
+    if (!obs_out.trace_out.empty()) {
+      exports_ok &= write_file(obs_out.trace_out, tracer.to_trace_event());
+    }
+    if (!obs_out.trace_jsonl.empty()) {
+      exports_ok &= write_file(obs_out.trace_jsonl, tracer.to_jsonl());
+    }
+    std::printf("trace: %zu spans recorded, %llu dropped (sample rate %g)\n",
+                tracer.records().size(),
+                static_cast<unsigned long long>(tracer.dropped()),
+                obs_out.trace_sample);
+    if (!exports_ok) return 1;
+  }
 
   std::vector<double> latencies;
   latencies.reserve(report.by_job.size());
@@ -682,6 +773,234 @@ int cmd_trace_report(const std::string& path) {
               "count=%zu min=%.1f p10=%.1f p50=%.1f violations=%zu\n",
               margins.size(), margins.empty() ? 0.0 : margins.front(),
               percentile(margins, 0.1), percentile(margins, 0.5), violations);
+  return 0;
+}
+
+// trace-report with N files: the cross-process merge (obs/trace_merge).
+// Client and server exports join on trace id; each joined verdict's
+// client latency is decomposed into wire RTT / queue wait / verify /
+// store fsync, with per-stage percentiles and the same δ-margin
+// violation table the single-file report prints.
+int cmd_trace_merge_report(const std::vector<std::string>& paths) {
+  std::vector<obs::TraceFile> files;
+  for (const auto& path : paths) {
+    std::string text;
+    if (!read_file(path, text)) return 1;
+    obs::TraceFile file;
+    file.label = path;
+    file.spans = obs::read_trace(text);
+    files.push_back(std::move(file));
+  }
+  auto report = obs::merge_traces(files);
+
+  std::printf("trace merge: %zu files, %zu spans\n", report.files,
+              report.spans);
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    std::printf("  [%zu] %s: %zu spans\n", i, files[i].label.c_str(),
+                files[i].spans.size());
+  }
+
+  std::printf("\n%-18s %7s %10s %10s %10s %10s\n", "stage", "count", "p50_us",
+              "p90_us", "p99_us", "max_us");
+  for (auto& [name, durs] : report.stage_us) {
+    std::sort(durs.begin(), durs.end());
+    std::printf("%-18s %7zu %10.1f %10.1f %10.1f %10.1f\n", name.c_str(),
+                durs.size(), percentile(durs, 0.5), percentile(durs, 0.9),
+                percentile(durs, 0.99), durs.back());
+  }
+
+  std::printf("\ncross-process verdicts: joined %zu/%zu client roots "
+              "(%.1f%%), %zu server roots\n",
+              report.joined, report.client_roots,
+              100.0 * report.join_fraction(), report.server_roots);
+
+  struct Column {
+    const char* name;
+    std::vector<double> values;
+  };
+  Column columns[] = {{"client_total", {}}, {"server_total", {}},
+                      {"wire_rtt", {}},     {"queue_wait", {}},
+                      {"verify", {}},       {"store_fsync", {}}};
+  std::vector<double> margins;
+  for (const auto& verdict : report.verdicts) {
+    if (!verdict.joined) continue;
+    columns[0].values.push_back(verdict.client_us);
+    columns[1].values.push_back(verdict.server_us);
+    columns[2].values.push_back(verdict.wire_rtt_us);
+    columns[3].values.push_back(verdict.queue_us);
+    columns[4].values.push_back(verdict.verify_us);
+    columns[5].values.push_back(verdict.store_fsync_us);
+    margins.insert(margins.end(), verdict.margins_us.begin(),
+                   verdict.margins_us.end());
+  }
+  std::printf("%-18s %7s %10s %10s %10s %10s\n", "verdict stage", "count",
+              "p50_us", "p90_us", "p99_us", "max_us");
+  for (auto& column : columns) {
+    std::sort(column.values.begin(), column.values.end());
+    std::printf("%-18s %7zu %10.1f %10.1f %10.1f %10.1f\n", column.name,
+                column.values.size(), percentile(column.values, 0.5),
+                percentile(column.values, 0.9), percentile(column.values, 0.99),
+                column.values.empty() ? 0.0 : column.values.back());
+  }
+
+  const std::size_t shown = std::min<std::size_t>(report.verdicts.size(), 16);
+  std::printf("\nper-verdict timeline (first %zu of %zu):\n", shown,
+              report.verdicts.size());
+  for (std::size_t i = 0; i < shown; ++i) {
+    const auto& v = report.verdicts[i];
+    if (v.joined) {
+      std::printf("  trace=%llu outcome=%.0f client=%.1fus = wire %.1f + "
+                  "queue %.1f + verify %.1f (fsync %.1f) busy=%.0f\n",
+                  static_cast<unsigned long long>(v.trace), v.outcome,
+                  v.client_us, v.wire_rtt_us, v.queue_us, v.verify_us,
+                  v.store_fsync_us, v.busy_retries);
+    } else {
+      std::printf("  trace=%llu outcome=%.0f client=%.1fus (no server half)\n",
+                  static_cast<unsigned long long>(v.trace), v.outcome,
+                  v.client_us);
+    }
+  }
+
+  std::sort(margins.begin(), margins.end());
+  const std::size_t violations = static_cast<std::size_t>(
+      std::lower_bound(margins.begin(), margins.end(), 0.0) - margins.begin());
+  std::printf("\ndelta_margin_us (deadline - elapsed, joined verdicts): "
+              "count=%zu min=%.1f p10=%.1f p50=%.1f violations=%zu\n",
+              margins.size(), margins.empty() ? 0.0 : margins.front(),
+              percentile(margins, 0.1), percentile(margins, 0.5), violations);
+  return 0;
+}
+
+// fleet-stats: poll a live server's kStatsRequest admin frame.  One-shot
+// mode prints the raw byte-stable JSON (scriptable: pipe into jq); watch
+// mode samples every --watch-ms and prints delta rates, the "top" view
+// of a running fleet.
+
+/// One stats round trip over a polled non-blocking socket.  Returns false
+/// on any transport or framing failure.
+bool stats_roundtrip(int fd, net::FrameDecoder& decoder, std::uint64_t tag,
+                     double timeout_ms, std::string& json) {
+  const auto bytes = net::encode_stats_request(net::StatsRequest{tag});
+  std::size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      ::pollfd pfd{fd, POLLOUT, 0};
+      if (::poll(&pfd, 1, static_cast<int>(timeout_ms)) <= 0) return false;
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  std::vector<net::FrameDecoder::Frame> frames;
+  for (;;) {
+    std::uint8_t buf[64 * 1024];
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      if (!decoder.feed(buf, static_cast<std::size_t>(n), frames)) {
+        return false;
+      }
+      for (const auto& frame : frames) {
+        if (frame.type != net::MsgType::kStatsReply) continue;
+        const auto reply = net::decode_stats_reply(frame.payload);
+        if (reply.tag != tag) continue;
+        json = reply.stats_json;
+        return true;
+      }
+      frames.clear();
+      continue;
+    }
+    if (n == 0) return false;  // server closed on us
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      ::pollfd pfd{fd, POLLIN, 0};
+      if (::poll(&pfd, 1, static_cast<int>(timeout_ms)) <= 0) return false;
+      continue;
+    }
+    if (errno == EINTR) continue;
+    return false;
+  }
+}
+
+int cmd_fleet_stats(const net::Endpoint& endpoint, double watch_ms,
+                    std::uint64_t samples) {
+  net::Fd fd;
+  try {
+    fd = net::connect_to(endpoint);
+  } catch (const net::NetError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  net::FrameDecoder decoder;
+
+  if (watch_ms <= 0.0) {  // one-shot: raw JSON, nothing else on stdout
+    std::string json;
+    if (!stats_roundtrip(fd.get(), decoder, 0xF1EE7, 5'000.0, json)) {
+      std::fprintf(stderr, "error: stats request failed\n");
+      return 1;
+    }
+    std::printf("%s\n", json.c_str());
+    return 0;
+  }
+
+  g_serve_interrupted.store(false);
+  std::signal(SIGINT, serve_signal_handler);
+  std::signal(SIGTERM, serve_signal_handler);
+
+  const auto section_num = [](const obs::JsonValue& doc, const char* section,
+                              const char* key) {
+    const auto* s = doc.get(section);
+    return s != nullptr ? s->number_or(key, 0.0) : 0.0;
+  };
+  std::printf("%10s %12s %10s %12s %12s %8s %8s\n", "t_s", "verdicts/s",
+              "busy/s", "bytes_in/s", "bytes_out/s", "queue", "conns");
+  std::fflush(stdout);
+
+  obs::JsonValue prev;
+  std::uint64_t prev_ns = 0;
+  const std::uint64_t start_ns = obs::monotonic_ns();
+  for (std::uint64_t s = 0; samples == 0 || s < samples; ++s) {
+    if (g_serve_interrupted.load()) break;
+    std::string json;
+    if (!stats_roundtrip(fd.get(), decoder, 0xF1EE7 + s, 5'000.0, json)) {
+      std::fprintf(stderr, "error: stats request failed (server gone?)\n");
+      return 1;
+    }
+    const std::uint64_t now = obs::monotonic_ns();
+    obs::JsonValue doc;
+    try {
+      doc = obs::parse_json(json);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: malformed stats JSON: %s\n", e.what());
+      return 1;
+    }
+    if (prev_ns != 0) {
+      const double dt_s = static_cast<double>(now - prev_ns) / 1e9;
+      const auto rate = [&](const char* section, const char* key) {
+        return dt_s > 0.0 ? (section_num(doc, section, key) -
+                             section_num(prev, section, key)) /
+                                dt_s
+                          : 0.0;
+      };
+      std::printf("%10.2f %12.1f %10.1f %12.0f %12.0f %8.0f %8.0f\n",
+                  static_cast<double>(now - start_ns) / 1e9,
+                  rate("net", "verdicts_sent"), rate("net", "busy_replies"),
+                  rate("net", "bytes_in"), rate("net", "bytes_out"),
+                  section_num(doc, "pool", "queue_depth"),
+                  section_num(doc, "net", "open_connections"));
+      std::fflush(stdout);
+    }
+    prev = std::move(doc);
+    prev_ns = now;
+    if (samples == 0 || s + 1 < samples) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(static_cast<long>(watch_ms * 1e3)));
+    }
+  }
   return 0;
 }
 
@@ -1006,7 +1325,7 @@ int main(int argc, char** argv) {
       }
       return cmd_serve_demo(workers, sessions, devices, obs_out);
     }
-    if (cmd == "serve" || cmd == "loadgen") {
+    if (cmd == "serve" || cmd == "loadgen" || cmd == "fleet-stats") {
       // Shared shape: one positional endpoint, then --key=value flags with
       // the serve-demo strictness (unknown flag or malformed value = 64).
       std::string endpoint_spec;
@@ -1053,10 +1372,25 @@ int main(int argc, char** argv) {
         flags.erase(it);
         return ok;
       };
+      const auto take_str = [&](const char* name, std::string& value) {
+        const auto it = flags.find(name);
+        if (it == flags.end()) return;
+        value = it->second;
+        flags.erase(it);
+      };
       const auto reject_leftovers = [&] {
         if (flags.empty()) return false;
         std::fprintf(stderr, "error: unknown flag '--%s'\n",
                      flags.begin()->first.c_str());
+        return true;
+      };
+      // Sample rates are f64 flags with an extra upper bound.
+      const auto take_sample = [&](double& value) {
+        if (!take_f64("trace-sample", value)) return false;
+        if (value > 1.0) {
+          bad_argument("trace-sample (want [0,1])", "");
+          return false;
+        }
         return true;
       };
 
@@ -1064,33 +1398,67 @@ int main(int argc, char** argv) {
         std::uint64_t workers = 4, queue = 0, devices = 8;
         std::uint64_t fleet_seed = 0x5E47EDE40, max_jobs = 0;
         double idle_timeout_ms = 30'000.0;
+        ServeDemoObs obs_out;
+        take_str("trace-out", obs_out.trace_out);
+        take_str("trace-jsonl", obs_out.trace_jsonl);
+        take_str("metrics-out", obs_out.metrics_out);
+        take_str("metrics-jsonl", obs_out.metrics_jsonl);
         if (!take_u64("workers", workers) || !take_u64("queue", queue) ||
             !take_u64("devices", devices) ||
             !take_u64("fleet-seed", fleet_seed) ||
             !take_u64("max-jobs", max_jobs) ||
-            !take_f64("idle-timeout-ms", idle_timeout_ms)) {
+            !take_f64("idle-timeout-ms", idle_timeout_ms) ||
+            !take_f64("stats-interval-ms", obs_out.stats_interval_ms) ||
+            !take_sample(obs_out.trace_sample)) {
           return 64;
         }
         if (reject_leftovers()) return usage();
         return cmd_serve(endpoint, workers, queue, devices, fleet_seed,
-                         idle_timeout_ms, max_jobs);
+                         idle_timeout_ms, max_jobs, obs_out);
+      }
+
+      if (cmd == "fleet-stats") {
+        double watch_ms = 0.0;  // 0 = one-shot raw JSON
+        std::uint64_t samples = 0;
+        if (!take_f64("watch-ms", watch_ms) || !take_u64("samples", samples)) {
+          return 64;
+        }
+        if (reject_leftovers()) return usage();
+        return cmd_fleet_stats(endpoint, watch_ms, samples);
       }
 
       std::uint64_t connections = 16, jobs = 4, devices = 8;
       std::uint64_t max_busy_retries = 64;
       double max_retry_wait_ms = 50.0;
+      ServeDemoObs obs_out;
+      take_str("trace-out", obs_out.trace_out);
+      take_str("trace-jsonl", obs_out.trace_jsonl);
       if (!take_u64("connections", connections) || !take_u64("jobs", jobs) ||
           !take_u64("devices", devices) ||
           !take_u64("max-busy-retries", max_busy_retries) ||
-          !take_f64("max-retry-wait-ms", max_retry_wait_ms)) {
+          !take_f64("max-retry-wait-ms", max_retry_wait_ms) ||
+          !take_sample(obs_out.trace_sample)) {
         return 64;
       }
       if (reject_leftovers()) return usage();
       return cmd_loadgen(endpoint, connections, jobs, devices,
-                         max_busy_retries, max_retry_wait_ms);
+                         max_busy_retries, max_retry_wait_ms, obs_out);
     }
     if (cmd == "trace-report") {
-      return argc == 3 ? cmd_trace_report(argv[2]) : usage();
+      if (argc < 3) return usage();
+      std::vector<std::string> paths;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--", 0) == 0) {
+          std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+          return usage();
+        }
+        paths.push_back(arg);
+      }
+      // One file keeps the original single-process report; two or more
+      // run the cross-process merge (client + server exports).
+      return paths.size() == 1 ? cmd_trace_report(paths[0].c_str())
+                               : cmd_trace_merge_report(paths);
     }
     if (cmd == "gen-crps") {
       if (argc != 6 && argc != 7) return usage();

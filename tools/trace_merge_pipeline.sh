@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Cross-process distributed-tracing pipeline check (DESIGN.md §16): a
+# traced serve and a traced loadgen run as two separate processes (their
+# tracers have fully independent span-id spaces), join only through the
+# wire trace context, and `trace-report <client> <server>` must stitch
+# every wire verdict back into one linked timeline.
+#
+# Also exercises the live-telemetry path end to end: one fleet-stats
+# poll over the same socket while the server is up, and the serve-side
+# metrics JSONL ticker.
+#
+# Usage: trace_merge_pipeline.sh <pufatt-cli> <outdir>
+set -euo pipefail
+
+CLI="$1"
+OUTDIR="$2"
+SOCK="${OUTDIR}/trace_merge.sock"
+CONNECTIONS=4
+JOBS_PER_CONN=6
+DEVICES=4
+TOTAL_JOBS=$((CONNECTIONS * JOBS_PER_CONN))
+
+mkdir -p "${OUTDIR}"
+rm -f "${SOCK}" "${OUTDIR}"/trace_merge_{client,server}.jsonl \
+      "${OUTDIR}/trace_merge_metrics.jsonl"
+
+"${CLI}" serve "unix:${SOCK}" --workers=2 --devices=${DEVICES} \
+    --max-jobs=${TOTAL_JOBS} \
+    --trace-jsonl="${OUTDIR}/trace_merge_server.jsonl" \
+    --metrics-jsonl="${OUTDIR}/trace_merge_metrics.jsonl" \
+    --stats-interval-ms=25 &
+SERVE_PID=$!
+trap 'kill "${SERVE_PID}" 2>/dev/null || true' EXIT
+
+# The server enrolls its fleet before binding; wait for the socket.
+for _ in $(seq 1 200); do
+  [ -S "${SOCK}" ] && break
+  sleep 0.05
+done
+[ -S "${SOCK}" ] || { echo "server never bound ${SOCK}"; exit 1; }
+
+# One live stats poll mid-flight: byte-stable JSON with all three sections.
+STATS="$("${CLI}" fleet-stats "unix:${SOCK}")"
+case "${STATS}" in
+  *'"net"'*'"pool"'*'"registry"'*) ;;
+  *) echo "fleet-stats snapshot malformed: ${STATS}"; exit 1 ;;
+esac
+
+"${CLI}" loadgen "unix:${SOCK}" --connections=${CONNECTIONS} \
+    --jobs=${JOBS_PER_CONN} --devices=${DEVICES} \
+    --trace-jsonl="${OUTDIR}/trace_merge_client.jsonl"
+
+# --max-jobs makes the server drain and exit on its own after the last
+# verdict; its exit status covers the export writes.
+wait "${SERVE_PID}"
+trap - EXIT
+
+[ -s "${OUTDIR}/trace_merge_metrics.jsonl" ] || {
+  echo "metrics ticker wrote nothing"; exit 1;
+}
+
+REPORT="$("${CLI}" trace-report "${OUTDIR}/trace_merge_client.jsonl" \
+                                "${OUTDIR}/trace_merge_server.jsonl")"
+echo "${REPORT}"
+
+# The acceptance bar: every wire verdict reconstructs into a linked
+# cross-process timeline (>= 99% required, and with known devices and no
+# sampling this run must join all of them).
+case "${REPORT}" in
+  *"joined ${TOTAL_JOBS}/${TOTAL_JOBS} client roots (100.0%)"*) ;;
+  *) echo "merge did not join all ${TOTAL_JOBS} verdicts"; exit 1 ;;
+esac
