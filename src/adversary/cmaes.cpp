@@ -1,0 +1,157 @@
+#include "adversary/cmaes.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace pufatt::adversary {
+
+CmaesResult cmaes_minimize(
+    const std::function<double(const std::vector<double>&)>& fitness,
+    const std::vector<double>& mean0, const CmaesParams& params,
+    support::Xoshiro256pp& rng) {
+  const std::size_t n = mean0.size();
+  if (n == 0) throw std::invalid_argument("cmaes_minimize: empty mean");
+  const double nd = static_cast<double>(n);
+
+  // Standard population sizing and log-decreasing recombination weights
+  // (Hansen's tutorial defaults).
+  const std::size_t lambda =
+      4 + static_cast<std::size_t>(std::floor(3.0 * std::log(nd)));
+  const std::size_t mu = lambda / 2;
+  std::vector<double> weights(mu);
+  for (std::size_t i = 0; i < mu; ++i) {
+    weights[i] = std::log(mu + 0.5) - std::log(static_cast<double>(i + 1));
+  }
+  const double wsum = std::accumulate(weights.begin(), weights.end(), 0.0);
+  for (double& w : weights) w /= wsum;
+  const double mu_eff =
+      1.0 / std::inner_product(weights.begin(), weights.end(), weights.begin(),
+                               0.0);
+
+  // Step-size and (diagonal) covariance learning rates; the separable
+  // variant scales c1/cmu up by (n + 2) / 3 since only n parameters are
+  // adapted instead of n^2.
+  const double c_sigma = (mu_eff + 2.0) / (nd + mu_eff + 5.0);
+  const double d_sigma =
+      1.0 + 2.0 * std::max(0.0, std::sqrt((mu_eff - 1.0) / (nd + 1.0)) - 1.0) +
+      c_sigma;
+  const double c_c = (4.0 + mu_eff / nd) / (nd + 4.0 + 2.0 * mu_eff / nd);
+  const double sep = (nd + 2.0) / 3.0;
+  const double c_1 =
+      std::min(1.0, sep * 2.0 / ((nd + 1.3) * (nd + 1.3) + mu_eff));
+  const double c_mu = std::min(
+      1.0 - c_1, sep * 2.0 * (mu_eff - 2.0 + 1.0 / mu_eff) /
+                     ((nd + 2.0) * (nd + 2.0) + mu_eff));
+  const double chi_n =
+      std::sqrt(nd) * (1.0 - 1.0 / (4.0 * nd) + 1.0 / (21.0 * nd * nd));
+
+  std::vector<double> mean = mean0;
+  std::vector<double> diag(n, 1.0);     // diagonal of C
+  std::vector<double> p_sigma(n, 0.0);  // step-size evolution path
+  std::vector<double> p_c(n, 0.0);      // covariance evolution path
+  double sigma = params.initial_sigma;
+
+  struct Candidate {
+    std::vector<double> z;  // N(0, I) draw
+    std::vector<double> x;  // mean + sigma * D * z
+    double f = 0.0;
+  };
+  std::vector<Candidate> pop(lambda);
+  for (auto& cand : pop) {
+    cand.z.resize(n);
+    cand.x.resize(n);
+  }
+  std::vector<std::size_t> order(lambda);
+
+  CmaesResult result;
+  result.best = mean;
+  result.best_fitness = fitness(mean);
+  std::size_t stale = 0;
+
+  for (std::size_t gen = 0; gen < params.max_generations; ++gen) {
+    for (auto& cand : pop) {
+      for (std::size_t i = 0; i < n; ++i) {
+        cand.z[i] = rng.gaussian();
+        cand.x[i] = mean[i] + sigma * std::sqrt(diag[i]) * cand.z[i];
+      }
+      cand.f = fitness(cand.x);
+    }
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                     std::size_t b) {
+      return pop[a].f < pop[b].f;
+    });
+
+    if (pop[order[0]].f < result.best_fitness - params.tol) {
+      stale = 0;
+    } else {
+      ++stale;
+    }
+    if (pop[order[0]].f < result.best_fitness) {
+      result.best_fitness = pop[order[0]].f;
+      result.best = pop[order[0]].x;
+    }
+    result.generations = gen + 1;
+    if (stale >= params.patience) break;
+
+    // Recombine mean and the mean of the sampled z's.
+    std::vector<double> old_mean = mean;
+    std::vector<double> z_mean(n, 0.0);
+    for (std::size_t r = 0; r < mu; ++r) {
+      const Candidate& cand = pop[order[r]];
+      for (std::size_t i = 0; i < n; ++i) {
+        z_mean[i] += weights[r] * cand.z[i];
+      }
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      mean[i] += sigma * std::sqrt(diag[i]) * z_mean[i];
+    }
+
+    // Step-size path (already in the isotropic domain because z ~ N(0,I)).
+    double ps_norm_sq = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      p_sigma[i] = (1.0 - c_sigma) * p_sigma[i] +
+                   std::sqrt(c_sigma * (2.0 - c_sigma) * mu_eff) * z_mean[i];
+      ps_norm_sq += p_sigma[i] * p_sigma[i];
+    }
+    const double ps_norm = std::sqrt(ps_norm_sq);
+    const double h_sigma_thresh =
+        (1.4 + 2.0 / (nd + 1.0)) * chi_n *
+        std::sqrt(1.0 -
+                  std::pow(1.0 - c_sigma, 2.0 * static_cast<double>(gen + 1)));
+    const double h_sigma = ps_norm < h_sigma_thresh ? 1.0 : 0.0;
+
+    // Covariance path in the original coordinates: (x_mean - old_mean)/sigma.
+    for (std::size_t i = 0; i < n; ++i) {
+      const double y_mean = (mean[i] - old_mean[i]) / sigma;
+      p_c[i] = (1.0 - c_c) * p_c[i] +
+               h_sigma * std::sqrt(c_c * (2.0 - c_c) * mu_eff) * y_mean;
+    }
+
+    // Diagonal covariance update (rank-one + rank-mu restricted to the
+    // diagonal).
+    const double c1a =
+        c_1 * (1.0 - (1.0 - h_sigma) * c_c * (2.0 - c_c));
+    for (std::size_t i = 0; i < n; ++i) {
+      double rank_mu = 0.0;
+      for (std::size_t r = 0; r < mu; ++r) {
+        const double yi = std::sqrt(diag[i]) * pop[order[r]].z[i];
+        rank_mu += weights[r] * yi * yi;
+      }
+      diag[i] = (1.0 - c1a - c_mu) * diag[i] + c_1 * p_c[i] * p_c[i] +
+                c_mu * rank_mu;
+      diag[i] = std::max(diag[i], 1e-20);
+    }
+
+    sigma *= std::exp((c_sigma / d_sigma) * (ps_norm / chi_n - 1.0));
+    sigma = std::min(sigma, 1e6);
+    if (!(sigma > 0.0) || !std::isfinite(sigma)) break;
+  }
+
+  return result;
+}
+
+}  // namespace pufatt::adversary

@@ -1,0 +1,39 @@
+// Separable CMA-ES (diagonal covariance; Ros & Hansen, PPSN 2008) — the
+// evolution-strategy attacker of the matrix.  Unlike the gradient learners
+// it never touches a derivative: it searches the additive delay model
+// directly, which is how the original Ruehrmair et al. attacks handled
+// model classes without a smooth loss.  The diagonal restriction keeps one
+// generation O(lambda * n) so delay-vector dimensions (65-129 weights) stay
+// cheap on a single core.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace pufatt::adversary {
+
+struct CmaesParams {
+  std::size_t max_generations = 200;
+  double initial_sigma = 0.5;
+  /// Stop after this many generations without improving the best fitness.
+  std::size_t patience = 40;
+  double tol = 1e-10;  ///< improvement below this does not reset patience
+};
+
+struct CmaesResult {
+  std::vector<double> best;
+  double best_fitness = 0.0;
+  std::size_t generations = 0;
+};
+
+/// Minimizes `fitness` over R^dim starting from `mean0`.  Deterministic in
+/// (`mean0`, `params`, `rng`): sampling uses only the caller's stream.
+CmaesResult cmaes_minimize(
+    const std::function<double(const std::vector<double>&)>& fitness,
+    const std::vector<double>& mean0, const CmaesParams& params,
+    support::Xoshiro256pp& rng);
+
+}  // namespace pufatt::adversary

@@ -1,0 +1,143 @@
+#include "adversary/frontends.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace pufatt::adversary {
+
+using support::BitVector;
+using support::Xoshiro256pp;
+
+BitVector nlfsr_scramble(const BitVector& challenge, std::uint64_t key_seed,
+                         std::size_t rounds) {
+  const std::size_t n = challenge.size();
+  if (n < 8) {
+    throw std::invalid_argument("nlfsr_scramble: challenge too short");
+  }
+  // Keystream: one bit per round, derived from the device key.
+  support::Xoshiro256pp key(
+      support::SplitMix64::mix(key_seed ^ 0x6E1F5B3A9C0D4712ULL));
+  BitVector state = challenge;
+  // Tap positions spread over the register; the AND taps make the feedback
+  // nonlinear (degree-2 terms compound over rounds into high degree).
+  const std::size_t t1 = n / 3, t2 = n / 2, t3 = (2 * n) / 3, t4 = n - 2;
+  std::uint64_t keyword = 0;
+  for (std::size_t r = 0; r < rounds; ++r) {
+    if (r % 64 == 0) keyword = key.next();
+    const bool key_bit = ((keyword >> (r % 64)) & 1ULL) != 0;
+    const bool fb = state.get(0) ^ state.get(t1) ^
+                    (state.get(t2) & state.get(t3)) ^
+                    (state.get(t4) & state.get(1)) ^ key_bit;
+    // Shift down by one, feedback enters at the top.
+    for (std::size_t i = 0; i + 1 < n; ++i) state.set(i, state.get(i + 1));
+    state.set(n - 1, fb);
+  }
+  return state;
+}
+
+namespace {
+
+class NlfsrFrontend final : public PufVariant {
+ public:
+  NlfsrFrontend(std::unique_ptr<PufVariant> inner, std::uint64_t key_seed)
+      : inner_(std::move(inner)), key_seed_(key_seed) {}
+
+  std::string name() const override { return "nlfsr-" + inner_->name(); }
+  std::size_t challenge_bits() const override {
+    return inner_->challenge_bits();
+  }
+
+  std::vector<double> features(const BitVector& challenge) const override {
+    // The attacker featurizes what it sees; the key that separates the
+    // visible challenge from the raced one is exactly what it lacks.
+    return inner_->features(challenge);
+  }
+
+  bool query(const BitVector& challenge, Xoshiro256pp& rng) const override {
+    return inner_->query(scramble(challenge), rng);
+  }
+
+  void query_batch(const BitVector* challenges, std::size_t count,
+                   std::uint8_t* out, Xoshiro256pp& rng) const override {
+    std::vector<BitVector> scrambled;
+    scrambled.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      scrambled.push_back(scramble(challenges[i]));
+    }
+    inner_->query_batch(scrambled.data(), count, out, rng);
+  }
+
+  void finish_training() override { inner_->finish_training(); }
+
+ private:
+  BitVector scramble(const BitVector& c) const {
+    return nlfsr_scramble(c, key_seed_, 2 * c.size());
+  }
+
+  std::unique_ptr<PufVariant> inner_;
+  std::uint64_t key_seed_;
+};
+
+class LatentReconfigFrontend final : public PufVariant {
+ public:
+  LatentReconfigFrontend(std::unique_ptr<PufVariant> inner,
+                         std::uint64_t key_seed)
+      : inner_(std::move(inner)), key_seed_(key_seed) {
+    reconfigure();
+  }
+
+  std::string name() const override { return "latent-" + inner_->name(); }
+  std::size_t challenge_bits() const override {
+    return inner_->challenge_bits();
+  }
+
+  std::vector<double> features(const BitVector& challenge) const override {
+    return inner_->features(challenge);
+  }
+
+  bool query(const BitVector& challenge, Xoshiro256pp& rng) const override {
+    return inner_->query(challenge ^ mask_, rng);
+  }
+
+  void query_batch(const BitVector* challenges, std::size_t count,
+                   std::uint8_t* out, Xoshiro256pp& rng) const override {
+    std::vector<BitVector> masked;
+    masked.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      masked.push_back(challenges[i] ^ mask_);
+    }
+    inner_->query_batch(masked.data(), count, out, rng);
+  }
+
+  void finish_training() override {
+    ++epoch_;
+    reconfigure();
+    inner_->finish_training();
+  }
+
+ private:
+  void reconfigure() {
+    Xoshiro256pp derive(support::SplitMix64::mix(
+        key_seed_ ^ (0x9D2C5680CA876A51ULL + epoch_)));
+    mask_ = BitVector::random(inner_->challenge_bits(), derive);
+  }
+
+  std::unique_ptr<PufVariant> inner_;
+  std::uint64_t key_seed_;
+  std::size_t epoch_ = 0;
+  BitVector mask_;
+};
+
+}  // namespace
+
+std::unique_ptr<PufVariant> make_nlfsr_frontend(
+    std::unique_ptr<PufVariant> inner, std::uint64_t key_seed) {
+  return std::make_unique<NlfsrFrontend>(std::move(inner), key_seed);
+}
+
+std::unique_ptr<PufVariant> make_latent_reconfig_frontend(
+    std::unique_ptr<PufVariant> inner, std::uint64_t key_seed) {
+  return std::make_unique<LatentReconfigFrontend>(std::move(inner), key_seed);
+}
+
+}  // namespace pufatt::adversary

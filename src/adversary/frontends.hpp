@@ -1,0 +1,49 @@
+// Composable challenge-obfuscation front ends (the defence rows of the
+// attack matrix that come from PAPERS.md rather than the source paper).
+//
+//  * Keyed-NLFSR challenge obfuscation (Stangherlin et al.,
+//    arXiv:2207.11181): the visible challenge seeds a nonlinear feedback
+//    shift register keyed with a device secret; after 2n rounds the state
+//    is the challenge the inner PUF actually races.  The AND terms in the
+//    feedback destroy the linear/parity structure every additive-delay
+//    attack leans on, so a model trained on visible challenges learns
+//    (almost) nothing.
+//
+//  * Reconfigurable latent obfuscation (Gao et al., arXiv:1706.06232;
+//    Spenke et al., arXiv:1610.04065): the device XORs a secret latent
+//    mask into the challenge and *re-derives the mask* when it
+//    reconfigures.  Within one configuration the composite is still an
+//    additive-delay PUF (phi_i(c ^ m) = phi_i(c) * s_i(m), a pure sign
+//    flip in parity-feature space) — deliberately so: the attacker's model
+//    trains beautifully, and then finish_training() rotates the epoch and
+//    every learned sign goes stale.  This isolates exactly the
+//    reconfiguration claim: train accuracy stays high, held-out accuracy
+//    collapses to a coin flip.
+#pragma once
+
+#include <memory>
+
+#include "adversary/variant.hpp"
+
+namespace pufatt::adversary {
+
+/// Wraps `inner` behind a keyed NLFSR: visible challenges are scrambled by
+/// `2 * challenge_bits()` rounds of a keyed nonlinear FSR before reaching
+/// the inner PUF.  The key derives from `key_seed` and never leaves the
+/// device.
+std::unique_ptr<PufVariant> make_nlfsr_frontend(
+    std::unique_ptr<PufVariant> inner, std::uint64_t key_seed);
+
+/// Wraps `inner` behind a reconfigurable latent XOR mask derived from
+/// (`key_seed`, epoch).  finish_training() advances the epoch — the
+/// device and its verifier re-key in lockstep, the attacker's model does
+/// not.
+std::unique_ptr<PufVariant> make_latent_reconfig_frontend(
+    std::unique_ptr<PufVariant> inner, std::uint64_t key_seed);
+
+/// The keyed scramble itself, exposed for tests: deterministic in
+/// (challenge, key_seed, rounds).
+support::BitVector nlfsr_scramble(const support::BitVector& challenge,
+                                  std::uint64_t key_seed, std::size_t rounds);
+
+}  // namespace pufatt::adversary

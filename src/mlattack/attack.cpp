@@ -1,19 +1,32 @@
 #include "mlattack/attack.hpp"
 
+#include <chrono>
+
 namespace pufatt::mlattack {
 
 namespace {
 
 AttackResult run_attack(std::vector<Example> train, std::vector<Example> test,
                         const AttackConfig& config,
-                        support::Xoshiro256pp& rng) {
+                        support::Xoshiro256pp& rng,
+                        std::chrono::steady_clock::time_point started) {
   AttackResult result;
   result.training_crps = train.size();
+  result.queries_used = train.size();
+  result.train_seed = config.train_seed;
   if (train.empty()) return result;
   LogisticRegression model(train.front().features.size());
-  model.train(train, config.logreg, rng);
+  if (config.train_seed != 0) {
+    support::Xoshiro256pp train_rng(config.train_seed);
+    model.train(train, config.logreg, train_rng);
+  } else {
+    model.train(train, config.logreg, rng);
+  }
   result.train_accuracy = model.accuracy(train);
   result.test_accuracy = model.accuracy(test);
+  result.wall_s = std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - started)
+                      .count();
   return result;
 }
 
@@ -23,27 +36,30 @@ AttackResult attack_arbiter(const alupuf::ArbiterPuf& puf,
                             std::size_t training_crps,
                             support::Xoshiro256pp& rng,
                             const AttackConfig& config) {
+  const auto started = std::chrono::steady_clock::now();
   auto train = collect_arbiter(puf, training_crps, rng);
   auto test = collect_arbiter(puf, config.test_crps, rng);
-  return run_attack(std::move(train), std::move(test), config, rng);
+  return run_attack(std::move(train), std::move(test), config, rng, started);
 }
 
 AttackResult attack_xor_arbiter(const alupuf::XorArbiterPuf& puf,
                                 std::size_t training_crps,
                                 support::Xoshiro256pp& rng,
                                 const AttackConfig& config) {
+  const auto started = std::chrono::steady_clock::now();
   auto train = collect_xor_arbiter(puf, training_crps, rng);
   auto test = collect_xor_arbiter(puf, config.test_crps, rng);
-  return run_attack(std::move(train), std::move(test), config, rng);
+  return run_attack(std::move(train), std::move(test), config, rng, started);
 }
 
 AttackResult attack_alu_raw_bit(const alupuf::AluPuf& puf, std::size_t bit,
                                 std::size_t training_crps,
                                 support::Xoshiro256pp& rng,
                                 const AttackConfig& config) {
+  const auto started = std::chrono::steady_clock::now();
   auto train = collect_alu_raw(puf, bit, training_crps, rng);
   auto test = collect_alu_raw(puf, bit, config.test_crps, rng);
-  return run_attack(std::move(train), std::move(test), config, rng);
+  return run_attack(std::move(train), std::move(test), config, rng, started);
 }
 
 AttackResult attack_obfuscated_bit(const alupuf::PufDevice& device,
@@ -51,9 +67,10 @@ AttackResult attack_obfuscated_bit(const alupuf::PufDevice& device,
                                    std::size_t training_crps,
                                    support::Xoshiro256pp& rng,
                                    const AttackConfig& config) {
+  const auto started = std::chrono::steady_clock::now();
   auto train = collect_obfuscated(device, bit, training_crps, rng);
   auto test = collect_obfuscated(device, bit, config.test_crps, rng);
-  return run_attack(std::move(train), std::move(test), config, rng);
+  return run_attack(std::move(train), std::move(test), config, rng, started);
 }
 
 }  // namespace pufatt::mlattack

@@ -16,12 +16,26 @@ namespace pufatt::mlattack {
 
 struct AttackResult {
   std::size_t training_crps = 0;
+  /// Oracle queries actually consumed for training (== training_crps for
+  /// these attacks; adversary-lab attacks may stop short of their budget).
+  std::size_t queries_used = 0;
+  /// Seed the training run used (AttackConfig::train_seed, or 0 when
+  /// training consumed the caller's stream).
+  std::uint64_t train_seed = 0;
   double train_accuracy = 0.0;
   double test_accuracy = 0.0;
+  /// Wall-clock spent collecting + training, seconds.  Reporting only —
+  /// never serialize it into byte-stable artifacts.
+  double wall_s = 0.0;
 };
 
 struct AttackConfig {
   std::size_t test_crps = 2000;
+  /// 0: train on the caller's rng stream (historical behaviour, keeps
+  /// existing streams intact).  Nonzero: training shuffles use a private
+  /// Xoshiro256pp(train_seed), making the fit reproducible independently
+  /// of how much stream the collection phase consumed.
+  std::uint64_t train_seed = 0;
   LogRegParams logreg;
 };
 

@@ -71,28 +71,39 @@ std::vector<Example> collect_xor_arbiter(const alupuf::XorArbiterPuf& puf,
 
 std::vector<Example> collect_alu_raw(const alupuf::AluPuf& puf,
                                      std::size_t bit, std::size_t count,
-                                     support::Xoshiro256pp& rng) {
+                                     support::Xoshiro256pp& rng,
+                                     timingsim::BatchEngine engine) {
+  const auto env = variation::Environment::nominal();
+  std::vector<alupuf::Challenge> challenges;
+  challenges.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    challenges.push_back(BitVector::random(puf.challenge_bits(), rng));
+  }
+  const auto responses = puf.eval_batch(challenges.data(), count, env, rng,
+                                        /*clock=*/nullptr, /*scratch=*/nullptr,
+                                        engine);
   std::vector<Example> out;
   out.reserve(count);
-  const auto env = variation::Environment::nominal();
   for (std::size_t i = 0; i < count; ++i) {
-    const auto challenge = BitVector::random(puf.challenge_bits(), rng);
-    const auto response = puf.eval(challenge, env, rng);
-    out.push_back(Example{alu_features(challenge), response.get(bit)});
+    out.push_back(Example{alu_features(challenges[i]), responses[i].get(bit)});
   }
   return out;
 }
 
 std::vector<Example> collect_obfuscated(const alupuf::PufDevice& device,
                                         std::size_t bit, std::size_t count,
-                                        support::Xoshiro256pp& rng) {
+                                        support::Xoshiro256pp& rng,
+                                        timingsim::BatchEngine engine) {
+  const auto env = variation::Environment::nominal();
+  std::vector<std::uint64_t> xs(count);
+  for (auto& x : xs) x = rng.next();
+  const auto results =
+      device.query_batch(xs.data(), count, env, rng, /*clock=*/nullptr,
+                         /*scratch=*/nullptr, engine);
   std::vector<Example> out;
   out.reserve(count);
-  const auto env = variation::Environment::nominal();
   for (std::size_t i = 0; i < count; ++i) {
-    const std::uint64_t x = rng.next();
-    const auto result = device.query(x, env, rng);
-    out.push_back(Example{word_features(x), result.z.get(bit)});
+    out.push_back(Example{word_features(xs[i]), results[i].z.get(bit)});
   }
   return out;
 }

@@ -42,16 +42,23 @@ std::vector<Example> collect_xor_arbiter(const alupuf::XorArbiterPuf& puf,
                                          std::size_t count,
                                          support::Xoshiro256pp& rng);
 
-/// Collects examples for raw ALU PUF response bit `bit`.
-std::vector<Example> collect_alu_raw(const alupuf::AluPuf& puf,
-                                     std::size_t bit, std::size_t count,
-                                     support::Xoshiro256pp& rng);
+/// Collects examples for raw ALU PUF response bit `bit`.  Harvesting is one
+/// AluPuf::eval_batch call (its RNG contract applies: the whole batch
+/// consumes a single `rng.next()` after the challenge draws), so `engine`
+/// only selects the timing kernel — by the exactness contract the dataset
+/// is byte-identical across engines.
+std::vector<Example> collect_alu_raw(
+    const alupuf::AluPuf& puf, std::size_t bit, std::size_t count,
+    support::Xoshiro256pp& rng,
+    timingsim::BatchEngine engine = timingsim::BatchEngine::kAuto);
 
 /// Collects examples for obfuscated output bit `bit` of the full pipeline
-/// (labels from PufDevice::query on random 64-bit protocol challenges).
-std::vector<Example> collect_obfuscated(const alupuf::PufDevice& device,
-                                        std::size_t bit, std::size_t count,
-                                        support::Xoshiro256pp& rng);
+/// (labels from one PufDevice::query_batch over random 64-bit protocol
+/// challenges; engine-independent like collect_alu_raw).
+std::vector<Example> collect_obfuscated(
+    const alupuf::PufDevice& device, std::size_t bit, std::size_t count,
+    support::Xoshiro256pp& rng,
+    timingsim::BatchEngine engine = timingsim::BatchEngine::kAuto);
 
 /// Shard-parallel CRP collection.  Work is cut into fixed `block`-sized
 /// shards; shard k derives its own generator from (seed, k) and writes its

@@ -79,6 +79,41 @@ TEST(HardenedObfuscation, IdenticalErrorsDoNotCancel) {
   EXPECT_EQ(disturbed, trials);
 }
 
+TEST(HardenedObfuscation, DistinctCodewordErrorsDoNotCancel) {
+  // Regression for the sharper version of the blind spot: helper-data
+  // reconstruction errors are always RM(1,5) *codewords*, but they need not
+  // be identical across the eight responses.  Under the paper pairing every
+  // codeword folds to a constant block, so independent per-response
+  // codeword errors still cancel in z whenever their constants line up —
+  // a forged transcript can corrupt every response and leave z untouched.
+  // The hardened pairing must never cancel them.
+  const ecc::ReedMuller1 rm(5);
+  const ObfuscationNetwork paper(32, ObfuscationNetwork::Pairing::kPaper);
+  const ObfuscationNetwork hardened(32,
+                                    ObfuscationNetwork::Pairing::kHardened);
+  Xoshiro256pp rng(11);
+  const int trials = 200;
+  int paper_cancelled = 0;
+  int hardened_cancelled = 0;
+  for (int t = 0; t < trials; ++t) {
+    std::array<BitVector, 8> clean;
+    for (auto& r : clean) r = BitVector::random(32, rng);
+    // A fresh nonzero codeword error per response.
+    auto corrupted = clean;
+    for (auto& r : corrupted) {
+      r ^= rm.encode(BitVector(6, 1 + rng.uniform_u64(62)));
+    }
+    if (paper.obfuscate(clean) == paper.obfuscate(corrupted)) {
+      ++paper_cancelled;
+    }
+    if (hardened.obfuscate(clean) == hardened.obfuscate(corrupted)) {
+      ++hardened_cancelled;
+    }
+  }
+  EXPECT_GT(paper_cancelled, trials / 20);  // the blind spot is common...
+  EXPECT_EQ(hardened_cancelled, 0);         // ...and the fix closes it
+}
+
 TEST(HardenedObfuscation, PaperPairingCancelsIdenticalErrors) {
   // Confirms the blind spot exists in the paper-exact network (why the
   // protocol uses the hardened one).

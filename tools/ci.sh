@@ -8,9 +8,13 @@
 #
 # Every tree runs the full ctest suite *including* the bench-labeled
 # smokes (service_throughput_smoke, sim_engine_smoke, micro_perf_smoke,
-# obs_overhead_smoke, net_throughput_smoke), so the stable-schema
-# BENCH_*.json writers and the tracing overhead gates are exercised under
-# each sanitizer too.  sim_engine_smoke additionally gates the bit-sliced
+# obs_overhead_smoke, net_throughput_smoke, attack_matrix_quick), so the
+# stable-schema BENCH_*.json writers and the tracing overhead gates are
+# exercised under each sanitizer too.  attack_matrix_quick runs the whole
+# adversary-lab roster (bench/attack_matrix --quick) with shrunk budgets
+# and relaxed accuracy gates, but still asserts the matrix is byte-stable
+# across thread counts and invariant across the scalar/SoA/bit-sliced
+# timing engines.  sim_engine_smoke additionally gates the bit-sliced
 # engine (zero divergence vs scalar, engine-invariant CRP digests), and
 # gen_crps_engine_parity re-derives the same contract at the CLI layer:
 # gen-crps output must be byte-identical across --engine=scalar/batch/

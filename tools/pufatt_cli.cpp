@@ -68,6 +68,7 @@
 #include <thread>
 #include <vector>
 
+#include "adversary/tournament.hpp"
 #include "alupuf/pipeline.hpp"
 #include "core/distributed.hpp"
 #include "core/protocol.hpp"
@@ -90,6 +91,7 @@
 #include "store/sharded_store.hpp"
 #include "store/verifier_store.hpp"
 #include "support/parallel.hpp"
+#include "support/table.hpp"
 
 using namespace pufatt;
 
@@ -136,6 +138,10 @@ int usage() {
                "<out.csv>\n"
                "                  [--engine={auto,scalar,batch,bitslice}]  "
                "timing kernel\n"
+               "       pufatt-cli attack-matrix [--quick] [--seed=<s>] "
+               "[--threads=<n>]\n"
+               "                  [--engine={auto,scalar,batch,bitslice}] "
+               "[--out=<matrix.json>]\n"
                "       pufatt-cli store-inspect <store-dir>\n"
                "       pufatt-cli store-compact <store-dir> "
                "[--segment-bytes=<n>]\n"
@@ -1255,6 +1261,64 @@ int cmd_store_compact(const std::string& dir, std::uint64_t segment_bytes) {
   return 0;
 }
 
+// attack-matrix: run the adversary-lab tournament (src/adversary) over the
+// standard variant x attack roster and print the matrix.  The regression
+// gates live in bench/attack_matrix; this subcommand is the exploration
+// face — pick a seed, an engine, a thread count, and look at the numbers.
+int cmd_attack_matrix(bool quick, std::uint64_t seed, std::uint64_t threads,
+                      timingsim::BatchEngine engine, const std::string& out) {
+  adversary::TournamentConfig config;
+  if (quick) {
+    config.budgets = {256, 1024};
+    config.test_queries = 600;
+    config.replay_rounds = 16;
+  } else {
+    config.budgets = {1000, 4000, 12000};
+    config.test_queries = 2000;
+    config.replay_rounds = 40;
+  }
+  config.threads = static_cast<std::size_t>(threads);
+  config.seed = seed;
+  config.engine = engine;
+
+  adversary::LabParams params;
+  if (quick) {
+    params.logreg.epochs = 25;
+    params.mlp.epochs = 15;
+    params.cmaes.cmaes.max_generations = 80;
+    params.cmaes.cmaes.patience = 20;
+    params.cmaes.fitness_subsample = 2000;
+  }
+
+  adversary::Tournament tournament(config);
+  adversary::add_standard_lab(tournament, params);
+  std::printf("attack matrix: %zu variants x %zu attacks, %zu budgets "
+              "(%s mode), seed %llu, engine %s\n\n",
+              tournament.variant_count(), tournament.attack_count(),
+              config.budgets.size(), quick ? "quick" : "full",
+              static_cast<unsigned long long>(seed), engine_name(engine));
+  const auto result = tournament.run();
+
+  support::Table table({"variant", "attack", "budget", "queries", "train acc",
+                        "test acc / replay"});
+  for (const adversary::Cell& cell : result.cells) {
+    for (const adversary::AttackReport& r : cell.reports) {
+      table.add_row({cell.variant, cell.attack, std::to_string(r.budget),
+                     std::to_string(r.queries_used),
+                     support::Table::num(r.train_accuracy, 3),
+                     support::Table::num(r.test_accuracy, 3) +
+                         (r.replay_acceptance >= 0.0 ? " (replay)" : "")});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  if (!out.empty()) {
+    if (!write_file(out, adversary::matrix_json(result))) return 1;
+    std::printf("\nwrote %s\n", out.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1543,6 +1607,44 @@ int main(int argc, char** argv) {
       }
       if (dir.empty()) return usage();
       return cmd_store_promote(dir, from);
+    }
+    if (cmd == "attack-matrix") {
+      bool quick = false;
+      std::uint64_t seed = 0xA17AC4ULL;  // the bench's fixed matrix seed
+      std::uint64_t threads = 1;
+      auto engine = timingsim::BatchEngine::kAuto;
+      std::string out;
+      for (int i = 2; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--quick") {
+          quick = true;
+        } else if (arg.rfind("--seed=", 0) == 0) {
+          const std::string value = arg.substr(7);
+          if (!parse_u64(value.c_str(), seed)) {
+            return bad_argument("seed", value.c_str());
+          }
+        } else if (arg.rfind("--threads=", 0) == 0) {
+          const std::string value = arg.substr(10);
+          if (!parse_u64(value.c_str(), threads) || threads == 0) {
+            return bad_argument("thread count (want > 0)", value.c_str());
+          }
+        } else if (arg.rfind("--engine=", 0) == 0) {
+          if (!parse_engine(arg.substr(9), engine)) {
+            return bad_argument("engine (want auto/scalar/batch/bitslice)",
+                                arg.c_str());
+          }
+        } else if (arg.rfind("--out=", 0) == 0) {
+          out = arg.substr(6);
+          if (out.empty()) {
+            std::fprintf(stderr, "error: --out needs a file name\n");
+            return usage();
+          }
+        } else {
+          std::fprintf(stderr, "error: unknown flag '%s'\n", arg.c_str());
+          return usage();
+        }
+      }
+      return cmd_attack_matrix(quick, seed, threads, engine, out);
     }
     if (cmd.empty()) return usage();
     std::fprintf(stderr, "error: unknown subcommand '%s'\n", cmd.c_str());
